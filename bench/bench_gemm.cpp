@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Ablation A — GEMM algorithm choice.
+ *
+ * The framework personalities differ mainly in which GEMM backs their
+ * convolutions (Orpheus: packed; PyTorch-like: blocked; DarkNet-like:
+ * naive). This ablation isolates that choice on the actual matrix
+ * shapes GEMM convolution produces for network layers, plus square
+ * reference points, and reports achieved GFLOP/s.
+ */
+#include "bench_util.hpp"
+
+#include "ops/gemm/gemm.hpp"
+
+namespace {
+
+using namespace orpheus;
+using namespace orpheus::bench;
+
+struct GemmShape {
+    const char *label;
+    std::int64_t m, n, k;
+};
+
+/** conv-as-GEMM shapes: M=out_c, N=out_h*out_w, K=in_c*kh*kw. */
+const GemmShape kShapes[] = {
+    {"sq256", 256, 256, 256},
+    {"sq512", 512, 512, 512},
+    {"resnet_conv2", 64, 3136, 576},    // 64x56x56, 3x3 from 64
+    {"resnet_conv4", 256, 196, 2304},   // 256x14x14, 3x3 from 256
+    {"mobilenet_pw", 128, 3136, 64},    // 1x1 pointwise, 56x56
+    {"fc_layer", 1000, 1, 2048},        // classifier
+};
+
+void
+gemm_cell(::benchmark::State &state, GemmVariant variant,
+          const GemmShape &shape)
+{
+    Rng rng(0x6e);
+    std::vector<float> a(static_cast<std::size_t>(shape.m * shape.k));
+    std::vector<float> b(static_cast<std::size_t>(shape.k * shape.n));
+    std::vector<float> c(static_cast<std::size_t>(shape.m * shape.n));
+    for (float &value : a)
+        value = rng.uniform(-1, 1);
+    for (float &value : b)
+        value = rng.uniform(-1, 1);
+
+    gemm(variant, shape.m, shape.n, shape.k, a.data(), shape.k, b.data(),
+         shape.n, c.data(), shape.n);
+
+    double total_ms = 0.0;
+    std::int64_t runs = 0;
+    for (auto _ : state) {
+        Timer timer;
+        gemm(variant, shape.m, shape.n, shape.k, a.data(), shape.k,
+             b.data(), shape.n, c.data(), shape.n);
+        const double ms = timer.elapsed_ms();
+        state.SetIterationTime(ms / 1000.0);
+        total_ms += ms;
+        ++runs;
+    }
+    benchmark::DoNotOptimize(c.data());
+    const double mean_ms = total_ms / static_cast<double>(runs);
+    record_cell(shape.label, to_string(variant), mean_ms);
+
+    const double flops =
+        2.0 * static_cast<double>(shape.m * shape.n * shape.k);
+    state.counters["GFLOP/s"] = flops / (mean_ms * 1e6);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    set_global_num_threads(1);
+    const int shape_count = quick_mode() ? 2 : 6;
+
+    for (int i = 0; i < shape_count; ++i) {
+        const GemmShape &shape = kShapes[i];
+        for (GemmVariant variant :
+             {GemmVariant::kNaive, GemmVariant::kBlocked,
+              GemmVariant::kPacked}) {
+            const std::string name = std::string("gemm/") + shape.label +
+                                     "/" + to_string(variant);
+            ::benchmark::RegisterBenchmark(
+                name.c_str(),
+                [variant, shape](::benchmark::State &state) {
+                    gemm_cell(state, variant, shape);
+                })
+                ->Iterations(timed_runs())
+                ->UseManualTime()
+                ->Unit(::benchmark::kMillisecond);
+        }
+    }
+
+    const int status = orpheus::bench::run_benchmarks(argc, argv);
+    print_table("Ablation A: GEMM variants on network-shaped matrices",
+                "shape");
+
+    std::printf("\nspeedup of packed over the other variants:\n");
+    for (int i = 0; i < shape_count; ++i) {
+        const GemmShape &shape = kShapes[i];
+        double naive = 0, blocked = 0, packed = 0;
+        for (const Cell &cell : cells()) {
+            if (cell.row != shape.label)
+                continue;
+            if (cell.column == "naive")
+                naive = cell.mean_ms;
+            else if (cell.column == "blocked")
+                blocked = cell.mean_ms;
+            else
+                packed = cell.mean_ms;
+        }
+        if (packed > 0)
+            std::printf("  %-14s vs naive %6.2fx, vs blocked %6.2fx\n",
+                        shape.label, naive / packed, blocked / packed);
+    }
+    print_csv("shape", "variant");
+    return status;
+}

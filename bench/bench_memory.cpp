@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation C — activation-memory planning.
+ *
+ * Edge deployment (the paper's setting) is memory constrained; Orpheus
+ * places intermediate activations in a liveness-planned arena. This
+ * bench reports, for every evaluation network, the planned arena size
+ * against the no-reuse total, and times the planning pass itself (it
+ * runs at model-load time, so it must stay cheap).
+ */
+#include "bench_util.hpp"
+
+#include "graph/passes/pass.hpp"
+#include "runtime/memory_planner.hpp"
+
+namespace {
+
+using namespace orpheus;
+using namespace orpheus::bench;
+
+struct FootprintRow {
+    std::string model;
+    std::size_t planned = 0;
+    std::size_t naive = 0;
+};
+
+std::vector<FootprintRow> &
+footprints()
+{
+    static std::vector<FootprintRow> storage;
+    return storage;
+}
+
+void
+planner_cell(::benchmark::State &state, const std::string &model)
+{
+    Graph graph = models::by_name(model);
+    simplify_graph(graph);
+    const ValueInfoMap infos = infer_shapes(graph);
+    const auto order = graph.topological_order();
+
+    MemoryPlan plan;
+    double total_ms = 0.0;
+    std::int64_t runs = 0;
+    for (auto _ : state) {
+        Timer timer;
+        plan = plan_memory(graph, infos, order);
+        const double ms = timer.elapsed_ms();
+        state.SetIterationTime(ms / 1000.0);
+        total_ms += ms;
+        ++runs;
+    }
+    record_cell(model, "planning_ms",
+                total_ms / static_cast<double>(runs));
+    footprints().push_back(
+        FootprintRow{model, plan.arena_size, plan.naive_size});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> model_list =
+        quick_mode()
+            ? std::vector<std::string>{"tiny-cnn", "wrn-40-2"}
+            : std::vector<std::string>{"wrn-40-2", "mobilenet-v1",
+                                       "resnet-18", "inception-v3",
+                                       "resnet-50"};
+
+    for (const std::string &model : model_list) {
+        const std::string name = "memory_plan/" + model;
+        ::benchmark::RegisterBenchmark(
+            name.c_str(),
+            [model](::benchmark::State &state) {
+                planner_cell(state, model);
+            })
+            ->Iterations(timed_runs())
+            ->UseManualTime()
+            ->Unit(::benchmark::kMillisecond);
+    }
+
+    const int status = orpheus::bench::run_benchmarks(argc, argv);
+    print_table("Ablation C: memory-planning time at model load", "model");
+
+    std::printf("\nactivation footprint (planned arena vs no reuse):\n");
+    std::printf("%-16s %14s %14s %10s\n", "model", "arena MiB",
+                "no-reuse MiB", "saving");
+    std::printf("%s\n", std::string(58, '-').c_str());
+    std::vector<std::string> seen;
+    for (const FootprintRow &row : footprints()) {
+        bool duplicate = false;
+        for (const std::string &name : seen)
+            duplicate |= name == row.model;
+        if (duplicate)
+            continue;
+        seen.push_back(row.model);
+        const double planned_mib =
+            static_cast<double>(row.planned) / (1024.0 * 1024.0);
+        const double naive_mib =
+            static_cast<double>(row.naive) / (1024.0 * 1024.0);
+        std::printf("%-16s %14.2f %14.2f %9.1f%%\n", row.model.c_str(),
+                    planned_mib, naive_mib,
+                    row.naive > 0
+                        ? 100.0 * (1.0 - planned_mib / naive_mib)
+                        : 0.0);
+    }
+    print_csv("model", "metric");
+    return status;
+}

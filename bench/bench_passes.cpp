@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation B — the value of graph simplification.
+ *
+ * The paper's model loader "applies simplifications to the computation
+ * graph" before inference. This ablation runs WRN-40-2 and a reduced
+ * MobileNet with the pass pipeline on and off, reporting both the
+ * structural effect (node count) and the end-to-end effect (inference
+ * time). BN folding and conv+activation fusion remove one full tensor
+ * traversal each per convolution, so double-digit percentage gains are
+ * the expected shape.
+ */
+#include "bench_util.hpp"
+
+#include "graph/passes/pass.hpp"
+
+namespace {
+
+using namespace orpheus;
+using namespace orpheus::bench;
+
+std::map<std::string, std::size_t> &
+node_counts()
+{
+    static std::map<std::string, std::size_t> storage;
+    return storage;
+}
+
+void
+pass_cell(::benchmark::State &state, const std::string &model,
+          bool simplify)
+{
+    set_global_num_threads(1);
+    EngineOptions options;
+    options.apply_simplifications = simplify;
+    Graph graph = model == "mobilenet-0.5"
+                      ? models::mobilenet_v1(1000, 0.5f)
+                      : models::by_name(model);
+    Engine engine(std::move(graph), options);
+
+    const std::string column = simplify ? "simplified" : "raw";
+    node_counts()[model + "/" + column] = engine.steps().size();
+    run_inference_cell(state, engine, model, column);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> model_list =
+        quick_mode() ? std::vector<std::string>{"tiny-cnn"}
+                     : std::vector<std::string>{"wrn-40-2",
+                                                "mobilenet-0.5"};
+
+    for (const std::string &model : model_list) {
+        for (const bool simplify : {false, true}) {
+            const std::string name = "passes/" + model + "/" +
+                                     (simplify ? "simplified" : "raw");
+            ::benchmark::RegisterBenchmark(
+                name.c_str(),
+                [model, simplify](::benchmark::State &state) {
+                    pass_cell(state, model, simplify);
+                })
+                ->Iterations(timed_runs())
+                ->UseManualTime()
+                ->Unit(::benchmark::kMillisecond);
+        }
+    }
+
+    const int status = orpheus::bench::run_benchmarks(argc, argv);
+    print_table("Ablation B: graph simplification on vs off", "model");
+
+    std::printf("\nplan sizes and speedup:\n");
+    for (const std::string &model : model_list) {
+        double raw = 0, simplified = 0;
+        for (const Cell &cell : cells()) {
+            if (cell.row != model)
+                continue;
+            if (cell.column == "raw")
+                raw = cell.mean_ms;
+            else
+                simplified = cell.mean_ms;
+        }
+        std::printf("  %-16s %3zu -> %3zu plan steps, %5.2fx faster "
+                    "(%.2f -> %.2f ms)\n",
+                    model.c_str(), node_counts()[model + "/raw"],
+                    node_counts()[model + "/simplified"],
+                    simplified > 0 ? raw / simplified : 0.0, raw,
+                    simplified);
+    }
+    print_csv("model", "pipeline");
+    return status;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Section III, claim 3 — "for TF-Lite ... the Python API always selects
+ * the maximum number of threads, so we could not select one."
+ *
+ * Two series:
+ *   1. Thread scaling of Orpheus on WRN-40-2 (1..8 threads) — showing
+ *      Orpheus *can* honour any thread count, which is what made the
+ *      paper's single-thread methodology possible.
+ *   2. The TFLite-like personality asked for 1 thread — demonstrating
+ *      that it silently runs with every hardware thread, i.e. its
+ *      numbers are not comparable to the 1-thread columns of Figure 2.
+ */
+#include "bench_util.hpp"
+
+#include <thread>
+
+namespace {
+
+using namespace orpheus;
+using namespace orpheus::bench;
+
+void
+threaded_cell(::benchmark::State &state, int threads,
+              const std::string &column)
+{
+    set_global_num_threads(threads);
+    Engine engine(models::wrn_40_2(), orpheus_personality().options);
+    run_inference_cell(state, engine, "wrn-40-2", column);
+    set_global_num_threads(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned hardware = std::thread::hardware_concurrency();
+    std::vector<int> thread_counts{1, 2};
+    if (!quick_mode()) {
+        if (hardware >= 4)
+            thread_counts.push_back(4);
+        if (hardware >= 8)
+            thread_counts.push_back(8);
+    }
+
+    for (int threads : thread_counts) {
+        const std::string name =
+            "threads/wrn-40-2/t" + std::to_string(threads);
+        ::benchmark::RegisterBenchmark(
+            name.c_str(),
+            [threads](::benchmark::State &state) {
+                threaded_cell(state, threads,
+                              std::to_string(threads) + " threads");
+            })
+            ->Iterations(timed_runs())
+            ->UseManualTime()
+            ->Unit(::benchmark::kMillisecond);
+    }
+
+    // The TF-Lite emulation: request 1 thread, get them all.
+    ::benchmark::RegisterBenchmark(
+        "threads/wrn-40-2/tflite_like_requested_1",
+        [](::benchmark::State &state) {
+            const FrameworkPersonality tflite = tflite_like_personality();
+            const int effective = tflite.effective_threads(1);
+            set_global_num_threads(effective);
+            Engine engine(models::wrn_40_2(), tflite.options);
+            run_inference_cell(state, engine, "wrn-40-2",
+                               "TFLite-like (asked 1, used " +
+                                   std::to_string(effective) + ")");
+            set_global_num_threads(1);
+        })
+        ->Iterations(timed_runs())
+        ->UseManualTime()
+        ->Unit(::benchmark::kMillisecond);
+
+    const int status = orpheus::bench::run_benchmarks(argc, argv);
+    print_table("Thread scaling (WRN-40-2) and the TF-Lite thread trap",
+                "model");
+
+    double one_thread = 0.0;
+    for (const Cell &cell : cells()) {
+        if (cell.column == "1 threads")
+            one_thread = cell.mean_ms;
+    }
+    if (one_thread > 0.0) {
+        std::printf("\nspeedup vs 1 thread:\n");
+        for (const Cell &cell : cells())
+            std::printf("  %-36s %6.2fx\n", cell.column.c_str(),
+                        one_thread / cell.mean_ms);
+    }
+    std::printf("\nthe TFLite-like row shows why the paper could not put "
+                "TF-Lite in Figure 2: a 1-thread request is ignored.\n");
+    print_csv("model", "threads");
+    return status;
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark harness.
+ *
+ * Every bench binary regenerates one table/figure/claim from the paper:
+ * it registers google-benchmark cases for the standard console output,
+ * records its own per-cell means along the way, and finishes by printing
+ * the paper-style summary (the rows/series the paper reports).
+ *
+ * Environment knobs:
+ *   ORPHEUS_BENCH_RUNS   timed runs per cell (default 3)
+ *   ORPHEUS_BENCH_QUICK  =1: smallest configuration everywhere
+ */
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/env.hpp"
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+#include "core/timer.hpp"
+#include "eval/personalities.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/engine.hpp"
+
+namespace orpheus::bench {
+
+/** Timed runs per benchmark cell. */
+inline int
+timed_runs()
+{
+    return std::max(1, env_int("ORPHEUS_BENCH_RUNS", 3));
+}
+
+/** Reduced-size mode for smoke testing the harness. */
+inline bool
+quick_mode()
+{
+    return env_flag("ORPHEUS_BENCH_QUICK", false);
+}
+
+/** One measured cell of a paper table/figure. */
+struct Cell {
+    std::string row;    ///< e.g. model name.
+    std::string column; ///< e.g. framework personality.
+    double mean_ms = 0;
+};
+
+/** Global result sink for the running bench binary. */
+inline std::vector<Cell> &
+cells()
+{
+    static std::vector<Cell> storage;
+    return storage;
+}
+
+inline void
+record_cell(std::string row, std::string column, double mean_ms)
+{
+    cells().push_back(Cell{std::move(row), std::move(column), mean_ms});
+}
+
+/**
+ * Builds an engine for (model, personality) honouring the personality's
+ * thread behaviour with a 1-thread request (the paper's configuration).
+ */
+inline Engine
+make_engine(const std::string &model, const FrameworkPersonality &p)
+{
+    set_global_num_threads(p.effective_threads(1));
+    return Engine(models::by_name(model), p.options);
+}
+
+/**
+ * Benchmark body: times `engine.run` per iteration and records the mean
+ * into the cell sink under (row, column).
+ */
+inline void
+run_inference_cell(benchmark::State &state, Engine &engine,
+                   const std::string &row, const std::string &column)
+{
+    Rng rng(0xbe7c);
+    Tensor input =
+        random_tensor(engine.graph().inputs().front().shape, rng);
+    (void)engine.run(input); // Warm-up outside timing.
+
+    double total_ms = 0.0;
+    std::int64_t runs = 0;
+    for (auto _ : state) {
+        Timer timer;
+        benchmark::DoNotOptimize(engine.run(input));
+        const double ms = timer.elapsed_ms();
+        state.SetIterationTime(ms / 1000.0);
+        total_ms += ms;
+        ++runs;
+    }
+    if (runs > 0)
+        record_cell(row, column, total_ms / static_cast<double>(runs));
+}
+
+/** Prints the collected cells as a row-major table (ms). */
+inline void
+print_table(const std::string &title, const std::string &row_header)
+{
+    // Preserve first-seen order for rows and columns.
+    std::vector<std::string> rows, columns;
+    const auto remember = [](std::vector<std::string> &list,
+                             const std::string &value) {
+        for (const std::string &existing : list) {
+            if (existing == value)
+                return;
+        }
+        list.push_back(value);
+    };
+    for (const Cell &cell : cells()) {
+        remember(rows, cell.row);
+        remember(columns, cell.column);
+    }
+
+    std::printf("\n=== %s ===\n\n", title.c_str());
+    std::printf("%-16s", row_header.c_str());
+    for (const std::string &column : columns)
+        std::printf(" %14s", column.c_str());
+    std::printf("   (mean ms over %d runs, 1 thread)\n", timed_runs());
+    std::printf("%s\n",
+                std::string(16 + 15 * columns.size() + 3, '-').c_str());
+    for (const std::string &row : rows) {
+        std::printf("%-16s", row.c_str());
+        for (const std::string &column : columns) {
+            bool found = false;
+            for (const Cell &cell : cells()) {
+                if (cell.row == row && cell.column == column) {
+                    std::printf(" %14.2f", cell.mean_ms);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                std::printf(" %14s", "-");
+        }
+        std::printf("\n");
+    }
+}
+
+/** Prints cells as CSV (row,column,mean_ms) for downstream plotting. */
+inline void
+print_csv(const std::string &row_header, const std::string &column_header)
+{
+    std::printf("\ncsv:\n%s,%s,mean_ms\n", row_header.c_str(),
+                column_header.c_str());
+    for (const Cell &cell : cells())
+        std::printf("%s,%s,%.4f\n", cell.row.c_str(), cell.column.c_str(),
+                    cell.mean_ms);
+}
+
+/** Standard main body: parse args, run benchmarks, return success. */
+inline int
+run_benchmarks(int argc, char **argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace orpheus::bench

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Backend explorer: the paper's core workflow of comparing multiple
+ * layer implementations "in a consistent environment".
+ *
+ * For every Conv node of a model, the auto-tuner measures each
+ * registered implementation on the node's real shapes and the explorer
+ * prints the full measurement matrix — showing exactly where GEMM
+ * convolution wins, where spatial pack wins and where the depthwise
+ * kernel dominates.
+ *
+ * Usage:
+ *   backend_explorer [model]   (default: mobilenet-v1 at 0.5 width)
+ */
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "models/model_zoo.hpp"
+#include "runtime/engine.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace orpheus;
+
+    const std::string model_name = argc > 1 ? argv[1] : "mobilenet-v1";
+
+    try {
+        Graph graph = model_name == "mobilenet-v1"
+                          ? models::mobilenet_v1(1000, 0.5f)
+                          : models::by_name(model_name);
+
+        EngineOptions options;
+        options.selection = SelectionStrategy::kAutoTune;
+        options.autotune_runs = 2;
+        options.backend.allow_winograd = true; // let it compete
+        Engine engine(std::move(graph), options);
+
+        // Collect every implementation name that was measured.
+        std::map<std::string, int> impl_columns;
+        for (const auto &[node, measurements] : engine.autotune_log()) {
+            for (const auto &[impl, ms] : measurements) {
+                (void)ms;
+                impl_columns.emplace(impl, 0);
+            }
+        }
+        int column = 0;
+        for (auto &[impl, index] : impl_columns)
+            index = column++;
+
+        std::printf("auto-tune measurements (ms per run, * = selected):\n\n");
+        std::printf("%-28s", "node");
+        for (const auto &[impl, index] : impl_columns) {
+            (void)index;
+            std::printf(" %16s", impl.c_str());
+        }
+        std::printf("\n%s\n", std::string(28 + 17 * impl_columns.size(),
+                                          '-')
+                                  .c_str());
+
+        for (const PlanStep &step : engine.steps()) {
+            auto log = engine.autotune_log().find(step.node_name);
+            if (log == engine.autotune_log().end())
+                continue;
+            std::printf("%-28.28s", step.node_name.c_str());
+            std::map<std::string, double> row;
+            for (const auto &[impl, ms] : log->second)
+                row[impl] = ms;
+            for (const auto &[impl, index] : impl_columns) {
+                (void)index;
+                auto it = row.find(impl);
+                if (it == row.end()) {
+                    std::printf(" %16s", "-");
+                } else {
+                    const bool selected =
+                        impl == step.layer->impl_name();
+                    std::printf(" %14.3f%s", it->second,
+                                selected ? " *" : "  ");
+                }
+            }
+            std::printf("\n");
+        }
+
+        // How often did each implementation win?
+        std::map<std::string, int> wins;
+        for (const PlanStep &step : engine.steps()) {
+            if (engine.autotune_log().count(step.node_name) > 0)
+                ++wins[step.layer->impl_name()];
+        }
+        std::printf("\nselection summary:\n");
+        for (const auto &[impl, count] : wins)
+            std::printf("  %-20s selected for %d node(s)\n", impl.c_str(),
+                        count);
+        return 0;
+    } catch (const Error &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-engine backend configuration.
+ *
+ * A BackendConfig tells the kernel-selection machinery which algorithm
+ * families it may use and lets callers pin specific implementations.
+ * The evaluation harness builds one of these per "framework personality"
+ * to emulate how each baseline framework executes layers (see
+ * src/eval/personalities.hpp).
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ops/gemm/gemm.hpp"
+
+namespace orpheus {
+
+struct BackendConfig {
+    /** GEMM algorithm used by GEMM-lowered kernels (conv, dense). */
+    GemmVariant gemm_variant = GemmVariant::kPacked;
+
+    /**
+     * Allow the specialised depthwise conv kernel. Disabling it forces
+     * depthwise convolutions through the generic grouped path — the
+     * "inefficient depthwise" behaviour the paper attributes to PyTorch.
+     */
+    bool allow_depthwise_specialization = true;
+
+    /** Allow the Winograd conv kernel (off by default: it is an
+     *  extension beyond the paper's GEMM-centric design). */
+    bool allow_winograd = false;
+
+    /** Allow kernels contributed by third-party backends (minnl). */
+    bool allow_third_party = true;
+
+    /**
+     * Pin an implementation per op type, e.g. {"Conv", "spatial_pack"}.
+     * Selection fails loudly if the pinned kernel does not support the
+     * node, so configuration errors surface at plan time, not run time.
+     */
+    std::map<std::string, std::string> forced_impl;
+
+    /** Pin an implementation for one specific node (by node name);
+     *  overrides forced_impl. */
+    std::map<std::string, std::string> node_impl;
+};
+
+} // namespace orpheus

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The Layer abstraction — the paper's central programming-model idea.
+ *
+ * "In Orpheus, layers are treated as first class citizens, and have
+ *  multiple implementations which are selected at runtime."
+ *
+ * A Layer is one executable implementation of one graph node. It is
+ * constructed at plan time from a LayerInit (static shapes, attributes,
+ * resolved constant inputs) so it can decode hyper-parameters and
+ * pre-pack weights once, then its forward() is called per inference with
+ * the resolved runtime tensors.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend_config.hpp"
+#include "core/tensor.hpp"
+#include "graph/graph.hpp"
+
+namespace orpheus {
+
+/** Static, plan-time view of a node handed to kernel factories. */
+struct LayerInit {
+    /** The node being compiled. Valid for the duration of planning. */
+    const Node *node = nullptr;
+
+    /** Signatures of node inputs (index-aligned; empty name for omitted
+     *  optional inputs). */
+    std::vector<ValueInfo> input_infos;
+
+    /** Signatures of node outputs (index-aligned). */
+    std::vector<ValueInfo> output_infos;
+
+    /**
+     * Constant (initializer) inputs, index-aligned with node inputs;
+     * nullptr where the input is a runtime value. Pointers remain valid
+     * for the lifetime of the compiled model.
+     */
+    std::vector<const Tensor *> constant_inputs;
+
+    /** Active backend configuration. */
+    const BackendConfig *config = nullptr;
+
+    const ValueInfo &
+    input(std::size_t index) const
+    {
+        return input_infos.at(index);
+    }
+
+    const ValueInfo &
+    output(std::size_t index) const
+    {
+        return output_infos.at(index);
+    }
+
+    /** Constant tensor for input @p index or nullptr. */
+    const Tensor *
+    constant(std::size_t index) const
+    {
+        return index < constant_inputs.size() ? constant_inputs[index]
+                                              : nullptr;
+    }
+};
+
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Executes the layer. @p inputs / @p outputs are index-aligned with
+     * the node's value lists (omitted optional inputs are nullptr);
+     * output tensors are pre-allocated by the engine's memory planner.
+     */
+    virtual void forward(const std::vector<const Tensor *> &inputs,
+                         const std::vector<Tensor *> &outputs) = 0;
+
+    /** Registry implementation name, e.g. "conv.im2col_gemm". */
+    const std::string &impl_name() const { return impl_name_; }
+
+    /** Set once by the registry immediately after construction. */
+    void set_impl_name(std::string name) { impl_name_ = std::move(name); }
+
+  private:
+    std::string impl_name_;
+};
+
+} // namespace orpheus

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Conv kernels wrapped as registry Layers.
+ *
+ * Five implementations of the Conv op register here; the selection
+ * machinery (heuristic priorities, forced impls, or the auto-tuner)
+ * picks among them per node. This file is the concrete form of the
+ * paper's "multiple implementations selected at runtime".
+ */
+#include "backend/kernel_registry.hpp"
+
+#include "graph/op_params.hpp"
+#include "ops/conv/conv.hpp"
+
+namespace orpheus {
+
+namespace {
+
+/** Shared plan-time decoding for every conv implementation. */
+class ConvLayerBase : public Layer
+{
+  public:
+    explicit ConvLayerBase(const LayerInit &init)
+        : params_(Conv2dParams::from_attrs(init.node->attrs(),
+                                           init.input(1).shape)),
+          activation_(ActivationSpec::from_fused_attrs(init.node->attrs())),
+          gemm_variant_(init.config->gemm_variant),
+          has_bias_(init.node->has_input(2))
+    {
+    }
+
+    void
+    forward(const std::vector<const Tensor *> &inputs,
+            const std::vector<Tensor *> &outputs) override
+    {
+        const Tensor *bias = has_bias_ ? inputs[2] : nullptr;
+        conv2d(algo(), *inputs[0], *inputs[1], bias, params_, activation_,
+               *outputs[0], gemm_variant_);
+    }
+
+  protected:
+    virtual ConvAlgo algo() const = 0;
+
+    Conv2dParams params_;
+    ActivationSpec activation_;
+    GemmVariant gemm_variant_;
+    bool has_bias_;
+};
+
+class ConvDirectLayer : public ConvLayerBase
+{
+    using ConvLayerBase::ConvLayerBase;
+    ConvAlgo algo() const override { return ConvAlgo::kDirect; }
+};
+
+class ConvIm2colGemmLayer : public ConvLayerBase
+{
+    using ConvLayerBase::ConvLayerBase;
+    ConvAlgo algo() const override { return ConvAlgo::kIm2colGemm; }
+};
+
+class ConvSpatialPackLayer : public ConvLayerBase
+{
+    using ConvLayerBase::ConvLayerBase;
+    ConvAlgo algo() const override { return ConvAlgo::kSpatialPack; }
+};
+
+/**
+ * Winograd conv with plan-time weight pre-transformation: when the
+ * weights are constant (the usual case), U = G g G^T is computed once
+ * here instead of on every inference — the canonical example of work a
+ * Layer moves from forward() into its constructor.
+ */
+class ConvWinogradLayer : public ConvLayerBase
+{
+  public:
+    explicit ConvWinogradLayer(const LayerInit &init)
+        : ConvLayerBase(init)
+    {
+        if (const Tensor *weight = init.constant(1)) {
+            cached_u_ = winograd_transform_weights(
+                weight->data<float>(), weight->shape().dim(0),
+                weight->shape().dim(1));
+        }
+    }
+
+    void
+    forward(const std::vector<const Tensor *> &inputs,
+            const std::vector<Tensor *> &outputs) override
+    {
+        if (cached_u_.empty()) {
+            ConvLayerBase::forward(inputs, outputs);
+            return;
+        }
+        const Tensor &x = *inputs[0];
+        const Tensor &w = *inputs[1];
+        Conv2dArgs args;
+        args.input = x.data<float>();
+        args.batch = x.shape().dim(0);
+        args.in_c = x.shape().dim(1);
+        args.in_h = x.shape().dim(2);
+        args.in_w = x.shape().dim(3);
+        args.weight = w.data<float>();
+        args.out_c = w.shape().dim(0);
+        args.bias = has_bias_ ? inputs[2]->data<float>() : nullptr;
+        args.output = outputs[0]->data<float>();
+        args.out_h = outputs[0]->shape().dim(2);
+        args.out_w = outputs[0]->shape().dim(3);
+        args.params = params_;
+        args.activation = activation_;
+        args.gemm_variant = gemm_variant_;
+        conv2d_winograd_pretransformed(args, cached_u_.data());
+    }
+
+  private:
+    ConvAlgo algo() const override { return ConvAlgo::kWinograd; }
+
+    std::vector<float> cached_u_;
+};
+
+class ConvDepthwiseLayer : public ConvLayerBase
+{
+    using ConvLayerBase::ConvLayerBase;
+    ConvAlgo algo() const override { return ConvAlgo::kDepthwiseDirect; }
+};
+
+bool
+is_depthwise_node(const LayerInit &init)
+{
+    const Conv2dParams p =
+        Conv2dParams::from_attrs(init.node->attrs(), init.input(1).shape);
+    const auto in_c = init.input(0).shape.dim(1);
+    const auto out_c = init.output(0).shape.dim(1);
+    return p.group == in_c && in_c > 1 && out_c % in_c == 0;
+}
+
+bool
+is_winograd_node(const LayerInit &init)
+{
+    const Conv2dParams p =
+        Conv2dParams::from_attrs(init.node->attrs(), init.input(1).shape);
+    return p.kernel_h == 3 && p.kernel_w == 3 && p.stride_h == 1 &&
+           p.stride_w == 1 && p.dilation_h == 1 && p.dilation_w == 1 &&
+           p.group == 1;
+}
+
+template <typename LayerT>
+std::unique_ptr<Layer>
+make(const LayerInit &init)
+{
+    return std::make_unique<LayerT>(init);
+}
+
+} // namespace
+
+void
+register_conv_kernels(KernelRegistry &registry)
+{
+    registry.add({op_names::kConv, "depthwise_direct", 100,
+                  [](const LayerInit &init) {
+                      return init.config->allow_depthwise_specialization &&
+                             is_depthwise_node(init);
+                  },
+                  make<ConvDepthwiseLayer>});
+    registry.add({op_names::kConv, "winograd", 90,
+                  [](const LayerInit &init) {
+                      return init.config->allow_winograd &&
+                             is_winograd_node(init);
+                  },
+                  make<ConvWinogradLayer>});
+    registry.add({op_names::kConv, "im2col_gemm", 80, nullptr,
+                  make<ConvIm2colGemmLayer>});
+    registry.add({op_names::kConv, "spatial_pack", 70, nullptr,
+                  make<ConvSpatialPackLayer>});
+    registry.add({op_names::kConv, "direct", 10, nullptr,
+                  make<ConvDirectLayer>});
+}
+
+} // namespace orpheus

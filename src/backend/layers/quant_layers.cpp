@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Layers for the quantized operator set (QuantizeLinear,
+ * DequantizeLinear, QLinearConv). Scales and zero points must be
+ * constant initialisers — they are baked into the layer at plan time,
+ * exactly like conv hyper-parameters.
+ */
+#include "backend/kernel_registry.hpp"
+
+#include "graph/op_params.hpp"
+#include "ops/quant/qconv.hpp"
+#include "ops/quant/quantize.hpp"
+
+namespace orpheus {
+
+namespace {
+
+/** Reads a scalar fp32 scale constant. */
+float
+read_scale(const LayerInit &init, std::size_t index)
+{
+    const Tensor *scale = init.constant(index);
+    ORPHEUS_CHECK(scale != nullptr,
+                  "node " << init.node->name() << ": scale input #" << index
+                          << " must be a constant initializer");
+    ORPHEUS_CHECK(scale->numel() == 1 &&
+                      scale->dtype() == DataType::kFloat32,
+                  "node " << init.node->name()
+                          << ": scale must be a fp32 scalar (per-tensor "
+                             "quantization)");
+    return *scale->data<float>();
+}
+
+/** Reads a scale constant that may be scalar (per-tensor) or 1-D
+ *  (per-output-channel); returns the per-channel vector, empty when the
+ *  scale is per-tensor. */
+std::vector<float>
+read_channel_scales(const LayerInit &init, std::size_t index)
+{
+    const Tensor *scale = init.constant(index);
+    ORPHEUS_CHECK(scale != nullptr,
+                  "node " << init.node->name() << ": scale input #" << index
+                          << " must be a constant initializer");
+    ORPHEUS_CHECK(scale->dtype() == DataType::kFloat32,
+                  "scales must be fp32");
+    if (scale->numel() == 1)
+        return {};
+    const float *data = scale->data<float>();
+    return std::vector<float>(data, data + scale->numel());
+}
+
+/** Reads a scalar uint8/int8 zero-point constant (0 when omitted). */
+std::int32_t
+read_zero_point(const LayerInit &init, std::size_t index)
+{
+    if (!init.node->has_input(index))
+        return 0;
+    const Tensor *zp = init.constant(index);
+    ORPHEUS_CHECK(zp != nullptr,
+                  "node " << init.node->name() << ": zero point input #"
+                          << index << " must be a constant initializer");
+    ORPHEUS_CHECK(zp->numel() == 1, "zero point must be a scalar");
+    if (zp->dtype() == DataType::kUInt8)
+        return *zp->data<std::uint8_t>();
+    if (zp->dtype() == DataType::kInt8)
+        return *zp->data<std::int8_t>();
+    throw Error("zero point must be uint8 or int8");
+}
+
+QuantParams
+read_params(const LayerInit &init, std::size_t scale_index,
+            std::size_t zp_index)
+{
+    return QuantParams{read_scale(init, scale_index),
+                       read_zero_point(init, zp_index)};
+}
+
+class QuantizeLinearLayer : public Layer
+{
+  public:
+    explicit QuantizeLinearLayer(const LayerInit &init)
+        : params_(read_params(init, 1, 2))
+    {
+    }
+
+    void
+    forward(const std::vector<const Tensor *> &inputs,
+            const std::vector<Tensor *> &outputs) override
+    {
+        quantize_to_uint8(*inputs[0], params_, *outputs[0]);
+    }
+
+  private:
+    QuantParams params_;
+};
+
+class DequantizeLinearLayer : public Layer
+{
+  public:
+    explicit DequantizeLinearLayer(const LayerInit &init)
+        : params_(read_params(init, 1, 2))
+    {
+    }
+
+    void
+    forward(const std::vector<const Tensor *> &inputs,
+            const std::vector<Tensor *> &outputs) override
+    {
+        dequantize_to_float(*inputs[0], params_, *outputs[0]);
+    }
+
+  private:
+    QuantParams params_;
+};
+
+class QLinearConvLayer : public Layer
+{
+  public:
+    explicit QLinearConvLayer(const LayerInit &init)
+        : conv_params_(Conv2dParams::from_attrs(init.node->attrs(),
+                                                init.input(3).shape)),
+          input_params_(read_params(init, 1, 2)),
+          weight_params_{1.0f, read_zero_point(init, 5)},
+          weight_channel_scales_(read_channel_scales(init, 4)),
+          output_params_(read_params(init, 6, 7)),
+          activation_(ActivationSpec::from_fused_attrs(init.node->attrs())),
+          has_bias_(init.node->has_input(8))
+    {
+        ORPHEUS_CHECK(weight_params_.zero_point == 0,
+                      "QLinearConv " << init.node->name()
+                                     << ": only symmetric int8 weights are "
+                                        "supported");
+        if (weight_channel_scales_.empty())
+            weight_params_.scale = read_scale(init, 4);
+        else
+            ORPHEUS_CHECK(static_cast<std::int64_t>(
+                              weight_channel_scales_.size()) ==
+                              init.input(3).shape.dim(0),
+                          "QLinearConv " << init.node->name()
+                                         << ": per-channel scale count "
+                                            "must equal output channels");
+    }
+
+    void
+    forward(const std::vector<const Tensor *> &inputs,
+            const std::vector<Tensor *> &outputs) override
+    {
+        QConv2dArgs args;
+        args.input = inputs[0];
+        args.input_params = input_params_;
+        args.weight = inputs[3];
+        args.weight_params = weight_params_;
+        args.weight_channel_scales = weight_channel_scales_;
+        args.bias = has_bias_ ? inputs[8] : nullptr;
+        args.output = outputs[0];
+        args.output_params = output_params_;
+        args.params = conv_params_;
+        args.activation = activation_;
+        qconv2d(args);
+    }
+
+  private:
+    Conv2dParams conv_params_;
+    QuantParams input_params_;
+    QuantParams weight_params_;
+    std::vector<float> weight_channel_scales_;
+    QuantParams output_params_;
+    ActivationSpec activation_;
+    bool has_bias_;
+};
+
+} // namespace
+
+void
+register_quant_kernels(KernelRegistry &registry)
+{
+    registry.add({op_names::kQuantizeLinear, "reference", 10, nullptr,
+                  [](const LayerInit &init) {
+                      return std::make_unique<QuantizeLinearLayer>(init);
+                  }});
+    registry.add({op_names::kDequantizeLinear, "reference", 10, nullptr,
+                  [](const LayerInit &init) {
+                      return std::make_unique<DequantizeLinearLayer>(init);
+                  }});
+    registry.add({op_names::kQLinearConv, "im2col_qgemm", 10, nullptr,
+                  [](const LayerInit &init) {
+                      return std::make_unique<QLinearConvLayer>(init);
+                  }});
+}
+
+} // namespace orpheus

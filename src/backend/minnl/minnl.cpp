@@ -1,0 +1,156 @@
+/**
+ * @file
+ * minnl implementation. Written as an independent C-style library: no
+ * Orpheus headers, its own loop structures, so that correctness tests
+ * comparing minnl against Orpheus kernels are genuinely independent.
+ */
+#include "backend/minnl/minnl.h"
+
+extern "C" {
+
+int
+minnl_conv_out_height(const minnl_conv_desc *desc)
+{
+    if (desc == NULL || desc->stride_h <= 0)
+        return -1;
+    const int padded = desc->in_height + desc->pad_top + desc->pad_bottom;
+    if (padded < desc->kernel_h)
+        return -1;
+    return (padded - desc->kernel_h) / desc->stride_h + 1;
+}
+
+int
+minnl_conv_out_width(const minnl_conv_desc *desc)
+{
+    if (desc == NULL || desc->stride_w <= 0)
+        return -1;
+    const int padded = desc->in_width + desc->pad_left + desc->pad_right;
+    if (padded < desc->kernel_w)
+        return -1;
+    return (padded - desc->kernel_w) / desc->stride_w + 1;
+}
+
+int
+minnl_conv2d_f32(const minnl_conv_desc *desc, const float *src,
+                 const float *weights, const float *bias, float *dst)
+{
+    if (desc == NULL || src == NULL || weights == NULL || dst == NULL)
+        return MINNL_INVALID_ARGUMENT;
+    const int out_h = minnl_conv_out_height(desc);
+    const int out_w = minnl_conv_out_width(desc);
+    if (out_h < 0 || out_w < 0 || desc->groups <= 0)
+        return MINNL_INVALID_ARGUMENT;
+    if (desc->in_channels % desc->groups != 0 ||
+        desc->out_channels % desc->groups != 0) {
+        return MINNL_INVALID_ARGUMENT;
+    }
+
+    const int icg = desc->in_channels / desc->groups;
+    const int ocg = desc->out_channels / desc->groups;
+
+    /* minnl's house style: output-stationary with the kernel window as
+     * the outer loops, accumulating into dst. */
+    for (int n = 0; n < desc->batch; ++n) {
+        for (int oc = 0; oc < desc->out_channels; ++oc) {
+            float *out_plane =
+                dst + ((size_t)n * desc->out_channels + oc) *
+                          (size_t)out_h * out_w;
+            const float b = bias != NULL ? bias[oc] : 0.0f;
+            for (int i = 0; i < out_h * out_w; ++i)
+                out_plane[i] = b;
+        }
+    }
+
+    for (int n = 0; n < desc->batch; ++n) {
+        for (int g = 0; g < desc->groups; ++g) {
+            for (int oc = 0; oc < ocg; ++oc) {
+                const int out_ch = g * ocg + oc;
+                float *out_plane =
+                    dst + ((size_t)n * desc->out_channels + out_ch) *
+                              (size_t)out_h * out_w;
+                for (int ic = 0; ic < icg; ++ic) {
+                    const int in_ch = g * icg + ic;
+                    const float *in_plane =
+                        src + ((size_t)n * desc->in_channels + in_ch) *
+                                  (size_t)desc->in_height * desc->in_width;
+                    const float *w_plane =
+                        weights + (((size_t)out_ch * icg + ic) *
+                                   desc->kernel_h) *
+                                      desc->kernel_w;
+                    for (int kh = 0; kh < desc->kernel_h; ++kh) {
+                        for (int kw = 0; kw < desc->kernel_w; ++kw) {
+                            const float w = w_plane[kh * desc->kernel_w +
+                                                    kw];
+                            if (w == 0.0f)
+                                continue;
+                            for (int oh = 0; oh < out_h; ++oh) {
+                                const int ih = oh * desc->stride_h -
+                                               desc->pad_top + kh;
+                                if (ih < 0 || ih >= desc->in_height)
+                                    continue;
+                                for (int ow = 0; ow < out_w; ++ow) {
+                                    const int iw = ow * desc->stride_w -
+                                                   desc->pad_left + kw;
+                                    if (iw < 0 || iw >= desc->in_width)
+                                        continue;
+                                    out_plane[oh * out_w + ow] +=
+                                        w * in_plane[ih * desc->in_width +
+                                                     iw];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return MINNL_OK;
+}
+
+int
+minnl_gemm_f32(int m, int n, int k, const float *a, const float *b, float *c)
+{
+    if (m < 0 || n < 0 || k < 0 || a == NULL || b == NULL || c == NULL)
+        return MINNL_INVALID_ARGUMENT;
+    for (int i = 0; i < m * n; ++i)
+        c[i] = 0.0f;
+    /* i-k-j order with a 2x unrolled k loop: minnl's own flavour. */
+    for (int i = 0; i < m; ++i) {
+        int p = 0;
+        for (; p + 1 < k; p += 2) {
+            const float a0 = a[i * k + p];
+            const float a1 = a[i * k + p + 1];
+            const float *b0 = b + (size_t)p * n;
+            const float *b1 = b + ((size_t)p + 1) * n;
+            float *cr = c + (size_t)i * n;
+            for (int j = 0; j < n; ++j)
+                cr[j] += a0 * b0[j] + a1 * b1[j];
+        }
+        for (; p < k; ++p) {
+            const float a0 = a[i * k + p];
+            const float *b0 = b + (size_t)p * n;
+            float *cr = c + (size_t)i * n;
+            for (int j = 0; j < n; ++j)
+                cr[j] += a0 * b0[j];
+        }
+    }
+    return MINNL_OK;
+}
+
+int
+minnl_relu_f32(const float *src, float *dst, size_t count)
+{
+    if (src == NULL || dst == NULL)
+        return MINNL_INVALID_ARGUMENT;
+    for (size_t i = 0; i < count; ++i)
+        dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+    return MINNL_OK;
+}
+
+const char *
+minnl_version(void)
+{
+    return "minnl 0.3.1";
+}
+
+} /* extern "C" */

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * minnl — a deliberately self-contained "mini neural network library".
+ *
+ * minnl plays the role of a third-party vendor library (Intel DNNL, Arm
+ * Compute Library) in this repository: it has its own C API, its own
+ * conventions (status codes, plain structs, caller-allocated buffers)
+ * and shares no code with Orpheus. The adapter in minnl_backend.cpp
+ * demonstrates — and the test suite verifies — the paper's claim that
+ * integrating such a library is a matter of registering kernels, with
+ * no changes to the engine.
+ */
+#ifndef ORPHEUS_MINNL_H
+#define ORPHEUS_MINNL_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define MINNL_OK 0
+#define MINNL_INVALID_ARGUMENT 1
+
+/** Descriptor for a 2-D float convolution, NCHW/OIHW layouts. */
+typedef struct minnl_conv_desc {
+    int batch;
+    int in_channels;
+    int in_height;
+    int in_width;
+    int out_channels;
+    int kernel_h;
+    int kernel_w;
+    int stride_h;
+    int stride_w;
+    int pad_top;
+    int pad_left;
+    int pad_bottom;
+    int pad_right;
+    int groups;
+} minnl_conv_desc;
+
+/** Output spatial height for a descriptor (or -1 on bad arguments). */
+int minnl_conv_out_height(const minnl_conv_desc *desc);
+
+/** Output spatial width for a descriptor (or -1 on bad arguments). */
+int minnl_conv_out_width(const minnl_conv_desc *desc);
+
+/**
+ * Grouped 2-D convolution. `bias` may be NULL. `dst` must hold
+ * batch * out_channels * out_h * out_w floats. Returns MINNL_OK or
+ * MINNL_INVALID_ARGUMENT.
+ */
+int minnl_conv2d_f32(const minnl_conv_desc *desc, const float *src,
+                     const float *weights, const float *bias, float *dst);
+
+/** C[m x n] = A[m x k] * B[k x n], row-major, C overwritten. */
+int minnl_gemm_f32(int m, int n, int k, const float *a, const float *b,
+                   float *c);
+
+/** dst[i] = max(src[i], 0). src may equal dst. */
+int minnl_relu_f32(const float *src, float *dst, size_t count);
+
+/** Library version string, e.g. "minnl 0.3.1". */
+const char *minnl_version(void);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* ORPHEUS_MINNL_H */

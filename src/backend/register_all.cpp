@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Aggregates built-in kernel registration. KernelRegistry::instance()
+ * calls register_builtin_kernels exactly once; explicit registration
+ * (rather than static-initialiser registrars) keeps the kernels alive
+ * through static-library linking and makes registration order defined.
+ */
+#include "backend/kernel_registry.hpp"
+
+namespace orpheus {
+
+void register_conv_kernels(KernelRegistry &registry);
+void register_simple_kernels(KernelRegistry &registry);
+void register_quant_kernels(KernelRegistry &registry);
+void register_minnl_kernels(KernelRegistry &registry);
+
+void
+register_builtin_kernels(KernelRegistry &registry)
+{
+    register_conv_kernels(registry);
+    register_simple_kernels(registry);
+    register_quant_kernels(registry);
+    register_minnl_kernels(registry);
+}
+
+} // namespace orpheus

@@ -1,0 +1,255 @@
+#include "capi/orpheus_c.h"
+
+#include <cstring>
+#include <string>
+
+#include "core/threadpool.hpp"
+#include "eval/personalities.hpp"
+#include "models/model_zoo.hpp"
+#include "onnx/importer.hpp"
+#include "runtime/engine.hpp"
+
+/** Concrete type behind the opaque handle. */
+struct orpheus_engine {
+    explicit orpheus_engine(orpheus::Graph graph,
+                            orpheus::EngineOptions options)
+        : impl(std::move(graph), options)
+    {
+    }
+
+    orpheus::Engine impl;
+};
+
+namespace {
+
+thread_local std::string t_last_error;
+
+void
+set_error(const std::string &message)
+{
+    t_last_error = message;
+}
+
+orpheus::EngineOptions
+options_for(const char *personality)
+{
+    const std::string name =
+        personality != nullptr ? personality : "orpheus";
+    orpheus::EngineOptions options =
+        orpheus::personality_by_name(name).options;
+    options.enable_profiling = true;
+    return options;
+}
+
+const orpheus::ValueInfo *
+io_info(const orpheus_engine *engine, int index, bool input)
+{
+    const auto &list = input ? engine->impl.graph().inputs()
+                             : engine->impl.graph().outputs();
+    if (index < 0 || static_cast<std::size_t>(index) >= list.size()) {
+        set_error("index out of range");
+        return nullptr;
+    }
+    return &list[static_cast<std::size_t>(index)];
+}
+
+int
+shape_query(const orpheus_engine *engine, int index, bool input,
+            int64_t *dims, int *rank)
+{
+    if (engine == nullptr || dims == nullptr || rank == nullptr) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    const orpheus::ValueInfo *info = io_info(engine, index, input);
+    if (info == nullptr)
+        return ORPHEUS_ERR_NOT_FOUND;
+
+    // Output shapes may be unset on the graph; fall back to inference.
+    orpheus::Shape shape = info->shape;
+    if (shape.rank() == 0 && !input)
+        shape = engine->impl.value_infos().at(info->name).shape;
+
+    const int actual = static_cast<int>(shape.rank());
+    if (*rank < actual) {
+        set_error("dims buffer too small");
+        *rank = actual;
+        return ORPHEUS_ERR_BUFFER_TOO_SMALL;
+    }
+    for (int d = 0; d < actual; ++d)
+        dims[d] = shape.dim(d);
+    *rank = actual;
+    return ORPHEUS_OK;
+}
+
+} // namespace
+
+extern "C" {
+
+const char *
+orpheus_version(void)
+{
+    return "orpheus 1.0.0";
+}
+
+const char *
+orpheus_last_error(void)
+{
+    return t_last_error.c_str();
+}
+
+int
+orpheus_set_num_threads(int num_threads)
+{
+    if (num_threads < 1) {
+        set_error("num_threads must be >= 1");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    orpheus::set_global_num_threads(num_threads);
+    return ORPHEUS_OK;
+}
+
+orpheus_engine *
+orpheus_engine_create_zoo(const char *model_name, const char *personality)
+{
+    if (model_name == nullptr) {
+        set_error("model_name is null");
+        return nullptr;
+    }
+    try {
+        return new orpheus_engine(orpheus::models::by_name(model_name),
+                                  options_for(personality));
+    } catch (const std::exception &error) {
+        set_error(error.what());
+        return nullptr;
+    }
+}
+
+orpheus_engine *
+orpheus_engine_create_from_file(const char *onnx_path,
+                                const char *personality)
+{
+    if (onnx_path == nullptr) {
+        set_error("onnx_path is null");
+        return nullptr;
+    }
+    try {
+        orpheus::Graph graph;
+        const orpheus::Status status =
+            orpheus::import_onnx_file(onnx_path, graph);
+        if (!status.is_ok()) {
+            set_error(status.to_string());
+            return nullptr;
+        }
+        return new orpheus_engine(std::move(graph),
+                                  options_for(personality));
+    } catch (const std::exception &error) {
+        set_error(error.what());
+        return nullptr;
+    }
+}
+
+void
+orpheus_engine_destroy(orpheus_engine *engine)
+{
+    delete engine;
+}
+
+int
+orpheus_engine_input_count(const orpheus_engine *engine)
+{
+    if (engine == nullptr)
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    return static_cast<int>(engine->impl.graph().inputs().size());
+}
+
+int
+orpheus_engine_output_count(const orpheus_engine *engine)
+{
+    if (engine == nullptr)
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    return static_cast<int>(engine->impl.graph().outputs().size());
+}
+
+int
+orpheus_engine_input_shape(const orpheus_engine *engine, int index,
+                           int64_t *dims, int *rank)
+{
+    return shape_query(engine, index, /*input=*/true, dims, rank);
+}
+
+int
+orpheus_engine_output_shape(const orpheus_engine *engine, int index,
+                            int64_t *dims, int *rank)
+{
+    return shape_query(engine, index, /*input=*/false, dims, rank);
+}
+
+int
+orpheus_engine_run(orpheus_engine *engine, const float *input,
+                   size_t input_len, float *output, size_t output_len)
+{
+    if (engine == nullptr || input == nullptr || output == nullptr) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    try {
+        const orpheus::Graph &graph = engine->impl.graph();
+        if (graph.inputs().size() != 1 || graph.outputs().size() != 1) {
+            set_error("orpheus_engine_run requires a single-input, "
+                      "single-output model");
+            return ORPHEUS_ERR_INVALID_ARGUMENT;
+        }
+        const orpheus::ValueInfo &in_info = graph.inputs().front();
+        if (static_cast<size_t>(in_info.shape.numel()) != input_len) {
+            set_error("input has " + std::to_string(input_len) +
+                      " elements, model expects " +
+                      std::to_string(in_info.shape.numel()));
+            return ORPHEUS_ERR_INVALID_ARGUMENT;
+        }
+
+        orpheus::Tensor in_tensor(in_info.shape, orpheus::DataType::kFloat32);
+        std::memcpy(in_tensor.raw_data(), input, input_len * sizeof(float));
+
+        const orpheus::Tensor result = engine->impl.run(in_tensor);
+        if (static_cast<size_t>(result.numel()) != output_len) {
+            set_error("output buffer has " + std::to_string(output_len) +
+                      " elements, model produces " +
+                      std::to_string(result.numel()));
+            return ORPHEUS_ERR_BUFFER_TOO_SMALL;
+        }
+        std::memcpy(output, result.raw_data(),
+                    output_len * sizeof(float));
+        return ORPHEUS_OK;
+    } catch (const std::exception &error) {
+        set_error(error.what());
+        return ORPHEUS_ERR_RUNTIME;
+    }
+}
+
+int
+orpheus_engine_step_count(const orpheus_engine *engine)
+{
+    if (engine == nullptr)
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    return static_cast<int>(engine->impl.steps().size());
+}
+
+int
+orpheus_engine_profile_csv(const orpheus_engine *engine, char *buffer,
+                           size_t size)
+{
+    if (engine == nullptr || (buffer == nullptr && size > 0)) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    const std::string csv = engine->impl.profiler().csv();
+    if (size > 0) {
+        const size_t copied = std::min(size - 1, csv.size());
+        std::memcpy(buffer, csv.data(), copied);
+        buffer[copied] = '\0';
+    }
+    return static_cast<int>(csv.size());
+}
+
+} // extern "C"

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Orpheus C ABI.
+ *
+ * The paper exposes Orpheus to experimental workflows through Python
+ * bindings; this header is the stable C surface such bindings wrap
+ * (ctypes/cffi need nothing else). It covers the embedding workflow:
+ * build or load a model, configure threads/backend, run inference on
+ * flat float buffers, and query per-layer profiles.
+ *
+ * Conventions: functions return ORPHEUS_OK (0) on success or a negative
+ * error code; orpheus_last_error() returns a thread-local message for
+ * the most recent failure on the calling thread.
+ */
+#ifndef ORPHEUS_C_H
+#define ORPHEUS_C_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define ORPHEUS_OK 0
+#define ORPHEUS_ERR_INVALID_ARGUMENT (-1)
+#define ORPHEUS_ERR_NOT_FOUND (-2)
+#define ORPHEUS_ERR_RUNTIME (-3)
+#define ORPHEUS_ERR_BUFFER_TOO_SMALL (-4)
+
+/** Opaque compiled-model handle. */
+typedef struct orpheus_engine orpheus_engine;
+
+/** Library version string, e.g. "orpheus 1.0.0". */
+const char *orpheus_version(void);
+
+/** Thread-local message for the last error on this thread ("" if none). */
+const char *orpheus_last_error(void);
+
+/** Sets the global inference thread count (>= 1). */
+int orpheus_set_num_threads(int num_threads);
+
+/**
+ * Compiles a model-zoo network ("resnet-18", "mobilenet-v1", ...).
+ * @p personality selects a framework personality ("orpheus", "tvm",
+ * "pytorch", "darknet", "tflite"); NULL means "orpheus". Returns NULL on
+ * error (see orpheus_last_error).
+ */
+orpheus_engine *orpheus_engine_create_zoo(const char *model_name,
+                                          const char *personality);
+
+/** Compiles an ONNX file. NULL on error. */
+orpheus_engine *orpheus_engine_create_from_file(const char *onnx_path,
+                                                const char *personality);
+
+void orpheus_engine_destroy(orpheus_engine *engine);
+
+/** Number of graph inputs / outputs. */
+int orpheus_engine_input_count(const orpheus_engine *engine);
+int orpheus_engine_output_count(const orpheus_engine *engine);
+
+/**
+ * Shape of input/output @p index. On entry *rank holds the capacity of
+ * @p dims; on success it holds the actual rank and dims[0..rank) the
+ * extents. Returns ORPHEUS_ERR_BUFFER_TOO_SMALL if capacity is
+ * insufficient.
+ */
+int orpheus_engine_input_shape(const orpheus_engine *engine, int index,
+                               int64_t *dims, int *rank);
+int orpheus_engine_output_shape(const orpheus_engine *engine, int index,
+                                int64_t *dims, int *rank);
+
+/**
+ * Runs one inference on a single-input, single-output model. @p input
+ * must hold exactly input_len floats (the input element count) and
+ * @p output output_len floats.
+ */
+int orpheus_engine_run(orpheus_engine *engine, const float *input,
+                       size_t input_len, float *output, size_t output_len);
+
+/**
+ * Number of executable plan steps (layers after simplification).
+ */
+int orpheus_engine_step_count(const orpheus_engine *engine);
+
+/**
+ * Writes a CSV per-layer profile of the runs so far into @p buffer
+ * (NUL-terminated, truncated to @p size). Returns the full length
+ * (excluding NUL) like snprintf. Requires the engine to have been
+ * created with profiling (zoo/file engines always are).
+ */
+int orpheus_engine_profile_csv(const orpheus_engine *engine, char *buffer,
+                               size_t size);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* ORPHEUS_C_H */

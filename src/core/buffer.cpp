@@ -1,0 +1,41 @@
+#include "core/buffer.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "core/status.hpp"
+
+namespace orpheus {
+
+std::shared_ptr<Buffer>
+Buffer::allocate(std::size_t size)
+{
+    void *data = nullptr;
+    if (size > 0) {
+        // Round the size up to the alignment as required by aligned_alloc.
+        const std::size_t padded =
+            (size + kAlignment - 1) / kAlignment * kAlignment;
+        data = std::aligned_alloc(kAlignment, padded);
+        if (data == nullptr)
+            throw std::bad_alloc();
+        std::memset(data, 0, padded);
+    }
+    return std::shared_ptr<Buffer>(new Buffer(data, size, /*owned=*/true));
+}
+
+std::shared_ptr<Buffer>
+Buffer::wrap(void *data, std::size_t size)
+{
+    ORPHEUS_CHECK(data != nullptr || size == 0,
+                  "cannot wrap null memory of size " << size);
+    return std::shared_ptr<Buffer>(new Buffer(data, size, /*owned=*/false));
+}
+
+Buffer::~Buffer()
+{
+    if (owned_ && data_ != nullptr)
+        std::free(data_);
+}
+
+} // namespace orpheus

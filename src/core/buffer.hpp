@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Aligned, reference-counted raw memory for tensors.
+ *
+ * Buffers are allocated with 64-byte alignment so that vectorised kernels
+ * (and the packed-GEMM micro-kernel) never straddle cache lines at their
+ * base address. A Buffer may also *wrap* external memory without owning
+ * it — the inference engine uses this to slice tensor storage out of a
+ * single arena allocation produced by the memory planner.
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace orpheus {
+
+class Buffer
+{
+  public:
+    /** Alignment (bytes) of every owned allocation. */
+    static constexpr std::size_t kAlignment = 64;
+
+    /** Allocates an owned, zero-initialised buffer of @p size bytes. */
+    static std::shared_ptr<Buffer> allocate(std::size_t size);
+
+    /**
+     * Wraps external memory without taking ownership. The caller must
+     * keep @p data alive for the lifetime of the Buffer (the engine
+     * guarantees this by holding the arena buffer alongside its views).
+     */
+    static std::shared_ptr<Buffer> wrap(void *data, std::size_t size);
+
+    ~Buffer();
+
+    Buffer(const Buffer &) = delete;
+    Buffer &operator=(const Buffer &) = delete;
+
+    void *data() { return data_; }
+    const void *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool owns_memory() const { return owned_; }
+
+  private:
+    Buffer(void *data, std::size_t size, bool owned)
+        : data_(data), size_(size), owned_(owned)
+    {
+    }
+
+    void *data_ = nullptr;
+    std::size_t size_ = 0;
+    bool owned_ = false;
+};
+
+} // namespace orpheus

@@ -1,0 +1,53 @@
+#include "core/dtype.hpp"
+
+#include "core/status.hpp"
+
+namespace orpheus {
+
+std::size_t
+dtype_size(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::kFloat32: return 4;
+      case DataType::kInt32: return 4;
+      case DataType::kInt64: return 8;
+      case DataType::kUInt8: return 1;
+      case DataType::kInt8: return 1;
+      case DataType::kBool: return 1;
+    }
+    ORPHEUS_ASSERT(false, "invalid DataType " << static_cast<int>(dtype));
+}
+
+const char *
+to_string(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::kFloat32: return "float32";
+      case DataType::kInt32: return "int32";
+      case DataType::kInt64: return "int64";
+      case DataType::kUInt8: return "uint8";
+      case DataType::kInt8: return "int8";
+      case DataType::kBool: return "bool";
+    }
+    return "invalid";
+}
+
+DataType
+parse_dtype(const std::string &name)
+{
+    if (name == "float32") return DataType::kFloat32;
+    if (name == "int32") return DataType::kInt32;
+    if (name == "int64") return DataType::kInt64;
+    if (name == "uint8") return DataType::kUInt8;
+    if (name == "int8") return DataType::kInt8;
+    if (name == "bool") return DataType::kBool;
+    throw Error("unknown dtype name: " + name);
+}
+
+std::ostream &
+operator<<(std::ostream &os, DataType dtype)
+{
+    return os << to_string(dtype);
+}
+
+} // namespace orpheus

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Element data types supported by Orpheus tensors.
+ *
+ * Inference in Orpheus is fp32-centric (matching the paper's evaluation),
+ * but the tensor layer also carries int32/int64/uint8/bool so that ONNX
+ * initialisers (shape tensors, indices) and future quantised kernels have
+ * a home.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace orpheus {
+
+enum class DataType {
+    kFloat32 = 0,
+    kInt32,
+    kInt64,
+    kUInt8,
+    kInt8,
+    kBool,
+};
+
+/** Size in bytes of one element of @p dtype. */
+std::size_t dtype_size(DataType dtype);
+
+/** Canonical lowercase name, e.g. "float32". */
+const char *to_string(DataType dtype);
+
+/** Parses a canonical dtype name; throws orpheus::Error if unknown. */
+DataType parse_dtype(const std::string &name);
+
+std::ostream &operator<<(std::ostream &os, DataType dtype);
+
+/** Maps a C++ element type to its DataType tag at compile time. */
+template <typename T> struct DataTypeOf;
+
+template <> struct DataTypeOf<float> {
+    static constexpr DataType value = DataType::kFloat32;
+};
+template <> struct DataTypeOf<std::int32_t> {
+    static constexpr DataType value = DataType::kInt32;
+};
+template <> struct DataTypeOf<std::int64_t> {
+    static constexpr DataType value = DataType::kInt64;
+};
+template <> struct DataTypeOf<std::uint8_t> {
+    static constexpr DataType value = DataType::kUInt8;
+};
+template <> struct DataTypeOf<std::int8_t> {
+    static constexpr DataType value = DataType::kInt8;
+};
+template <> struct DataTypeOf<bool> {
+    static constexpr DataType value = DataType::kBool;
+};
+
+} // namespace orpheus

@@ -1,0 +1,50 @@
+#include "core/env.hpp"
+
+#include <cstdlib>
+
+namespace orpheus {
+
+std::string
+env_string(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? std::string(value) : fallback;
+}
+
+int
+env_int(const char *name, int fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr)
+        return fallback;
+    char *end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0')
+        return fallback;
+    return static_cast<int>(parsed);
+}
+
+double
+env_double(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr)
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0')
+        return fallback;
+    return parsed;
+}
+
+bool
+env_flag(const char *name, bool fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr)
+        return fallback;
+    const std::string v(value);
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+} // namespace orpheus

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Typed access to process environment variables used for runtime
+ * configuration (thread count, log level, benchmark repetitions).
+ */
+#pragma once
+
+#include <string>
+
+namespace orpheus {
+
+/** Returns the value of @p name or @p fallback if unset. */
+std::string env_string(const char *name, const std::string &fallback);
+
+/** Returns @p name parsed as int, or @p fallback if unset/unparseable. */
+int env_int(const char *name, int fallback);
+
+/** Returns @p name parsed as double, or @p fallback if unset/unparseable. */
+double env_double(const char *name, double fallback);
+
+/** Returns true for "1", "true", "yes", "on" (case-sensitive). */
+bool env_flag(const char *name, bool fallback);
+
+} // namespace orpheus

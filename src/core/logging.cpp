@@ -1,0 +1,91 @@
+#include "core/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace orpheus {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
+std::mutex g_emit_mutex;
+
+void
+init_from_env()
+{
+    const char *env = std::getenv("ORPHEUS_LOG_LEVEL");
+    if (env != nullptr)
+        g_level.store(parse_log_level(env), std::memory_order_relaxed);
+}
+
+} // namespace
+
+const char *
+to_string(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kTrace: return "trace";
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff: return "off";
+    }
+    return "unknown";
+}
+
+LogLevel
+parse_log_level(const std::string &name)
+{
+    if (name == "trace") return LogLevel::kTrace;
+    if (name == "debug") return LogLevel::kDebug;
+    if (name == "info") return LogLevel::kInfo;
+    if (name == "warn") return LogLevel::kWarn;
+    if (name == "error") return LogLevel::kError;
+    if (name == "off") return LogLevel::kOff;
+    return LogLevel::kWarn;
+}
+
+LogLevel
+log_level()
+{
+    std::call_once(g_env_once, init_from_env);
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+set_log_level(LogLevel level)
+{
+    std::call_once(g_env_once, init_from_env);
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+bool
+log_enabled(LogLevel level)
+{
+    return level >= log_level() && level != LogLevel::kOff;
+}
+
+namespace detail {
+
+void
+emit_log(LogLevel level, const char *file, int line,
+         const std::string &message)
+{
+    // Strip the path down to the basename for compact output.
+    const char *base = file;
+    for (const char *p = file; *p != '\0'; ++p) {
+        if (*p == '/')
+            base = p + 1;
+    }
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    std::fprintf(stderr, "[orpheus %-5s %s:%d] %s\n", to_string(level), base,
+                 line, message.c_str());
+}
+
+} // namespace detail
+
+} // namespace orpheus

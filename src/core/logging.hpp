@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal leveled logging for Orpheus.
+ *
+ * The logger writes to stderr and is controlled either programmatically
+ * (set_log_level) or by the ORPHEUS_LOG_LEVEL environment variable
+ * (trace/debug/info/warn/error/off). The default level is warn so that
+ * library users are not spammed during inference.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace orpheus {
+
+enum class LogLevel {
+    kTrace = 0,
+    kDebug,
+    kInfo,
+    kWarn,
+    kError,
+    kOff,
+};
+
+/** Human-readable name of a log level ("trace" .. "off"). */
+const char *to_string(LogLevel level);
+
+/** Parses a log level name; returns kWarn for unrecognised input. */
+LogLevel parse_log_level(const std::string &name);
+
+/** Returns the current global log level. */
+LogLevel log_level();
+
+/** Sets the global log level. Thread-safe. */
+void set_log_level(LogLevel level);
+
+/** Returns true if messages at @p level would currently be emitted. */
+bool log_enabled(LogLevel level);
+
+namespace detail {
+
+/** Emits one formatted log line to stderr. Thread-safe. */
+void emit_log(LogLevel level, const char *file, int line,
+              const std::string &message);
+
+} // namespace detail
+
+} // namespace orpheus
+
+#define ORPHEUS_LOG(level, ...)                                              \
+    do {                                                                     \
+        if (::orpheus::log_enabled(level)) {                                 \
+            std::ostringstream orpheus_log_stream_;                          \
+            orpheus_log_stream_ << __VA_ARGS__;                              \
+            ::orpheus::detail::emit_log(level, __FILE__, __LINE__,           \
+                                        orpheus_log_stream_.str());          \
+        }                                                                    \
+    } while (0)
+
+#define ORPHEUS_TRACE(...) ORPHEUS_LOG(::orpheus::LogLevel::kTrace, __VA_ARGS__)
+#define ORPHEUS_DEBUG(...) ORPHEUS_LOG(::orpheus::LogLevel::kDebug, __VA_ARGS__)
+#define ORPHEUS_INFO(...)  ORPHEUS_LOG(::orpheus::LogLevel::kInfo, __VA_ARGS__)
+#define ORPHEUS_WARN(...)  ORPHEUS_LOG(::orpheus::LogLevel::kWarn, __VA_ARGS__)
+#define ORPHEUS_ERROR(...) ORPHEUS_LOG(::orpheus::LogLevel::kError, __VA_ARGS__)

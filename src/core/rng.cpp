@@ -1,0 +1,121 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+
+namespace orpheus {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // xoshiro256** must not start from the all-zero state; splitmix64
+    // seeding guarantees that for any seed value.
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::next_double()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+}
+
+float
+Rng::normal()
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller: two uniforms -> two independent normals.
+    double u1 = next_double();
+    while (u1 <= 1e-12)
+        u1 = next_double();
+    const double u2 = next_double();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cached_normal_ = static_cast<float>(radius * std::sin(angle));
+    have_cached_normal_ = true;
+    return static_cast<float>(radius * std::cos(angle));
+}
+
+std::int64_t
+Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    ORPHEUS_CHECK(lo <= hi, "uniform_int range [" << lo << ", " << hi
+                                                  << "] is empty");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+void
+fill_uniform(Tensor &tensor, Rng &rng, float lo, float hi)
+{
+    float *p = tensor.data<float>();
+    for (std::int64_t i = 0; i < tensor.numel(); ++i)
+        p[i] = rng.uniform(lo, hi);
+}
+
+void
+fill_kaiming(Tensor &tensor, Rng &rng, std::int64_t fan_in)
+{
+    if (fan_in <= 0) {
+        fan_in = 1;
+        for (std::size_t axis = 1; axis < tensor.shape().rank(); ++axis)
+            fan_in *= tensor.shape().dim(static_cast<int>(axis));
+    }
+    const float scale = std::sqrt(2.0f / static_cast<float>(fan_in));
+    float *p = tensor.data<float>();
+    for (std::int64_t i = 0; i < tensor.numel(); ++i)
+        p[i] = rng.normal() * scale;
+}
+
+Tensor
+random_tensor(Shape shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape), DataType::kFloat32);
+    fill_uniform(t, rng, lo, hi);
+    return t;
+}
+
+} // namespace orpheus

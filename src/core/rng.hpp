@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every randomised artefact in Orpheus (model weights, test inputs,
+ * property-test sweeps) draws from this generator so that runs are
+ * reproducible bit-for-bit across machines. The core is xoshiro256**,
+ * seeded via splitmix64.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x0e1f2d3c4b5a6978ULL);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next_u64();
+
+    /** Uniform in [0, 1). */
+    double next_double();
+
+    /** Uniform fp32 in [lo, hi). */
+    float uniform(float lo, float hi);
+
+    /** Standard normal via Box–Muller. */
+    float normal();
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  private:
+    std::uint64_t state_[4];
+    bool have_cached_normal_ = false;
+    float cached_normal_ = 0.0f;
+};
+
+/** Fills @p tensor (fp32) with uniform values in [lo, hi). */
+void fill_uniform(Tensor &tensor, Rng &rng, float lo = -1.0f, float hi = 1.0f);
+
+/**
+ * Fills @p tensor (fp32) with Kaiming-style normal values scaled by
+ * sqrt(2 / fan_in); @p fan_in <= 0 derives fan-in from the shape
+ * (product of all dims except the first).
+ */
+void fill_kaiming(Tensor &tensor, Rng &rng, std::int64_t fan_in = 0);
+
+/** Allocates a fp32 tensor filled uniformly in [lo, hi). */
+Tensor random_tensor(Shape shape, Rng &rng, float lo = -1.0f, float hi = 1.0f);
+
+} // namespace orpheus

@@ -1,0 +1,98 @@
+#include "core/shape.hpp"
+
+#include <sstream>
+
+#include "core/status.hpp"
+
+namespace orpheus {
+
+Shape::Shape(std::initializer_list<dim_type> dims)
+    : dims_(dims)
+{
+    for (dim_type d : dims_)
+        ORPHEUS_CHECK(d >= 0, "negative dimension " << d << " in shape");
+}
+
+Shape::Shape(std::vector<dim_type> dims)
+    : dims_(std::move(dims))
+{
+    for (dim_type d : dims_)
+        ORPHEUS_CHECK(d >= 0, "negative dimension " << d << " in shape");
+}
+
+Shape::dim_type
+Shape::dim(int axis) const
+{
+    return dims_[static_cast<std::size_t>(normalize_axis(axis))];
+}
+
+void
+Shape::set_dim(int axis, dim_type value)
+{
+    ORPHEUS_CHECK(axis >= 0 && static_cast<std::size_t>(axis) < rank(),
+                  "axis " << axis << " out of range for rank " << rank());
+    ORPHEUS_CHECK(value >= 0, "negative dimension " << value);
+    dims_[static_cast<std::size_t>(axis)] = value;
+}
+
+Shape::dim_type
+Shape::numel() const
+{
+    dim_type count = 1;
+    for (dim_type d : dims_)
+        count *= d;
+    return count;
+}
+
+bool
+Shape::is_fully_defined() const
+{
+    for (dim_type d : dims_) {
+        if (d <= 0)
+            return false;
+    }
+    return true;
+}
+
+std::vector<Shape::dim_type>
+Shape::strides() const
+{
+    std::vector<dim_type> result(rank());
+    dim_type stride = 1;
+    for (std::size_t i = rank(); i-- > 0;) {
+        result[i] = stride;
+        stride *= dims_[i];
+    }
+    return result;
+}
+
+int
+Shape::normalize_axis(int axis) const
+{
+    const int r = static_cast<int>(rank());
+    ORPHEUS_CHECK(axis >= -r && axis < r,
+                  "axis " << axis << " out of range for rank " << r);
+    return axis < 0 ? axis + r : axis;
+}
+
+std::string
+Shape::to_string() const
+{
+    std::ostringstream out;
+    out << '[';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0)
+            out << ", ";
+        out << dims_[i];
+    }
+    out << ']';
+    return out.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Shape &shape)
+{
+    return os << shape.to_string();
+}
+
+} // namespace orpheus

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tensor shapes.
+ *
+ * A Shape is an ordered list of non-negative extents. Orpheus follows the
+ * NCHW convention for 4-D activation tensors and OIHW for convolution
+ * weights. Shapes are small value types; the inline storage covers the
+ * common <= 6-D case without allocation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace orpheus {
+
+class Shape
+{
+  public:
+    using dim_type = std::int64_t;
+
+    /** Constructs a rank-0 (scalar) shape. */
+    Shape() = default;
+
+    /** Constructs from an explicit dimension list, e.g. Shape({1,3,224,224}). */
+    Shape(std::initializer_list<dim_type> dims);
+
+    explicit Shape(std::vector<dim_type> dims);
+
+    /** Number of dimensions (0 for scalars). */
+    std::size_t rank() const { return dims_.size(); }
+
+    /** Extent of dimension @p axis; negative axes count from the back. */
+    dim_type dim(int axis) const;
+
+    /** Mutable access to dimension @p axis (no negative indexing). */
+    void set_dim(int axis, dim_type value);
+
+    const std::vector<dim_type> &dims() const { return dims_; }
+
+    /** Total element count (1 for scalars, 0 if any extent is 0). */
+    dim_type numel() const;
+
+    /** True if every extent is strictly positive. */
+    bool is_fully_defined() const;
+
+    /**
+     * Row-major strides in *elements* (not bytes); the last dimension has
+     * stride 1. Returns an empty vector for scalars.
+     */
+    std::vector<dim_type> strides() const;
+
+    /** Normalises @p axis (possibly negative) into [0, rank). */
+    int normalize_axis(int axis) const;
+
+    bool operator==(const Shape &other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** Formats as e.g. "[1, 3, 224, 224]". */
+    std::string to_string() const;
+
+  private:
+    std::vector<dim_type> dims_;
+};
+
+std::ostream &operator<<(std::ostream &os, const Shape &shape);
+
+} // namespace orpheus

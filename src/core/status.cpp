@@ -1,0 +1,112 @@
+#include "core/status.hpp"
+
+#include <cstdio>
+
+namespace orpheus {
+
+const char *
+to_string(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kParseError: return "ParseError";
+    }
+    return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : code_(code), message_(std::move(message))
+{
+    ORPHEUS_ASSERT(code != StatusCode::kOk,
+                   "error Status constructed with kOk");
+}
+
+std::string
+Status::to_string() const
+{
+    if (is_ok())
+        return "OK";
+    return std::string(orpheus::to_string(code_)) + ": " + message_;
+}
+
+void
+Status::throw_if_error() const
+{
+    if (!is_ok())
+        throw Error(to_string());
+}
+
+Status
+invalid_argument_error(std::string message)
+{
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+
+Status
+not_found_error(std::string message)
+{
+    return Status(StatusCode::kNotFound, std::move(message));
+}
+
+Status
+unimplemented_error(std::string message)
+{
+    return Status(StatusCode::kUnimplemented, std::move(message));
+}
+
+Status
+out_of_range_error(std::string message)
+{
+    return Status(StatusCode::kOutOfRange, std::move(message));
+}
+
+Status
+failed_precondition_error(std::string message)
+{
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+
+Status
+internal_error(std::string message)
+{
+    return Status(StatusCode::kInternal, std::move(message));
+}
+
+Status
+parse_error(std::string message)
+{
+    return Status(StatusCode::kParseError, std::move(message));
+}
+
+namespace detail {
+
+void
+throw_check_failure(const char *condition, const char *file, int line,
+                    const std::string &message)
+{
+    std::ostringstream out;
+    out << message << " [failed check: " << condition << " at " << file
+        << ":" << line << "]";
+    throw Error(out.str());
+}
+
+void
+assert_failure(const char *condition, const char *file, int line,
+               const std::string &message)
+{
+    std::fprintf(stderr,
+                 "orpheus: internal assertion failed: %s\n"
+                 "  condition: %s\n  location: %s:%d\n",
+                 message.c_str(), condition, file, line);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace orpheus

@@ -1,0 +1,167 @@
+#include "core/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace orpheus {
+
+Tensor::Tensor(Shape shape, DataType dtype)
+    : shape_(std::move(shape)), dtype_(dtype)
+{
+    buffer_ = Buffer::allocate(byte_size());
+}
+
+Tensor::Tensor(Shape shape, DataType dtype, std::shared_ptr<Buffer> buffer)
+    : shape_(std::move(shape)), dtype_(dtype), buffer_(std::move(buffer))
+{
+    ORPHEUS_CHECK(buffer_ != nullptr, "tensor constructed with null buffer");
+    ORPHEUS_CHECK(buffer_->size() >= byte_size(),
+                  "buffer too small: " << buffer_->size() << " bytes for "
+                                       << to_string());
+}
+
+Tensor
+Tensor::from_values(Shape shape, const std::vector<float> &values)
+{
+    Tensor t(std::move(shape), DataType::kFloat32);
+    ORPHEUS_CHECK(static_cast<std::int64_t>(values.size()) == t.numel(),
+                  "value count " << values.size() << " does not match shape "
+                                 << t.shape());
+    std::memcpy(t.raw_data(), values.data(), t.byte_size());
+    return t;
+}
+
+Tensor
+Tensor::scalar(float value)
+{
+    Tensor t(Shape{}, DataType::kFloat32);
+    *t.data<float>() = value;
+    return t;
+}
+
+Tensor
+Tensor::from_int64s(const std::vector<std::int64_t> &values)
+{
+    Tensor t(Shape{static_cast<std::int64_t>(values.size())},
+             DataType::kInt64);
+    std::memcpy(t.raw_data(), values.data(), t.byte_size());
+    return t;
+}
+
+void *
+Tensor::raw_data()
+{
+    ORPHEUS_CHECK(has_storage(), "tensor has no storage");
+    return buffer_->data();
+}
+
+const void *
+Tensor::raw_data() const
+{
+    ORPHEUS_CHECK(has_storage(), "tensor has no storage");
+    return buffer_->data();
+}
+
+float &
+Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w)
+{
+    ORPHEUS_CHECK(shape_.rank() == 4, "at() requires a 4-D tensor, got "
+                                          << shape_);
+    const std::int64_t C = shape_.dim(1), H = shape_.dim(2),
+                       W = shape_.dim(3);
+    return data<float>()[((n * C + c) * H + h) * W + w];
+}
+
+float
+Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const
+{
+    ORPHEUS_CHECK(shape_.rank() == 4, "at() requires a 4-D tensor, got "
+                                          << shape_);
+    const std::int64_t C = shape_.dim(1), H = shape_.dim(2),
+                       W = shape_.dim(3);
+    return data<float>()[((n * C + c) * H + h) * W + w];
+}
+
+void
+Tensor::fill(float value)
+{
+    float *p = data<float>();
+    const std::int64_t n = numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        p[i] = value;
+}
+
+Tensor
+Tensor::clone() const
+{
+    Tensor copy(shape_, dtype_);
+    if (byte_size() > 0)
+        std::memcpy(copy.raw_data(), raw_data(), byte_size());
+    return copy;
+}
+
+Tensor
+Tensor::reshape(Shape shape) const
+{
+    ORPHEUS_CHECK(shape.numel() == numel(),
+                  "reshape " << shape_ << " -> " << shape
+                             << " changes element count");
+    Tensor view = *this;
+    view.shape_ = std::move(shape);
+    return view;
+}
+
+void
+Tensor::copy_from(const Tensor &src)
+{
+    ORPHEUS_CHECK(src.shape() == shape_ && src.dtype() == dtype_,
+                  "copy_from mismatch: " << src.to_string() << " into "
+                                         << to_string());
+    if (byte_size() > 0)
+        std::memcpy(raw_data(), src.raw_data(), byte_size());
+}
+
+std::string
+Tensor::to_string() const
+{
+    std::ostringstream out;
+    out << dtype_ << shape_;
+    return out.str();
+}
+
+float
+max_abs_diff(const Tensor &a, const Tensor &b)
+{
+    ORPHEUS_CHECK(a.shape() == b.shape(),
+                  "shape mismatch: " << a.shape() << " vs " << b.shape());
+    const float *pa = a.data<float>();
+    const float *pb = b.data<float>();
+    float worst = 0.0f;
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+    return worst;
+}
+
+bool
+all_close(const Tensor &a, const Tensor &b, float atol, float rtol)
+{
+    if (a.shape() != b.shape())
+        return false;
+    const float *pa = a.data<float>();
+    const float *pb = b.data<float>();
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        const float tolerance = atol + rtol * std::fabs(pb[i]);
+        if (std::fabs(pa[i] - pb[i]) > tolerance)
+            return false;
+    }
+    return true;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Tensor &tensor)
+{
+    return os << tensor.to_string();
+}
+
+} // namespace orpheus

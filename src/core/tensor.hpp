@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Orpheus tensor: a shape + dtype view over reference-counted storage.
+ *
+ * Tensors are cheap to copy (shared storage) and always contiguous in
+ * row-major order. 4-D activations use NCHW layout and convolution
+ * weights use OIHW, matching the kernels in src/ops.
+ */
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/dtype.hpp"
+#include "core/shape.hpp"
+#include "core/status.hpp"
+
+namespace orpheus {
+
+class Tensor
+{
+  public:
+    /** Constructs an empty (storage-less, rank-0) tensor. */
+    Tensor() = default;
+
+    /** Allocates an owned, zero-initialised tensor. */
+    Tensor(Shape shape, DataType dtype = DataType::kFloat32);
+
+    /** Tensor viewing an externally managed buffer (no copy). */
+    Tensor(Shape shape, DataType dtype, std::shared_ptr<Buffer> buffer);
+
+    /** Allocates and fills from @p values (size must match numel). */
+    static Tensor from_values(Shape shape, const std::vector<float> &values);
+
+    /** Scalar fp32 tensor. */
+    static Tensor scalar(float value);
+
+    /** 1-D int64 tensor — the ONNX representation of shape arguments. */
+    static Tensor from_int64s(const std::vector<std::int64_t> &values);
+
+    const Shape &shape() const { return shape_; }
+    DataType dtype() const { return dtype_; }
+    std::int64_t numel() const { return shape_.numel(); }
+    std::size_t byte_size() const
+    {
+        return static_cast<std::size_t>(numel()) * dtype_size(dtype_);
+    }
+
+    /** True if this tensor has backing storage. */
+    bool has_storage() const { return buffer_ != nullptr; }
+
+    const std::shared_ptr<Buffer> &buffer() const { return buffer_; }
+
+    /** Raw storage pointers; valid only when has_storage(). */
+    void *raw_data();
+    const void *raw_data() const;
+
+    /** Typed storage access; checks the dtype matches T. */
+    template <typename T>
+    T *
+    data()
+    {
+        check_access<T>();
+        return static_cast<T *>(raw_data());
+    }
+
+    template <typename T>
+    const T *
+    data() const
+    {
+        check_access<T>();
+        return static_cast<const T *>(raw_data());
+    }
+
+    /** Element access for 4-D NCHW tensors (fp32 only). */
+    float &at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+    float at(std::int64_t n, std::int64_t c, std::int64_t h,
+             std::int64_t w) const;
+
+    /** Sets every element (fp32 only). */
+    void fill(float value);
+
+    /** Deep copy into freshly allocated storage. */
+    Tensor clone() const;
+
+    /**
+     * Returns a tensor sharing this tensor's storage with a different
+     * shape; @p shape must have the same element count.
+     */
+    Tensor reshape(Shape shape) const;
+
+    /** Copies @p src's bytes into this tensor (shapes/dtypes must match). */
+    void copy_from(const Tensor &src);
+
+    /** Summarises as e.g. "float32[1, 3, 224, 224]". */
+    std::string to_string() const;
+
+  private:
+    template <typename T>
+    void
+    check_access() const
+    {
+        ORPHEUS_CHECK(has_storage(), "tensor has no storage");
+        ORPHEUS_CHECK(DataTypeOf<T>::value == dtype_,
+                      "dtype mismatch: tensor is " << dtype_);
+    }
+
+    Shape shape_;
+    DataType dtype_ = DataType::kFloat32;
+    std::shared_ptr<Buffer> buffer_;
+};
+
+/** Max absolute elementwise difference between two fp32 tensors. */
+float max_abs_diff(const Tensor &a, const Tensor &b);
+
+/** True if fp32 tensors match within @p atol + @p rtol * |reference|. */
+bool all_close(const Tensor &a, const Tensor &b, float atol = 1e-5f,
+               float rtol = 1e-4f);
+
+std::ostream &operator<<(std::ostream &os, const Tensor &tensor);
+
+} // namespace orpheus

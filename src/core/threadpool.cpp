@@ -1,0 +1,154 @@
+#include "core/threadpool.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/env.hpp"
+#include "core/status.hpp"
+
+namespace orpheus {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads))
+{
+    // Worker 0 is the caller; spawn only the remaining workers.
+    workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+    for (int i = 1; i < num_threads_; ++i)
+        workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::parallel_for(std::int64_t count,
+                         const std::function<void(std::int64_t,
+                                                  std::int64_t)> &body)
+{
+    if (count <= 0)
+        return;
+    if (num_threads_ == 1 || count == 1) {
+        body(0, count);
+        return;
+    }
+
+    const int used =
+        static_cast<int>(std::min<std::int64_t>(num_threads_, count));
+    const std::int64_t chunk = (count + used - 1) / used;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.assign(static_cast<std::size_t>(num_threads_), Task{});
+        for (int i = 0; i < used; ++i) {
+            tasks_[static_cast<std::size_t>(i)].begin =
+                std::min<std::int64_t>(i * chunk, count);
+            tasks_[static_cast<std::size_t>(i)].end =
+                std::min<std::int64_t>((i + 1) * chunk, count);
+        }
+        body_ = &body;
+        pending_ = num_threads_ - 1;
+        ++generation_;
+    }
+    work_ready_.notify_all();
+
+    // The calling thread executes chunk 0 itself.
+    const Task own = tasks_[0];
+    if (own.begin < own.end)
+        body(own.begin, own.end);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [this] { return pending_ == 0; });
+    body_ = nullptr;
+}
+
+void
+ThreadPool::worker_loop(int worker_index)
+{
+    std::uint64_t seen_generation = 0;
+    while (true) {
+        Task task;
+        const std::function<void(std::int64_t, std::int64_t)> *body = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this, seen_generation] {
+                return shutting_down_ || generation_ != seen_generation;
+            });
+            if (shutting_down_)
+                return;
+            seen_generation = generation_;
+            task = tasks_[static_cast<std::size_t>(worker_index)];
+            body = body_;
+        }
+        if (task.begin < task.end)
+            (*body)(task.begin, task.end);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                work_done_.notify_one();
+        }
+    }
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_num_threads = 0; // 0 -> not yet initialised
+
+int
+initial_num_threads()
+{
+    // Default to the paper's single-thread evaluation setup unless the
+    // environment overrides it.
+    return env_int("ORPHEUS_NUM_THREADS", 1);
+}
+
+} // namespace
+
+ThreadPool &
+global_thread_pool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (g_num_threads == 0)
+        g_num_threads = initial_num_threads();
+    if (!g_pool || g_pool->num_threads() != g_num_threads)
+        g_pool = std::make_unique<ThreadPool>(g_num_threads);
+    return *g_pool;
+}
+
+int
+global_num_threads()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (g_num_threads == 0)
+        g_num_threads = initial_num_threads();
+    return g_num_threads;
+}
+
+void
+set_global_num_threads(int num_threads)
+{
+    ORPHEUS_CHECK(num_threads >= 1,
+                  "thread count must be >= 1, got " << num_threads);
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_num_threads = num_threads;
+    if (g_pool && g_pool->num_threads() != g_num_threads)
+        g_pool.reset();
+}
+
+void
+parallel_for(std::int64_t count,
+             const std::function<void(std::int64_t, std::int64_t)> &body)
+{
+    global_thread_pool().parallel_for(count, body);
+}
+
+} // namespace orpheus

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A work-sharing thread pool with an OpenMP-style parallel_for.
+ *
+ * The paper's kernels "leverage APIs such as OpenMP"; Orpheus ships its
+ * own dependency-free equivalent so the same code runs on any toolchain.
+ * A process-wide pool (global_thread_pool) is created lazily; kernels
+ * call parallel_for, which degrades to a plain serial loop when the
+ * configured thread count is 1 — this is how the single-thread
+ * evaluation from the paper (Figure 2) is enforced.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orpheus {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Creates a pool with @p num_threads workers. One of the workers is
+     * the calling thread itself, so num_threads == 1 spawns nothing.
+     */
+    explicit ThreadPool(int num_threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int num_threads() const { return num_threads_; }
+
+    /**
+     * Runs @p body(begin, end) over disjoint chunks of [0, count) on all
+     * workers and blocks until every chunk has finished. Chunks are
+     * statically partitioned (OpenMP "schedule(static)" semantics),
+     * which suits the regular loops in dense kernels.
+     */
+    void parallel_for(std::int64_t count,
+                      const std::function<void(std::int64_t, std::int64_t)>
+                          &body);
+
+  private:
+    struct Task {
+        std::int64_t begin = 0;
+        std::int64_t end = 0;
+    };
+
+    void worker_loop(int worker_index);
+
+    int num_threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable work_done_;
+    const std::function<void(std::int64_t, std::int64_t)> *body_ = nullptr;
+    std::vector<Task> tasks_;
+    std::uint64_t generation_ = 0;
+    int pending_ = 0;
+    bool shutting_down_ = false;
+};
+
+/**
+ * Returns the process-wide pool, creating it on first use with
+ * default_num_threads() workers. The pool is rebuilt if
+ * set_global_num_threads() changes the size.
+ */
+ThreadPool &global_thread_pool();
+
+/** Number of threads the global pool will use (default: 1). */
+int global_num_threads();
+
+/**
+ * Resizes the global pool. Orpheus defaults to 1 thread — the paper's
+ * evaluation configuration — so parallelism is strictly opt-in.
+ */
+void set_global_num_threads(int num_threads);
+
+/** Static-partitioned parallel loop on the global pool. */
+void parallel_for(std::int64_t count,
+                  const std::function<void(std::int64_t, std::int64_t)> &body);
+
+} // namespace orpheus

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Whole-network experiment runner.
+ *
+ * The paper's "infrastructure to run multiple inference experiments":
+ * controlled warm-up, repetition, summary statistics and CSV output for
+ * full-network timings.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "eval/statistics.hpp"
+#include "runtime/engine.hpp"
+
+namespace orpheus {
+
+struct ExperimentConfig {
+    int warmup_runs = 1;
+    int timed_runs = 5;
+};
+
+struct ExperimentResult {
+    std::string name;
+    RunStats stats;
+    std::vector<double> samples_ms;
+};
+
+/**
+ * Times @p fn (one call = one inference) under @p config.
+ */
+ExperimentResult time_callable(const std::string &name,
+                               const std::function<void()> &fn,
+                               const ExperimentConfig &config = {});
+
+/**
+ * Times engine.run(input) end to end. The input tensor is filled with
+ * deterministic random data matching the engine's single graph input.
+ */
+ExperimentResult time_inference(Engine &engine,
+                                const ExperimentConfig &config = {},
+                                std::uint64_t input_seed = 0x1117);
+
+/** Renders results as CSV: name,mean_ms,median_ms,min_ms,max_ms,sd,n. */
+std::string results_to_csv(const std::vector<ExperimentResult> &results);
+
+} // namespace orpheus

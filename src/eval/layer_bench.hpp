@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Per-layer timing harness ("evaluating ... individual layers", §I).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace orpheus {
+
+/** Timing for one plan step, averaged over the harness repetitions. */
+struct LayerTiming {
+    std::string node_name;
+    std::string op_type;
+    std::string impl_name;
+    Shape output_shape;
+    double mean_ms = 0.0;
+    double share = 0.0; ///< Fraction of total network time.
+};
+
+/**
+ * Runs @p repetitions profiled inferences on @p engine with a
+ * deterministic random input and returns per-layer mean timings,
+ * sorted by descending share.
+ */
+std::vector<LayerTiming> profile_layers(Engine &engine, int repetitions = 3,
+                                        std::uint64_t input_seed = 0x1118);
+
+/** Renders layer timings as an aligned text table. */
+std::string layer_timings_to_string(const std::vector<LayerTiming> &timings,
+                                    std::size_t max_rows = 0);
+
+/** CSV form: node,op,impl,output_shape,mean_ms,share. */
+std::string layer_timings_to_csv(const std::vector<LayerTiming> &timings);
+
+} // namespace orpheus

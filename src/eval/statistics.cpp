@@ -1,0 +1,67 @@
+#include "eval/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/status.hpp"
+
+namespace orpheus {
+
+std::string
+RunStats::to_string() const
+{
+    std::ostringstream out;
+    out.precision(4);
+    out << mean << " ms (median " << median << ", min " << min << ", max "
+        << max << ", sd " << stddev << ", n=" << count << ")";
+    return out.str();
+}
+
+RunStats
+compute_stats(std::vector<double> samples)
+{
+    RunStats stats;
+    stats.count = samples.size();
+    if (samples.empty())
+        return stats;
+
+    std::sort(samples.begin(), samples.end());
+    stats.min = samples.front();
+    stats.max = samples.back();
+
+    double sum = 0.0;
+    for (double sample : samples)
+        sum += sample;
+    stats.mean = sum / static_cast<double>(samples.size());
+
+    const std::size_t mid = samples.size() / 2;
+    stats.median = samples.size() % 2 == 1
+                       ? samples[mid]
+                       : 0.5 * (samples[mid - 1] + samples[mid]);
+
+    double variance = 0.0;
+    for (double sample : samples) {
+        const double delta = sample - stats.mean;
+        variance += delta * delta;
+    }
+    variance /= static_cast<double>(samples.size());
+    stats.stddev = std::sqrt(variance);
+    return stats;
+}
+
+double
+geometric_mean(const std::vector<double> &samples)
+{
+    ORPHEUS_CHECK(!samples.empty(), "geometric mean of an empty set");
+    double log_sum = 0.0;
+    for (double sample : samples) {
+        ORPHEUS_CHECK(sample > 0.0,
+                      "geometric mean requires positive samples, got "
+                          << sample);
+        log_sum += std::log(sample);
+    }
+    return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+} // namespace orpheus

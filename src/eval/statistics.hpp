@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Summary statistics for timing samples.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace orpheus {
+
+/** Summary of a set of timing samples (milliseconds). */
+struct RunStats {
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0;
+
+    /** e.g. "12.3 ms (median 12.1, min 11.9, max 13.0, sd 0.4, n=5)". */
+    std::string to_string() const;
+};
+
+/** Computes summary statistics; @p samples may be unsorted. */
+RunStats compute_stats(std::vector<double> samples);
+
+/** Geometric mean; all samples must be > 0. */
+double geometric_mean(const std::vector<double> &samples);
+
+} // namespace orpheus

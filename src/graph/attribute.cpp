@@ -1,0 +1,128 @@
+#include "graph/attribute.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace orpheus {
+
+std::int64_t
+Attribute::as_int() const
+{
+    ORPHEUS_CHECK(is_int(), "attribute is not an int: " << to_string());
+    return std::get<std::int64_t>(value_);
+}
+
+float
+Attribute::as_float() const
+{
+    ORPHEUS_CHECK(is_float(), "attribute is not a float: " << to_string());
+    return std::get<float>(value_);
+}
+
+const std::string &
+Attribute::as_string() const
+{
+    ORPHEUS_CHECK(is_string(), "attribute is not a string: " << to_string());
+    return std::get<std::string>(value_);
+}
+
+const std::vector<std::int64_t> &
+Attribute::as_ints() const
+{
+    ORPHEUS_CHECK(is_ints(), "attribute is not an int list: " << to_string());
+    return std::get<std::vector<std::int64_t>>(value_);
+}
+
+const std::vector<float> &
+Attribute::as_floats() const
+{
+    ORPHEUS_CHECK(is_floats(),
+                  "attribute is not a float list: " << to_string());
+    return std::get<std::vector<float>>(value_);
+}
+
+const Tensor &
+Attribute::as_tensor() const
+{
+    ORPHEUS_CHECK(is_tensor(), "attribute is not a tensor: " << to_string());
+    return std::get<Tensor>(value_);
+}
+
+std::string
+Attribute::to_string() const
+{
+    std::ostringstream out;
+    // Full float precision: to_string() doubles as an identity key for
+    // the CSE pass, so distinct values must never collide.
+    out.precision(std::numeric_limits<float>::max_digits10);
+    if (is_int()) {
+        out << "int(" << std::get<std::int64_t>(value_) << ")";
+    } else if (is_float()) {
+        out << "float(" << std::get<float>(value_) << ")";
+    } else if (is_string()) {
+        out << "string(\"" << std::get<std::string>(value_) << "\")";
+    } else if (is_ints()) {
+        out << "ints[";
+        const auto &values = std::get<std::vector<std::int64_t>>(value_);
+        for (std::size_t i = 0; i < values.size(); ++i)
+            out << (i > 0 ? ", " : "") << values[i];
+        out << "]";
+    } else if (is_floats()) {
+        out << "floats[";
+        const auto &values = std::get<std::vector<float>>(value_);
+        for (std::size_t i = 0; i < values.size(); ++i)
+            out << (i > 0 ? ", " : "") << values[i];
+        out << "]";
+    } else {
+        out << "tensor(" << std::get<Tensor>(value_).to_string() << ")";
+    }
+    return out.str();
+}
+
+const Attribute &
+AttributeMap::at(const std::string &key) const
+{
+    auto it = map_.find(key);
+    ORPHEUS_CHECK(it != map_.end(), "missing required attribute: " << key);
+    return it->second;
+}
+
+std::int64_t
+AttributeMap::get_int(const std::string &key, std::int64_t fallback) const
+{
+    auto it = map_.find(key);
+    return it == map_.end() ? fallback : it->second.as_int();
+}
+
+float
+AttributeMap::get_float(const std::string &key, float fallback) const
+{
+    auto it = map_.find(key);
+    return it == map_.end() ? fallback : it->second.as_float();
+}
+
+std::string
+AttributeMap::get_string(const std::string &key,
+                         const std::string &fallback) const
+{
+    auto it = map_.find(key);
+    return it == map_.end() ? fallback : it->second.as_string();
+}
+
+std::vector<std::int64_t>
+AttributeMap::get_ints(const std::string &key,
+                       const std::vector<std::int64_t> &fallback) const
+{
+    auto it = map_.find(key);
+    return it == map_.end() ? fallback : it->second.as_ints();
+}
+
+std::vector<float>
+AttributeMap::get_floats(const std::string &key,
+                         const std::vector<float> &fallback) const
+{
+    auto it = map_.find(key);
+    return it == map_.end() ? fallback : it->second.as_floats();
+}
+
+} // namespace orpheus

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Node attributes: a small tagged union mirroring the ONNX attribute
+ * kinds Orpheus consumes (int, float, string, int list, float list,
+ * tensor), plus a typed map with defaulted lookups.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+class Attribute
+{
+  public:
+    using Value = std::variant<std::int64_t, float, std::string,
+                               std::vector<std::int64_t>, std::vector<float>,
+                               Tensor>;
+
+    Attribute() : value_(std::int64_t{0}) {}
+    Attribute(std::int64_t v) : value_(v) {}
+    Attribute(int v) : value_(static_cast<std::int64_t>(v)) {}
+    Attribute(float v) : value_(v) {}
+    Attribute(std::string v) : value_(std::move(v)) {}
+    Attribute(const char *v) : value_(std::string(v)) {}
+    Attribute(std::vector<std::int64_t> v) : value_(std::move(v)) {}
+    Attribute(std::vector<float> v) : value_(std::move(v)) {}
+    Attribute(Tensor v) : value_(std::move(v)) {}
+
+    bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+    bool is_float() const { return std::holds_alternative<float>(value_); }
+    bool is_string() const { return std::holds_alternative<std::string>(value_); }
+    bool is_ints() const
+    {
+        return std::holds_alternative<std::vector<std::int64_t>>(value_);
+    }
+    bool is_floats() const
+    {
+        return std::holds_alternative<std::vector<float>>(value_);
+    }
+    bool is_tensor() const { return std::holds_alternative<Tensor>(value_); }
+
+    /** Typed accessors; each throws orpheus::Error on a kind mismatch. */
+    std::int64_t as_int() const;
+    float as_float() const;
+    const std::string &as_string() const;
+    const std::vector<std::int64_t> &as_ints() const;
+    const std::vector<float> &as_floats() const;
+    const Tensor &as_tensor() const;
+
+    /** Debug form, e.g. "ints[1, 1]". */
+    std::string to_string() const;
+
+  private:
+    Value value_;
+};
+
+/**
+ * Ordered attribute map (ordered so that serialisation is deterministic).
+ * The get_* helpers return a fallback when the key is absent, matching
+ * how ONNX specifies per-attribute defaults.
+ */
+class AttributeMap
+{
+  public:
+    bool has(const std::string &key) const { return map_.count(key) > 0; }
+
+    void set(const std::string &key, Attribute value)
+    {
+        map_[key] = std::move(value);
+    }
+
+    /** Lookup that throws orpheus::Error when @p key is absent. */
+    const Attribute &at(const std::string &key) const;
+
+    std::int64_t get_int(const std::string &key, std::int64_t fallback) const;
+    float get_float(const std::string &key, float fallback) const;
+    std::string get_string(const std::string &key,
+                           const std::string &fallback) const;
+    std::vector<std::int64_t> get_ints(
+        const std::string &key,
+        const std::vector<std::int64_t> &fallback) const;
+    std::vector<float> get_floats(const std::string &key,
+                                  const std::vector<float> &fallback) const;
+
+    std::size_t size() const { return map_.size(); }
+    auto begin() const { return map_.begin(); }
+    auto end() const { return map_.end(); }
+
+  private:
+    std::map<std::string, Attribute> map_;
+};
+
+} // namespace orpheus

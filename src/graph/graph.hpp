@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The Orpheus computation graph IR.
+ *
+ * A Graph owns a list of Nodes plus the metadata needed to execute them:
+ * typed graph inputs/outputs and an initializer map holding constant
+ * tensors (weights). Values are referenced by name; the Graph provides
+ * producer/consumer queries, topological ordering, structural validation
+ * and the mutation helpers the simplification passes are built from.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "graph/node.hpp"
+
+namespace orpheus {
+
+/** Name + type signature of a graph input or output. */
+struct ValueInfo {
+    std::string name;
+    DataType dtype = DataType::kFloat32;
+    Shape shape;
+};
+
+class Graph
+{
+  public:
+    explicit Graph(std::string name = "graph") : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    // --- Structure ------------------------------------------------------
+
+    /** Declares a graph input with its static signature. */
+    void add_input(const std::string &name, Shape shape,
+                   DataType dtype = DataType::kFloat32);
+
+    /** Declares a graph output. Shape may be empty (filled by inference). */
+    void add_output(const std::string &name, Shape shape = {},
+                    DataType dtype = DataType::kFloat32);
+
+    /** Registers a constant tensor (weight) under @p name. */
+    void add_initializer(const std::string &name, Tensor tensor);
+
+    /**
+     * Appends a node. If @p name is empty a unique one is derived from
+     * the op type. Returns a reference valid until the node list is next
+     * mutated.
+     */
+    Node &add_node(const std::string &op_type,
+                   std::vector<std::string> inputs,
+                   std::vector<std::string> outputs, AttributeMap attrs = {},
+                   std::string name = "");
+
+    const std::vector<ValueInfo> &inputs() const { return inputs_; }
+    const std::vector<ValueInfo> &outputs() const { return outputs_; }
+    std::vector<ValueInfo> &outputs() { return outputs_; }
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    std::vector<Node> &nodes() { return nodes_; }
+
+    const std::unordered_map<std::string, Tensor> &initializers() const
+    {
+        return initializers_;
+    }
+
+    bool has_initializer(const std::string &name) const
+    {
+        return initializers_.count(name) > 0;
+    }
+
+    /** Initializer lookup; throws orpheus::Error when absent. */
+    const Tensor &initializer(const std::string &name) const;
+
+    /** Removes an initializer if present. */
+    void remove_initializer(const std::string &name);
+
+    bool is_graph_input(const std::string &name) const;
+    bool is_graph_output(const std::string &name) const;
+
+    // --- Queries ---------------------------------------------------------
+
+    /** Index of the node producing @p value, or nullopt. */
+    std::optional<std::size_t> producer(const std::string &value) const;
+
+    /** Indices of all nodes consuming @p value. */
+    std::vector<std::size_t> consumers(const std::string &value) const;
+
+    /**
+     * Node indices in a valid execution order (inputs before uses).
+     * Throws orpheus::Error if the graph contains a cycle.
+     */
+    std::vector<std::size_t> topological_order() const;
+
+    /** Generates a value name, unique within the graph, from @p base. */
+    std::string unique_value_name(const std::string &base);
+
+    /**
+     * Structural validation: every node input must be a graph input, an
+     * initializer or some node's output; every output name is produced
+     * exactly once; graph outputs exist. Throws on violation.
+     */
+    void validate() const;
+
+    // --- Mutation helpers (used by passes) --------------------------------
+
+    /** Rewrites every node input (and graph output) @p from to @p to. */
+    void replace_all_uses(const std::string &from, const std::string &to);
+
+    /** Erases the nodes whose indices are in @p indices. */
+    void remove_nodes(const std::vector<std::size_t> &indices);
+
+    /** Multi-line human-readable dump of the whole graph. */
+    std::string to_string() const;
+
+  private:
+    std::string name_;
+    std::vector<ValueInfo> inputs_;
+    std::vector<ValueInfo> outputs_;
+    std::vector<Node> nodes_;
+    std::unordered_map<std::string, Tensor> initializers_;
+    std::uint64_t name_counter_ = 0;
+};
+
+} // namespace orpheus

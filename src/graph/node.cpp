@@ -1,0 +1,43 @@
+#include "graph/node.hpp"
+
+#include <sstream>
+
+#include "core/status.hpp"
+
+namespace orpheus {
+
+namespace {
+
+const std::string kEmptyName;
+
+} // namespace
+
+const std::string &
+Node::input(std::size_t index) const
+{
+    return index < inputs_.size() ? inputs_[index] : kEmptyName;
+}
+
+const std::string &
+Node::output(std::size_t index) const
+{
+    ORPHEUS_CHECK(index < outputs_.size(),
+                  "node " << name_ << " has no output #" << index);
+    return outputs_[index];
+}
+
+std::string
+Node::to_string() const
+{
+    std::ostringstream out;
+    out << op_type_ << "(" << name_ << ": ";
+    for (std::size_t i = 0; i < inputs_.size(); ++i)
+        out << (i > 0 ? ", " : "") << (inputs_[i].empty() ? "_" : inputs_[i]);
+    out << " -> ";
+    for (std::size_t i = 0; i < outputs_.size(); ++i)
+        out << (i > 0 ? ", " : "") << outputs_[i];
+    out << ")";
+    return out.str();
+}
+
+} // namespace orpheus

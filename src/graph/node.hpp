@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A single operation in a computation graph.
+ *
+ * Nodes reference tensors ("values") by name, ONNX-style. An empty input
+ * name denotes an omitted optional input (e.g. a Conv without bias).
+ * Operator type strings follow ONNX spellings ("Conv", "Relu", ...); the
+ * full supported set is listed in op_names below.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/attribute.hpp"
+
+namespace orpheus {
+
+/** ONNX-spelled operator type names supported by Orpheus. */
+namespace op_names {
+
+inline constexpr const char *kConv = "Conv";
+inline constexpr const char *kRelu = "Relu";
+inline constexpr const char *kLeakyRelu = "LeakyRelu";
+inline constexpr const char *kSigmoid = "Sigmoid";
+inline constexpr const char *kTanh = "Tanh";
+inline constexpr const char *kClip = "Clip";
+inline constexpr const char *kMaxPool = "MaxPool";
+inline constexpr const char *kAveragePool = "AveragePool";
+inline constexpr const char *kGlobalAveragePool = "GlobalAveragePool";
+inline constexpr const char *kAdd = "Add";
+inline constexpr const char *kSub = "Sub";
+inline constexpr const char *kMul = "Mul";
+inline constexpr const char *kDiv = "Div";
+inline constexpr const char *kNeg = "Neg";
+inline constexpr const char *kExp = "Exp";
+inline constexpr const char *kSqrt = "Sqrt";
+inline constexpr const char *kAbs = "Abs";
+inline constexpr const char *kGlobalMaxPool = "GlobalMaxPool";
+inline constexpr const char *kArgMax = "ArgMax";
+inline constexpr const char *kConcat = "Concat";
+inline constexpr const char *kGemm = "Gemm";
+inline constexpr const char *kMatMul = "MatMul";
+inline constexpr const char *kFlatten = "Flatten";
+inline constexpr const char *kReshape = "Reshape";
+inline constexpr const char *kSoftmax = "Softmax";
+inline constexpr const char *kBatchNormalization = "BatchNormalization";
+inline constexpr const char *kPad = "Pad";
+inline constexpr const char *kIdentity = "Identity";
+inline constexpr const char *kDropout = "Dropout";
+inline constexpr const char *kConstant = "Constant";
+inline constexpr const char *kReduceMean = "ReduceMean";
+inline constexpr const char *kQuantizeLinear = "QuantizeLinear";
+inline constexpr const char *kDequantizeLinear = "DequantizeLinear";
+inline constexpr const char *kQLinearConv = "QLinearConv";
+
+} // namespace op_names
+
+class Node
+{
+  public:
+    Node() = default;
+
+    Node(std::string op_type, std::string name,
+         std::vector<std::string> inputs, std::vector<std::string> outputs,
+         AttributeMap attrs = {})
+        : op_type_(std::move(op_type)), name_(std::move(name)),
+          inputs_(std::move(inputs)), outputs_(std::move(outputs)),
+          attrs_(std::move(attrs))
+    {
+    }
+
+    const std::string &op_type() const { return op_type_; }
+    const std::string &name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    const std::vector<std::string> &inputs() const { return inputs_; }
+    const std::vector<std::string> &outputs() const { return outputs_; }
+    std::vector<std::string> &inputs() { return inputs_; }
+    std::vector<std::string> &outputs() { return outputs_; }
+
+    /** Input name at @p index, or "" if the optional input is omitted. */
+    const std::string &input(std::size_t index) const;
+    const std::string &output(std::size_t index) const;
+
+    /** True if input @p index exists and is non-empty. */
+    bool has_input(std::size_t index) const
+    {
+        return index < inputs_.size() && !inputs_[index].empty();
+    }
+
+    const AttributeMap &attrs() const { return attrs_; }
+    AttributeMap &attrs() { return attrs_; }
+
+    /** One-line debug form, e.g. "Conv(conv1: x, w, b -> y)". */
+    std::string to_string() const;
+
+  private:
+    std::string op_type_;
+    std::string name_;
+    std::vector<std::string> inputs_;
+    std::vector<std::string> outputs_;
+    AttributeMap attrs_;
+};
+
+} // namespace orpheus

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Common-subexpression elimination: nodes with the same operator, the
+ * same inputs and the same attributes compute the same value (every
+ * Orpheus op is pure), so duplicates collapse onto one node.
+ *
+ * Duplicates arise naturally when graphs are assembled programmatically
+ * or exported carelessly (e.g. the same normalisation applied on two
+ * branches). Nodes carrying tensor attributes are skipped — comparing
+ * large constants byte-wise here would cost more than the pass saves
+ * (Constant nodes are folded into initializers beforehand anyway).
+ */
+#include "graph/passes/pass.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace orpheus {
+
+namespace {
+
+class EliminateCommonSubexpressionsPass : public GraphPass
+{
+  public:
+    const char *name() const override { return "eliminate-cse"; }
+
+    bool
+    run(Graph &graph) override
+    {
+        std::unordered_map<std::string, std::size_t> canonical;
+        std::vector<std::size_t> doomed;
+
+        for (std::size_t index : graph.topological_order()) {
+            const Node &node = graph.nodes()[index];
+            if (node.outputs().size() != 1)
+                continue;
+            if (graph.is_graph_output(node.output(0)))
+                continue;
+
+            bool has_tensor_attr = false;
+            for (const auto &[attr_name, attr] : node.attrs()) {
+                (void)attr_name;
+                has_tensor_attr |= attr.is_tensor();
+            }
+            if (has_tensor_attr)
+                continue;
+
+            const std::string key = node_key(node);
+            auto [it, inserted] = canonical.emplace(key, index);
+            if (inserted)
+                continue;
+
+            // Duplicate: reroute consumers to the canonical node.
+            graph.replace_all_uses(node.output(0),
+                                   graph.nodes()[it->second].output(0));
+            doomed.push_back(index);
+        }
+
+        graph.remove_nodes(doomed);
+        return !doomed.empty();
+    }
+
+  private:
+    static std::string
+    node_key(const Node &node)
+    {
+        std::ostringstream key;
+        key << node.op_type();
+        for (const std::string &in : node.inputs())
+            key << '\x1f' << in;
+        for (const auto &[attr_name, attr] : node.attrs())
+            key << '\x1e' << attr_name << '=' << attr.to_string();
+        return key.str();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<GraphPass>
+make_eliminate_common_subexpressions_pass()
+{
+    return std::make_unique<EliminateCommonSubexpressionsPass>();
+}
+
+} // namespace orpheus

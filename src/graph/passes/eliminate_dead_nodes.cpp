@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Dead-code elimination: removes nodes whose outputs reach no graph
+ * output, and garbage-collects initializers no node references.
+ */
+#include "graph/passes/pass.hpp"
+
+#include <unordered_set>
+
+namespace orpheus {
+
+namespace {
+
+class EliminateDeadNodesPass : public GraphPass
+{
+  public:
+    const char *name() const override { return "eliminate-dead-nodes"; }
+
+    bool
+    run(Graph &graph) override
+    {
+        // Walk backwards from the graph outputs marking live values.
+        std::unordered_set<std::string> live;
+        std::vector<std::string> frontier;
+        for (const ValueInfo &output : graph.outputs()) {
+            if (live.insert(output.name).second)
+                frontier.push_back(output.name);
+        }
+
+        std::vector<bool> node_live(graph.nodes().size(), false);
+        while (!frontier.empty()) {
+            const std::string value = std::move(frontier.back());
+            frontier.pop_back();
+            const auto producer = graph.producer(value);
+            if (!producer || node_live[*producer])
+                continue;
+            node_live[*producer] = true;
+            for (const std::string &in : graph.nodes()[*producer].inputs()) {
+                if (!in.empty() && live.insert(in).second)
+                    frontier.push_back(in);
+            }
+        }
+
+        std::vector<std::size_t> doomed;
+        for (std::size_t i = 0; i < graph.nodes().size(); ++i) {
+            if (!node_live[i])
+                doomed.push_back(i);
+        }
+        graph.remove_nodes(doomed);
+
+        // Initializer GC (after node removal so references are final).
+        std::unordered_set<std::string> referenced;
+        for (const Node &node : graph.nodes()) {
+            for (const std::string &in : node.inputs())
+                referenced.insert(in);
+        }
+        for (const ValueInfo &output : graph.outputs())
+            referenced.insert(output.name);
+
+        std::vector<std::string> dead_initializers;
+        for (const auto &[name, tensor] : graph.initializers()) {
+            (void)tensor;
+            if (referenced.count(name) == 0)
+                dead_initializers.push_back(name);
+        }
+        for (const std::string &name : dead_initializers)
+            graph.remove_initializer(name);
+
+        return !doomed.empty() || !dead_initializers.empty();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<GraphPass>
+make_eliminate_dead_nodes_pass()
+{
+    return std::make_unique<EliminateDeadNodesPass>();
+}
+
+} // namespace orpheus

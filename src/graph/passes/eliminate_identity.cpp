@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Removes no-op nodes: Identity, and Dropout in inference mode (where it
+ * is the identity function). Consumers are rewired to the node's input.
+ */
+#include "graph/passes/pass.hpp"
+
+namespace orpheus {
+
+namespace {
+
+class EliminateIdentityPass : public GraphPass
+{
+  public:
+    const char *name() const override { return "eliminate-identity"; }
+
+    bool
+    run(Graph &graph) override
+    {
+        std::vector<std::size_t> doomed;
+        for (std::size_t i = 0; i < graph.nodes().size(); ++i) {
+            const Node &node = graph.nodes()[i];
+            if (node.op_type() != op_names::kIdentity &&
+                node.op_type() != op_names::kDropout) {
+                continue;
+            }
+            // A Dropout whose mask output is consumed cannot be removed.
+            if (node.outputs().size() > 1 &&
+                !graph.consumers(node.output(1)).empty()) {
+                continue;
+            }
+            graph.replace_all_uses(node.output(0), node.input(0));
+            doomed.push_back(i);
+        }
+        graph.remove_nodes(doomed);
+        return !doomed.empty();
+    }
+};
+
+} // namespace
+
+std::unique_ptr<GraphPass>
+make_eliminate_identity_pass()
+{
+    return std::make_unique<EliminateIdentityPass>();
+}
+
+} // namespace orpheus

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Folds explicit zero Pad nodes into the padding attribute of the Conv
+ * that consumes them.
+ *
+ * Only Conv is targeted: MaxPool pads with -inf in ONNX semantics and
+ * AveragePool's divisor depends on count_include_pad, so folding a
+ * zero-Pad into either would change results.
+ */
+#include "graph/passes/pass.hpp"
+
+#include "graph/op_params.hpp"
+
+namespace orpheus {
+
+namespace {
+
+class FoldPadPass : public GraphPass
+{
+  public:
+    const char *name() const override { return "fold-pad"; }
+
+    bool
+    run(Graph &graph) override
+    {
+        std::vector<std::size_t> doomed;
+        for (std::size_t i = 0; i < graph.nodes().size(); ++i) {
+            const Node &pad = graph.nodes()[i];
+            if (pad.op_type() != op_names::kPad || !is_foldable(pad))
+                continue;
+            if (graph.is_graph_output(pad.output(0)))
+                continue;
+
+            const auto users = graph.consumers(pad.output(0));
+            if (users.size() != 1)
+                continue;
+            Node &conv = graph.nodes()[users[0]];
+            if (conv.op_type() != op_names::kConv ||
+                conv.input(0) != pad.output(0)) {
+                continue;
+            }
+
+            const auto pads = pad.attrs().at("pads").as_ints();
+            if (pads.size() != 8)
+                continue; // Only 4-D NCHW pads fold into Conv.
+            // Batch/channel padding cannot be expressed on Conv.
+            if (pads[0] != 0 || pads[1] != 0 || pads[4] != 0 || pads[5] != 0)
+                continue;
+
+            auto conv_pads =
+                conv.attrs().get_ints("pads", {0, 0, 0, 0});
+            conv_pads[0] += pads[2]; // top
+            conv_pads[1] += pads[3]; // left
+            conv_pads[2] += pads[6]; // bottom
+            conv_pads[3] += pads[7]; // right
+            conv.attrs().set("pads", conv_pads);
+            conv.inputs()[0] = pad.input(0);
+            doomed.push_back(i);
+        }
+        graph.remove_nodes(doomed);
+        return !doomed.empty();
+    }
+
+  private:
+    static bool
+    is_foldable(const Node &pad)
+    {
+        return pad.attrs().get_string("mode", "constant") == "constant" &&
+               pad.attrs().get_float("value", 0.0f) == 0.0f;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<GraphPass>
+make_fold_pad_pass()
+{
+    return std::make_unique<FoldPadPass>();
+}
+
+} // namespace orpheus

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fuses an elementwise activation into the Conv that feeds it.
+ *
+ * The conv kernels apply the activation while the output tile is still
+ * hot in cache, eliminating one full traversal of the activation tensor.
+ * Supported activations: Relu, LeakyRelu(alpha), Clip(min, max) — which
+ * covers ReLU6-style networks.
+ *
+ * The fusion is recorded on the Conv node as attributes:
+ *   fused_activation = "relu" | "leaky_relu" | "clip"
+ *   fused_alpha      (leaky_relu)
+ *   fused_min / fused_max (clip)
+ */
+#include "graph/passes/pass.hpp"
+
+#include <limits>
+
+namespace orpheus {
+
+namespace {
+
+class FuseConvActivationPass : public GraphPass
+{
+  public:
+    const char *name() const override { return "fuse-conv-activation"; }
+
+    bool
+    run(Graph &graph) override
+    {
+        std::vector<std::size_t> doomed;
+        for (std::size_t i = 0; i < graph.nodes().size(); ++i) {
+            const Node &act = graph.nodes()[i];
+            if (!is_fusable_activation(graph, act))
+                continue;
+
+            const auto conv_index = graph.producer(act.input(0));
+            if (!conv_index)
+                continue;
+            Node &conv = graph.nodes()[*conv_index];
+            if (conv.op_type() != op_names::kConv)
+                continue;
+            if (conv.attrs().has("fused_activation"))
+                continue;
+            if (graph.consumers(conv.output(0)).size() != 1 ||
+                graph.is_graph_output(conv.output(0))) {
+                continue;
+            }
+
+            attach(graph, conv, act);
+            conv.outputs()[0] = act.output(0);
+            doomed.push_back(i);
+        }
+        graph.remove_nodes(doomed);
+        return !doomed.empty();
+    }
+
+  private:
+    static bool
+    is_fusable_activation(const Graph &graph, const Node &node)
+    {
+        if (node.op_type() == op_names::kRelu ||
+            node.op_type() == op_names::kLeakyRelu) {
+            return true;
+        }
+        if (node.op_type() == op_names::kClip) {
+            // Clip bounds may arrive as attributes (opset 6) or constant
+            // inputs (opset 11+); both are fusable.
+            for (std::size_t operand = 1; operand <= 2; ++operand) {
+                if (node.has_input(operand) &&
+                    !graph.has_initializer(node.input(operand))) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        return false;
+    }
+
+    static void
+    attach(const Graph &graph, Node &conv, const Node &act)
+    {
+        if (act.op_type() == op_names::kRelu) {
+            conv.attrs().set("fused_activation", "relu");
+        } else if (act.op_type() == op_names::kLeakyRelu) {
+            conv.attrs().set("fused_activation", "leaky_relu");
+            conv.attrs().set("fused_alpha",
+                             act.attrs().get_float("alpha", 0.01f));
+        } else {
+            conv.attrs().set("fused_activation", "clip");
+            conv.attrs().set("fused_min", clip_bound(graph, act, 1, "min",
+                                                     std::numeric_limits<
+                                                         float>::lowest()));
+            conv.attrs().set("fused_max", clip_bound(graph, act, 2, "max",
+                                                     std::numeric_limits<
+                                                         float>::max()));
+        }
+    }
+
+    static float
+    clip_bound(const Graph &graph, const Node &clip, std::size_t operand,
+               const char *attr, float fallback)
+    {
+        if (clip.has_input(operand))
+            return *graph.initializer(clip.input(operand)).data<float>();
+        return clip.attrs().get_float(attr, fallback);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<GraphPass>
+make_fuse_conv_activation_pass()
+{
+    return std::make_unique<FuseConvActivationPass>();
+}
+
+} // namespace orpheus

@@ -1,0 +1,63 @@
+#include "graph/passes/pass.hpp"
+
+#include "core/logging.hpp"
+
+namespace orpheus {
+
+void
+PassManager::add(std::unique_ptr<GraphPass> pass)
+{
+    ORPHEUS_CHECK(pass != nullptr, "cannot add a null pass");
+    passes_.push_back(std::move(pass));
+}
+
+PassManagerReport
+PassManager::run(Graph &graph, int max_iterations) const
+{
+    PassManagerReport report;
+    for (const auto &pass : passes_)
+        report.changes.emplace_back(pass->name(), 0);
+
+    for (int iteration = 0; iteration < max_iterations; ++iteration) {
+        ++report.iterations;
+        bool changed = false;
+        for (std::size_t i = 0; i < passes_.size(); ++i) {
+            if (passes_[i]->run(graph)) {
+                changed = true;
+                ++report.changes[i].second;
+                ORPHEUS_DEBUG("pass " << passes_[i]->name()
+                                      << " changed graph " << graph.name());
+            }
+        }
+        if (!changed) {
+            graph.validate();
+            return report;
+        }
+    }
+    ORPHEUS_ASSERT(false, "pass pipeline failed to converge after "
+                              << max_iterations << " iterations on graph "
+                              << graph.name());
+}
+
+PassManager
+standard_simplification_pipeline()
+{
+    PassManager manager;
+    manager.add(make_eliminate_identity_pass());
+    manager.add(make_constant_folding_pass());
+    manager.add(make_eliminate_common_subexpressions_pass());
+    manager.add(make_fold_pad_pass());
+    manager.add(make_fold_batchnorm_pass());
+    manager.add(make_fuse_conv_activation_pass());
+    manager.add(make_eliminate_dead_nodes_pass());
+    return manager;
+}
+
+PassManagerReport
+simplify_graph(Graph &graph)
+{
+    static const PassManager pipeline = standard_simplification_pipeline();
+    return pipeline.run(graph);
+}
+
+} // namespace orpheus

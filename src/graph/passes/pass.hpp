@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Graph-simplification pass framework.
+ *
+ * The paper's model loader "applies simplifications to the computation
+ * graph" before the runtime sees it. Each simplification is a GraphPass;
+ * the PassManager runs a pipeline to fixpoint. The standard pipeline
+ * (the one the engine applies by default) is:
+ *
+ *   1. EliminateIdentity    Identity/inference-mode-Dropout removal
+ *   2. ConstantFolding      structural folding of constant subgraphs
+ *   2b. EliminateCSE        duplicate pure nodes merged
+ *   3. FoldPad              Pad nodes merged into Conv/Pool padding
+ *   4. FoldBatchNorm        BatchNormalization folded into Conv weights
+ *   5. FuseConvActivation   Relu/Clip/LeakyRelu fused into Conv
+ *   6. EliminateDeadNodes   unreferenced nodes dropped
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace orpheus {
+
+class GraphPass
+{
+  public:
+    virtual ~GraphPass() = default;
+
+    /** Stable pass name used in logs and pipeline configuration. */
+    virtual const char *name() const = 0;
+
+    /** Mutates @p graph; returns true if anything changed. */
+    virtual bool run(Graph &graph) = 0;
+};
+
+/** Outcome of one PassManager invocation. */
+struct PassManagerReport {
+    /** Number of full pipeline iterations executed. */
+    int iterations = 0;
+    /** Per-pass application counts (pass name, times it changed the graph). */
+    std::vector<std::pair<std::string, int>> changes;
+
+    bool
+    changed() const
+    {
+        for (const auto &[name, count] : changes) {
+            if (count > 0)
+                return true;
+        }
+        return false;
+    }
+};
+
+class PassManager
+{
+  public:
+    /** Appends a pass to the pipeline. */
+    void add(std::unique_ptr<GraphPass> pass);
+
+    /**
+     * Runs the pipeline repeatedly until no pass changes the graph (or
+     * @p max_iterations is reached, which indicates a pass that never
+     * converges and trips an assertion).
+     */
+    PassManagerReport run(Graph &graph, int max_iterations = 16) const;
+
+    std::size_t size() const { return passes_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<GraphPass>> passes_;
+};
+
+/** Factories for the individual standard passes. */
+std::unique_ptr<GraphPass> make_eliminate_identity_pass();
+std::unique_ptr<GraphPass> make_constant_folding_pass();
+std::unique_ptr<GraphPass> make_eliminate_common_subexpressions_pass();
+std::unique_ptr<GraphPass> make_fold_pad_pass();
+std::unique_ptr<GraphPass> make_fold_batchnorm_pass();
+std::unique_ptr<GraphPass> make_fuse_conv_activation_pass();
+std::unique_ptr<GraphPass> make_eliminate_dead_nodes_pass();
+
+/** Builds the standard simplification pipeline described above. */
+PassManager standard_simplification_pipeline();
+
+/** Convenience: runs the standard pipeline on @p graph. */
+PassManagerReport simplify_graph(Graph &graph);
+
+} // namespace orpheus

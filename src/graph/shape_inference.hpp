@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Static shape and dtype inference over a Graph.
+ *
+ * Inference walks the graph in topological order and computes a
+ * ValueInfo for every value, starting from the declared graph inputs and
+ * the initializer tensors. Per-op rules live in an extensible registry,
+ * so integrating a new operator means registering one rule — the same
+ * philosophy as the kernel registry in src/backend.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace orpheus {
+
+/** Inferred signature for every value in a graph, keyed by value name. */
+using ValueInfoMap = std::unordered_map<std::string, ValueInfo>;
+
+/**
+ * Context handed to a shape-inference rule: the node, resolved input
+ * signatures (empty name -> default ValueInfo), and the owning graph for
+ * initializer access (Reshape reads its shape operand's data).
+ */
+struct ShapeInferenceContext {
+    const Node &node;
+    std::vector<ValueInfo> input_infos;
+    const Graph &graph;
+
+    const ValueInfo &
+    input(std::size_t index) const
+    {
+        return input_infos.at(index);
+    }
+};
+
+/** A rule returns one ValueInfo per node output (names filled by caller). */
+using ShapeInferenceRule =
+    std::function<std::vector<ValueInfo>(const ShapeInferenceContext &)>;
+
+/** Registers (or replaces) the rule for @p op_type. */
+void register_shape_inference_rule(const std::string &op_type,
+                                   ShapeInferenceRule rule);
+
+/** True if a rule exists for @p op_type. */
+bool has_shape_inference_rule(const std::string &op_type);
+
+/**
+ * Runs whole-graph inference. Throws orpheus::Error on unknown ops,
+ * rank/shape violations, or graphs that fail validate().
+ */
+ValueInfoMap infer_shapes(const Graph &graph);
+
+} // namespace orpheus

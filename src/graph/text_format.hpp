@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The Orpheus text model format (.orpht).
+ *
+ * ONNX is the interchange format; the text format is the *transparency*
+ * format: a line-oriented, diff-able, hand-editable serialisation of a
+ * Graph, useful for inspecting what the simplifier did, crafting
+ * regression cases, and teaching. Tensor payloads are hex-encoded raw
+ * bytes, so round trips are bit exact.
+ *
+ * Grammar (one record per line; names must contain no whitespace):
+ *
+ *   orpheus-text 1
+ *   graph <name>
+ *   input <name> <dtype> [d0,d1,...]
+ *   initializer <name> <dtype> [d0,...]
+ *   data <hex bytes>                      # immediately after initializer
+ *   node <name> <op_type>
+ *   inputs <name|_> ...                   # "_" = omitted optional input
+ *   outputs <name> ...
+ *   attr_int <name> <value>
+ *   attr_float <name> <value>             # max_digits10, exact round trip
+ *   attr_string <name> <value...>
+ *   attr_ints <name> <v0> <v1> ...
+ *   attr_floats <name> <v0> ...
+ *   attr_tensor <name> <dtype> [dims] <hex>
+ *   end                                   # closes the node
+ *   output <name>
+ *
+ * Blank lines and lines starting with '#' are ignored.
+ */
+#pragma once
+
+#include <string>
+
+#include "core/status.hpp"
+#include "graph/graph.hpp"
+
+namespace orpheus {
+
+/** Serialises @p graph to the text format. */
+std::string to_text(const Graph &graph);
+
+/** Parses the text format into @p out_graph. */
+Status from_text(const std::string &text, Graph &out_graph);
+
+/** File helpers. */
+Status save_text_file(const Graph &graph, const std::string &path);
+Status load_text_file(const std::string &path, Graph &out_graph);
+
+} // namespace orpheus

@@ -1,0 +1,319 @@
+#include "models/builder.hpp"
+
+#include "graph/op_params.hpp"
+
+namespace orpheus {
+
+GraphBuilder::GraphBuilder(std::string graph_name, std::uint64_t seed)
+    : graph_(std::move(graph_name)), rng_(seed)
+{
+}
+
+std::string
+GraphBuilder::input(const std::string &name, Shape shape)
+{
+    graph_.add_input(name, shape);
+    track(name, std::move(shape));
+    return name;
+}
+
+std::string
+GraphBuilder::conv(const std::string &in, std::int64_t out_channels,
+                   std::int64_t kernel_h, std::int64_t kernel_w,
+                   std::int64_t stride, std::int64_t pad_top,
+                   std::int64_t pad_left, std::int64_t pad_bottom,
+                   std::int64_t pad_right, std::int64_t group, bool bias)
+{
+    if (pad_bottom < 0)
+        pad_bottom = pad_top;
+    if (pad_right < 0)
+        pad_right = pad_left;
+
+    const Shape &in_shape = shape_of(in);
+    const std::int64_t in_channels = in_shape.dim(1);
+    ORPHEUS_CHECK(in_channels % group == 0,
+                  "conv input channels " << in_channels
+                                         << " not divisible by group "
+                                         << group);
+
+    const std::string weight_name = fresh("weight");
+    Tensor weight(Shape({out_channels, in_channels / group, kernel_h,
+                         kernel_w}));
+    fill_kaiming(weight, rng_);
+    graph_.add_initializer(weight_name, std::move(weight));
+
+    std::vector<std::string> node_inputs{in, weight_name};
+    if (bias) {
+        const std::string bias_name = fresh("bias");
+        Tensor bias_tensor(Shape({out_channels}));
+        fill_uniform(bias_tensor, rng_, -0.05f, 0.05f);
+        graph_.add_initializer(bias_name, std::move(bias_tensor));
+        node_inputs.push_back(bias_name);
+    }
+
+    AttributeMap attrs;
+    Conv2dParams params;
+    params.kernel_h = kernel_h;
+    params.kernel_w = kernel_w;
+    params.stride_h = stride;
+    params.stride_w = stride;
+    params.pad_top = pad_top;
+    params.pad_left = pad_left;
+    params.pad_bottom = pad_bottom;
+    params.pad_right = pad_right;
+    params.group = group;
+    params.to_attrs(attrs);
+
+    const std::string out = fresh("conv");
+    graph_.add_node(op_names::kConv, std::move(node_inputs), {out},
+                    std::move(attrs));
+    track(out, Shape({in_shape.dim(0), out_channels,
+                      params.out_h(in_shape.dim(2)),
+                      params.out_w(in_shape.dim(3))}));
+    return out;
+}
+
+std::string
+GraphBuilder::conv_k(const std::string &in, std::int64_t out_channels,
+                     std::int64_t k, std::int64_t s, std::int64_t p,
+                     std::int64_t group, bool bias)
+{
+    return conv(in, out_channels, k, k, s, p, p, p, p, group, bias);
+}
+
+std::string
+GraphBuilder::batchnorm(const std::string &in)
+{
+    const std::int64_t channels = shape_of(in).dim(1);
+
+    const auto make_param = [&](const char *hint, float lo, float hi) {
+        const std::string name = fresh(hint);
+        Tensor t(Shape({channels}));
+        fill_uniform(t, rng_, lo, hi);
+        graph_.add_initializer(name, std::move(t));
+        return name;
+    };
+
+    const std::string gamma = make_param("bn_gamma", 0.8f, 1.2f);
+    const std::string beta = make_param("bn_beta", -0.1f, 0.1f);
+    const std::string mean = make_param("bn_mean", -0.1f, 0.1f);
+    const std::string var = make_param("bn_var", 0.5f, 1.5f);
+
+    AttributeMap attrs;
+    attrs.set("epsilon", 1e-5f);
+
+    const std::string out = fresh("bn");
+    graph_.add_node(op_names::kBatchNormalization,
+                    {in, gamma, beta, mean, var}, {out}, std::move(attrs));
+    track(out, shape_of(in));
+    return out;
+}
+
+std::string
+GraphBuilder::relu(const std::string &in)
+{
+    const std::string out = fresh("relu");
+    graph_.add_node(op_names::kRelu, {in}, {out});
+    track(out, shape_of(in));
+    return out;
+}
+
+std::string
+GraphBuilder::conv_bn_relu(const std::string &in, std::int64_t out_channels,
+                           std::int64_t kernel_h, std::int64_t kernel_w,
+                           std::int64_t stride, std::int64_t pad_top,
+                           std::int64_t pad_left, std::int64_t pad_bottom,
+                           std::int64_t pad_right, std::int64_t group)
+{
+    const std::string c = conv(in, out_channels, kernel_h, kernel_w, stride,
+                               pad_top, pad_left, pad_bottom, pad_right,
+                               group, /*bias=*/false);
+    return relu(batchnorm(c));
+}
+
+std::string
+GraphBuilder::cbr(const std::string &in, std::int64_t out_channels,
+                  std::int64_t k, std::int64_t s, std::int64_t p,
+                  std::int64_t group)
+{
+    return conv_bn_relu(in, out_channels, k, k, s, p, p, p, p, group);
+}
+
+std::string
+GraphBuilder::maxpool(const std::string &in, std::int64_t k, std::int64_t s,
+                      std::int64_t p)
+{
+    AttributeMap attrs;
+    Pool2dParams params;
+    params.kernel_h = params.kernel_w = k;
+    params.stride_h = params.stride_w = s;
+    params.pad_top = params.pad_left = params.pad_bottom = params.pad_right =
+        p;
+    params.to_attrs(attrs);
+
+    const Shape &in_shape = shape_of(in);
+    const std::string out = fresh("maxpool");
+    graph_.add_node(op_names::kMaxPool, {in}, {out}, std::move(attrs));
+    track(out, Shape({in_shape.dim(0), in_shape.dim(1),
+                      params.out_h(in_shape.dim(2)),
+                      params.out_w(in_shape.dim(3))}));
+    return out;
+}
+
+std::string
+GraphBuilder::avgpool(const std::string &in, std::int64_t k, std::int64_t s,
+                      std::int64_t p, bool count_include_pad)
+{
+    AttributeMap attrs;
+    Pool2dParams params;
+    params.kernel_h = params.kernel_w = k;
+    params.stride_h = params.stride_w = s;
+    params.pad_top = params.pad_left = params.pad_bottom = params.pad_right =
+        p;
+    params.count_include_pad = count_include_pad;
+    params.to_attrs(attrs);
+
+    const Shape &in_shape = shape_of(in);
+    const std::string out = fresh("avgpool");
+    graph_.add_node(op_names::kAveragePool, {in}, {out}, std::move(attrs));
+    track(out, Shape({in_shape.dim(0), in_shape.dim(1),
+                      params.out_h(in_shape.dim(2)),
+                      params.out_w(in_shape.dim(3))}));
+    return out;
+}
+
+std::string
+GraphBuilder::global_average_pool(const std::string &in)
+{
+    const Shape &in_shape = shape_of(in);
+    const std::string out = fresh("gap");
+    graph_.add_node(op_names::kGlobalAveragePool, {in}, {out});
+    track(out, Shape({in_shape.dim(0), in_shape.dim(1), 1, 1}));
+    return out;
+}
+
+std::string
+GraphBuilder::add(const std::string &a, const std::string &b)
+{
+    ORPHEUS_CHECK(shape_of(a) == shape_of(b),
+                  "residual add shape mismatch: " << shape_of(a) << " vs "
+                                                  << shape_of(b));
+    const std::string out = fresh("add");
+    graph_.add_node(op_names::kAdd, {a, b}, {out});
+    track(out, shape_of(a));
+    return out;
+}
+
+std::string
+GraphBuilder::concat(const std::vector<std::string> &inputs, int axis)
+{
+    ORPHEUS_CHECK(!inputs.empty(), "concat needs inputs");
+    Shape result = shape_of(inputs.front());
+    const int normalized = result.normalize_axis(axis);
+    Shape::dim_type total = 0;
+    for (const std::string &in : inputs)
+        total += shape_of(in).dim(normalized);
+    result.set_dim(normalized, total);
+
+    AttributeMap attrs;
+    attrs.set("axis", static_cast<std::int64_t>(normalized));
+
+    const std::string out = fresh("concat");
+    graph_.add_node(op_names::kConcat,
+                    std::vector<std::string>(inputs.begin(), inputs.end()),
+                    {out}, std::move(attrs));
+    track(out, std::move(result));
+    return out;
+}
+
+std::string
+GraphBuilder::flatten(const std::string &in)
+{
+    const Shape &in_shape = shape_of(in);
+    Shape::dim_type cols = 1;
+    for (std::size_t d = 1; d < in_shape.rank(); ++d)
+        cols *= in_shape.dim(static_cast<int>(d));
+
+    AttributeMap attrs;
+    attrs.set("axis", std::int64_t{1});
+
+    const std::string out = fresh("flatten");
+    graph_.add_node(op_names::kFlatten, {in}, {out}, std::move(attrs));
+    track(out, Shape({in_shape.dim(0), cols}));
+    return out;
+}
+
+std::string
+GraphBuilder::dense(const std::string &in, std::int64_t units)
+{
+    const Shape &in_shape = shape_of(in);
+    ORPHEUS_CHECK(in_shape.rank() == 2,
+                  "dense input must be rank 2, got " << in_shape
+                                                     << " (flatten first)");
+    const std::int64_t features = in_shape.dim(1);
+
+    const std::string weight_name = fresh("fc_weight");
+    Tensor weight(Shape({units, features}));
+    fill_kaiming(weight, rng_, features);
+    graph_.add_initializer(weight_name, std::move(weight));
+
+    const std::string bias_name = fresh("fc_bias");
+    Tensor bias(Shape({units}));
+    fill_uniform(bias, rng_, -0.05f, 0.05f);
+    graph_.add_initializer(bias_name, std::move(bias));
+
+    AttributeMap attrs;
+    attrs.set("transB", std::int64_t{1});
+
+    const std::string out = fresh("fc");
+    graph_.add_node(op_names::kGemm, {in, weight_name, bias_name}, {out},
+                    std::move(attrs));
+    track(out, Shape({in_shape.dim(0), units}));
+    return out;
+}
+
+std::string
+GraphBuilder::softmax(const std::string &in, int axis)
+{
+    AttributeMap attrs;
+    attrs.set("axis", static_cast<std::int64_t>(axis));
+    const std::string out = fresh("softmax");
+    graph_.add_node(op_names::kSoftmax, {in}, {out}, std::move(attrs));
+    track(out, shape_of(in));
+    return out;
+}
+
+void
+GraphBuilder::output(const std::string &value)
+{
+    graph_.add_output(value, shape_of(value));
+}
+
+const Shape &
+GraphBuilder::shape_of(const std::string &value) const
+{
+    auto it = shapes_.find(value);
+    ORPHEUS_CHECK(it != shapes_.end(), "unknown value in builder: " << value);
+    return it->second;
+}
+
+Graph
+GraphBuilder::take()
+{
+    graph_.validate();
+    return std::move(graph_);
+}
+
+std::string
+GraphBuilder::fresh(const std::string &hint)
+{
+    return graph_.name() + "/" + hint + "_" + std::to_string(counter_++);
+}
+
+void
+GraphBuilder::track(const std::string &value, Shape shape)
+{
+    shapes_[value] = std::move(shape);
+}
+
+} // namespace orpheus

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * GraphBuilder: a fluent helper for constructing network graphs.
+ *
+ * The model zoo uses it to assemble the paper's five evaluation
+ * networks. Values are identified by the string names the underlying
+ * Graph uses; the builder tracks every value's shape so layer helpers
+ * can size their weights, and it owns a deterministic RNG so that a
+ * given (architecture, seed) pair always produces identical weights.
+ */
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace orpheus {
+
+class GraphBuilder
+{
+  public:
+    explicit GraphBuilder(std::string graph_name,
+                          std::uint64_t seed = 0x0c0ffee);
+
+    /** Declares the (single) network input; returns its value name. */
+    std::string input(const std::string &name, Shape shape);
+
+    // --- Layers (each returns the output value name) ---------------------
+
+    /**
+     * Convolution with Kaiming-initialised weights. @p kernel_h/w and
+     * pads follow ONNX conventions; bias is optional (conv+BN stacks
+     * traditionally omit it).
+     */
+    std::string conv(const std::string &in, std::int64_t out_channels,
+                     std::int64_t kernel_h, std::int64_t kernel_w,
+                     std::int64_t stride = 1, std::int64_t pad_top = 0,
+                     std::int64_t pad_left = 0, std::int64_t pad_bottom = -1,
+                     std::int64_t pad_right = -1, std::int64_t group = 1,
+                     bool bias = false);
+
+    /** Square-kernel convenience: kernel k, stride s, symmetric pad p. */
+    std::string conv_k(const std::string &in, std::int64_t out_channels,
+                       std::int64_t k, std::int64_t s, std::int64_t p,
+                       std::int64_t group = 1, bool bias = false);
+
+    /** Inference BatchNormalization with plausible random statistics. */
+    std::string batchnorm(const std::string &in);
+
+    std::string relu(const std::string &in);
+
+    /** conv + batchnorm + relu — the ubiquitous block. */
+    std::string conv_bn_relu(const std::string &in,
+                             std::int64_t out_channels, std::int64_t kernel_h,
+                             std::int64_t kernel_w, std::int64_t stride = 1,
+                             std::int64_t pad_top = 0,
+                             std::int64_t pad_left = 0,
+                             std::int64_t pad_bottom = -1,
+                             std::int64_t pad_right = -1,
+                             std::int64_t group = 1);
+
+    /** Square-kernel conv_bn_relu. */
+    std::string cbr(const std::string &in, std::int64_t out_channels,
+                    std::int64_t k, std::int64_t s, std::int64_t p,
+                    std::int64_t group = 1);
+
+    std::string maxpool(const std::string &in, std::int64_t k,
+                        std::int64_t s, std::int64_t p = 0);
+
+    std::string avgpool(const std::string &in, std::int64_t k,
+                        std::int64_t s, std::int64_t p = 0,
+                        bool count_include_pad = false);
+
+    std::string global_average_pool(const std::string &in);
+
+    std::string add(const std::string &a, const std::string &b);
+
+    std::string concat(const std::vector<std::string> &inputs,
+                       int axis = 1);
+
+    std::string flatten(const std::string &in);
+
+    /** Fully-connected layer (Gemm, transB=1) with bias. */
+    std::string dense(const std::string &in, std::int64_t units);
+
+    std::string softmax(const std::string &in, int axis = -1);
+
+    /** Marks @p value as a graph output. */
+    void output(const std::string &value);
+
+    /** Tracked shape of a value built so far. */
+    const Shape &shape_of(const std::string &value) const;
+
+    /** Finalises and returns the graph (builder becomes unusable). */
+    Graph take();
+
+  private:
+    std::string fresh(const std::string &hint);
+    void track(const std::string &value, Shape shape);
+
+    Graph graph_;
+    Rng rng_;
+    std::unordered_map<std::string, Shape> shapes_;
+    std::uint64_t counter_ = 0;
+};
+
+} // namespace orpheus

@@ -1,0 +1,416 @@
+#include "models/model_zoo.hpp"
+
+#include "models/builder.hpp"
+
+namespace orpheus::models {
+
+namespace {
+
+/**
+ * WRN pre-activation basic block: BN-ReLU-conv3x3-BN-ReLU-conv3x3 with
+ * an identity shortcut, or a 1x1 projection when shape changes. The
+ * first block of a group receives the already-activated input through
+ * the shortcut, per Zagoruyko & Komodakis.
+ */
+std::string
+wrn_block(GraphBuilder &b, const std::string &in, std::int64_t channels,
+          std::int64_t stride)
+{
+    const bool reshape = stride != 1 || b.shape_of(in).dim(1) != channels;
+
+    std::string pre = b.relu(b.batchnorm(in));
+    std::string shortcut =
+        reshape ? b.conv_k(pre, channels, 1, stride, 0) : in;
+
+    std::string path = b.conv_k(pre, channels, 3, stride, 1);
+    path = b.relu(b.batchnorm(path));
+    path = b.conv_k(path, channels, 3, 1, 1);
+    return b.add(path, shortcut);
+}
+
+/** ResNet v1 basic block (two 3x3 convs, post-activation). */
+std::string
+resnet_basic_block(GraphBuilder &b, const std::string &in,
+                   std::int64_t channels, std::int64_t stride)
+{
+    const bool reshape = stride != 1 || b.shape_of(in).dim(1) != channels;
+    std::string shortcut = in;
+    if (reshape)
+        shortcut = b.batchnorm(b.conv_k(in, channels, 1, stride, 0));
+
+    std::string path = b.cbr(in, channels, 3, stride, 1);
+    path = b.batchnorm(b.conv_k(path, channels, 3, 1, 1));
+    return b.relu(b.add(path, shortcut));
+}
+
+/** ResNet v1 bottleneck block (1x1 reduce, 3x3, 1x1 expand). */
+std::string
+resnet_bottleneck_block(GraphBuilder &b, const std::string &in,
+                        std::int64_t mid_channels, std::int64_t stride)
+{
+    const std::int64_t out_channels = mid_channels * 4;
+    const bool reshape =
+        stride != 1 || b.shape_of(in).dim(1) != out_channels;
+    std::string shortcut = in;
+    if (reshape)
+        shortcut = b.batchnorm(b.conv_k(in, out_channels, 1, stride, 0));
+
+    std::string path = b.cbr(in, mid_channels, 1, 1, 0);
+    path = b.cbr(path, mid_channels, 3, stride, 1);
+    path = b.batchnorm(b.conv_k(path, out_channels, 1, 1, 0));
+    return b.relu(b.add(path, shortcut));
+}
+
+/** MobileNetV1 depthwise-separable block. */
+std::string
+mobilenet_block(GraphBuilder &b, const std::string &in,
+                std::int64_t out_channels, std::int64_t stride)
+{
+    const std::int64_t in_channels = b.shape_of(in).dim(1);
+    std::string path = b.cbr(in, in_channels, 3, stride, 1,
+                             /*group=*/in_channels); // depthwise
+    return b.cbr(path, out_channels, 1, 1, 0);       // pointwise
+}
+
+std::int64_t
+scaled(std::int64_t channels, float multiplier)
+{
+    const auto value =
+        static_cast<std::int64_t>(static_cast<float>(channels) * multiplier);
+    return value < 8 ? 8 : value;
+}
+
+} // namespace
+
+Graph
+wrn_40_2(int num_classes, std::uint64_t seed)
+{
+    GraphBuilder b("wrn-40-2", seed);
+    // Depth 40 => (40 - 4) / 6 = 6 blocks per group; widen factor 2.
+    constexpr int kBlocksPerGroup = 6;
+    const std::int64_t widths[3] = {32, 64, 128};
+
+    std::string x = b.input("input", Shape({1, 3, 32, 32}));
+    x = b.conv_k(x, 16, 3, 1, 1);
+    for (int group = 0; group < 3; ++group) {
+        for (int block = 0; block < kBlocksPerGroup; ++block) {
+            const std::int64_t stride =
+                (group > 0 && block == 0) ? 2 : 1;
+            x = wrn_block(b, x, widths[group], stride);
+        }
+    }
+    x = b.relu(b.batchnorm(x));
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    x = b.dense(x, num_classes);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+Graph
+mobilenet_v1(int num_classes, float width_multiplier, std::uint64_t seed)
+{
+    GraphBuilder b("mobilenet-v1", seed);
+    std::string x = b.input("input", Shape({1, 3, 224, 224}));
+    x = b.cbr(x, scaled(32, width_multiplier), 3, 2, 1);
+
+    // (out_channels, stride) per separable block — the standard 13.
+    const std::pair<std::int64_t, std::int64_t> blocks[] = {
+        {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},
+        {512, 2}, {512, 1}, {512, 1}, {512, 1},  {512, 1},
+        {512, 1}, {1024, 2}, {1024, 1},
+    };
+    for (const auto &[channels, stride] : blocks)
+        x = mobilenet_block(b, x, scaled(channels, width_multiplier),
+                            stride);
+
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    x = b.dense(x, num_classes);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+Graph
+resnet18(int num_classes, std::uint64_t seed)
+{
+    GraphBuilder b("resnet-18", seed);
+    std::string x = b.input("input", Shape({1, 3, 224, 224}));
+    x = b.cbr(x, 64, 7, 2, 3);
+    x = b.maxpool(x, 3, 2, 1);
+
+    const std::int64_t stage_channels[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < 2; ++block) {
+            const std::int64_t stride =
+                (stage > 0 && block == 0) ? 2 : 1;
+            x = resnet_basic_block(b, x, stage_channels[stage], stride);
+        }
+    }
+
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    x = b.dense(x, num_classes);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+Graph
+resnet50(int num_classes, std::uint64_t seed)
+{
+    GraphBuilder b("resnet-50", seed);
+    std::string x = b.input("input", Shape({1, 3, 224, 224}));
+    x = b.cbr(x, 64, 7, 2, 3);
+    x = b.maxpool(x, 3, 2, 1);
+
+    const std::int64_t stage_channels[4] = {64, 128, 256, 512};
+    const int stage_blocks[4] = {3, 4, 6, 3};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int block = 0; block < stage_blocks[stage]; ++block) {
+            const std::int64_t stride =
+                (stage > 0 && block == 0) ? 2 : 1;
+            x = resnet_bottleneck_block(b, x, stage_channels[stage],
+                                        stride);
+        }
+    }
+
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    x = b.dense(x, num_classes);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+namespace {
+
+// --- Inception-v3 modules (channel plans follow the torchvision port) ---
+
+std::string
+inception_a(GraphBuilder &b, const std::string &in,
+            std::int64_t pool_features)
+{
+    std::string branch1 = b.cbr(in, 64, 1, 1, 0);
+
+    std::string branch5 = b.cbr(in, 48, 1, 1, 0);
+    branch5 = b.cbr(branch5, 64, 5, 1, 2);
+
+    std::string branch3 = b.cbr(in, 64, 1, 1, 0);
+    branch3 = b.cbr(branch3, 96, 3, 1, 1);
+    branch3 = b.cbr(branch3, 96, 3, 1, 1);
+
+    std::string pool = b.avgpool(in, 3, 1, 1, /*count_include_pad=*/true);
+    pool = b.cbr(pool, pool_features, 1, 1, 0);
+
+    return b.concat({branch1, branch5, branch3, pool});
+}
+
+std::string
+inception_b(GraphBuilder &b, const std::string &in)
+{
+    std::string branch3 = b.cbr(in, 384, 3, 2, 0);
+
+    std::string branch3dbl = b.cbr(in, 64, 1, 1, 0);
+    branch3dbl = b.cbr(branch3dbl, 96, 3, 1, 1);
+    branch3dbl = b.cbr(branch3dbl, 96, 3, 2, 0);
+
+    std::string pool = b.maxpool(in, 3, 2, 0);
+
+    return b.concat({branch3, branch3dbl, pool});
+}
+
+std::string
+inception_c(GraphBuilder &b, const std::string &in, std::int64_t channels_7)
+{
+    std::string branch1 = b.cbr(in, 192, 1, 1, 0);
+
+    std::string branch7 = b.cbr(in, channels_7, 1, 1, 0);
+    branch7 = b.conv_bn_relu(branch7, channels_7, 1, 7, 1, 0, 3);
+    branch7 = b.conv_bn_relu(branch7, 192, 7, 1, 1, 3, 0);
+
+    std::string branch7dbl = b.cbr(in, channels_7, 1, 1, 0);
+    branch7dbl = b.conv_bn_relu(branch7dbl, channels_7, 7, 1, 1, 3, 0);
+    branch7dbl = b.conv_bn_relu(branch7dbl, channels_7, 1, 7, 1, 0, 3);
+    branch7dbl = b.conv_bn_relu(branch7dbl, channels_7, 7, 1, 1, 3, 0);
+    branch7dbl = b.conv_bn_relu(branch7dbl, 192, 1, 7, 1, 0, 3);
+
+    std::string pool = b.avgpool(in, 3, 1, 1, /*count_include_pad=*/true);
+    pool = b.cbr(pool, 192, 1, 1, 0);
+
+    return b.concat({branch1, branch7, branch7dbl, pool});
+}
+
+std::string
+inception_d(GraphBuilder &b, const std::string &in)
+{
+    std::string branch3 = b.cbr(in, 192, 1, 1, 0);
+    branch3 = b.cbr(branch3, 320, 3, 2, 0);
+
+    std::string branch7 = b.cbr(in, 192, 1, 1, 0);
+    branch7 = b.conv_bn_relu(branch7, 192, 1, 7, 1, 0, 3);
+    branch7 = b.conv_bn_relu(branch7, 192, 7, 1, 1, 3, 0);
+    branch7 = b.cbr(branch7, 192, 3, 2, 0);
+
+    std::string pool = b.maxpool(in, 3, 2, 0);
+
+    return b.concat({branch3, branch7, pool});
+}
+
+std::string
+inception_e(GraphBuilder &b, const std::string &in)
+{
+    std::string branch1 = b.cbr(in, 320, 1, 1, 0);
+
+    std::string branch3 = b.cbr(in, 384, 1, 1, 0);
+    std::string branch3a = b.conv_bn_relu(branch3, 384, 1, 3, 1, 0, 1);
+    std::string branch3b = b.conv_bn_relu(branch3, 384, 3, 1, 1, 1, 0);
+    branch3 = b.concat({branch3a, branch3b});
+
+    std::string branch3dbl = b.cbr(in, 448, 1, 1, 0);
+    branch3dbl = b.cbr(branch3dbl, 384, 3, 1, 1);
+    std::string branch3dbl_a =
+        b.conv_bn_relu(branch3dbl, 384, 1, 3, 1, 0, 1);
+    std::string branch3dbl_b =
+        b.conv_bn_relu(branch3dbl, 384, 3, 1, 1, 1, 0);
+    branch3dbl = b.concat({branch3dbl_a, branch3dbl_b});
+
+    std::string pool = b.avgpool(in, 3, 1, 1, /*count_include_pad=*/true);
+    pool = b.cbr(pool, 192, 1, 1, 0);
+
+    return b.concat({branch1, branch3, branch3dbl, pool});
+}
+
+} // namespace
+
+Graph
+inception_v3(int num_classes, std::uint64_t seed)
+{
+    GraphBuilder b("inception-v3", seed);
+    std::string x = b.input("input", Shape({1, 3, 299, 299}));
+
+    // Stem.
+    x = b.cbr(x, 32, 3, 2, 0);
+    x = b.cbr(x, 32, 3, 1, 0);
+    x = b.cbr(x, 64, 3, 1, 1);
+    x = b.maxpool(x, 3, 2, 0);
+    x = b.cbr(x, 80, 1, 1, 0);
+    x = b.cbr(x, 192, 3, 1, 0);
+    x = b.maxpool(x, 3, 2, 0);
+
+    // Inception blocks.
+    x = inception_a(b, x, 32);
+    x = inception_a(b, x, 64);
+    x = inception_a(b, x, 64);
+    x = inception_b(b, x);
+    x = inception_c(b, x, 128);
+    x = inception_c(b, x, 160);
+    x = inception_c(b, x, 160);
+    x = inception_c(b, x, 192);
+    x = inception_d(b, x);
+    x = inception_e(b, x);
+    x = inception_e(b, x);
+
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    x = b.dense(x, num_classes);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+namespace {
+
+/** SqueezeNet fire module: squeeze 1x1, then parallel 1x1/3x3 expands. */
+std::string
+fire_module(GraphBuilder &b, const std::string &in, std::int64_t squeeze,
+            std::int64_t expand)
+{
+    std::string s = b.relu(b.conv_k(in, squeeze, 1, 1, 0, 1, true));
+    std::string e1 = b.relu(b.conv_k(s, expand, 1, 1, 0, 1, true));
+    std::string e3 = b.relu(b.conv_k(s, expand, 3, 1, 1, 1, true));
+    return b.concat({e1, e3});
+}
+
+} // namespace
+
+Graph
+squeezenet_1_1(int num_classes, std::uint64_t seed)
+{
+    GraphBuilder b("squeezenet-1.1", seed);
+    std::string x = b.input("input", Shape({1, 3, 224, 224}));
+    x = b.relu(b.conv_k(x, 64, 3, 2, 0, 1, true));
+    x = b.maxpool(x, 3, 2);
+    x = fire_module(b, x, 16, 64);
+    x = fire_module(b, x, 16, 64);
+    x = b.maxpool(x, 3, 2);
+    x = fire_module(b, x, 32, 128);
+    x = fire_module(b, x, 32, 128);
+    x = b.maxpool(x, 3, 2);
+    x = fire_module(b, x, 48, 192);
+    x = fire_module(b, x, 48, 192);
+    x = fire_module(b, x, 64, 256);
+    x = fire_module(b, x, 64, 256);
+    // Classifier: dropout (identity at inference) + 1x1 conv head.
+    x = b.relu(b.conv_k(x, num_classes, 1, 1, 0, 1, true));
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+Graph
+tiny_cnn(int num_classes, std::uint64_t seed)
+{
+    GraphBuilder b("tiny-cnn", seed);
+    std::string x = b.input("input", Shape({1, 3, 8, 8}));
+    x = b.cbr(x, 8, 3, 1, 1);
+    x = b.maxpool(x, 2, 2, 0);
+    x = b.cbr(x, 16, 3, 1, 1);
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    x = b.dense(x, num_classes);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+Graph
+tiny_mlp(int input_features, int hidden, int num_classes,
+         std::uint64_t seed)
+{
+    GraphBuilder b("tiny-mlp", seed);
+    std::string x = b.input("input", Shape({1, input_features}));
+    x = b.dense(x, hidden);
+    x = b.relu(x);
+    x = b.dense(x, num_classes);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+std::vector<std::string>
+zoo_names()
+{
+    return {"wrn-40-2", "mobilenet-v1", "resnet-18", "resnet-50",
+            "inception-v3", "squeezenet-1.1"};
+}
+
+Graph
+by_name(const std::string &name)
+{
+    if (name == "wrn-40-2")
+        return wrn_40_2();
+    if (name == "mobilenet-v1")
+        return mobilenet_v1();
+    if (name == "resnet-18")
+        return resnet18();
+    if (name == "resnet-50")
+        return resnet50();
+    if (name == "inception-v3")
+        return inception_v3();
+    if (name == "squeezenet-1.1")
+        return squeezenet_1_1();
+    if (name == "tiny-cnn")
+        return tiny_cnn();
+    if (name == "tiny-mlp")
+        return tiny_mlp();
+    throw Error("unknown model: " + name);
+}
+
+} // namespace orpheus::models

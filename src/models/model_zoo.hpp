@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Orpheus model zoo: the five networks of the paper's evaluation
+ * (Figure 2), built architecture-faithfully with seeded random weights,
+ * plus small models used by tests and examples.
+ *
+ * Weights are random because the paper's experiments measure *inference
+ * time*, which is independent of weight values; building the graphs
+ * programmatically (and round-tripping them through the ONNX
+ * exporter/importer in the harness) exercises the full model-loading
+ * path without shipping hundreds of megabytes of pre-trained files.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace orpheus::models {
+
+/** WRN-40-2: Wide Residual Network, depth 40, widen factor 2 (CIFAR,
+ *  3x32x32 input, pre-activation basic blocks). */
+Graph wrn_40_2(int num_classes = 10, std::uint64_t seed = 0x40);
+
+/** MobileNetV1 (3x224x224, depthwise-separable convolutions). */
+Graph mobilenet_v1(int num_classes = 1000, float width_multiplier = 1.0f,
+                   std::uint64_t seed = 0x41);
+
+/** ResNet-18 (3x224x224, basic blocks [2,2,2,2]). */
+Graph resnet18(int num_classes = 1000, std::uint64_t seed = 0x42);
+
+/** ResNet-50 (3x224x224, bottleneck blocks [3,4,6,3]). */
+Graph resnet50(int num_classes = 1000, std::uint64_t seed = 0x43);
+
+/** Inception-v3 (3x299x299, full A/B/C/D/E module structure). */
+Graph inception_v3(int num_classes = 1000, std::uint64_t seed = 0x44);
+
+/** SqueezeNet 1.1 (3x224x224, fire modules) — the classic
+ *  edge-deployment network, included beyond the paper's five. */
+Graph squeezenet_1_1(int num_classes = 1000, std::uint64_t seed = 0x47);
+
+/** Small CNN (3x8x8 -> conv/pool/fc) for fast tests and the quickstart
+ *  example. */
+Graph tiny_cnn(int num_classes = 10, std::uint64_t seed = 0x45);
+
+/** Two-layer MLP on flat vectors, exercising the Gemm path. */
+Graph tiny_mlp(int input_features = 32, int hidden = 64,
+               int num_classes = 10, std::uint64_t seed = 0x46);
+
+/** Names accepted by by_name (the Figure 2 evaluation set). */
+std::vector<std::string> zoo_names();
+
+/**
+ * Builds a zoo model by name: "wrn-40-2", "mobilenet-v1", "resnet-18",
+ * "resnet-50", "inception-v3", "tiny-cnn", "tiny-mlp". Throws
+ * orpheus::Error for unknown names.
+ */
+Graph by_name(const std::string &name);
+
+} // namespace orpheus::models

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * ONNX model export: orpheus::Graph -> serialised ModelProto bytes.
+ *
+ * The exporter serves two roles: it lets Orpheus users hand models back
+ * to other toolchains, and — together with the importer — it closes the
+ * round-trip loop that the test suite and the model zoo use, so every
+ * network in the evaluation flows through the real model-loading path.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "graph/graph.hpp"
+
+namespace orpheus {
+
+/** Export configuration. */
+struct OnnxExportOptions {
+    std::int64_t ir_version = 7;
+    std::int64_t opset_version = 11;
+    std::string producer_name = "orpheus";
+    std::string producer_version = "1.0.0";
+};
+
+/**
+ * Serialises @p graph as an ONNX ModelProto. Throws orpheus::Error if
+ * the graph holds attribute kinds ONNX cannot express.
+ */
+std::vector<std::uint8_t> export_onnx(const Graph &graph,
+                                      const OnnxExportOptions &options = {});
+
+/** Serialises and writes to @p path. */
+Status export_onnx_file(const Graph &graph, const std::string &path,
+                        const OnnxExportOptions &options = {});
+
+} // namespace orpheus

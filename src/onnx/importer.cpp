@@ -1,0 +1,507 @@
+#include "onnx/importer.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+
+#include "core/logging.hpp"
+#include "onnx/proto.hpp"
+#include "onnx/schema.hpp"
+
+namespace orpheus {
+
+namespace {
+
+namespace schema = onnx_schema;
+using proto::Reader;
+using proto::WireType;
+
+DataType
+map_tensor_dtype(std::int64_t onnx_type)
+{
+    switch (static_cast<schema::TensorDataType>(onnx_type)) {
+      case schema::TensorDataType::kFloat:
+        return DataType::kFloat32;
+      case schema::TensorDataType::kUInt8:
+        return DataType::kUInt8;
+      case schema::TensorDataType::kInt8:
+        return DataType::kInt8;
+      case schema::TensorDataType::kInt32:
+        return DataType::kInt32;
+      case schema::TensorDataType::kInt64:
+        return DataType::kInt64;
+      case schema::TensorDataType::kBool:
+        return DataType::kBool;
+      default:
+        throw Error("unsupported ONNX tensor data type " +
+                    std::to_string(onnx_type));
+    }
+}
+
+/** Parses one TensorProto; returns its (possibly empty) name. */
+std::string
+parse_tensor(std::string_view bytes, Tensor &out)
+{
+    std::vector<Shape::dim_type> dims;
+    std::int64_t data_type = 0;
+    std::string name;
+    std::string_view raw_data;
+    std::vector<float> float_data;
+    std::vector<std::int64_t> int64_data;
+    std::vector<std::int32_t> int32_data;
+
+    Reader reader(bytes);
+    while (!reader.done()) {
+        WireType wire;
+        const std::uint32_t field = reader.read_tag(wire);
+        switch (field) {
+          case schema::kTensorDims:
+            if (wire == WireType::kLengthDelimited) {
+                Reader packed(reader.read_bytes());
+                while (!packed.done())
+                    dims.push_back(packed.read_int64());
+            } else {
+                dims.push_back(reader.read_int64());
+            }
+            break;
+          case schema::kTensorDataType:
+            data_type = reader.read_int64();
+            break;
+          case schema::kTensorName:
+            name = std::string(reader.read_bytes());
+            break;
+          case schema::kTensorRawData:
+            raw_data = reader.read_bytes();
+            break;
+          case schema::kTensorFloatData:
+            if (wire == WireType::kLengthDelimited) {
+                Reader packed(reader.read_bytes());
+                while (!packed.done())
+                    float_data.push_back(packed.read_float());
+            } else {
+                float_data.push_back(reader.read_float());
+            }
+            break;
+          case schema::kTensorInt64Data:
+            if (wire == WireType::kLengthDelimited) {
+                Reader packed(reader.read_bytes());
+                while (!packed.done())
+                    int64_data.push_back(packed.read_int64());
+            } else {
+                int64_data.push_back(reader.read_int64());
+            }
+            break;
+          case schema::kTensorInt32Data:
+            if (wire == WireType::kLengthDelimited) {
+                Reader packed(reader.read_bytes());
+                while (!packed.done())
+                    int32_data.push_back(
+                        static_cast<std::int32_t>(packed.read_int64()));
+            } else {
+                int32_data.push_back(
+                    static_cast<std::int32_t>(reader.read_int64()));
+            }
+            break;
+          default:
+            reader.skip(wire);
+            break;
+        }
+    }
+
+    const DataType dtype = map_tensor_dtype(data_type);
+    Tensor tensor(Shape(dims), dtype);
+    const std::size_t expected_bytes = tensor.byte_size();
+
+    if (!raw_data.empty() || tensor.numel() == 0) {
+        ORPHEUS_CHECK(raw_data.size() == expected_bytes,
+                      "tensor " << name << ": raw_data has "
+                                << raw_data.size() << " bytes, expected "
+                                << expected_bytes);
+        if (expected_bytes > 0)
+            std::memcpy(tensor.raw_data(), raw_data.data(), expected_bytes);
+    } else if (dtype == DataType::kFloat32) {
+        ORPHEUS_CHECK(static_cast<std::int64_t>(float_data.size()) ==
+                          tensor.numel(),
+                      "tensor " << name << ": float_data has "
+                                << float_data.size() << " values, expected "
+                                << tensor.numel());
+        std::memcpy(tensor.raw_data(), float_data.data(), expected_bytes);
+    } else if (dtype == DataType::kInt64) {
+        ORPHEUS_CHECK(static_cast<std::int64_t>(int64_data.size()) ==
+                          tensor.numel(),
+                      "tensor " << name << ": int64_data has "
+                                << int64_data.size() << " values, expected "
+                                << tensor.numel());
+        std::memcpy(tensor.raw_data(), int64_data.data(), expected_bytes);
+    } else {
+        ORPHEUS_CHECK(static_cast<std::int64_t>(int32_data.size()) ==
+                          tensor.numel(),
+                      "tensor " << name << ": int32_data has "
+                                << int32_data.size() << " values, expected "
+                                << tensor.numel());
+        if (dtype == DataType::kInt32) {
+            std::memcpy(tensor.raw_data(), int32_data.data(),
+                        expected_bytes);
+        } else {
+            auto *dst = static_cast<std::uint8_t *>(tensor.raw_data());
+            for (std::size_t i = 0; i < int32_data.size(); ++i)
+                dst[i] = static_cast<std::uint8_t>(int32_data[i]);
+        }
+    }
+
+    out = std::move(tensor);
+    return name;
+}
+
+/** Parses one AttributeProto into (name, Attribute). */
+std::pair<std::string, Attribute>
+parse_attribute(std::string_view bytes)
+{
+    std::string name;
+    schema::AttrType declared_type = schema::AttrType::kUndefined;
+    float f_value = 0.0f;
+    std::int64_t i_value = 0;
+    std::string s_value;
+    bool has_tensor = false;
+    Tensor t_value;
+    std::vector<float> floats;
+    std::vector<std::int64_t> ints;
+    bool has_f = false, has_i = false, has_s = false;
+
+    Reader reader(bytes);
+    while (!reader.done()) {
+        WireType wire;
+        const std::uint32_t field = reader.read_tag(wire);
+        switch (field) {
+          case schema::kAttrName:
+            name = std::string(reader.read_bytes());
+            break;
+          case schema::kAttrType:
+            declared_type =
+                static_cast<schema::AttrType>(reader.read_int64());
+            break;
+          case schema::kAttrFloat:
+            f_value = reader.read_float();
+            has_f = true;
+            break;
+          case schema::kAttrInt:
+            i_value = reader.read_int64();
+            has_i = true;
+            break;
+          case schema::kAttrString:
+            s_value = std::string(reader.read_bytes());
+            has_s = true;
+            break;
+          case schema::kAttrTensor:
+            parse_tensor(reader.read_bytes(), t_value);
+            has_tensor = true;
+            break;
+          case schema::kAttrFloats:
+            if (wire == WireType::kLengthDelimited) {
+                Reader packed(reader.read_bytes());
+                while (!packed.done())
+                    floats.push_back(packed.read_float());
+            } else {
+                floats.push_back(reader.read_float());
+            }
+            break;
+          case schema::kAttrInts:
+            if (wire == WireType::kLengthDelimited) {
+                Reader packed(reader.read_bytes());
+                while (!packed.done())
+                    ints.push_back(packed.read_int64());
+            } else {
+                ints.push_back(reader.read_int64());
+            }
+            break;
+          default:
+            reader.skip(wire);
+            break;
+        }
+    }
+
+    ORPHEUS_CHECK(!name.empty(), "attribute without a name");
+
+    // Prefer the declared type; fall back to whichever payload is set
+    // (old exporters sometimes omit the type enum).
+    switch (declared_type) {
+      case schema::AttrType::kFloat:
+        return {name, Attribute(f_value)};
+      case schema::AttrType::kInt:
+        return {name, Attribute(i_value)};
+      case schema::AttrType::kString:
+        return {name, Attribute(s_value)};
+      case schema::AttrType::kTensor:
+        ORPHEUS_CHECK(has_tensor, "attribute " << name
+                                               << " declared TENSOR but "
+                                                  "carries no tensor");
+        return {name, Attribute(std::move(t_value))};
+      case schema::AttrType::kFloats:
+        return {name, Attribute(std::move(floats))};
+      case schema::AttrType::kInts:
+        return {name, Attribute(std::move(ints))};
+      case schema::AttrType::kUndefined:
+        if (has_f)
+            return {name, Attribute(f_value)};
+        if (has_i)
+            return {name, Attribute(i_value)};
+        if (has_s)
+            return {name, Attribute(s_value)};
+        if (has_tensor)
+            return {name, Attribute(std::move(t_value))};
+        if (!ints.empty())
+            return {name, Attribute(std::move(ints))};
+        if (!floats.empty())
+            return {name, Attribute(std::move(floats))};
+        throw Error("attribute " + name + " has no recognisable payload");
+      default:
+        throw Error("unsupported attribute type for " + name);
+    }
+}
+
+/** Parses ValueInfoProto into a ValueInfo (shape may be partial). */
+ValueInfo
+parse_value_info(std::string_view bytes)
+{
+    ValueInfo info;
+    Reader reader(bytes);
+    while (!reader.done()) {
+        WireType wire;
+        const std::uint32_t field = reader.read_tag(wire);
+        if (field == schema::kValueInfoName) {
+            info.name = std::string(reader.read_bytes());
+        } else if (field == schema::kValueInfoType) {
+            Reader type_reader(reader.read_bytes());
+            while (!type_reader.done()) {
+                WireType type_wire;
+                const std::uint32_t type_field =
+                    type_reader.read_tag(type_wire);
+                if (type_field != schema::kTypeTensorType) {
+                    type_reader.skip(type_wire);
+                    continue;
+                }
+                Reader tensor_reader(type_reader.read_bytes());
+                std::vector<Shape::dim_type> dims;
+                while (!tensor_reader.done()) {
+                    WireType tensor_wire;
+                    const std::uint32_t tensor_field =
+                        tensor_reader.read_tag(tensor_wire);
+                    if (tensor_field == schema::kTensorTypeElemType) {
+                        info.dtype =
+                            map_tensor_dtype(tensor_reader.read_int64());
+                    } else if (tensor_field == schema::kTensorTypeShape) {
+                        Reader shape_reader(tensor_reader.read_bytes());
+                        while (!shape_reader.done()) {
+                            WireType shape_wire;
+                            const std::uint32_t shape_field =
+                                shape_reader.read_tag(shape_wire);
+                            if (shape_field != schema::kShapeDim) {
+                                shape_reader.skip(shape_wire);
+                                continue;
+                            }
+                            Reader dim_reader(shape_reader.read_bytes());
+                            Shape::dim_type value = 0;
+                            while (!dim_reader.done()) {
+                                WireType dim_wire;
+                                const std::uint32_t dim_field =
+                                    dim_reader.read_tag(dim_wire);
+                                if (dim_field == schema::kDimValue)
+                                    value = dim_reader.read_int64();
+                                else
+                                    dim_reader.skip(dim_wire);
+                            }
+                            dims.push_back(value);
+                        }
+                        info.shape = Shape(dims);
+                    } else {
+                        tensor_reader.skip(tensor_wire);
+                    }
+                }
+            }
+        } else {
+            reader.skip(wire);
+        }
+    }
+    return info;
+}
+
+/** Parses a NodeProto and appends it to @p graph. */
+void
+parse_node(std::string_view bytes, Graph &graph)
+{
+    std::string op_type, name;
+    std::vector<std::string> inputs, outputs;
+    AttributeMap attrs;
+
+    Reader reader(bytes);
+    while (!reader.done()) {
+        WireType wire;
+        const std::uint32_t field = reader.read_tag(wire);
+        switch (field) {
+          case schema::kNodeInput:
+            inputs.emplace_back(reader.read_bytes());
+            break;
+          case schema::kNodeOutput:
+            outputs.emplace_back(reader.read_bytes());
+            break;
+          case schema::kNodeName:
+            name = std::string(reader.read_bytes());
+            break;
+          case schema::kNodeOpType:
+            op_type = std::string(reader.read_bytes());
+            break;
+          case schema::kNodeAttribute: {
+            auto [attr_name, attr] = parse_attribute(reader.read_bytes());
+            attrs.set(attr_name, std::move(attr));
+            break;
+          }
+          default:
+            reader.skip(wire);
+            break;
+        }
+    }
+
+    ORPHEUS_CHECK(!op_type.empty(), "node " << name << " has no op_type");
+    graph.add_node(op_type, std::move(inputs), std::move(outputs),
+                   std::move(attrs), std::move(name));
+}
+
+/** Parses a GraphProto into @p graph. */
+void
+parse_graph(std::string_view bytes, Graph &graph)
+{
+    std::vector<ValueInfo> declared_inputs;
+    std::vector<ValueInfo> declared_outputs;
+
+    Reader reader(bytes);
+    while (!reader.done()) {
+        WireType wire;
+        const std::uint32_t field = reader.read_tag(wire);
+        switch (field) {
+          case schema::kGraphName:
+            graph.set_name(std::string(reader.read_bytes()));
+            break;
+          case schema::kGraphNode:
+            parse_node(reader.read_bytes(), graph);
+            break;
+          case schema::kGraphInitializer: {
+            Tensor tensor;
+            std::string name = parse_tensor(reader.read_bytes(), tensor);
+            ORPHEUS_CHECK(!name.empty(), "initializer without a name");
+            graph.add_initializer(name, std::move(tensor));
+            break;
+          }
+          case schema::kGraphInput:
+            declared_inputs.push_back(parse_value_info(reader.read_bytes()));
+            break;
+          case schema::kGraphOutput:
+            declared_outputs.push_back(
+                parse_value_info(reader.read_bytes()));
+            break;
+          default:
+            reader.skip(wire);
+            break;
+        }
+    }
+
+    // ONNX graphs may declare initialisers as inputs; real runtime
+    // inputs are those without a matching initializer.
+    for (ValueInfo &input : declared_inputs) {
+        if (graph.has_initializer(input.name))
+            continue;
+        ORPHEUS_CHECK(input.shape.is_fully_defined(),
+                      "graph input " << input.name
+                                     << " has a symbolic/unknown shape "
+                                     << input.shape
+                                     << "; Orpheus requires static shapes");
+        graph.add_input(input.name, input.shape, input.dtype);
+    }
+    for (ValueInfo &output : declared_outputs)
+        graph.add_output(output.name, output.shape, output.dtype);
+}
+
+} // namespace
+
+Status
+import_onnx(const std::uint8_t *bytes, std::size_t size, Graph &out_graph,
+            OnnxModelInfo *out_info)
+{
+    try {
+        Graph graph;
+        OnnxModelInfo info;
+        bool saw_graph = false;
+
+        Reader reader(bytes, size);
+        while (!reader.done()) {
+            WireType wire;
+            const std::uint32_t field = reader.read_tag(wire);
+            switch (field) {
+              case schema::kModelIrVersion:
+                info.ir_version = reader.read_int64();
+                break;
+              case schema::kModelProducerName:
+                info.producer_name = std::string(reader.read_bytes());
+                break;
+              case schema::kModelProducerVersion:
+                info.producer_version = std::string(reader.read_bytes());
+                break;
+              case schema::kModelOpsetImport: {
+                Reader opset_reader(reader.read_bytes());
+                while (!opset_reader.done()) {
+                    WireType opset_wire;
+                    const std::uint32_t opset_field =
+                        opset_reader.read_tag(opset_wire);
+                    if (opset_field == schema::kOpsetVersion)
+                        info.opset_version = opset_reader.read_int64();
+                    else
+                        opset_reader.skip(opset_wire);
+                }
+                break;
+              }
+              case schema::kModelGraph:
+                parse_graph(reader.read_bytes(), graph);
+                saw_graph = true;
+                break;
+              default:
+                reader.skip(wire);
+                break;
+            }
+        }
+
+        if (!saw_graph)
+            return parse_error("model contains no graph");
+        graph.validate();
+
+        out_graph = std::move(graph);
+        if (out_info != nullptr)
+            *out_info = std::move(info);
+        return Status::ok();
+    } catch (const Error &error) {
+        return parse_error(std::string("ONNX import failed: ") +
+                           error.what());
+    }
+}
+
+Status
+import_onnx(const std::vector<std::uint8_t> &bytes, Graph &out_graph,
+            OnnxModelInfo *out_info)
+{
+    return import_onnx(bytes.data(), bytes.size(), out_graph, out_info);
+}
+
+Status
+import_onnx_file(const std::string &path, Graph &out_graph,
+                 OnnxModelInfo *out_info)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return not_found_error("cannot open model file: " + path);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(file)),
+        std::istreambuf_iterator<char>());
+    if (!file && !file.eof())
+        return internal_error("error reading model file: " + path);
+    return import_onnx(bytes, out_graph, out_info);
+}
+
+} // namespace orpheus

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ONNX model import: serialised ModelProto bytes -> orpheus::Graph.
+ *
+ * The importer accepts the operator subset listed in graph/node.hpp,
+ * resolves initialisers, drops graph-input declarations that merely
+ * re-declare initialisers (a common exporter habit), and reports
+ * everything it cannot handle through Status rather than exceptions —
+ * model files are user input.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "graph/graph.hpp"
+
+namespace orpheus {
+
+/** Parsed, non-graph ONNX model metadata. */
+struct OnnxModelInfo {
+    std::int64_t ir_version = 0;
+    std::int64_t opset_version = 0;
+    std::string producer_name;
+    std::string producer_version;
+};
+
+/**
+ * Parses @p bytes as an ONNX ModelProto into @p out_graph. @p out_info
+ * (optional) receives model metadata.
+ */
+Status import_onnx(const std::uint8_t *bytes, std::size_t size,
+                   Graph &out_graph, OnnxModelInfo *out_info = nullptr);
+
+Status import_onnx(const std::vector<std::uint8_t> &bytes, Graph &out_graph,
+                   OnnxModelInfo *out_info = nullptr);
+
+/** Reads @p path and imports it. */
+Status import_onnx_file(const std::string &path, Graph &out_graph,
+                        OnnxModelInfo *out_info = nullptr);
+
+} // namespace orpheus

@@ -1,0 +1,200 @@
+#include "onnx/proto.hpp"
+
+#include <cstring>
+
+namespace orpheus::proto {
+
+std::uint32_t
+Reader::read_tag(WireType &wire_type)
+{
+    const std::uint64_t key = read_varint();
+    const std::uint32_t wire = static_cast<std::uint32_t>(key & 0x7);
+    ORPHEUS_CHECK(wire == 0 || wire == 1 || wire == 2 || wire == 5,
+                  "unsupported protobuf wire type " << wire << " at offset "
+                                                    << position_);
+    wire_type = static_cast<WireType>(wire);
+    const std::uint64_t field = key >> 3;
+    ORPHEUS_CHECK(field > 0 && field <= 0x1FFFFFFF,
+                  "invalid protobuf field number " << field);
+    return static_cast<std::uint32_t>(field);
+}
+
+std::uint64_t
+Reader::read_varint()
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+        ORPHEUS_CHECK(position_ < size_,
+                      "truncated varint at offset " << position_);
+        ORPHEUS_CHECK(shift < 64, "varint longer than 10 bytes at offset "
+                                      << position_);
+        const std::uint8_t byte = data_[position_++];
+        value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0)
+            return value;
+        shift += 7;
+    }
+}
+
+std::uint32_t
+Reader::read_fixed32()
+{
+    ORPHEUS_CHECK(position_ + 4 <= size_,
+                  "truncated fixed32 at offset " << position_);
+    std::uint32_t value;
+    std::memcpy(&value, data_ + position_, 4);
+    position_ += 4;
+    return value;
+}
+
+std::uint64_t
+Reader::read_fixed64()
+{
+    ORPHEUS_CHECK(position_ + 8 <= size_,
+                  "truncated fixed64 at offset " << position_);
+    std::uint64_t value;
+    std::memcpy(&value, data_ + position_, 8);
+    position_ += 8;
+    return value;
+}
+
+float
+Reader::read_float()
+{
+    const std::uint32_t bits = read_fixed32();
+    float value;
+    std::memcpy(&value, &bits, 4);
+    return value;
+}
+
+double
+Reader::read_double()
+{
+    const std::uint64_t bits = read_fixed64();
+    double value;
+    std::memcpy(&value, &bits, 8);
+    return value;
+}
+
+std::string_view
+Reader::read_bytes()
+{
+    const std::uint64_t length = read_varint();
+    ORPHEUS_CHECK(length <= size_ - position_,
+                  "length-delimited field of " << length
+                                               << " bytes overruns buffer");
+    std::string_view view(
+        reinterpret_cast<const char *>(data_ + position_),
+        static_cast<std::size_t>(length));
+    position_ += static_cast<std::size_t>(length);
+    return view;
+}
+
+void
+Reader::skip(WireType wire_type)
+{
+    switch (wire_type) {
+      case WireType::kVarint:
+        read_varint();
+        return;
+      case WireType::kFixed64:
+        read_fixed64();
+        return;
+      case WireType::kLengthDelimited:
+        read_bytes();
+        return;
+      case WireType::kFixed32:
+        read_fixed32();
+        return;
+    }
+    ORPHEUS_ASSERT(false, "invalid wire type");
+}
+
+void
+Writer::append_tag(std::uint32_t field, WireType wire_type)
+{
+    append_varint((static_cast<std::uint64_t>(field) << 3) |
+                  static_cast<std::uint64_t>(wire_type));
+}
+
+void
+Writer::append_varint(std::uint64_t value)
+{
+    while (value >= 0x80) {
+        buffer_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    buffer_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void
+Writer::write_varint_field(std::uint32_t field, std::uint64_t value)
+{
+    append_tag(field, WireType::kVarint);
+    append_varint(value);
+}
+
+void
+Writer::write_int64_field(std::uint32_t field, std::int64_t value)
+{
+    write_varint_field(field, static_cast<std::uint64_t>(value));
+}
+
+void
+Writer::write_float_field(std::uint32_t field, float value)
+{
+    append_tag(field, WireType::kFixed32);
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, 4);
+    for (int i = 0; i < 4; ++i)
+        buffer_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+void
+Writer::write_string_field(std::uint32_t field, std::string_view value)
+{
+    write_bytes_field(field, value.data(), value.size());
+}
+
+void
+Writer::write_bytes_field(std::uint32_t field, const void *data,
+                          std::size_t size)
+{
+    append_tag(field, WireType::kLengthDelimited);
+    append_varint(size);
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    buffer_.insert(buffer_.end(), bytes, bytes + size);
+}
+
+void
+Writer::write_message_field(std::uint32_t field, const Writer &nested)
+{
+    write_bytes_field(field, nested.buffer_.data(), nested.buffer_.size());
+}
+
+void
+Writer::write_packed_int64s(std::uint32_t field,
+                            const std::vector<std::int64_t> &values)
+{
+    Writer payload;
+    for (std::int64_t value : values)
+        payload.append_varint(static_cast<std::uint64_t>(value));
+    write_bytes_field(field, payload.buffer_.data(), payload.buffer_.size());
+}
+
+void
+Writer::write_packed_floats(std::uint32_t field,
+                            const std::vector<float> &values)
+{
+    append_tag(field, WireType::kLengthDelimited);
+    append_varint(values.size() * 4);
+    for (float value : values) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &value, 4);
+        for (int i = 0; i < 4; ++i)
+            buffer_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+}
+
+} // namespace orpheus::proto

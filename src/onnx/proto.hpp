@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Minimal protocol-buffers wire-format reader and writer.
+ *
+ * ONNX models are protobuf messages; rather than depending on
+ * libprotobuf (the kind of heavyweight dependency the paper set out to
+ * avoid on edge platforms), Orpheus implements the wire format directly:
+ * varints, the four wire types, nested length-delimited messages. The
+ * schema layer (onnx/schema.hpp) supplies field numbers; this layer is
+ * schema-agnostic and independently unit-tested, including a round-trip
+ * property suite.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace orpheus::proto {
+
+/** Protobuf wire types. */
+enum class WireType : std::uint32_t {
+    kVarint = 0,
+    kFixed64 = 1,
+    kLengthDelimited = 2,
+    kFixed32 = 5,
+};
+
+/**
+ * Sequential reader over one serialised message. The reader borrows the
+ * underlying bytes; nested messages are read by constructing a child
+ * reader over the bytes returned by read_bytes().
+ *
+ * All read_* methods throw orpheus::Error on malformed input
+ * (truncation, oversized varints, unknown wire types).
+ */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Reader(std::string_view bytes)
+        : Reader(reinterpret_cast<const std::uint8_t *>(bytes.data()),
+                 bytes.size())
+    {
+    }
+
+    /** True while unread bytes remain. */
+    bool done() const { return position_ >= size_; }
+
+    std::size_t position() const { return position_; }
+
+    /**
+     * Reads the next field header. Returns the field number and fills
+     * @p wire_type.
+     */
+    std::uint32_t read_tag(WireType &wire_type);
+
+    /** Reads an unsigned varint (up to 64 bits). */
+    std::uint64_t read_varint();
+
+    /** Varint interpreted as two's-complement int64 (protobuf int64). */
+    std::int64_t read_int64() { return static_cast<std::int64_t>(read_varint()); }
+
+    std::uint32_t read_fixed32();
+    std::uint64_t read_fixed64();
+
+    /** Fixed32 reinterpreted as IEEE float (protobuf `float`). */
+    float read_float();
+
+    /** Fixed64 reinterpreted as IEEE double (protobuf `double`). */
+    double read_double();
+
+    /** Length-delimited payload; returns a view into the buffer. */
+    std::string_view read_bytes();
+
+    /** Skips one field of the given wire type. */
+    void skip(WireType wire_type);
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t position_ = 0;
+};
+
+/**
+ * Append-only writer producing one serialised message. Nested messages
+ * are built in their own Writer and embedded with write_message.
+ */
+class Writer
+{
+  public:
+    /** Serialised bytes accumulated so far. */
+    const std::vector<std::uint8_t> &bytes() const { return buffer_; }
+
+    std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+    void write_varint_field(std::uint32_t field, std::uint64_t value);
+    void write_int64_field(std::uint32_t field, std::int64_t value);
+    void write_float_field(std::uint32_t field, float value);
+    void write_string_field(std::uint32_t field, std::string_view value);
+    void write_bytes_field(std::uint32_t field, const void *data,
+                           std::size_t size);
+    /** Embeds @p nested as a length-delimited submessage. */
+    void write_message_field(std::uint32_t field, const Writer &nested);
+
+    /** Packed repeated int64 (one length-delimited blob of varints). */
+    void write_packed_int64s(std::uint32_t field,
+                             const std::vector<std::int64_t> &values);
+
+    /** Packed repeated float. */
+    void write_packed_floats(std::uint32_t field,
+                             const std::vector<float> &values);
+
+  private:
+    void append_tag(std::uint32_t field, WireType wire_type);
+    void append_varint(std::uint64_t value);
+
+    std::vector<std::uint8_t> buffer_;
+};
+
+} // namespace orpheus::proto

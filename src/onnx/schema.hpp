@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ONNX protobuf schema constants: the field numbers and enum values of
+ * the subset of onnx.proto that Orpheus reads and writes. Field numbers
+ * are fixed by the ONNX specification and must never change.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace orpheus::onnx_schema {
+
+// ModelProto
+inline constexpr std::uint32_t kModelIrVersion = 1;
+inline constexpr std::uint32_t kModelProducerName = 2;
+inline constexpr std::uint32_t kModelProducerVersion = 3;
+inline constexpr std::uint32_t kModelDomain = 4;
+inline constexpr std::uint32_t kModelModelVersion = 5;
+inline constexpr std::uint32_t kModelDocString = 6;
+inline constexpr std::uint32_t kModelGraph = 7;
+inline constexpr std::uint32_t kModelOpsetImport = 8;
+
+// OperatorSetIdProto
+inline constexpr std::uint32_t kOpsetDomain = 1;
+inline constexpr std::uint32_t kOpsetVersion = 2;
+
+// GraphProto
+inline constexpr std::uint32_t kGraphNode = 1;
+inline constexpr std::uint32_t kGraphName = 2;
+inline constexpr std::uint32_t kGraphInitializer = 5;
+inline constexpr std::uint32_t kGraphDocString = 10;
+inline constexpr std::uint32_t kGraphInput = 11;
+inline constexpr std::uint32_t kGraphOutput = 12;
+inline constexpr std::uint32_t kGraphValueInfo = 13;
+
+// NodeProto
+inline constexpr std::uint32_t kNodeInput = 1;
+inline constexpr std::uint32_t kNodeOutput = 2;
+inline constexpr std::uint32_t kNodeName = 3;
+inline constexpr std::uint32_t kNodeOpType = 4;
+inline constexpr std::uint32_t kNodeAttribute = 5;
+inline constexpr std::uint32_t kNodeDocString = 6;
+inline constexpr std::uint32_t kNodeDomain = 7;
+
+// AttributeProto
+inline constexpr std::uint32_t kAttrName = 1;
+inline constexpr std::uint32_t kAttrFloat = 2;
+inline constexpr std::uint32_t kAttrInt = 3;
+inline constexpr std::uint32_t kAttrString = 4;
+inline constexpr std::uint32_t kAttrTensor = 5;
+inline constexpr std::uint32_t kAttrFloats = 7;
+inline constexpr std::uint32_t kAttrInts = 8;
+inline constexpr std::uint32_t kAttrStrings = 9;
+inline constexpr std::uint32_t kAttrType = 20;
+
+/** AttributeProto.AttributeType values. */
+enum class AttrType : std::int64_t {
+    kUndefined = 0,
+    kFloat = 1,
+    kInt = 2,
+    kString = 3,
+    kTensor = 4,
+    kGraph = 5,
+    kFloats = 6,
+    kInts = 7,
+    kStrings = 8,
+};
+
+// TensorProto
+inline constexpr std::uint32_t kTensorDims = 1;
+inline constexpr std::uint32_t kTensorDataType = 2;
+inline constexpr std::uint32_t kTensorFloatData = 4;
+inline constexpr std::uint32_t kTensorInt32Data = 5;
+inline constexpr std::uint32_t kTensorStringData = 6;
+inline constexpr std::uint32_t kTensorInt64Data = 7;
+inline constexpr std::uint32_t kTensorName = 8;
+inline constexpr std::uint32_t kTensorRawData = 9;
+
+/** TensorProto.DataType values Orpheus understands. */
+enum class TensorDataType : std::int64_t {
+    kUndefined = 0,
+    kFloat = 1,
+    kUInt8 = 2,
+    kInt8 = 3,
+    kInt32 = 6,
+    kInt64 = 7,
+    kBool = 9,
+};
+
+// ValueInfoProto
+inline constexpr std::uint32_t kValueInfoName = 1;
+inline constexpr std::uint32_t kValueInfoType = 2;
+
+// TypeProto
+inline constexpr std::uint32_t kTypeTensorType = 1;
+
+// TypeProto.Tensor
+inline constexpr std::uint32_t kTensorTypeElemType = 1;
+inline constexpr std::uint32_t kTensorTypeShape = 2;
+
+// TensorShapeProto
+inline constexpr std::uint32_t kShapeDim = 1;
+
+// TensorShapeProto.Dimension
+inline constexpr std::uint32_t kDimValue = 1;
+inline constexpr std::uint32_t kDimParam = 2;
+
+} // namespace orpheus::onnx_schema

@@ -1,0 +1,56 @@
+#include "ops/batchnorm.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace orpheus {
+
+void
+batchnorm_inference(const Tensor &input, const Tensor &gamma,
+                    const Tensor &beta, const Tensor &mean, const Tensor &var,
+                    float epsilon, Tensor &output)
+{
+    ORPHEUS_CHECK(input.shape().rank() == 4,
+                  "batchnorm input must be NCHW, got " << input.shape());
+    ORPHEUS_CHECK(input.shape() == output.shape(),
+                  "batchnorm shape mismatch: " << input.shape() << " vs "
+                                               << output.shape());
+    const std::int64_t batch = input.shape().dim(0);
+    const std::int64_t channels = input.shape().dim(1);
+    const std::int64_t area = input.shape().dim(2) * input.shape().dim(3);
+    for (const Tensor *param : {&gamma, &beta, &mean, &var}) {
+        ORPHEUS_CHECK(param->numel() == channels,
+                      "batchnorm parameter has " << param->numel()
+                                                 << " elements, expected "
+                                                 << channels);
+    }
+
+    // Pre-reduce to one scale/shift pair per channel.
+    std::vector<float> scale(static_cast<std::size_t>(channels));
+    std::vector<float> shift(static_cast<std::size_t>(channels));
+    const float *g = gamma.data<float>();
+    const float *b = beta.data<float>();
+    const float *mu = mean.data<float>();
+    const float *v = var.data<float>();
+    for (std::int64_t c = 0; c < channels; ++c) {
+        scale[static_cast<std::size_t>(c)] =
+            g[c] / std::sqrt(v[c] + epsilon);
+        shift[static_cast<std::size_t>(c)] =
+            b[c] - mu[c] * scale[static_cast<std::size_t>(c)];
+    }
+
+    const float *in = input.data<float>();
+    float *out = output.data<float>();
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t c = 0; c < channels; ++c) {
+            const float s = scale[static_cast<std::size_t>(c)];
+            const float t = shift[static_cast<std::size_t>(c)];
+            const float *src = in + (n * channels + c) * area;
+            float *dst = out + (n * channels + c) * area;
+            for (std::int64_t i = 0; i < area; ++i)
+                dst[i] = s * src[i] + t;
+        }
+    }
+}
+
+} // namespace orpheus

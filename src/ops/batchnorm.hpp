@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Inference-mode batch normalisation (per-channel affine with running
+ * statistics). Standalone kernel for BN nodes the FoldBatchNorm pass
+ * could not merge into a convolution.
+ */
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+/**
+ * y = gamma * (x - mean) / sqrt(var + epsilon) + beta, applied
+ * per channel over an NCHW tensor.
+ */
+void batchnorm_inference(const Tensor &input, const Tensor &gamma,
+                         const Tensor &beta, const Tensor &mean,
+                         const Tensor &var, float epsilon, Tensor &output);
+
+} // namespace orpheus

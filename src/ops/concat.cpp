@@ -1,0 +1,44 @@
+#include "ops/concat.hpp"
+
+#include <cstring>
+
+namespace orpheus {
+
+void
+concat(const std::vector<const Tensor *> &inputs, int axis, Tensor &output)
+{
+    ORPHEUS_CHECK(!inputs.empty(), "concat requires at least one input");
+    const int normalized = output.shape().normalize_axis(axis);
+
+    // Collapse each tensor into [outer, extent * inner] where extent is
+    // the concat-axis dimension; the copy is then outer block moves.
+    std::int64_t outer = 1, inner = 1;
+    for (int d = 0; d < normalized; ++d)
+        outer *= output.shape().dim(d);
+    for (int d = normalized + 1;
+         d < static_cast<int>(output.shape().rank()); ++d)
+        inner *= output.shape().dim(d);
+
+    const std::int64_t out_row = output.shape().dim(normalized) * inner;
+    float *out = output.data<float>();
+
+    std::int64_t column = 0;
+    for (const Tensor *input : inputs) {
+        ORPHEUS_CHECK(input != nullptr, "concat input is null");
+        ORPHEUS_CHECK(input->shape().rank() == output.shape().rank(),
+                      "concat rank mismatch");
+        const std::int64_t extent = input->shape().dim(normalized);
+        const std::int64_t in_row = extent * inner;
+        const float *in = input->data<float>();
+        for (std::int64_t o = 0; o < outer; ++o) {
+            std::memcpy(out + o * out_row + column, in + o * in_row,
+                        static_cast<std::size_t>(in_row) * 4);
+        }
+        column += in_row;
+    }
+    ORPHEUS_CHECK(column == out_row,
+                  "concat inputs cover " << column << " of " << out_row
+                                         << " output columns");
+}
+
+} // namespace orpheus

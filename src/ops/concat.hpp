@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Concatenation along an arbitrary axis.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+/**
+ * Concatenates @p inputs along @p axis into @p output (pre-allocated
+ * with the summed extent). All inputs must agree on every other axis.
+ */
+void concat(const std::vector<const Tensor *> &inputs, int axis,
+            Tensor &output);
+
+} // namespace orpheus

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * 2-D convolution kernels.
+ *
+ * The algorithms below are the heart of the paper's evaluation: Orpheus
+ * treats the convolution *algorithm* as a first-class, runtime-selected
+ * choice, and Figure 2's framework comparison reduces to which algorithm
+ * each framework picks:
+ *
+ *  - kDirect:        seven-loop direct convolution; correctness
+ *                    reference and the DarkNet-like naive baseline.
+ *  - kIm2colGemm:    im2col lowering followed by GEMM (Orpheus's
+ *                    default; "pays off for big matrices").
+ *  - kSpatialPack:   register-tiled direct convolution in the style of
+ *                    TVM's spatial-pack schedule; wins on small channel
+ *                    counts where im2col overhead dominates.
+ *  - kWinograd:      F(2x2, 3x3) Winograd for unit-stride 3x3 convs.
+ *  - kDepthwiseDirect: specialised kernel for depthwise (group == C)
+ *                    convolutions; the PyTorch personality deliberately
+ *                    does NOT use it, reproducing the paper's MobileNet
+ *                    observation.
+ *
+ * All kernels consume NCHW activations and OIHW weights and produce
+ * bit-identical results up to floating-point reassociation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/tensor.hpp"
+#include "graph/op_params.hpp"
+#include "ops/activation.hpp"
+#include "ops/gemm/gemm.hpp"
+
+namespace orpheus {
+
+enum class ConvAlgo {
+    kDirect = 0,
+    kIm2colGemm,
+    kSpatialPack,
+    kWinograd,
+    kDepthwiseDirect,
+};
+
+const char *to_string(ConvAlgo algo);
+
+/** Parses "direct" / "im2col_gemm" / "spatial_pack" / "winograd" /
+ *  "depthwise_direct"; throws on anything else. */
+ConvAlgo parse_conv_algo(const std::string &name);
+
+/** Fully-resolved argument bundle shared by every conv kernel. */
+struct Conv2dArgs {
+    const float *input = nullptr;  ///< NCHW.
+    std::int64_t batch = 0;
+    std::int64_t in_c = 0;
+    std::int64_t in_h = 0;
+    std::int64_t in_w = 0;
+
+    const float *weight = nullptr; ///< OIHW, I = in_c / group.
+    std::int64_t out_c = 0;
+
+    const float *bias = nullptr;   ///< Length out_c, may be null.
+
+    float *output = nullptr;       ///< NCHW.
+    std::int64_t out_h = 0;
+    std::int64_t out_w = 0;
+
+    Conv2dParams params;
+    ActivationSpec activation;
+
+    /** GEMM algorithm used by im2col/Winograd lowering. */
+    GemmVariant gemm_variant = GemmVariant::kPacked;
+};
+
+/** Direct seven-loop convolution (reference). */
+void conv2d_direct(const Conv2dArgs &args);
+
+/** im2col + GEMM convolution. */
+void conv2d_im2col_gemm(const Conv2dArgs &args);
+
+/** Spatial-pack (register-tiled direct) convolution. */
+void conv2d_spatial_pack(const Conv2dArgs &args);
+
+/** True if args qualify for the Winograd kernel (3x3, stride 1,
+ *  dilation 1, ungrouped). */
+bool conv2d_winograd_supported(const Conv2dArgs &args);
+
+/** Winograd F(2x2, 3x3) convolution; requires winograd_supported. */
+void conv2d_winograd(const Conv2dArgs &args);
+
+/**
+ * Pre-computes the Winograd weight transform U = G g G^T for a
+ * [out_c, in_c, 3, 3] filter bank. Layout: [16][out_c][in_c]. Layers
+ * with constant weights compute this once at plan time and pass it to
+ * conv2d_winograd_pretransformed on every inference.
+ */
+std::vector<float> winograd_transform_weights(const float *weights,
+                                              std::int64_t out_c,
+                                              std::int64_t in_c);
+
+/** Winograd conv using a cached weight transform (args.weight unused). */
+void conv2d_winograd_pretransformed(const Conv2dArgs &args,
+                                    const float *u_data);
+
+/** True if args describe a depthwise convolution (group == in_c). */
+bool conv2d_is_depthwise(const Conv2dArgs &args);
+
+/** Specialised direct depthwise convolution; requires is_depthwise. */
+void conv2d_depthwise_direct(const Conv2dArgs &args);
+
+/**
+ * Tensor-level convenience wrapper: validates shapes, builds Conv2dArgs
+ * and dispatches on @p algo. @p bias may be null. @p output must be
+ * pre-allocated with the inferred output shape.
+ */
+void conv2d(ConvAlgo algo, const Tensor &input, const Tensor &weight,
+            const Tensor *bias, const Conv2dParams &params,
+            const ActivationSpec &activation, Tensor &output,
+            GemmVariant gemm_variant = GemmVariant::kPacked);
+
+} // namespace orpheus

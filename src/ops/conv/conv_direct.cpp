@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Direct (seven-loop) convolution. Deliberately unoptimised beyond
+ * hoisting pointer arithmetic: this kernel is the correctness reference
+ * for every other convolution algorithm and the "naive framework"
+ * baseline in the evaluation harness.
+ */
+#include "ops/conv/conv.hpp"
+
+namespace orpheus {
+
+void
+conv2d_direct(const Conv2dArgs &args)
+{
+    const Conv2dParams &p = args.params;
+    const std::int64_t group_in_c = args.in_c / p.group;
+    const std::int64_t group_out_c = args.out_c / p.group;
+
+    for (std::int64_t n = 0; n < args.batch; ++n) {
+        for (std::int64_t oc = 0; oc < args.out_c; ++oc) {
+            const std::int64_t g = oc / group_out_c;
+            const float *weight_base =
+                args.weight + oc * group_in_c * p.kernel_h * p.kernel_w;
+            float *out_plane =
+                args.output + (n * args.out_c + oc) * args.out_h * args.out_w;
+            const float bias = args.bias != nullptr ? args.bias[oc] : 0.0f;
+
+            for (std::int64_t oh = 0; oh < args.out_h; ++oh) {
+                for (std::int64_t ow = 0; ow < args.out_w; ++ow) {
+                    float accumulator = bias;
+                    for (std::int64_t ic = 0; ic < group_in_c; ++ic) {
+                        const float *in_plane =
+                            args.input + (n * args.in_c + g * group_in_c +
+                                          ic) *
+                                             args.in_h * args.in_w;
+                        const float *w_plane =
+                            weight_base + ic * p.kernel_h * p.kernel_w;
+                        for (std::int64_t kh = 0; kh < p.kernel_h; ++kh) {
+                            const std::int64_t ih = oh * p.stride_h -
+                                                    p.pad_top +
+                                                    kh * p.dilation_h;
+                            if (ih < 0 || ih >= args.in_h)
+                                continue;
+                            for (std::int64_t kw = 0; kw < p.kernel_w;
+                                 ++kw) {
+                                const std::int64_t iw = ow * p.stride_w -
+                                                        p.pad_left +
+                                                        kw * p.dilation_w;
+                                if (iw < 0 || iw >= args.in_w)
+                                    continue;
+                                accumulator +=
+                                    w_plane[kh * p.kernel_w + kw] *
+                                    in_plane[ih * args.in_w + iw];
+                            }
+                        }
+                    }
+                    out_plane[oh * args.out_w + ow] =
+                        args.activation.apply(accumulator);
+                }
+            }
+        }
+    }
+}
+
+} // namespace orpheus

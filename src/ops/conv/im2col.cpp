@@ -1,0 +1,60 @@
+#include "ops/conv/im2col.hpp"
+
+#include <cstring>
+
+namespace orpheus {
+
+void
+im2col(const float *data, std::int64_t channels, std::int64_t height,
+       std::int64_t width, const Conv2dParams &p, std::int64_t out_h,
+       std::int64_t out_w, float *col)
+{
+    // One output row of `col` per (channel, kh, kw) triple; the inner
+    // loops walk output coordinates so writes are fully sequential.
+    for (std::int64_t c = 0; c < channels; ++c) {
+        const float *plane = data + c * height * width;
+        for (std::int64_t kh = 0; kh < p.kernel_h; ++kh) {
+            for (std::int64_t kw = 0; kw < p.kernel_w; ++kw) {
+                float *row = col + ((c * p.kernel_h + kh) * p.kernel_w + kw) *
+                                       out_h * out_w;
+                for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                    const std::int64_t ih =
+                        oh * p.stride_h - p.pad_top + kh * p.dilation_h;
+                    float *out_row = row + oh * out_w;
+                    if (ih < 0 || ih >= height) {
+                        std::memset(out_row, 0,
+                                    static_cast<std::size_t>(out_w) * 4);
+                        continue;
+                    }
+                    const float *in_row = plane + ih * width;
+                    const std::int64_t base =
+                        kw * p.dilation_w - p.pad_left;
+                    if (p.stride_w == 1) {
+                        // Fast path: one bounds split, then memcpy.
+                        std::int64_t ow = 0;
+                        for (; ow < out_w && base + ow < 0; ++ow)
+                            out_row[ow] = 0.0f;
+                        std::int64_t valid = out_w;
+                        while (valid > ow && base + valid - 1 >= width)
+                            --valid;
+                        if (valid > ow)
+                            std::memcpy(out_row + ow, in_row + base + ow,
+                                        static_cast<std::size_t>(valid - ow) *
+                                            4);
+                        for (ow = valid; ow < out_w; ++ow)
+                            out_row[ow] = 0.0f;
+                    } else {
+                        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                            const std::int64_t iw = base + ow * p.stride_w;
+                            out_row[ow] = (iw >= 0 && iw < width)
+                                              ? in_row[iw]
+                                              : 0.0f;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace orpheus

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * im2col: lowers convolution input windows into a dense matrix so the
+ * convolution becomes a single GEMM. Out-of-bounds (padding) positions
+ * are written as zeros.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "graph/op_params.hpp"
+
+namespace orpheus {
+
+/**
+ * Expands @p data (one image / one group: channels x height x width,
+ * contiguous) into @p col with layout
+ * [channels * kernel_h * kernel_w, out_h * out_w] row-major.
+ */
+void im2col(const float *data, std::int64_t channels, std::int64_t height,
+            std::int64_t width, const Conv2dParams &params,
+            std::int64_t out_h, std::int64_t out_w, float *col);
+
+} // namespace orpheus

@@ -1,0 +1,52 @@
+#include "ops/dense.hpp"
+
+namespace orpheus {
+
+void
+dense(const Tensor &a, const Tensor &b, const Tensor *c, bool trans_a,
+      bool trans_b, float alpha, float beta, Tensor &output,
+      GemmVariant variant)
+{
+    ORPHEUS_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+                  "dense operands must be rank 2, got " << a.shape() << " x "
+                                                        << b.shape());
+    const std::int64_t m = trans_a ? a.shape().dim(1) : a.shape().dim(0);
+    const std::int64_t k = trans_a ? a.shape().dim(0) : a.shape().dim(1);
+    const std::int64_t kb = trans_b ? b.shape().dim(1) : b.shape().dim(0);
+    const std::int64_t n = trans_b ? b.shape().dim(0) : b.shape().dim(1);
+    ORPHEUS_CHECK(k == kb, "dense inner dimensions disagree: " << k << " vs "
+                                                               << kb);
+    ORPHEUS_CHECK(output.shape() == Shape({m, n}),
+                  "dense output must be [" << m << ", " << n << "], got "
+                                           << output.shape());
+
+    float *out = output.data<float>();
+
+    gemm_general(variant, trans_a, trans_b, m, n, k, alpha,
+                 a.data<float>(), a.shape().dim(1), b.data<float>(),
+                 b.shape().dim(1), 0.0f, out, n);
+
+    if (c == nullptr || beta == 0.0f)
+        return;
+
+    // Unidirectional broadcast of C onto [M, N].
+    const Shape &cs = c->shape();
+    const float *cp = c->data<float>();
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            std::int64_t offset = 0;
+            if (cs.rank() == 2) {
+                offset = (cs.dim(0) == 1 ? 0 : i) * cs.dim(1) +
+                         (cs.dim(1) == 1 ? 0 : j);
+            } else if (cs.rank() == 1) {
+                offset = cs.dim(0) == 1 ? 0 : j;
+            } else {
+                ORPHEUS_CHECK(cs.rank() == 0,
+                              "dense bias must have rank <= 2, got " << cs);
+            }
+            out[i * n + j] += beta * cp[offset];
+        }
+    }
+}
+
+} // namespace orpheus

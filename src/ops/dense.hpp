@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Dense (fully-connected) layer: the ONNX Gemm operator.
+ */
+#pragma once
+
+#include "core/tensor.hpp"
+#include "ops/gemm/gemm.hpp"
+
+namespace orpheus {
+
+/**
+ * Y = alpha * op(A) * op(B) + beta * C, with C (optional, may be null)
+ * unidirectionally broadcast to the [M, N] result — the exact ONNX Gemm
+ * contract. A and B must be rank 2.
+ */
+void dense(const Tensor &a, const Tensor &b, const Tensor *c, bool trans_a,
+           bool trans_b, float alpha, float beta, Tensor &output,
+           GemmVariant variant = GemmVariant::kPacked);
+
+} // namespace orpheus

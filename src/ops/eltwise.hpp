@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Elementwise binary operations with NumPy-style broadcasting.
+ */
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+enum class EltwiseOp {
+    kAdd = 0,
+    kSub,
+    kMul,
+    kDiv,
+};
+
+/** Broadcasted output shape of @p a op @p b; throws if incompatible. */
+Shape broadcast_result_shape(const Shape &a, const Shape &b);
+
+/**
+ * output = a op b with broadcasting. @p output must be pre-allocated
+ * with broadcast_result_shape(a, b). The same-shape case takes a fast
+ * contiguous path.
+ */
+void eltwise(EltwiseOp op, const Tensor &a, const Tensor &b, Tensor &output);
+
+} // namespace orpheus

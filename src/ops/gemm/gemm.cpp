@@ -1,0 +1,95 @@
+#include "ops/gemm/gemm.hpp"
+
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace orpheus {
+
+const char *
+to_string(GemmVariant variant)
+{
+    switch (variant) {
+      case GemmVariant::kNaive: return "naive";
+      case GemmVariant::kBlocked: return "blocked";
+      case GemmVariant::kPacked: return "packed";
+    }
+    return "invalid";
+}
+
+GemmVariant
+parse_gemm_variant(const std::string &name)
+{
+    if (name == "naive") return GemmVariant::kNaive;
+    if (name == "blocked") return GemmVariant::kBlocked;
+    if (name == "packed") return GemmVariant::kPacked;
+    throw Error("unknown GEMM variant: " + name);
+}
+
+void
+gemm(GemmVariant variant, std::int64_t m, std::int64_t n, std::int64_t k,
+     const float *a, std::int64_t lda, const float *b, std::int64_t ldb,
+     float *c, std::int64_t ldc)
+{
+    switch (variant) {
+      case GemmVariant::kNaive:
+        gemm_naive(m, n, k, a, lda, b, ldb, c, ldc);
+        return;
+      case GemmVariant::kBlocked:
+        gemm_blocked(m, n, k, a, lda, b, ldb, c, ldc);
+        return;
+      case GemmVariant::kPacked:
+        gemm_packed(m, n, k, a, lda, b, ldb, c, ldc);
+        return;
+    }
+    ORPHEUS_ASSERT(false, "invalid GemmVariant");
+}
+
+void
+gemm_general(GemmVariant variant, bool trans_a, bool trans_b, std::int64_t m,
+             std::int64_t n, std::int64_t k, float alpha, const float *a,
+             std::int64_t lda, const float *b, std::int64_t ldb, float beta,
+             float *c, std::int64_t ldc)
+{
+    // Materialise transposed operands so every core kernel only has to
+    // handle the plain row-major case.
+    std::vector<float> a_scratch, b_scratch;
+    if (trans_a) {
+        a_scratch.resize(static_cast<std::size_t>(m * k));
+        for (std::int64_t p = 0; p < k; ++p) {
+            for (std::int64_t i = 0; i < m; ++i)
+                a_scratch[static_cast<std::size_t>(i * k + p)] =
+                    a[p * lda + i];
+        }
+        a = a_scratch.data();
+        lda = k;
+    }
+    if (trans_b) {
+        b_scratch.resize(static_cast<std::size_t>(k * n));
+        for (std::int64_t j = 0; j < n; ++j) {
+            for (std::int64_t p = 0; p < k; ++p)
+                b_scratch[static_cast<std::size_t>(p * n + j)] =
+                    b[j * ldb + p];
+        }
+        b = b_scratch.data();
+        ldb = n;
+    }
+
+    if (alpha == 1.0f && beta == 0.0f) {
+        gemm(variant, m, n, k, a, lda, b, ldb, c, ldc);
+        return;
+    }
+
+    std::vector<float> product(static_cast<std::size_t>(m * n));
+    gemm(variant, m, n, k, a, lda, b, ldb, product.data(), n);
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            const float previous = beta == 0.0f ? 0.0f : c[i * ldc + j];
+            c[i * ldc + j] =
+                alpha * product[static_cast<std::size_t>(i * n + j)] +
+                beta * previous;
+        }
+    }
+}
+
+} // namespace orpheus

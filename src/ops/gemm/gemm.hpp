@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Single-precision GEMM kernels.
+ *
+ * Orpheus ships three interchangeable algorithms for C = A * B over
+ * row-major matrices; they are the computational core of GEMM-based
+ * convolution (the paper's headline design choice) and of dense layers:
+ *
+ *  - kNaive:   textbook triple loop; the correctness reference.
+ *  - kBlocked: cache-tiled i/k/j loop nest.
+ *  - kPacked:  panel-packing with a register-tiled micro-kernel;
+ *              the production default.
+ *
+ * All kernels share one signature so the registry (and the benchmarks)
+ * can swap them freely. Matrices are dense row-major with explicit
+ * leading dimensions, BLAS-style.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace orpheus {
+
+/** C[M x N] = A[M x K] * B[K x N]; C is overwritten. */
+void gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k,
+                const float *a, std::int64_t lda, const float *b,
+                std::int64_t ldb, float *c, std::int64_t ldc);
+
+/** Cache-blocked variant of gemm_naive (identical semantics). */
+void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
+                  const float *a, std::int64_t lda, const float *b,
+                  std::int64_t ldb, float *c, std::int64_t ldc);
+
+/**
+ * Packed panel GEMM with a 4x16 register-tiled micro-kernel; rows of C
+ * are distributed over the global thread pool.
+ */
+void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float *a, std::int64_t lda, const float *b,
+                 std::int64_t ldb, float *c, std::int64_t ldc);
+
+enum class GemmVariant {
+    kNaive = 0,
+    kBlocked,
+    kPacked,
+};
+
+const char *to_string(GemmVariant variant);
+
+/** Parses "naive" / "blocked" / "packed"; throws on anything else. */
+GemmVariant parse_gemm_variant(const std::string &name);
+
+/** Dispatches to the selected algorithm. */
+void gemm(GemmVariant variant, std::int64_t m, std::int64_t n,
+          std::int64_t k, const float *a, std::int64_t lda, const float *b,
+          std::int64_t ldb, float *c, std::int64_t ldc);
+
+/**
+ * General BLAS-like entry used by the Gemm (dense) operator:
+ * C = alpha * op(A) * op(B) + beta * C, where op transposes when the
+ * corresponding flag is set. Transposed operands are materialised into a
+ * contiguous scratch copy, then the selected kernel runs; dense-layer
+ * weights are small relative to the multiply so the copy is noise.
+ */
+void gemm_general(GemmVariant variant, bool trans_a, bool trans_b,
+                  std::int64_t m, std::int64_t n, std::int64_t k,
+                  float alpha, const float *a, std::int64_t lda,
+                  const float *b, std::int64_t ldb, float beta, float *c,
+                  std::int64_t ldc);
+
+} // namespace orpheus

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reference GEMM: the textbook triple loop. Every other matrix kernel in
+ * Orpheus is validated against this one.
+ */
+#include "ops/gemm/gemm.hpp"
+
+namespace orpheus {
+
+void
+gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k, const float *a,
+           std::int64_t lda, const float *b, std::int64_t ldb, float *c,
+           std::int64_t ldc)
+{
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            float accumulator = 0.0f;
+            for (std::int64_t p = 0; p < k; ++p)
+                accumulator += a[i * lda + p] * b[p * ldb + j];
+            c[i * ldc + j] = accumulator;
+        }
+    }
+}
+
+} // namespace orpheus

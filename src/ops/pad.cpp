@@ -1,0 +1,60 @@
+#include "ops/pad.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace orpheus {
+
+void
+pad_constant(const Tensor &input, const std::vector<std::int64_t> &pads,
+             float value, Tensor &output)
+{
+    const std::size_t rank = input.shape().rank();
+    ORPHEUS_CHECK(pads.size() == 2 * rank,
+                  "pad_constant needs " << 2 * rank << " pad entries, got "
+                                        << pads.size());
+    for (std::size_t d = 0; d < rank; ++d) {
+        ORPHEUS_CHECK(output.shape().dim(static_cast<int>(d)) ==
+                          input.shape().dim(static_cast<int>(d)) + pads[d] +
+                              pads[rank + d],
+                      "pad_constant output shape mismatch on axis " << d);
+    }
+
+    output.fill(value);
+    if (input.numel() == 0)
+        return;
+
+    if (rank == 0) {
+        *output.data<float>() = *input.data<float>();
+        return;
+    }
+
+    // Copy the input region row by row, where a "row" is the innermost
+    // axis; the outer axes are walked with an odometer.
+    const float *in = input.data<float>();
+    float *out = output.data<float>();
+    const auto out_strides = output.shape().strides();
+
+    const std::int64_t row_length =
+        input.shape().dim(static_cast<int>(rank - 1));
+    const std::int64_t rows = input.numel() / row_length;
+    const std::size_t outer_rank = rank - 1;
+
+    std::vector<Shape::dim_type> index(outer_rank, 0);
+    for (std::int64_t row = 0; row < rows; ++row) {
+        std::int64_t out_offset = pads[rank - 1] * out_strides[rank - 1];
+        for (std::size_t d = 0; d < outer_rank; ++d)
+            out_offset += (index[d] + pads[d]) * out_strides[d];
+
+        std::memcpy(out + out_offset, in + row * row_length,
+                    static_cast<std::size_t>(row_length) * 4);
+
+        for (std::size_t d = outer_rank; d-- > 0;) {
+            if (++index[d] < input.shape().dim(static_cast<int>(d)))
+                break;
+            index[d] = 0;
+        }
+    }
+}
+
+} // namespace orpheus

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Constant padding for arbitrary-rank tensors.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+/**
+ * Pads @p input with @p value. @p pads has 2*rank entries in ONNX order:
+ * begin pads for every axis, then end pads for every axis. @p output
+ * must be pre-allocated with the padded shape.
+ */
+void pad_constant(const Tensor &input, const std::vector<std::int64_t> &pads,
+                  float value, Tensor &output);
+
+} // namespace orpheus

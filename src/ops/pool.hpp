@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Spatial pooling kernels (NCHW).
+ */
+#pragma once
+
+#include "core/tensor.hpp"
+#include "graph/op_params.hpp"
+
+namespace orpheus {
+
+/** Max pooling; padding positions never win (ONNX -inf padding). */
+void maxpool2d(const Tensor &input, const Pool2dParams &params,
+               Tensor &output);
+
+/**
+ * Average pooling. With count_include_pad the divisor is the full window
+ * area; otherwise only in-bounds elements are counted.
+ */
+void avgpool2d(const Tensor &input, const Pool2dParams &params,
+               Tensor &output);
+
+/** Global average pooling: NCHW -> NC11. */
+void global_average_pool(const Tensor &input, Tensor &output);
+
+/** Global max pooling: NCHW -> NC11. */
+void global_max_pool(const Tensor &input, Tensor &output);
+
+} // namespace orpheus

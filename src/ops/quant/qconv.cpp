@@ -1,0 +1,185 @@
+#include "ops/quant/qconv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "ops/quant/qgemm.hpp"
+
+namespace orpheus {
+
+namespace {
+
+/** im2col over uint8 data; out-of-bounds samples take @p pad_value. */
+void
+qim2col(const std::uint8_t *data, std::int64_t channels, std::int64_t height,
+        std::int64_t width, const Conv2dParams &p, std::int64_t out_h,
+        std::int64_t out_w, std::uint8_t pad_value, std::uint8_t *col)
+{
+    for (std::int64_t c = 0; c < channels; ++c) {
+        const std::uint8_t *plane = data + c * height * width;
+        for (std::int64_t kh = 0; kh < p.kernel_h; ++kh) {
+            for (std::int64_t kw = 0; kw < p.kernel_w; ++kw) {
+                std::uint8_t *row =
+                    col + ((c * p.kernel_h + kh) * p.kernel_w + kw) * out_h *
+                              out_w;
+                for (std::int64_t oh = 0; oh < out_h; ++oh) {
+                    const std::int64_t ih =
+                        oh * p.stride_h - p.pad_top + kh * p.dilation_h;
+                    std::uint8_t *out_row = row + oh * out_w;
+                    if (ih < 0 || ih >= height) {
+                        std::memset(out_row, pad_value,
+                                    static_cast<std::size_t>(out_w));
+                        continue;
+                    }
+                    const std::uint8_t *in_row = plane + ih * width;
+                    for (std::int64_t ow = 0; ow < out_w; ++ow) {
+                        const std::int64_t iw = ow * p.stride_w -
+                                                p.pad_left +
+                                                kw * p.dilation_w;
+                        out_row[ow] = (iw >= 0 && iw < width)
+                                          ? in_row[iw]
+                                          : pad_value;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+qconv2d(const QConv2dArgs &args)
+{
+    ORPHEUS_CHECK(args.input != nullptr && args.weight != nullptr &&
+                      args.output != nullptr,
+                  "qconv2d: missing tensors");
+    ORPHEUS_CHECK(args.input->dtype() == DataType::kUInt8,
+                  "qconv2d input must be uint8");
+    ORPHEUS_CHECK(args.weight->dtype() == DataType::kInt8,
+                  "qconv2d weight must be int8");
+    ORPHEUS_CHECK(args.output->dtype() == DataType::kUInt8,
+                  "qconv2d output must be uint8");
+    ORPHEUS_CHECK(args.weight_params.zero_point == 0,
+                  "qconv2d requires symmetric weights (zero point 0)");
+    ORPHEUS_CHECK(args.activation.is_identity() ||
+                      args.activation.kind == ActivationKind::kRelu ||
+                      args.activation.kind == ActivationKind::kClip,
+                  "qconv2d supports only relu/clip fused activations");
+
+    const Conv2dParams &p = args.params;
+    const Shape &in_shape = args.input->shape();
+    const std::int64_t batch = in_shape.dim(0);
+    const std::int64_t in_c = in_shape.dim(1);
+    const std::int64_t in_h = in_shape.dim(2);
+    const std::int64_t in_w = in_shape.dim(3);
+    const std::int64_t out_c = args.weight->shape().dim(0);
+    const std::int64_t out_h = p.out_h(in_h);
+    const std::int64_t out_w = p.out_w(in_w);
+    const std::int64_t group_in_c = in_c / p.group;
+    const std::int64_t group_out_c = out_c / p.group;
+    const std::int64_t gemm_k = group_in_c * p.kernel_h * p.kernel_w;
+    const std::int64_t gemm_n = out_h * out_w;
+
+    ORPHEUS_CHECK(args.weight_channel_scales.empty() ||
+                      static_cast<std::int64_t>(
+                          args.weight_channel_scales.size()) == out_c,
+                  "qconv2d: per-channel scales must have out_c entries");
+
+    // Requantization: real = (xs*ws[oc]) * acc; y = round(real/ys) + yzp.
+    const auto multiplier_for = [&](std::int64_t oc) {
+        const float w_scale = args.weight_channel_scales.empty()
+                                  ? args.weight_params.scale
+                                  : args.weight_channel_scales[
+                                        static_cast<std::size_t>(oc)];
+        return args.input_params.scale * w_scale /
+               args.output_params.scale;
+    };
+    const std::int32_t y_zp = args.output_params.zero_point;
+
+    // Fused activation bounds in the quantized domain.
+    std::int32_t clamp_lo = 0, clamp_hi = 255;
+    if (args.activation.kind == ActivationKind::kRelu) {
+        clamp_lo = std::max(clamp_lo, y_zp);
+    } else if (args.activation.kind == ActivationKind::kClip) {
+        clamp_lo = std::max(
+            clamp_lo, args.output_params.quantize(args.activation.min));
+        clamp_hi = std::min(
+            clamp_hi, args.output_params.quantize(args.activation.max));
+    }
+
+    const auto pad_value =
+        static_cast<std::uint8_t>(std::clamp(args.input_params.zero_point,
+                                             std::int32_t{0},
+                                             std::int32_t{255}));
+
+    thread_local std::vector<std::uint8_t> col;
+    col.resize(static_cast<std::size_t>(gemm_k * gemm_n));
+    thread_local std::vector<std::int32_t> acc;
+    acc.resize(static_cast<std::size_t>(group_out_c * gemm_n));
+
+    const std::uint8_t *input = args.input->data<std::uint8_t>();
+    const std::int8_t *weight = args.weight->data<std::int8_t>();
+    const std::int32_t *bias =
+        args.bias != nullptr ? args.bias->data<std::int32_t>() : nullptr;
+    std::uint8_t *output = args.output->data<std::uint8_t>();
+
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t g = 0; g < p.group; ++g) {
+            const std::uint8_t *group_input =
+                input + (n * in_c + g * group_in_c) * in_h * in_w;
+            std::uint8_t *group_output =
+                output + (n * out_c + g * group_out_c) * gemm_n;
+
+            qim2col(group_input, group_in_c, in_h, in_w, p, out_h, out_w,
+                    pad_value, col.data());
+
+            // acc[oc][pixel] = sum_k W[oc][k] * (col[k][pixel] - x_zp),
+            // with the zero-point correction hoisted to one subtraction
+            // per output via the row sum of W (the symmetric-weights
+            // counterpart of qgemm's column-sum trick).
+            for (std::int64_t oc = 0; oc < group_out_c; ++oc) {
+                const std::int8_t *w_row =
+                    weight + (g * group_out_c + oc) * gemm_k;
+                std::int32_t w_sum = 0;
+                for (std::int64_t kk = 0; kk < gemm_k; ++kk)
+                    w_sum += w_row[kk];
+
+                std::int32_t *acc_row = acc.data() + oc * gemm_n;
+                std::memset(acc_row, 0,
+                            static_cast<std::size_t>(gemm_n) * 4);
+                for (std::int64_t kk = 0; kk < gemm_k; ++kk) {
+                    const std::int32_t w_val = w_row[kk];
+                    if (w_val == 0)
+                        continue;
+                    const std::uint8_t *col_row =
+                        col.data() + kk * gemm_n;
+                    for (std::int64_t i = 0; i < gemm_n; ++i)
+                        acc_row[i] +=
+                            w_val * static_cast<std::int32_t>(col_row[i]);
+                }
+                const std::int32_t correction =
+                    args.input_params.zero_point * w_sum;
+                const std::int32_t b =
+                    bias != nullptr ? bias[g * group_out_c + oc] : 0;
+                const float multiplier =
+                    multiplier_for(g * group_out_c + oc);
+
+                std::uint8_t *out_row = group_output + oc * gemm_n;
+                for (std::int64_t i = 0; i < gemm_n; ++i) {
+                    const std::int32_t raw = acc_row[i] - correction + b;
+                    const std::int32_t q =
+                        static_cast<std::int32_t>(std::lround(
+                            static_cast<float>(raw) * multiplier)) +
+                        y_zp;
+                    out_row[i] = static_cast<std::uint8_t>(
+                        std::clamp(q, clamp_lo, clamp_hi));
+                }
+            }
+        }
+    }
+}
+
+} // namespace orpheus

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Quantized 2-D convolution (the QLinearConv computation).
+ *
+ * Inputs: uint8 activations (affine), int8 weights (symmetric), int32
+ * bias at scale x_scale * w_scale. The convolution is lowered through a
+ * quantized im2col (padding written as the activation zero point, which
+ * dequantizes to exactly 0) into qgemm_u8i8; the int32 accumulators are
+ * then requantized to the uint8 output with a single fused multiplier
+ * M = x_scale * w_scale / y_scale.
+ */
+#pragma once
+
+#include "core/tensor.hpp"
+#include "graph/op_params.hpp"
+#include "ops/activation.hpp"
+#include "ops/quant/quantize.hpp"
+
+namespace orpheus {
+
+/** Fully-resolved quantized conv arguments. */
+struct QConv2dArgs {
+    const Tensor *input = nullptr;  ///< uint8, NCHW.
+    QuantParams input_params;
+    const Tensor *weight = nullptr; ///< int8, OIHW, symmetric.
+    QuantParams weight_params;      ///< zero_point must be 0.
+    /**
+     * Optional per-output-channel weight scales (length out_c). When
+     * non-empty these override weight_params.scale per channel —
+     * ONNX QLinearConv's per-channel quantization.
+     */
+    std::vector<float> weight_channel_scales;
+    const Tensor *bias = nullptr;   ///< int32, optional; scale xs*ws.
+    Tensor *output = nullptr;       ///< uint8, NCHW.
+    QuantParams output_params;
+    Conv2dParams params;
+    /** Fused activation, applied in the quantized domain (relu/clip
+     *  become clamps; other kinds are not supported here). */
+    ActivationSpec activation;
+};
+
+/** Runs the quantized convolution. Throws on dtype/shape mismatches. */
+void qconv2d(const QConv2dArgs &args);
+
+} // namespace orpheus

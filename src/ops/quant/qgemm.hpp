@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Quantized GEMM: uint8 activations x int8 weights -> int32 accumulators.
+ *
+ * C[i][j] = sum_k (A[i][k] - a_zero_point) * B[k][j]
+ *
+ * B (the weights) is symmetric (zero point 0), which removes the
+ * B-correction term; the A zero point is folded in with the standard
+ * column-sum trick so the hot loop is a pure integer multiply-add.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace orpheus {
+
+/** Reference implementation (used for validation). */
+void qgemm_u8i8_naive(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const std::uint8_t *a, std::int64_t lda,
+                      std::int32_t a_zero_point, const std::int8_t *b,
+                      std::int64_t ldb, std::int32_t *c, std::int64_t ldc);
+
+/**
+ * Production kernel: i/p/j loop order with the zero-point correction
+ * hoisted out of the inner loop via per-column sums of B.
+ */
+void qgemm_u8i8(std::int64_t m, std::int64_t n, std::int64_t k,
+                const std::uint8_t *a, std::int64_t lda,
+                std::int32_t a_zero_point, const std::int8_t *b,
+                std::int64_t ldb, std::int32_t *c, std::int64_t ldc);
+
+} // namespace orpheus

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quantization primitives: affine uint8 activations, symmetric int8
+ * weights — the standard post-training-quantization recipe for edge
+ * CPUs (real = scale * (quantized - zero_point)).
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+/** Affine quantization parameters for one tensor. */
+struct QuantParams {
+    float scale = 1.0f;
+    std::int32_t zero_point = 0;
+
+    /** real -> quantized (unclamped, rounded to nearest). */
+    std::int32_t
+    quantize(float real) const
+    {
+        return static_cast<std::int32_t>(
+                   std::lround(real / scale)) +
+               zero_point;
+    }
+
+    /** quantized -> real. */
+    float
+    dequantize(std::int32_t quantized) const
+    {
+        return scale * static_cast<float>(quantized - zero_point);
+    }
+};
+
+/**
+ * Chooses asymmetric uint8 parameters covering [min, max]. The range is
+ * widened to include 0 so that zero is exactly representable (required
+ * for zero padding to be exact).
+ */
+QuantParams choose_uint8_params(float min, float max);
+
+/** Chooses symmetric int8 parameters (zero_point = 0) for weights. */
+QuantParams choose_int8_symmetric_params(float abs_max);
+
+/** fp32 -> uint8 tensor with @p params (values clamped to [0, 255]). */
+void quantize_to_uint8(const Tensor &input, const QuantParams &params,
+                       Tensor &output);
+
+/** fp32 -> int8 tensor with @p params (values clamped to [-127, 127]). */
+void quantize_to_int8(const Tensor &input, const QuantParams &params,
+                      Tensor &output);
+
+/** uint8/int8/int32 -> fp32 with @p params. */
+void dequantize_to_float(const Tensor &input, const QuantParams &params,
+                         Tensor &output);
+
+/** Min/max over a fp32 tensor. */
+void tensor_min_max(const Tensor &input, float &min, float &max);
+
+} // namespace orpheus

@@ -1,0 +1,94 @@
+#include "ops/reduce.hpp"
+
+#include <algorithm>
+
+namespace orpheus {
+
+void
+reduce_mean(const Tensor &input, const std::vector<std::int64_t> &axes,
+            Tensor &output)
+{
+    const std::size_t rank = input.shape().rank();
+    std::vector<bool> reduced(rank, false);
+    std::int64_t reduce_count = 1;
+    for (std::int64_t axis : axes) {
+        const int normalized =
+            input.shape().normalize_axis(static_cast<int>(axis));
+        ORPHEUS_CHECK(!reduced[static_cast<std::size_t>(normalized)],
+                      "duplicate reduction axis " << axis);
+        reduced[static_cast<std::size_t>(normalized)] = true;
+        reduce_count *= input.shape().dim(normalized);
+    }
+    const std::int64_t keep_count = input.numel() / std::max<std::int64_t>(
+                                                        reduce_count, 1);
+    ORPHEUS_CHECK(output.numel() == keep_count,
+                  "reduce_mean output has " << output.numel()
+                                            << " elements, expected "
+                                            << keep_count);
+
+    // Accumulate in double, then normalise.
+    std::vector<double> sums(static_cast<std::size_t>(keep_count), 0.0);
+
+    const auto in_strides = input.shape().strides();
+    // Flat index into the kept dims for every input coordinate.
+    std::vector<Shape::dim_type> index(rank, 0);
+    const float *in = input.data<float>();
+    const std::int64_t count = input.numel();
+    for (std::int64_t flat = 0; flat < count; ++flat) {
+        std::int64_t kept = 0;
+        for (std::size_t d = 0; d < rank; ++d) {
+            if (!reduced[d])
+                kept = kept * input.shape().dim(static_cast<int>(d)) +
+                       index[d];
+        }
+        sums[static_cast<std::size_t>(kept)] += in[flat];
+
+        for (std::size_t d = rank; d-- > 0;) {
+            if (++index[d] < input.shape().dim(static_cast<int>(d)))
+                break;
+            index[d] = 0;
+        }
+    }
+
+    float *out = output.data<float>();
+    for (std::int64_t i = 0; i < keep_count; ++i)
+        out[i] = static_cast<float>(sums[static_cast<std::size_t>(i)] /
+                                    static_cast<double>(reduce_count));
+}
+
+void
+argmax(const Tensor &input, int axis, Tensor &output)
+{
+    const int normalized = input.shape().normalize_axis(axis);
+    const std::int64_t extent = input.shape().dim(normalized);
+    ORPHEUS_CHECK(extent > 0, "argmax over an empty axis");
+    ORPHEUS_CHECK(output.dtype() == DataType::kInt64,
+                  "argmax output must be int64");
+
+    std::int64_t outer = 1, inner = 1;
+    for (int d = 0; d < normalized; ++d)
+        outer *= input.shape().dim(d);
+    for (int d = normalized + 1; d < static_cast<int>(input.shape().rank());
+         ++d)
+        inner *= input.shape().dim(d);
+    ORPHEUS_CHECK(output.numel() == outer * inner,
+                  "argmax output has " << output.numel()
+                                       << " elements, expected "
+                                       << outer * inner);
+
+    const float *in = input.data<float>();
+    std::int64_t *out = output.data<std::int64_t>();
+    for (std::int64_t o = 0; o < outer; ++o) {
+        for (std::int64_t i = 0; i < inner; ++i) {
+            const float *slice = in + o * extent * inner + i;
+            std::int64_t best = 0;
+            for (std::int64_t e = 1; e < extent; ++e) {
+                if (slice[e * inner] > slice[best * inner])
+                    best = e;
+            }
+            out[o * inner + i] = best;
+        }
+    }
+}
+
+} // namespace orpheus

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Reduction kernels (currently: mean).
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+/**
+ * Mean over @p axes (negative axes allowed). @p output must be
+ * pre-allocated with the reduced shape, with or without kept dims — only
+ * its element count is checked against the reduction.
+ */
+void reduce_mean(const Tensor &input, const std::vector<std::int64_t> &axes,
+                 Tensor &output);
+
+/**
+ * Index of the maximum along @p axis (first occurrence wins, matching
+ * ONNX select_last_index=0). @p output must be int64 with the reduced
+ * element count (kept or squeezed dims both accepted).
+ */
+void argmax(const Tensor &input, int axis, Tensor &output);
+
+} // namespace orpheus

@@ -1,0 +1,50 @@
+#include "ops/softmax.hpp"
+
+#include <cmath>
+
+namespace orpheus {
+
+void
+softmax(const Tensor &input, Tensor &output, int axis)
+{
+    ORPHEUS_CHECK(input.shape() == output.shape(),
+                  "softmax shape mismatch: " << input.shape() << " vs "
+                                             << output.shape());
+    const int normalized = input.shape().normalize_axis(axis);
+    const std::int64_t extent = input.shape().dim(normalized);
+
+    // Collapse the tensor into [outer, extent, inner].
+    std::int64_t outer = 1, inner = 1;
+    for (int d = 0; d < normalized; ++d)
+        outer *= input.shape().dim(d);
+    for (int d = normalized + 1; d < static_cast<int>(input.shape().rank());
+         ++d)
+        inner *= input.shape().dim(d);
+
+    const float *in = input.data<float>();
+    float *out = output.data<float>();
+
+    for (std::int64_t o = 0; o < outer; ++o) {
+        for (std::int64_t i = 0; i < inner; ++i) {
+            const float *slice = in + o * extent * inner + i;
+            float *out_slice = out + o * extent * inner + i;
+
+            float peak = slice[0];
+            for (std::int64_t e = 1; e < extent; ++e)
+                peak = std::max(peak, slice[e * inner]);
+
+            double total = 0.0;
+            for (std::int64_t e = 0; e < extent; ++e) {
+                const float value = std::exp(slice[e * inner] - peak);
+                out_slice[e * inner] = value;
+                total += value;
+            }
+
+            const float inv = static_cast<float>(1.0 / total);
+            for (std::int64_t e = 0; e < extent; ++e)
+                out_slice[e * inner] *= inv;
+        }
+    }
+}
+
+} // namespace orpheus

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Numerically stable softmax.
+ */
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+/**
+ * Softmax along @p axis (default: last). Every slice is shifted by its
+ * maximum before exponentiation for numerical stability.
+ */
+void softmax(const Tensor &input, Tensor &output, int axis = -1);
+
+} // namespace orpheus

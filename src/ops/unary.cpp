@@ -1,0 +1,49 @@
+#include "ops/unary.hpp"
+
+#include <cmath>
+
+namespace orpheus {
+
+const char *
+to_string(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::kNeg: return "neg";
+      case UnaryOp::kExp: return "exp";
+      case UnaryOp::kSqrt: return "sqrt";
+      case UnaryOp::kAbs: return "abs";
+    }
+    return "invalid";
+}
+
+void
+unary(UnaryOp op, const Tensor &input, Tensor &output)
+{
+    ORPHEUS_CHECK(input.shape() == output.shape(),
+                  "unary shape mismatch: " << input.shape() << " vs "
+                                           << output.shape());
+    const float *in = input.data<float>();
+    float *out = output.data<float>();
+    const std::int64_t count = input.numel();
+    switch (op) {
+      case UnaryOp::kNeg:
+        for (std::int64_t i = 0; i < count; ++i)
+            out[i] = -in[i];
+        return;
+      case UnaryOp::kExp:
+        for (std::int64_t i = 0; i < count; ++i)
+            out[i] = std::exp(in[i]);
+        return;
+      case UnaryOp::kSqrt:
+        for (std::int64_t i = 0; i < count; ++i)
+            out[i] = std::sqrt(in[i]);
+        return;
+      case UnaryOp::kAbs:
+        for (std::int64_t i = 0; i < count; ++i)
+            out[i] = std::fabs(in[i]);
+        return;
+    }
+    ORPHEUS_ASSERT(false, "invalid UnaryOp");
+}
+
+} // namespace orpheus

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Elementwise unary math kernels (beyond the activation family).
+ */
+#pragma once
+
+#include "core/tensor.hpp"
+
+namespace orpheus {
+
+enum class UnaryOp {
+    kNeg = 0,
+    kExp,
+    kSqrt,
+    kAbs,
+};
+
+const char *to_string(UnaryOp op);
+
+/** output = op(input); shapes must match, fp32 only. */
+void unary(UnaryOp op, const Tensor &input, Tensor &output);
+
+} // namespace orpheus

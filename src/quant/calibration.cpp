@@ -1,0 +1,58 @@
+#include "quant/calibration.hpp"
+
+#include <algorithm>
+
+#include "core/rng.hpp"
+#include "ops/quant/quantize.hpp"
+#include "runtime/engine.hpp"
+
+namespace orpheus {
+
+RangeTable
+calibrate_ranges(const Graph &graph, int runs, std::uint64_t seed)
+{
+    ORPHEUS_CHECK(runs >= 1, "calibration needs at least one run");
+
+    // The engine must not simplify (value names have to match the
+    // caller's graph) and must not reuse activation memory (every value
+    // is inspected after the run completes).
+    EngineOptions options;
+    options.apply_simplifications = false;
+    options.use_memory_planner = false;
+    Engine engine(Graph(graph), options);
+
+    RangeTable table;
+    const auto observe = [&table](const std::string &name,
+                                  const Tensor &tensor) {
+        if (tensor.dtype() != DataType::kFloat32)
+            return;
+        float lo, hi;
+        tensor_min_max(tensor, lo, hi);
+        auto [it, inserted] = table.emplace(name, std::make_pair(lo, hi));
+        if (!inserted) {
+            it->second.first = std::min(it->second.first, lo);
+            it->second.second = std::max(it->second.second, hi);
+        }
+    };
+
+    Rng rng(seed);
+    for (int run = 0; run < runs; ++run) {
+        std::map<std::string, Tensor> inputs;
+        for (const ValueInfo &input : graph.inputs()) {
+            Tensor sample = random_tensor(input.shape, rng, -1.0f, 1.0f);
+            observe(input.name, sample);
+            inputs.emplace(input.name, std::move(sample));
+        }
+        (void)engine.run(inputs);
+
+        // With the memory planner off, every step's outputs still hold
+        // their values after the run.
+        for (const PlanStep &step : engine.steps()) {
+            for (std::size_t i = 0; i < step.outputs.size(); ++i)
+                observe(step.output_names[i], *step.outputs[i]);
+        }
+    }
+    return table;
+}
+
+} // namespace orpheus

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Activation-range calibration for post-training quantization.
+ *
+ * The calibrator runs the float model over sample inputs and records
+ * the min/max of every value in the graph. Production deployments feed
+ * representative data; this offline reproduction substitutes
+ * deterministic random inputs (per the repository's substitution rules)
+ * — the code path is identical, only the statistics source differs.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace orpheus {
+
+/** Observed (min, max) per value name. */
+using RangeTable = std::map<std::string, std::pair<float, float>>;
+
+/**
+ * Runs @p graph (as-is — simplify first if the consumer will) over
+ * @p runs random inputs and returns observed ranges for every fp32
+ * value, including the graph inputs.
+ */
+RangeTable calibrate_ranges(const Graph &graph, int runs = 4,
+                            std::uint64_t seed = 0xca1b);
+
+} // namespace orpheus

@@ -1,0 +1,203 @@
+#include "runtime/engine.hpp"
+
+#include <sstream>
+
+#include "core/logging.hpp"
+#include "core/timer.hpp"
+
+namespace orpheus {
+
+Engine::Engine(Graph graph, EngineOptions options)
+    : graph_(std::move(graph)), options_(options)
+{
+    compile();
+}
+
+void
+Engine::compile()
+{
+    graph_.validate();
+    if (options_.apply_simplifications)
+        simplification_report_ = simplify_graph(graph_);
+
+    infos_ = infer_shapes(graph_);
+    const std::vector<std::size_t> order = graph_.topological_order();
+
+    // --- Storage ----------------------------------------------------------
+    // Graph inputs and outputs always get dedicated allocations; other
+    // intermediates live in the planned arena (or, with the planner off,
+    // in per-value allocations).
+    for (const ValueInfo &input : graph_.inputs())
+        values_.emplace(input.name, Tensor(input.shape, input.dtype));
+
+    if (options_.use_memory_planner) {
+        memory_plan_ = plan_memory(graph_, infos_, order);
+        arena_ = Buffer::allocate(memory_plan_.arena_size);
+    }
+
+    for (std::size_t index : order) {
+        const Node &node = graph_.nodes()[index];
+        for (const std::string &out : node.outputs()) {
+            const ValueInfo &info = infos_.at(out);
+            if (options_.use_memory_planner &&
+                memory_plan_.slots.count(out) > 0) {
+                const ArenaSlot &slot = memory_plan_.slots.at(out);
+                auto view = Buffer::wrap(
+                    static_cast<char *>(arena_->data()) + slot.offset,
+                    slot.size);
+                values_.emplace(out,
+                                Tensor(info.shape, info.dtype,
+                                       std::move(view)));
+            } else {
+                values_.emplace(out, Tensor(info.shape, info.dtype));
+            }
+        }
+    }
+    // Graph outputs that are directly an input or initializer (degenerate
+    // but legal) still need storage for run() to copy from.
+    for (const ValueInfo &output : graph_.outputs()) {
+        if (values_.count(output.name) == 0 &&
+            !graph_.has_initializer(output.name)) {
+            const ValueInfo &info = infos_.at(output.name);
+            values_.emplace(output.name, Tensor(info.shape, info.dtype));
+        }
+    }
+
+    // --- Kernel selection + layer instantiation ---------------------------
+    KernelRegistry &registry = KernelRegistry::instance();
+    steps_.reserve(order.size());
+    for (std::size_t index : order) {
+        const Node &node = graph_.nodes()[index];
+
+        LayerInit init;
+        init.node = &node;
+        init.config = &options_.backend;
+        init.input_infos.reserve(node.inputs().size());
+        init.constant_inputs.reserve(node.inputs().size());
+        for (const std::string &in : node.inputs()) {
+            if (in.empty()) {
+                init.input_infos.push_back(ValueInfo{});
+                init.constant_inputs.push_back(nullptr);
+            } else {
+                init.input_infos.push_back(infos_.at(in));
+                init.constant_inputs.push_back(
+                    graph_.has_initializer(in) ? &graph_.initializer(in)
+                                               : nullptr);
+            }
+        }
+        for (const std::string &out : node.outputs())
+            init.output_infos.push_back(infos_.at(out));
+
+        SelectionResult selection = select_kernel(
+            registry, init, options_.selection, options_.autotune_runs);
+        if (!selection.measurements.empty())
+            autotune_log_[node.name()] = selection.measurements;
+
+        PlanStep step;
+        step.node_name = node.name();
+        step.op_type = node.op_type();
+        step.layer = registry.instantiate(*selection.kernel, init);
+        for (const std::string &in : node.inputs()) {
+            if (in.empty()) {
+                step.inputs.push_back(nullptr);
+            } else if (graph_.has_initializer(in)) {
+                step.inputs.push_back(&graph_.initializer(in));
+            } else {
+                step.inputs.push_back(value_tensor(in));
+            }
+        }
+        for (const std::string &out : node.outputs()) {
+            step.outputs.push_back(value_tensor(out));
+            step.output_names.push_back(out);
+        }
+        step.output_shape = init.output_infos.front().shape;
+
+        profiler_.add_step(step.node_name, step.op_type,
+                           step.layer->impl_name(), step.output_shape);
+        ORPHEUS_DEBUG("plan step " << steps_.size() << ": "
+                                   << step.node_name << " -> "
+                                   << step.layer->impl_name());
+        steps_.push_back(std::move(step));
+    }
+}
+
+Tensor *
+Engine::value_tensor(const std::string &name)
+{
+    auto it = values_.find(name);
+    ORPHEUS_ASSERT(it != values_.end(), "no storage for value " << name);
+    return &it->second;
+}
+
+std::map<std::string, Tensor>
+Engine::run(const std::map<std::string, Tensor> &inputs)
+{
+    for (const ValueInfo &declared : graph_.inputs()) {
+        auto provided = inputs.find(declared.name);
+        ORPHEUS_CHECK(provided != inputs.end(),
+                      "missing graph input: " << declared.name);
+        value_tensor(declared.name)->copy_from(provided->second);
+    }
+
+    if (options_.enable_profiling) {
+        Timer timer;
+        for (std::size_t i = 0; i < steps_.size(); ++i) {
+            timer.start();
+            steps_[i].layer->forward(steps_[i].inputs, steps_[i].outputs);
+            profiler_.record(i, timer.elapsed_ms());
+        }
+    } else {
+        for (PlanStep &step : steps_)
+            step.layer->forward(step.inputs, step.outputs);
+    }
+
+    std::map<std::string, Tensor> outputs;
+    for (const ValueInfo &output : graph_.outputs()) {
+        const Tensor &source = graph_.has_initializer(output.name)
+                                   ? graph_.initializer(output.name)
+                                   : *value_tensor(output.name);
+        outputs.emplace(output.name, source.clone());
+    }
+    return outputs;
+}
+
+Tensor
+Engine::run(const Tensor &input)
+{
+    ORPHEUS_CHECK(graph_.inputs().size() == 1,
+                  "single-tensor run() needs exactly one graph input, graph "
+                      << graph_.name() << " has " << graph_.inputs().size());
+    ORPHEUS_CHECK(graph_.outputs().size() == 1,
+                  "single-tensor run() needs exactly one graph output, graph "
+                      << graph_.name() << " has "
+                      << graph_.outputs().size());
+    auto outputs = run({{graph_.inputs().front().name, input}});
+    return std::move(outputs.begin()->second);
+}
+
+void
+Engine::run_step(std::size_t index)
+{
+    ORPHEUS_CHECK(index < steps_.size(),
+                  "plan step " << index << " out of range (plan has "
+                               << steps_.size() << " steps)");
+    steps_[index].layer->forward(steps_[index].inputs,
+                                 steps_[index].outputs);
+}
+
+std::string
+Engine::plan_summary() const
+{
+    std::ostringstream out;
+    out << "plan for graph " << graph_.name() << " (" << steps_.size()
+        << " steps, arena " << memory_plan_.arena_size << " bytes):\n";
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+        const PlanStep &step = steps_[i];
+        out << "  #" << i << " " << step.node_name << " [" << step.op_type
+            << " / " << step.layer->impl_name() << "] -> "
+            << step.output_shape << "\n";
+    }
+    return out.str();
+}
+
+} // namespace orpheus

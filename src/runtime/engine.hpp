@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The inference engine: compiles a Graph into an executable plan and
+ * runs it.
+ *
+ * Compilation pipeline (all plan-time, nothing is deferred to run()):
+ *   1. validate + (optionally) simplify the graph,
+ *   2. infer every value's shape/dtype,
+ *   3. plan intermediate-activation memory into one shared arena,
+ *   4. select one kernel implementation per node (heuristic, pinned or
+ *      auto-tuned) and instantiate its Layer.
+ *
+ * run() then walks the plan copying nothing but the user's inputs and
+ * the requested outputs.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend_config.hpp"
+#include "backend/kernel_registry.hpp"
+#include "graph/graph.hpp"
+#include "graph/passes/pass.hpp"
+#include "graph/shape_inference.hpp"
+#include "runtime/memory_planner.hpp"
+#include "runtime/profiler.hpp"
+#include "runtime/selection.hpp"
+
+namespace orpheus {
+
+struct EngineOptions {
+    BackendConfig backend;
+
+    /** Run the standard simplification pipeline before compiling. */
+    bool apply_simplifications = true;
+
+    SelectionStrategy selection = SelectionStrategy::kHeuristic;
+    int autotune_runs = 3;
+
+    /** Accumulate per-layer timings on every run(). */
+    bool enable_profiling = false;
+
+    /**
+     * Place intermediates in the planned arena. Disabling gives every
+     * intermediate its own allocation (the ablation baseline).
+     */
+    bool use_memory_planner = true;
+};
+
+/** One executable step of the compiled plan. */
+struct PlanStep {
+    std::string node_name;
+    std::string op_type;
+    std::unique_ptr<Layer> layer;
+    std::vector<const Tensor *> inputs; ///< nullptr for omitted optionals.
+    std::vector<Tensor *> outputs;
+    /** Value names of the outputs (index-aligned with outputs). */
+    std::vector<std::string> output_names;
+    Shape output_shape;
+};
+
+class Engine
+{
+  public:
+    /** Compiles @p graph. Throws orpheus::Error on unsupported ops,
+     *  invalid graphs or impossible kernel pins. */
+    explicit Engine(Graph graph, EngineOptions options = {});
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    // --- Execution --------------------------------------------------------
+
+    /**
+     * Runs one inference. @p inputs must provide a tensor of the
+     * declared shape for every graph input; returns one tensor (a
+     * private copy) per graph output.
+     */
+    std::map<std::string, Tensor>
+    run(const std::map<std::string, Tensor> &inputs);
+
+    /** Single-input / single-output convenience overload. */
+    Tensor run(const Tensor &input);
+
+    /** Executes only step @p index (inputs must already be in place from
+     *  a previous full run); used by the per-layer benchmark harness. */
+    void run_step(std::size_t index);
+
+    // --- Introspection ----------------------------------------------------
+
+    const Graph &graph() const { return graph_; }
+    const EngineOptions &options() const { return options_; }
+    const std::vector<PlanStep> &steps() const { return steps_; }
+    const ValueInfoMap &value_infos() const { return infos_; }
+
+    Profiler &profiler() { return profiler_; }
+    const Profiler &profiler() const { return profiler_; }
+
+    /** Arena bytes used for intermediates (0 when the planner is off). */
+    std::size_t arena_bytes() const { return memory_plan_.arena_size; }
+
+    /** Sum of intermediate sizes without reuse. */
+    std::size_t naive_arena_bytes() const { return memory_plan_.naive_size; }
+
+    /** Auto-tune measurements per node (empty unless kAutoTune). */
+    const std::map<std::string,
+                   std::vector<std::pair<std::string, double>>> &
+    autotune_log() const
+    {
+        return autotune_log_;
+    }
+
+    /** Simplification statistics from compile time. */
+    const PassManagerReport &simplification_report() const
+    {
+        return simplification_report_;
+    }
+
+    /** One line per plan step: node, op, impl, output shape. */
+    std::string plan_summary() const;
+
+  private:
+    void compile();
+    Tensor *value_tensor(const std::string &name);
+
+    Graph graph_;
+    EngineOptions options_;
+    ValueInfoMap infos_;
+    MemoryPlan memory_plan_;
+    PassManagerReport simplification_report_;
+
+    std::shared_ptr<Buffer> arena_;
+    /** Storage for every non-initializer value, keyed by name. */
+    std::map<std::string, Tensor> values_;
+    std::vector<PlanStep> steps_;
+    Profiler profiler_;
+    std::map<std::string, std::vector<std::pair<std::string, double>>>
+        autotune_log_;
+};
+
+} // namespace orpheus

@@ -1,0 +1,123 @@
+#include "runtime/memory_planner.hpp"
+
+#include <algorithm>
+
+#include "core/buffer.hpp"
+
+namespace orpheus {
+
+namespace {
+
+/** Lifetime of one intermediate value in plan-step indices. */
+struct Interval {
+    std::string name;
+    std::size_t size = 0;
+    std::size_t def = 0;
+    std::size_t last_use = 0;
+
+    bool
+    overlaps(const Interval &other) const
+    {
+        return def <= other.last_use && other.def <= last_use;
+    }
+};
+
+std::size_t
+align_up(std::size_t value)
+{
+    return (value + Buffer::kAlignment - 1) / Buffer::kAlignment *
+           Buffer::kAlignment;
+}
+
+} // namespace
+
+MemoryPlan
+plan_memory(const Graph &graph, const ValueInfoMap &infos,
+            const std::vector<std::size_t> &order)
+{
+    // Map node index -> plan position.
+    std::unordered_map<std::size_t, std::size_t> position;
+    for (std::size_t step = 0; step < order.size(); ++step)
+        position[order[step]] = step;
+
+    // Collect intervals for arena-managed values.
+    std::vector<Interval> intervals;
+    for (std::size_t step = 0; step < order.size(); ++step) {
+        const Node &node = graph.nodes()[order[step]];
+        for (const std::string &out : node.outputs()) {
+            if (graph.is_graph_output(out))
+                continue;
+            auto info = infos.find(out);
+            ORPHEUS_ASSERT(info != infos.end(),
+                           "no inferred shape for value " << out);
+            Interval interval;
+            interval.name = out;
+            interval.size = align_up(
+                static_cast<std::size_t>(info->second.shape.numel()) *
+                dtype_size(info->second.dtype));
+            interval.def = step;
+            interval.last_use = step;
+            for (std::size_t consumer : graph.consumers(out)) {
+                auto it = position.find(consumer);
+                ORPHEUS_ASSERT(it != position.end(),
+                               "consumer of " << out << " not in order");
+                interval.last_use = std::max(interval.last_use, it->second);
+            }
+            intervals.push_back(std::move(interval));
+        }
+    }
+
+    MemoryPlan plan;
+    for (const Interval &interval : intervals)
+        plan.naive_size += interval.size;
+
+    // Greedy-by-size placement: biggest tensors first, each at the
+    // lowest offset that does not collide with an already-placed,
+    // lifetime-overlapping neighbour.
+    std::vector<std::size_t> by_size(intervals.size());
+    for (std::size_t i = 0; i < by_size.size(); ++i)
+        by_size[i] = i;
+    std::stable_sort(by_size.begin(), by_size.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return intervals[a].size > intervals[b].size;
+                     });
+
+    struct Placed {
+        std::size_t interval_index;
+        std::size_t offset;
+    };
+    std::vector<Placed> placed;
+
+    for (std::size_t index : by_size) {
+        const Interval &interval = intervals[index];
+
+        // Gather conflicting placements sorted by offset, then walk the
+        // gaps to find the first fit.
+        std::vector<Placed> conflicts;
+        for (const Placed &p : placed) {
+            if (intervals[p.interval_index].overlaps(interval))
+                conflicts.push_back(p);
+        }
+        std::sort(conflicts.begin(), conflicts.end(),
+                  [](const Placed &a, const Placed &b) {
+                      return a.offset < b.offset;
+                  });
+
+        std::size_t offset = 0;
+        for (const Placed &conflict : conflicts) {
+            const std::size_t conflict_end =
+                conflict.offset + intervals[conflict.interval_index].size;
+            if (conflict.offset >= offset + interval.size)
+                break; // The gap before this conflict fits.
+            offset = std::max(offset, conflict_end);
+        }
+
+        placed.push_back({index, offset});
+        plan.slots[interval.name] = ArenaSlot{offset, interval.size};
+        plan.arena_size = std::max(plan.arena_size, offset + interval.size);
+    }
+
+    return plan;
+}
+
+} // namespace orpheus

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Activation-memory planning.
+ *
+ * Edge devices are memory constrained, so the engine does not allocate
+ * every intermediate tensor separately: a liveness analysis over the
+ * topologically ordered plan assigns each intermediate value an offset
+ * in one shared arena, reusing the space of values whose last consumer
+ * has already run. The planner uses the greedy-by-size interval-overlap
+ * strategy (largest tensors placed first, lowest non-conflicting offset
+ * wins). Ablation C (bench_memory) reports planned vs naive footprints.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/shape_inference.hpp"
+
+namespace orpheus {
+
+/** Placement of one intermediate value inside the arena. */
+struct ArenaSlot {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+};
+
+struct MemoryPlan {
+    /** Total arena bytes required. */
+    std::size_t arena_size = 0;
+    /** Sum of all intermediate tensor sizes (no-reuse baseline). */
+    std::size_t naive_size = 0;
+    /** Per-value placements, keyed by value name. */
+    std::unordered_map<std::string, ArenaSlot> slots;
+};
+
+/**
+ * Plans arena placements for every value produced by a node that is not
+ * a graph output (graph outputs get dedicated storage so they survive
+ * the call). @p order must be a valid topological order of
+ * @p graph.nodes().
+ */
+MemoryPlan plan_memory(const Graph &graph, const ValueInfoMap &infos,
+                       const std::vector<std::size_t> &order);
+
+} // namespace orpheus

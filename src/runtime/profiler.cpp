@@ -1,0 +1,100 @@
+#include "runtime/profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/status.hpp"
+
+namespace orpheus {
+
+void
+Profiler::add_step(std::string node_name, std::string op_type,
+                   std::string impl_name, Shape output_shape)
+{
+    LayerProfile profile;
+    profile.node_name = std::move(node_name);
+    profile.op_type = std::move(op_type);
+    profile.impl_name = std::move(impl_name);
+    profile.output_shape = std::move(output_shape);
+    steps_.push_back(std::move(profile));
+}
+
+void
+Profiler::record(std::size_t index, double ms)
+{
+    ORPHEUS_ASSERT(index < steps_.size(),
+                   "profiler step " << index << " out of range");
+    steps_[index].total_ms += ms;
+    ++steps_[index].calls;
+}
+
+void
+Profiler::reset()
+{
+    for (LayerProfile &step : steps_) {
+        step.total_ms = 0.0;
+        step.calls = 0;
+    }
+}
+
+double
+Profiler::total_ms() const
+{
+    double total = 0.0;
+    for (const LayerProfile &step : steps_)
+        total += step.total_ms;
+    return total;
+}
+
+std::string
+Profiler::report(std::size_t max_rows) const
+{
+    std::vector<const LayerProfile *> sorted;
+    sorted.reserve(steps_.size());
+    for (const LayerProfile &step : steps_)
+        sorted.push_back(&step);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const LayerProfile *a, const LayerProfile *b) {
+                         return a->total_ms > b->total_ms;
+                     });
+    if (max_rows > 0 && sorted.size() > max_rows)
+        sorted.resize(max_rows);
+
+    const double total = total_ms();
+    std::ostringstream out;
+    out << std::left << std::setw(28) << "node" << std::setw(20) << "op"
+        << std::setw(20) << "impl" << std::right << std::setw(10) << "calls"
+        << std::setw(12) << "mean ms" << std::setw(12) << "total ms"
+        << std::setw(8) << "%" << "\n";
+    out << std::string(110, '-') << "\n";
+    for (const LayerProfile *step : sorted) {
+        out << std::left << std::setw(28) << step->node_name << std::setw(20)
+            << step->op_type << std::setw(20) << step->impl_name
+            << std::right << std::setw(10) << step->calls << std::setw(12)
+            << std::fixed << std::setprecision(3) << step->mean_ms()
+            << std::setw(12) << step->total_ms << std::setw(7)
+            << std::setprecision(1)
+            << (total > 0 ? 100.0 * step->total_ms / total : 0.0) << "%\n";
+    }
+    out << std::string(110, '-') << "\n";
+    out << "total: " << std::setprecision(3) << total << " ms over "
+        << steps_.size() << " steps\n";
+    return out.str();
+}
+
+std::string
+Profiler::csv() const
+{
+    std::ostringstream out;
+    out << "node,op,impl,output_shape,calls,total_ms,mean_ms\n";
+    for (const LayerProfile &step : steps_) {
+        out << step.node_name << ',' << step.op_type << ','
+            << step.impl_name << ",\"" << step.output_shape << "\","
+            << step.calls << ',' << step.total_ms << ',' << step.mean_ms()
+            << "\n";
+    }
+    return out.str();
+}
+
+} // namespace orpheus

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-layer inference profiler.
+ *
+ * The paper's evaluation infrastructure reports both whole-network and
+ * per-layer timings; the Profiler accumulates wall-clock time per plan
+ * step across runs and renders text/CSV reports.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/shape.hpp"
+
+namespace orpheus {
+
+/** Accumulated statistics for one plan step (one layer instance). */
+struct LayerProfile {
+    std::string node_name;
+    std::string op_type;
+    std::string impl_name;
+    Shape output_shape;
+    std::int64_t calls = 0;
+    double total_ms = 0.0;
+
+    double
+    mean_ms() const
+    {
+        return calls > 0 ? total_ms / static_cast<double>(calls) : 0.0;
+    }
+};
+
+class Profiler
+{
+  public:
+    /** Registers plan steps up front; returns nothing, order matters. */
+    void add_step(std::string node_name, std::string op_type,
+                  std::string impl_name, Shape output_shape);
+
+    /** Accumulates one execution of step @p index taking @p ms. */
+    void record(std::size_t index, double ms);
+
+    /** Clears accumulated timings (keeps the step table). */
+    void reset();
+
+    const std::vector<LayerProfile> &steps() const { return steps_; }
+
+    /** Total accumulated time across all steps. */
+    double total_ms() const;
+
+    /** Human-readable table sorted by total time (descending). */
+    std::string report(std::size_t max_rows = 0) const;
+
+    /** CSV dump: node,op,impl,output_shape,calls,total_ms,mean_ms. */
+    std::string csv() const;
+
+  private:
+    std::vector<LayerProfile> steps_;
+};
+
+} // namespace orpheus

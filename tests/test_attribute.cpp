@@ -1,0 +1,106 @@
+/** @file Unit tests for Attribute and AttributeMap. */
+#include "graph/attribute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orpheus {
+namespace {
+
+TEST(Attribute, KindPredicatesAndAccessors)
+{
+    Attribute i(std::int64_t{42});
+    EXPECT_TRUE(i.is_int());
+    EXPECT_EQ(i.as_int(), 42);
+    EXPECT_THROW(i.as_float(), Error);
+
+    Attribute f(1.5f);
+    EXPECT_TRUE(f.is_float());
+    EXPECT_EQ(f.as_float(), 1.5f);
+    EXPECT_THROW(f.as_string(), Error);
+
+    Attribute s("hello");
+    EXPECT_TRUE(s.is_string());
+    EXPECT_EQ(s.as_string(), "hello");
+
+    Attribute ints(std::vector<std::int64_t>{1, 2, 3});
+    EXPECT_TRUE(ints.is_ints());
+    EXPECT_EQ(ints.as_ints().size(), 3u);
+
+    Attribute floats(std::vector<float>{0.5f, 0.25f});
+    EXPECT_TRUE(floats.is_floats());
+    EXPECT_EQ(floats.as_floats()[1], 0.25f);
+
+    Attribute tensor(Tensor::from_values(Shape({2}), {1, 2}));
+    EXPECT_TRUE(tensor.is_tensor());
+    EXPECT_EQ(tensor.as_tensor().numel(), 2);
+}
+
+TEST(Attribute, IntPromotionFromPlainInt)
+{
+    Attribute a(7); // int literal, not int64_t
+    EXPECT_TRUE(a.is_int());
+    EXPECT_EQ(a.as_int(), 7);
+}
+
+TEST(Attribute, ToStringFormats)
+{
+    EXPECT_EQ(Attribute(std::int64_t{3}).to_string(), "int(3)");
+    EXPECT_EQ(Attribute("x").to_string(), "string(\"x\")");
+    EXPECT_EQ(Attribute(std::vector<std::int64_t>{1, 2}).to_string(),
+              "ints[1, 2]");
+}
+
+TEST(AttributeMap, DefaultedLookups)
+{
+    AttributeMap map;
+    map.set("stride", std::int64_t{2});
+    map.set("alpha", 0.1f);
+    map.set("mode", "constant");
+    map.set("pads", std::vector<std::int64_t>{1, 1});
+
+    EXPECT_TRUE(map.has("stride"));
+    EXPECT_FALSE(map.has("dilation"));
+    EXPECT_EQ(map.get_int("stride", 1), 2);
+    EXPECT_EQ(map.get_int("dilation", 1), 1);
+    EXPECT_EQ(map.get_float("alpha", 0.0f), 0.1f);
+    EXPECT_EQ(map.get_float("beta", 0.5f), 0.5f);
+    EXPECT_EQ(map.get_string("mode", "edge"), "constant");
+    EXPECT_EQ(map.get_string("other", "edge"), "edge");
+    EXPECT_EQ(map.get_ints("pads", {}).size(), 2u);
+    EXPECT_EQ(map.get_ints("missing", {9}).at(0), 9);
+}
+
+TEST(AttributeMap, AtThrowsForMissingKey)
+{
+    AttributeMap map;
+    EXPECT_THROW(map.at("nope"), Error);
+    map.set("k", std::int64_t{1});
+    EXPECT_EQ(map.at("k").as_int(), 1);
+}
+
+TEST(AttributeMap, IterationIsSortedByKey)
+{
+    AttributeMap map;
+    map.set("zeta", std::int64_t{1});
+    map.set("alpha", std::int64_t{2});
+    std::vector<std::string> keys;
+    for (const auto &[key, value] : map) {
+        (void)value;
+        keys.push_back(key);
+    }
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "zeta");
+}
+
+TEST(AttributeMap, SetOverwrites)
+{
+    AttributeMap map;
+    map.set("k", std::int64_t{1});
+    map.set("k", std::int64_t{2});
+    EXPECT_EQ(map.at("k").as_int(), 2);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+} // namespace
+} // namespace orpheus

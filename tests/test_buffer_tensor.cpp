@@ -1,0 +1,169 @@
+/** @file Unit tests for Buffer and Tensor. */
+#include "core/buffer.hpp"
+#include "core/tensor.hpp"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace orpheus {
+namespace {
+
+TEST(Buffer, AllocationIsAlignedAndZeroed)
+{
+    auto buffer = Buffer::allocate(100);
+    ASSERT_NE(buffer->data(), nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer->data()) %
+                  Buffer::kAlignment,
+              0u);
+    EXPECT_EQ(buffer->size(), 100u);
+    EXPECT_TRUE(buffer->owns_memory());
+    const auto *bytes = static_cast<const std::uint8_t *>(buffer->data());
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(bytes[i], 0u) << "byte " << i;
+}
+
+TEST(Buffer, ZeroSizeAllocation)
+{
+    auto buffer = Buffer::allocate(0);
+    EXPECT_EQ(buffer->size(), 0u);
+}
+
+TEST(Buffer, WrapDoesNotOwn)
+{
+    float storage[4] = {1, 2, 3, 4};
+    auto buffer = Buffer::wrap(storage, sizeof(storage));
+    EXPECT_FALSE(buffer->owns_memory());
+    EXPECT_EQ(buffer->data(), storage);
+    static_cast<float *>(buffer->data())[0] = 9.0f;
+    EXPECT_EQ(storage[0], 9.0f);
+}
+
+TEST(Buffer, WrapNullRejected)
+{
+    EXPECT_THROW(Buffer::wrap(nullptr, 8), Error);
+}
+
+TEST(Tensor, AllocatesZeroInitialised)
+{
+    Tensor t(Shape({2, 3}));
+    EXPECT_EQ(t.dtype(), DataType::kFloat32);
+    EXPECT_EQ(t.numel(), 6);
+    EXPECT_EQ(t.byte_size(), 24u);
+    for (std::int64_t i = 0; i < 6; ++i)
+        EXPECT_EQ(t.data<float>()[i], 0.0f);
+}
+
+TEST(Tensor, FromValuesAndFill)
+{
+    Tensor t = Tensor::from_values(Shape({2, 2}), {1, 2, 3, 4});
+    EXPECT_EQ(t.data<float>()[3], 4.0f);
+    t.fill(7.5f);
+    for (std::int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t.data<float>()[i], 7.5f);
+
+    EXPECT_THROW(Tensor::from_values(Shape({2, 2}), {1, 2, 3}), Error);
+}
+
+TEST(Tensor, TypedAccessChecksDtype)
+{
+    Tensor t(Shape({4}), DataType::kInt64);
+    EXPECT_NO_THROW(t.data<std::int64_t>());
+    EXPECT_THROW(t.data<float>(), Error);
+}
+
+TEST(Tensor, EmptyTensorHasNoStorage)
+{
+    Tensor t;
+    EXPECT_FALSE(t.has_storage());
+    EXPECT_THROW(t.raw_data(), Error);
+}
+
+TEST(Tensor, NchwAtIndexing)
+{
+    Tensor t(Shape({1, 2, 3, 4}));
+    t.at(0, 1, 2, 3) = 42.0f;
+    // Flat offset: ((0*2+1)*3+2)*4+3 = 23.
+    EXPECT_EQ(t.data<float>()[23], 42.0f);
+    EXPECT_EQ(t.at(0, 1, 2, 3), 42.0f);
+
+    Tensor flat(Shape({4}));
+    EXPECT_THROW(flat.at(0, 0, 0, 0), Error);
+}
+
+TEST(Tensor, CloneIsDeep)
+{
+    Tensor t = Tensor::from_values(Shape({2}), {1, 2});
+    Tensor copy = t.clone();
+    copy.data<float>()[0] = 9.0f;
+    EXPECT_EQ(t.data<float>()[0], 1.0f);
+}
+
+TEST(Tensor, SharedStorageOnCopy)
+{
+    Tensor t = Tensor::from_values(Shape({2}), {1, 2});
+    Tensor alias = t;
+    alias.data<float>()[0] = 5.0f;
+    EXPECT_EQ(t.data<float>()[0], 5.0f);
+}
+
+TEST(Tensor, ReshapeSharesStorageAndValidates)
+{
+    Tensor t = Tensor::from_values(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+    Tensor view = t.reshape(Shape({3, 2}));
+    EXPECT_EQ(view.shape(), Shape({3, 2}));
+    view.data<float>()[0] = 10.0f;
+    EXPECT_EQ(t.data<float>()[0], 10.0f);
+    EXPECT_THROW(t.reshape(Shape({4, 2})), Error);
+}
+
+TEST(Tensor, CopyFromValidates)
+{
+    Tensor dst(Shape({2, 2}));
+    Tensor src = Tensor::from_values(Shape({2, 2}), {1, 2, 3, 4});
+    dst.copy_from(src);
+    EXPECT_EQ(dst.data<float>()[2], 3.0f);
+
+    Tensor wrong(Shape({4}));
+    EXPECT_THROW(dst.copy_from(wrong), Error);
+}
+
+TEST(Tensor, ScalarAndInt64Helpers)
+{
+    Tensor s = Tensor::scalar(3.5f);
+    EXPECT_EQ(s.shape().rank(), 0u);
+    EXPECT_EQ(*s.data<float>(), 3.5f);
+
+    Tensor v = Tensor::from_int64s({5, 6, 7});
+    EXPECT_EQ(v.dtype(), DataType::kInt64);
+    EXPECT_EQ(v.data<std::int64_t>()[2], 7);
+}
+
+TEST(Tensor, AllCloseAndMaxAbsDiff)
+{
+    Tensor a = Tensor::from_values(Shape({3}), {1.0f, 2.0f, 3.0f});
+    Tensor b = Tensor::from_values(Shape({3}), {1.0f, 2.00001f, 3.0f});
+    EXPECT_TRUE(all_close(a, b));
+    EXPECT_NEAR(max_abs_diff(a, b), 1e-5f, 1e-6f);
+
+    Tensor far = Tensor::from_values(Shape({3}), {1.0f, 2.5f, 3.0f});
+    EXPECT_FALSE(all_close(a, far));
+
+    Tensor other_shape(Shape({4}));
+    EXPECT_FALSE(all_close(a, other_shape));
+    EXPECT_THROW(max_abs_diff(a, other_shape), Error);
+}
+
+TEST(Dtype, SizesAndNames)
+{
+    EXPECT_EQ(dtype_size(DataType::kFloat32), 4u);
+    EXPECT_EQ(dtype_size(DataType::kInt64), 8u);
+    EXPECT_EQ(dtype_size(DataType::kUInt8), 1u);
+    EXPECT_EQ(parse_dtype("float32"), DataType::kFloat32);
+    EXPECT_EQ(parse_dtype("bool"), DataType::kBool);
+    EXPECT_THROW(parse_dtype("float16"), Error);
+    EXPECT_STREQ(to_string(DataType::kInt32), "int32");
+}
+
+} // namespace
+} // namespace orpheus

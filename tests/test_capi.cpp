@@ -1,0 +1,173 @@
+/** @file Tests for the C ABI (the binding surface). */
+#include "capi/orpheus_c.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "models/model_zoo.hpp"
+#include "onnx/exporter.hpp"
+
+namespace {
+
+TEST(CApi, VersionAndInitialError)
+{
+    EXPECT_NE(std::string(orpheus_version()).find("orpheus"),
+              std::string::npos);
+}
+
+TEST(CApi, SetNumThreadsValidates)
+{
+    EXPECT_EQ(orpheus_set_num_threads(1), ORPHEUS_OK);
+    EXPECT_EQ(orpheus_set_num_threads(0), ORPHEUS_ERR_INVALID_ARGUMENT);
+    EXPECT_NE(std::string(orpheus_last_error()).size(), 0u);
+}
+
+TEST(CApi, ZooEngineLifecycle)
+{
+    orpheus_engine *engine = orpheus_engine_create_zoo("tiny-cnn", nullptr);
+    ASSERT_NE(engine, nullptr) << orpheus_last_error();
+    EXPECT_EQ(orpheus_engine_input_count(engine), 1);
+    EXPECT_EQ(orpheus_engine_output_count(engine), 1);
+    EXPECT_GT(orpheus_engine_step_count(engine), 0);
+    orpheus_engine_destroy(engine);
+}
+
+TEST(CApi, UnknownModelReturnsNullWithMessage)
+{
+    orpheus_engine *engine = orpheus_engine_create_zoo("vgg-999", nullptr);
+    EXPECT_EQ(engine, nullptr);
+    EXPECT_NE(std::string(orpheus_last_error()).find("vgg-999"),
+              std::string::npos);
+    EXPECT_EQ(orpheus_engine_create_zoo(nullptr, nullptr), nullptr);
+}
+
+TEST(CApi, ShapeQueries)
+{
+    orpheus_engine *engine = orpheus_engine_create_zoo("tiny-cnn", nullptr);
+    ASSERT_NE(engine, nullptr);
+
+    int64_t dims[8];
+    int rank = 8;
+    ASSERT_EQ(orpheus_engine_input_shape(engine, 0, dims, &rank),
+              ORPHEUS_OK);
+    EXPECT_EQ(rank, 4);
+    EXPECT_EQ(dims[0], 1);
+    EXPECT_EQ(dims[1], 3);
+    EXPECT_EQ(dims[2], 8);
+    EXPECT_EQ(dims[3], 8);
+
+    rank = 8;
+    ASSERT_EQ(orpheus_engine_output_shape(engine, 0, dims, &rank),
+              ORPHEUS_OK);
+    EXPECT_EQ(rank, 2);
+    EXPECT_EQ(dims[1], 10);
+
+    rank = 1; // Too small.
+    EXPECT_EQ(orpheus_engine_input_shape(engine, 0, dims, &rank),
+              ORPHEUS_ERR_BUFFER_TOO_SMALL);
+    EXPECT_EQ(rank, 4) << "required rank must be reported";
+
+    rank = 8;
+    EXPECT_EQ(orpheus_engine_input_shape(engine, 5, dims, &rank),
+              ORPHEUS_ERR_NOT_FOUND);
+
+    orpheus_engine_destroy(engine);
+}
+
+TEST(CApi, RunProducesDistribution)
+{
+    orpheus_engine *engine = orpheus_engine_create_zoo("tiny-cnn", nullptr);
+    ASSERT_NE(engine, nullptr);
+
+    std::vector<float> input(3 * 8 * 8);
+    orpheus::Rng rng(0xca11);
+    for (float &value : input)
+        value = rng.uniform(-1.0f, 1.0f);
+    std::vector<float> output(10, -1.0f);
+
+    ASSERT_EQ(orpheus_engine_run(engine, input.data(), input.size(),
+                                 output.data(), output.size()),
+              ORPHEUS_OK)
+        << orpheus_last_error();
+    double sum = 0.0;
+    for (float value : output) {
+        EXPECT_GE(value, 0.0f);
+        sum += value;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+
+    // Size validation.
+    EXPECT_EQ(orpheus_engine_run(engine, input.data(), 5, output.data(),
+                                 output.size()),
+              ORPHEUS_ERR_INVALID_ARGUMENT);
+    EXPECT_EQ(orpheus_engine_run(engine, input.data(), input.size(),
+                                 output.data(), 3),
+              ORPHEUS_ERR_BUFFER_TOO_SMALL);
+    EXPECT_EQ(orpheus_engine_run(nullptr, input.data(), input.size(),
+                                 output.data(), output.size()),
+              ORPHEUS_ERR_INVALID_ARGUMENT);
+
+    orpheus_engine_destroy(engine);
+}
+
+TEST(CApi, ProfileCsvAfterRuns)
+{
+    orpheus_engine *engine = orpheus_engine_create_zoo("tiny-mlp", nullptr);
+    ASSERT_NE(engine, nullptr);
+
+    std::vector<float> input(32, 0.5f);
+    std::vector<float> output(10);
+    ASSERT_EQ(orpheus_engine_run(engine, input.data(), input.size(),
+                                 output.data(), output.size()),
+              ORPHEUS_OK);
+
+    char buffer[4096];
+    const int length =
+        orpheus_engine_profile_csv(engine, buffer, sizeof(buffer));
+    EXPECT_GT(length, 0);
+    EXPECT_NE(std::string(buffer).find("node,op,impl"), std::string::npos);
+
+    // Truncation behaves like snprintf.
+    char tiny[8];
+    const int full_length = orpheus_engine_profile_csv(engine, tiny, 8);
+    EXPECT_EQ(full_length, length);
+    EXPECT_EQ(std::strlen(tiny), 7u);
+
+    orpheus_engine_destroy(engine);
+}
+
+TEST(CApi, PersonalitySelection)
+{
+    orpheus_engine *engine =
+        orpheus_engine_create_zoo("tiny-cnn", "pytorch");
+    ASSERT_NE(engine, nullptr) << orpheus_last_error();
+    orpheus_engine_destroy(engine);
+
+    EXPECT_EQ(orpheus_engine_create_zoo("tiny-cnn", "unknown-framework"),
+              nullptr);
+}
+
+TEST(CApi, CreateFromOnnxFile)
+{
+    const std::string path = ::testing::TempDir() + "/capi_model.onnx";
+    ASSERT_TRUE(
+        orpheus::export_onnx_file(orpheus::models::tiny_mlp(), path)
+            .is_ok());
+
+    orpheus_engine *engine =
+        orpheus_engine_create_from_file(path.c_str(), nullptr);
+    ASSERT_NE(engine, nullptr) << orpheus_last_error();
+    EXPECT_EQ(orpheus_engine_input_count(engine), 1);
+    orpheus_engine_destroy(engine);
+
+    EXPECT_EQ(orpheus_engine_create_from_file("/no/such/file.onnx",
+                                              nullptr),
+              nullptr);
+    std::remove(path.c_str());
+}
+
+} // namespace

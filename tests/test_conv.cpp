@@ -1,0 +1,174 @@
+/** @file Parameterized conv-algorithm correctness tests vs the direct
+ *  reference kernel. */
+#include "ops/conv/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+struct ConvCase {
+    std::string label;
+    std::int64_t batch, in_c, hw, out_c;
+    std::int64_t kernel_h, kernel_w, stride, pad;
+    std::int64_t dilation = 1;
+    std::int64_t group = 1;
+    bool bias = true;
+};
+
+Conv2dParams
+params_of(const ConvCase &c)
+{
+    Conv2dParams p;
+    p.kernel_h = c.kernel_h;
+    p.kernel_w = c.kernel_w;
+    p.stride_h = p.stride_w = c.stride;
+    p.pad_top = p.pad_left = p.pad_bottom = p.pad_right = c.pad;
+    p.dilation_h = p.dilation_w = c.dilation;
+    p.group = c.group;
+    return p;
+}
+
+/** Runs @p algo and the direct reference on the same data. */
+void
+run_case(const ConvCase &c, ConvAlgo algo,
+         const ActivationSpec &activation = ActivationSpec::none())
+{
+    const Conv2dParams p = params_of(c);
+    Tensor input = make_random(Shape({c.batch, c.in_c, c.hw, c.hw}), 0xc0);
+    Tensor weight = make_random(
+        Shape({c.out_c, c.in_c / c.group, c.kernel_h, c.kernel_w}), 0xc1);
+    Tensor bias = make_random(Shape({c.out_c}), 0xc2);
+    const Tensor *bias_ptr = c.bias ? &bias : nullptr;
+
+    const Shape out_shape(
+        {c.batch, c.out_c, p.out_h(c.hw), p.out_w(c.hw)});
+    Tensor expected(out_shape), actual(out_shape);
+    conv2d(ConvAlgo::kDirect, input, weight, bias_ptr, p, activation,
+           expected);
+    conv2d(algo, input, weight, bias_ptr, p, activation, actual);
+    expect_close(actual, expected, 1e-3f, 1e-3f);
+}
+
+const ConvCase kCases[] = {
+    {"basic3x3", 1, 4, 8, 8, 3, 3, 1, 1},
+    {"stride2", 1, 4, 9, 6, 3, 3, 2, 1},
+    {"nopad", 1, 3, 8, 5, 3, 3, 1, 0},
+    {"kernel5", 1, 2, 12, 4, 5, 5, 1, 2},
+    {"pointwise", 2, 8, 7, 16, 1, 1, 1, 0},
+    {"nonsquare1x7", 1, 3, 9, 4, 1, 7, 1, 0},
+    {"nonsquare7x1", 1, 3, 9, 4, 7, 1, 1, 0},
+    {"grouped2", 1, 8, 8, 12, 3, 3, 1, 1, 1, 2},
+    {"grouped4", 1, 8, 6, 8, 3, 3, 1, 1, 1, 4},
+    {"batch3", 3, 4, 6, 5, 3, 3, 1, 1},
+    {"nobias", 1, 4, 8, 8, 3, 3, 1, 1, 1, 1, false},
+    {"bigpad", 1, 2, 5, 3, 3, 3, 1, 2},
+};
+
+class ConvAlgoVsDirect
+    : public ::testing::TestWithParam<std::tuple<ConvCase, ConvAlgo>>
+{
+};
+
+TEST_P(ConvAlgoVsDirect, Matches)
+{
+    const auto &[c, algo] = GetParam();
+    run_case(c, algo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvAlgoVsDirect,
+    ::testing::Combine(::testing::ValuesIn(kCases),
+                       ::testing::Values(ConvAlgo::kIm2colGemm,
+                                         ConvAlgo::kSpatialPack)),
+    [](const ::testing::TestParamInfo<std::tuple<ConvCase, ConvAlgo>>
+           &info) {
+        return std::get<0>(info.param).label +
+               std::string("_") + to_string(std::get<1>(info.param));
+    });
+
+TEST(ConvDilated, Im2colGemmMatchesDirect)
+{
+    ConvCase c{"dilated", 1, 3, 10, 4, 3, 3, 1, 2, /*dilation=*/2};
+    run_case(c, ConvAlgo::kIm2colGemm);
+}
+
+TEST(ConvDilated, SpatialPackMatchesDirect)
+{
+    ConvCase c{"dilated", 1, 3, 10, 4, 3, 3, 1, 2, /*dilation=*/2};
+    run_case(c, ConvAlgo::kSpatialPack);
+}
+
+TEST(ConvFusedActivation, ReluAppliedByEveryAlgo)
+{
+    const ConvCase c{"fused", 1, 4, 8, 8, 3, 3, 1, 1};
+    for (ConvAlgo algo : {ConvAlgo::kIm2colGemm, ConvAlgo::kSpatialPack})
+        run_case(c, algo, ActivationSpec::relu());
+}
+
+TEST(ConvFusedActivation, ClipAppliedByEveryAlgo)
+{
+    const ConvCase c{"fusedclip", 1, 4, 8, 8, 3, 3, 1, 1};
+    for (ConvAlgo algo : {ConvAlgo::kIm2colGemm, ConvAlgo::kSpatialPack})
+        run_case(c, algo, ActivationSpec::clip(-0.2f, 0.3f));
+}
+
+TEST(ConvGemmVariants, AllVariantsAgree)
+{
+    const ConvCase c{"variants", 1, 6, 10, 8, 3, 3, 1, 1};
+    const Conv2dParams p = params_of(c);
+    Tensor input = make_random(Shape({1, 6, 10, 10}), 0xc3);
+    Tensor weight = make_random(Shape({8, 6, 3, 3}), 0xc4);
+
+    const Shape out_shape({1, 8, 10, 10});
+    Tensor naive_out(out_shape), blocked_out(out_shape),
+        packed_out(out_shape);
+    conv2d(ConvAlgo::kIm2colGemm, input, weight, nullptr, p,
+           ActivationSpec::none(), naive_out, GemmVariant::kNaive);
+    conv2d(ConvAlgo::kIm2colGemm, input, weight, nullptr, p,
+           ActivationSpec::none(), blocked_out, GemmVariant::kBlocked);
+    conv2d(ConvAlgo::kIm2colGemm, input, weight, nullptr, p,
+           ActivationSpec::none(), packed_out, GemmVariant::kPacked);
+    expect_close(blocked_out, naive_out, 1e-3f, 1e-3f);
+    expect_close(packed_out, naive_out, 1e-3f, 1e-3f);
+}
+
+TEST(Conv, ShapeValidationErrors)
+{
+    Tensor input = make_random(Shape({1, 4, 8, 8}));
+    Tensor weight = make_random(Shape({8, 4, 3, 3}));
+    Conv2dParams p;
+    p.kernel_h = p.kernel_w = 3;
+    p.pad_top = p.pad_left = p.pad_bottom = p.pad_right = 1;
+
+    Tensor wrong_output(Shape({1, 8, 7, 7}));
+    EXPECT_THROW(conv2d(ConvAlgo::kDirect, input, weight, nullptr, p,
+                        ActivationSpec::none(), wrong_output),
+                 Error);
+
+    Tensor weight_mismatch = make_random(Shape({8, 3, 3, 3}));
+    Tensor output(Shape({1, 8, 8, 8}));
+    EXPECT_THROW(conv2d(ConvAlgo::kDirect, input, weight_mismatch, nullptr,
+                        p, ActivationSpec::none(), output),
+                 Error);
+}
+
+TEST(ConvAlgoNames, ParseAndFormat)
+{
+    EXPECT_EQ(parse_conv_algo("direct"), ConvAlgo::kDirect);
+    EXPECT_EQ(parse_conv_algo("im2col_gemm"), ConvAlgo::kIm2colGemm);
+    EXPECT_EQ(parse_conv_algo("spatial_pack"), ConvAlgo::kSpatialPack);
+    EXPECT_EQ(parse_conv_algo("winograd"), ConvAlgo::kWinograd);
+    EXPECT_EQ(parse_conv_algo("depthwise_direct"),
+              ConvAlgo::kDepthwiseDirect);
+    EXPECT_THROW(parse_conv_algo("fft"), Error);
+    EXPECT_STREQ(to_string(ConvAlgo::kSpatialPack), "spatial_pack");
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,95 @@
+/** @file Correctness tests for the specialised depthwise conv kernel. */
+#include "ops/conv/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+struct DepthwiseCase {
+    std::string label;
+    std::int64_t batch, channels, hw, multiplier, kernel, stride, pad;
+};
+
+class DepthwiseVsDirect : public ::testing::TestWithParam<DepthwiseCase>
+{
+};
+
+TEST_P(DepthwiseVsDirect, Matches)
+{
+    const DepthwiseCase &c = GetParam();
+    Conv2dParams p;
+    p.kernel_h = p.kernel_w = c.kernel;
+    p.stride_h = p.stride_w = c.stride;
+    p.pad_top = p.pad_left = p.pad_bottom = p.pad_right = c.pad;
+    p.group = c.channels;
+
+    const std::int64_t out_c = c.channels * c.multiplier;
+    Tensor input = make_random(Shape({c.batch, c.channels, c.hw, c.hw}),
+                               0xd0);
+    Tensor weight =
+        make_random(Shape({out_c, 1, c.kernel, c.kernel}), 0xd1);
+    Tensor bias = make_random(Shape({out_c}), 0xd2);
+
+    const Shape out_shape(
+        {c.batch, out_c, p.out_h(c.hw), p.out_w(c.hw)});
+    Tensor expected(out_shape), actual(out_shape);
+    conv2d(ConvAlgo::kDirect, input, weight, &bias, p,
+           ActivationSpec::relu(), expected);
+    conv2d(ConvAlgo::kDepthwiseDirect, input, weight, &bias, p,
+           ActivationSpec::relu(), actual);
+    expect_close(actual, expected, 1e-4f, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DepthwiseVsDirect,
+    ::testing::Values(
+        DepthwiseCase{"mobilenet_s1", 1, 16, 14, 1, 3, 1, 1},
+        DepthwiseCase{"mobilenet_s2", 1, 16, 14, 1, 3, 2, 1},
+        DepthwiseCase{"multiplier2", 1, 8, 10, 2, 3, 1, 1},
+        DepthwiseCase{"kernel5", 1, 6, 12, 1, 5, 1, 2},
+        DepthwiseCase{"batch2", 2, 4, 9, 1, 3, 2, 1},
+        DepthwiseCase{"wide", 1, 32, 7, 1, 3, 1, 1}),
+    [](const ::testing::TestParamInfo<DepthwiseCase> &info) {
+        return info.param.label;
+    });
+
+TEST(Depthwise, GroupedGemmPathAlsoCorrect)
+{
+    // The PyTorch personality lowers depthwise through im2col+GEMM with
+    // group = C; it must be slow, not wrong.
+    Conv2dParams p;
+    p.kernel_h = p.kernel_w = 3;
+    p.pad_top = p.pad_left = p.pad_bottom = p.pad_right = 1;
+    p.group = 12;
+
+    Tensor input = make_random(Shape({1, 12, 10, 10}), 0xd3);
+    Tensor weight = make_random(Shape({12, 1, 3, 3}), 0xd4);
+    Tensor expected(Shape({1, 12, 10, 10})), actual(Shape({1, 12, 10, 10}));
+    conv2d(ConvAlgo::kDepthwiseDirect, input, weight, nullptr, p,
+           ActivationSpec::none(), expected);
+    conv2d(ConvAlgo::kIm2colGemm, input, weight, nullptr, p,
+           ActivationSpec::none(), actual);
+    expect_close(actual, expected, 1e-4f, 1e-3f);
+}
+
+TEST(Depthwise, PredicateRejectsNonDepthwise)
+{
+    Conv2dArgs args;
+    args.in_c = 8;
+    args.out_c = 8;
+    args.params.group = 4; // grouped but not depthwise
+    EXPECT_FALSE(conv2d_is_depthwise(args));
+    args.params.group = 8;
+    EXPECT_TRUE(conv2d_is_depthwise(args));
+    args.out_c = 12; // not a multiple
+    EXPECT_FALSE(conv2d_is_depthwise(args));
+}
+
+} // namespace
+} // namespace orpheus

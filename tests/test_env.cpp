@@ -1,0 +1,67 @@
+/** @file Unit tests for typed environment-variable access. */
+#include "core/env.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace orpheus {
+namespace {
+
+class EnvTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { unsetenv("ORPHEUS_TEST_VAR"); }
+
+    void set(const char *value) { setenv("ORPHEUS_TEST_VAR", value, 1); }
+};
+
+TEST_F(EnvTest, StringFallsBackWhenUnset)
+{
+    EXPECT_EQ(env_string("ORPHEUS_TEST_VAR", "fallback"), "fallback");
+}
+
+TEST_F(EnvTest, StringReadsValue)
+{
+    set("hello");
+    EXPECT_EQ(env_string("ORPHEUS_TEST_VAR", "fallback"), "hello");
+}
+
+TEST_F(EnvTest, IntParsesAndValidates)
+{
+    EXPECT_EQ(env_int("ORPHEUS_TEST_VAR", 7), 7);
+    set("42");
+    EXPECT_EQ(env_int("ORPHEUS_TEST_VAR", 7), 42);
+    set("-3");
+    EXPECT_EQ(env_int("ORPHEUS_TEST_VAR", 7), -3);
+    set("12abc");
+    EXPECT_EQ(env_int("ORPHEUS_TEST_VAR", 7), 7) << "trailing junk rejected";
+    set("");
+    EXPECT_EQ(env_int("ORPHEUS_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, DoubleParsesAndValidates)
+{
+    EXPECT_DOUBLE_EQ(env_double("ORPHEUS_TEST_VAR", 1.5), 1.5);
+    set("2.25");
+    EXPECT_DOUBLE_EQ(env_double("ORPHEUS_TEST_VAR", 1.5), 2.25);
+    set("nope");
+    EXPECT_DOUBLE_EQ(env_double("ORPHEUS_TEST_VAR", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, FlagAcceptsCommonTrueSpellings)
+{
+    EXPECT_FALSE(env_flag("ORPHEUS_TEST_VAR", false));
+    EXPECT_TRUE(env_flag("ORPHEUS_TEST_VAR", true));
+    for (const char *value : {"1", "true", "yes", "on"}) {
+        set(value);
+        EXPECT_TRUE(env_flag("ORPHEUS_TEST_VAR", false)) << value;
+    }
+    for (const char *value : {"0", "false", "no", "off", "junk"}) {
+        set(value);
+        EXPECT_FALSE(env_flag("ORPHEUS_TEST_VAR", true)) << value;
+    }
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,229 @@
+/** @file Tests for the extended operator set (Sub/Div, unary math,
+ *  GlobalMaxPool, ArgMax) and the CSE pass. */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/passes/pass.hpp"
+#include "graph/shape_inference.hpp"
+#include "ops/eltwise.hpp"
+#include "ops/pool.hpp"
+#include "ops/reduce.hpp"
+#include "ops/unary.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+TEST(EltwiseExtended, SubAndDiv)
+{
+    Tensor a = Tensor::from_values(Shape({4}), {10, 20, 30, 40});
+    Tensor b = Tensor::from_values(Shape({4}), {1, 2, 3, 4});
+    Tensor out(Shape({4}));
+    eltwise(EltwiseOp::kSub, a, b, out);
+    EXPECT_FLOAT_EQ(out.data<float>()[2], 27.0f);
+    eltwise(EltwiseOp::kDiv, a, b, out);
+    EXPECT_FLOAT_EQ(out.data<float>()[3], 10.0f);
+}
+
+TEST(EltwiseExtended, SubBroadcastIsOrdered)
+{
+    // a - b with broadcasting must subtract b, not a (order matters,
+    // unlike Add/Mul).
+    Tensor a = make_random(Shape({2, 3}), 0xe0);
+    Tensor b = Tensor::from_values(Shape({3}), {1, 2, 3});
+    Tensor out(Shape({2, 3}));
+    eltwise(EltwiseOp::kSub, a, b, out);
+    EXPECT_FLOAT_EQ(out.data<float>()[4], a.data<float>()[4] - 2.0f);
+}
+
+TEST(Unary, AllKinds)
+{
+    Tensor input = Tensor::from_values(Shape({4}), {-2.0f, 0.0f, 1.0f, 4.0f});
+    Tensor out(Shape({4}));
+
+    unary(UnaryOp::kNeg, input, out);
+    EXPECT_FLOAT_EQ(out.data<float>()[0], 2.0f);
+    EXPECT_FLOAT_EQ(out.data<float>()[3], -4.0f);
+
+    unary(UnaryOp::kExp, input, out);
+    EXPECT_NEAR(out.data<float>()[1], 1.0f, 1e-6f);
+    EXPECT_NEAR(out.data<float>()[2], std::exp(1.0f), 1e-5f);
+
+    unary(UnaryOp::kSqrt, input, out);
+    EXPECT_FLOAT_EQ(out.data<float>()[3], 2.0f);
+    EXPECT_TRUE(std::isnan(out.data<float>()[0]));
+
+    unary(UnaryOp::kAbs, input, out);
+    EXPECT_FLOAT_EQ(out.data<float>()[0], 2.0f);
+    EXPECT_FLOAT_EQ(out.data<float>()[1], 0.0f);
+}
+
+TEST(Unary, ShapeMismatchRejected)
+{
+    Tensor input = make_random(Shape({4}));
+    Tensor wrong(Shape({5}));
+    EXPECT_THROW(unary(UnaryOp::kNeg, input, wrong), Error);
+}
+
+TEST(GlobalMaxPool, PicksPlaneMaximum)
+{
+    Tensor input = Tensor::from_values(Shape({1, 2, 2, 2}),
+                                       {1, 9, 3, 4, -5, -2, -8, -1});
+    Tensor out(Shape({1, 2, 1, 1}));
+    global_max_pool(input, out);
+    EXPECT_FLOAT_EQ(out.data<float>()[0], 9.0f);
+    EXPECT_FLOAT_EQ(out.data<float>()[1], -1.0f);
+}
+
+TEST(ArgMax, LastAxisAndKeepdims)
+{
+    Tensor input = Tensor::from_values(Shape({2, 4}),
+                                       {1, 7, 3, 2, 9, 0, 9, 1});
+    Tensor out(Shape({2}), DataType::kInt64);
+    argmax(input, -1, out);
+    EXPECT_EQ(out.data<std::int64_t>()[0], 1);
+    EXPECT_EQ(out.data<std::int64_t>()[1], 0) << "first occurrence wins";
+}
+
+TEST(ArgMax, MiddleAxis)
+{
+    Tensor input = Tensor::from_values(Shape({2, 2, 2}),
+                                       {1, 2, 3, 4, 8, 7, 6, 5});
+    Tensor out(Shape({2, 2}), DataType::kInt64);
+    argmax(input, 1, out);
+    // Slice [0,:,0] = {1,3} -> 1; [0,:,1] = {2,4} -> 1.
+    EXPECT_EQ(out.data<std::int64_t>()[0], 1);
+    EXPECT_EQ(out.data<std::int64_t>()[1], 1);
+    // Slice [1,:,0] = {8,6} -> 0.
+    EXPECT_EQ(out.data<std::int64_t>()[2], 0);
+}
+
+TEST(ExtendedOps, EndToEndThroughEngine)
+{
+    // (|x| - sqrt(exp(0) broadcast)) / 2 ... exercised via the engine.
+    Graph graph("extended");
+    graph.add_input("x", Shape({1, 8}));
+    graph.add_initializer("half", Tensor::from_values(Shape({1}), {2.0f}));
+    graph.add_node(op_names::kAbs, {"x"}, {"a"});
+    graph.add_node(op_names::kDiv, {"a", "half"}, {"d"});
+    graph.add_node(op_names::kNeg, {"d"}, {"n"});
+    graph.add_node(op_names::kSub, {"a", "n"}, {"y"});
+    graph.add_output("y");
+
+    Engine engine(std::move(graph));
+    Tensor input = Tensor::from_values(
+        Shape({1, 8}), {-4, -3, -2, -1, 1, 2, 3, 4});
+    const Tensor output = engine.run(input);
+    // y = |x| - (-|x|/2) = 1.5 * |x|.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FLOAT_EQ(output.data<float>()[i],
+                        1.5f * std::fabs(input.data<float>()[i]));
+}
+
+TEST(ExtendedOps, ArgMaxClassifierHead)
+{
+    Graph graph("classifier");
+    graph.add_input("logits", Shape({1, 10}));
+    AttributeMap softmax_attrs;
+    softmax_attrs.set("axis", std::int64_t{-1});
+    graph.add_node(op_names::kSoftmax, {"logits"}, {"probs"},
+                   std::move(softmax_attrs));
+    AttributeMap argmax_attrs;
+    argmax_attrs.set("axis", std::int64_t{1});
+    argmax_attrs.set("keepdims", std::int64_t{0});
+    graph.add_node(op_names::kArgMax, {"probs"}, {"label"},
+                   std::move(argmax_attrs));
+    graph.add_output("label", Shape({1}), DataType::kInt64);
+
+    Engine engine(std::move(graph));
+    Tensor logits = make_random(Shape({1, 10}), 0xe2, -2.0f, 2.0f);
+    const auto outputs = engine.run({{"logits", logits}});
+    const std::int64_t label =
+        outputs.at("label").data<std::int64_t>()[0];
+    int expected = 0;
+    for (int i = 1; i < 10; ++i) {
+        if (logits.data<float>()[i] > logits.data<float>()[expected])
+            expected = i;
+    }
+    EXPECT_EQ(label, expected);
+}
+
+TEST(Cse, MergesDuplicatePureNodes)
+{
+    Graph graph("dup");
+    graph.add_input("x", Shape({1, 4}));
+    graph.add_node(op_names::kRelu, {"x"}, {"a"});
+    graph.add_node(op_names::kRelu, {"x"}, {"b"}); // duplicate of a
+    graph.add_node(op_names::kAdd, {"a", "b"}, {"y"});
+    graph.add_output("y");
+
+    auto pass = make_eliminate_common_subexpressions_pass();
+    EXPECT_TRUE(pass->run(graph));
+    EXPECT_EQ(graph.nodes().size(), 2u);
+    EXPECT_NO_THROW(graph.validate());
+    const Node &add = graph.nodes().back();
+    EXPECT_EQ(add.input(0), add.input(1));
+    EXPECT_FALSE(pass->run(graph));
+}
+
+TEST(Cse, RespectsDifferentAttributes)
+{
+    Graph graph("attrs");
+    graph.add_input("x", Shape({1, 4}));
+    AttributeMap leaky_a, leaky_b;
+    leaky_a.set("alpha", 0.1f);
+    leaky_b.set("alpha", 0.2f);
+    graph.add_node(op_names::kLeakyRelu, {"x"}, {"a"}, std::move(leaky_a));
+    graph.add_node(op_names::kLeakyRelu, {"x"}, {"b"}, std::move(leaky_b));
+    graph.add_node(op_names::kAdd, {"a", "b"}, {"y"});
+    graph.add_output("y");
+
+    EXPECT_FALSE(make_eliminate_common_subexpressions_pass()->run(graph));
+    EXPECT_EQ(graph.nodes().size(), 3u);
+}
+
+TEST(Cse, CascadesAcrossLevels)
+{
+    // Two identical two-level chains collapse completely.
+    Graph graph("chain");
+    graph.add_input("x", Shape({1, 4}));
+    graph.add_node(op_names::kRelu, {"x"}, {"a1"});
+    graph.add_node(op_names::kRelu, {"x"}, {"a2"});
+    graph.add_node(op_names::kNeg, {"a1"}, {"b1"});
+    graph.add_node(op_names::kNeg, {"a2"}, {"b2"});
+    graph.add_node(op_names::kAdd, {"b1", "b2"}, {"y"});
+    graph.add_output("y");
+
+    auto pass = make_eliminate_common_subexpressions_pass();
+    EXPECT_TRUE(pass->run(graph));
+    EXPECT_EQ(graph.nodes().size(), 3u)
+        << "both levels of duplication must merge in a single run";
+}
+
+TEST(Cse, PreservesNumerics)
+{
+    Graph graph("numeric");
+    graph.add_input("x", Shape({1, 6}));
+    graph.add_node(op_names::kSqrt, {"x"}, {"s1"});
+    graph.add_node(op_names::kSqrt, {"x"}, {"s2"});
+    graph.add_node(op_names::kMul, {"s1", "s2"}, {"y"});
+    graph.add_output("y");
+
+    EngineOptions raw;
+    raw.apply_simplifications = false;
+    Engine engine_raw{Graph(graph), raw};
+    Engine engine_simplified{std::move(graph)};
+    EXPECT_LT(engine_simplified.steps().size(), 3u + 0u + 1u);
+
+    Tensor input = make_random(Shape({1, 6}), 0xe3, 0.1f, 4.0f);
+    expect_close(engine_simplified.run(input), engine_raw.run(input),
+                 1e-6f, 1e-6f);
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,188 @@
+/** @file Parameterized correctness tests for the GEMM kernels. */
+#include "ops/gemm/gemm.hpp"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+
+namespace orpheus {
+namespace {
+
+std::vector<float>
+random_matrix(std::int64_t rows, std::int64_t cols, Rng &rng)
+{
+    std::vector<float> data(static_cast<std::size_t>(rows * cols));
+    for (float &value : data)
+        value = rng.uniform(-1.0f, 1.0f);
+    return data;
+}
+
+void
+expect_matrices_close(const std::vector<float> &actual,
+                      const std::vector<float> &expected, float tolerance)
+{
+    ASSERT_EQ(actual.size(), expected.size());
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        worst = std::max(worst, std::abs(actual[i] - expected[i]));
+    EXPECT_LE(worst, tolerance) << "max |diff| = " << worst;
+}
+
+/** (variant, M, N, K) — sweep includes degenerate and odd sizes that
+ *  stress micro-kernel edge handling. */
+using GemmCase = std::tuple<GemmVariant, std::int64_t, std::int64_t,
+                            std::int64_t>;
+
+class GemmVsNaive : public ::testing::TestWithParam<GemmCase>
+{
+};
+
+TEST_P(GemmVsNaive, MatchesReference)
+{
+    const auto [variant, m, n, k] = GetParam();
+    Rng rng(0x6e44 + static_cast<std::uint64_t>(m * 131 + n * 17 + k));
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+
+    std::vector<float> expected(static_cast<std::size_t>(m * n), -1.0f);
+    gemm_naive(m, n, k, a.data(), k, b.data(), n, expected.data(), n);
+
+    std::vector<float> actual(static_cast<std::size_t>(m * n), -1.0f);
+    gemm(variant, m, n, k, a.data(), k, b.data(), n, actual.data(), n);
+
+    const float tolerance = 1e-4f * static_cast<float>(std::max<std::int64_t>(k, 1));
+    expect_matrices_close(actual, expected, tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSweep, GemmVsNaive,
+    ::testing::Combine(
+        ::testing::Values(GemmVariant::kBlocked, GemmVariant::kPacked),
+        ::testing::Values<std::int64_t>(1, 3, 4, 17, 64),
+        ::testing::Values<std::int64_t>(1, 15, 16, 100),
+        ::testing::Values<std::int64_t>(1, 8, 129)),
+    [](const ::testing::TestParamInfo<GemmCase> &info) {
+        return std::string(to_string(std::get<0>(info.param))) + "_m" +
+               std::to_string(std::get<1>(info.param)) + "_n" +
+               std::to_string(std::get<2>(info.param)) + "_k" +
+               std::to_string(std::get<3>(info.param));
+    });
+
+TEST(Gemm, LeadingDimensionsRespected)
+{
+    // Compute into a 2x2 window of a larger 4x4 C with lda/ldb offsets.
+    Rng rng(0x1d);
+    const auto a = random_matrix(2, 8, rng); // lda = 8, use k = 3
+    const auto b = random_matrix(8, 8, rng); // ldb = 8, use n = 2
+
+    std::vector<float> expected(16, 0.0f), actual(16, 0.0f);
+    gemm_naive(2, 2, 3, a.data(), 8, b.data(), 8, expected.data(), 4);
+    gemm_packed(2, 2, 3, a.data(), 8, b.data(), 8, actual.data(), 4);
+    expect_matrices_close(actual, expected, 1e-4f);
+    // Untouched elements must stay zero in both.
+    EXPECT_EQ(expected[2], 0.0f);
+    EXPECT_EQ(actual[2], 0.0f);
+}
+
+TEST(Gemm, PackedOverwritesStaleOutput)
+{
+    Rng rng(0x2d);
+    const auto a = random_matrix(4, 4, rng);
+    const auto b = random_matrix(4, 4, rng);
+    std::vector<float> expected(16), stale(16, 1e9f);
+    gemm_naive(4, 4, 4, a.data(), 4, b.data(), 4, expected.data(), 4);
+    gemm_packed(4, 4, 4, a.data(), 4, b.data(), 4, stale.data(), 4);
+    expect_matrices_close(stale, expected, 1e-4f);
+}
+
+TEST(Gemm, PackedMatchesNaiveWithThreads)
+{
+    set_global_num_threads(4);
+    Rng rng(0x3d);
+    const std::int64_t m = 67, n = 45, k = 33;
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    std::vector<float> expected(static_cast<std::size_t>(m * n));
+    std::vector<float> actual(static_cast<std::size_t>(m * n));
+    gemm_naive(m, n, k, a.data(), k, b.data(), n, expected.data(), n);
+    gemm_packed(m, n, k, a.data(), k, b.data(), n, actual.data(), n);
+    set_global_num_threads(1);
+    expect_matrices_close(actual, expected, 1e-3f);
+}
+
+TEST(GemmGeneral, TransposeA)
+{
+    Rng rng(0x4d);
+    const std::int64_t m = 5, n = 7, k = 3;
+    const auto a_t = random_matrix(k, m, rng); // stored transposed
+    const auto b = random_matrix(k, n, rng);
+
+    // Reference: transpose manually then multiply.
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t p = 0; p < k; ++p)
+            a[static_cast<std::size_t>(i * k + p)] =
+                a_t[static_cast<std::size_t>(p * m + i)];
+    }
+    std::vector<float> expected(static_cast<std::size_t>(m * n));
+    gemm_naive(m, n, k, a.data(), k, b.data(), n, expected.data(), n);
+
+    std::vector<float> actual(static_cast<std::size_t>(m * n));
+    gemm_general(GemmVariant::kPacked, /*trans_a=*/true, false, m, n, k,
+                 1.0f, a_t.data(), m, b.data(), n, 0.0f, actual.data(), n);
+    expect_matrices_close(actual, expected, 1e-4f);
+}
+
+TEST(GemmGeneral, TransposeB)
+{
+    Rng rng(0x5d);
+    const std::int64_t m = 4, n = 6, k = 5;
+    const auto a = random_matrix(m, k, rng);
+    const auto b_t = random_matrix(n, k, rng);
+
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    for (std::int64_t p = 0; p < k; ++p) {
+        for (std::int64_t j = 0; j < n; ++j)
+            b[static_cast<std::size_t>(p * n + j)] =
+                b_t[static_cast<std::size_t>(j * k + p)];
+    }
+    std::vector<float> expected(static_cast<std::size_t>(m * n));
+    gemm_naive(m, n, k, a.data(), k, b.data(), n, expected.data(), n);
+
+    std::vector<float> actual(static_cast<std::size_t>(m * n));
+    gemm_general(GemmVariant::kNaive, false, /*trans_b=*/true, m, n, k,
+                 1.0f, a.data(), k, b_t.data(), k, 0.0f, actual.data(), n);
+    expect_matrices_close(actual, expected, 1e-4f);
+}
+
+TEST(GemmGeneral, AlphaBetaBlend)
+{
+    Rng rng(0x6d);
+    const std::int64_t m = 3, n = 3, k = 3;
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    std::vector<float> product(static_cast<std::size_t>(m * n));
+    gemm_naive(m, n, k, a.data(), k, b.data(), n, product.data(), n);
+
+    std::vector<float> c(static_cast<std::size_t>(m * n), 2.0f);
+    gemm_general(GemmVariant::kBlocked, false, false, m, n, k, 0.5f,
+                 a.data(), k, b.data(), n, 3.0f, c.data(), n);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        EXPECT_NEAR(c[i], 0.5f * product[i] + 3.0f * 2.0f, 1e-4f);
+}
+
+TEST(GemmVariantNames, ParseAndFormat)
+{
+    EXPECT_EQ(parse_gemm_variant("naive"), GemmVariant::kNaive);
+    EXPECT_EQ(parse_gemm_variant("blocked"), GemmVariant::kBlocked);
+    EXPECT_EQ(parse_gemm_variant("packed"), GemmVariant::kPacked);
+    EXPECT_THROW(parse_gemm_variant("magic"), Error);
+    EXPECT_STREQ(to_string(GemmVariant::kPacked), "packed");
+}
+
+} // namespace
+} // namespace orpheus

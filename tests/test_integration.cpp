@@ -1,0 +1,173 @@
+/** @file End-to-end integration tests: the full Orpheus pipeline from
+ *  model construction through ONNX round-trip, simplification, backend
+ *  personalities and inference. */
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "eval/personalities.hpp"
+#include "models/model_zoo.hpp"
+#include "onnx/exporter.hpp"
+#include "onnx/importer.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+/** The full paper workflow on one model: build ("train") -> export to
+ *  ONNX -> import -> simplify + compile -> infer. */
+TEST(Integration, FullPipelineOnWrn)
+{
+    const Graph original = models::wrn_40_2();
+    const std::vector<std::uint8_t> bytes = export_onnx(original);
+    EXPECT_GT(bytes.size(), 1000u);
+
+    Graph imported;
+    ASSERT_TRUE(import_onnx(bytes, imported).is_ok());
+
+    Engine engine(std::move(imported));
+    Tensor input = make_random(Shape({1, 3, 32, 32}), 0x117e);
+    const Tensor output = engine.run(input);
+    ASSERT_EQ(output.shape(), Shape({1, 10}));
+
+    // And against the never-serialised graph: identical results.
+    Engine direct{Graph(original)};
+    expect_close(output, direct.run(input), 1e-5f, 1e-4f);
+}
+
+TEST(Integration, AllPersonalitiesAgreeNumerically)
+{
+    // The framework personalities change *algorithms*, never semantics:
+    // every personality must produce the same distribution.
+    Graph graph = models::tiny_cnn();
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0x117f);
+
+    Engine reference(Graph(graph), orpheus_personality().options);
+    const Tensor expected = reference.run(input);
+
+    for (const FrameworkPersonality &personality :
+         {tvm_like_personality(), pytorch_like_personality(),
+          darknet_like_personality(), tflite_like_personality()}) {
+        Engine engine(Graph(graph), personality.options);
+        expect_close(engine.run(input), expected, 1e-3f, 1e-3f);
+    }
+}
+
+TEST(Integration, PersonalitiesSelectTheirConvKernels)
+{
+    const Graph graph = models::mobilenet_v1(10, 0.25f);
+
+    const auto conv_impl_set = [](const Engine &engine) {
+        std::set<std::string> impls;
+        for (const PlanStep &step : engine.steps()) {
+            if (step.op_type == op_names::kConv)
+                impls.insert(step.layer->impl_name());
+        }
+        return impls;
+    };
+
+    Engine orpheus_engine(Graph(graph), orpheus_personality().options);
+    const auto orpheus_impls = conv_impl_set(orpheus_engine);
+    EXPECT_TRUE(orpheus_impls.count("im2col_gemm"));
+    EXPECT_TRUE(orpheus_impls.count("depthwise_direct"));
+
+    Engine tvm_engine(Graph(graph), tvm_like_personality().options);
+    EXPECT_EQ(conv_impl_set(tvm_engine),
+              std::set<std::string>{"spatial_pack"});
+
+    Engine pytorch_engine(Graph(graph),
+                          pytorch_like_personality().options);
+    EXPECT_EQ(conv_impl_set(pytorch_engine),
+              std::set<std::string>{"im2col_gemm"})
+        << "PyTorch personality must not use the depthwise kernel";
+}
+
+TEST(Integration, WinogradEngineMatchesDefault)
+{
+    EngineOptions winograd_options;
+    winograd_options.backend.allow_winograd = true;
+    Engine winograd_engine(models::tiny_cnn(), winograd_options);
+
+    bool used_winograd = false;
+    for (const PlanStep &step : winograd_engine.steps())
+        used_winograd |= step.layer->impl_name() == "winograd";
+    EXPECT_TRUE(used_winograd);
+
+    Engine default_engine(models::tiny_cnn());
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0x1180);
+    expect_close(winograd_engine.run(input), default_engine.run(input),
+                 1e-3f, 2e-3f);
+}
+
+TEST(Integration, AutotunedWrnMatchesHeuristic)
+{
+    EngineOptions tuned_options;
+    tuned_options.selection = SelectionStrategy::kAutoTune;
+    tuned_options.autotune_runs = 1;
+    Engine tuned(models::tiny_cnn(), tuned_options);
+    Engine heuristic(models::tiny_cnn());
+
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0x1181);
+    expect_close(tuned.run(input), heuristic.run(input), 1e-3f, 1e-3f);
+}
+
+TEST(Integration, ExperimentHarnessOverPersonalities)
+{
+    // A miniature Figure 2: time tiny-cnn under every personality and
+    // verify the harness produces sane, complete rows.
+    std::vector<ExperimentResult> results;
+    ExperimentConfig config;
+    config.warmup_runs = 1;
+    config.timed_runs = 2;
+
+    for (const FrameworkPersonality &personality :
+         figure2_personalities()) {
+        Engine engine(models::tiny_cnn(), personality.options);
+        ExperimentResult result = time_inference(engine, config);
+        result.name = personality.name;
+        results.push_back(std::move(result));
+    }
+
+    ASSERT_EQ(results.size(), 4u);
+    for (const ExperimentResult &result : results)
+        EXPECT_GT(result.stats.mean, 0.0) << result.name;
+    const std::string csv = results_to_csv(results);
+    EXPECT_NE(csv.find("Orpheus"), std::string::npos);
+    EXPECT_NE(csv.find("DarkNet-like"), std::string::npos);
+}
+
+TEST(Integration, MultiInputGraphThroughOnnx)
+{
+    Graph graph("two-inputs");
+    graph.add_input("a", Shape({1, 8}));
+    graph.add_input("b", Shape({1, 8}));
+    graph.add_node(op_names::kAdd, {"a", "b"}, {"sum"});
+    graph.add_node(op_names::kSoftmax, {"sum"}, {"probs"});
+    graph.add_output("probs");
+
+    const std::vector<std::uint8_t> bytes = export_onnx(graph);
+    Graph imported;
+    ASSERT_TRUE(import_onnx(bytes, imported).is_ok());
+    ASSERT_EQ(imported.inputs().size(), 2u);
+
+    Engine engine(std::move(imported));
+    const auto outputs = engine.run(
+        {{"a", make_random(Shape({1, 8}), 1)},
+         {"b", make_random(Shape({1, 8}), 2)}});
+    EXPECT_EQ(outputs.at("probs").shape(), Shape({1, 8}));
+}
+
+TEST(Integration, RepeatedCompilationIsStable)
+{
+    // Compiling the same model twice (fresh engines) must produce the
+    // same plan and the same results — no hidden global state.
+    Engine a(models::tiny_cnn());
+    Engine b(models::tiny_cnn());
+    EXPECT_EQ(a.plan_summary(), b.plan_summary());
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,61 @@
+/** @file Unit tests for the leveled logger. */
+#include "core/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orpheus {
+namespace {
+
+TEST(Logging, ParseKnownLevels)
+{
+    EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+    EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+    EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+    EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+    EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+    EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(Logging, UnknownLevelFallsBackToWarn)
+{
+    EXPECT_EQ(parse_log_level("verbose"), LogLevel::kWarn);
+    EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);
+}
+
+TEST(Logging, LevelNamesRoundTrip)
+{
+    for (LogLevel level :
+         {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+          LogLevel::kWarn, LogLevel::kError, LogLevel::kOff}) {
+        EXPECT_EQ(parse_log_level(to_string(level)), level);
+    }
+}
+
+TEST(Logging, EnabledRespectsThreshold)
+{
+    const LogLevel saved = log_level();
+    set_log_level(LogLevel::kInfo);
+    EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+    EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+    EXPECT_TRUE(log_enabled(LogLevel::kError));
+    set_log_level(LogLevel::kOff);
+    EXPECT_FALSE(log_enabled(LogLevel::kError));
+    set_log_level(saved);
+}
+
+TEST(Logging, MacroEvaluatesMessageLazily)
+{
+    const LogLevel saved = log_level();
+    set_log_level(LogLevel::kError);
+    int evaluations = 0;
+    const auto count = [&evaluations] {
+        ++evaluations;
+        return "x";
+    };
+    ORPHEUS_DEBUG("never built: " << count());
+    EXPECT_EQ(evaluations, 0);
+    set_log_level(saved);
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,209 @@
+/** @file Tests for the arena memory planner, including a randomized
+ *  no-overlap property suite. */
+#include "runtime/memory_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "models/builder.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+MemoryPlan
+plan_for(const Graph &graph)
+{
+    const ValueInfoMap infos = infer_shapes(graph);
+    return plan_memory(graph, infos, graph.topological_order());
+}
+
+/** Checks the fundamental invariant: values whose lifetimes overlap
+ *  must not share arena bytes. */
+void
+expect_no_conflicts(const Graph &graph, const MemoryPlan &plan)
+{
+    const auto order = graph.topological_order();
+    std::unordered_map<std::size_t, std::size_t> position;
+    for (std::size_t step = 0; step < order.size(); ++step)
+        position[order[step]] = step;
+
+    struct Life {
+        std::string name;
+        std::size_t def, last_use;
+        ArenaSlot slot;
+    };
+    std::vector<Life> lives;
+    for (std::size_t step = 0; step < order.size(); ++step) {
+        const Node &node = graph.nodes()[order[step]];
+        for (const std::string &out : node.outputs()) {
+            auto slot = plan.slots.find(out);
+            if (slot == plan.slots.end())
+                continue;
+            Life life{out, step, step, slot->second};
+            for (std::size_t consumer : graph.consumers(out))
+                life.last_use =
+                    std::max(life.last_use, position.at(consumer));
+            lives.push_back(std::move(life));
+        }
+    }
+
+    for (std::size_t i = 0; i < lives.size(); ++i) {
+        for (std::size_t j = i + 1; j < lives.size(); ++j) {
+            const Life &a = lives[i];
+            const Life &b = lives[j];
+            const bool time_overlap =
+                a.def <= b.last_use && b.def <= a.last_use;
+            const bool space_overlap =
+                a.slot.offset < b.slot.offset + b.slot.size &&
+                b.slot.offset < a.slot.offset + a.slot.size;
+            EXPECT_FALSE(time_overlap && space_overlap)
+                << a.name << " and " << b.name << " overlap in both time "
+                << "and space";
+        }
+    }
+}
+
+TEST(MemoryPlanner, ChainReusesMemory)
+{
+    // A long chain of same-sized relus needs only two live buffers.
+    Graph graph("chain");
+    graph.add_input("x", Shape({1, 64}));
+    std::string previous = "x";
+    for (int i = 0; i < 10; ++i) {
+        const std::string next = "v" + std::to_string(i);
+        graph.add_node(op_names::kRelu, {previous}, {next});
+        previous = next;
+    }
+    graph.add_output(previous);
+
+    const MemoryPlan plan = plan_for(graph);
+    expect_no_conflicts(graph, plan);
+    // 9 intermediates (the output is excluded); naive = 9 buffers,
+    // planned = 2.
+    const std::size_t buffer_bytes = 256; // 64 floats, already aligned
+    EXPECT_EQ(plan.naive_size, 9 * buffer_bytes);
+    EXPECT_EQ(plan.arena_size, 2 * buffer_bytes);
+}
+
+TEST(MemoryPlanner, ResidualExtendsLifetime)
+{
+    // x -> a -> b -> c, plus a consumed again by the final add: a must
+    // stay live across b and c.
+    Graph graph("residual");
+    graph.add_input("x", Shape({1, 32}));
+    graph.add_node(op_names::kRelu, {"x"}, {"a"});
+    graph.add_node(op_names::kRelu, {"a"}, {"b"});
+    graph.add_node(op_names::kRelu, {"b"}, {"c"});
+    graph.add_node(op_names::kAdd, {"a", "c"}, {"y"});
+    graph.add_output("y");
+
+    const MemoryPlan plan = plan_for(graph);
+    expect_no_conflicts(graph, plan);
+    // a, b, c are intermediates. a overlaps both b and c, and b's last
+    // read happens at the step that defines c (the planner is
+    // conservative about producer/consumer aliasing), so all three need
+    // distinct slots.
+    EXPECT_EQ(plan.arena_size, 3 * 128u);
+}
+
+TEST(MemoryPlanner, GraphOutputsExcluded)
+{
+    Graph graph("out");
+    graph.add_input("x", Shape({1, 8}));
+    graph.add_node(op_names::kRelu, {"x"}, {"y"});
+    graph.add_output("y");
+    const MemoryPlan plan = plan_for(graph);
+    EXPECT_TRUE(plan.slots.empty());
+    EXPECT_EQ(plan.arena_size, 0u);
+}
+
+TEST(MemoryPlanner, SlotsAreAligned)
+{
+    GraphBuilder b("g", 0x91a);
+    std::string x = b.input("input", Shape({1, 3, 9, 9}));
+    x = b.cbr(x, 5, 3, 1, 1); // odd sizes -> unaligned raw byte counts
+    x = b.cbr(x, 7, 3, 1, 1);
+    x = b.global_average_pool(x);
+    b.output(x);
+    Graph graph = b.take();
+
+    const MemoryPlan plan = plan_for(graph);
+    for (const auto &[name, slot] : plan.slots) {
+        EXPECT_EQ(slot.offset % Buffer::kAlignment, 0u) << name;
+        EXPECT_EQ(slot.size % Buffer::kAlignment, 0u) << name;
+    }
+}
+
+TEST(MemoryPlanner, RandomGraphsNeverConflict)
+{
+    // Property: on random DAGs of eltwise ops, planned placements never
+    // violate the lifetime/space exclusivity invariant and the arena is
+    // never larger than the naive total.
+    Rng rng(0x91b);
+    for (int trial = 0; trial < 25; ++trial) {
+        Graph graph("random" + std::to_string(trial));
+        graph.add_input("v0", Shape({1, rng.uniform_int(1, 64)}));
+        std::vector<std::string> values{"v0"};
+        const int node_count = static_cast<int>(rng.uniform_int(3, 24));
+        for (int i = 0; i < node_count; ++i) {
+            const std::string out = "v" + std::to_string(i + 1);
+            const std::string &lhs = values[static_cast<std::size_t>(
+                rng.uniform_int(0,
+                                static_cast<std::int64_t>(values.size()) -
+                                    1))];
+            if (rng.uniform_int(0, 1) == 0) {
+                graph.add_node(op_names::kRelu, {lhs}, {out});
+            } else {
+                const std::string &rhs = values[static_cast<std::size_t>(
+                    rng.uniform_int(
+                        0, static_cast<std::int64_t>(values.size()) - 1))];
+                // Add requires equal shapes; all values share v0's shape.
+                graph.add_node(op_names::kAdd, {lhs, rhs}, {out});
+            }
+            values.push_back(out);
+        }
+        graph.add_output(values.back());
+
+        const MemoryPlan plan = plan_for(graph);
+        expect_no_conflicts(graph, plan);
+        EXPECT_LE(plan.arena_size, plan.naive_size);
+    }
+}
+
+TEST(MemoryPlanner, RealNetworkShowsSubstantialReuse)
+{
+    const Graph graph = models::wrn_40_2();
+    Graph simplified = graph;
+    simplify_graph(simplified);
+    const MemoryPlan plan = plan_for(simplified);
+    expect_no_conflicts(simplified, plan);
+    // WRN-40-2 has > 40 activation tensors but few live at once.
+    EXPECT_LT(plan.arena_size, plan.naive_size / 4)
+        << "arena " << plan.arena_size << " vs naive " << plan.naive_size;
+}
+
+TEST(MemoryPlanner, EngineResultsIdenticalWithAndWithoutPlanner)
+{
+    EngineOptions with_planner;
+    with_planner.use_memory_planner = true;
+    Engine planned(models::tiny_cnn(), with_planner);
+
+    EngineOptions without_planner;
+    without_planner.use_memory_planner = false;
+    Engine unplanned(models::tiny_cnn(), without_planner);
+
+    EXPECT_GT(planned.arena_bytes(), 0u);
+    EXPECT_EQ(unplanned.arena_bytes(), 0u);
+
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0x91c);
+    expect_close(planned.run(input), unplanned.run(input), 1e-6f, 1e-6f);
+}
+
+} // namespace
+} // namespace orpheus

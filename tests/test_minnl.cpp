@@ -1,0 +1,190 @@
+/** @file Tests for the minnl third-party library and its adapter. */
+#include "backend/minnl/minnl.h"
+
+#include <gtest/gtest.h>
+
+#include "models/builder.hpp"
+#include "ops/conv/conv.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+TEST(Minnl, VersionString)
+{
+    EXPECT_NE(std::string(minnl_version()).find("minnl"),
+              std::string::npos);
+}
+
+TEST(Minnl, ConvDescOutputDims)
+{
+    minnl_conv_desc desc = {};
+    desc.batch = 1;
+    desc.in_channels = 3;
+    desc.in_height = 8;
+    desc.in_width = 10;
+    desc.out_channels = 4;
+    desc.kernel_h = 3;
+    desc.kernel_w = 3;
+    desc.stride_h = 2;
+    desc.stride_w = 1;
+    desc.pad_top = desc.pad_bottom = 1;
+    desc.pad_left = desc.pad_right = 0;
+    desc.groups = 1;
+    EXPECT_EQ(minnl_conv_out_height(&desc), 4);
+    EXPECT_EQ(minnl_conv_out_width(&desc), 8);
+    EXPECT_EQ(minnl_conv_out_height(nullptr), -1);
+}
+
+TEST(Minnl, ConvMatchesOrpheusReference)
+{
+    const std::int64_t in_c = 3, out_c = 5, hw = 9;
+    Tensor input = make_random(Shape({1, in_c, hw, hw}), 0xf0);
+    Tensor weight = make_random(Shape({out_c, in_c, 3, 3}), 0xf1);
+    Tensor bias = make_random(Shape({out_c}), 0xf2);
+
+    Conv2dParams p;
+    p.kernel_h = p.kernel_w = 3;
+    p.pad_top = p.pad_left = p.pad_bottom = p.pad_right = 1;
+    Tensor expected(Shape({1, out_c, hw, hw}));
+    conv2d(ConvAlgo::kDirect, input, weight, &bias, p,
+           ActivationSpec::none(), expected);
+
+    minnl_conv_desc desc = {};
+    desc.batch = 1;
+    desc.in_channels = static_cast<int>(in_c);
+    desc.in_height = desc.in_width = static_cast<int>(hw);
+    desc.out_channels = static_cast<int>(out_c);
+    desc.kernel_h = desc.kernel_w = 3;
+    desc.stride_h = desc.stride_w = 1;
+    desc.pad_top = desc.pad_left = desc.pad_bottom = desc.pad_right = 1;
+    desc.groups = 1;
+
+    Tensor actual(Shape({1, out_c, hw, hw}));
+    ASSERT_EQ(minnl_conv2d_f32(&desc, input.data<float>(),
+                               weight.data<float>(), bias.data<float>(),
+                               actual.data<float>()),
+              MINNL_OK);
+    expect_close(actual, expected, 1e-4f, 1e-3f);
+}
+
+TEST(Minnl, GroupedConvMatches)
+{
+    Tensor input = make_random(Shape({1, 8, 6, 6}), 0xf3);
+    Tensor weight = make_random(Shape({8, 1, 3, 3}), 0xf4);
+
+    Conv2dParams p;
+    p.kernel_h = p.kernel_w = 3;
+    p.pad_top = p.pad_left = p.pad_bottom = p.pad_right = 1;
+    p.group = 8;
+    Tensor expected(Shape({1, 8, 6, 6}));
+    conv2d(ConvAlgo::kDirect, input, weight, nullptr, p,
+           ActivationSpec::none(), expected);
+
+    minnl_conv_desc desc = {};
+    desc.batch = 1;
+    desc.in_channels = 8;
+    desc.in_height = desc.in_width = 6;
+    desc.out_channels = 8;
+    desc.kernel_h = desc.kernel_w = 3;
+    desc.stride_h = desc.stride_w = 1;
+    desc.pad_top = desc.pad_left = desc.pad_bottom = desc.pad_right = 1;
+    desc.groups = 8;
+
+    Tensor actual(Shape({1, 8, 6, 6}));
+    ASSERT_EQ(minnl_conv2d_f32(&desc, input.data<float>(),
+                               weight.data<float>(), nullptr,
+                               actual.data<float>()),
+              MINNL_OK);
+    expect_close(actual, expected, 1e-4f, 1e-3f);
+}
+
+TEST(Minnl, ConvRejectsBadArguments)
+{
+    minnl_conv_desc desc = {};
+    float dummy = 0.0f;
+    EXPECT_EQ(minnl_conv2d_f32(nullptr, &dummy, &dummy, nullptr, &dummy),
+              MINNL_INVALID_ARGUMENT);
+    desc.batch = 1;
+    desc.in_channels = 3;
+    desc.out_channels = 4;
+    desc.groups = 2; // 3 % 2 != 0
+    desc.in_height = desc.in_width = 4;
+    desc.kernel_h = desc.kernel_w = 1;
+    desc.stride_h = desc.stride_w = 1;
+    EXPECT_EQ(minnl_conv2d_f32(&desc, &dummy, &dummy, nullptr, &dummy),
+              MINNL_INVALID_ARGUMENT);
+}
+
+TEST(Minnl, GemmMatchesNaive)
+{
+    const int m = 7, n = 9, k = 5;
+    Tensor a = make_random(Shape({m, k}), 0xf5);
+    Tensor b = make_random(Shape({k, n}), 0xf6);
+    std::vector<float> expected(static_cast<std::size_t>(m * n));
+    gemm_naive(m, n, k, a.data<float>(), k, b.data<float>(), n,
+               expected.data(), n);
+
+    std::vector<float> actual(static_cast<std::size_t>(m * n));
+    ASSERT_EQ(minnl_gemm_f32(m, n, k, a.data<float>(), b.data<float>(),
+                             actual.data()),
+              MINNL_OK);
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        EXPECT_NEAR(actual[i], expected[i], 1e-4f);
+}
+
+TEST(Minnl, Relu)
+{
+    const float src[4] = {-1.0f, 0.0f, 2.0f, -3.0f};
+    float dst[4];
+    ASSERT_EQ(minnl_relu_f32(src, dst, 4), MINNL_OK);
+    EXPECT_EQ(dst[0], 0.0f);
+    EXPECT_EQ(dst[2], 2.0f);
+    EXPECT_EQ(minnl_relu_f32(nullptr, dst, 4), MINNL_INVALID_ARGUMENT);
+}
+
+TEST(MinnlBackend, EngineCanPinConvToMinnl)
+{
+    GraphBuilder b("g", 0xf7);
+    std::string x = b.input("input", Shape({1, 3, 10, 10}));
+    x = b.conv_k(x, 6, 3, 1, 1, 1, /*bias=*/true);
+    x = b.relu(x);
+    b.output(x);
+    Graph graph = b.take();
+
+    Engine reference{Graph(graph)};
+
+    EngineOptions options;
+    options.backend.forced_impl[op_names::kConv] = "minnl";
+    Engine minnl_engine(std::move(graph), options);
+    for (const PlanStep &step : minnl_engine.steps()) {
+        if (step.op_type == op_names::kConv)
+            EXPECT_EQ(step.layer->impl_name(), "minnl");
+    }
+
+    Tensor input = make_random(Shape({1, 3, 10, 10}), 0xf8);
+    expect_close(minnl_engine.run(input), reference.run(input), 1e-3f,
+                 1e-3f);
+}
+
+TEST(MinnlBackend, ThirdPartyCanBeDisabled)
+{
+    GraphBuilder b("g", 0xf9);
+    std::string x = b.input("input", Shape({1, 3, 8, 8}));
+    x = b.conv_k(x, 4, 3, 1, 1);
+    b.output(x);
+    Graph graph = b.take();
+
+    EngineOptions options;
+    options.backend.allow_third_party = false;
+    options.backend.forced_impl[op_names::kConv] = "minnl";
+    EXPECT_THROW(Engine(std::move(graph), options), Error)
+        << "pinning to a disabled third-party kernel must fail loudly";
+}
+
+} // namespace
+} // namespace orpheus

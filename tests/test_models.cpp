@@ -1,0 +1,220 @@
+/** @file Structural tests for the model zoo (the paper's five networks). */
+#include "models/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/shape_inference.hpp"
+#include "models/builder.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::make_random;
+
+std::size_t
+count_ops(const Graph &graph, const std::string &op_type)
+{
+    std::size_t count = 0;
+    for (const Node &node : graph.nodes())
+        count += node.op_type() == op_type ? 1 : 0;
+    return count;
+}
+
+struct ZooCase {
+    std::string name;
+    Shape input_shape;
+    Shape output_shape;
+    std::size_t min_convs;
+};
+
+class ZooModel : public ::testing::TestWithParam<ZooCase>
+{
+};
+
+TEST_P(ZooModel, BuildsValidatesAndInfersShapes)
+{
+    const ZooCase &c = GetParam();
+    const Graph graph = models::by_name(c.name);
+    EXPECT_EQ(graph.name(), c.name);
+    EXPECT_NO_THROW(graph.validate());
+
+    ASSERT_EQ(graph.inputs().size(), 1u);
+    EXPECT_EQ(graph.inputs().front().shape, c.input_shape);
+
+    const ValueInfoMap infos = infer_shapes(graph);
+    ASSERT_EQ(graph.outputs().size(), 1u);
+    EXPECT_EQ(infos.at(graph.outputs().front().name).shape,
+              c.output_shape);
+    EXPECT_GE(count_ops(graph, op_names::kConv), c.min_convs) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperNetworks, ZooModel,
+    ::testing::Values(
+        ZooCase{"wrn-40-2", Shape({1, 3, 32, 32}), Shape({1, 10}), 40},
+        ZooCase{"mobilenet-v1", Shape({1, 3, 224, 224}), Shape({1, 1000}),
+                27},
+        ZooCase{"resnet-18", Shape({1, 3, 224, 224}), Shape({1, 1000}),
+                17},
+        ZooCase{"resnet-50", Shape({1, 3, 224, 224}), Shape({1, 1000}),
+                49},
+        ZooCase{"inception-v3", Shape({1, 3, 299, 299}), Shape({1, 1000}),
+                90},
+        ZooCase{"squeezenet-1.1", Shape({1, 3, 224, 224}),
+                Shape({1, 1000}), 26}),
+    [](const ::testing::TestParamInfo<ZooCase> &info) {
+        std::string name = info.param.name;
+        for (char &ch : name) {
+            if (ch == '-' || ch == '.')
+                ch = '_';
+        }
+        return name;
+    });
+
+TEST(ModelZoo, NamesListMatchesByName)
+{
+    for (const std::string &name : models::zoo_names())
+        EXPECT_NO_THROW(models::by_name(name)) << name;
+    EXPECT_THROW(models::by_name("alexnet"), Error);
+}
+
+TEST(ModelZoo, SeedsAreReproducible)
+{
+    const Graph a = models::tiny_cnn(10, 7);
+    const Graph b = models::tiny_cnn(10, 7);
+    for (const auto &[name, tensor] : a.initializers()) {
+        ASSERT_TRUE(b.has_initializer(name));
+        EXPECT_EQ(max_abs_diff(tensor, b.initializer(name)), 0.0f) << name;
+    }
+
+    const Graph c = models::tiny_cnn(10, 8);
+    bool any_differs = false;
+    for (const auto &[name, tensor] : a.initializers()) {
+        if (tensor.dtype() == DataType::kFloat32 &&
+            max_abs_diff(tensor, c.initializer(name)) > 0.0f) {
+            any_differs = true;
+        }
+    }
+    EXPECT_TRUE(any_differs) << "different seeds must differ";
+}
+
+TEST(ModelZoo, MobilenetIsDepthwiseHeavy)
+{
+    const Graph graph = models::mobilenet_v1();
+    std::size_t depthwise = 0;
+    for (const Node &node : graph.nodes()) {
+        if (node.op_type() == op_names::kConv &&
+            node.attrs().get_int("group", 1) > 1) {
+            ++depthwise;
+        }
+    }
+    EXPECT_EQ(depthwise, 13u);
+}
+
+TEST(ModelZoo, WidthMultiplierScalesChannels)
+{
+    const Graph full = models::mobilenet_v1(1000, 1.0f);
+    const Graph half = models::mobilenet_v1(1000, 0.5f);
+    // Compare the first conv's output channels.
+    const auto first_conv_out = [](const Graph &graph) {
+        for (const Node &node : graph.nodes()) {
+            if (node.op_type() == op_names::kConv)
+                return graph.initializer(node.input(1)).shape().dim(0);
+        }
+        return std::int64_t{-1};
+    };
+    EXPECT_EQ(first_conv_out(full), 32);
+    EXPECT_EQ(first_conv_out(half), 16);
+}
+
+TEST(ModelZoo, ResnetsContainResidualAdds)
+{
+    EXPECT_GE(count_ops(models::resnet18(), op_names::kAdd), 8u);
+    EXPECT_GE(count_ops(models::resnet50(), op_names::kAdd), 16u);
+}
+
+TEST(ModelZoo, InceptionContainsConcats)
+{
+    const Graph graph = models::inception_v3();
+    EXPECT_GE(count_ops(graph, op_names::kConcat), 11u);
+    // Non-square kernels must appear (1x7 / 7x1 towers).
+    bool saw_nonsquare = false;
+    for (const Node &node : graph.nodes()) {
+        if (node.op_type() != op_names::kConv)
+            continue;
+        const auto kernel = node.attrs().get_ints("kernel_shape", {});
+        if (kernel.size() == 2 && kernel[0] != kernel[1])
+            saw_nonsquare = true;
+    }
+    EXPECT_TRUE(saw_nonsquare);
+}
+
+TEST(ModelZoo, CustomClassCounts)
+{
+    const Graph graph = models::wrn_40_2(100);
+    const ValueInfoMap infos = infer_shapes(graph);
+    EXPECT_EQ(infos.at(graph.outputs().front().name).shape,
+              Shape({1, 100}));
+}
+
+TEST(ModelZoo, SmallModelsRunEndToEnd)
+{
+    Engine cnn(models::tiny_cnn());
+    EXPECT_EQ(cnn.run(make_random(Shape({1, 3, 8, 8}), 1)).shape(),
+              Shape({1, 10}));
+    Engine mlp(models::tiny_mlp());
+    EXPECT_EQ(mlp.run(make_random(Shape({1, 32}), 2)).shape(),
+              Shape({1, 10}));
+}
+
+TEST(ModelZoo, Wrn40RunsEndToEnd)
+{
+    // The smallest paper network runs a full inference in-test.
+    Engine engine(models::wrn_40_2());
+    const Tensor output = engine.run(make_random(Shape({1, 3, 32, 32}), 3));
+    ASSERT_EQ(output.shape(), Shape({1, 10}));
+    double sum = 0.0;
+    for (int i = 0; i < 10; ++i)
+        sum += output.data<float>()[i];
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+}
+
+TEST(ModelZoo, PaperNetworksCompileUnderEveryConvPin)
+{
+    // Plan-time smoke test (no inference): every model compiles with
+    // each conv implementation pinned.
+    for (const char *impl : {"im2col_gemm", "spatial_pack"}) {
+        EngineOptions options;
+        options.backend.forced_impl[op_names::kConv] = impl;
+        EXPECT_NO_THROW(Engine(models::resnet18(), options)) << impl;
+    }
+}
+
+TEST(GraphBuilder, ShapeTrackingMatchesInference)
+{
+    GraphBuilder b("check", 0x6b);
+    std::string x = b.input("input", Shape({1, 3, 17, 23}));
+    x = b.cbr(x, 6, 3, 2, 1);
+    x = b.maxpool(x, 3, 2, 1);
+    x = b.conv_bn_relu(x, 8, 1, 7, 1, 0, 3);
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    x = b.dense(x, 5);
+    const Shape tracked = b.shape_of(x);
+    b.output(x);
+    const Graph graph = b.take();
+    const ValueInfoMap infos = infer_shapes(graph);
+    EXPECT_EQ(infos.at(graph.outputs().front().name).shape, tracked);
+}
+
+TEST(GraphBuilder, RejectsUnknownValue)
+{
+    GraphBuilder b("check", 0x6c);
+    EXPECT_THROW(b.shape_of("ghost"), Error);
+    EXPECT_THROW(b.relu("ghost"), Error);
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,248 @@
+/** @file Unit + property tests for the protobuf wire reader/writer. */
+#include "onnx/proto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+
+namespace orpheus::proto {
+namespace {
+
+TEST(ProtoWriter, VarintFieldEncoding)
+{
+    Writer w;
+    w.write_varint_field(1, 150); // Canonical protobuf example.
+    const auto &bytes = w.bytes();
+    ASSERT_EQ(bytes.size(), 3u);
+    EXPECT_EQ(bytes[0], 0x08); // field 1, wire 0
+    EXPECT_EQ(bytes[1], 0x96);
+    EXPECT_EQ(bytes[2], 0x01);
+}
+
+TEST(ProtoWriter, StringFieldEncoding)
+{
+    Writer w;
+    w.write_string_field(2, "testing");
+    const auto &bytes = w.bytes();
+    ASSERT_EQ(bytes.size(), 9u);
+    EXPECT_EQ(bytes[0], 0x12); // field 2, wire 2
+    EXPECT_EQ(bytes[1], 0x07);
+    EXPECT_EQ(bytes[2], 't');
+}
+
+TEST(ProtoRoundTrip, VarintValues)
+{
+    const std::uint64_t values[] = {
+        0,
+        1,
+        127,
+        128,
+        300,
+        (1ULL << 32) - 1,
+        1ULL << 32,
+        ~0ULL,
+    };
+    for (std::uint64_t value : values) {
+        Writer w;
+        w.write_varint_field(5, value);
+        Reader r(w.bytes().data(), w.bytes().size());
+        WireType wire;
+        EXPECT_EQ(r.read_tag(wire), 5u);
+        EXPECT_EQ(wire, WireType::kVarint);
+        EXPECT_EQ(r.read_varint(), value);
+        EXPECT_TRUE(r.done());
+    }
+}
+
+TEST(ProtoRoundTrip, NegativeInt64)
+{
+    Writer w;
+    w.write_int64_field(3, -42);
+    Reader r(w.bytes().data(), w.bytes().size());
+    WireType wire;
+    r.read_tag(wire);
+    EXPECT_EQ(r.read_int64(), -42);
+}
+
+TEST(ProtoRoundTrip, FloatField)
+{
+    Writer w;
+    w.write_float_field(4, 3.14159f);
+    Reader r(w.bytes().data(), w.bytes().size());
+    WireType wire;
+    EXPECT_EQ(r.read_tag(wire), 4u);
+    EXPECT_EQ(wire, WireType::kFixed32);
+    EXPECT_FLOAT_EQ(r.read_float(), 3.14159f);
+}
+
+TEST(ProtoRoundTrip, NestedMessages)
+{
+    Writer inner;
+    inner.write_varint_field(1, 7);
+    inner.write_string_field(2, "leaf");
+
+    Writer outer;
+    outer.write_message_field(10, inner);
+    outer.write_varint_field(11, 99);
+
+    Reader r(outer.bytes().data(), outer.bytes().size());
+    WireType wire;
+    EXPECT_EQ(r.read_tag(wire), 10u);
+    Reader nested(r.read_bytes());
+    EXPECT_EQ(nested.read_tag(wire), 1u);
+    EXPECT_EQ(nested.read_varint(), 7u);
+    EXPECT_EQ(nested.read_tag(wire), 2u);
+    EXPECT_EQ(nested.read_bytes(), "leaf");
+    EXPECT_TRUE(nested.done());
+    EXPECT_EQ(r.read_tag(wire), 11u);
+    EXPECT_EQ(r.read_varint(), 99u);
+}
+
+TEST(ProtoRoundTrip, PackedInt64s)
+{
+    const std::vector<std::int64_t> values = {0, 1, -1, 1000000, -1000000};
+    Writer w;
+    w.write_packed_int64s(8, values);
+    Reader r(w.bytes().data(), w.bytes().size());
+    WireType wire;
+    r.read_tag(wire);
+    EXPECT_EQ(wire, WireType::kLengthDelimited);
+    Reader packed(r.read_bytes());
+    std::vector<std::int64_t> decoded;
+    while (!packed.done())
+        decoded.push_back(packed.read_int64());
+    EXPECT_EQ(decoded, values);
+}
+
+TEST(ProtoRoundTrip, PackedFloats)
+{
+    const std::vector<float> values = {0.0f, -1.5f, 3.25f, 1e20f};
+    Writer w;
+    w.write_packed_floats(9, values);
+    Reader r(w.bytes().data(), w.bytes().size());
+    WireType wire;
+    r.read_tag(wire);
+    Reader packed(r.read_bytes());
+    std::vector<float> decoded;
+    while (!packed.done())
+        decoded.push_back(packed.read_float());
+    EXPECT_EQ(decoded, values);
+}
+
+TEST(ProtoRoundTrip, RandomizedFieldSequences)
+{
+    // Property test: arbitrary interleavings of field kinds round-trip.
+    Rng rng(0x9909);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<int> kinds;
+        std::vector<std::uint64_t> varints;
+        std::vector<float> floats;
+        std::vector<std::string> strings;
+
+        Writer w;
+        const int fields = static_cast<int>(rng.uniform_int(1, 20));
+        for (int i = 0; i < fields; ++i) {
+            const int kind = static_cast<int>(rng.uniform_int(0, 2));
+            kinds.push_back(kind);
+            const std::uint32_t field =
+                static_cast<std::uint32_t>(rng.uniform_int(1, 100));
+            if (kind == 0) {
+                const std::uint64_t value = rng.next_u64();
+                varints.push_back(value);
+                w.write_varint_field(field, value);
+            } else if (kind == 1) {
+                const float value = rng.uniform(-1e6f, 1e6f);
+                floats.push_back(value);
+                w.write_float_field(field, value);
+            } else {
+                std::string value(static_cast<std::size_t>(
+                                      rng.uniform_int(0, 32)),
+                                  'x');
+                strings.push_back(value);
+                w.write_string_field(field, value);
+            }
+        }
+
+        Reader r(w.bytes().data(), w.bytes().size());
+        std::size_t vi = 0, fi = 0, si = 0;
+        for (int kind : kinds) {
+            WireType wire;
+            r.read_tag(wire);
+            if (kind == 0)
+                EXPECT_EQ(r.read_varint(), varints[vi++]);
+            else if (kind == 1)
+                EXPECT_FLOAT_EQ(r.read_float(), floats[fi++]);
+            else
+                EXPECT_EQ(r.read_bytes(), strings[si++]);
+        }
+        EXPECT_TRUE(r.done());
+    }
+}
+
+TEST(ProtoReader, SkipEveryWireType)
+{
+    Writer w;
+    w.write_varint_field(1, 7);
+    w.write_float_field(2, 1.0f);
+    w.write_string_field(3, "skip me");
+    w.write_varint_field(4, 42);
+
+    Reader r(w.bytes().data(), w.bytes().size());
+    WireType wire;
+    for (int i = 0; i < 3; ++i) {
+        r.read_tag(wire);
+        r.skip(wire);
+    }
+    EXPECT_EQ(r.read_tag(wire), 4u);
+    EXPECT_EQ(r.read_varint(), 42u);
+}
+
+TEST(ProtoReader, TruncatedInputRejected)
+{
+    Writer w;
+    w.write_string_field(1, "hello world");
+    // Drop the last 3 bytes.
+    Reader r(w.bytes().data(), w.bytes().size() - 3);
+    WireType wire;
+    r.read_tag(wire);
+    EXPECT_THROW(r.read_bytes(), Error);
+}
+
+TEST(ProtoReader, TruncatedVarintRejected)
+{
+    const std::uint8_t bytes[] = {0x08, 0x80}; // continuation bit set, EOF
+    Reader r(bytes, 2);
+    WireType wire;
+    r.read_tag(wire);
+    EXPECT_THROW(r.read_varint(), Error);
+}
+
+TEST(ProtoReader, OverlongVarintRejected)
+{
+    std::vector<std::uint8_t> bytes{0x08};
+    for (int i = 0; i < 11; ++i)
+        bytes.push_back(0x80);
+    Reader r(bytes.data(), bytes.size());
+    WireType wire;
+    r.read_tag(wire);
+    EXPECT_THROW(r.read_varint(), Error);
+}
+
+TEST(ProtoReader, UnknownWireTypeRejected)
+{
+    const std::uint8_t bytes[] = {0x0B}; // field 1, wire type 3
+    Reader r(bytes, 1);
+    WireType wire;
+    EXPECT_THROW(r.read_tag(wire), Error);
+}
+
+TEST(ProtoReader, FieldNumberZeroRejected)
+{
+    const std::uint8_t bytes[] = {0x00};
+    Reader r(bytes, 1);
+    WireType wire;
+    EXPECT_THROW(r.read_tag(wire), Error);
+}
+
+} // namespace
+} // namespace orpheus::proto

@@ -1,0 +1,195 @@
+/** @file Tests for the kernel registry, including the headline
+ *  extensibility claim: adding a new backend/op touches only the
+ *  registry. */
+#include "backend/kernel_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/shape_inference.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::make_random;
+
+LayerInit
+conv_init(const Node &node, const BackendConfig &config, Shape input,
+          Shape weight, Shape output)
+{
+    LayerInit init;
+    init.node = &node;
+    init.config = &config;
+    init.input_infos = {ValueInfo{"x", DataType::kFloat32, input},
+                        ValueInfo{"w", DataType::kFloat32, weight}};
+    init.output_infos = {ValueInfo{"y", DataType::kFloat32, output}};
+    init.constant_inputs = {nullptr, nullptr};
+    return init;
+}
+
+TEST(Registry, BuiltinOpsPresent)
+{
+    KernelRegistry &registry = KernelRegistry::instance();
+    for (const char *op :
+         {op_names::kConv, op_names::kRelu, op_names::kMaxPool,
+          op_names::kGemm, op_names::kSoftmax, op_names::kConcat,
+          op_names::kBatchNormalization, op_names::kFlatten}) {
+        EXPECT_TRUE(registry.has_op(op)) << op;
+    }
+    EXPECT_FALSE(registry.has_op("Einsum"));
+}
+
+TEST(Registry, ConvHasMultipleImplementations)
+{
+    KernelRegistry &registry = KernelRegistry::instance();
+    const auto kernels = registry.kernels(op_names::kConv);
+    EXPECT_GE(kernels.size(), 5u);
+    // Priority-sorted descending.
+    for (std::size_t i = 1; i < kernels.size(); ++i)
+        EXPECT_GE(kernels[i - 1]->priority, kernels[i]->priority);
+}
+
+TEST(Registry, FindByImplName)
+{
+    KernelRegistry &registry = KernelRegistry::instance();
+    EXPECT_NE(registry.find(op_names::kConv, "im2col_gemm"), nullptr);
+    EXPECT_NE(registry.find(op_names::kConv, "spatial_pack"), nullptr);
+    EXPECT_NE(registry.find(op_names::kConv, "minnl"), nullptr);
+    EXPECT_EQ(registry.find(op_names::kConv, "quantum"), nullptr);
+}
+
+TEST(Registry, DepthwisePredicateRespectsConfig)
+{
+    KernelRegistry &registry = KernelRegistry::instance();
+
+    AttributeMap attrs;
+    attrs.set("kernel_shape", std::vector<std::int64_t>{3, 3});
+    attrs.set("pads", std::vector<std::int64_t>{1, 1, 1, 1});
+    attrs.set("group", std::int64_t{8});
+    Node node(op_names::kConv, "dw", {"x", "w"}, {"y"}, attrs);
+
+    BackendConfig allow;
+    LayerInit init = conv_init(node, allow, Shape({1, 8, 8, 8}),
+                               Shape({8, 1, 3, 3}), Shape({1, 8, 8, 8}));
+    auto candidates = registry.candidates(init);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_EQ(candidates.front()->impl_name, "depthwise_direct");
+
+    BackendConfig deny;
+    deny.allow_depthwise_specialization = false;
+    init.config = &deny;
+    candidates = registry.candidates(init);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_NE(candidates.front()->impl_name, "depthwise_direct");
+}
+
+TEST(Registry, WinogradIsOptIn)
+{
+    KernelRegistry &registry = KernelRegistry::instance();
+    AttributeMap attrs;
+    attrs.set("kernel_shape", std::vector<std::int64_t>{3, 3});
+    attrs.set("pads", std::vector<std::int64_t>{1, 1, 1, 1});
+    Node node(op_names::kConv, "c", {"x", "w"}, {"y"}, attrs);
+
+    BackendConfig defaults;
+    LayerInit init = conv_init(node, defaults, Shape({1, 4, 8, 8}),
+                               Shape({4, 4, 3, 3}), Shape({1, 4, 8, 8}));
+    for (const KernelDef *def : registry.candidates(init))
+        EXPECT_NE(def->impl_name, "winograd");
+
+    BackendConfig with_winograd;
+    with_winograd.allow_winograd = true;
+    init.config = &with_winograd;
+    auto candidates = registry.candidates(init);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_EQ(candidates.front()->impl_name, "winograd");
+}
+
+TEST(Registry, AddValidatesDefinition)
+{
+    KernelRegistry &registry = KernelRegistry::instance();
+    KernelDef missing_factory;
+    missing_factory.op_type = "X";
+    missing_factory.impl_name = "y";
+    EXPECT_THROW(registry.add(std::move(missing_factory)), Error);
+
+    KernelDef unnamed;
+    unnamed.create = [](const LayerInit &) -> std::unique_ptr<Layer> {
+        return nullptr;
+    };
+    EXPECT_THROW(registry.add(std::move(unnamed)), Error);
+}
+
+/**
+ * The extensibility proof: register a brand-new op ("Negate") with a
+ * shape rule and a kernel, then run it through the unmodified engine.
+ */
+class NegateLayer : public Layer
+{
+  public:
+    void
+    forward(const std::vector<const Tensor *> &inputs,
+            const std::vector<Tensor *> &outputs) override
+    {
+        const float *in = inputs[0]->data<float>();
+        float *out = outputs[0]->data<float>();
+        for (std::int64_t i = 0; i < inputs[0]->numel(); ++i)
+            out[i] = -in[i];
+    }
+};
+
+TEST(Registry, NewOpEndToEndThroughEngine)
+{
+    register_shape_inference_rule(
+        "Negate", [](const ShapeInferenceContext &ctx) {
+            return std::vector<ValueInfo>{ctx.input(0)};
+        });
+    KernelRegistry::instance().add(
+        {"Negate", "reference", 10, nullptr, [](const LayerInit &) {
+             return std::make_unique<NegateLayer>();
+         }});
+
+    Graph graph("negate");
+    graph.add_input("x", Shape({1, 4}));
+    graph.add_node("Negate", {"x"}, {"y"});
+    graph.add_output("y");
+
+    Engine engine(std::move(graph));
+    Tensor input = Tensor::from_values(Shape({1, 4}), {1, -2, 3, -4});
+    const Tensor output = engine.run(input);
+    EXPECT_FLOAT_EQ(output.data<float>()[0], -1.0f);
+    EXPECT_FLOAT_EQ(output.data<float>()[1], 2.0f);
+    EXPECT_FLOAT_EQ(output.data<float>()[3], 4.0f);
+}
+
+TEST(Registry, ReRegistrationReplaces)
+{
+    KernelRegistry &registry = KernelRegistry::instance();
+    registry.add({"ReplaceMe", "impl", 5, nullptr, [](const LayerInit &) {
+                      return std::make_unique<NegateLayer>();
+                  }});
+    registry.add({"ReplaceMe", "impl", 9, nullptr, [](const LayerInit &) {
+                      return std::make_unique<NegateLayer>();
+                  }});
+    const auto kernels = registry.kernels("ReplaceMe");
+    ASSERT_EQ(kernels.size(), 1u);
+    EXPECT_EQ(kernels[0]->priority, 9);
+}
+
+TEST(Registry, InstantiateStampsImplName)
+{
+    KernelRegistry &registry = KernelRegistry::instance();
+    const KernelDef *def = registry.find("Negate", "reference");
+    ASSERT_NE(def, nullptr);
+    LayerInit init;
+    Node node("Negate", "n", {"x"}, {"y"});
+    init.node = &node;
+    BackendConfig config;
+    init.config = &config;
+    auto layer = registry.instantiate(*def, init);
+    EXPECT_EQ(layer->impl_name(), "reference");
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,127 @@
+/** @file Unit tests for the deterministic RNG. */
+#include "core/rng.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace orpheus {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int matches = 0;
+    for (int i = 0; i < 64; ++i)
+        matches += a.next_u64() == b.next_u64() ? 1 : 0;
+    EXPECT_LT(matches, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    bool any_nonzero = false;
+    for (int i = 0; i < 8; ++i)
+        any_nonzero |= rng.next_u64() != 0;
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double value = rng.next_double();
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 1.0);
+    }
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const float value = rng.uniform(-2.5f, 4.0f);
+        EXPECT_GE(value, -2.5f);
+        EXPECT_LT(value, 4.0f);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t value = rng.uniform_int(3, 7);
+        EXPECT_GE(value, 3);
+        EXPECT_LE(value, 7);
+        saw_lo |= value == 3;
+        saw_hi |= value == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+    EXPECT_THROW(rng.uniform_int(6, 5), Error);
+}
+
+TEST(Rng, NormalHasPlausibleMoments)
+{
+    Rng rng(13);
+    const int n = 20000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double value = rng.normal();
+        sum += value;
+        sum_sq += value * value;
+    }
+    const double mean = sum / n;
+    const double variance = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(variance, 1.0, 0.05);
+}
+
+TEST(Rng, FillUniformFillsEveryElement)
+{
+    Tensor t(Shape({64}));
+    Rng rng(17);
+    fill_uniform(t, rng, 0.5f, 1.0f);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        EXPECT_GE(t.data<float>()[i], 0.5f);
+        EXPECT_LT(t.data<float>()[i], 1.0f);
+    }
+}
+
+TEST(Rng, FillKaimingMatchesFanInScale)
+{
+    // For OIHW [64, 32, 3, 3], fan-in = 32*9 = 288 and the std should be
+    // close to sqrt(2/288).
+    Tensor t(Shape({64, 32, 3, 3}));
+    Rng rng(19);
+    fill_kaiming(t, rng);
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        sum += t.data<float>()[i];
+        sum_sq += static_cast<double>(t.data<float>()[i]) *
+                  t.data<float>()[i];
+    }
+    const double n = static_cast<double>(t.numel());
+    const double variance = sum_sq / n - (sum / n) * (sum / n);
+    EXPECT_NEAR(variance, 2.0 / 288.0, 2.0 / 288.0 * 0.1);
+}
+
+TEST(Rng, RandomTensorIsDeterministic)
+{
+    Rng a(21), b(21);
+    Tensor ta = random_tensor(Shape({4, 4}), a);
+    Tensor tb = random_tensor(Shape({4, 4}), b);
+    EXPECT_EQ(max_abs_diff(ta, tb), 0.0f);
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,161 @@
+/** @file Runtime extras: cached Winograd transforms, batched inference
+ *  and engine reuse under varied inputs. */
+#include <gtest/gtest.h>
+
+#include "models/builder.hpp"
+#include "ops/conv/conv.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+TEST(WinogradCache, PretransformedMatchesOnTheFly)
+{
+    const std::int64_t in_c = 5, out_c = 7, hw = 9;
+    Tensor input = make_random(Shape({1, in_c, hw, hw}), 0xca0);
+    Tensor weight = make_random(Shape({out_c, in_c, 3, 3}), 0xca1);
+
+    Conv2dParams p;
+    p.kernel_h = p.kernel_w = 3;
+    p.pad_top = p.pad_left = p.pad_bottom = p.pad_right = 1;
+
+    Conv2dArgs args;
+    args.input = input.data<float>();
+    args.batch = 1;
+    args.in_c = in_c;
+    args.in_h = args.in_w = hw;
+    args.weight = weight.data<float>();
+    args.out_c = out_c;
+    args.out_h = args.out_w = hw;
+    args.params = p;
+
+    Tensor expected(Shape({1, out_c, hw, hw}));
+    args.output = expected.data<float>();
+    conv2d_winograd(args);
+
+    const std::vector<float> cached_u =
+        winograd_transform_weights(weight.data<float>(), out_c, in_c);
+    Tensor actual(Shape({1, out_c, hw, hw}));
+    args.output = actual.data<float>();
+    conv2d_winograd_pretransformed(args, cached_u.data());
+
+    EXPECT_EQ(max_abs_diff(actual, expected), 0.0f)
+        << "cached and on-the-fly transforms must be identical";
+}
+
+TEST(WinogradCache, EngineLayerUsesCacheAndStaysCorrect)
+{
+    // An engine with Winograd enabled must match the default engine
+    // across repeated runs (the cache is reused every run).
+    EngineOptions winograd_options;
+    winograd_options.backend.allow_winograd = true;
+
+    GraphBuilder b("wino", 0xca2);
+    std::string x = b.input("input", Shape({1, 4, 12, 12}));
+    x = b.cbr(x, 8, 3, 1, 1);
+    x = b.cbr(x, 8, 3, 1, 1);
+    b.output(x);
+    Graph graph = b.take();
+
+    Engine reference{Graph(graph)};
+    Engine winograd_engine(std::move(graph), winograd_options);
+
+    bool used_winograd = false;
+    for (const PlanStep &step : winograd_engine.steps())
+        used_winograd |= step.layer->impl_name() == "winograd";
+    ASSERT_TRUE(used_winograd);
+
+    for (int run = 0; run < 3; ++run) {
+        Tensor input = make_random(Shape({1, 4, 12, 12}),
+                                   0xca3 + static_cast<std::uint64_t>(run));
+        expect_close(winograd_engine.run(input), reference.run(input),
+                     1e-3f, 2e-3f);
+    }
+}
+
+/** Small CNN with a parameterisable batch, fixed weights via seed. */
+Graph
+batched_cnn(std::int64_t batch)
+{
+    GraphBuilder b("batched", 0xca4);
+    std::string x = b.input("input", Shape({batch, 3, 10, 10}));
+    x = b.cbr(x, 6, 3, 1, 1);
+    x = b.maxpool(x, 2, 2);
+    x = b.cbr(x, 12, 3, 1, 1);
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    x = b.dense(x, 4);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+TEST(BatchedInference, Batch2MatchesTwoSingleRuns)
+{
+    Engine single(batched_cnn(1));
+    Engine batched(batched_cnn(2));
+
+    Tensor sample_a = make_random(Shape({1, 3, 10, 10}), 0xca5);
+    Tensor sample_b = make_random(Shape({1, 3, 10, 10}), 0xca6);
+
+    Tensor batch(Shape({2, 3, 10, 10}));
+    std::memcpy(batch.data<float>(), sample_a.data<float>(),
+                sample_a.byte_size());
+    std::memcpy(batch.data<float>() + sample_a.numel(),
+                sample_b.data<float>(), sample_b.byte_size());
+
+    const Tensor batch_out = batched.run(batch);
+    ASSERT_EQ(batch_out.shape(), Shape({2, 4}));
+    const Tensor out_a = single.run(sample_a);
+    const Tensor out_b = single.run(sample_b);
+
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_NEAR(batch_out.data<float>()[c], out_a.data<float>()[c],
+                    1e-5f)
+            << "sample 0, class " << c;
+        EXPECT_NEAR(batch_out.data<float>()[4 + c],
+                    out_b.data<float>()[c], 1e-5f)
+            << "sample 1, class " << c;
+    }
+}
+
+TEST(BatchedInference, EveryConvAlgoHandlesBatch)
+{
+    const Graph graph = batched_cnn(3);
+    Tensor input = make_random(Shape({3, 3, 10, 10}), 0xca7);
+
+    Engine reference{Graph(graph)};
+    const Tensor expected = reference.run(input);
+
+    for (const char *impl : {"direct", "spatial_pack", "im2col_gemm"}) {
+        EngineOptions options;
+        options.backend.forced_impl[op_names::kConv] = impl;
+        Engine engine{Graph(graph), options};
+        expect_close(engine.run(input), expected, 1e-3f, 1e-3f);
+    }
+}
+
+TEST(EngineReuse, ManyRunsWithVaryingInputsStayIndependent)
+{
+    // Results must depend only on the current input — no state leaks
+    // between runs through arena reuse or layer scratch buffers.
+    Engine engine(batched_cnn(1));
+    Tensor probe = make_random(Shape({1, 3, 10, 10}), 0xca8);
+    const Tensor baseline = engine.run(probe);
+
+    for (int run = 0; run < 5; ++run) {
+        Tensor noise = make_random(Shape({1, 3, 10, 10}),
+                                   0xca9 + static_cast<std::uint64_t>(run),
+                                   -10.0f, 10.0f);
+        (void)engine.run(noise);
+    }
+    EXPECT_EQ(max_abs_diff(engine.run(probe), baseline), 0.0f)
+        << "re-running the same input after other inputs must be "
+           "bit-identical";
+}
+
+} // namespace
+} // namespace orpheus

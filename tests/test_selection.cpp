@@ -1,0 +1,133 @@
+/** @file Tests for kernel-selection strategies (heuristic, pinned,
+ *  auto-tune). */
+#include "runtime/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/builder.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+/** A 2-conv graph: one depthwise, one dense 3x3. */
+Graph
+two_conv_graph()
+{
+    GraphBuilder b("g", 0x5e1);
+    std::string x = b.input("input", Shape({1, 8, 10, 10}));
+    x = b.conv_k(x, 8, 3, 1, 1, /*group=*/8, /*bias=*/true);   // depthwise
+    x = b.conv_k(x, 16, 3, 1, 1, /*group=*/1, /*bias=*/true);  // dense
+    b.output(x);
+    return b.take();
+}
+
+/** Impl name selected for each Conv node in plan order. */
+std::vector<std::string>
+conv_impls(const Engine &engine)
+{
+    std::vector<std::string> impls;
+    for (const PlanStep &step : engine.steps()) {
+        if (step.op_type == op_names::kConv)
+            impls.push_back(step.layer->impl_name());
+    }
+    return impls;
+}
+
+TEST(Selection, HeuristicPicksSpecialisedKernels)
+{
+    Engine engine(two_conv_graph());
+    const auto impls = conv_impls(engine);
+    ASSERT_EQ(impls.size(), 2u);
+    EXPECT_EQ(impls[0], "depthwise_direct");
+    EXPECT_EQ(impls[1], "im2col_gemm");
+}
+
+TEST(Selection, ForcedImplAppliesToAllNodesOfOp)
+{
+    EngineOptions options;
+    options.backend.forced_impl[op_names::kConv] = "spatial_pack";
+    Engine engine(two_conv_graph(), options);
+    for (const std::string &impl : conv_impls(engine))
+        EXPECT_EQ(impl, "spatial_pack");
+}
+
+TEST(Selection, NodePinOverridesOpPin)
+{
+    Graph graph = two_conv_graph();
+    // Find the second conv's node name.
+    std::string second_conv;
+    for (const Node &node : graph.nodes()) {
+        if (node.op_type() == op_names::kConv)
+            second_conv = node.name();
+    }
+
+    EngineOptions options;
+    options.backend.forced_impl[op_names::kConv] = "spatial_pack";
+    options.backend.node_impl[second_conv] = "direct";
+    Engine engine(std::move(graph), options);
+    const auto impls = conv_impls(engine);
+    ASSERT_EQ(impls.size(), 2u);
+    EXPECT_EQ(impls[0], "spatial_pack");
+    EXPECT_EQ(impls[1], "direct");
+}
+
+TEST(Selection, UnknownPinFailsAtCompileTime)
+{
+    EngineOptions options;
+    options.backend.forced_impl[op_names::kConv] = "does_not_exist";
+    EXPECT_THROW(Engine(two_conv_graph(), options), Error);
+}
+
+TEST(Selection, DepthwiseDisabledFallsBackToGenericPath)
+{
+    EngineOptions options;
+    options.backend.allow_depthwise_specialization = false;
+    Engine engine(two_conv_graph(), options);
+    const auto impls = conv_impls(engine);
+    ASSERT_EQ(impls.size(), 2u);
+    EXPECT_EQ(impls[0], "im2col_gemm") << "depthwise must take the grouped "
+                                          "GEMM path when specialisation "
+                                          "is disabled";
+}
+
+TEST(Selection, AutoTuneSelectsAndLogsMeasurements)
+{
+    EngineOptions options;
+    options.selection = SelectionStrategy::kAutoTune;
+    options.autotune_runs = 1;
+    Engine engine(two_conv_graph(), options);
+
+    EXPECT_FALSE(engine.autotune_log().empty());
+    for (const auto &[node, measurements] : engine.autotune_log()) {
+        EXPECT_GE(measurements.size(), 2u)
+            << node << " should have timed several candidates";
+        for (const auto &[impl, ms] : measurements)
+            EXPECT_GE(ms, 0.0) << impl;
+    }
+}
+
+TEST(Selection, AutoTuneProducesSameNumericsAsHeuristic)
+{
+    Engine heuristic(two_conv_graph());
+    EngineOptions options;
+    options.selection = SelectionStrategy::kAutoTune;
+    options.autotune_runs = 1;
+    Engine tuned(two_conv_graph(), options);
+
+    Tensor input = make_random(Shape({1, 8, 10, 10}), 0x5e2);
+    expect_close(tuned.run(input), heuristic.run(input), 1e-3f, 1e-3f);
+}
+
+TEST(Selection, StrategyNames)
+{
+    EXPECT_STREQ(to_string(SelectionStrategy::kHeuristic), "heuristic");
+    EXPECT_STREQ(to_string(SelectionStrategy::kAutoTune), "autotune");
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,89 @@
+/** @file Unit tests for Shape. */
+#include "core/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/status.hpp"
+
+namespace orpheus {
+namespace {
+
+TEST(Shape, ScalarDefaults)
+{
+    Shape scalar;
+    EXPECT_EQ(scalar.rank(), 0u);
+    EXPECT_EQ(scalar.numel(), 1);
+    EXPECT_TRUE(scalar.is_fully_defined());
+    EXPECT_TRUE(scalar.strides().empty());
+    EXPECT_EQ(scalar.to_string(), "[]");
+}
+
+TEST(Shape, BasicProperties)
+{
+    Shape shape({1, 3, 224, 224});
+    EXPECT_EQ(shape.rank(), 4u);
+    EXPECT_EQ(shape.numel(), 1 * 3 * 224 * 224);
+    EXPECT_EQ(shape.dim(0), 1);
+    EXPECT_EQ(shape.dim(3), 224);
+    EXPECT_EQ(shape.to_string(), "[1, 3, 224, 224]");
+}
+
+TEST(Shape, NegativeAxisIndexing)
+{
+    Shape shape({2, 3, 5});
+    EXPECT_EQ(shape.dim(-1), 5);
+    EXPECT_EQ(shape.dim(-3), 2);
+    EXPECT_THROW(shape.dim(3), Error);
+    EXPECT_THROW(shape.dim(-4), Error);
+}
+
+TEST(Shape, RowMajorStrides)
+{
+    Shape shape({2, 3, 4});
+    const auto strides = shape.strides();
+    ASSERT_EQ(strides.size(), 3u);
+    EXPECT_EQ(strides[0], 12);
+    EXPECT_EQ(strides[1], 4);
+    EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, ZeroExtentMakesZeroNumel)
+{
+    Shape shape({4, 0, 2});
+    EXPECT_EQ(shape.numel(), 0);
+    EXPECT_FALSE(shape.is_fully_defined());
+}
+
+TEST(Shape, NegativeDimensionRejected)
+{
+    EXPECT_THROW(Shape({1, -2}), Error);
+    EXPECT_THROW(Shape(std::vector<Shape::dim_type>{-1}), Error);
+}
+
+TEST(Shape, SetDimValidates)
+{
+    Shape shape({2, 3});
+    shape.set_dim(1, 7);
+    EXPECT_EQ(shape.dim(1), 7);
+    EXPECT_THROW(shape.set_dim(2, 1), Error);
+    EXPECT_THROW(shape.set_dim(0, -1), Error);
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+    EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+    EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+    EXPECT_EQ(Shape{}, Shape{});
+}
+
+TEST(Shape, NormalizeAxis)
+{
+    Shape shape({4, 5, 6});
+    EXPECT_EQ(shape.normalize_axis(0), 0);
+    EXPECT_EQ(shape.normalize_axis(-1), 2);
+    EXPECT_THROW(shape.normalize_axis(3), Error);
+}
+
+} // namespace
+} // namespace orpheus

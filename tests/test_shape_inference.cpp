@@ -1,0 +1,322 @@
+/** @file Unit tests for static shape inference. */
+#include "graph/shape_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/op_params.hpp"
+
+namespace orpheus {
+namespace {
+
+/** Convenience: builds attrs for a square-kernel conv. */
+AttributeMap
+conv_attrs(std::int64_t k, std::int64_t s, std::int64_t p,
+           std::int64_t group = 1, std::int64_t dilation = 1)
+{
+    AttributeMap attrs;
+    attrs.set("kernel_shape", std::vector<std::int64_t>{k, k});
+    attrs.set("strides", std::vector<std::int64_t>{s, s});
+    attrs.set("pads", std::vector<std::int64_t>{p, p, p, p});
+    attrs.set("dilations", std::vector<std::int64_t>{dilation, dilation});
+    attrs.set("group", group);
+    return attrs;
+}
+
+TEST(ShapeInference, ConvBasic)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({1, 3, 32, 32}));
+    graph.add_initializer("w", Tensor(Shape({16, 3, 3, 3})));
+    graph.add_node(op_names::kConv, {"x", "w"}, {"y"}, conv_attrs(3, 1, 1));
+    graph.add_output("y");
+
+    const auto infos = infer_shapes(graph);
+    EXPECT_EQ(infos.at("y").shape, Shape({1, 16, 32, 32}));
+}
+
+TEST(ShapeInference, ConvStridePadDilation)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({2, 8, 56, 56}));
+    graph.add_initializer("w", Tensor(Shape({8, 8, 3, 3})));
+    graph.add_node(op_names::kConv, {"x", "w"}, {"y"},
+                   conv_attrs(3, 2, 1, 1, 2));
+    graph.add_output("y");
+
+    // Dilated kernel extent = 5; out = (56 + 2 - 5)/2 + 1 = 27.
+    const auto infos = infer_shapes(graph);
+    EXPECT_EQ(infos.at("y").shape, Shape({2, 8, 27, 27}));
+}
+
+TEST(ShapeInference, ConvGrouped)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({1, 32, 14, 14}));
+    graph.add_initializer("w", Tensor(Shape({32, 1, 3, 3})));
+    graph.add_node(op_names::kConv, {"x", "w"}, {"y"},
+                   conv_attrs(3, 1, 1, /*group=*/32));
+    graph.add_output("y");
+    const auto infos = infer_shapes(graph);
+    EXPECT_EQ(infos.at("y").shape, Shape({1, 32, 14, 14}));
+}
+
+TEST(ShapeInference, ConvChannelMismatchRejected)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({1, 4, 8, 8}));
+    graph.add_initializer("w", Tensor(Shape({8, 3, 3, 3})));
+    graph.add_node(op_names::kConv, {"x", "w"}, {"y"}, conv_attrs(3, 1, 1));
+    graph.add_output("y");
+    EXPECT_THROW(infer_shapes(graph), Error);
+}
+
+TEST(ShapeInference, ConvBiasLengthChecked)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({1, 3, 8, 8}));
+    graph.add_initializer("w", Tensor(Shape({8, 3, 3, 3})));
+    graph.add_initializer("b", Tensor(Shape({4})));
+    graph.add_node(op_names::kConv, {"x", "w", "b"}, {"y"},
+                   conv_attrs(3, 1, 1));
+    graph.add_output("y");
+    EXPECT_THROW(infer_shapes(graph), Error);
+}
+
+TEST(ShapeInference, MaxPoolFloorAndCeil)
+{
+    for (const bool ceil_mode : {false, true}) {
+        Graph graph("g");
+        graph.add_input("x", Shape({1, 4, 7, 7}));
+        AttributeMap attrs;
+        attrs.set("kernel_shape", std::vector<std::int64_t>{2, 2});
+        attrs.set("strides", std::vector<std::int64_t>{2, 2});
+        attrs.set("ceil_mode",
+                  static_cast<std::int64_t>(ceil_mode ? 1 : 0));
+        graph.add_node(op_names::kMaxPool, {"x"}, {"y"}, std::move(attrs));
+        graph.add_output("y");
+        const auto infos = infer_shapes(graph);
+        const Shape::dim_type expected = ceil_mode ? 4 : 3;
+        EXPECT_EQ(infos.at("y").shape, Shape({1, 4, expected, expected}))
+            << "ceil_mode=" << ceil_mode;
+    }
+}
+
+TEST(ShapeInference, GlobalAveragePool)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({2, 10, 9, 9}));
+    graph.add_node(op_names::kGlobalAveragePool, {"x"}, {"y"});
+    graph.add_output("y");
+    EXPECT_EQ(infer_shapes(graph).at("y").shape, Shape({2, 10, 1, 1}));
+}
+
+TEST(ShapeInference, GemmWithTransposeFlags)
+{
+    Graph graph("g");
+    graph.add_input("a", Shape({4, 8}));
+    graph.add_initializer("b", Tensor(Shape({16, 8})));
+    AttributeMap attrs;
+    attrs.set("transB", std::int64_t{1});
+    graph.add_node(op_names::kGemm, {"a", "b"}, {"y"}, std::move(attrs));
+    graph.add_output("y");
+    EXPECT_EQ(infer_shapes(graph).at("y").shape, Shape({4, 16}));
+}
+
+TEST(ShapeInference, GemmInnerDimMismatch)
+{
+    Graph graph("g");
+    graph.add_input("a", Shape({4, 8}));
+    graph.add_initializer("b", Tensor(Shape({9, 16})));
+    graph.add_node(op_names::kGemm, {"a", "b"}, {"y"});
+    graph.add_output("y");
+    EXPECT_THROW(infer_shapes(graph), Error);
+}
+
+TEST(ShapeInference, FlattenAxes)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({2, 3, 4, 5}));
+    AttributeMap attrs;
+    attrs.set("axis", std::int64_t{2});
+    graph.add_node(op_names::kFlatten, {"x"}, {"y"}, std::move(attrs));
+    graph.add_output("y");
+    EXPECT_EQ(infer_shapes(graph).at("y").shape, Shape({6, 20}));
+}
+
+TEST(ShapeInference, ReshapeWithWildcardAndZero)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({2, 3, 4}));
+    graph.add_initializer("shape", Tensor::from_int64s({0, -1}));
+    graph.add_node(op_names::kReshape, {"x", "shape"}, {"y"});
+    graph.add_output("y");
+    EXPECT_EQ(infer_shapes(graph).at("y").shape, Shape({2, 12}));
+}
+
+TEST(ShapeInference, ReshapeRequiresConstantShape)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({2, 3}));
+    graph.add_input("shape", Shape({2}), DataType::kInt64);
+    graph.add_node(op_names::kReshape, {"x", "shape"}, {"y"});
+    graph.add_output("y");
+    EXPECT_THROW(infer_shapes(graph), Error);
+}
+
+TEST(ShapeInference, AddBroadcast)
+{
+    Graph graph("g");
+    graph.add_input("a", Shape({2, 3, 4}));
+    graph.add_initializer("b", Tensor(Shape({3, 1})));
+    graph.add_node(op_names::kAdd, {"a", "b"}, {"y"});
+    graph.add_output("y");
+    EXPECT_EQ(infer_shapes(graph).at("y").shape, Shape({2, 3, 4}));
+}
+
+TEST(ShapeInference, AddIncompatibleBroadcast)
+{
+    Graph graph("g");
+    graph.add_input("a", Shape({2, 3}));
+    graph.add_initializer("b", Tensor(Shape({4})));
+    graph.add_node(op_names::kAdd, {"a", "b"}, {"y"});
+    graph.add_output("y");
+    EXPECT_THROW(infer_shapes(graph), Error);
+}
+
+TEST(ShapeInference, ConcatSumsAxis)
+{
+    Graph graph("g");
+    graph.add_input("a", Shape({1, 3, 8, 8}));
+    graph.add_input("b", Shape({1, 5, 8, 8}));
+    AttributeMap attrs;
+    attrs.set("axis", std::int64_t{1});
+    graph.add_node(op_names::kConcat, {"a", "b"}, {"y"}, std::move(attrs));
+    graph.add_output("y");
+    EXPECT_EQ(infer_shapes(graph).at("y").shape, Shape({1, 8, 8, 8}));
+}
+
+TEST(ShapeInference, ConcatMismatchedOtherAxes)
+{
+    Graph graph("g");
+    graph.add_input("a", Shape({1, 3, 8, 8}));
+    graph.add_input("b", Shape({1, 5, 9, 8}));
+    AttributeMap attrs;
+    attrs.set("axis", std::int64_t{1});
+    graph.add_node(op_names::kConcat, {"a", "b"}, {"y"}, std::move(attrs));
+    graph.add_output("y");
+    EXPECT_THROW(infer_shapes(graph), Error);
+}
+
+TEST(ShapeInference, BatchNormPreservesShape)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({1, 6, 4, 4}));
+    for (const char *param : {"gamma", "beta", "mean", "var"})
+        graph.add_initializer(param, Tensor(Shape({6})));
+    graph.add_node(op_names::kBatchNormalization,
+                   {"x", "gamma", "beta", "mean", "var"}, {"y"});
+    graph.add_output("y");
+    EXPECT_EQ(infer_shapes(graph).at("y").shape, Shape({1, 6, 4, 4}));
+}
+
+TEST(ShapeInference, PadExtendsDims)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({1, 2, 4, 4}));
+    AttributeMap attrs;
+    attrs.set("pads", std::vector<std::int64_t>{0, 0, 1, 2, 0, 0, 3, 4});
+    graph.add_node(op_names::kPad, {"x"}, {"y"}, std::move(attrs));
+    graph.add_output("y");
+    EXPECT_EQ(infer_shapes(graph).at("y").shape, Shape({1, 2, 8, 10}));
+}
+
+TEST(ShapeInference, ReduceMeanKeepdims)
+{
+    for (const bool keepdims : {true, false}) {
+        Graph graph("g");
+        graph.add_input("x", Shape({2, 3, 4, 5}));
+        AttributeMap attrs;
+        attrs.set("axes", std::vector<std::int64_t>{2, 3});
+        attrs.set("keepdims",
+                  static_cast<std::int64_t>(keepdims ? 1 : 0));
+        graph.add_node(op_names::kReduceMean, {"x"}, {"y"},
+                       std::move(attrs));
+        graph.add_output("y");
+        const Shape expected =
+            keepdims ? Shape({2, 3, 1, 1}) : Shape({2, 3});
+        EXPECT_EQ(infer_shapes(graph).at("y").shape, expected);
+    }
+}
+
+TEST(ShapeInference, UnknownOpRejected)
+{
+    Graph graph("g");
+    graph.add_input("x", Shape({1}));
+    graph.add_node("FancyNewOp", {"x"}, {"y"});
+    graph.add_output("y");
+    EXPECT_THROW(infer_shapes(graph), Error);
+}
+
+TEST(ShapeInference, CustomRuleCanBeRegistered)
+{
+    register_shape_inference_rule(
+        "DoubleWidth", [](const ShapeInferenceContext &ctx) {
+            Shape out = ctx.input(0).shape;
+            out.set_dim(static_cast<int>(out.rank()) - 1,
+                        out.dim(-1) * 2);
+            return std::vector<ValueInfo>{
+                ValueInfo{"", ctx.input(0).dtype, out}};
+        });
+    EXPECT_TRUE(has_shape_inference_rule("DoubleWidth"));
+
+    Graph graph("g");
+    graph.add_input("x", Shape({1, 4}));
+    graph.add_node("DoubleWidth", {"x"}, {"y"});
+    graph.add_output("y");
+    EXPECT_EQ(infer_shapes(graph).at("y").shape, Shape({1, 8}));
+}
+
+TEST(OpParams, ConvDefaultsFromWeightShape)
+{
+    AttributeMap attrs;
+    const Conv2dParams p =
+        Conv2dParams::from_attrs(attrs, Shape({8, 4, 5, 3}));
+    EXPECT_EQ(p.kernel_h, 5);
+    EXPECT_EQ(p.kernel_w, 3);
+    EXPECT_EQ(p.stride_h, 1);
+    EXPECT_EQ(p.group, 1);
+    EXPECT_EQ(p.out_h(10), 6);
+    EXPECT_EQ(p.out_w(10), 8);
+}
+
+TEST(OpParams, RoundTripThroughAttrs)
+{
+    Conv2dParams p;
+    p.kernel_h = 3;
+    p.kernel_w = 1;
+    p.stride_h = 2;
+    p.stride_w = 2;
+    p.pad_top = 1;
+    p.pad_bottom = 0;
+    p.group = 4;
+    AttributeMap attrs;
+    p.to_attrs(attrs);
+    const Conv2dParams q = Conv2dParams::from_attrs(attrs, Shape());
+    EXPECT_EQ(q.kernel_h, 3);
+    EXPECT_EQ(q.kernel_w, 1);
+    EXPECT_EQ(q.stride_h, 2);
+    EXPECT_EQ(q.pad_top, 1);
+    EXPECT_EQ(q.pad_bottom, 0);
+    EXPECT_EQ(q.group, 4);
+}
+
+TEST(OpParams, WindowLargerThanInputRejected)
+{
+    AttributeMap attrs;
+    attrs.set("kernel_shape", std::vector<std::int64_t>{7, 7});
+    const Pool2dParams p = Pool2dParams::from_attrs(attrs);
+    EXPECT_THROW(p.out_h(4), Error);
+}
+
+} // namespace
+} // namespace orpheus

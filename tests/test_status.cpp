@@ -1,0 +1,101 @@
+/** @file Unit tests for Status / Error / ORPHEUS_CHECK. */
+#include "core/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orpheus {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status status;
+    EXPECT_TRUE(status.is_ok());
+    EXPECT_TRUE(static_cast<bool>(status));
+    EXPECT_EQ(status.code(), StatusCode::kOk);
+    EXPECT_EQ(status.to_string(), "OK");
+    EXPECT_NO_THROW(status.throw_if_error());
+}
+
+TEST(Status, NamedOkFactory)
+{
+    EXPECT_TRUE(Status::ok().is_ok());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    const Status status = invalid_argument_error("bad shape");
+    EXPECT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(status.message(), "bad shape");
+    EXPECT_EQ(status.to_string(), "InvalidArgument: bad shape");
+}
+
+TEST(Status, ThrowIfErrorThrowsWithMessage)
+{
+    const Status status = not_found_error("missing file");
+    try {
+        status.throw_if_error();
+        FAIL() << "expected orpheus::Error";
+    } catch (const Error &error) {
+        EXPECT_NE(std::string(error.what()).find("missing file"),
+                  std::string::npos);
+    }
+}
+
+TEST(Status, AllFactoriesMapToTheirCodes)
+{
+    EXPECT_EQ(invalid_argument_error("x").code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(not_found_error("x").code(), StatusCode::kNotFound);
+    EXPECT_EQ(unimplemented_error("x").code(), StatusCode::kUnimplemented);
+    EXPECT_EQ(out_of_range_error("x").code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(failed_precondition_error("x").code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(internal_error("x").code(), StatusCode::kInternal);
+    EXPECT_EQ(parse_error("x").code(), StatusCode::kParseError);
+}
+
+TEST(Status, CodeNames)
+{
+    EXPECT_STREQ(to_string(StatusCode::kOk), "OK");
+    EXPECT_STREQ(to_string(StatusCode::kParseError), "ParseError");
+    EXPECT_STREQ(to_string(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(Check, PassingConditionDoesNotThrow)
+{
+    EXPECT_NO_THROW(ORPHEUS_CHECK(1 + 1 == 2, "math broke"));
+}
+
+TEST(Check, FailingConditionThrowsWithContext)
+{
+    try {
+        const int got = 3;
+        ORPHEUS_CHECK(got == 2, "expected 2, got " << got);
+        FAIL() << "expected orpheus::Error";
+    } catch (const Error &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("expected 2, got 3"), std::string::npos);
+        EXPECT_NE(what.find("got == 2"), std::string::npos)
+            << "message should quote the failed condition: " << what;
+    }
+}
+
+TEST(Check, ReturnIfErrorPropagates)
+{
+    const auto fails = [] { return internal_error("inner"); };
+    const auto outer = [&]() -> Status {
+        ORPHEUS_RETURN_IF_ERROR(fails());
+        return Status::ok();
+    };
+    EXPECT_EQ(outer().code(), StatusCode::kInternal);
+
+    const auto succeeds = []() -> Status {
+        ORPHEUS_RETURN_IF_ERROR(Status::ok());
+        return internal_error("reached end");
+    };
+    EXPECT_EQ(succeeds().code(), StatusCode::kInternal);
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,192 @@
+/** @file Round-trip and error tests for the .orpht text model format. */
+#include "graph/text_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "runtime/engine.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::make_random;
+
+Graph
+round_trip(const Graph &graph)
+{
+    const std::string text = to_text(graph);
+    Graph imported;
+    const Status status = from_text(text, imported);
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+    return imported;
+}
+
+TEST(TextFormat, HeaderAndStructure)
+{
+    const std::string text = to_text(models::tiny_mlp());
+    EXPECT_EQ(text.rfind("orpheus-text 1", 0), 0u)
+        << "file must start with the magic header";
+    EXPECT_NE(text.find("graph tiny-mlp"), std::string::npos);
+    EXPECT_NE(text.find("node "), std::string::npos);
+    EXPECT_NE(text.find("attr_int transB 1"), std::string::npos);
+}
+
+TEST(TextFormat, StructuralRoundTrip)
+{
+    const Graph original = models::tiny_cnn();
+    const Graph imported = round_trip(original);
+    EXPECT_EQ(imported.name(), original.name());
+    EXPECT_EQ(imported.nodes().size(), original.nodes().size());
+    EXPECT_EQ(imported.initializers().size(),
+              original.initializers().size());
+    EXPECT_EQ(imported.inputs().size(), original.inputs().size());
+    EXPECT_EQ(imported.outputs().size(), original.outputs().size());
+    EXPECT_NO_THROW(imported.validate());
+}
+
+TEST(TextFormat, WeightsAreBitExact)
+{
+    const Graph original = models::tiny_mlp();
+    const Graph imported = round_trip(original);
+    for (const auto &[name, tensor] : original.initializers()) {
+        ASSERT_TRUE(imported.has_initializer(name)) << name;
+        const Tensor &restored = imported.initializer(name);
+        ASSERT_EQ(restored.byte_size(), tensor.byte_size());
+        EXPECT_EQ(std::memcmp(restored.raw_data(), tensor.raw_data(),
+                              tensor.byte_size()),
+                  0)
+            << name;
+    }
+}
+
+TEST(TextFormat, InferenceIdenticalAfterRoundTrip)
+{
+    Graph original = models::tiny_cnn();
+    Graph imported = round_trip(original);
+    Engine engine_a(std::move(original));
+    Engine engine_b(std::move(imported));
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0x7f0);
+    EXPECT_EQ(max_abs_diff(engine_a.run(input), engine_b.run(input)),
+              0.0f);
+}
+
+TEST(TextFormat, AllAttributeKindsSurvive)
+{
+    Graph graph("attrs");
+    graph.add_input("x", Shape({1, 4}));
+    AttributeMap attrs;
+    attrs.set("an_int", std::int64_t{-7});
+    attrs.set("a_float", 0.1f); // Not exactly representable in decimal.
+    attrs.set("a_string", "hello world with spaces");
+    attrs.set("some_ints", std::vector<std::int64_t>{1, -2, 3});
+    attrs.set("some_floats", std::vector<float>{0.5f, -0.25f, 1e-20f});
+    attrs.set("a_tensor", Tensor::from_values(Shape({2}), {8.5f, -9.25f}));
+    graph.add_node(op_names::kIdentity, {"x"}, {"y"}, std::move(attrs));
+    graph.add_output("y");
+
+    const Graph imported = round_trip(graph);
+    const Node &node = imported.nodes().front();
+    EXPECT_EQ(node.attrs().get_int("an_int", 0), -7);
+    EXPECT_EQ(node.attrs().get_float("a_float", 0), 0.1f)
+        << "max_digits10 decimal round trip must be exact";
+    EXPECT_EQ(node.attrs().get_string("a_string", ""),
+              "hello world with spaces");
+    EXPECT_EQ(node.attrs().get_ints("some_ints", {}),
+              (std::vector<std::int64_t>{1, -2, 3}));
+    EXPECT_EQ(node.attrs().get_floats("some_floats", {}),
+              (std::vector<float>{0.5f, -0.25f, 1e-20f}));
+    EXPECT_EQ(node.attrs().at("a_tensor").as_tensor().data<float>()[1],
+              -9.25f);
+}
+
+TEST(TextFormat, OptionalInputPlaceholder)
+{
+    Graph graph("optional");
+    graph.add_input("x", Shape({1, 1, 4, 4}));
+    graph.add_initializer("w", Tensor(Shape({1, 1, 3, 3})));
+    AttributeMap attrs;
+    attrs.set("kernel_shape", std::vector<std::int64_t>{3, 3});
+    attrs.set("pads", std::vector<std::int64_t>{1, 1, 1, 1});
+    graph.add_node(op_names::kConv, {"x", "w", ""}, {"y"},
+                   std::move(attrs));
+    graph.add_output("y");
+
+    const std::string text = to_text(graph);
+    EXPECT_NE(text.find(" _"), std::string::npos)
+        << "empty optional input must serialise as _";
+    const Graph imported = round_trip(graph);
+    EXPECT_FALSE(imported.nodes().front().has_input(2));
+}
+
+TEST(TextFormat, CommentsAndBlankLinesIgnored)
+{
+    std::string text = to_text(models::tiny_mlp());
+    text.insert(text.find('\n') + 1,
+                "# a comment\n\n# another comment\r\n");
+    Graph imported;
+    EXPECT_TRUE(from_text(text, imported).is_ok());
+}
+
+TEST(TextFormat, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/orpheus_model.orpht";
+    const Graph original = models::tiny_mlp();
+    ASSERT_TRUE(save_text_file(original, path).is_ok());
+
+    Graph imported;
+    const Status status = load_text_file(path, imported);
+    ASSERT_TRUE(status.is_ok()) << status.to_string();
+    EXPECT_EQ(imported.nodes().size(), original.nodes().size());
+    std::remove(path.c_str());
+
+    EXPECT_EQ(load_text_file("/no/such/file.orpht", imported).code(),
+              StatusCode::kNotFound);
+}
+
+TEST(TextFormat, MalformedInputsRejected)
+{
+    Graph out;
+    EXPECT_EQ(from_text("", out).code(), StatusCode::kParseError);
+    EXPECT_EQ(from_text("not-orpheus 1\n", out).code(),
+              StatusCode::kParseError);
+    EXPECT_EQ(from_text("orpheus-text 99\n", out).code(),
+              StatusCode::kParseError);
+    EXPECT_EQ(from_text("orpheus-text 1\nbogus record\n", out).code(),
+              StatusCode::kParseError);
+    EXPECT_EQ(
+        from_text("orpheus-text 1\nnode n Relu\ninputs x\noutputs y\n",
+                  out)
+            .code(),
+        StatusCode::kParseError)
+        << "unterminated node must be rejected";
+    EXPECT_EQ(from_text("orpheus-text 1\ninitializer w float32 [2]\n"
+                        "data zz\n",
+                        out)
+                  .code(),
+              StatusCode::kParseError)
+        << "bad hex must be rejected";
+}
+
+TEST(TextFormat, QuantizedGraphRoundTrips)
+{
+    // Mixed-dtype graphs (uint8/int8/int32 initializers) survive.
+    Graph graph("q");
+    graph.add_input("x", Shape({1, 2}));
+    Tensor zp(Shape{}, DataType::kUInt8);
+    *zp.data<std::uint8_t>() = 3;
+    graph.add_initializer("zp", std::move(zp));
+    Tensor w(Shape({2}), DataType::kInt8);
+    w.data<std::int8_t>()[0] = -5;
+    w.data<std::int8_t>()[1] = 7;
+    graph.add_initializer("w", std::move(w));
+    graph.add_node(op_names::kIdentity, {"x"}, {"y"});
+    graph.add_output("y");
+
+    const Graph imported = round_trip(graph);
+    EXPECT_EQ(*imported.initializer("zp").data<std::uint8_t>(), 3);
+    EXPECT_EQ(imported.initializer("w").data<std::int8_t>()[0], -5);
+}
+
+} // namespace
+} // namespace orpheus

@@ -1,0 +1,131 @@
+/** @file Unit tests for the thread pool and parallel_for. */
+#include "core/threadpool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/status.hpp"
+
+namespace orpheus {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.num_threads(), 1);
+    std::vector<int> hits(10, 0);
+    pool.parallel_for(10, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+            ++hits[static_cast<std::size_t>(i)];
+    });
+    for (int hit : hits)
+        EXPECT_EQ(hit, 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::int64_t count = 1000;
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for(count, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(ThreadPool, MoreThreadsThanWork)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallel_for(3, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndNegativeCountAreNoops)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallel_for(0, [&](std::int64_t, std::int64_t) { ++calls; });
+    pool.parallel_for(-5, [&](std::int64_t, std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::int64_t> sum{0};
+        pool.parallel_for(100, [&](std::int64_t begin, std::int64_t end) {
+            std::int64_t local = 0;
+            for (std::int64_t i = begin; i < end; ++i)
+                local += i;
+            sum.fetch_add(local);
+        });
+        EXPECT_EQ(sum.load(), 99 * 100 / 2);
+    }
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial)
+{
+    std::vector<double> data(4096);
+    std::iota(data.begin(), data.end(), 1.0);
+
+    ThreadPool pool(4);
+    std::atomic<std::int64_t> partials{0};
+    std::mutex merge_mutex;
+    double parallel_sum = 0.0;
+    pool.parallel_for(static_cast<std::int64_t>(data.size()),
+                      [&](std::int64_t begin, std::int64_t end) {
+                          double local = 0.0;
+                          for (std::int64_t i = begin; i < end; ++i)
+                              local += data[static_cast<std::size_t>(i)];
+                          std::lock_guard<std::mutex> lock(merge_mutex);
+                          parallel_sum += local;
+                          partials.fetch_add(1);
+                      });
+    EXPECT_DOUBLE_EQ(parallel_sum,
+                     std::accumulate(data.begin(), data.end(), 0.0));
+    EXPECT_LE(partials.load(), 4);
+}
+
+TEST(GlobalThreadPool, DefaultsToSingleThread)
+{
+    // The paper's evaluation configuration: 1 thread unless overridden.
+    set_global_num_threads(1);
+    EXPECT_EQ(global_num_threads(), 1);
+    EXPECT_EQ(global_thread_pool().num_threads(), 1);
+}
+
+TEST(GlobalThreadPool, ResizeRebuildsPool)
+{
+    set_global_num_threads(3);
+    EXPECT_EQ(global_thread_pool().num_threads(), 3);
+    set_global_num_threads(1);
+    EXPECT_EQ(global_thread_pool().num_threads(), 1);
+    EXPECT_THROW(set_global_num_threads(0), Error);
+}
+
+TEST(GlobalThreadPool, FreeFunctionParallelFor)
+{
+    set_global_num_threads(2);
+    std::vector<std::atomic<int>> hits(64);
+    parallel_for(64, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+    set_global_num_threads(1);
+}
+
+} // namespace
+} // namespace orpheus

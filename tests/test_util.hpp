@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the Orpheus test suite.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace orpheus::testing {
+
+/** Deterministic random fp32 tensor. */
+inline Tensor
+make_random(Shape shape, std::uint64_t seed = 0x7e57, float lo = -1.0f,
+            float hi = 1.0f)
+{
+    Rng rng(seed);
+    return random_tensor(std::move(shape), rng, lo, hi);
+}
+
+/** EXPECT that two fp32 tensors agree within tolerance, with context. */
+inline void
+expect_close(const Tensor &actual, const Tensor &expected, float atol = 1e-4f,
+             float rtol = 1e-3f)
+{
+    ASSERT_EQ(actual.shape(), expected.shape())
+        << "shape mismatch: " << actual.shape() << " vs "
+        << expected.shape();
+    EXPECT_TRUE(all_close(actual, expected, atol, rtol))
+        << "max |diff| = " << max_abs_diff(actual, expected);
+}
+
+} // namespace orpheus::testing

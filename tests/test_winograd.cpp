@@ -1,0 +1,114 @@
+/** @file Correctness tests for the Winograd F(2x2,3x3) kernel. */
+#include "ops/conv/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+struct WinogradCase {
+    std::string label;
+    std::int64_t batch, in_c, h, w, out_c, pad;
+    bool bias;
+};
+
+class WinogradVsDirect : public ::testing::TestWithParam<WinogradCase>
+{
+};
+
+TEST_P(WinogradVsDirect, Matches)
+{
+    const WinogradCase &c = GetParam();
+    Conv2dParams p;
+    p.kernel_h = p.kernel_w = 3;
+    p.pad_top = p.pad_left = p.pad_bottom = p.pad_right = c.pad;
+
+    Tensor input = make_random(Shape({c.batch, c.in_c, c.h, c.w}), 0xa0);
+    Tensor weight = make_random(Shape({c.out_c, c.in_c, 3, 3}), 0xa1);
+    Tensor bias = make_random(Shape({c.out_c}), 0xa2);
+    const Tensor *bias_ptr = c.bias ? &bias : nullptr;
+
+    const Shape out_shape(
+        {c.batch, c.out_c, p.out_h(c.h), p.out_w(c.w)});
+    Tensor expected(out_shape), actual(out_shape);
+    conv2d(ConvAlgo::kDirect, input, weight, bias_ptr, p,
+           ActivationSpec::none(), expected);
+    conv2d(ConvAlgo::kWinograd, input, weight, bias_ptr, p,
+           ActivationSpec::none(), actual);
+    // Winograd reassociates heavily; tolerance scales with channel count.
+    expect_close(actual, expected, 1e-3f, 2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WinogradVsDirect,
+    ::testing::Values(
+        WinogradCase{"even", 1, 4, 8, 8, 8, 1, true},
+        WinogradCase{"odd_extent", 1, 4, 7, 7, 4, 1, true},
+        WinogradCase{"no_pad", 1, 3, 10, 10, 5, 0, false},
+        WinogradCase{"rect", 1, 2, 6, 12, 3, 1, true},
+        WinogradCase{"batch2", 2, 3, 8, 8, 4, 1, false},
+        WinogradCase{"many_channels", 1, 16, 8, 8, 16, 1, true}),
+    [](const ::testing::TestParamInfo<WinogradCase> &info) {
+        return info.param.label;
+    });
+
+TEST(Winograd, FusedActivationApplied)
+{
+    Conv2dParams p;
+    p.kernel_h = p.kernel_w = 3;
+    p.pad_top = p.pad_left = p.pad_bottom = p.pad_right = 1;
+
+    Tensor input = make_random(Shape({1, 4, 8, 8}), 0xa3);
+    Tensor weight = make_random(Shape({4, 4, 3, 3}), 0xa4);
+    Tensor expected(Shape({1, 4, 8, 8})), actual(Shape({1, 4, 8, 8}));
+    conv2d(ConvAlgo::kDirect, input, weight, nullptr, p,
+           ActivationSpec::relu(), expected);
+    conv2d(ConvAlgo::kWinograd, input, weight, nullptr, p,
+           ActivationSpec::relu(), actual);
+    expect_close(actual, expected, 1e-3f, 2e-3f);
+}
+
+TEST(Winograd, SupportPredicate)
+{
+    Conv2dArgs args;
+    args.params.kernel_h = args.params.kernel_w = 3;
+    EXPECT_TRUE(conv2d_winograd_supported(args));
+
+    Conv2dArgs strided = args;
+    strided.params.stride_h = 2;
+    EXPECT_FALSE(conv2d_winograd_supported(strided));
+
+    Conv2dArgs dilated = args;
+    dilated.params.dilation_w = 2;
+    EXPECT_FALSE(conv2d_winograd_supported(dilated));
+
+    Conv2dArgs grouped = args;
+    grouped.params.group = 2;
+    EXPECT_FALSE(conv2d_winograd_supported(grouped));
+
+    Conv2dArgs five = args;
+    five.params.kernel_h = five.params.kernel_w = 5;
+    EXPECT_FALSE(conv2d_winograd_supported(five));
+}
+
+TEST(Winograd, RejectsUnsupportedConfig)
+{
+    Conv2dParams p;
+    p.kernel_h = p.kernel_w = 3;
+    p.stride_h = p.stride_w = 2;
+
+    Tensor input = make_random(Shape({1, 2, 8, 8}));
+    Tensor weight = make_random(Shape({2, 2, 3, 3}));
+    Tensor output(Shape({1, 2, 3, 3}));
+    EXPECT_THROW(conv2d(ConvAlgo::kWinograd, input, weight, nullptr, p,
+                        ActivationSpec::none(), output),
+                 Error);
+}
+
+} // namespace
+} // namespace orpheus

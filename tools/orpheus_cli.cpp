@@ -1,0 +1,291 @@
+/**
+ * @file
+ * orpheus — command-line front end to the framework.
+ *
+ * Subcommands:
+ *   list                          zoo models, personalities, kernels
+ *   info    <model>               plan summary + footprint
+ *   run     <model> [options]     timed inference
+ *   compare <model> [options]     all framework personalities
+ *   convert <model> <out.onnx>    export a zoo model to ONNX
+ *   quantize <model> <out.onnx>   int8 PTQ, then export
+ *
+ * <model> is a zoo name (resnet-18, ...) or a path to an .onnx file.
+ * Common options:
+ *   --personality <p>   orpheus | tvm | pytorch | darknet | tflite
+ *   --threads <n>       inference threads (default 1, the paper setup)
+ *   --runs <n>          timed repetitions (default 5)
+ *   --profile           print the per-layer profile after running
+ *   --autotune          measure every kernel candidate per node
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/threadpool.hpp"
+#include "eval/experiment.hpp"
+#include "eval/layer_bench.hpp"
+#include "eval/personalities.hpp"
+#include "models/model_zoo.hpp"
+#include "onnx/exporter.hpp"
+#include "graph/text_format.hpp"
+#include "onnx/importer.hpp"
+#include "quant/quantizer.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using namespace orpheus;
+
+struct CliOptions {
+    std::string personality = "orpheus";
+    int threads = 1;
+    int runs = 5;
+    bool profile = false;
+    bool autotune = false;
+    std::vector<std::string> positional;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: orpheus <list|info|run|compare|convert|quantize> "
+        "[<model>] [args]\n"
+        "  options: --personality <p> --threads <n> --runs <n> "
+        "--profile --autotune\n");
+    return 2;
+}
+
+CliOptions
+parse_options(int argc, char **argv, int first)
+{
+    CliOptions options;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next_value = [&](const char *flag) {
+            ORPHEUS_CHECK(i + 1 < argc, "missing value for " << flag);
+            return std::string(argv[++i]);
+        };
+        if (arg == "--personality")
+            options.personality = next_value("--personality");
+        else if (arg == "--threads")
+            options.threads = std::stoi(next_value("--threads"));
+        else if (arg == "--runs")
+            options.runs = std::stoi(next_value("--runs"));
+        else if (arg == "--profile")
+            options.profile = true;
+        else if (arg == "--autotune")
+            options.autotune = true;
+        else
+            options.positional.push_back(arg);
+    }
+    return options;
+}
+
+bool
+has_suffix(const std::string &value, const std::string &suffix)
+{
+    return value.size() > suffix.size() &&
+           value.compare(value.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+}
+
+/** Loads a model by zoo name, ONNX path or .orpht text path. */
+Graph
+load_model(const std::string &spec)
+{
+    Graph graph;
+    if (has_suffix(spec, ".onnx")) {
+        import_onnx_file(spec, graph).throw_if_error();
+        return graph;
+    }
+    if (has_suffix(spec, ".orpht")) {
+        load_text_file(spec, graph).throw_if_error();
+        return graph;
+    }
+    return models::by_name(spec);
+}
+
+/** Writes @p graph to @p path by extension (.onnx or .orpht). */
+void
+save_model(const Graph &graph, const std::string &path)
+{
+    if (has_suffix(path, ".orpht"))
+        save_text_file(graph, path).throw_if_error();
+    else
+        export_onnx_file(graph, path).throw_if_error();
+}
+
+EngineOptions
+engine_options(const CliOptions &cli, bool profiling)
+{
+    EngineOptions options = personality_by_name(cli.personality).options;
+    options.enable_profiling = profiling;
+    if (cli.autotune)
+        options.selection = SelectionStrategy::kAutoTune;
+    return options;
+}
+
+int
+cmd_list()
+{
+    std::printf("zoo models:\n");
+    for (const std::string &name : models::zoo_names())
+        std::printf("  %s\n", name.c_str());
+    std::printf("  tiny-cnn\n  tiny-mlp\n");
+
+    std::printf("\nframework personalities:\n");
+    for (const char *name :
+         {"orpheus", "tvm", "pytorch", "darknet", "tflite"}) {
+        const FrameworkPersonality p = personality_by_name(name);
+        std::printf("  %-10s %s\n", name, p.notes.c_str());
+    }
+
+    std::printf("\nregistered kernels:\n");
+    KernelRegistry &registry = KernelRegistry::instance();
+    for (const std::string &op : registry.op_types()) {
+        std::printf("  %-22s", op.c_str());
+        for (const KernelDef *def : registry.kernels(op))
+            std::printf(" %s(%d)", def->impl_name.c_str(), def->priority);
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmd_info(const CliOptions &cli)
+{
+    ORPHEUS_CHECK(!cli.positional.empty(), "info: missing model");
+    Graph graph = load_model(cli.positional[0]);
+
+    std::size_t weight_bytes = 0;
+    std::int64_t parameters = 0;
+    for (const auto &[name, tensor] : graph.initializers()) {
+        (void)name;
+        weight_bytes += tensor.byte_size();
+        parameters += tensor.numel();
+    }
+    std::printf("model: %s\n", graph.name().c_str());
+    std::printf("  nodes: %zu   initializers: %zu   parameters: %lld "
+                "(%.2f MiB)\n",
+                graph.nodes().size(), graph.initializers().size(),
+                static_cast<long long>(parameters),
+                static_cast<double>(weight_bytes) / (1024 * 1024));
+
+    Engine engine(std::move(graph), engine_options(cli, false));
+    std::printf("  plan steps after simplification: %zu\n",
+                engine.steps().size());
+    std::printf("  activation arena: %.2f MiB (no reuse: %.2f MiB)\n\n",
+                static_cast<double>(engine.arena_bytes()) / (1024 * 1024),
+                static_cast<double>(engine.naive_arena_bytes()) /
+                    (1024 * 1024));
+    std::printf("%s", engine.plan_summary().c_str());
+    return 0;
+}
+
+int
+cmd_run(const CliOptions &cli)
+{
+    ORPHEUS_CHECK(!cli.positional.empty(), "run: missing model");
+    const FrameworkPersonality personality =
+        personality_by_name(cli.personality);
+    set_global_num_threads(personality.effective_threads(cli.threads));
+
+    Engine engine(load_model(cli.positional[0]),
+                  engine_options(cli, cli.profile));
+    ExperimentConfig config;
+    config.timed_runs = cli.runs;
+    const ExperimentResult result = time_inference(engine, config);
+    std::printf("%s under %s (%d threads requested): %s\n",
+                engine.graph().name().c_str(), personality.name.c_str(),
+                cli.threads, result.stats.to_string().c_str());
+
+    if (cli.profile) {
+        const auto timings = profile_layers(engine, cli.runs);
+        std::printf("\n%s",
+                    layer_timings_to_string(timings, 25).c_str());
+    }
+    return 0;
+}
+
+int
+cmd_compare(const CliOptions &cli)
+{
+    ORPHEUS_CHECK(!cli.positional.empty(), "compare: missing model");
+    const Graph graph = load_model(cli.positional[0]);
+
+    std::printf("%-16s %12s %12s\n", "personality", "mean ms",
+                "median ms");
+    std::printf("%s\n", std::string(42, '-').c_str());
+    for (const FrameworkPersonality &p : figure2_personalities()) {
+        set_global_num_threads(p.effective_threads(cli.threads));
+        Engine engine{Graph(graph), p.options};
+        ExperimentConfig config;
+        config.timed_runs = cli.runs;
+        const ExperimentResult result = time_inference(engine, config);
+        std::printf("%-16s %12.2f %12.2f\n", p.name.c_str(),
+                    result.stats.mean, result.stats.median);
+    }
+    set_global_num_threads(1);
+    return 0;
+}
+
+int
+cmd_convert(const CliOptions &cli)
+{
+    ORPHEUS_CHECK(cli.positional.size() >= 2,
+                  "convert: need <model> <out.onnx|out.orpht>");
+    const Graph graph = load_model(cli.positional[0]);
+    save_model(graph, cli.positional[1]);
+    std::printf("wrote %s\n", cli.positional[1].c_str());
+    return 0;
+}
+
+int
+cmd_quantize(const CliOptions &cli)
+{
+    ORPHEUS_CHECK(cli.positional.size() >= 2,
+                  "quantize: need <model> <out.onnx>");
+    QuantizationReport report;
+    Graph quantized =
+        quantize_model(load_model(cli.positional[0]), {}, &report);
+    std::printf("quantized %d convs (%d skipped, %d Q/DQ pairs removed)\n",
+                report.quantized_convs, report.skipped_convs,
+                report.removed_quant_pairs);
+    save_model(quantized, cli.positional[1]);
+    std::printf("wrote %s\n", cli.positional[1].c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    try {
+        const CliOptions cli = parse_options(argc, argv, 2);
+        if (command == "list")
+            return cmd_list();
+        if (command == "info")
+            return cmd_info(cli);
+        if (command == "run")
+            return cmd_run(cli);
+        if (command == "compare")
+            return cmd_compare(cli);
+        if (command == "convert")
+            return cmd_convert(cli);
+        if (command == "quantize")
+            return cmd_quantize(cli);
+        return usage();
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}
