@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conv_crossover.dir/bench_conv_crossover.cpp.o"
+  "CMakeFiles/bench_conv_crossover.dir/bench_conv_crossover.cpp.o.d"
+  "bench_conv_crossover"
+  "bench_conv_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conv_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

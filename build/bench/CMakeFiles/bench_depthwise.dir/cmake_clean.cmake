@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depthwise.dir/bench_depthwise.cpp.o"
+  "CMakeFiles/bench_depthwise.dir/bench_depthwise.cpp.o.d"
+  "bench_depthwise"
+  "bench_depthwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depthwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_image.dir/classify_image.cpp.o"
+  "CMakeFiles/classify_image.dir/classify_image.cpp.o.d"
+  "classify_image"
+  "classify_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantize_model.dir/quantize_model.cpp.o"
+  "CMakeFiles/quantize_model.dir/quantize_model.cpp.o.d"
+  "quantize_model"
+  "quantize_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantize_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/kernel_registry.cpp" "src/backend/CMakeFiles/orpheus_backend.dir/kernel_registry.cpp.o" "gcc" "src/backend/CMakeFiles/orpheus_backend.dir/kernel_registry.cpp.o.d"
+  "/root/repo/src/backend/layers/conv_layers.cpp" "src/backend/CMakeFiles/orpheus_backend.dir/layers/conv_layers.cpp.o" "gcc" "src/backend/CMakeFiles/orpheus_backend.dir/layers/conv_layers.cpp.o.d"
+  "/root/repo/src/backend/layers/quant_layers.cpp" "src/backend/CMakeFiles/orpheus_backend.dir/layers/quant_layers.cpp.o" "gcc" "src/backend/CMakeFiles/orpheus_backend.dir/layers/quant_layers.cpp.o.d"
+  "/root/repo/src/backend/layers/simple_layers.cpp" "src/backend/CMakeFiles/orpheus_backend.dir/layers/simple_layers.cpp.o" "gcc" "src/backend/CMakeFiles/orpheus_backend.dir/layers/simple_layers.cpp.o.d"
+  "/root/repo/src/backend/minnl/minnl.cpp" "src/backend/CMakeFiles/orpheus_backend.dir/minnl/minnl.cpp.o" "gcc" "src/backend/CMakeFiles/orpheus_backend.dir/minnl/minnl.cpp.o.d"
+  "/root/repo/src/backend/minnl/minnl_backend.cpp" "src/backend/CMakeFiles/orpheus_backend.dir/minnl/minnl_backend.cpp.o" "gcc" "src/backend/CMakeFiles/orpheus_backend.dir/minnl/minnl_backend.cpp.o.d"
+  "/root/repo/src/backend/register_all.cpp" "src/backend/CMakeFiles/orpheus_backend.dir/register_all.cpp.o" "gcc" "src/backend/CMakeFiles/orpheus_backend.dir/register_all.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/orpheus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/orpheus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/orpheus_ops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

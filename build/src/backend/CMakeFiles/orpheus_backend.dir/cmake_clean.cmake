@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_backend.dir/kernel_registry.cpp.o"
+  "CMakeFiles/orpheus_backend.dir/kernel_registry.cpp.o.d"
+  "CMakeFiles/orpheus_backend.dir/layers/conv_layers.cpp.o"
+  "CMakeFiles/orpheus_backend.dir/layers/conv_layers.cpp.o.d"
+  "CMakeFiles/orpheus_backend.dir/layers/quant_layers.cpp.o"
+  "CMakeFiles/orpheus_backend.dir/layers/quant_layers.cpp.o.d"
+  "CMakeFiles/orpheus_backend.dir/layers/simple_layers.cpp.o"
+  "CMakeFiles/orpheus_backend.dir/layers/simple_layers.cpp.o.d"
+  "CMakeFiles/orpheus_backend.dir/minnl/minnl.cpp.o"
+  "CMakeFiles/orpheus_backend.dir/minnl/minnl.cpp.o.d"
+  "CMakeFiles/orpheus_backend.dir/minnl/minnl_backend.cpp.o"
+  "CMakeFiles/orpheus_backend.dir/minnl/minnl_backend.cpp.o.d"
+  "CMakeFiles/orpheus_backend.dir/register_all.cpp.o"
+  "CMakeFiles/orpheus_backend.dir/register_all.cpp.o.d"
+  "liborpheus_backend.a"
+  "liborpheus_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,4 @@
+src/backend/CMakeFiles/orpheus_backend.dir/minnl/minnl.cpp.o: \
+ /root/repo/src/backend/minnl/minnl.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/backend/../backend/minnl/minnl.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h

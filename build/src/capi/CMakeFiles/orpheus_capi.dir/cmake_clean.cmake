@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_capi.dir/orpheus_c.cpp.o"
+  "CMakeFiles/orpheus_capi.dir/orpheus_c.cpp.o.d"
+  "liborpheus_capi.a"
+  "liborpheus_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

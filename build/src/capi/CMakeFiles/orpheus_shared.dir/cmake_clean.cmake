@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_shared.dir/orpheus_c.cpp.o"
+  "CMakeFiles/orpheus_shared.dir/orpheus_c.cpp.o.d"
+  "liborpheus_c.pdb"
+  "liborpheus_c.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

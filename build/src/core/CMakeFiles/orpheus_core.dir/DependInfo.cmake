@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer.cpp" "src/core/CMakeFiles/orpheus_core.dir/buffer.cpp.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/buffer.cpp.o.d"
+  "/root/repo/src/core/dtype.cpp" "src/core/CMakeFiles/orpheus_core.dir/dtype.cpp.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/dtype.cpp.o.d"
+  "/root/repo/src/core/env.cpp" "src/core/CMakeFiles/orpheus_core.dir/env.cpp.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/env.cpp.o.d"
+  "/root/repo/src/core/logging.cpp" "src/core/CMakeFiles/orpheus_core.dir/logging.cpp.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/logging.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/core/CMakeFiles/orpheus_core.dir/rng.cpp.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/rng.cpp.o.d"
+  "/root/repo/src/core/shape.cpp" "src/core/CMakeFiles/orpheus_core.dir/shape.cpp.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/shape.cpp.o.d"
+  "/root/repo/src/core/status.cpp" "src/core/CMakeFiles/orpheus_core.dir/status.cpp.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/status.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/core/CMakeFiles/orpheus_core.dir/tensor.cpp.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/tensor.cpp.o.d"
+  "/root/repo/src/core/threadpool.cpp" "src/core/CMakeFiles/orpheus_core.dir/threadpool.cpp.o" "gcc" "src/core/CMakeFiles/orpheus_core.dir/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

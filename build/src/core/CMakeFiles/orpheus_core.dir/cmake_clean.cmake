@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_core.dir/buffer.cpp.o"
+  "CMakeFiles/orpheus_core.dir/buffer.cpp.o.d"
+  "CMakeFiles/orpheus_core.dir/dtype.cpp.o"
+  "CMakeFiles/orpheus_core.dir/dtype.cpp.o.d"
+  "CMakeFiles/orpheus_core.dir/env.cpp.o"
+  "CMakeFiles/orpheus_core.dir/env.cpp.o.d"
+  "CMakeFiles/orpheus_core.dir/logging.cpp.o"
+  "CMakeFiles/orpheus_core.dir/logging.cpp.o.d"
+  "CMakeFiles/orpheus_core.dir/rng.cpp.o"
+  "CMakeFiles/orpheus_core.dir/rng.cpp.o.d"
+  "CMakeFiles/orpheus_core.dir/shape.cpp.o"
+  "CMakeFiles/orpheus_core.dir/shape.cpp.o.d"
+  "CMakeFiles/orpheus_core.dir/status.cpp.o"
+  "CMakeFiles/orpheus_core.dir/status.cpp.o.d"
+  "CMakeFiles/orpheus_core.dir/tensor.cpp.o"
+  "CMakeFiles/orpheus_core.dir/tensor.cpp.o.d"
+  "CMakeFiles/orpheus_core.dir/threadpool.cpp.o"
+  "CMakeFiles/orpheus_core.dir/threadpool.cpp.o.d"
+  "liborpheus_core.a"
+  "liborpheus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_eval.dir/experiment.cpp.o"
+  "CMakeFiles/orpheus_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/orpheus_eval.dir/layer_bench.cpp.o"
+  "CMakeFiles/orpheus_eval.dir/layer_bench.cpp.o.d"
+  "CMakeFiles/orpheus_eval.dir/personalities.cpp.o"
+  "CMakeFiles/orpheus_eval.dir/personalities.cpp.o.d"
+  "CMakeFiles/orpheus_eval.dir/statistics.cpp.o"
+  "CMakeFiles/orpheus_eval.dir/statistics.cpp.o.d"
+  "liborpheus_eval.a"
+  "liborpheus_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

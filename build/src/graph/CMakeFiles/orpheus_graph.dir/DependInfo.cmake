@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/attribute.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/attribute.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/attribute.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/node.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/node.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/node.cpp.o.d"
+  "/root/repo/src/graph/op_params.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/op_params.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/op_params.cpp.o.d"
+  "/root/repo/src/graph/passes/constant_folding.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/passes/constant_folding.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/passes/constant_folding.cpp.o.d"
+  "/root/repo/src/graph/passes/eliminate_common_subexpressions.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/passes/eliminate_common_subexpressions.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/passes/eliminate_common_subexpressions.cpp.o.d"
+  "/root/repo/src/graph/passes/eliminate_dead_nodes.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/passes/eliminate_dead_nodes.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/passes/eliminate_dead_nodes.cpp.o.d"
+  "/root/repo/src/graph/passes/eliminate_identity.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/passes/eliminate_identity.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/passes/eliminate_identity.cpp.o.d"
+  "/root/repo/src/graph/passes/fold_batchnorm.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/passes/fold_batchnorm.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/passes/fold_batchnorm.cpp.o.d"
+  "/root/repo/src/graph/passes/fold_pad.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/passes/fold_pad.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/passes/fold_pad.cpp.o.d"
+  "/root/repo/src/graph/passes/fuse_conv_activation.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/passes/fuse_conv_activation.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/passes/fuse_conv_activation.cpp.o.d"
+  "/root/repo/src/graph/passes/pass.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/passes/pass.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/passes/pass.cpp.o.d"
+  "/root/repo/src/graph/shape_inference.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/shape_inference.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/shape_inference.cpp.o.d"
+  "/root/repo/src/graph/text_format.cpp" "src/graph/CMakeFiles/orpheus_graph.dir/text_format.cpp.o" "gcc" "src/graph/CMakeFiles/orpheus_graph.dir/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/orpheus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

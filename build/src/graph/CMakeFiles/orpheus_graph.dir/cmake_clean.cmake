@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_graph.dir/attribute.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/attribute.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/graph.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/node.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/node.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/op_params.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/op_params.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/passes/constant_folding.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/passes/constant_folding.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/passes/eliminate_common_subexpressions.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/passes/eliminate_common_subexpressions.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/passes/eliminate_dead_nodes.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/passes/eliminate_dead_nodes.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/passes/eliminate_identity.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/passes/eliminate_identity.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/passes/fold_batchnorm.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/passes/fold_batchnorm.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/passes/fold_pad.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/passes/fold_pad.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/passes/fuse_conv_activation.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/passes/fuse_conv_activation.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/passes/pass.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/passes/pass.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/shape_inference.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/shape_inference.cpp.o.d"
+  "CMakeFiles/orpheus_graph.dir/text_format.cpp.o"
+  "CMakeFiles/orpheus_graph.dir/text_format.cpp.o.d"
+  "liborpheus_graph.a"
+  "liborpheus_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

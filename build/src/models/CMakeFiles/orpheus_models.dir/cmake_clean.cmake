@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_models.dir/builder.cpp.o"
+  "CMakeFiles/orpheus_models.dir/builder.cpp.o.d"
+  "CMakeFiles/orpheus_models.dir/model_zoo.cpp.o"
+  "CMakeFiles/orpheus_models.dir/model_zoo.cpp.o.d"
+  "liborpheus_models.a"
+  "liborpheus_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/onnx/exporter.cpp" "src/onnx/CMakeFiles/orpheus_onnx.dir/exporter.cpp.o" "gcc" "src/onnx/CMakeFiles/orpheus_onnx.dir/exporter.cpp.o.d"
+  "/root/repo/src/onnx/importer.cpp" "src/onnx/CMakeFiles/orpheus_onnx.dir/importer.cpp.o" "gcc" "src/onnx/CMakeFiles/orpheus_onnx.dir/importer.cpp.o.d"
+  "/root/repo/src/onnx/proto.cpp" "src/onnx/CMakeFiles/orpheus_onnx.dir/proto.cpp.o" "gcc" "src/onnx/CMakeFiles/orpheus_onnx.dir/proto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/orpheus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/orpheus_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

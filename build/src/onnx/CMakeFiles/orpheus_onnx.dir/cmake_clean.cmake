@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_onnx.dir/exporter.cpp.o"
+  "CMakeFiles/orpheus_onnx.dir/exporter.cpp.o.d"
+  "CMakeFiles/orpheus_onnx.dir/importer.cpp.o"
+  "CMakeFiles/orpheus_onnx.dir/importer.cpp.o.d"
+  "CMakeFiles/orpheus_onnx.dir/proto.cpp.o"
+  "CMakeFiles/orpheus_onnx.dir/proto.cpp.o.d"
+  "liborpheus_onnx.a"
+  "liborpheus_onnx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_onnx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/activation.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/activation.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/activation.cpp.o.d"
+  "/root/repo/src/ops/batchnorm.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/batchnorm.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/ops/concat.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/concat.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/concat.cpp.o.d"
+  "/root/repo/src/ops/conv/conv.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv.cpp.o.d"
+  "/root/repo/src/ops/conv/conv_depthwise.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_depthwise.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_depthwise.cpp.o.d"
+  "/root/repo/src/ops/conv/conv_direct.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_direct.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_direct.cpp.o.d"
+  "/root/repo/src/ops/conv/conv_im2col_gemm.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_im2col_gemm.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_im2col_gemm.cpp.o.d"
+  "/root/repo/src/ops/conv/conv_spatial_pack.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_spatial_pack.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_spatial_pack.cpp.o.d"
+  "/root/repo/src/ops/conv/conv_winograd.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_winograd.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/conv/conv_winograd.cpp.o.d"
+  "/root/repo/src/ops/conv/im2col.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/conv/im2col.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/conv/im2col.cpp.o.d"
+  "/root/repo/src/ops/dense.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/dense.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/dense.cpp.o.d"
+  "/root/repo/src/ops/eltwise.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/eltwise.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/eltwise.cpp.o.d"
+  "/root/repo/src/ops/gemm/gemm.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/gemm/gemm.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/gemm/gemm.cpp.o.d"
+  "/root/repo/src/ops/gemm/gemm_blocked.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/gemm/gemm_blocked.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/gemm/gemm_blocked.cpp.o.d"
+  "/root/repo/src/ops/gemm/gemm_naive.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/gemm/gemm_naive.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/gemm/gemm_naive.cpp.o.d"
+  "/root/repo/src/ops/gemm/gemm_packed.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/gemm/gemm_packed.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/gemm/gemm_packed.cpp.o.d"
+  "/root/repo/src/ops/pad.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/pad.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/pad.cpp.o.d"
+  "/root/repo/src/ops/pool.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/pool.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/pool.cpp.o.d"
+  "/root/repo/src/ops/quant/qconv.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/quant/qconv.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/quant/qconv.cpp.o.d"
+  "/root/repo/src/ops/quant/qgemm.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/quant/qgemm.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/quant/qgemm.cpp.o.d"
+  "/root/repo/src/ops/quant/quantize.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/quant/quantize.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/quant/quantize.cpp.o.d"
+  "/root/repo/src/ops/reduce.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/reduce.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/reduce.cpp.o.d"
+  "/root/repo/src/ops/softmax.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/softmax.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/softmax.cpp.o.d"
+  "/root/repo/src/ops/unary.cpp" "src/ops/CMakeFiles/orpheus_ops.dir/unary.cpp.o" "gcc" "src/ops/CMakeFiles/orpheus_ops.dir/unary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/orpheus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/orpheus_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

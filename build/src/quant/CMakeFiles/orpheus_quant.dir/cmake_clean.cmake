@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_quant.dir/calibration.cpp.o"
+  "CMakeFiles/orpheus_quant.dir/calibration.cpp.o.d"
+  "CMakeFiles/orpheus_quant.dir/quantizer.cpp.o"
+  "CMakeFiles/orpheus_quant.dir/quantizer.cpp.o.d"
+  "liborpheus_quant.a"
+  "liborpheus_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/orpheus_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/orpheus_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/memory_planner.cpp" "src/runtime/CMakeFiles/orpheus_runtime.dir/memory_planner.cpp.o" "gcc" "src/runtime/CMakeFiles/orpheus_runtime.dir/memory_planner.cpp.o.d"
+  "/root/repo/src/runtime/profiler.cpp" "src/runtime/CMakeFiles/orpheus_runtime.dir/profiler.cpp.o" "gcc" "src/runtime/CMakeFiles/orpheus_runtime.dir/profiler.cpp.o.d"
+  "/root/repo/src/runtime/selection.cpp" "src/runtime/CMakeFiles/orpheus_runtime.dir/selection.cpp.o" "gcc" "src/runtime/CMakeFiles/orpheus_runtime.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/orpheus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/orpheus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/orpheus_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/orpheus_backend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_runtime.dir/engine.cpp.o"
+  "CMakeFiles/orpheus_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/orpheus_runtime.dir/memory_planner.cpp.o"
+  "CMakeFiles/orpheus_runtime.dir/memory_planner.cpp.o.d"
+  "CMakeFiles/orpheus_runtime.dir/profiler.cpp.o"
+  "CMakeFiles/orpheus_runtime.dir/profiler.cpp.o.d"
+  "CMakeFiles/orpheus_runtime.dir/selection.cpp.o"
+  "CMakeFiles/orpheus_runtime.dir/selection.cpp.o.d"
+  "liborpheus_runtime.a"
+  "liborpheus_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attribute.dir/test_attribute.cpp.o"
+  "CMakeFiles/test_attribute.dir/test_attribute.cpp.o.d"
+  "test_attribute"
+  "test_attribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

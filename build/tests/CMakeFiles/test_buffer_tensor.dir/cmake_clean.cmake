@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_tensor.dir/test_buffer_tensor.cpp.o"
+  "CMakeFiles/test_buffer_tensor.dir/test_buffer_tensor.cpp.o.d"
+  "test_buffer_tensor"
+  "test_buffer_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depthwise.dir/test_depthwise.cpp.o"
+  "CMakeFiles/test_depthwise.dir/test_depthwise.cpp.o.d"
+  "test_depthwise"
+  "test_depthwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depthwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_ops.dir/test_extended_ops.cpp.o"
+  "CMakeFiles/test_extended_ops.dir/test_extended_ops.cpp.o.d"
+  "test_extended_ops"
+  "test_extended_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minnl.dir/test_minnl.cpp.o"
+  "CMakeFiles/test_minnl.dir/test_minnl.cpp.o.d"
+  "test_minnl"
+  "test_minnl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minnl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

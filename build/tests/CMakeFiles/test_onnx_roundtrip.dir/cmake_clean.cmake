@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onnx_roundtrip.dir/test_onnx_roundtrip.cpp.o"
+  "CMakeFiles/test_onnx_roundtrip.dir/test_onnx_roundtrip.cpp.o.d"
+  "test_onnx_roundtrip"
+  "test_onnx_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onnx_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

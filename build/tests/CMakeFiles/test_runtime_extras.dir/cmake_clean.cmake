@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_extras.dir/test_runtime_extras.cpp.o"
+  "CMakeFiles/test_runtime_extras.dir/test_runtime_extras.cpp.o.d"
+  "test_runtime_extras"
+  "test_runtime_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shape_inference.dir/test_shape_inference.cpp.o"
+  "CMakeFiles/test_shape_inference.dir/test_shape_inference.cpp.o.d"
+  "test_shape_inference"
+  "test_shape_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shape_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

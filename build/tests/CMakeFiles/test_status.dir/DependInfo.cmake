@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_status.cpp" "tests/CMakeFiles/test_status.dir/test_status.cpp.o" "gcc" "tests/CMakeFiles/test_status.dir/test_status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/orpheus_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/orpheus_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/onnx/CMakeFiles/orpheus_onnx.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/orpheus_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/orpheus_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/orpheus_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/orpheus_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/orpheus_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/orpheus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/orpheus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

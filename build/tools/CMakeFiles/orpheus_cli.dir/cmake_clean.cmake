@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpheus_cli.dir/orpheus_cli.cpp.o"
+  "CMakeFiles/orpheus_cli.dir/orpheus_cli.cpp.o.d"
+  "orpheus"
+  "orpheus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpheus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
