@@ -38,10 +38,39 @@ Shape::set_dim(int axis, dim_type value)
 Shape::dim_type
 Shape::numel() const
 {
-    dim_type count = 1;
-    for (dim_type d : dims_)
-        count *= d;
+    dim_type count = 0;
+    ORPHEUS_CHECK(checked_numel(dims_, count),
+                  "element count of shape " << *this
+                                            << " overflows int64");
     return count;
+}
+
+bool
+Shape::checked_numel(const std::vector<dim_type> &dims, dim_type &out)
+{
+    dim_type count = 1;
+    for (dim_type d : dims) {
+        if (d < 0)
+            return false;
+        if (__builtin_mul_overflow(count, d, &count))
+            return false;
+    }
+    out = count;
+    return true;
+}
+
+bool
+Shape::checked_byte_size(std::size_t elem_size, std::uint64_t &out) const
+{
+    dim_type count = 0;
+    if (!checked_numel(dims_, count))
+        return false;
+    dim_type bytes = 0;
+    if (__builtin_mul_overflow(count, static_cast<dim_type>(elem_size),
+                               &bytes))
+        return false;
+    out = static_cast<std::uint64_t>(bytes);
+    return true;
 }
 
 bool

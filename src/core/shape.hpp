@@ -41,8 +41,25 @@ class Shape
 
     const std::vector<dim_type> &dims() const { return dims_; }
 
-    /** Total element count (1 for scalars, 0 if any extent is 0). */
+    /** Total element count (1 for scalars, 0 if any extent is 0).
+     *  Throws orpheus::Error if the product overflows int64. */
     dim_type numel() const;
+
+    /**
+     * Overflow-checked element count: multiplies @p dims, returning
+     * false (and leaving @p out untouched) if the product overflows
+     * int64. Hostile model files can encode dim lists whose product
+     * wraps around; every ingestion path must use this before sizing an
+     * allocation.
+     */
+    static bool checked_numel(const std::vector<dim_type> &dims,
+                              dim_type &out);
+
+    /**
+     * Overflow-checked byte size for @p elem_size-byte elements.
+     * Returns false if numel or numel * elem_size overflows int64.
+     */
+    bool checked_byte_size(std::size_t elem_size, std::uint64_t &out) const;
 
     /** True if every extent is strictly positive. */
     bool is_fully_defined() const;

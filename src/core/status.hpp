@@ -30,6 +30,29 @@ class Error : public std::runtime_error
     }
 };
 
+/**
+ * A recoverable error caused by an input exceeding a configured
+ * resource limit (ImportLimits, nesting depth, tensor byte caps).
+ * Non-throwing boundaries map it to StatusCode::kOutOfRange, whereas a
+ * plain Error from a parser maps to kParseError.
+ */
+class LimitError : public Error
+{
+  public:
+    using Error::Error;
+};
+
+/**
+ * A kernel implementation failing at run time (injected by the fault
+ * injector or raised by a misbehaving backend). The engine's fallback
+ * policy catches these and retries the step on the reference kernel.
+ */
+class KernelFault : public Error
+{
+  public:
+    using Error::Error;
+};
+
 /** Machine-inspectable error category carried by Status. */
 enum class StatusCode {
     kOk = 0,

@@ -46,7 +46,11 @@ class Tensor
     std::int64_t numel() const { return shape_.numel(); }
     std::size_t byte_size() const
     {
-        return static_cast<std::size_t>(numel()) * dtype_size(dtype_);
+        std::uint64_t bytes = 0;
+        ORPHEUS_CHECK(shape_.checked_byte_size(dtype_size(dtype_), bytes),
+                      "byte size of tensor " << dtype_ << shape_
+                                             << " overflows int64");
+        return static_cast<std::size_t>(bytes);
     }
 
     /** True if this tensor has backing storage. */

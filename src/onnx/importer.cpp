@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <unordered_set>
 
 #include "core/logging.hpp"
@@ -15,6 +16,9 @@ namespace {
 namespace schema = onnx_schema;
 using proto::Reader;
 using proto::WireType;
+
+/** Importer-wide cap on tensor rank; nothing legitimate gets close. */
+constexpr std::size_t kMaxTensorRank = 256;
 
 DataType
 map_tensor_dtype(std::int64_t onnx_type)
@@ -38,9 +42,57 @@ map_tensor_dtype(std::int64_t onnx_type)
     }
 }
 
+/** Throws LimitError once a repeated field outgrows the tensor cap. */
+template <typename T>
+void
+check_repeated_budget(const std::vector<T> &values, const char *what,
+                      const ImportLimits &limits)
+{
+    if (values.size() * sizeof(T) > limits.max_tensor_bytes) {
+        throw LimitError(std::string("tensor ") + what + " exceeds " +
+                         std::to_string(limits.max_tensor_bytes) +
+                         " bytes (ImportLimits::max_tensor_bytes)");
+    }
+}
+
+/**
+ * Validates attacker-controlled dims and returns the byte size the
+ * tensor will occupy. Rejects negative dims, int64 overflow of the
+ * element/byte product, and sizes beyond max_tensor_bytes — all before
+ * the allocation that would otherwise be undersized or enormous.
+ */
+std::uint64_t
+checked_tensor_bytes(const std::vector<Shape::dim_type> &dims, DataType dtype,
+                     const std::string &name, const ImportLimits &limits)
+{
+    if (dims.size() > kMaxTensorRank)
+        throw LimitError("tensor " + name + " has rank " +
+                         std::to_string(dims.size()) + " (limit " +
+                         std::to_string(kMaxTensorRank) + ")");
+    for (Shape::dim_type d : dims) {
+        if (d < 0)
+            throw Error("tensor " + name + " has negative dimension " +
+                        std::to_string(d));
+    }
+    Shape::dim_type count = 0;
+    if (!Shape::checked_numel(dims, count))
+        throw LimitError("tensor " + name +
+                         ": dimension product overflows int64");
+    Shape::dim_type bytes = 0;
+    if (__builtin_mul_overflow(
+            count, static_cast<Shape::dim_type>(dtype_size(dtype)), &bytes))
+        throw LimitError("tensor " + name + ": byte size overflows int64");
+    if (static_cast<std::uint64_t>(bytes) > limits.max_tensor_bytes)
+        throw LimitError("tensor " + name + " needs " +
+                         std::to_string(bytes) + " bytes (limit " +
+                         std::to_string(limits.max_tensor_bytes) +
+                         ", ImportLimits::max_tensor_bytes)");
+    return static_cast<std::uint64_t>(bytes);
+}
+
 /** Parses one TensorProto; returns its (possibly empty) name. */
 std::string
-parse_tensor(std::string_view bytes, Tensor &out)
+parse_tensor(Reader reader, Tensor &out, const ImportLimits &limits)
 {
     std::vector<Shape::dim_type> dims;
     std::int64_t data_type = 0;
@@ -50,16 +102,20 @@ parse_tensor(std::string_view bytes, Tensor &out)
     std::vector<std::int64_t> int64_data;
     std::vector<std::int32_t> int32_data;
 
-    Reader reader(bytes);
     while (!reader.done()) {
         WireType wire;
         const std::uint32_t field = reader.read_tag(wire);
         switch (field) {
           case schema::kTensorDims:
             if (wire == WireType::kLengthDelimited) {
-                Reader packed(reader.read_bytes());
-                while (!packed.done())
+                Reader packed = reader.sub_reader();
+                while (!packed.done()) {
                     dims.push_back(packed.read_int64());
+                    if (dims.size() > kMaxTensorRank)
+                        throw LimitError(
+                            "tensor dim list exceeds the rank limit of " +
+                            std::to_string(kMaxTensorRank));
+                }
             } else {
                 dims.push_back(reader.read_int64());
             }
@@ -72,31 +128,42 @@ parse_tensor(std::string_view bytes, Tensor &out)
             break;
           case schema::kTensorRawData:
             raw_data = reader.read_bytes();
+            if (raw_data.size() > limits.max_tensor_bytes)
+                throw LimitError("tensor raw_data of " +
+                                 std::to_string(raw_data.size()) +
+                                 " bytes exceeds "
+                                 "ImportLimits::max_tensor_bytes");
             break;
           case schema::kTensorFloatData:
             if (wire == WireType::kLengthDelimited) {
-                Reader packed(reader.read_bytes());
-                while (!packed.done())
+                Reader packed = reader.sub_reader();
+                while (!packed.done()) {
                     float_data.push_back(packed.read_float());
+                    check_repeated_budget(float_data, "float_data", limits);
+                }
             } else {
                 float_data.push_back(reader.read_float());
             }
             break;
           case schema::kTensorInt64Data:
             if (wire == WireType::kLengthDelimited) {
-                Reader packed(reader.read_bytes());
-                while (!packed.done())
+                Reader packed = reader.sub_reader();
+                while (!packed.done()) {
                     int64_data.push_back(packed.read_int64());
+                    check_repeated_budget(int64_data, "int64_data", limits);
+                }
             } else {
                 int64_data.push_back(reader.read_int64());
             }
             break;
           case schema::kTensorInt32Data:
             if (wire == WireType::kLengthDelimited) {
-                Reader packed(reader.read_bytes());
-                while (!packed.done())
+                Reader packed = reader.sub_reader();
+                while (!packed.done()) {
                     int32_data.push_back(
                         static_cast<std::int32_t>(packed.read_int64()));
+                    check_repeated_budget(int32_data, "int32_data", limits);
+                }
             } else {
                 int32_data.push_back(
                     static_cast<std::int32_t>(reader.read_int64()));
@@ -109,8 +176,11 @@ parse_tensor(std::string_view bytes, Tensor &out)
     }
 
     const DataType dtype = map_tensor_dtype(data_type);
+    const std::uint64_t expected_bytes =
+        checked_tensor_bytes(dims, dtype, name, limits);
     Tensor tensor(Shape(dims), dtype);
-    const std::size_t expected_bytes = tensor.byte_size();
+    ORPHEUS_ASSERT(tensor.byte_size() == expected_bytes,
+                   "tensor byte-size mismatch after validation");
 
     if (!raw_data.empty() || tensor.numel() == 0) {
         ORPHEUS_CHECK(raw_data.size() == expected_bytes,
@@ -155,7 +225,7 @@ parse_tensor(std::string_view bytes, Tensor &out)
 
 /** Parses one AttributeProto into (name, Attribute). */
 std::pair<std::string, Attribute>
-parse_attribute(std::string_view bytes)
+parse_attribute(Reader reader, const ImportLimits &limits)
 {
     std::string name;
     schema::AttrType declared_type = schema::AttrType::kUndefined;
@@ -168,7 +238,6 @@ parse_attribute(std::string_view bytes)
     std::vector<std::int64_t> ints;
     bool has_f = false, has_i = false, has_s = false;
 
-    Reader reader(bytes);
     while (!reader.done()) {
         WireType wire;
         const std::uint32_t field = reader.read_tag(wire);
@@ -193,23 +262,28 @@ parse_attribute(std::string_view bytes)
             has_s = true;
             break;
           case schema::kAttrTensor:
-            parse_tensor(reader.read_bytes(), t_value);
+            parse_tensor(reader.sub_reader(), t_value, limits);
             has_tensor = true;
             break;
           case schema::kAttrFloats:
             if (wire == WireType::kLengthDelimited) {
-                Reader packed(reader.read_bytes());
-                while (!packed.done())
+                Reader packed = reader.sub_reader();
+                while (!packed.done()) {
                     floats.push_back(packed.read_float());
+                    check_repeated_budget(floats, "floats attribute",
+                                          limits);
+                }
             } else {
                 floats.push_back(reader.read_float());
             }
             break;
           case schema::kAttrInts:
             if (wire == WireType::kLengthDelimited) {
-                Reader packed(reader.read_bytes());
-                while (!packed.done())
+                Reader packed = reader.sub_reader();
+                while (!packed.done()) {
                     ints.push_back(packed.read_int64());
+                    check_repeated_budget(ints, "ints attribute", limits);
+                }
             } else {
                 ints.push_back(reader.read_int64());
             }
@@ -261,17 +335,16 @@ parse_attribute(std::string_view bytes)
 
 /** Parses ValueInfoProto into a ValueInfo (shape may be partial). */
 ValueInfo
-parse_value_info(std::string_view bytes)
+parse_value_info(Reader reader)
 {
     ValueInfo info;
-    Reader reader(bytes);
     while (!reader.done()) {
         WireType wire;
         const std::uint32_t field = reader.read_tag(wire);
         if (field == schema::kValueInfoName) {
             info.name = std::string(reader.read_bytes());
         } else if (field == schema::kValueInfoType) {
-            Reader type_reader(reader.read_bytes());
+            Reader type_reader = reader.sub_reader();
             while (!type_reader.done()) {
                 WireType type_wire;
                 const std::uint32_t type_field =
@@ -280,7 +353,7 @@ parse_value_info(std::string_view bytes)
                     type_reader.skip(type_wire);
                     continue;
                 }
-                Reader tensor_reader(type_reader.read_bytes());
+                Reader tensor_reader = type_reader.sub_reader();
                 std::vector<Shape::dim_type> dims;
                 while (!tensor_reader.done()) {
                     WireType tensor_wire;
@@ -290,7 +363,7 @@ parse_value_info(std::string_view bytes)
                         info.dtype =
                             map_tensor_dtype(tensor_reader.read_int64());
                     } else if (tensor_field == schema::kTensorTypeShape) {
-                        Reader shape_reader(tensor_reader.read_bytes());
+                        Reader shape_reader = tensor_reader.sub_reader();
                         while (!shape_reader.done()) {
                             WireType shape_wire;
                             const std::uint32_t shape_field =
@@ -299,7 +372,7 @@ parse_value_info(std::string_view bytes)
                                 shape_reader.skip(shape_wire);
                                 continue;
                             }
-                            Reader dim_reader(shape_reader.read_bytes());
+                            Reader dim_reader = shape_reader.sub_reader();
                             Shape::dim_type value = 0;
                             while (!dim_reader.done()) {
                                 WireType dim_wire;
@@ -311,6 +384,11 @@ parse_value_info(std::string_view bytes)
                                     dim_reader.skip(dim_wire);
                             }
                             dims.push_back(value);
+                            if (dims.size() > kMaxTensorRank)
+                                throw LimitError(
+                                    "value_info shape exceeds the rank "
+                                    "limit of " +
+                                    std::to_string(kMaxTensorRank));
                         }
                         info.shape = Shape(dims);
                     } else {
@@ -327,13 +405,13 @@ parse_value_info(std::string_view bytes)
 
 /** Parses a NodeProto and appends it to @p graph. */
 void
-parse_node(std::string_view bytes, Graph &graph)
+parse_node(Reader reader, Graph &graph, const ImportLimits &limits)
 {
     std::string op_type, name;
     std::vector<std::string> inputs, outputs;
     AttributeMap attrs;
+    std::size_t attr_count = 0;
 
-    Reader reader(bytes);
     while (!reader.done()) {
         WireType wire;
         const std::uint32_t field = reader.read_tag(wire);
@@ -351,7 +429,13 @@ parse_node(std::string_view bytes, Graph &graph)
             op_type = std::string(reader.read_bytes());
             break;
           case schema::kNodeAttribute: {
-            auto [attr_name, attr] = parse_attribute(reader.read_bytes());
+            if (++attr_count > limits.max_attributes)
+                throw LimitError("node " + name + " has more than " +
+                                 std::to_string(limits.max_attributes) +
+                                 " attributes "
+                                 "(ImportLimits::max_attributes)");
+            auto [attr_name, attr] =
+                parse_attribute(reader.sub_reader(), limits);
             attrs.set(attr_name, std::move(attr));
             break;
           }
@@ -368,12 +452,13 @@ parse_node(std::string_view bytes, Graph &graph)
 
 /** Parses a GraphProto into @p graph. */
 void
-parse_graph(std::string_view bytes, Graph &graph)
+parse_graph(Reader reader, Graph &graph, const ImportLimits &limits)
 {
     std::vector<ValueInfo> declared_inputs;
     std::vector<ValueInfo> declared_outputs;
+    std::size_t node_count = 0;
+    std::size_t initializer_count = 0;
 
-    Reader reader(bytes);
     while (!reader.done()) {
         WireType wire;
         const std::uint32_t field = reader.read_tag(wire);
@@ -382,21 +467,31 @@ parse_graph(std::string_view bytes, Graph &graph)
             graph.set_name(std::string(reader.read_bytes()));
             break;
           case schema::kGraphNode:
-            parse_node(reader.read_bytes(), graph);
+            if (++node_count > limits.max_nodes)
+                throw LimitError("graph has more than " +
+                                 std::to_string(limits.max_nodes) +
+                                 " nodes (ImportLimits::max_nodes)");
+            parse_node(reader.sub_reader(), graph, limits);
             break;
           case schema::kGraphInitializer: {
+            if (++initializer_count > limits.max_initializers)
+                throw LimitError(
+                    "graph has more than " +
+                    std::to_string(limits.max_initializers) +
+                    " initializers (ImportLimits::max_initializers)");
             Tensor tensor;
-            std::string name = parse_tensor(reader.read_bytes(), tensor);
+            std::string name =
+                parse_tensor(reader.sub_reader(), tensor, limits);
             ORPHEUS_CHECK(!name.empty(), "initializer without a name");
             graph.add_initializer(name, std::move(tensor));
             break;
           }
           case schema::kGraphInput:
-            declared_inputs.push_back(parse_value_info(reader.read_bytes()));
+            declared_inputs.push_back(parse_value_info(reader.sub_reader()));
             break;
           case schema::kGraphOutput:
             declared_outputs.push_back(
-                parse_value_info(reader.read_bytes()));
+                parse_value_info(reader.sub_reader()));
             break;
           default:
             reader.skip(wire);
@@ -414,6 +509,14 @@ parse_graph(std::string_view bytes, Graph &graph)
                                      << " has a symbolic/unknown shape "
                                      << input.shape
                                      << "; Orpheus requires static shapes");
+        std::uint64_t input_bytes = 0;
+        if (!input.shape.checked_byte_size(dtype_size(input.dtype),
+                                           input_bytes) ||
+            input_bytes > limits.max_tensor_bytes) {
+            throw LimitError("graph input " + input.name + " with shape " +
+                             input.shape.to_string() +
+                             " exceeds ImportLimits::max_tensor_bytes");
+        }
         graph.add_input(input.name, input.shape, input.dtype);
     }
     for (ValueInfo &output : declared_outputs)
@@ -424,14 +527,19 @@ parse_graph(std::string_view bytes, Graph &graph)
 
 Status
 import_onnx(const std::uint8_t *bytes, std::size_t size, Graph &out_graph,
-            OnnxModelInfo *out_info)
+            OnnxModelInfo *out_info, const ImportLimits &limits)
 {
+    if (size > limits.max_model_bytes)
+        return out_of_range_error(
+            "model of " + std::to_string(size) + " bytes exceeds the " +
+            std::to_string(limits.max_model_bytes) +
+            "-byte limit (ImportLimits::max_model_bytes)");
     try {
         Graph graph;
         OnnxModelInfo info;
         bool saw_graph = false;
 
-        Reader reader(bytes, size);
+        Reader reader(bytes, size, limits.max_nesting_depth);
         while (!reader.done()) {
             WireType wire;
             const std::uint32_t field = reader.read_tag(wire);
@@ -446,7 +554,7 @@ import_onnx(const std::uint8_t *bytes, std::size_t size, Graph &out_graph,
                 info.producer_version = std::string(reader.read_bytes());
                 break;
               case schema::kModelOpsetImport: {
-                Reader opset_reader(reader.read_bytes());
+                Reader opset_reader = reader.sub_reader();
                 while (!opset_reader.done()) {
                     WireType opset_wire;
                     const std::uint32_t opset_field =
@@ -459,7 +567,7 @@ import_onnx(const std::uint8_t *bytes, std::size_t size, Graph &out_graph,
                 break;
               }
               case schema::kModelGraph:
-                parse_graph(reader.read_bytes(), graph);
+                parse_graph(reader.sub_reader(), graph, limits);
                 saw_graph = true;
                 break;
               default:
@@ -476,22 +584,34 @@ import_onnx(const std::uint8_t *bytes, std::size_t size, Graph &out_graph,
         if (out_info != nullptr)
             *out_info = std::move(info);
         return Status::ok();
+    } catch (const LimitError &error) {
+        return out_of_range_error(std::string("ONNX import limit: ") +
+                                  error.what());
     } catch (const Error &error) {
         return parse_error(std::string("ONNX import failed: ") +
                            error.what());
+    } catch (const std::bad_alloc &) {
+        return out_of_range_error(
+            "ONNX import failed: model demands more memory than the "
+            "process can allocate");
+    } catch (const std::exception &error) {
+        return internal_error(
+            std::string("ONNX import failed unexpectedly: ") +
+            error.what());
     }
 }
 
 Status
 import_onnx(const std::vector<std::uint8_t> &bytes, Graph &out_graph,
-            OnnxModelInfo *out_info)
+            OnnxModelInfo *out_info, const ImportLimits &limits)
 {
-    return import_onnx(bytes.data(), bytes.size(), out_graph, out_info);
+    return import_onnx(bytes.data(), bytes.size(), out_graph, out_info,
+                       limits);
 }
 
 Status
 import_onnx_file(const std::string &path, Graph &out_graph,
-                 OnnxModelInfo *out_info)
+                 OnnxModelInfo *out_info, const ImportLimits &limits)
 {
     std::ifstream file(path, std::ios::binary);
     if (!file)
@@ -501,7 +621,7 @@ import_onnx_file(const std::string &path, Graph &out_graph,
         std::istreambuf_iterator<char>());
     if (!file && !file.eof())
         return internal_error("error reading model file: " + path);
-    return import_onnx(bytes, out_graph, out_info);
+    return import_onnx(bytes, out_graph, out_info, limits);
 }
 
 } // namespace orpheus

@@ -28,17 +28,54 @@ struct OnnxModelInfo {
 };
 
 /**
+ * Resource limits applied while parsing an untrusted model file.
+ *
+ * Model bytes come straight off disk or the network, so every count and
+ * size the file claims is attacker-controlled. The importer enforces
+ * these caps as it parses and reports violations as
+ * StatusCode::kOutOfRange — before any oversized allocation happens.
+ * The defaults are deliberately generous (they admit every model in the
+ * zoo with room to spare) while still bounding memory and CPU; callers
+ * ingesting from more hostile sources should tighten them.
+ */
+struct ImportLimits {
+    /** Maximum size of the serialised model. */
+    std::size_t max_model_bytes = std::size_t{1} << 31; // 2 GiB
+
+    /** Maximum number of graph nodes. */
+    std::size_t max_nodes = 1 << 20;
+
+    /** Maximum number of graph initializers. */
+    std::size_t max_initializers = 1 << 20;
+
+    /** Maximum number of attributes on a single node. */
+    std::size_t max_attributes = 256;
+
+    /** Maximum byte size of a single tensor (initializer or attribute).
+     *  Dim products are overflow-checked against int64 independently. */
+    std::size_t max_tensor_bytes = std::size_t{1} << 31; // 2 GiB
+
+    /** Maximum protobuf sub-message nesting depth. */
+    int max_nesting_depth = 32;
+};
+
+/**
  * Parses @p bytes as an ONNX ModelProto into @p out_graph. @p out_info
- * (optional) receives model metadata.
+ * (optional) receives model metadata. Malformed input yields
+ * kParseError; input exceeding @p limits yields kOutOfRange. Never
+ * throws, aborts, or allocates unbounded memory on hostile bytes.
  */
 Status import_onnx(const std::uint8_t *bytes, std::size_t size,
-                   Graph &out_graph, OnnxModelInfo *out_info = nullptr);
+                   Graph &out_graph, OnnxModelInfo *out_info = nullptr,
+                   const ImportLimits &limits = {});
 
 Status import_onnx(const std::vector<std::uint8_t> &bytes, Graph &out_graph,
-                   OnnxModelInfo *out_info = nullptr);
+                   OnnxModelInfo *out_info = nullptr,
+                   const ImportLimits &limits = {});
 
 /** Reads @p path and imports it. */
 Status import_onnx_file(const std::string &path, Graph &out_graph,
-                        OnnxModelInfo *out_info = nullptr);
+                        OnnxModelInfo *out_info = nullptr,
+                        const ImportLimits &limits = {});
 
 } // namespace orpheus

@@ -91,6 +91,19 @@ Reader::read_bytes()
     return view;
 }
 
+Reader
+Reader::sub_reader()
+{
+    if (depth_ + 1 > max_depth_) {
+        throw LimitError("protobuf message nesting exceeds the depth "
+                         "limit of " +
+                         std::to_string(max_depth_));
+    }
+    const std::string_view payload = read_bytes();
+    return Reader(reinterpret_cast<const std::uint8_t *>(payload.data()),
+                  payload.size(), max_depth_, depth_ + 1);
+}
+
 void
 Reader::skip(WireType wire_type)
 {

@@ -40,14 +40,19 @@ enum class WireType : std::uint32_t {
 class Reader
 {
   public:
-    Reader(const std::uint8_t *data, std::size_t size)
-        : data_(data), size_(size)
+    /** Default cap on sub_reader() nesting before a LimitError. */
+    static constexpr int kDefaultMaxDepth = 64;
+
+    Reader(const std::uint8_t *data, std::size_t size,
+           int max_depth = kDefaultMaxDepth)
+        : data_(data), size_(size), max_depth_(max_depth)
     {
     }
 
-    explicit Reader(std::string_view bytes)
+    explicit Reader(std::string_view bytes,
+                    int max_depth = kDefaultMaxDepth)
         : Reader(reinterpret_cast<const std::uint8_t *>(bytes.data()),
-                 bytes.size())
+                 bytes.size(), max_depth)
     {
     }
 
@@ -80,13 +85,35 @@ class Reader
     /** Length-delimited payload; returns a view into the buffer. */
     std::string_view read_bytes();
 
+    /**
+     * Reads a length-delimited sub-message and returns a child Reader
+     * over its payload, one nesting level deeper. Throws
+     * orpheus::LimitError when the nesting depth exceeds the configured
+     * maximum — the guard that keeps adversarially nested messages from
+     * recursing without bound.
+     */
+    Reader sub_reader();
+
     /** Skips one field of the given wire type. */
     void skip(WireType wire_type);
 
+    /** Current sub-message nesting depth (0 for a top-level reader). */
+    int depth() const { return depth_; }
+
+    int max_depth() const { return max_depth_; }
+
   private:
+    Reader(const std::uint8_t *data, std::size_t size, int max_depth,
+           int depth)
+        : data_(data), size_(size), max_depth_(max_depth), depth_(depth)
+    {
+    }
+
     const std::uint8_t *data_;
     std::size_t size_;
     std::size_t position_ = 0;
+    int max_depth_ = kDefaultMaxDepth;
+    int depth_ = 0;
 };
 
 /**

@@ -117,6 +117,7 @@ Engine::compile()
         ORPHEUS_DEBUG("plan step " << steps_.size() << ": "
                                    << step.node_name << " -> "
                                    << step.layer->impl_name());
+        step.init = std::move(init);
         steps_.push_back(std::move(step));
     }
 }
@@ -129,26 +130,108 @@ Engine::value_tensor(const std::string &name)
     return &it->second;
 }
 
-std::map<std::string, Tensor>
-Engine::run(const std::map<std::string, Tensor> &inputs)
+Status
+Engine::validate_inputs(const std::map<std::string, Tensor> &inputs) const
 {
     for (const ValueInfo &declared : graph_.inputs()) {
         auto provided = inputs.find(declared.name);
-        ORPHEUS_CHECK(provided != inputs.end(),
-                      "missing graph input: " << declared.name);
-        value_tensor(declared.name)->copy_from(provided->second);
+        if (provided == inputs.end())
+            return invalid_argument_error("missing graph input '" +
+                                          declared.name + "'");
+        const Tensor &tensor = provided->second;
+        if (tensor.dtype() != declared.dtype) {
+            std::ostringstream out;
+            out << "graph input '" << declared.name
+                << "': dtype mismatch, expected " << declared.dtype
+                << ", got " << tensor.dtype();
+            return invalid_argument_error(out.str());
+        }
+        if (tensor.shape() != declared.shape) {
+            std::ostringstream out;
+            out << "graph input '" << declared.name
+                << "': shape mismatch, expected " << declared.shape
+                << ", got " << tensor.shape();
+            return invalid_argument_error(out.str());
+        }
+        if (!tensor.has_storage())
+            return invalid_argument_error("graph input '" + declared.name +
+                                          "' has no backing storage");
     }
+    return Status::ok();
+}
+
+void
+Engine::execute_step(std::size_t index)
+{
+    PlanStep &step = steps_[index];
+    try {
+        FaultInjector *injector = options_.fault_injector.get();
+        if (injector != nullptr &&
+            injector->should_fail(step.node_name, step.layer->impl_name()))
+            throw KernelFault("injected fault in node " + step.node_name +
+                              " (" + step.layer->impl_name() + ")");
+        step.layer->forward(step.inputs, step.outputs);
+    } catch (const std::exception &fault) {
+        if (!options_.fallback_on_kernel_fault)
+            throw;
+        degrade_step(index, fault.what());
+        // Retry on the fallback; a second failure propagates — one
+        // degradation per execution keeps the retry loop bounded.
+        steps_[index].layer->forward(steps_[index].inputs,
+                                     steps_[index].outputs);
+    }
+}
+
+void
+Engine::degrade_step(std::size_t index, const std::string &reason)
+{
+    PlanStep &step = steps_[index];
+    const std::string failed = step.layer->impl_name();
+
+    KernelRegistry &registry = KernelRegistry::instance();
+    const auto candidates = registry.candidates(step.init);
+    // Candidates are priority-sorted descending; the reference kernel
+    // is the lowest-priority one that is not the implementation that
+    // just failed.
+    const KernelDef *fallback = nullptr;
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+        if ((*it)->impl_name != failed) {
+            fallback = *it;
+            break;
+        }
+    }
+    if (fallback == nullptr)
+        throw Error("kernel " + step.op_type + "." + failed +
+                    " failed on node " + step.node_name + " (" + reason +
+                    ") and no fallback implementation is registered");
+
+    ORPHEUS_WARN("kernel " << step.op_type << "." << failed
+                           << " failed on node " << step.node_name << " ("
+                           << reason
+                           << "); falling back to reference implementation "
+                           << step.op_type << "." << fallback->impl_name);
+    step.layer = registry.instantiate(*fallback, step.init);
+    step.degraded = true;
+    profiler_.set_impl_name(index, step.layer->impl_name());
+}
+
+std::map<std::string, Tensor>
+Engine::run(const std::map<std::string, Tensor> &inputs)
+{
+    validate_inputs(inputs).throw_if_error();
+    for (const ValueInfo &declared : graph_.inputs())
+        value_tensor(declared.name)->copy_from(inputs.at(declared.name));
 
     if (options_.enable_profiling) {
         Timer timer;
         for (std::size_t i = 0; i < steps_.size(); ++i) {
             timer.start();
-            steps_[i].layer->forward(steps_[i].inputs, steps_[i].outputs);
+            execute_step(i);
             profiler_.record(i, timer.elapsed_ms());
         }
     } else {
-        for (PlanStep &step : steps_)
-            step.layer->forward(step.inputs, step.outputs);
+        for (std::size_t i = 0; i < steps_.size(); ++i)
+            execute_step(i);
     }
 
     std::map<std::string, Tensor> outputs;
@@ -159,6 +242,23 @@ Engine::run(const std::map<std::string, Tensor> &inputs)
         outputs.emplace(output.name, source.clone());
     }
     return outputs;
+}
+
+Status
+Engine::try_run(const std::map<std::string, Tensor> &inputs,
+                std::map<std::string, Tensor> &outputs)
+{
+    ORPHEUS_RETURN_IF_ERROR(validate_inputs(inputs));
+    try {
+        outputs = run(inputs);
+        return Status::ok();
+    } catch (const Error &error) {
+        return internal_error(std::string("inference failed: ") +
+                              error.what());
+    } catch (const std::exception &error) {
+        return internal_error(
+            std::string("inference failed unexpectedly: ") + error.what());
+    }
 }
 
 Tensor
@@ -181,8 +281,7 @@ Engine::run_step(std::size_t index)
     ORPHEUS_CHECK(index < steps_.size(),
                   "plan step " << index << " out of range (plan has "
                                << steps_.size() << " steps)");
-    steps_[index].layer->forward(steps_[index].inputs,
-                                 steps_[index].outputs);
+    execute_step(index);
 }
 
 std::string
@@ -194,7 +293,8 @@ Engine::plan_summary() const
     for (std::size_t i = 0; i < steps_.size(); ++i) {
         const PlanStep &step = steps_[i];
         out << "  #" << i << " " << step.node_name << " [" << step.op_type
-            << " / " << step.layer->impl_name() << "] -> "
+            << " / " << step.layer->impl_name()
+            << (step.degraded ? " (degraded)" : "") << "] -> "
             << step.output_shape << "\n";
     }
     return out.str();

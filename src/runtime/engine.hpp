@@ -25,6 +25,7 @@
 #include "graph/graph.hpp"
 #include "graph/passes/pass.hpp"
 #include "graph/shape_inference.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/memory_planner.hpp"
 #include "runtime/profiler.hpp"
 #include "runtime/selection.hpp"
@@ -48,6 +49,21 @@ struct EngineOptions {
      * intermediate its own allocation (the ablation baseline).
      */
     bool use_memory_planner = true;
+
+    /**
+     * When a kernel throws at run time, retry the step on the
+     * lowest-priority (reference) implementation instead of propagating
+     * the failure. The degradation is logged via ORPHEUS_WARN and the
+     * step keeps its fallback layer for subsequent runs.
+     */
+    bool fallback_on_kernel_fault = true;
+
+    /**
+     * Optional fault-injection hook, consulted before every kernel
+     * invocation; used to test the fallback policy (and by chaos-style
+     * robustness harnesses). Null disables injection.
+     */
+    std::shared_ptr<FaultInjector> fault_injector;
 };
 
 /** One executable step of the compiled plan. */
@@ -60,6 +76,11 @@ struct PlanStep {
     /** Value names of the outputs (index-aligned with outputs). */
     std::vector<std::string> output_names;
     Shape output_shape;
+    /** Plan-time init, retained so a failing kernel can be replaced by
+     *  the reference implementation without recompiling. */
+    LayerInit init;
+    /** True once the step has degraded to its fallback kernel. */
+    bool degraded = false;
 };
 
 class Engine
@@ -76,14 +97,31 @@ class Engine
 
     /**
      * Runs one inference. @p inputs must provide a tensor of the
-     * declared shape for every graph input; returns one tensor (a
-     * private copy) per graph output.
+     * declared shape and dtype for every graph input (validated up
+     * front; a mismatch throws orpheus::Error naming the offending
+     * input); returns one tensor (a private copy) per graph output.
      */
     std::map<std::string, Tensor>
     run(const std::map<std::string, Tensor> &inputs);
 
     /** Single-input / single-output convenience overload. */
     Tensor run(const Tensor &input);
+
+    /**
+     * Non-throwing variant of run() for API boundaries that must not
+     * propagate exceptions: input-validation failures surface as
+     * kInvalidArgument, kernel failures that exhaust the fallback
+     * policy as kInternal. @p outputs is assigned only on success.
+     */
+    Status try_run(const std::map<std::string, Tensor> &inputs,
+                   std::map<std::string, Tensor> &outputs);
+
+    /**
+     * Validates @p inputs against the graph's declared signatures
+     * without running: every declared input must be present with the
+     * declared shape and dtype. Unknown extra entries are ignored.
+     */
+    Status validate_inputs(const std::map<std::string, Tensor> &inputs) const;
 
     /** Executes only step @p index (inputs must already be in place from
      *  a previous full run); used by the per-layer benchmark harness. */
@@ -125,6 +163,13 @@ class Engine
   private:
     void compile();
     Tensor *value_tensor(const std::string &name);
+
+    /** Executes step @p index with fault injection + fallback policy. */
+    void execute_step(std::size_t index);
+
+    /** Swaps step @p index onto its reference fallback kernel; throws
+     *  orpheus::Error when no alternative implementation exists. */
+    void degrade_step(std::size_t index, const std::string &reason);
 
     Graph graph_;
     EngineOptions options_;

@@ -1,0 +1,66 @@
+#include "runtime/fault_injector.hpp"
+
+namespace orpheus {
+
+void
+FaultInjector::arm(std::string node_name, std::string impl_name,
+                   std::int64_t fail_from_call, std::int64_t max_faults)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_ = true;
+    node_name_ = std::move(node_name);
+    impl_name_ = std::move(impl_name);
+    fail_from_call_ = fail_from_call;
+    max_faults_ = max_faults;
+    calls_seen_ = 0;
+    faults_injected_ = 0;
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_ = false;
+    node_name_.clear();
+    impl_name_.clear();
+    fail_from_call_ = 0;
+    max_faults_ = -1;
+    calls_seen_ = 0;
+    faults_injected_ = 0;
+}
+
+bool
+FaultInjector::should_fail(const std::string &node_name,
+                           const std::string &impl_name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_)
+        return false;
+    if (!node_name_.empty() && node_name_ != node_name)
+        return false;
+    if (!impl_name_.empty() && impl_name_ != impl_name)
+        return false;
+    const std::int64_t ordinal = calls_seen_++;
+    if (ordinal < fail_from_call_)
+        return false;
+    if (max_faults_ >= 0 && faults_injected_ >= max_faults_)
+        return false;
+    ++faults_injected_;
+    return true;
+}
+
+std::int64_t
+FaultInjector::faults_injected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return faults_injected_;
+}
+
+std::int64_t
+FaultInjector::calls_seen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return calls_seen_;
+}
+
+} // namespace orpheus

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic kernel-fault injection.
+ *
+ * The engine's fault-tolerance policy (fall back to the reference
+ * implementation when a kernel throws) is only trustworthy if it can be
+ * exercised on demand. A FaultInjector is armed with a (node, impl)
+ * pattern and a call ordinal; the engine consults it immediately before
+ * every kernel invocation and raises a KernelFault when the injector
+ * says so — exactly the failure path a misbehaving third-party backend
+ * would take by throwing from Layer::forward().
+ *
+ * Thread-safe: one injector may be shared by engines running on
+ * different threads (counters are guarded by a mutex).
+ */
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/status.hpp"
+
+namespace orpheus {
+
+class FaultInjector
+{
+  public:
+    /**
+     * Arms the injector. A kernel invocation matches when @p node_name
+     * (if non-empty) equals the step's node name and @p impl_name (if
+     * non-empty) equals the executing layer's implementation name.
+     * Matching invocations are counted from 0; those with ordinal
+     * >= @p fail_from_call fail. @p max_faults < 0 means "no cap".
+     */
+    void arm(std::string node_name, std::string impl_name,
+             std::int64_t fail_from_call = 0, std::int64_t max_faults = -1);
+
+    /** Disarms and resets all counters. */
+    void reset();
+
+    /**
+     * Called by the engine before each kernel invocation; returns true
+     * if this invocation must fail. Advances the match counter.
+     */
+    bool should_fail(const std::string &node_name,
+                     const std::string &impl_name);
+
+    /** Total faults injected since the last arm()/reset(). */
+    std::int64_t faults_injected() const;
+
+    /** Matching kernel invocations observed since the last arm(). */
+    std::int64_t calls_seen() const;
+
+  private:
+    mutable std::mutex mutex_;
+    bool armed_ = false;
+    std::string node_name_;
+    std::string impl_name_;
+    std::int64_t fail_from_call_ = 0;
+    std::int64_t max_faults_ = -1;
+    std::int64_t calls_seen_ = 0;
+    std::int64_t faults_injected_ = 0;
+};
+
+} // namespace orpheus

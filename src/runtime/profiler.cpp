@@ -30,6 +30,14 @@ Profiler::record(std::size_t index, double ms)
 }
 
 void
+Profiler::set_impl_name(std::size_t index, std::string impl_name)
+{
+    ORPHEUS_ASSERT(index < steps_.size(),
+                   "profiler step " << index << " out of range");
+    steps_[index].impl_name = std::move(impl_name);
+}
+
+void
 Profiler::reset()
 {
     for (LayerProfile &step : steps_) {

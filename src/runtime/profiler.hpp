@@ -42,6 +42,10 @@ class Profiler
     /** Accumulates one execution of step @p index taking @p ms. */
     void record(std::size_t index, double ms);
 
+    /** Renames step @p index's implementation (used when the engine
+     *  degrades a step onto its fallback kernel mid-flight). */
+    void set_impl_name(std::size_t index, std::string impl_name);
+
     /** Clears accumulated timings (keeps the step table). */
     void reset();
 

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Fault-injection tests for the engine's kernel-fallback policy.
+ *
+ * A FaultInjector makes an optimised kernel throw exactly where a
+ * misbehaving backend would; the engine must degrade the step to the
+ * reference implementation and keep producing correct results. Because
+ * every kernel is deterministic, a degraded run must match a run pinned
+ * to the reference kernel bit for bit — not merely within tolerance.
+ */
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/rng.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+// --- FaultInjector semantics ----------------------------------------------
+
+TEST(FaultInjector, UnarmedNeverFails)
+{
+    FaultInjector injector;
+    EXPECT_FALSE(injector.should_fail("conv1", "im2col_gemm"));
+    EXPECT_EQ(injector.calls_seen(), 0);
+    EXPECT_EQ(injector.faults_injected(), 0);
+}
+
+TEST(FaultInjector, MatchesNodeAndImplPatterns)
+{
+    FaultInjector injector;
+    injector.arm("conv1", "im2col_gemm");
+    EXPECT_FALSE(injector.should_fail("conv2", "im2col_gemm"));
+    EXPECT_FALSE(injector.should_fail("conv1", "direct"));
+    EXPECT_TRUE(injector.should_fail("conv1", "im2col_gemm"));
+    EXPECT_EQ(injector.calls_seen(), 1);
+    EXPECT_EQ(injector.faults_injected(), 1);
+}
+
+TEST(FaultInjector, FailFromCallSkipsEarlierInvocations)
+{
+    FaultInjector injector;
+    injector.arm("", "", /*fail_from_call=*/2);
+    EXPECT_FALSE(injector.should_fail("n", "a"));
+    EXPECT_FALSE(injector.should_fail("n", "a"));
+    EXPECT_TRUE(injector.should_fail("n", "a"));
+    EXPECT_EQ(injector.calls_seen(), 3);
+    EXPECT_EQ(injector.faults_injected(), 1);
+}
+
+TEST(FaultInjector, MaxFaultsCapsInjections)
+{
+    FaultInjector injector;
+    injector.arm("", "", 0, /*max_faults=*/1);
+    EXPECT_TRUE(injector.should_fail("n", "a"));
+    EXPECT_FALSE(injector.should_fail("n", "a"));
+    EXPECT_EQ(injector.faults_injected(), 1);
+}
+
+TEST(FaultInjector, ResetDisarms)
+{
+    FaultInjector injector;
+    injector.arm("", "");
+    EXPECT_TRUE(injector.should_fail("n", "a"));
+    injector.reset();
+    EXPECT_FALSE(injector.should_fail("n", "a"));
+    EXPECT_EQ(injector.calls_seen(), 0);
+    EXPECT_EQ(injector.faults_injected(), 0);
+}
+
+// --- Engine fallback: bitwise-identical degradation -----------------------
+
+/** Every Conv kernel fails -> every conv degrades to "direct"; the run
+ *  must match an engine pinned to Conv="direct" exactly. */
+TEST(EngineFaultTolerance, ConvFallsBackToReferenceBitwise)
+{
+    EngineOptions injected_options;
+    injected_options.backend.forced_impl["Conv"] = "im2col_gemm";
+    injected_options.fault_injector = std::make_shared<FaultInjector>();
+    injected_options.fault_injector->arm("", "im2col_gemm");
+    Engine injected(models::tiny_cnn(), injected_options);
+
+    EngineOptions reference_options;
+    reference_options.backend.forced_impl["Conv"] = "direct";
+    Engine reference(models::tiny_cnn(), reference_options);
+
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0xfa01);
+    const Tensor degraded = injected.run(input);
+    const Tensor expected = reference.run(input);
+
+    EXPECT_EQ(max_abs_diff(degraded, expected), 0.0f);
+    EXPECT_GE(injected_options.fault_injector->faults_injected(), 2);
+
+    int degraded_convs = 0;
+    for (const PlanStep &step : injected.steps()) {
+        if (step.op_type != op_names::kConv)
+            continue;
+        EXPECT_TRUE(step.degraded) << step.node_name;
+        EXPECT_EQ(step.layer->impl_name(), "direct") << step.node_name;
+        ++degraded_convs;
+    }
+    EXPECT_GE(degraded_convs, 2);
+}
+
+/** The degraded step keeps its fallback kernel: a second run re-uses it
+ *  without new faults and still matches the reference bitwise. */
+TEST(EngineFaultTolerance, DegradationPersistsAcrossRuns)
+{
+    EngineOptions options;
+    options.backend.forced_impl["Conv"] = "im2col_gemm";
+    options.fault_injector = std::make_shared<FaultInjector>();
+    options.fault_injector->arm("", "im2col_gemm");
+    Engine engine(models::tiny_cnn(), options);
+
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0xfa02);
+    const Tensor first = engine.run(input);
+    const std::int64_t faults_after_first =
+        options.fault_injector->faults_injected();
+    const Tensor second = engine.run(input);
+
+    EXPECT_EQ(max_abs_diff(first, second), 0.0f);
+    // The fallback kernels are named "direct", so the armed pattern no
+    // longer matches anything.
+    EXPECT_EQ(options.fault_injector->faults_injected(),
+              faults_after_first);
+}
+
+Graph
+matmul_graph()
+{
+    Graph graph("mm");
+    graph.add_input("x", Shape({4, 8}));
+    Rng rng(0xfa03);
+    graph.add_initializer("w", random_tensor(Shape({8, 5}), rng));
+    graph.add_node(op_names::kMatMul, {"x", "w"}, {"y"});
+    graph.add_output("y");
+    return graph;
+}
+
+/** The third-party (minnl) MatMul backend fails -> reference fallback,
+ *  again bitwise-identical to an engine pinned to the reference. */
+TEST(EngineFaultTolerance, ThirdPartyMatMulFallsBackToReferenceBitwise)
+{
+    EngineOptions injected_options;
+    injected_options.backend.forced_impl["MatMul"] = "minnl";
+    injected_options.fault_injector = std::make_shared<FaultInjector>();
+    injected_options.fault_injector->arm("", "minnl");
+    Engine injected(matmul_graph(), injected_options);
+
+    EngineOptions reference_options;
+    reference_options.backend.forced_impl["MatMul"] = "reference";
+    Engine reference(matmul_graph(), reference_options);
+
+    Tensor input = make_random(Shape({4, 8}), 0xfa04);
+    const Tensor degraded = injected.run(input);
+    const Tensor expected = reference.run(input);
+
+    EXPECT_EQ(max_abs_diff(degraded, expected), 0.0f);
+    EXPECT_EQ(injected_options.fault_injector->faults_injected(), 1);
+    ASSERT_EQ(injected.steps().size(), 1u);
+    EXPECT_TRUE(injected.steps().front().degraded);
+    EXPECT_EQ(injected.steps().front().layer->impl_name(), "reference");
+}
+
+/** Every registered non-reference Conv backend, forced and then failed,
+ *  must land on the same reference result bit for bit. */
+TEST(EngineFaultTolerance, EveryConvBackendFallsBackToReferenceBitwise)
+{
+    EngineOptions reference_options;
+    reference_options.backend.forced_impl["Conv"] = "direct";
+    Engine reference(models::tiny_cnn(), reference_options);
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0xfa09);
+    const Tensor expected = reference.run(input);
+
+    for (const std::string impl :
+         {"im2col_gemm", "spatial_pack", "winograd", "minnl"}) {
+        EngineOptions options;
+        options.backend.allow_winograd = true; // 3x3/s1 convs qualify.
+        options.backend.forced_impl["Conv"] = impl;
+        options.fault_injector = std::make_shared<FaultInjector>();
+        options.fault_injector->arm("", impl);
+        Engine injected(models::tiny_cnn(), options);
+
+        const Tensor degraded = injected.run(input);
+        EXPECT_EQ(max_abs_diff(degraded, expected), 0.0f) << impl;
+        EXPECT_GE(options.fault_injector->faults_injected(), 1) << impl;
+        for (const PlanStep &step : injected.steps())
+            if (step.op_type == op_names::kConv)
+                EXPECT_EQ(step.layer->impl_name(), "direct") << impl;
+    }
+}
+
+/** A fault striking mid-run (second conv only) still completes with a
+ *  numerically valid result. */
+TEST(EngineFaultTolerance, MidRunFaultDegradesOnlyTheFailingStep)
+{
+    EngineOptions options;
+    options.backend.forced_impl["Conv"] = "im2col_gemm";
+    options.fault_injector = std::make_shared<FaultInjector>();
+    options.fault_injector->arm("", "im2col_gemm", /*fail_from_call=*/1,
+                                /*max_faults=*/1);
+    Engine injected(models::tiny_cnn(), options);
+
+    EngineOptions clean_options;
+    clean_options.backend.forced_impl["Conv"] = "im2col_gemm";
+    Engine clean(models::tiny_cnn(), clean_options);
+
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0xfa05);
+    const Tensor degraded = injected.run(input);
+    expect_close(degraded, clean.run(input), 1e-4f, 1e-3f);
+
+    int degraded_steps = 0;
+    for (const PlanStep &step : injected.steps())
+        degraded_steps += step.degraded ? 1 : 0;
+    EXPECT_EQ(degraded_steps, 1);
+}
+
+// --- Policy off / no fallback available -----------------------------------
+
+TEST(EngineFaultTolerance, FallbackDisabledPropagatesKernelFault)
+{
+    EngineOptions options;
+    options.fallback_on_kernel_fault = false;
+    options.fault_injector = std::make_shared<FaultInjector>();
+    options.fault_injector->arm("", "");
+    Engine engine(models::tiny_cnn(), options);
+
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0xfa06);
+    EXPECT_THROW(engine.run(input), KernelFault);
+}
+
+/** Gemm has only the reference implementation registered, so a fault
+ *  there has nowhere to fall back to and must surface as an Error. */
+TEST(EngineFaultTolerance, NoFallbackAvailableRaisesError)
+{
+    auto injector = std::make_shared<FaultInjector>();
+    EngineOptions options;
+    options.fault_injector = injector;
+    Engine engine(models::tiny_mlp(), options);
+
+    std::string gemm_node;
+    for (const PlanStep &step : engine.steps()) {
+        if (step.op_type == op_names::kGemm) {
+            gemm_node = step.node_name;
+            break;
+        }
+    }
+    ASSERT_FALSE(gemm_node.empty()) << engine.plan_summary();
+    injector->arm(gemm_node, "");
+
+    Tensor input = make_random(Shape({1, 32}), 0xfa07);
+    EXPECT_THROW(engine.run(input), Error);
+
+    // The non-throwing boundary reports the same failure as kInternal.
+    injector->reset();
+    injector->arm(gemm_node, "");
+    std::map<std::string, Tensor> outputs;
+    const Status status = engine.try_run({{"input", input}}, outputs);
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_TRUE(outputs.empty());
+}
+
+// --- try_run / validate_inputs --------------------------------------------
+
+TEST(EngineTryRun, MissingInputIsInvalidArgumentNamingTheInput)
+{
+    Engine engine(models::tiny_cnn());
+    std::map<std::string, Tensor> outputs;
+    const Status status = engine.try_run({}, outputs);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("input"), std::string::npos)
+        << status.to_string();
+}
+
+TEST(EngineTryRun, WrongShapeIsInvalidArgument)
+{
+    Engine engine(models::tiny_cnn());
+    std::map<std::string, Tensor> outputs;
+    const Status status = engine.try_run(
+        {{"input", make_random(Shape({1, 3, 9, 9}))}}, outputs);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("shape"), std::string::npos)
+        << status.to_string();
+}
+
+TEST(EngineTryRun, WrongDtypeIsInvalidArgument)
+{
+    Engine engine(models::tiny_cnn());
+    std::map<std::string, Tensor> outputs;
+    const Status status = engine.try_run(
+        {{"input", Tensor(Shape({1, 3, 8, 8}), DataType::kInt32)}},
+        outputs);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("dtype"), std::string::npos)
+        << status.to_string();
+}
+
+TEST(EngineTryRun, SucceedsAndMatchesThrowingRun)
+{
+    Engine engine(models::tiny_cnn());
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0xfa08);
+    std::map<std::string, Tensor> outputs;
+    const Status status = engine.try_run({{"input", input}}, outputs);
+    ASSERT_TRUE(status.is_ok()) << status.to_string();
+    ASSERT_EQ(outputs.size(), 1u);
+    EXPECT_EQ(max_abs_diff(outputs.begin()->second, engine.run(input)),
+              0.0f);
+}
+
+TEST(EngineTryRun, ValidateInputsAcceptsDeclaredSignature)
+{
+    Engine engine(models::tiny_cnn());
+    const Status status = engine.validate_inputs(
+        {{"input", make_random(Shape({1, 3, 8, 8}))}});
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+}
+
+} // namespace
+} // namespace orpheus

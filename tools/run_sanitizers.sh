@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Builds Orpheus with AddressSanitizer + UndefinedBehaviorSanitizer and
+# runs the full test suite plus a fuzz smoke under instrumentation.
+# Any sanitizer report fails the run (-fno-sanitize-recover=all turns
+# UBSan findings into aborts; halt_on_error does the same for ASan).
+#
+# Usage: tools/run_sanitizers.sh [build-dir] [fuzz-iterations]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-sanitize}"
+FUZZ_ITERATIONS="${2:-10000}"
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:abort_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+echo "== configure (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DORPHEUS_SANITIZE=address,undefined \
+    -DORPHEUS_BUILD_BENCHMARKS=OFF \
+    -DORPHEUS_BUILD_EXAMPLES=OFF
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+echo "== ctest under ASan/UBSan =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j"$(nproc)"
+
+echo "== corpus replay under ASan/UBSan =="
+"${BUILD_DIR}/tools/orpheus_fuzz" --corpus "${REPO_ROOT}/tests/corpus"
+
+echo "== fuzz smoke (${FUZZ_ITERATIONS} iterations) under ASan/UBSan =="
+"${BUILD_DIR}/tools/orpheus_fuzz" --iterations "${FUZZ_ITERATIONS}"
+
+echo "== sanitizer run clean =="
