@@ -16,6 +16,8 @@ to_string(StatusCode code)
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
 }
@@ -82,6 +84,18 @@ Status
 parse_error(std::string message)
 {
     return Status(StatusCode::kParseError, std::move(message));
+}
+
+Status
+deadline_exceeded_error(std::string message)
+{
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+
+Status
+resource_exhausted_error(std::string message)
+{
+    return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 namespace detail {

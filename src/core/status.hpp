@@ -53,6 +53,20 @@ class KernelFault : public Error
     using Error::Error;
 };
 
+/**
+ * Raised at a cooperative cancellation point (a parallel_for tile
+ * boundary, a plan-step boundary, an injected-delay slice) when the
+ * request's deadline has expired or its token was cancelled — e.g. by
+ * the watchdog. Non-throwing boundaries map it to kDeadlineExceeded.
+ * The engine's kernel-fallback policy deliberately does NOT treat this
+ * as a kernel fault: a cancelled step is rethrown, never degraded.
+ */
+class DeadlineExceededError : public Error
+{
+  public:
+    using Error::Error;
+};
+
 /** Machine-inspectable error category carried by Status. */
 enum class StatusCode {
     kOk = 0,
@@ -63,6 +77,8 @@ enum class StatusCode {
     kFailedPrecondition,
     kInternal,
     kParseError,
+    kDeadlineExceeded,
+    kResourceExhausted,
 };
 
 /** Human-readable name of a status code (e.g. "InvalidArgument"). */
@@ -112,6 +128,8 @@ Status out_of_range_error(std::string message);
 Status failed_precondition_error(std::string message);
 Status internal_error(std::string message);
 Status parse_error(std::string message);
+Status deadline_exceeded_error(std::string message);
+Status resource_exhausted_error(std::string message);
 
 namespace detail {
 

@@ -8,6 +8,60 @@
 
 namespace orpheus {
 
+namespace {
+
+/** Cancellation check of the current thread (empty when none). */
+thread_local std::function<bool()> t_cancel_check;
+
+/**
+ * Tiles per worker chunk when a cancellation check is active. The check
+ * runs once per tile, so a cancelled loop stops within one tile of
+ * work — this bound is what the deadline tests verify against.
+ */
+constexpr std::int64_t kCancellationTiles = 8;
+
+/**
+ * Executes body over [begin, end), tiled with cancellation checks when
+ * @p cancel is non-empty; plain single call otherwise.
+ */
+void
+run_chunk(std::int64_t begin, std::int64_t end,
+          const std::function<void(std::int64_t, std::int64_t)> &body,
+          const std::function<bool()> &cancel)
+{
+    if (!cancel) {
+        body(begin, end);
+        return;
+    }
+    const std::int64_t tile = std::max<std::int64_t>(
+        1, (end - begin + kCancellationTiles - 1) / kCancellationTiles);
+    for (std::int64_t at = begin; at < end; at += tile) {
+        if (cancel())
+            throw DeadlineExceededError(
+                "parallel_for cancelled at tile boundary");
+        body(at, std::min(end, at + tile));
+    }
+}
+
+} // namespace
+
+ScopedCancellation::ScopedCancellation(std::function<bool()> is_cancelled)
+    : previous_(std::move(t_cancel_check))
+{
+    t_cancel_check = std::move(is_cancelled);
+}
+
+ScopedCancellation::~ScopedCancellation()
+{
+    t_cancel_check = std::move(previous_);
+}
+
+const std::function<bool()> &
+current_cancellation()
+{
+    return t_cancel_check;
+}
+
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads))
 {
@@ -29,16 +83,32 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::record_error(std::exception_ptr error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_)
+        first_error_ = std::move(error);
+}
+
+void
 ThreadPool::parallel_for(std::int64_t count,
                          const std::function<void(std::int64_t,
                                                   std::int64_t)> &body)
 {
     if (count <= 0)
         return;
+    const std::function<bool()> cancel = t_cancel_check;
+    if (cancel && cancel())
+        throw DeadlineExceededError(
+            "cancelled before parallel_for dispatch");
     if (num_threads_ == 1 || count == 1) {
-        body(0, count);
+        run_chunk(0, count, body, cancel);
         return;
     }
+
+    // One dispatch at a time: engines running on different threads may
+    // share the global pool; late callers queue here.
+    std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
 
     const int used =
         static_cast<int>(std::min<std::int64_t>(num_threads_, count));
@@ -54,6 +124,8 @@ ThreadPool::parallel_for(std::int64_t count,
                 std::min<std::int64_t>((i + 1) * chunk, count);
         }
         body_ = &body;
+        cancel_check_ = cancel;
+        first_error_ = nullptr;
         pending_ = num_threads_ - 1;
         ++generation_;
     }
@@ -61,12 +133,24 @@ ThreadPool::parallel_for(std::int64_t count,
 
     // The calling thread executes chunk 0 itself.
     const Task own = tasks_[0];
-    if (own.begin < own.end)
-        body(own.begin, own.end);
+    if (own.begin < own.end) {
+        try {
+            run_chunk(own.begin, own.end, body, cancel);
+        } catch (...) {
+            record_error(std::current_exception());
+        }
+    }
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    work_done_.wait(lock, [this] { return pending_ == 0; });
-    body_ = nullptr;
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_done_.wait(lock, [this] { return pending_ == 0; });
+        body_ = nullptr;
+        cancel_check_ = nullptr;
+        std::swap(error, first_error_);
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void
@@ -76,6 +160,7 @@ ThreadPool::worker_loop(int worker_index)
     while (true) {
         Task task;
         const std::function<void(std::int64_t, std::int64_t)> *body = nullptr;
+        std::function<bool()> cancel;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_ready_.wait(lock, [this, seen_generation] {
@@ -86,9 +171,18 @@ ThreadPool::worker_loop(int worker_index)
             seen_generation = generation_;
             task = tasks_[static_cast<std::size_t>(worker_index)];
             body = body_;
+            cancel = cancel_check_;
         }
-        if (task.begin < task.end)
-            (*body)(task.begin, task.end);
+        if (task.begin < task.end) {
+            try {
+                run_chunk(task.begin, task.end, *body, cancel);
+            } catch (...) {
+                // Never let an exception escape the worker thread (that
+                // would std::terminate the process); hand it to the
+                // caller instead.
+                record_error(std::current_exception());
+            }
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (--pending_ == 0)

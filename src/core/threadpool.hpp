@@ -13,12 +13,44 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace orpheus {
+
+/**
+ * Installs a cooperative-cancellation check for the current thread.
+ *
+ * While a ScopedCancellation is alive, parallel_for calls issued from
+ * this thread split each worker's chunk into tiles and evaluate the
+ * check at every tile boundary; when it returns true the loop stops and
+ * DeadlineExceededError propagates to the parallel_for caller. This is
+ * how a request deadline (runtime/deadline.hpp) reaches into long-
+ * running kernels without every kernel signature carrying a token.
+ *
+ * Scopes nest: the previous check is restored on destruction.
+ */
+class ScopedCancellation
+{
+  public:
+    explicit ScopedCancellation(std::function<bool()> is_cancelled);
+    ~ScopedCancellation();
+
+    ScopedCancellation(const ScopedCancellation &) = delete;
+    ScopedCancellation &operator=(const ScopedCancellation &) = delete;
+
+  private:
+    std::function<bool()> previous_;
+};
+
+/**
+ * The cancellation check installed on the current thread, or an empty
+ * function when none is active.
+ */
+const std::function<bool()> &current_cancellation();
 
 class ThreadPool
 {
@@ -41,6 +73,21 @@ class ThreadPool
      * workers and blocks until every chunk has finished. Chunks are
      * statically partitioned (OpenMP "schedule(static)" semantics),
      * which suits the regular loops in dense kernels.
+     *
+     * Robustness contract:
+     *  - A worker exception does not terminate the process: the first
+     *    exception thrown by any chunk is captured and rethrown on the
+     *    calling thread once every worker has finished; the pool stays
+     *    usable afterwards.
+     *  - When the calling thread has a ScopedCancellation installed,
+     *    chunks execute in tiles and every worker re-checks the
+     *    cancellation at each tile boundary; a fired check raises
+     *    DeadlineExceededError on the caller. An already-fired check
+     *    fails fast before any work is dispatched.
+     *  - Concurrent parallel_for calls from different threads are
+     *    serialized on an internal dispatch mutex, so one pool can be
+     *    shared by concurrent inference sessions. Nested parallel_for
+     *    from inside a body is not supported.
      */
     void parallel_for(std::int64_t count,
                       const std::function<void(std::int64_t, std::int64_t)>
@@ -54,13 +101,22 @@ class ThreadPool
 
     void worker_loop(int worker_index);
 
+    /** Stores @p error as the dispatch's result if it is the first. */
+    void record_error(std::exception_ptr error);
+
     int num_threads_;
     std::vector<std::thread> workers_;
+
+    /** Held for the whole of a parallel dispatch; serializes callers. */
+    std::mutex dispatch_mutex_;
 
     std::mutex mutex_;
     std::condition_variable work_ready_;
     std::condition_variable work_done_;
     const std::function<void(std::int64_t, std::int64_t)> *body_ = nullptr;
+    /** Cancellation check of the dispatching caller (may be empty). */
+    std::function<bool()> cancel_check_;
+    std::exception_ptr first_error_;
     std::vector<Task> tasks_;
     std::uint64_t generation_ = 0;
     int pending_ = 0;

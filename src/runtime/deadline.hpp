@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Request deadlines and cooperative cancellation.
+ *
+ * A DeadlineToken is a cheap, copyable handle to shared cancellation
+ * state: it expires either when its wall-clock budget runs out or when
+ * some other party (the admission controller, the hang watchdog) calls
+ * cancel(). The engine threads the token through Engine::run → step
+ * execution → ThreadPool::parallel_for, so a long-running kernel stops
+ * at the next tile boundary and the request returns kDeadlineExceeded
+ * instead of blocking a worker indefinitely.
+ *
+ * Expiry is detected at *cancellation points* (step boundaries, tile
+ * boundaries, injected-delay slices) — there is no preemption, which is
+ * why the detection latency is bounded by the tile granularity rather
+ * than being instantaneous.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "core/status.hpp"
+#include "core/threadpool.hpp"
+
+namespace orpheus {
+
+class DeadlineToken
+{
+  public:
+    /**
+     * A null token: never expires, cancel() is a no-op. This is the
+     * default for direct Engine::run callers so the legacy API pays no
+     * allocation or checking cost.
+     */
+    DeadlineToken() = default;
+
+    /** A cancellable token with no time budget (watchdog-only). */
+    static DeadlineToken unlimited();
+
+    /** A token expiring @p ms milliseconds from now (ms <= 0 is
+     *  already expired). */
+    static DeadlineToken after_ms(double ms);
+
+    /** A token expiring at @p deadline. */
+    static DeadlineToken at(std::chrono::steady_clock::time_point deadline);
+
+    /** False for the default-constructed null token. */
+    bool valid() const { return state_ != nullptr; }
+
+    /** True when the token carries a wall-clock deadline. */
+    bool has_deadline() const;
+
+    /** True once cancelled or past the deadline (null tokens: never). */
+    bool expired() const;
+
+    /** Marks the token expired immediately. Thread-safe; no-op on a
+     *  null token. */
+    void cancel();
+
+    /** True when cancel() has been called (as opposed to timing out). */
+    bool cancelled() const;
+
+    /**
+     * Milliseconds until expiry: +infinity without a deadline, clamped
+     * at 0 once expired or cancelled.
+     */
+    double remaining_ms() const;
+
+  private:
+    struct State {
+        std::atomic<bool> cancelled{false};
+        bool has_deadline = false;
+        std::chrono::steady_clock::time_point deadline{};
+    };
+
+    explicit DeadlineToken(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Installs @p token as the current thread's cooperative-cancellation
+ * check (see ScopedCancellation) for the scope's lifetime; a null token
+ * installs nothing. Used by the engine around each kernel invocation.
+ */
+class ScopedDeadline
+{
+  public:
+    explicit ScopedDeadline(const DeadlineToken &token);
+
+  private:
+    std::optional<ScopedCancellation> scope_;
+};
+
+/**
+ * Sleeps for @p ms milliseconds in ~1 ms slices, checking @p token
+ * between slices; throws DeadlineExceededError as soon as the token
+ * expires. This is the cancellation-friendly sleep the fault injector's
+ * delay/hang injection runs on.
+ */
+void cooperative_delay_ms(double ms, const DeadlineToken &token);
+
+} // namespace orpheus

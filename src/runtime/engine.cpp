@@ -30,8 +30,15 @@ Engine::compile()
     for (const ValueInfo &input : graph_.inputs())
         values_.emplace(input.name, Tensor(input.shape, input.dtype));
 
+    // The plan is always computed — admission control needs the
+    // request footprint either way — but the arena is only allocated
+    // (and memory_plan_ retained) when the planner is enabled, so the
+    // ablation baseline still reports arena_bytes() == 0.
+    MemoryPlan plan = plan_memory(graph_, infos_, order);
+    request_footprint_bytes_ = ::orpheus::request_footprint_bytes(
+        plan, options_.use_memory_planner);
     if (options_.use_memory_planner) {
-        memory_plan_ = plan_memory(graph_, infos_, order);
+        memory_plan_ = std::move(plan);
         arena_ = Buffer::allocate(memory_plan_.arena_size);
     }
 
@@ -161,16 +168,47 @@ Engine::validate_inputs(const std::map<std::string, Tensor> &inputs) const
 }
 
 void
-Engine::execute_step(std::size_t index)
+Engine::execute_step(std::size_t index, const DeadlineToken &deadline)
 {
     PlanStep &step = steps_[index];
+    if (deadline.expired())
+        throw DeadlineExceededError("deadline expired before node " +
+                                    step.node_name);
+
+    ExecutionMonitor *monitor = options_.execution_monitor.get();
+    if (monitor != nullptr)
+        monitor->begin_step(index, step.node_name, step.layer->impl_name());
+    struct EndStep {
+        ExecutionMonitor *monitor;
+        ~EndStep()
+        {
+            if (monitor != nullptr)
+                monitor->end_step();
+        }
+    } end_step{monitor};
+
+    // Kernels reach the deadline through the thread-local cancellation
+    // hook: parallel_for splits chunks into tiles and checks it at
+    // every tile boundary.
+    ScopedDeadline cancel_scope(deadline);
     try {
         FaultInjector *injector = options_.fault_injector.get();
-        if (injector != nullptr &&
-            injector->should_fail(step.node_name, step.layer->impl_name()))
-            throw KernelFault("injected fault in node " + step.node_name +
-                              " (" + step.layer->impl_name() + ")");
+        if (injector != nullptr) {
+            const double stall =
+                injector->delay_ms(step.node_name, step.layer->impl_name());
+            if (stall > 0)
+                cooperative_delay_ms(stall, deadline);
+            if (injector->should_fail(step.node_name,
+                                      step.layer->impl_name()))
+                throw KernelFault("injected fault in node " +
+                                  step.node_name + " (" +
+                                  step.layer->impl_name() + ")");
+        }
         step.layer->forward(step.inputs, step.outputs);
+    } catch (const DeadlineExceededError &) {
+        // A cancelled step is not a kernel fault: never degrade, let
+        // the request surface kDeadlineExceeded.
+        throw;
     } catch (const std::exception &fault) {
         if (!options_.fallback_on_kernel_fault)
             throw;
@@ -216,22 +254,35 @@ Engine::degrade_step(std::size_t index, const std::string &reason)
 }
 
 std::map<std::string, Tensor>
-Engine::run(const std::map<std::string, Tensor> &inputs)
+Engine::run(const std::map<std::string, Tensor> &inputs,
+            const DeadlineToken &deadline)
 {
     validate_inputs(inputs).throw_if_error();
     for (const ValueInfo &declared : graph_.inputs())
         value_tensor(declared.name)->copy_from(inputs.at(declared.name));
 
+    ExecutionMonitor *monitor = options_.execution_monitor.get();
+    if (monitor != nullptr)
+        monitor->begin_request(deadline);
+    struct EndRequest {
+        ExecutionMonitor *monitor;
+        ~EndRequest()
+        {
+            if (monitor != nullptr)
+                monitor->end_request();
+        }
+    } end_request{monitor};
+
     if (options_.enable_profiling) {
         Timer timer;
         for (std::size_t i = 0; i < steps_.size(); ++i) {
             timer.start();
-            execute_step(i);
+            execute_step(i, deadline);
             profiler_.record(i, timer.elapsed_ms());
         }
     } else {
         for (std::size_t i = 0; i < steps_.size(); ++i)
-            execute_step(i);
+            execute_step(i, deadline);
     }
 
     std::map<std::string, Tensor> outputs;
@@ -246,12 +297,15 @@ Engine::run(const std::map<std::string, Tensor> &inputs)
 
 Status
 Engine::try_run(const std::map<std::string, Tensor> &inputs,
-                std::map<std::string, Tensor> &outputs)
+                std::map<std::string, Tensor> &outputs,
+                const DeadlineToken &deadline)
 {
     ORPHEUS_RETURN_IF_ERROR(validate_inputs(inputs));
     try {
-        outputs = run(inputs);
+        outputs = run(inputs, deadline);
         return Status::ok();
+    } catch (const DeadlineExceededError &error) {
+        return deadline_exceeded_error(error.what());
     } catch (const Error &error) {
         return internal_error(std::string("inference failed: ") +
                               error.what());
@@ -281,7 +335,16 @@ Engine::run_step(std::size_t index)
     ORPHEUS_CHECK(index < steps_.size(),
                   "plan step " << index << " out of range (plan has "
                                << steps_.size() << " steps)");
-    execute_step(index);
+    execute_step(index, DeadlineToken());
+}
+
+void
+Engine::demote_step(std::size_t index, const std::string &reason)
+{
+    ORPHEUS_CHECK(index < steps_.size(),
+                  "plan step " << index << " out of range (plan has "
+                               << steps_.size() << " steps)");
+    degrade_step(index, reason);
 }
 
 std::string

@@ -25,10 +25,12 @@
 #include "graph/graph.hpp"
 #include "graph/passes/pass.hpp"
 #include "graph/shape_inference.hpp"
+#include "runtime/deadline.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/memory_planner.hpp"
 #include "runtime/profiler.hpp"
 #include "runtime/selection.hpp"
+#include "runtime/watchdog.hpp"
 
 namespace orpheus {
 
@@ -64,6 +66,14 @@ struct EngineOptions {
      * robustness harnesses). Null disables injection.
      */
     std::shared_ptr<FaultInjector> fault_injector;
+
+    /**
+     * Optional execution trace sink: when set, run() publishes
+     * request/step begin+end events so an external Watchdog can detect
+     * hung steps and cancel the in-flight request. Null disables
+     * publishing (no per-step overhead).
+     */
+    std::shared_ptr<ExecutionMonitor> execution_monitor;
 };
 
 /** One executable step of the compiled plan. */
@@ -100,9 +110,15 @@ class Engine
      * declared shape and dtype for every graph input (validated up
      * front; a mismatch throws orpheus::Error naming the offending
      * input); returns one tensor (a private copy) per graph output.
+     *
+     * @p deadline, when valid, is checked at every plan-step boundary
+     * and threaded into parallel kernels, which cancel cooperatively at
+     * tile boundaries; an expired or cancelled token raises
+     * DeadlineExceededError (never the fallback path).
      */
     std::map<std::string, Tensor>
-    run(const std::map<std::string, Tensor> &inputs);
+    run(const std::map<std::string, Tensor> &inputs,
+        const DeadlineToken &deadline = {});
 
     /** Single-input / single-output convenience overload. */
     Tensor run(const Tensor &input);
@@ -110,11 +126,13 @@ class Engine
     /**
      * Non-throwing variant of run() for API boundaries that must not
      * propagate exceptions: input-validation failures surface as
-     * kInvalidArgument, kernel failures that exhaust the fallback
+     * kInvalidArgument, an expired deadline or cancelled request as
+     * kDeadlineExceeded, kernel failures that exhaust the fallback
      * policy as kInternal. @p outputs is assigned only on success.
      */
     Status try_run(const std::map<std::string, Tensor> &inputs,
-                   std::map<std::string, Tensor> &outputs);
+                   std::map<std::string, Tensor> &outputs,
+                   const DeadlineToken &deadline = {});
 
     /**
      * Validates @p inputs against the graph's declared signatures
@@ -126,6 +144,15 @@ class Engine
     /** Executes only step @p index (inputs must already be in place from
      *  a previous full run); used by the per-layer benchmark harness. */
     void run_step(std::size_t index);
+
+    /**
+     * Demotes step @p index to its reference fallback kernel, exactly
+     * as a thrown KernelFault would; used by the watchdog to retire a
+     * backend that hung. Not thread-safe against a concurrent run() on
+     * this engine — callers (the service) serialize per engine. Throws
+     * orpheus::Error when no alternative implementation exists.
+     */
+    void demote_step(std::size_t index, const std::string &reason);
 
     // --- Introspection ----------------------------------------------------
 
@@ -142,6 +169,16 @@ class Engine
 
     /** Sum of intermediate sizes without reuse. */
     std::size_t naive_arena_bytes() const { return memory_plan_.naive_size; }
+
+    /**
+     * Peak activation bytes one request needs (arena or per-value
+     * intermediates, plus dedicated input/output storage). Admission
+     * control compares this against a request's memory budget.
+     */
+    std::size_t request_footprint_bytes() const
+    {
+        return request_footprint_bytes_;
+    }
 
     /** Auto-tune measurements per node (empty unless kAutoTune). */
     const std::map<std::string,
@@ -164,8 +201,9 @@ class Engine
     void compile();
     Tensor *value_tensor(const std::string &name);
 
-    /** Executes step @p index with fault injection + fallback policy. */
-    void execute_step(std::size_t index);
+    /** Executes step @p index with deadline checks, fault/delay
+     *  injection and the fallback policy. */
+    void execute_step(std::size_t index, const DeadlineToken &deadline);
 
     /** Swaps step @p index onto its reference fallback kernel; throws
      *  orpheus::Error when no alternative implementation exists. */
@@ -175,6 +213,7 @@ class Engine
     EngineOptions options_;
     ValueInfoMap infos_;
     MemoryPlan memory_plan_;
+    std::size_t request_footprint_bytes_ = 0;
     PassManagerReport simplification_report_;
 
     std::shared_ptr<Buffer> arena_;

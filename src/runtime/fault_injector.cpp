@@ -17,6 +17,22 @@ FaultInjector::arm(std::string node_name, std::string impl_name,
 }
 
 void
+FaultInjector::arm_delay(std::string node_name, std::string impl_name,
+                         double delay_ms, std::int64_t delay_from_call,
+                         std::int64_t max_delays)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    delay_armed_ = true;
+    delay_node_name_ = std::move(node_name);
+    delay_impl_name_ = std::move(impl_name);
+    delay_ms_ = delay_ms;
+    delay_from_call_ = delay_from_call;
+    max_delays_ = max_delays;
+    delay_calls_seen_ = 0;
+    delays_injected_ = 0;
+}
+
+void
 FaultInjector::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -27,6 +43,14 @@ FaultInjector::reset()
     max_faults_ = -1;
     calls_seen_ = 0;
     faults_injected_ = 0;
+    delay_armed_ = false;
+    delay_node_name_.clear();
+    delay_impl_name_.clear();
+    delay_ms_ = 0;
+    delay_from_call_ = 0;
+    max_delays_ = -1;
+    delay_calls_seen_ = 0;
+    delays_injected_ = 0;
 }
 
 bool
@@ -49,6 +73,26 @@ FaultInjector::should_fail(const std::string &node_name,
     return true;
 }
 
+double
+FaultInjector::delay_ms(const std::string &node_name,
+                        const std::string &impl_name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!delay_armed_)
+        return 0;
+    if (!delay_node_name_.empty() && delay_node_name_ != node_name)
+        return 0;
+    if (!delay_impl_name_.empty() && delay_impl_name_ != impl_name)
+        return 0;
+    const std::int64_t ordinal = delay_calls_seen_++;
+    if (ordinal < delay_from_call_)
+        return 0;
+    if (max_delays_ >= 0 && delays_injected_ >= max_delays_)
+        return 0;
+    ++delays_injected_;
+    return delay_ms_;
+}
+
 std::int64_t
 FaultInjector::faults_injected() const
 {
@@ -61,6 +105,20 @@ FaultInjector::calls_seen() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return calls_seen_;
+}
+
+std::int64_t
+FaultInjector::delays_injected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return delays_injected_;
+}
+
+std::int64_t
+FaultInjector::delay_calls_seen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return delay_calls_seen_;
 }
 
 } // namespace orpheus

@@ -1,6 +1,6 @@
 /**
  * @file
- * Deterministic kernel-fault injection.
+ * Deterministic kernel-fault and delay/hang injection.
  *
  * The engine's fault-tolerance policy (fall back to the reference
  * implementation when a kernel throws) is only trustworthy if it can be
@@ -9,6 +9,12 @@
  * every kernel invocation and raises a KernelFault when the injector
  * says so — exactly the failure path a misbehaving third-party backend
  * would take by throwing from Layer::forward().
+ *
+ * A second, independently armed matcher injects *delays*: the engine
+ * sleeps for the configured duration (in cancellation-aware slices)
+ * before running the kernel, simulating a slow or wedged backend. This
+ * is what makes the deadline and watchdog paths deterministically
+ * testable — a hang on demand, at a chosen kernel invocation.
  *
  * Thread-safe: one injector may be shared by engines running on
  * different threads (counters are guarded by a mutex).
@@ -36,7 +42,17 @@ class FaultInjector
     void arm(std::string node_name, std::string impl_name,
              std::int64_t fail_from_call = 0, std::int64_t max_faults = -1);
 
-    /** Disarms and resets all counters. */
+    /**
+     * Arms delay injection, independent of fault arming. Matching
+     * invocations (same pattern semantics as arm()) with ordinal
+     * >= @p delay_from_call stall for @p delay_ms milliseconds before
+     * the kernel runs. @p max_delays < 0 means "no cap".
+     */
+    void arm_delay(std::string node_name, std::string impl_name,
+                   double delay_ms, std::int64_t delay_from_call = 0,
+                   std::int64_t max_delays = -1);
+
+    /** Disarms both matchers and resets all counters. */
     void reset();
 
     /**
@@ -46,11 +62,26 @@ class FaultInjector
     bool should_fail(const std::string &node_name,
                      const std::string &impl_name);
 
+    /**
+     * Called by the engine before each kernel invocation; returns the
+     * milliseconds this invocation must stall (0 when none). Advances
+     * the delay match counter.
+     */
+    double delay_ms(const std::string &node_name,
+                    const std::string &impl_name);
+
     /** Total faults injected since the last arm()/reset(). */
     std::int64_t faults_injected() const;
 
     /** Matching kernel invocations observed since the last arm(). */
     std::int64_t calls_seen() const;
+
+    /** Total delays injected since the last arm_delay()/reset(). */
+    std::int64_t delays_injected() const;
+
+    /** Invocations matching the delay pattern since the last
+     *  arm_delay(). */
+    std::int64_t delay_calls_seen() const;
 
   private:
     mutable std::mutex mutex_;
@@ -61,6 +92,15 @@ class FaultInjector
     std::int64_t max_faults_ = -1;
     std::int64_t calls_seen_ = 0;
     std::int64_t faults_injected_ = 0;
+
+    bool delay_armed_ = false;
+    std::string delay_node_name_;
+    std::string delay_impl_name_;
+    double delay_ms_ = 0;
+    std::int64_t delay_from_call_ = 0;
+    std::int64_t max_delays_ = -1;
+    std::int64_t delay_calls_seen_ = 0;
+    std::int64_t delays_injected_ = 0;
 };
 
 } // namespace orpheus

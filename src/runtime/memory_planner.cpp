@@ -71,6 +71,22 @@ plan_memory(const Graph &graph, const ValueInfoMap &infos,
     for (const Interval &interval : intervals)
         plan.naive_size += interval.size;
 
+    // Graph inputs and outputs live outside the arena in dedicated
+    // buffers; account for them so admission control can bound a whole
+    // request, not just the intermediates.
+    for (const ValueInfo &input : graph.inputs())
+        plan.io_bytes += align_up(
+            static_cast<std::size_t>(input.shape.numel()) *
+            dtype_size(input.dtype));
+    for (const ValueInfo &output : graph.outputs()) {
+        auto info = infos.find(output.name);
+        if (info == infos.end())
+            continue;
+        plan.io_bytes += align_up(
+            static_cast<std::size_t>(info->second.shape.numel()) *
+            dtype_size(info->second.dtype));
+    }
+
     // Greedy-by-size placement: biggest tensors first, each at the
     // lowest offset that does not collide with an already-placed,
     // lifetime-overlapping neighbour.
@@ -118,6 +134,13 @@ plan_memory(const Graph &graph, const ValueInfoMap &infos,
     }
 
     return plan;
+}
+
+std::size_t
+request_footprint_bytes(const MemoryPlan &plan, bool arena_reuse)
+{
+    return (arena_reuse ? plan.arena_size : plan.naive_size) +
+           plan.io_bytes;
 }
 
 } // namespace orpheus

@@ -33,9 +33,22 @@ struct MemoryPlan {
     std::size_t arena_size = 0;
     /** Sum of all intermediate tensor sizes (no-reuse baseline). */
     std::size_t naive_size = 0;
+    /** Bytes of dedicated (non-arena) storage: graph inputs plus graph
+     *  outputs. Together with the arena this bounds the activation
+     *  footprint of one request. */
+    std::size_t io_bytes = 0;
     /** Per-value placements, keyed by value name. */
     std::unordered_map<std::string, ArenaSlot> slots;
 };
+
+/**
+ * Peak activation bytes one request needs under this plan: the arena
+ * (or the naive per-value total when @p arena_reuse is false) plus the
+ * dedicated input/output storage. The admission controller compares
+ * this against a request's memory budget before dispatch.
+ */
+std::size_t request_footprint_bytes(const MemoryPlan &plan,
+                                    bool arena_reuse = true);
 
 /**
  * Plans arena placements for every value produced by a node that is not

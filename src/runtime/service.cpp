@@ -1,0 +1,302 @@
+#include "runtime/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/logging.hpp"
+#include "core/timer.hpp"
+
+namespace orpheus {
+
+namespace {
+
+double
+elapsed_ms_since(std::chrono::steady_clock::time_point start)
+{
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+InferenceResponse
+rejected(Status status)
+{
+    InferenceResponse response;
+    response.status = std::move(status);
+    return response;
+}
+
+} // namespace
+
+InferenceService::InferenceService(Graph graph,
+                                   EngineOptions engine_options,
+                                   ServiceOptions options)
+    : engine_options_(std::move(engine_options)), options_(options)
+{
+    ORPHEUS_CHECK(options_.workers >= 1,
+                  "service needs >= 1 worker, got " << options_.workers);
+    ORPHEUS_CHECK(options_.max_queue_depth >= 1,
+                  "service needs a queue depth >= 1, got "
+                      << options_.max_queue_depth);
+
+    const auto worker_count = static_cast<std::size_t>(options_.workers);
+    monitors_.reserve(worker_count);
+    engines_.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) {
+        monitors_.push_back(std::make_shared<ExecutionMonitor>());
+        EngineOptions per_worker = engine_options_;
+        per_worker.execution_monitor = monitors_.back();
+        // The last replica may consume the caller's graph; the rest
+        // compile from copies.
+        engines_.push_back(std::make_unique<Engine>(
+            i + 1 == worker_count ? std::move(graph) : Graph(graph),
+            std::move(per_worker)));
+    }
+    footprint_ = engines_.front()->request_footprint_bytes();
+
+    if (options_.enable_watchdog) {
+        WatchdogConfig config;
+        config.poll_interval_ms = options_.watchdog_poll_ms;
+        config.hang_threshold_ms = options_.hang_threshold_ms;
+        watchdog_ = std::make_unique<Watchdog>(
+            config, monitors_,
+            [this](const HangReport &report) { on_hang(report); });
+    }
+
+    workers_.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i)
+        workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+InferenceService::~InferenceService()
+{
+    stop();
+}
+
+std::future<InferenceResponse>
+InferenceService::submit(std::map<std::string, Tensor> inputs,
+                         DeadlineToken deadline,
+                         std::size_t memory_budget_bytes)
+{
+    std::promise<InferenceResponse> promise;
+    std::future<InferenceResponse> future = promise.get_future();
+
+    DeadlineToken token = deadline;
+    if (!token.valid())
+        token = options_.default_deadline_ms > 0
+                    ? DeadlineToken::after_ms(options_.default_deadline_ms)
+                    : DeadlineToken::unlimited();
+
+    const std::size_t budget = memory_budget_bytes != 0
+                                   ? memory_budget_bytes
+                                   : options_.memory_budget_bytes;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+
+    if (stopping_) {
+        lock.unlock();
+        promise.set_value(rejected(
+            failed_precondition_error("inference service is stopped")));
+        return future;
+    }
+    if (budget != 0 && footprint_ > budget) {
+        ++stats_.rejected_memory;
+        lock.unlock();
+        std::ostringstream message;
+        message << "request activation footprint " << footprint_
+                << " bytes exceeds the memory budget of " << budget
+                << " bytes";
+        promise.set_value(rejected(resource_exhausted_error(message.str())));
+        return future;
+    }
+    if (token.expired()) {
+        ++stats_.deadline_exceeded;
+        lock.unlock();
+        promise.set_value(rejected(deadline_exceeded_error(
+            "deadline expired before the request was admitted")));
+        return future;
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+        ++stats_.rejected_queue_full;
+        lock.unlock();
+        std::ostringstream message;
+        message << "request queue is full (depth "
+                << options_.max_queue_depth << "); shedding load";
+        promise.set_value(rejected(resource_exhausted_error(message.str())));
+        return future;
+    }
+
+    ++stats_.accepted;
+    Request request;
+    request.promise = std::move(promise);
+    request.inputs = std::move(inputs);
+    request.token = std::move(token);
+    request.enqueued = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(request));
+    lock.unlock();
+    work_ready_.notify_one();
+    return future;
+}
+
+InferenceResponse
+InferenceService::run(std::map<std::string, Tensor> inputs,
+                      DeadlineToken deadline)
+{
+    return submit(std::move(inputs), std::move(deadline)).get();
+}
+
+void
+InferenceService::worker_loop(std::size_t worker)
+{
+    Engine &engine = *engines_[worker];
+    while (true) {
+        Request request;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                // stopping_ with an empty queue: time to exit.
+                return;
+            }
+            request = std::move(queue_.front());
+            queue_.pop_front();
+        }
+
+        // Hang responses from previous requests take effect here, so a
+        // demoted backend never serves another request on this worker.
+        apply_pending_demotions(worker);
+
+        InferenceResponse response;
+        response.queue_ms = elapsed_ms_since(request.enqueued);
+
+        if (request.token.expired()) {
+            response.status = deadline_exceeded_error(
+                "deadline expired while the request was queued");
+        } else {
+            const auto started = std::chrono::steady_clock::now();
+            response.status = engine.try_run(request.inputs,
+                                             response.outputs,
+                                             request.token);
+            response.run_ms = elapsed_ms_since(started);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (response.status.is_ok())
+                ++stats_.completed_ok;
+            else if (response.status.code() ==
+                     StatusCode::kDeadlineExceeded)
+                ++stats_.deadline_exceeded;
+            else
+                ++stats_.failed;
+        }
+        request.promise.set_value(std::move(response));
+    }
+}
+
+void
+InferenceService::apply_pending_demotions(std::size_t worker)
+{
+    std::vector<PendingDemotion> todo;
+    {
+        std::lock_guard<std::mutex> lock(demote_mutex_);
+        auto it = pending_demotions_.begin();
+        while (it != pending_demotions_.end()) {
+            if (it->worker == worker) {
+                todo.push_back(std::move(*it));
+                it = pending_demotions_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const PendingDemotion &demotion : todo) {
+        Engine &engine = *engines_[worker];
+        if (demotion.step_index >= engine.steps().size() ||
+            engine.steps()[demotion.step_index].degraded)
+            continue;
+        try {
+            engine.demote_step(demotion.step_index, demotion.reason);
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.demotions;
+        } catch (const Error &error) {
+            // No alternative implementation; keep serving on the
+            // original kernel rather than taking the worker down.
+            ORPHEUS_WARN("service: could not demote step "
+                         << demotion.step_index << ": " << error.what());
+        }
+    }
+}
+
+void
+InferenceService::on_hang(const HangReport &report)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.watchdog_hangs;
+    }
+    if (options_.demote_on_hang) {
+        std::ostringstream reason;
+        reason << "watchdog: step ran for " << report.elapsed_ms
+               << " ms (threshold " << options_.hang_threshold_ms
+               << " ms)";
+        std::lock_guard<std::mutex> lock(demote_mutex_);
+        pending_demotions_.push_back(PendingDemotion{
+            report.monitor_index, report.step_index, reason.str()});
+    }
+    // Cancel last: once the wedged request unblocks, the worker applies
+    // the demotion queued above before touching the next request.
+    monitors_[report.monitor_index]->cancel_active_request();
+}
+
+ServiceStats
+InferenceService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+InferenceService::queue_depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+InferenceService::stop()
+{
+    std::deque<Request> drained;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && queue_.empty() && workers_.empty())
+            return;
+        stopping_ = true;
+        std::swap(drained, queue_);
+    }
+    for (Request &request : drained)
+        request.promise.set_value(rejected(failed_precondition_error(
+            "inference service stopped before the request was dispatched")));
+    work_ready_.notify_all();
+    for (auto &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    workers_.clear();
+    if (watchdog_)
+        watchdog_->stop();
+}
+
+const Engine &
+InferenceService::engine(std::size_t index) const
+{
+    ORPHEUS_CHECK(index < engines_.size(),
+                  "worker index " << index << " out of range (service has "
+                                  << engines_.size() << " workers)");
+    return *engines_[index];
+}
+
+} // namespace orpheus

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * InferenceService — resource-governed concurrent inference on top of
+ * Engine.
+ *
+ * Engine::run is a single-caller, run-to-completion API; the service
+ * turns it into something deployable under load:
+ *
+ *  - Admission control: a bounded request queue. A full queue rejects
+ *    with kResourceExhausted immediately (backpressure) instead of
+ *    growing without bound; a request whose activation footprint
+ *    exceeds its memory budget is rejected up front the same way.
+ *  - Deadlines: every request carries a DeadlineToken. Expiry is
+ *    honoured while queued (shed before dispatch) and mid-kernel
+ *    (cooperative cancellation at parallel_for tile boundaries),
+ *    surfacing as kDeadlineExceeded.
+ *  - Hang watchdog: a monitor thread flags plan steps that exceed the
+ *    hang threshold, cancels the wedged request's token, and demotes
+ *    the offending kernel to the reference implementation for
+ *    subsequent requests (the PR-1 fallback machinery, driven from the
+ *    outside).
+ *
+ * Concurrency model: each of the N worker threads owns a private
+ * Engine compiled from the same graph, so requests on different
+ * workers never share mutable state; kernels of all workers share the
+ * global thread pool, whose dispatch is serialized internally. Results
+ * are therefore bitwise-identical to a serial Engine::run.
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/deadline.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/watchdog.hpp"
+
+namespace orpheus {
+
+struct ServiceOptions {
+    /** Requests admitted but not yet dispatched; submissions beyond
+     *  this are rejected with kResourceExhausted. */
+    std::size_t max_queue_depth = 16;
+
+    /** Worker threads, each owning a private engine replica. */
+    int workers = 1;
+
+    /** Deadline applied to requests submitted without one; 0 means
+     *  unlimited. */
+    double default_deadline_ms = 0;
+
+    /** Per-request activation-footprint cap in bytes (0 = unlimited).
+     *  Requests whose compiled footprint exceeds it are rejected up
+     *  front with kResourceExhausted. */
+    std::size_t memory_budget_bytes = 0;
+
+    /** Run the hang watchdog thread. */
+    bool enable_watchdog = true;
+
+    /** A step running longer than this is treated as hung. */
+    double hang_threshold_ms = 1000;
+
+    /** Watchdog poll period. */
+    double watchdog_poll_ms = 5;
+
+    /** On a detected hang, demote the offending step to the reference
+     *  kernel for subsequent requests (in addition to cancelling the
+     *  hung request). */
+    bool demote_on_hang = true;
+};
+
+/** Outcome of one request. */
+struct InferenceResponse {
+    Status status;
+    /** Assigned only when status is OK. */
+    std::map<std::string, Tensor> outputs;
+    /** Milliseconds spent queued before a worker picked the request
+     *  up (0 when rejected at submission). */
+    double queue_ms = 0;
+    /** Milliseconds spent executing (0 when shed before dispatch). */
+    double run_ms = 0;
+};
+
+/** Monotonic counters; a consistent snapshot is returned by stats(). */
+struct ServiceStats {
+    std::int64_t submitted = 0;
+    std::int64_t accepted = 0;
+    /** Rejected at submission: queue at max_queue_depth. */
+    std::int64_t rejected_queue_full = 0;
+    /** Rejected at submission: footprint over the memory budget. */
+    std::int64_t rejected_memory = 0;
+    /** Completed with OK status. */
+    std::int64_t completed_ok = 0;
+    /** kDeadlineExceeded results: expired while queued, mid-kernel
+     *  cancellation, or watchdog cancellation. */
+    std::int64_t deadline_exceeded = 0;
+    /** Non-OK, non-deadline completions. */
+    std::int64_t failed = 0;
+    /** Hangs flagged by the watchdog. */
+    std::int64_t watchdog_hangs = 0;
+    /** Steps demoted to their reference kernel after a hang. */
+    std::int64_t demotions = 0;
+};
+
+class InferenceService
+{
+  public:
+    /**
+     * Compiles one engine per worker from @p graph and starts the
+     * worker (and, if enabled, watchdog) threads. Throws on compile
+     * errors, exactly like Engine's constructor.
+     */
+    explicit InferenceService(Graph graph,
+                              EngineOptions engine_options = {},
+                              ServiceOptions options = {});
+
+    /** Stops accepting work, fails queued requests, joins threads. */
+    ~InferenceService();
+
+    InferenceService(const InferenceService &) = delete;
+    InferenceService &operator=(const InferenceService &) = delete;
+
+    /**
+     * Submits one request. Never blocks: admission-control rejections
+     * (queue full, memory budget, expired deadline, stopped service)
+     * complete the returned future immediately with a typed error
+     * status. @p deadline defaults to the service's default deadline;
+     * @p memory_budget_bytes overrides the service budget when
+     * non-zero.
+     */
+    std::future<InferenceResponse>
+    submit(std::map<std::string, Tensor> inputs,
+           DeadlineToken deadline = {},
+           std::size_t memory_budget_bytes = 0);
+
+    /** Synchronous convenience wrapper: submit and wait. */
+    InferenceResponse run(std::map<std::string, Tensor> inputs,
+                          DeadlineToken deadline = {});
+
+    ServiceStats stats() const;
+
+    /** Requests currently queued (excludes in-flight ones). */
+    std::size_t queue_depth() const;
+
+    /**
+     * Stops the service: pending queued requests complete with
+     * kFailedPrecondition, workers finish their in-flight request and
+     * exit, the watchdog stops. Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    /** Worker @p index's engine, for introspection in tests/tools. */
+    const Engine &engine(std::size_t index = 0) const;
+
+    /** Activation footprint of one request on this model. */
+    std::size_t request_footprint_bytes() const { return footprint_; }
+
+  private:
+    struct Request {
+        std::promise<InferenceResponse> promise;
+        std::map<std::string, Tensor> inputs;
+        DeadlineToken token;
+        std::chrono::steady_clock::time_point enqueued{};
+    };
+
+    struct PendingDemotion {
+        std::size_t worker = 0;
+        std::size_t step_index = 0;
+        std::string reason;
+    };
+
+    void worker_loop(std::size_t worker);
+    void apply_pending_demotions(std::size_t worker);
+    void on_hang(const HangReport &report);
+
+    EngineOptions engine_options_;
+    ServiceOptions options_;
+    std::vector<std::shared_ptr<ExecutionMonitor>> monitors_;
+    std::vector<std::unique_ptr<Engine>> engines_;
+    std::size_t footprint_ = 0;
+
+    mutable std::mutex mutex_; ///< Guards queue_, stats_, stopping_.
+    std::condition_variable work_ready_;
+    std::deque<Request> queue_;
+    ServiceStats stats_;
+    bool stopping_ = false;
+
+    std::mutex demote_mutex_;
+    std::vector<PendingDemotion> pending_demotions_;
+
+    std::vector<std::thread> workers_;
+    std::unique_ptr<Watchdog> watchdog_;
+};
+
+} // namespace orpheus

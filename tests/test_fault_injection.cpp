@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 
 #include "core/rng.hpp"
@@ -74,6 +75,68 @@ TEST(FaultInjector, ResetDisarms)
     EXPECT_FALSE(injector.should_fail("n", "a"));
     EXPECT_EQ(injector.calls_seen(), 0);
     EXPECT_EQ(injector.faults_injected(), 0);
+}
+
+// --- Delay (slow/hung kernel) injection -----------------------------------
+
+TEST(FaultInjector, DelayUnarmedReturnsZero)
+{
+    FaultInjector injector;
+    EXPECT_EQ(injector.delay_ms("conv1", "im2col_gemm"), 0.0);
+    EXPECT_EQ(injector.delay_calls_seen(), 0);
+    EXPECT_EQ(injector.delays_injected(), 0);
+}
+
+TEST(FaultInjector, DelayMatchesPatternsIndependentlyOfFaults)
+{
+    FaultInjector injector;
+    injector.arm_delay("conv1", "im2col_gemm", 25.0);
+    EXPECT_EQ(injector.delay_ms("conv2", "im2col_gemm"), 0.0);
+    EXPECT_EQ(injector.delay_ms("conv1", "direct"), 0.0);
+    EXPECT_EQ(injector.delay_ms("conv1", "im2col_gemm"), 25.0);
+    EXPECT_EQ(injector.delay_calls_seen(), 1);
+    EXPECT_EQ(injector.delays_injected(), 1);
+    // Delay arming does not fault anything.
+    EXPECT_FALSE(injector.should_fail("conv1", "im2col_gemm"));
+}
+
+TEST(FaultInjector, DelayFromCallAndCapHonoured)
+{
+    FaultInjector injector;
+    injector.arm_delay("", "", 10.0, /*delay_from_call=*/1,
+                       /*max_delays=*/1);
+    EXPECT_EQ(injector.delay_ms("n", "a"), 0.0);  // ordinal 0: skipped
+    EXPECT_EQ(injector.delay_ms("n", "a"), 10.0); // ordinal 1: delayed
+    EXPECT_EQ(injector.delay_ms("n", "a"), 0.0);  // cap reached
+    EXPECT_EQ(injector.delays_injected(), 1);
+    injector.reset();
+    EXPECT_EQ(injector.delay_ms("n", "a"), 0.0);
+    EXPECT_EQ(injector.delay_calls_seen(), 0);
+}
+
+/** An injected delay slows the step but the run still completes and
+ *  stays bitwise-correct when no deadline is attached. */
+TEST(EngineFaultTolerance, InjectedDelayCompletesWithoutDeadline)
+{
+    EngineOptions options;
+    options.fault_injector = std::make_shared<FaultInjector>();
+    options.fault_injector->arm_delay("", "", 30.0, 0, /*max_delays=*/1);
+    Engine delayed(models::tiny_cnn(), options);
+    Engine reference(models::tiny_cnn(), {});
+
+    Tensor input = make_random(Shape({1, 3, 8, 8}), 0xfa0a);
+    const auto started = std::chrono::steady_clock::now();
+    const Tensor slow = delayed.run(input);
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - started;
+
+    EXPECT_GE(elapsed.count(), 30.0);
+    EXPECT_EQ(options.fault_injector->delays_injected(), 1);
+    EXPECT_EQ(max_abs_diff(slow, reference.run(input)), 0.0f);
+    // No step degraded: a slow kernel is not a faulty kernel.
+    for (const PlanStep &step : delayed.steps()) {
+        EXPECT_FALSE(step.degraded) << step.node_name;
+    }
 }
 
 // --- Engine fallback: bitwise-identical degradation -----------------------
@@ -192,9 +255,11 @@ TEST(EngineFaultTolerance, EveryConvBackendFallsBackToReferenceBitwise)
         const Tensor degraded = injected.run(input);
         EXPECT_EQ(max_abs_diff(degraded, expected), 0.0f) << impl;
         EXPECT_GE(options.fault_injector->faults_injected(), 1) << impl;
-        for (const PlanStep &step : injected.steps())
-            if (step.op_type == op_names::kConv)
+        for (const PlanStep &step : injected.steps()) {
+            if (step.op_type == op_names::kConv) {
                 EXPECT_EQ(step.layer->impl_name(), "direct") << impl;
+            }
+        }
     }
 }
 

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Tests for the resource-governed InferenceService: admission control
+ * (bounded queue, memory budget), deadline propagation (pre-dispatch
+ * shedding and mid-kernel cooperative cancellation), the hang watchdog
+ * with backend demotion, and concurrent-caller correctness.
+ *
+ * Timing-dependent cases use injected delays that are an order of
+ * magnitude larger than the thresholds they must cross, so the
+ * assertions hold on slow CI machines.
+ */
+#include "runtime/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/threadpool.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::make_random;
+
+std::map<std::string, Tensor>
+cnn_inputs(std::uint64_t seed)
+{
+    return {{"input", make_random(Shape({1, 3, 8, 8}), seed)}};
+}
+
+/** Spin until the worker has dequeued everything (requests may still
+ *  be executing). */
+void
+wait_for_empty_queue(const InferenceService &service)
+{
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (service.queue_depth() > 0 &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(service.queue_depth(), 0u);
+}
+
+// --- Basic serving --------------------------------------------------------
+
+TEST(InferenceService, ServesRequestsBitwiseIdenticalToEngine)
+{
+    Engine reference(models::tiny_cnn(), {});
+    const auto expected = reference.run(cnn_inputs(0x5e01));
+
+    InferenceService service(models::tiny_cnn());
+    const InferenceResponse response = service.run(cnn_inputs(0x5e01));
+
+    ASSERT_TRUE(response.status.is_ok()) << response.status.to_string();
+    ASSERT_EQ(response.outputs.size(), expected.size());
+    for (const auto &[name, tensor] : expected)
+        EXPECT_EQ(max_abs_diff(response.outputs.at(name), tensor), 0.0f)
+            << name;
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 1);
+    EXPECT_EQ(stats.accepted, 1);
+    EXPECT_EQ(stats.completed_ok, 1);
+}
+
+TEST(InferenceService, InvalidInputSurfacesAsInvalidArgument)
+{
+    InferenceService service(models::tiny_cnn());
+    const InferenceResponse response =
+        service.run({{"wrong_name", make_random(Shape({1, 3, 8, 8}))}});
+    EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(service.stats().failed, 1);
+}
+
+// --- Admission control ----------------------------------------------------
+
+TEST(InferenceService, QueueSaturationReturnsResourceExhausted)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Stall the first dispatched request long enough to fill the queue
+    // behind it deterministically.
+    engine_options.fault_injector->arm_delay("", "", /*delay_ms=*/500,
+                                             /*delay_from_call=*/0,
+                                             /*max_delays=*/1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.max_queue_depth = 1;
+    options.enable_watchdog = false;
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    auto in_flight = service.submit(cnn_inputs(0x5e10));
+    wait_for_empty_queue(service); // The worker is now inside the delay.
+
+    auto queued = service.submit(cnn_inputs(0x5e11));
+    auto shed = service.submit(cnn_inputs(0x5e12));
+
+    const InferenceResponse shed_response = shed.get();
+    EXPECT_EQ(shed_response.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(shed_response.run_ms, 0.0);
+
+    EXPECT_TRUE(in_flight.get().status.is_ok());
+    EXPECT_TRUE(queued.get().status.is_ok());
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 3);
+    EXPECT_EQ(stats.accepted, 2);
+    EXPECT_EQ(stats.rejected_queue_full, 1);
+    EXPECT_EQ(stats.completed_ok, 2);
+}
+
+TEST(InferenceService, MemoryBudgetRejectsOversizedRequestUpFront)
+{
+    ServiceOptions options;
+    options.memory_budget_bytes = 1; // Far below any real footprint.
+    InferenceService tight(models::tiny_cnn(), {}, options);
+    EXPECT_GT(tight.request_footprint_bytes(), 1u);
+
+    const InferenceResponse response = tight.run(cnn_inputs(0x5e20));
+    EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(tight.stats().rejected_memory, 1);
+
+    // A generous budget admits the same request.
+    InferenceService roomy(models::tiny_cnn());
+    EXPECT_TRUE(roomy
+                    .submit(cnn_inputs(0x5e20), DeadlineToken(),
+                            /*memory_budget_bytes=*/1u << 30)
+                    .get()
+                    .status.is_ok());
+    // ... and a per-request override can still reject.
+    EXPECT_EQ(roomy.submit(cnn_inputs(0x5e20), DeadlineToken(),
+                           /*memory_budget_bytes=*/1)
+                  .get()
+                  .status.code(),
+              StatusCode::kResourceExhausted);
+}
+
+TEST(InferenceService, StoppedServiceRejectsSubmissions)
+{
+    InferenceService service(models::tiny_cnn());
+    service.stop();
+    const InferenceResponse response = service.run(cnn_inputs(0x5e30));
+    EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Deadlines ------------------------------------------------------------
+
+TEST(InferenceService, ExpiredDeadlineRejectedBeforeDispatch)
+{
+    InferenceService service(models::tiny_cnn());
+    const InferenceResponse response =
+        service.run(cnn_inputs(0x5e40), DeadlineToken::after_ms(0));
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(response.run_ms, 0.0);
+    EXPECT_EQ(service.stats().deadline_exceeded, 1);
+}
+
+TEST(InferenceService, DeadlineExpiringInQueueShedsWithoutExecution)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    engine_options.fault_injector->arm_delay("", "", 500, 0, 1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    auto in_flight = service.submit(cnn_inputs(0x5e50));
+    wait_for_empty_queue(service);
+    // Queued behind a 500 ms stall with a 50 ms budget: must be shed at
+    // dispatch, not executed.
+    auto doomed =
+        service.submit(cnn_inputs(0x5e51), DeadlineToken::after_ms(50));
+
+    const InferenceResponse response = doomed.get();
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(response.run_ms, 0.0);
+    EXPECT_TRUE(in_flight.get().status.is_ok());
+}
+
+TEST(InferenceService, MidExecutionDeadlineCancelsInjectedDelay)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // A 10 s stall against a 50 ms deadline: the cancellation-aware
+    // delay must abort within its ~1 ms slice granularity, so anything
+    // close to the full stall means cancellation failed.
+    engine_options.fault_injector->arm_delay("", "", 10'000, 0, 1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    const auto started = std::chrono::steady_clock::now();
+    const InferenceResponse response =
+        service.run(cnn_inputs(0x5e60), DeadlineToken::after_ms(50));
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - started;
+
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_LT(elapsed.count(), 5'000.0);
+    EXPECT_EQ(engine_options.fault_injector->delays_injected(), 1);
+}
+
+TEST(Engine, TryRunMapsExpiredDeadlineToStatus)
+{
+    Engine engine(models::tiny_cnn(), {});
+    std::map<std::string, Tensor> outputs;
+    const Status status = engine.try_run(cnn_inputs(0x5e70), outputs,
+                                         DeadlineToken::after_ms(0));
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(outputs.empty());
+}
+
+// --- Watchdog -------------------------------------------------------------
+
+TEST(InferenceService, WatchdogCancelsHungStepAndDemotesBackend)
+{
+    EngineOptions engine_options;
+    engine_options.backend.forced_impl["Conv"] = "im2col_gemm";
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Wedge the first im2col_gemm invocation for 10 s; only the
+    // watchdog can unblock it (the request has no deadline).
+    engine_options.fault_injector->arm_delay("", "im2col_gemm", 10'000, 0,
+                                             1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.hang_threshold_ms = 50;
+    options.watchdog_poll_ms = 5;
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    const auto started = std::chrono::steady_clock::now();
+    const InferenceResponse hung = service.run(cnn_inputs(0x5e80));
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - started;
+
+    // The wedged request was cancelled well before the 10 s stall.
+    EXPECT_EQ(hung.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_LT(elapsed.count(), 5'000.0);
+
+    // The next request runs on the demoted (reference) kernel.
+    const InferenceResponse next = service.run(cnn_inputs(0x5e81));
+    ASSERT_TRUE(next.status.is_ok()) << next.status.to_string();
+
+    const ServiceStats stats = service.stats();
+    EXPECT_GE(stats.watchdog_hangs, 1);
+    EXPECT_GE(stats.demotions, 1);
+
+    bool saw_demoted_conv = false;
+    for (const PlanStep &step : service.engine().steps()) {
+        if (step.op_type == "Conv" && step.degraded) {
+            saw_demoted_conv = true;
+            EXPECT_NE(step.layer->impl_name(), "im2col_gemm");
+        }
+    }
+    EXPECT_TRUE(saw_demoted_conv);
+}
+
+// --- Concurrency ----------------------------------------------------------
+
+TEST(InferenceService, ConcurrentCallersMatchSerialEngineBitwise)
+{
+    constexpr int kRequests = 16;
+
+    // Kernel-level parallelism on the shared global pool at the same
+    // time as request-level parallelism across workers.
+    set_global_num_threads(2);
+
+    Engine reference(models::tiny_cnn(), {});
+    std::vector<std::map<std::string, Tensor>> expected;
+    expected.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i)
+        expected.push_back(
+            reference.run(cnn_inputs(0x6000 + static_cast<unsigned>(i))));
+
+    ServiceOptions options;
+    options.workers = 4;
+    options.max_queue_depth = kRequests;
+    InferenceService service(models::tiny_cnn(), {}, options);
+
+    std::vector<std::future<InferenceResponse>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i)
+        futures.push_back(service.submit(
+            cnn_inputs(0x6000 + static_cast<unsigned>(i))));
+
+    for (int i = 0; i < kRequests; ++i) {
+        const InferenceResponse response = futures[static_cast<std::size_t>(
+            i)].get();
+        ASSERT_TRUE(response.status.is_ok())
+            << i << ": " << response.status.to_string();
+        for (const auto &[name, tensor] :
+             expected[static_cast<std::size_t>(i)])
+            EXPECT_EQ(max_abs_diff(response.outputs.at(name), tensor),
+                      0.0f)
+                << "request " << i << ", output " << name;
+    }
+    EXPECT_EQ(service.stats().completed_ok, kRequests);
+
+    set_global_num_threads(1);
+}
+
+TEST(InferenceService, StopFailsQueuedRequests)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    engine_options.fault_injector->arm_delay("", "", 200, 0, 1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    auto in_flight = service.submit(cnn_inputs(0x5e90));
+    wait_for_empty_queue(service);
+    auto queued = service.submit(cnn_inputs(0x5e91));
+
+    service.stop();
+
+    // The in-flight request completes; the queued one is failed.
+    EXPECT_TRUE(in_flight.get().status.is_ok());
+    EXPECT_EQ(queued.get().status.code(),
+              StatusCode::kFailedPrecondition);
+}
+
+} // namespace
+} // namespace orpheus

@@ -81,6 +81,30 @@ TEST(Check, FailingConditionThrowsWithContext)
     }
 }
 
+TEST(Status, ServingCodesRoundTrip)
+{
+    EXPECT_EQ(deadline_exceeded_error("too slow").code(),
+              StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(deadline_exceeded_error("too slow").to_string(),
+              "DeadlineExceeded: too slow");
+    EXPECT_EQ(resource_exhausted_error("queue full").code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(resource_exhausted_error("queue full").to_string(),
+              "ResourceExhausted: queue full");
+    EXPECT_STREQ(to_string(StatusCode::kDeadlineExceeded),
+                 "DeadlineExceeded");
+    EXPECT_STREQ(to_string(StatusCode::kResourceExhausted),
+                 "ResourceExhausted");
+}
+
+TEST(Status, DeadlineExceededErrorIsAnError)
+{
+    // The cancellation exception must be catchable at Error boundaries
+    // (try_run's mapping relies on catch order, not on a disjoint
+    // hierarchy).
+    EXPECT_THROW(throw DeadlineExceededError("cancelled"), Error);
+}
+
 TEST(Check, ReturnIfErrorPropagates)
 {
     const auto fails = [] { return internal_error("inner"); };

@@ -127,5 +127,134 @@ TEST(GlobalThreadPool, FreeFunctionParallelFor)
     set_global_num_threads(1);
 }
 
+// --- Exception safety -----------------------------------------------------
+
+/** A worker exception must not std::terminate the process; the first
+ *  one is rethrown on the calling thread. */
+TEST(ThreadPoolExceptions, WorkerExceptionRethrownOnCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [&](std::int64_t begin, std::int64_t end) {
+                              for (std::int64_t i = begin; i < end; ++i)
+                                  if (i == 57)
+                                      throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+}
+
+/** After a throwing dispatch the pool must still be fully usable. */
+TEST(ThreadPoolExceptions, PoolSurvivesAndStaysUsable)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(pool.parallel_for(
+                         64,
+                         [](std::int64_t, std::int64_t) {
+                             throw Error("every chunk fails");
+                         }),
+                     Error);
+        std::vector<std::atomic<int>> hits(64);
+        pool.parallel_for(64, [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t i = begin; i < end; ++i)
+                hits[static_cast<std::size_t>(i)].fetch_add(1);
+        });
+        for (auto &hit : hits)
+            EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(ThreadPoolExceptions, SerialPathPropagatesToo)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallel_for(10,
+                                   [](std::int64_t, std::int64_t) {
+                                       throw std::runtime_error("serial");
+                                   }),
+                 std::runtime_error);
+}
+
+// --- Cooperative cancellation ---------------------------------------------
+
+TEST(ThreadPoolCancellation, AlreadyCancelledFailsFastWithNoWork)
+{
+    ThreadPool pool(4);
+    ScopedCancellation cancelled([] { return true; });
+    std::atomic<int> executed{0};
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&](std::int64_t, std::int64_t) {
+                                       executed.fetch_add(1);
+                                   }),
+                 DeadlineExceededError);
+    EXPECT_EQ(executed.load(), 0);
+}
+
+/** Cancellation raised mid-loop stops within a tile of work instead of
+ *  running the remaining chunks to completion. */
+TEST(ThreadPoolCancellation, CancellationStopsAtTileBoundary)
+{
+    ThreadPool pool(1);
+    std::atomic<bool> cancel{false};
+    ScopedCancellation scope([&] { return cancel.load(); });
+    std::atomic<std::int64_t> processed{0};
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [&](std::int64_t begin, std::int64_t end) {
+                              processed.fetch_add(end - begin);
+                              cancel.store(true);
+                          }),
+        DeadlineExceededError);
+    // With 8 tiles over 64 iterations, the first tile (8 iterations)
+    // runs, then the boundary check fires.
+    EXPECT_GT(processed.load(), 0);
+    EXPECT_LT(processed.load(), 64);
+}
+
+TEST(ThreadPoolCancellation, ParallelWorkersObserveCancellation)
+{
+    ThreadPool pool(4);
+    std::atomic<bool> cancel{false};
+    ScopedCancellation scope([&] { return cancel.load(); });
+    std::atomic<std::int64_t> processed{0};
+    EXPECT_THROW(
+        pool.parallel_for(1024,
+                          [&](std::int64_t begin, std::int64_t end) {
+                              processed.fetch_add(end - begin);
+                              cancel.store(true);
+                          }),
+        DeadlineExceededError);
+    EXPECT_LT(processed.load(), 1024);
+}
+
+TEST(ThreadPoolCancellation, ScopeRestoresPreviousCheckOnExit)
+{
+    EXPECT_FALSE(static_cast<bool>(current_cancellation()));
+    {
+        ScopedCancellation outer([] { return false; });
+        EXPECT_TRUE(static_cast<bool>(current_cancellation()));
+        {
+            ScopedCancellation inner([] { return true; });
+            EXPECT_TRUE(current_cancellation()());
+        }
+        EXPECT_FALSE(current_cancellation()());
+    }
+    EXPECT_FALSE(static_cast<bool>(current_cancellation()));
+}
+
+/** No ScopedCancellation installed: the body runs untiled (one call
+ *  per chunk), preserving the historical chunking contract. */
+TEST(ThreadPoolCancellation, NoCheckMeansNoTiling)
+{
+    ThreadPool pool(1);
+    std::atomic<int> calls{0};
+    pool.parallel_for(64, [&](std::int64_t begin, std::int64_t end) {
+        calls.fetch_add(1);
+        EXPECT_EQ(begin, 0);
+        EXPECT_EQ(end, 64);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
 } // namespace
 } // namespace orpheus

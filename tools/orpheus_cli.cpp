@@ -9,6 +9,7 @@
  *   compare <model> [options]     all framework personalities
  *   convert <model> <out.onnx>    export a zoo model to ONNX
  *   quantize <model> <out.onnx>   int8 PTQ, then export
+ *   serve   <model> [options]     synthetic concurrent-client load
  *
  * <model> is a zoo name (resnet-18, ...) or a path to an .onnx file.
  * Common options:
@@ -17,10 +18,21 @@
  *   --runs <n>          timed repetitions (default 5)
  *   --profile           print the per-layer profile after running
  *   --autotune          measure every kernel candidate per node
+ * serve options:
+ *   --clients <n>       concurrent client threads (default 4)
+ *   --requests <n>      requests per client (default 32)
+ *   --queue-depth <n>   admission-control queue bound (default 16)
+ *   --deadline-ms <ms>  per-request deadline, 0 = unlimited (default 0)
+ *   --workers <n>       service worker threads (default 2)
  */
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <future>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -32,8 +44,10 @@
 #include "onnx/exporter.hpp"
 #include "graph/text_format.hpp"
 #include "onnx/importer.hpp"
+#include "core/timer.hpp"
 #include "quant/quantizer.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/service.hpp"
 
 namespace {
 
@@ -45,6 +59,11 @@ struct CliOptions {
     int runs = 5;
     bool profile = false;
     bool autotune = false;
+    int clients = 4;
+    int requests = 32;
+    int queue_depth = 16;
+    double deadline_ms = 0;
+    int workers = 2;
     std::vector<std::string> positional;
 };
 
@@ -53,10 +72,12 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: orpheus <list|info|run|compare|convert|quantize> "
+        "usage: orpheus <list|info|run|compare|convert|quantize|serve> "
         "[<model>] [args]\n"
         "  options: --personality <p> --threads <n> --runs <n> "
-        "--profile --autotune\n");
+        "--profile --autotune\n"
+        "  serve:   --clients <n> --requests <n> --queue-depth <n> "
+        "--deadline-ms <ms> --workers <n>\n");
     return 2;
 }
 
@@ -80,6 +101,16 @@ parse_options(int argc, char **argv, int first)
             options.profile = true;
         else if (arg == "--autotune")
             options.autotune = true;
+        else if (arg == "--clients")
+            options.clients = std::stoi(next_value("--clients"));
+        else if (arg == "--requests")
+            options.requests = std::stoi(next_value("--requests"));
+        else if (arg == "--queue-depth")
+            options.queue_depth = std::stoi(next_value("--queue-depth"));
+        else if (arg == "--deadline-ms")
+            options.deadline_ms = std::stod(next_value("--deadline-ms"));
+        else if (arg == "--workers")
+            options.workers = std::stoi(next_value("--workers"));
         else
             options.positional.push_back(arg);
     }
@@ -261,6 +292,119 @@ cmd_quantize(const CliOptions &cli)
     return 0;
 }
 
+/**
+ * Synthetic serving load: --clients threads each push --requests
+ * requests through an InferenceService in bursts, so admission control
+ * and deadlines actually engage. Reports client-observed latency
+ * percentiles plus the service's shed counters.
+ */
+int
+cmd_serve(const CliOptions &cli)
+{
+    ORPHEUS_CHECK(!cli.positional.empty(), "serve: missing model");
+    ORPHEUS_CHECK(cli.clients > 0 && cli.requests > 0,
+                  "serve: --clients and --requests must be positive");
+    const FrameworkPersonality personality =
+        personality_by_name(cli.personality);
+    set_global_num_threads(personality.effective_threads(cli.threads));
+
+    ServiceOptions service_options;
+    service_options.max_queue_depth =
+        static_cast<std::size_t>(std::max(1, cli.queue_depth));
+    service_options.workers = std::max(1, cli.workers);
+    service_options.default_deadline_ms = cli.deadline_ms;
+    InferenceService service(load_model(cli.positional[0]),
+                             engine_options(cli, false),
+                             service_options);
+
+    char deadline_text[32] = "unlimited";
+    if (cli.deadline_ms > 0)
+        std::snprintf(deadline_text, sizeof(deadline_text), "%g ms",
+                      cli.deadline_ms);
+    std::printf("serving %s: %d clients x %d requests, queue depth %zu, "
+                "%d workers, deadline %s\n",
+                service.engine().graph().name().c_str(), cli.clients,
+                cli.requests, service_options.max_queue_depth,
+                service_options.workers, deadline_text);
+    std::printf("per-request activation footprint: %.1f KiB\n",
+                static_cast<double>(service.request_footprint_bytes()) /
+                    1024.0);
+
+    std::mutex merge_mutex;
+    std::vector<double> latencies;
+    std::vector<std::thread> threads;
+    const int burst = 4;
+    Timer wall;
+    for (int client = 0; client < cli.clients; ++client) {
+        threads.emplace_back([&, client] {
+            Rng rng(0x5e47 + static_cast<std::uint64_t>(client));
+            std::map<std::string, Tensor> inputs;
+            for (const auto &input : service.engine().graph().inputs())
+                inputs[input.name] = random_tensor(input.shape, rng);
+            std::vector<double> local;
+            int remaining = cli.requests;
+            while (remaining > 0) {
+                const int batch = std::min(burst, remaining);
+                remaining -= batch;
+                std::vector<std::future<InferenceResponse>> inflight;
+                std::vector<Timer> timers(
+                    static_cast<std::size_t>(batch));
+                for (int i = 0; i < batch; ++i) {
+                    timers[static_cast<std::size_t>(i)] = Timer();
+                    inflight.push_back(service.submit(inputs));
+                }
+                for (int i = 0; i < batch; ++i) {
+                    const InferenceResponse response =
+                        inflight[static_cast<std::size_t>(i)].get();
+                    if (response.status.is_ok())
+                        local.push_back(
+                            timers[static_cast<std::size_t>(i)]
+                                .elapsed_ms());
+                }
+            }
+            std::lock_guard<std::mutex> lock(merge_mutex);
+            latencies.insert(latencies.end(), local.begin(),
+                             local.end());
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    const double wall_s = wall.elapsed_s();
+
+    const auto percentile = [&](double p) {
+        if (latencies.empty())
+            return 0.0;
+        const double rank =
+            p / 100.0 * static_cast<double>(latencies.size() - 1);
+        const std::size_t index =
+            static_cast<std::size_t>(std::llround(rank));
+        return latencies[index];
+    };
+    std::sort(latencies.begin(), latencies.end());
+
+    const ServiceStats stats = service.stats();
+    std::printf("\ncompleted %lld / %lld submitted in %.2f s "
+                "(%.1f req/s)\n",
+                static_cast<long long>(stats.completed_ok),
+                static_cast<long long>(stats.submitted), wall_s,
+                wall_s > 0
+                    ? static_cast<double>(stats.completed_ok) / wall_s
+                    : 0.0);
+    std::printf("latency (client-observed, completed requests): "
+                "p50 %.2f ms   p99 %.2f ms\n",
+                percentile(50.0), percentile(99.0));
+    std::printf("shed: %lld queue-full, %lld over-deadline; failed: "
+                "%lld\n",
+                static_cast<long long>(stats.rejected_queue_full),
+                static_cast<long long>(stats.deadline_exceeded),
+                static_cast<long long>(stats.failed));
+    std::printf("watchdog: %lld hangs, %lld demotions\n",
+                static_cast<long long>(stats.watchdog_hangs),
+                static_cast<long long>(stats.demotions));
+    service.stop();
+    return 0;
+}
+
 } // namespace
 
 int
@@ -283,6 +427,8 @@ main(int argc, char **argv)
             return cmd_convert(cli);
         if (command == "quantize")
             return cmd_quantize(cli);
+        if (command == "serve")
+            return cmd_serve(cli);
         return usage();
     } catch (const std::exception &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
