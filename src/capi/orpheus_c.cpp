@@ -3,6 +3,7 @@
 #include <cstring>
 #include <string>
 
+#include "capi/status_map.hpp"
 #include "core/threadpool.hpp"
 #include "eval/personalities.hpp"
 #include "models/model_zoo.hpp"
@@ -90,6 +91,17 @@ const char *
 orpheus_version(void)
 {
     return "orpheus 1.0.0";
+}
+
+const char *
+orpheus_error_name(int code)
+{
+    if (code == ORPHEUS_ERR_BUFFER_TOO_SMALL)
+        return "BufferTooSmall";
+    if (code != ORPHEUS_OK &&
+        orpheus::capi::to_c_code(orpheus::capi::from_c_code(code)) != code)
+        return "Unknown";
+    return orpheus::to_string(orpheus::capi::from_c_code(code));
 }
 
 const char *
@@ -221,10 +233,35 @@ orpheus_engine_run(orpheus_engine *engine, const float *input,
         std::memcpy(output, result.raw_data(),
                     output_len * sizeof(float));
         return ORPHEUS_OK;
+    } catch (const orpheus::DeadlineExceededError &error) {
+        set_error(error.what());
+        return ORPHEUS_ERR_DEADLINE_EXCEEDED;
+    } catch (const orpheus::DataCorruptionError &error) {
+        set_error(error.what());
+        return ORPHEUS_ERR_DATA_CORRUPTION;
     } catch (const std::exception &error) {
         set_error(error.what());
         return ORPHEUS_ERR_RUNTIME;
     }
+}
+
+int
+orpheus_engine_set_guard(orpheus_engine *engine, int enabled,
+                         int shadow_every_n)
+{
+    if (engine == nullptr) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    if (shadow_every_n < 0) {
+        set_error("shadow_every_n must be >= 0");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    orpheus::GuardPolicy policy;
+    policy.enabled = enabled != 0;
+    policy.shadow_every_n = shadow_every_n;
+    engine->impl.set_guard_policy(policy);
+    return ORPHEUS_OK;
 }
 
 int

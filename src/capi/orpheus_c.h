@@ -22,17 +22,37 @@
 extern "C" {
 #endif
 
+/*
+ * Error codes are ABI: values never change meaning once published.
+ * -1..-4 shipped with the first release; -5 and below mirror the
+ * richer StatusCode taxonomy (deadline, admission control, guard).
+ */
 #define ORPHEUS_OK 0
 #define ORPHEUS_ERR_INVALID_ARGUMENT (-1)
 #define ORPHEUS_ERR_NOT_FOUND (-2)
 #define ORPHEUS_ERR_RUNTIME (-3)
 #define ORPHEUS_ERR_BUFFER_TOO_SMALL (-4)
+/** The request's deadline expired (queued or mid-kernel). */
+#define ORPHEUS_ERR_DEADLINE_EXCEEDED (-5)
+/** Rejected by admission control (queue depth or memory budget). */
+#define ORPHEUS_ERR_RESOURCE_EXHAUSTED (-6)
+/** The output guard confirmed a corrupted result (see
+ *  orpheus_engine_set_guard); the output buffer was not written. */
+#define ORPHEUS_ERR_DATA_CORRUPTION (-7)
+#define ORPHEUS_ERR_UNIMPLEMENTED (-8)
+#define ORPHEUS_ERR_OUT_OF_RANGE (-9)
+#define ORPHEUS_ERR_FAILED_PRECONDITION (-10)
+#define ORPHEUS_ERR_PARSE (-11)
 
 /** Opaque compiled-model handle. */
 typedef struct orpheus_engine orpheus_engine;
 
 /** Library version string, e.g. "orpheus 1.0.0". */
 const char *orpheus_version(void);
+
+/** Stable name for an ORPHEUS_OK / ORPHEUS_ERR_* code, e.g.
+ *  "DataCorruption"; "Unknown" for unrecognised values. */
+const char *orpheus_error_name(int code);
 
 /** Thread-local message for the last error on this thread ("" if none). */
 const char *orpheus_last_error(void);
@@ -77,6 +97,19 @@ int orpheus_engine_output_shape(const orpheus_engine *engine, int index,
  */
 int orpheus_engine_run(orpheus_engine *engine, const float *input,
                        size_t input_len, float *output, size_t output_len);
+
+/**
+ * Enables (or, with @p enabled == 0, disables) guarded execution on
+ * subsequent runs: every step's outputs are scanned for NaN/Inf, and
+ * every @p shadow_every_n-th invocation of a step is re-run on the
+ * reference implementation and compared (0 disables shadowing).
+ * Confirmed corruption makes orpheus_engine_run return
+ * ORPHEUS_ERR_DATA_CORRUPTION instead of silently wrong data, and
+ * repeated trips route the step to the reference kernel until a
+ * recovery probe passes.
+ */
+int orpheus_engine_set_guard(orpheus_engine *engine, int enabled,
+                             int shadow_every_n);
 
 /**
  * Number of executable plan steps (layers after simplification).

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Internal mapping between orpheus::StatusCode and the stable C error
+ * codes in orpheus_c.h. Kept out of the public header — C callers see
+ * only the ORPHEUS_ERR_* macros; bindings that need the names can use
+ * orpheus_error_name().
+ *
+ * The C values are ABI: once published they never change meaning.
+ * to_c_code/from_c_code must stay exact inverses for every StatusCode
+ * (covered by the round-trip test in tests/test_capi.cpp).
+ */
+#pragma once
+
+#include "capi/orpheus_c.h"
+#include "core/status.hpp"
+
+namespace orpheus {
+namespace capi {
+
+inline int
+to_c_code(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return ORPHEUS_OK;
+      case StatusCode::kInvalidArgument: return ORPHEUS_ERR_INVALID_ARGUMENT;
+      case StatusCode::kNotFound: return ORPHEUS_ERR_NOT_FOUND;
+      case StatusCode::kInternal: return ORPHEUS_ERR_RUNTIME;
+      case StatusCode::kDeadlineExceeded:
+          return ORPHEUS_ERR_DEADLINE_EXCEEDED;
+      case StatusCode::kResourceExhausted:
+          return ORPHEUS_ERR_RESOURCE_EXHAUSTED;
+      case StatusCode::kDataCorruption: return ORPHEUS_ERR_DATA_CORRUPTION;
+      case StatusCode::kUnimplemented: return ORPHEUS_ERR_UNIMPLEMENTED;
+      case StatusCode::kOutOfRange: return ORPHEUS_ERR_OUT_OF_RANGE;
+      case StatusCode::kFailedPrecondition:
+          return ORPHEUS_ERR_FAILED_PRECONDITION;
+      case StatusCode::kParseError: return ORPHEUS_ERR_PARSE;
+    }
+    return ORPHEUS_ERR_RUNTIME;
+}
+
+inline StatusCode
+from_c_code(int code)
+{
+    switch (code) {
+      case ORPHEUS_OK: return StatusCode::kOk;
+      case ORPHEUS_ERR_INVALID_ARGUMENT: return StatusCode::kInvalidArgument;
+      case ORPHEUS_ERR_NOT_FOUND: return StatusCode::kNotFound;
+      case ORPHEUS_ERR_RUNTIME: return StatusCode::kInternal;
+      case ORPHEUS_ERR_DEADLINE_EXCEEDED:
+          return StatusCode::kDeadlineExceeded;
+      case ORPHEUS_ERR_RESOURCE_EXHAUSTED:
+          return StatusCode::kResourceExhausted;
+      case ORPHEUS_ERR_DATA_CORRUPTION: return StatusCode::kDataCorruption;
+      case ORPHEUS_ERR_UNIMPLEMENTED: return StatusCode::kUnimplemented;
+      case ORPHEUS_ERR_OUT_OF_RANGE: return StatusCode::kOutOfRange;
+      case ORPHEUS_ERR_FAILED_PRECONDITION:
+          return StatusCode::kFailedPrecondition;
+      case ORPHEUS_ERR_PARSE: return StatusCode::kParseError;
+      /* ORPHEUS_ERR_BUFFER_TOO_SMALL is a C-surface-only condition
+       * (caller-provided buffer capacity), not a StatusCode. */
+      case ORPHEUS_ERR_BUFFER_TOO_SMALL: return StatusCode::kOutOfRange;
+      default: return StatusCode::kInternal;
+    }
+}
+
+} // namespace capi
+} // namespace orpheus

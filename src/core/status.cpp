@@ -18,6 +18,7 @@ to_string(StatusCode code)
       case StatusCode::kParseError: return "ParseError";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kDataCorruption: return "DataCorruption";
     }
     return "Unknown";
 }
@@ -96,6 +97,12 @@ Status
 resource_exhausted_error(std::string message)
 {
     return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+
+Status
+data_corruption_error(std::string message)
+{
+    return Status(StatusCode::kDataCorruption, std::move(message));
 }
 
 namespace detail {

@@ -67,6 +67,21 @@ class DeadlineExceededError : public Error
     using Error::Error;
 };
 
+/**
+ * Raised when the output guard confirms that a kernel produced wrong
+ * data (non-finite values, magnitude blow-up or shadow-execution
+ * divergence that the reference implementation does not reproduce).
+ * Distinct from KernelFault — the kernel completed, but its result
+ * cannot be trusted. Non-throwing boundaries map it to
+ * kDataCorruption so callers can tell "wrong" from "slow" (deadline)
+ * and "failed" (fault).
+ */
+class DataCorruptionError : public Error
+{
+  public:
+    using Error::Error;
+};
+
 /** Machine-inspectable error category carried by Status. */
 enum class StatusCode {
     kOk = 0,
@@ -79,6 +94,7 @@ enum class StatusCode {
     kParseError,
     kDeadlineExceeded,
     kResourceExhausted,
+    kDataCorruption,
 };
 
 /** Human-readable name of a status code (e.g. "InvalidArgument"). */
@@ -130,6 +146,7 @@ Status internal_error(std::string message);
 Status parse_error(std::string message);
 Status deadline_exceeded_error(std::string message);
 Status resource_exhausted_error(std::string message);
+Status data_corruption_error(std::string message);
 
 namespace detail {
 

@@ -1,6 +1,8 @@
 #include "core/tensor.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 namespace orpheus {
@@ -128,6 +130,76 @@ Tensor::to_string() const
     std::ostringstream out;
     out << dtype_ << shape_;
     return out.str();
+}
+
+FloatScan
+scan_floats(const Tensor &tensor)
+{
+    FloatScan scan;
+    if (!tensor.has_storage() || tensor.dtype() != DataType::kFloat32)
+        return scan;
+
+    const float *values = tensor.data<float>();
+    const std::int64_t n = tensor.numel();
+
+    // Fast pass: all-integer and branch-free so the compiler can
+    // vectorize it without -ffast-math (an fp max reduction would not).
+    // A float is NaN or Inf exactly when its exponent field is all
+    // ones, i.e. |bits| >= 0x7f800000; and for absolute values the IEEE
+    // ordering matches the unsigned-integer ordering of the bit
+    // patterns, so the magnitude max is an integer max.
+    std::uint32_t non_finite_seen = 0;
+    std::uint32_t max_abs_bits = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &values[i], sizeof(bits));
+        const std::uint32_t abs_bits = bits & 0x7fffffffu;
+        non_finite_seen |=
+            static_cast<std::uint32_t>(abs_bits >= 0x7f800000u);
+        max_abs_bits = abs_bits > max_abs_bits ? abs_bits : max_abs_bits;
+    }
+    std::memcpy(&scan.max_abs, &max_abs_bits, sizeof(scan.max_abs));
+    if (non_finite_seen == 0)
+        return scan;
+
+    // Slow pass, only on tainted tensors: classify and locate.
+    scan.max_abs = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float value = values[i];
+        if (std::isnan(value)) {
+            scan.has_nan = true;
+            if (scan.first_non_finite < 0)
+                scan.first_non_finite = i;
+        } else if (std::isinf(value)) {
+            scan.has_inf = true;
+            if (scan.first_non_finite < 0)
+                scan.first_non_finite = i;
+        } else {
+            scan.max_abs = std::max(scan.max_abs, std::fabs(value));
+        }
+    }
+    return scan;
+}
+
+std::int64_t
+ulp_distance(float a, float b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<std::int64_t>::max();
+    std::int32_t ia, ib;
+    std::memcpy(&ia, &a, sizeof(ia));
+    std::memcpy(&ib, &b, sizeof(ib));
+    // Map the sign-magnitude bit patterns onto a monotonic integer line
+    // so that adjacent floats (including across +/-0) differ by 1.
+    const auto monotonic = [](std::int32_t bits) {
+        return bits >= 0
+                   ? static_cast<std::int64_t>(bits)
+                   : std::int64_t{std::numeric_limits<std::int32_t>::min()} -
+                         bits;
+    };
+    const std::int64_t da = monotonic(ia);
+    const std::int64_t db = monotonic(ib);
+    return da >= db ? da - db : db - da;
 }
 
 float

@@ -117,6 +117,39 @@ class Tensor
     std::shared_ptr<Buffer> buffer_;
 };
 
+/**
+ * Result of one pass over an fp32 tensor's elements (see scan_floats).
+ * Denormals and signed zeros are ordinary finite values and never set
+ * the non-finite flags.
+ */
+struct FloatScan {
+    bool has_nan = false;
+    bool has_inf = false;
+    /** Largest |value| over the finite elements (0 for empty tensors). */
+    float max_abs = 0.0f;
+    /** Flat index of the first NaN/Inf element, -1 when all finite. */
+    std::int64_t first_non_finite = -1;
+
+    bool all_finite() const { return !has_nan && !has_inf; }
+};
+
+/**
+ * Scans an fp32 tensor for NaN/Inf and the finite magnitude peak in one
+ * vectorizable pass (the slower classifying pass runs only when the
+ * fast pass saw a non-finite exponent). Non-fp32 or storage-less
+ * tensors report a clean scan.
+ */
+FloatScan scan_floats(const Tensor &tensor);
+
+/**
+ * Distance between two floats in units of last place, computed on the
+ * monotonic integer mapping of their bit patterns (so it is symmetric
+ * and well-defined across the signed-zero boundary). Returns INT64_MAX
+ * when either value is NaN; infinities compare like the adjacent
+ * finite ordering.
+ */
+std::int64_t ulp_distance(float a, float b);
+
 /** Max absolute elementwise difference between two fp32 tensors. */
 float max_abs_diff(const Tensor &a, const Tensor &b);
 

@@ -118,6 +118,11 @@ Engine::compile()
             step.output_names.push_back(out);
         }
         step.output_shape = init.output_infos.front().shape;
+        step.selected_impl = selection.kernel->impl_name;
+        const KernelDef *fallback =
+            select_fallback_kernel(registry, init, step.selected_impl);
+        step.reference_impl =
+            fallback != nullptr ? fallback->impl_name : std::string();
 
         profiler_.add_step(step.node_name, step.op_type,
                            step.layer->impl_name(), step.output_shape);
@@ -191,6 +196,17 @@ Engine::execute_step(std::size_t index, const DeadlineToken &deadline)
     // hook: parallel_for splits chunks into tiles and checks it at
     // every tile boundary.
     ScopedDeadline cancel_scope(deadline);
+    if (options_.guard.enabled)
+        execute_step_guarded(index, deadline);
+    else
+        execute_step_unguarded(index, deadline);
+}
+
+void
+Engine::execute_step_unguarded(std::size_t index,
+                               const DeadlineToken &deadline)
+{
+    PlanStep &step = steps_[index];
     try {
         FaultInjector *injector = options_.fault_injector.get();
         if (injector != nullptr) {
@@ -205,6 +221,10 @@ Engine::execute_step(std::size_t index, const DeadlineToken &deadline)
                                   step.layer->impl_name() + ")");
         }
         step.layer->forward(step.inputs, step.outputs);
+        if (injector != nullptr)
+            apply_corruption(injector->corruption(step.node_name,
+                                                  step.layer->impl_name()),
+                             *step.outputs.front());
     } catch (const DeadlineExceededError &) {
         // A cancelled step is not a kernel fault: never degrade, let
         // the request surface kDeadlineExceeded.
@@ -221,23 +241,276 @@ Engine::execute_step(std::size_t index, const DeadlineToken &deadline)
 }
 
 void
+Engine::execute_step_guarded(std::size_t index, const DeadlineToken &deadline)
+{
+    PlanStep &step = steps_[index];
+    const GuardPolicy &policy = options_.guard;
+    StepHealth &health = step.health;
+
+    // Breaker maintenance: a cooled-down open breaker half-opens, and
+    // this invocation becomes the probe of the fast kernel.
+    if (health.state == BreakerState::kOpen && policy.allow_recovery) {
+        const std::chrono::duration<double, std::milli> open_for =
+            std::chrono::steady_clock::now() - health.opened_at;
+        if (open_for.count() >= policy.cooldown_ms) {
+            health.state = BreakerState::kHalfOpen;
+            ORPHEUS_WARN("guard: half-open probe of "
+                         << step.op_type << "." << step.selected_impl
+                         << " on node " << step.node_name << " after "
+                         << open_for.count() << " ms cool-down");
+        }
+    }
+
+    const bool routed_to_reference =
+        health.state == BreakerState::kOpen;
+    Layer &active =
+        routed_to_reference ? reference_layer(step) : *step.layer;
+    ++step.invocations;
+
+    try {
+        FaultInjector *injector = options_.fault_injector.get();
+        if (injector != nullptr) {
+            const double stall =
+                injector->delay_ms(step.node_name, active.impl_name());
+            if (stall > 0)
+                cooperative_delay_ms(stall, deadline);
+            if (injector->should_fail(step.node_name, active.impl_name()))
+                throw KernelFault("injected fault in node " +
+                                  step.node_name + " (" +
+                                  active.impl_name() + ")");
+        }
+        active.forward(step.inputs, step.outputs);
+        if (injector != nullptr)
+            apply_corruption(injector->corruption(step.node_name,
+                                                  active.impl_name()),
+                             *step.outputs.front());
+    } catch (const DeadlineExceededError &) {
+        throw; // Never a trip: cancelled, not wrong.
+    } catch (const std::exception &fault) {
+        if (!options_.fallback_on_kernel_fault)
+            throw;
+        if (routed_to_reference || step.reference_impl.empty())
+            throw Error("kernel " + step.op_type + "." +
+                        active.impl_name() + " failed on node " +
+                        step.node_name + " (" + fault.what() +
+                        ") and no fallback implementation is registered");
+        record_trip(index, GuardTrip::kFault, fault.what());
+        // Retry on the reference; a second failure propagates. The
+        // reference output is the trusted root — no scan needed.
+        reference_layer(step).forward(step.inputs, step.outputs);
+        return;
+    }
+
+    if (routed_to_reference) {
+        // The reference is the trusted root; scanning it is opt-in and
+        // fail-stop (there is nothing left to confirm against).
+        if (policy.flag_reference_outputs) {
+            for (std::size_t i = 0; i < step.outputs.size(); ++i) {
+                const GuardVerdict verdict =
+                    scan_output(*step.outputs[i], policy);
+                if (!verdict.ok())
+                    throw DataCorruptionError(
+                        "reference kernel " + step.op_type + "." +
+                        step.reference_impl + " on node " +
+                        step.node_name + ": " + verdict.detail);
+            }
+        }
+        return;
+    }
+
+    GuardVerdict verdict = confirm_outputs(step);
+    // A half-open probe is always shadow-verified before the breaker
+    // may close: a NaN scan alone cannot see a finite wrong answer.
+    // The step index staggers the sampling phase so one run does not
+    // shadow every step at once (all counters advance in lockstep).
+    const bool shadow_due =
+        health.state == BreakerState::kHalfOpen ||
+        (policy.shadow_every_n > 0 &&
+         (step.invocations + index) % static_cast<std::uint64_t>(
+                                          policy.shadow_every_n) == 0);
+    if (verdict.ok() && shadow_due && !step.reference_impl.empty())
+        verdict = run_shadow(step);
+
+    if (!verdict.ok()) {
+        const std::string reason =
+            std::string(to_string(verdict.trip)) + ": " + verdict.detail;
+        record_trip(index, verdict.trip, reason);
+        if (policy.fail_on_corruption)
+            throw DataCorruptionError("node " + step.node_name + " (" +
+                                      step.op_type + "." +
+                                      step.selected_impl + "): " + reason);
+        // Availability mode: the outputs already hold the reference
+        // result (confirm/shadow corrected them); keep running.
+        return;
+    }
+
+    health.consecutive_trips = 0;
+    if (health.state == BreakerState::kHalfOpen) {
+        // Probe passed a full verification: re-promote the fast kernel.
+        restore_step(index);
+        ORPHEUS_WARN("guard: probe of " << step.op_type << "."
+                                        << step.selected_impl
+                                        << " on node " << step.node_name
+                                        << " clean; breaker closed");
+    }
+}
+
+Layer &
+Engine::reference_layer(PlanStep &step)
+{
+    if (step.reference_layer == nullptr) {
+        ORPHEUS_CHECK(!step.reference_impl.empty(),
+                      "node " << step.node_name
+                              << " has no reference fallback kernel");
+        KernelRegistry &registry = KernelRegistry::instance();
+        const KernelDef *def =
+            registry.find(step.op_type, step.reference_impl);
+        ORPHEUS_CHECK(def != nullptr, "reference kernel "
+                                          << step.op_type << "."
+                                          << step.reference_impl
+                                          << " is no longer registered");
+        step.reference_layer = registry.instantiate(*def, step.init);
+    }
+    return *step.reference_layer;
+}
+
+GuardVerdict
+Engine::confirm_outputs(PlanStep &step)
+{
+    const GuardPolicy &policy = options_.guard;
+    for (std::size_t i = 0; i < step.outputs.size(); ++i) {
+        GuardVerdict verdict = scan_output(*step.outputs[i], policy);
+        if (verdict.ok())
+            continue;
+        verdict.output_index = i;
+        if (step.reference_impl.empty()) {
+            // No second opinion exists; the policy decides whether the
+            // only implementation is trusted.
+            return policy.flag_reference_outputs ? verdict
+                                                 : GuardVerdict{};
+        }
+        // Second opinion: re-run on the reference into the live
+        // outputs. If it reproduces the hit, the model legitimately
+        // produces these values (e.g. a genuine overflow) — not
+        // corruption. Either way the outputs now hold the reference
+        // result, so downstream steps consume trusted data.
+        reference_layer(step).forward(step.inputs, step.outputs);
+        const GuardVerdict confirm = scan_output(*step.outputs[i], policy);
+        if (!confirm.ok())
+            return GuardVerdict{};
+        return verdict;
+    }
+    return GuardVerdict{};
+}
+
+GuardVerdict
+Engine::run_shadow(PlanStep &step)
+{
+    const GuardPolicy &policy = options_.guard;
+    ++step.health.shadow_runs;
+
+    std::vector<Tensor> scratch;
+    std::vector<Tensor *> scratch_ptrs;
+    scratch.reserve(step.outputs.size());
+    for (const Tensor *output : step.outputs)
+        scratch.emplace_back(output->shape(), output->dtype());
+    for (Tensor &tensor : scratch)
+        scratch_ptrs.push_back(&tensor);
+    reference_layer(step).forward(step.inputs, scratch_ptrs);
+
+    KernelHealthLedger &ledger = KernelRegistry::instance().health();
+    const std::string id =
+        kernel_health_id(step.op_type, step.selected_impl);
+    for (std::size_t i = 0; i < step.outputs.size(); ++i) {
+        const ShadowComparison comparison =
+            compare_shadow(*step.outputs[i], scratch[i], policy);
+        if (!comparison.diverged)
+            continue;
+        ledger.record_shadow_run(id, /*diverged=*/true);
+        // Serve the trusted result downstream.
+        for (std::size_t j = 0; j < step.outputs.size(); ++j)
+            step.outputs[j]->copy_from(scratch[j]);
+        GuardVerdict verdict;
+        verdict.trip = GuardTrip::kShadowDiverged;
+        verdict.output_index = i;
+        verdict.element_index = comparison.element_index;
+        std::ostringstream detail;
+        detail << "fast=" << comparison.fast_value
+               << " reference=" << comparison.reference_value
+               << " at element " << comparison.element_index
+               << " of output " << i;
+        verdict.detail = detail.str();
+        return verdict;
+    }
+    ledger.record_shadow_run(id, /*diverged=*/false);
+    return GuardVerdict{};
+}
+
+void
+Engine::record_trip(std::size_t index, GuardTrip kind,
+                    const std::string &reason)
+{
+    PlanStep &step = steps_[index];
+    StepHealth &health = step.health;
+    KernelHealthLedger &ledger = KernelRegistry::instance().health();
+    const std::string id =
+        kernel_health_id(step.op_type, step.selected_impl);
+
+    health.last_trip_reason = reason;
+    if (kind == GuardTrip::kFault) {
+        ++health.faults_total;
+        ledger.record_fault(id);
+    } else {
+        ++health.trips_total;
+        ledger.record_guard_trip(id);
+    }
+    ORPHEUS_WARN("guard: " << to_string(kind) << " on node "
+                           << step.node_name << " (" << id << "): "
+                           << reason);
+
+    if (health.state == BreakerState::kHalfOpen) {
+        // The probe failed; back to open, cool-down restarts.
+        open_breaker(index, "probe failed: " + reason);
+        return;
+    }
+    ++health.consecutive_trips;
+    if (health.consecutive_trips >= options_.guard.open_after_trips &&
+        !step.reference_impl.empty())
+        open_breaker(index, reason);
+}
+
+void
+Engine::open_breaker(std::size_t index, const std::string &reason)
+{
+    PlanStep &step = steps_[index];
+    StepHealth &health = step.health;
+    reference_layer(step); // Throws now if no fallback is registered.
+
+    health.state = BreakerState::kOpen;
+    health.opened_at = std::chrono::steady_clock::now();
+    ++health.opens_total;
+    health.consecutive_trips = 0;
+    health.last_trip_reason = reason;
+    step.degraded = true;
+    KernelRegistry::instance().health().record_breaker_open(
+        kernel_health_id(step.op_type, step.selected_impl));
+    profiler_.set_impl_name(index, step.reference_impl);
+    ORPHEUS_WARN("guard: breaker OPEN for "
+                 << step.op_type << "." << step.selected_impl
+                 << " on node " << step.node_name << " (" << reason
+                 << "); routing to " << step.op_type << "."
+                 << step.reference_impl);
+}
+
+void
 Engine::degrade_step(std::size_t index, const std::string &reason)
 {
     PlanStep &step = steps_[index];
     const std::string failed = step.layer->impl_name();
 
     KernelRegistry &registry = KernelRegistry::instance();
-    const auto candidates = registry.candidates(step.init);
-    // Candidates are priority-sorted descending; the reference kernel
-    // is the lowest-priority one that is not the implementation that
-    // just failed.
-    const KernelDef *fallback = nullptr;
-    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
-        if ((*it)->impl_name != failed) {
-            fallback = *it;
-            break;
-        }
-    }
+    const KernelDef *fallback =
+        select_fallback_kernel(registry, step.init, failed);
     if (fallback == nullptr)
         throw Error("kernel " + step.op_type + "." + failed +
                     " failed on node " + step.node_name + " (" + reason +
@@ -248,6 +521,7 @@ Engine::degrade_step(std::size_t index, const std::string &reason)
                            << reason
                            << "); falling back to reference implementation "
                            << step.op_type << "." << fallback->impl_name);
+    registry.health().record_fault(kernel_health_id(step.op_type, failed));
     step.layer = registry.instantiate(*fallback, step.init);
     step.degraded = true;
     profiler_.set_impl_name(index, step.layer->impl_name());
@@ -306,6 +580,8 @@ Engine::try_run(const std::map<std::string, Tensor> &inputs,
         return Status::ok();
     } catch (const DeadlineExceededError &error) {
         return deadline_exceeded_error(error.what());
+    } catch (const DataCorruptionError &error) {
+        return data_corruption_error(error.what());
     } catch (const Error &error) {
         return internal_error(std::string("inference failed: ") +
                               error.what());
@@ -344,7 +620,51 @@ Engine::demote_step(std::size_t index, const std::string &reason)
     ORPHEUS_CHECK(index < steps_.size(),
                   "plan step " << index << " out of range (plan has "
                                << steps_.size() << " steps)");
+    if (options_.guard.enabled) {
+        // Guard mode keeps the fast layer in place and routes around it,
+        // so a half-open probe can later restore it.
+        ORPHEUS_CHECK(!steps_[index].reference_impl.empty(),
+                      "kernel " << steps_[index].op_type << "."
+                                << steps_[index].selected_impl
+                                << " demoted on node "
+                                << steps_[index].node_name << " (" << reason
+                                << ") but no fallback implementation is "
+                                   "registered");
+        record_trip(index, GuardTrip::kFault, reason);
+        if (steps_[index].health.state == BreakerState::kClosed)
+            open_breaker(index, reason);
+        return;
+    }
     degrade_step(index, reason);
+}
+
+void
+Engine::restore_step(std::size_t index)
+{
+    ORPHEUS_CHECK(index < steps_.size(),
+                  "plan step " << index << " out of range (plan has "
+                               << steps_.size() << " steps)");
+    PlanStep &step = steps_[index];
+    if (step.layer->impl_name() != step.selected_impl) {
+        // Legacy degrade_step swapped the layer itself; re-instantiate
+        // the plan-time selection.
+        KernelRegistry &registry = KernelRegistry::instance();
+        const KernelDef *def =
+            registry.find(step.op_type, step.selected_impl);
+        ORPHEUS_CHECK(def != nullptr,
+                      "kernel " << step.op_type << "." << step.selected_impl
+                                << " is no longer registered");
+        step.layer = registry.instantiate(*def, step.init);
+    }
+    if (step.health.state != BreakerState::kClosed) {
+        ++step.health.recoveries_total;
+        KernelRegistry::instance().health().record_recovery(
+            kernel_health_id(step.op_type, step.selected_impl));
+    }
+    step.health.state = BreakerState::kClosed;
+    step.health.consecutive_trips = 0;
+    step.degraded = false;
+    profiler_.set_impl_name(index, step.selected_impl);
 }
 
 std::string
@@ -357,8 +677,10 @@ Engine::plan_summary() const
         const PlanStep &step = steps_[i];
         out << "  #" << i << " " << step.node_name << " [" << step.op_type
             << " / " << step.layer->impl_name()
-            << (step.degraded ? " (degraded)" : "") << "] -> "
-            << step.output_shape << "\n";
+            << (step.degraded ? " (degraded)" : "");
+        if (step.health.state != BreakerState::kClosed)
+            out << " (breaker " << to_string(step.health.state) << ")";
+        out << "] -> " << step.output_shape << "\n";
     }
     return out.str();
 }

@@ -27,6 +27,7 @@
 #include "graph/shape_inference.hpp"
 #include "runtime/deadline.hpp"
 #include "runtime/fault_injector.hpp"
+#include "runtime/guard.hpp"
 #include "runtime/memory_planner.hpp"
 #include "runtime/profiler.hpp"
 #include "runtime/selection.hpp"
@@ -74,6 +75,15 @@ struct EngineOptions {
      * publishing (no per-step overhead).
      */
     std::shared_ptr<ExecutionMonitor> execution_monitor;
+
+    /**
+     * Guarded execution (guard.hpp): output scanning, sampled shadow
+     * execution and per-step circuit breakers. Disabled by default —
+     * the unguarded path is taken after a single branch. When enabled,
+     * kernel faults and watchdog demotions also route through the
+     * breaker, so they become recoverable via half-open probes.
+     */
+    GuardPolicy guard;
 };
 
 /** One executable step of the compiled plan. */
@@ -89,8 +99,22 @@ struct PlanStep {
     /** Plan-time init, retained so a failing kernel can be replaced by
      *  the reference implementation without recompiling. */
     LayerInit init;
-    /** True once the step has degraded to its fallback kernel. */
+    /** True while the step executes on its fallback kernel (permanent
+     *  degradation, or an open circuit breaker in guard mode). */
     bool degraded = false;
+
+    // --- Guarded execution ------------------------------------------------
+    /** Impl selected at plan time — what restore_step() re-promotes. */
+    std::string selected_impl;
+    /** Reference fallback impl ("" when no alternative exists). */
+    std::string reference_impl;
+    /** Lazily instantiated reference layer, cached for shadow runs,
+     *  guard confirmations and breaker-open routing. */
+    std::unique_ptr<Layer> reference_layer;
+    /** Circuit-breaker state and trip counters (guard mode). */
+    StepHealth health;
+    /** Primary invocations of this step (drives shadow sampling). */
+    std::uint64_t invocations = 0;
 };
 
 class Engine
@@ -127,8 +151,9 @@ class Engine
      * Non-throwing variant of run() for API boundaries that must not
      * propagate exceptions: input-validation failures surface as
      * kInvalidArgument, an expired deadline or cancelled request as
-     * kDeadlineExceeded, kernel failures that exhaust the fallback
-     * policy as kInternal. @p outputs is assigned only on success.
+     * kDeadlineExceeded, a confirmed guard trip as kDataCorruption,
+     * kernel failures that exhaust the fallback policy as kInternal.
+     * @p outputs is assigned only on success.
      */
     Status try_run(const std::map<std::string, Tensor> &inputs,
                    std::map<std::string, Tensor> &outputs,
@@ -148,11 +173,32 @@ class Engine
     /**
      * Demotes step @p index to its reference fallback kernel, exactly
      * as a thrown KernelFault would; used by the watchdog to retire a
-     * backend that hung. Not thread-safe against a concurrent run() on
-     * this engine — callers (the service) serialize per engine. Throws
-     * orpheus::Error when no alternative implementation exists.
+     * backend that hung. With guarding enabled this opens the step's
+     * circuit breaker instead — same routing, but a half-open probe
+     * can re-promote the fast kernel after the cool-down. Not
+     * thread-safe against a concurrent run() on this engine — callers
+     * (the service) serialize per engine. Throws orpheus::Error when
+     * no alternative implementation exists.
      */
     void demote_step(std::size_t index, const std::string &reason);
+
+    /**
+     * Reverses demote_step / a tripped breaker: re-instantiates the
+     * kernel selected at plan time, closes the breaker and clears the
+     * degraded flag. The half-open probe path calls this after a clean
+     * verification; it is also the manual operator override. Same
+     * thread-safety contract as demote_step.
+     */
+    void restore_step(std::size_t index);
+
+    /**
+     * Replaces the guard policy. Takes effect on the next run(); not
+     * thread-safe against a concurrent run() on this engine.
+     */
+    void set_guard_policy(const GuardPolicy &policy)
+    {
+        options_.guard = policy;
+    }
 
     // --- Introspection ----------------------------------------------------
 
@@ -205,9 +251,45 @@ class Engine
      *  injection and the fallback policy. */
     void execute_step(std::size_t index, const DeadlineToken &deadline);
 
+    /** Pre-guard execution path (guard disabled): fault fallback is a
+     *  one-way permanent degradation. */
+    void execute_step_unguarded(std::size_t index,
+                                const DeadlineToken &deadline);
+
+    /** Guarded execution path: output scanning, shadow sampling and
+     *  the circuit breaker (see guard.hpp). */
+    void execute_step_guarded(std::size_t index,
+                              const DeadlineToken &deadline);
+
     /** Swaps step @p index onto its reference fallback kernel; throws
      *  orpheus::Error when no alternative implementation exists. */
     void degrade_step(std::size_t index, const std::string &reason);
+
+    // --- Guard internals --------------------------------------------------
+
+    /** The step's cached reference layer (instantiated on first use);
+     *  throws orpheus::Error when the step has no alternative. */
+    Layer &reference_layer(PlanStep &step);
+
+    /** Scans the step's outputs; on a hit, re-runs on the reference
+     *  implementation to confirm. Returns the confirmed verdict
+     *  (kNone when clean or when the hit is the model's legitimate
+     *  output). */
+    GuardVerdict confirm_outputs(PlanStep &step);
+
+    /** Runs the reference implementation into scratch tensors and
+     *  compares; on divergence copies the reference result into the
+     *  step's outputs and returns the verdict. */
+    GuardVerdict run_shadow(PlanStep &step);
+
+    /** Records a confirmed trip/fault against the breaker; opens it
+     *  when the threshold is crossed or a probe failed. */
+    void record_trip(std::size_t index, GuardTrip kind,
+                     const std::string &reason);
+
+    /** Opens the breaker: routes the step to the reference kernel and
+     *  starts the cool-down. */
+    void open_breaker(std::size_t index, const std::string &reason);
 
     Graph graph_;
     EngineOptions options_;

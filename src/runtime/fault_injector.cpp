@@ -1,6 +1,48 @@
 #include "runtime/fault_injector.hpp"
 
+#include <cstring>
+#include <limits>
+
 namespace orpheus {
+
+const char *
+to_string(CorruptionKind kind)
+{
+    switch (kind) {
+      case CorruptionKind::kNone: return "none";
+      case CorruptionKind::kNaNPoke: return "nan-poke";
+      case CorruptionKind::kBitFlip: return "bit-flip";
+      case CorruptionKind::kMagnitudeSpike: return "magnitude-spike";
+    }
+    return "invalid";
+}
+
+void
+apply_corruption(CorruptionKind kind, Tensor &output)
+{
+    if (kind == CorruptionKind::kNone || !output.has_storage() ||
+        output.dtype() != DataType::kFloat32 || output.numel() == 0)
+        return;
+    float *data = output.data<float>();
+    switch (kind) {
+      case CorruptionKind::kNone:
+        break;
+      case CorruptionKind::kNaNPoke:
+        data[0] = std::numeric_limits<float>::quiet_NaN();
+        break;
+      case CorruptionKind::kBitFlip: {
+        const std::int64_t index = output.numel() / 2;
+        std::uint32_t bits;
+        std::memcpy(&bits, &data[index], sizeof(bits));
+        bits ^= 0x00400000u; // top mantissa bit: up to 1.5x, still finite
+        std::memcpy(&data[index], &bits, sizeof(bits));
+        break;
+      }
+      case CorruptionKind::kMagnitudeSpike:
+        data[0] = 1e30f;
+        break;
+    }
+}
 
 void
 FaultInjector::arm(std::string node_name, std::string impl_name,
@@ -33,6 +75,23 @@ FaultInjector::arm_delay(std::string node_name, std::string impl_name,
 }
 
 void
+FaultInjector::arm_corruption(std::string node_name, std::string impl_name,
+                              CorruptionKind kind,
+                              std::int64_t corrupt_from_call,
+                              std::int64_t max_corruptions)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    corruption_armed_ = true;
+    corruption_node_name_ = std::move(node_name);
+    corruption_impl_name_ = std::move(impl_name);
+    corruption_kind_ = kind;
+    corrupt_from_call_ = corrupt_from_call;
+    max_corruptions_ = max_corruptions;
+    corruption_calls_seen_ = 0;
+    corruptions_injected_ = 0;
+}
+
+void
 FaultInjector::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -51,6 +110,14 @@ FaultInjector::reset()
     max_delays_ = -1;
     delay_calls_seen_ = 0;
     delays_injected_ = 0;
+    corruption_armed_ = false;
+    corruption_node_name_.clear();
+    corruption_impl_name_.clear();
+    corruption_kind_ = CorruptionKind::kNone;
+    corrupt_from_call_ = 0;
+    max_corruptions_ = -1;
+    corruption_calls_seen_ = 0;
+    corruptions_injected_ = 0;
 }
 
 bool
@@ -93,6 +160,28 @@ FaultInjector::delay_ms(const std::string &node_name,
     return delay_ms_;
 }
 
+CorruptionKind
+FaultInjector::corruption(const std::string &node_name,
+                          const std::string &impl_name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!corruption_armed_)
+        return CorruptionKind::kNone;
+    if (!corruption_node_name_.empty() &&
+        corruption_node_name_ != node_name)
+        return CorruptionKind::kNone;
+    if (!corruption_impl_name_.empty() &&
+        corruption_impl_name_ != impl_name)
+        return CorruptionKind::kNone;
+    const std::int64_t ordinal = corruption_calls_seen_++;
+    if (ordinal < corrupt_from_call_)
+        return CorruptionKind::kNone;
+    if (max_corruptions_ >= 0 && corruptions_injected_ >= max_corruptions_)
+        return CorruptionKind::kNone;
+    ++corruptions_injected_;
+    return corruption_kind_;
+}
+
 std::int64_t
 FaultInjector::faults_injected() const
 {
@@ -119,6 +208,20 @@ FaultInjector::delay_calls_seen() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return delay_calls_seen_;
+}
+
+std::int64_t
+FaultInjector::corruptions_injected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return corruptions_injected_;
+}
+
+std::int64_t
+FaultInjector::corruption_calls_seen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return corruption_calls_seen_;
 }
 
 } // namespace orpheus

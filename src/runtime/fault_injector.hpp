@@ -16,6 +16,14 @@
  * is what makes the deadline and watchdog paths deterministically
  * testable — a hang on demand, at a chosen kernel invocation.
  *
+ * A third matcher injects *silent corruption*: after a matching kernel
+ * completes, the engine deterministically damages its first output
+ * (NaN poke, mantissa bit-flip, or magnitude spike) — exactly what a
+ * miscompiled or bit-rotted backend produces, with no exception for
+ * the fallback path and no hang for the watchdog. This is what makes
+ * the output guard, shadow execution and circuit breaker (guard.hpp)
+ * testable without a real miscompile.
+ *
  * Thread-safe: one injector may be shared by engines running on
  * different threads (counters are guarded by a mutex).
  */
@@ -26,8 +34,28 @@
 #include <string>
 
 #include "core/status.hpp"
+#include "core/tensor.hpp"
 
 namespace orpheus {
+
+/** How arm_corruption() damages a matching kernel's output. */
+enum class CorruptionKind {
+    kNone = 0,
+    /** Element 0 becomes a quiet NaN (caught by the non-finite scan). */
+    kNaNPoke,
+    /** The top mantissa bit of the middle element flips — a finite,
+     *  plausible-looking value only shadow execution can catch. */
+    kBitFlip,
+    /** Element 0 becomes 1e30f (caught by the magnitude limit or
+     *  shadow execution, but not the non-finite scan). */
+    kMagnitudeSpike,
+};
+
+const char *to_string(CorruptionKind kind);
+
+/** Applies @p kind to @p output in place (fp32 only; no-op otherwise
+ *  or when the tensor is empty). Deterministic. */
+void apply_corruption(CorruptionKind kind, Tensor &output);
 
 class FaultInjector
 {
@@ -52,7 +80,19 @@ class FaultInjector
                    double delay_ms, std::int64_t delay_from_call = 0,
                    std::int64_t max_delays = -1);
 
-    /** Disarms both matchers and resets all counters. */
+    /**
+     * Arms corruption injection, independent of the fault and delay
+     * matchers (same pattern semantics as arm()). Matching invocations
+     * with ordinal >= @p corrupt_from_call have their first output
+     * damaged per @p kind after the kernel runs. @p max_corruptions < 0
+     * means "no cap".
+     */
+    void arm_corruption(std::string node_name, std::string impl_name,
+                        CorruptionKind kind,
+                        std::int64_t corrupt_from_call = 0,
+                        std::int64_t max_corruptions = -1);
+
+    /** Disarms all matchers and resets all counters. */
     void reset();
 
     /**
@@ -70,6 +110,15 @@ class FaultInjector
     double delay_ms(const std::string &node_name,
                     const std::string &impl_name);
 
+    /**
+     * Called by the engine after each *primary* kernel invocation
+     * (never on guard confirmation, shadow or fallback re-runs);
+     * returns the corruption to apply to the step's output (kNone when
+     * none). Advances the corruption match counter.
+     */
+    CorruptionKind corruption(const std::string &node_name,
+                              const std::string &impl_name);
+
     /** Total faults injected since the last arm()/reset(). */
     std::int64_t faults_injected() const;
 
@@ -82,6 +131,14 @@ class FaultInjector
     /** Invocations matching the delay pattern since the last
      *  arm_delay(). */
     std::int64_t delay_calls_seen() const;
+
+    /** Total corruptions injected since the last
+     *  arm_corruption()/reset(). */
+    std::int64_t corruptions_injected() const;
+
+    /** Invocations matching the corruption pattern since the last
+     *  arm_corruption(). */
+    std::int64_t corruption_calls_seen() const;
 
   private:
     mutable std::mutex mutex_;
@@ -101,6 +158,15 @@ class FaultInjector
     std::int64_t max_delays_ = -1;
     std::int64_t delay_calls_seen_ = 0;
     std::int64_t delays_injected_ = 0;
+
+    bool corruption_armed_ = false;
+    std::string corruption_node_name_;
+    std::string corruption_impl_name_;
+    CorruptionKind corruption_kind_ = CorruptionKind::kNone;
+    std::int64_t corrupt_from_call_ = 0;
+    std::int64_t max_corruptions_ = -1;
+    std::int64_t corruption_calls_seen_ = 0;
+    std::int64_t corruptions_injected_ = 0;
 };
 
 } // namespace orpheus

@@ -124,4 +124,18 @@ select_kernel(const KernelRegistry &registry, const LayerInit &init,
     return result;
 }
 
+const KernelDef *
+select_fallback_kernel(const KernelRegistry &registry, const LayerInit &init,
+                       const std::string &exclude)
+{
+    const auto candidates = registry.candidates(init);
+    // Candidates are priority-sorted descending; walk from the back so
+    // the reference implementation wins.
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+        if ((*it)->impl_name != exclude)
+            return *it;
+    }
+    return nullptr;
+}
+
 } // namespace orpheus

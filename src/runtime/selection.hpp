@@ -48,4 +48,15 @@ SelectionResult select_kernel(const KernelRegistry &registry,
                               SelectionStrategy strategy,
                               int autotune_runs = 3);
 
+/**
+ * The reference (fallback) kernel for @p init: the lowest-priority
+ * supported candidate whose impl name differs from @p exclude. This is
+ * where the fault-fallback, the guard's shadow/confirmation runs and
+ * an open circuit breaker all route to. Returns nullptr when no
+ * alternative exists.
+ */
+const KernelDef *select_fallback_kernel(const KernelRegistry &registry,
+                                        const LayerInit &init,
+                                        const std::string &exclude);
+
 } // namespace orpheus

@@ -191,6 +191,8 @@ InferenceService::worker_loop(std::size_t worker)
             else if (response.status.code() ==
                      StatusCode::kDeadlineExceeded)
                 ++stats_.deadline_exceeded;
+            else if (response.status.code() == StatusCode::kDataCorruption)
+                ++stats_.data_corruption;
             else
                 ++stats_.failed;
         }

@@ -103,7 +103,10 @@ struct ServiceStats {
     /** kDeadlineExceeded results: expired while queued, mid-kernel
      *  cancellation, or watchdog cancellation. */
     std::int64_t deadline_exceeded = 0;
-    /** Non-OK, non-deadline completions. */
+    /** kDataCorruption results: a guard verdict confirmed the fast
+     *  kernel's output wrong (fail_on_corruption policy). */
+    std::int64_t data_corruption = 0;
+    /** Non-OK, non-deadline, non-corruption completions. */
     std::int64_t failed = 0;
     /** Hangs flagged by the watchdog. */
     std::int64_t watchdog_hangs = 0;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "capi/status_map.hpp"
 #include "core/rng.hpp"
 #include "models/model_zoo.hpp"
 #include "onnx/exporter.hpp"
@@ -149,6 +150,91 @@ TEST(CApi, PersonalitySelection)
 
     EXPECT_EQ(orpheus_engine_create_zoo("tiny-cnn", "unknown-framework"),
               nullptr);
+}
+
+TEST(CApi, ErrorCodesAreStableAbiValues)
+{
+    // These values are published ABI: bindings hard-code them, so they
+    // must never change meaning.
+    EXPECT_EQ(ORPHEUS_OK, 0);
+    EXPECT_EQ(ORPHEUS_ERR_INVALID_ARGUMENT, -1);
+    EXPECT_EQ(ORPHEUS_ERR_NOT_FOUND, -2);
+    EXPECT_EQ(ORPHEUS_ERR_RUNTIME, -3);
+    EXPECT_EQ(ORPHEUS_ERR_BUFFER_TOO_SMALL, -4);
+    EXPECT_EQ(ORPHEUS_ERR_DEADLINE_EXCEEDED, -5);
+    EXPECT_EQ(ORPHEUS_ERR_RESOURCE_EXHAUSTED, -6);
+    EXPECT_EQ(ORPHEUS_ERR_DATA_CORRUPTION, -7);
+    EXPECT_EQ(ORPHEUS_ERR_UNIMPLEMENTED, -8);
+    EXPECT_EQ(ORPHEUS_ERR_OUT_OF_RANGE, -9);
+    EXPECT_EQ(ORPHEUS_ERR_FAILED_PRECONDITION, -10);
+    EXPECT_EQ(ORPHEUS_ERR_PARSE, -11);
+}
+
+TEST(CApi, StatusCodesRoundTripThroughCCodes)
+{
+    using orpheus::StatusCode;
+    const StatusCode all[] = {
+        StatusCode::kOk,
+        StatusCode::kInvalidArgument,
+        StatusCode::kNotFound,
+        StatusCode::kUnimplemented,
+        StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition,
+        StatusCode::kInternal,
+        StatusCode::kParseError,
+        StatusCode::kDeadlineExceeded,
+        StatusCode::kResourceExhausted,
+        StatusCode::kDataCorruption,
+    };
+    for (const StatusCode code : all) {
+        const int c_code = orpheus::capi::to_c_code(code);
+        EXPECT_EQ(orpheus::capi::from_c_code(c_code), code)
+            << "C code " << c_code;
+        if (code != StatusCode::kOk)
+            EXPECT_LT(c_code, 0);
+    }
+    EXPECT_EQ(orpheus::capi::to_c_code(StatusCode::kDataCorruption),
+              ORPHEUS_ERR_DATA_CORRUPTION);
+    // Unknown C codes degrade to kInternal rather than UB.
+    EXPECT_EQ(orpheus::capi::from_c_code(-999),
+              orpheus::StatusCode::kInternal);
+}
+
+TEST(CApi, ErrorNamesMatchStatusCodes)
+{
+    EXPECT_STREQ(orpheus_error_name(ORPHEUS_OK), "OK");
+    EXPECT_STREQ(orpheus_error_name(ORPHEUS_ERR_DATA_CORRUPTION),
+                 "DataCorruption");
+    EXPECT_STREQ(orpheus_error_name(ORPHEUS_ERR_DEADLINE_EXCEEDED),
+                 "DeadlineExceeded");
+    EXPECT_STREQ(orpheus_error_name(ORPHEUS_ERR_RESOURCE_EXHAUSTED),
+                 "ResourceExhausted");
+    EXPECT_STREQ(orpheus_error_name(ORPHEUS_ERR_BUFFER_TOO_SMALL),
+                 "BufferTooSmall");
+    EXPECT_STREQ(orpheus_error_name(-999), "Unknown");
+}
+
+TEST(CApi, SetGuardValidatesAndRunsClean)
+{
+    orpheus_engine *engine = orpheus_engine_create_zoo("tiny-mlp", nullptr);
+    ASSERT_NE(engine, nullptr);
+
+    EXPECT_EQ(orpheus_engine_set_guard(nullptr, 1, 0),
+              ORPHEUS_ERR_INVALID_ARGUMENT);
+    EXPECT_EQ(orpheus_engine_set_guard(engine, 1, -2),
+              ORPHEUS_ERR_INVALID_ARGUMENT);
+    ASSERT_EQ(orpheus_engine_set_guard(engine, 1, 1), ORPHEUS_OK);
+
+    // A healthy model runs guarded without tripping anything.
+    std::vector<float> input(32, 0.5f);
+    std::vector<float> output(10);
+    EXPECT_EQ(orpheus_engine_run(engine, input.data(), input.size(),
+                                 output.data(), output.size()),
+              ORPHEUS_OK)
+        << orpheus_last_error();
+
+    ASSERT_EQ(orpheus_engine_set_guard(engine, 0, 0), ORPHEUS_OK);
+    orpheus_engine_destroy(engine);
 }
 
 TEST(CApi, CreateFromOnnxFile)

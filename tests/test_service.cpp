@@ -267,6 +267,53 @@ TEST(InferenceService, WatchdogCancelsHungStepAndDemotesBackend)
     EXPECT_TRUE(saw_demoted_conv);
 }
 
+// --- Guarded serving ------------------------------------------------------
+
+TEST(InferenceService, GuardStopsCorruptedRequestsThenBreakerRecoversService)
+{
+    EngineOptions engine_options;
+    engine_options.backend.forced_impl["Conv"] = "im2col_gemm";
+    engine_options.guard.enabled = true;
+    engine_options.guard.open_after_trips = 2;
+    engine_options.guard.cooldown_ms = 1e9; // Breaker stays open.
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Poison the first two im2col_gemm invocations; with
+    // fail_on_corruption the first two requests each die at the first
+    // conv, so exactly two requests observe corruption.
+    engine_options.fault_injector->arm_corruption(
+        "", "im2col_gemm", CorruptionKind::kNaNPoke, 0, 2);
+
+    ServiceOptions options;
+    options.workers = 1;
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    const InferenceResponse first = service.run(cnn_inputs(0x9a01));
+    EXPECT_EQ(first.status.code(), StatusCode::kDataCorruption)
+        << first.status.to_string();
+    EXPECT_TRUE(first.outputs.empty())
+        << "corrupted data must never be served";
+
+    const InferenceResponse second = service.run(cnn_inputs(0x9a02));
+    EXPECT_EQ(second.status.code(), StatusCode::kDataCorruption);
+
+    // The breaker is now open and routes the poisoned kernel to the
+    // reference implementation: the service heals without restart.
+    const InferenceResponse healed = service.run(cnn_inputs(0x9a03));
+    ASSERT_TRUE(healed.status.is_ok()) << healed.status.to_string();
+    ASSERT_EQ(healed.outputs.size(), 1u);
+
+    Engine reference(models::tiny_cnn(), {});
+    const auto expected = reference.run(cnn_inputs(0x9a03));
+    testing::expect_close(healed.outputs.begin()->second,
+                          expected.begin()->second, 1e-4f, 1e-3f);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.data_corruption, 2);
+    EXPECT_GE(stats.completed_ok, 1);
+    EXPECT_EQ(engine_options.fault_injector->corruptions_injected(), 2);
+}
+
 // --- Concurrency ----------------------------------------------------------
 
 TEST(InferenceService, ConcurrentCallersMatchSerialEngineBitwise)

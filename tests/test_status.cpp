@@ -105,6 +105,17 @@ TEST(Status, DeadlineExceededErrorIsAnError)
     EXPECT_THROW(throw DeadlineExceededError("cancelled"), Error);
 }
 
+TEST(Status, DataCorruptionCodeRoundTrips)
+{
+    EXPECT_EQ(data_corruption_error("bad numbers").code(),
+              StatusCode::kDataCorruption);
+    EXPECT_EQ(data_corruption_error("bad numbers").to_string(),
+              "DataCorruption: bad numbers");
+    EXPECT_STREQ(to_string(StatusCode::kDataCorruption),
+                 "DataCorruption");
+    EXPECT_THROW(throw DataCorruptionError("wrong"), Error);
+}
+
 TEST(Check, ReturnIfErrorPropagates)
 {
     const auto fails = [] { return internal_error("inner"); };

@@ -64,6 +64,13 @@ struct CliOptions {
     int queue_depth = 16;
     double deadline_ms = 0;
     int workers = 2;
+    bool guard = false;
+    int shadow_every = 0;
+    double guard_cooldown_ms = 250;
+    std::string corrupt_kind; // "" | nan | bitflip | spike
+    std::string corrupt_node;
+    std::string corrupt_impl;
+    int corrupt_max = -1;
     std::vector<std::string> positional;
 };
 
@@ -77,7 +84,12 @@ usage()
         "  options: --personality <p> --threads <n> --runs <n> "
         "--profile --autotune\n"
         "  serve:   --clients <n> --requests <n> --queue-depth <n> "
-        "--deadline-ms <ms> --workers <n>\n");
+        "--deadline-ms <ms> --workers <n>\n"
+        "  guard (run/serve): --guard --shadow-every <n> "
+        "--guard-cooldown-ms <ms>\n"
+        "  chaos (run/serve): --corrupt <nan|bitflip|spike> "
+        "[--corrupt-node <name>] [--corrupt-impl <impl>] "
+        "[--corrupt-max <n>]\n");
     return 2;
 }
 
@@ -111,6 +123,21 @@ parse_options(int argc, char **argv, int first)
             options.deadline_ms = std::stod(next_value("--deadline-ms"));
         else if (arg == "--workers")
             options.workers = std::stoi(next_value("--workers"));
+        else if (arg == "--guard")
+            options.guard = true;
+        else if (arg == "--shadow-every")
+            options.shadow_every = std::stoi(next_value("--shadow-every"));
+        else if (arg == "--guard-cooldown-ms")
+            options.guard_cooldown_ms =
+                std::stod(next_value("--guard-cooldown-ms"));
+        else if (arg == "--corrupt")
+            options.corrupt_kind = next_value("--corrupt");
+        else if (arg == "--corrupt-node")
+            options.corrupt_node = next_value("--corrupt-node");
+        else if (arg == "--corrupt-impl")
+            options.corrupt_impl = next_value("--corrupt-impl");
+        else if (arg == "--corrupt-max")
+            options.corrupt_max = std::stoi(next_value("--corrupt-max"));
         else
             options.positional.push_back(arg);
     }
@@ -159,6 +186,60 @@ engine_options(const CliOptions &cli, bool profiling)
     if (cli.autotune)
         options.selection = SelectionStrategy::kAutoTune;
     return options;
+}
+
+CorruptionKind
+corruption_kind_by_name(const std::string &name)
+{
+    if (name == "nan")
+        return CorruptionKind::kNaNPoke;
+    if (name == "bitflip")
+        return CorruptionKind::kBitFlip;
+    if (name == "spike")
+        return CorruptionKind::kMagnitudeSpike;
+    ORPHEUS_CHECK(false,
+                  "--corrupt must be nan, bitflip or spike, got " << name);
+    return CorruptionKind::kNone;
+}
+
+/** Applies --guard/--corrupt flags to @p options for run and serve. */
+void
+apply_guard_and_chaos(const CliOptions &cli, EngineOptions &options)
+{
+    if (cli.guard) {
+        options.guard.enabled = true;
+        options.guard.shadow_every_n = cli.shadow_every;
+        options.guard.cooldown_ms = cli.guard_cooldown_ms;
+    }
+    if (!cli.corrupt_kind.empty()) {
+        auto injector = std::make_shared<FaultInjector>();
+        injector->arm_corruption(cli.corrupt_node, cli.corrupt_impl,
+                                 corruption_kind_by_name(cli.corrupt_kind),
+                                 /*corrupt_from_call=*/0,
+                                 cli.corrupt_max);
+        options.fault_injector = std::move(injector);
+    }
+}
+
+/** Prints the process-wide per-kernel health ledger (guard runs). */
+void
+print_kernel_health()
+{
+    const auto snapshot = KernelRegistry::instance().health().snapshot();
+    if (snapshot.empty())
+        return;
+    std::printf("\nkernel health ledger:\n");
+    std::printf("  %-28s %6s %6s %6s %6s %8s %8s\n", "kernel", "trips",
+                "faults", "opens", "recov", "shadows", "diverged");
+    for (const auto &[id, record] : snapshot)
+        std::printf("  %-28s %6lld %6lld %6lld %6lld %8lld %8lld\n",
+                    id.c_str(),
+                    static_cast<long long>(record.guard_trips),
+                    static_cast<long long>(record.faults),
+                    static_cast<long long>(record.breaker_opens),
+                    static_cast<long long>(record.recoveries),
+                    static_cast<long long>(record.shadow_runs),
+                    static_cast<long long>(record.shadow_divergences));
 }
 
 int
@@ -226,20 +307,29 @@ cmd_run(const CliOptions &cli)
         personality_by_name(cli.personality);
     set_global_num_threads(personality.effective_threads(cli.threads));
 
-    Engine engine(load_model(cli.positional[0]),
-                  engine_options(cli, cli.profile));
+    EngineOptions options = engine_options(cli, cli.profile);
+    apply_guard_and_chaos(cli, options);
+    Engine engine(load_model(cli.positional[0]), options);
     ExperimentConfig config;
     config.timed_runs = cli.runs;
-    const ExperimentResult result = time_inference(engine, config);
-    std::printf("%s under %s (%d threads requested): %s\n",
-                engine.graph().name().c_str(), personality.name.c_str(),
-                cli.threads, result.stats.to_string().c_str());
+    try {
+        const ExperimentResult result = time_inference(engine, config);
+        std::printf("%s under %s (%d threads requested): %s\n",
+                    engine.graph().name().c_str(), personality.name.c_str(),
+                    cli.threads, result.stats.to_string().c_str());
+    } catch (const DataCorruptionError &error) {
+        std::printf("guard stopped the run: %s\n", error.what());
+        print_kernel_health();
+        return 1;
+    }
 
     if (cli.profile) {
         const auto timings = profile_layers(engine, cli.runs);
         std::printf("\n%s",
                     layer_timings_to_string(timings, 25).c_str());
     }
+    if (cli.guard)
+        print_kernel_health();
     return 0;
 }
 
@@ -313,8 +403,9 @@ cmd_serve(const CliOptions &cli)
         static_cast<std::size_t>(std::max(1, cli.queue_depth));
     service_options.workers = std::max(1, cli.workers);
     service_options.default_deadline_ms = cli.deadline_ms;
-    InferenceService service(load_model(cli.positional[0]),
-                             engine_options(cli, false),
+    EngineOptions eng_options = engine_options(cli, false);
+    apply_guard_and_chaos(cli, eng_options);
+    InferenceService service(load_model(cli.positional[0]), eng_options,
                              service_options);
 
     char deadline_text[32] = "unlimited";
@@ -329,6 +420,12 @@ cmd_serve(const CliOptions &cli)
     std::printf("per-request activation footprint: %.1f KiB\n",
                 static_cast<double>(service.request_footprint_bytes()) /
                     1024.0);
+    if (cli.guard)
+        std::printf("guard: on (shadow every %d, cool-down %g ms)%s\n",
+                    cli.shadow_every, cli.guard_cooldown_ms,
+                    cli.corrupt_kind.empty()
+                        ? ""
+                        : "  [corruption injection armed]");
 
     std::mutex merge_mutex;
     std::vector<double> latencies;
@@ -401,6 +498,12 @@ cmd_serve(const CliOptions &cli)
     std::printf("watchdog: %lld hangs, %lld demotions\n",
                 static_cast<long long>(stats.watchdog_hangs),
                 static_cast<long long>(stats.demotions));
+    if (cli.guard) {
+        std::printf("guard: %lld requests stopped on confirmed "
+                    "corruption (never served wrong data)\n",
+                    static_cast<long long>(stats.data_corruption));
+        print_kernel_health();
+    }
     service.stop();
     return 0;
 }
