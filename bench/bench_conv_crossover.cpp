@@ -125,5 +125,6 @@ main(int argc, char **argv)
         previous_winner = winner;
     }
     print_csv("layer", "algorithm");
+    write_json("conv_crossover");
     return status;
 }

@@ -122,5 +122,6 @@ main(int argc, char **argv)
                     "(%.2f ms vs %.2f ms)\n",
                     total_slow / total_fast, total_slow, total_fast);
     print_csv("layer", "path");
+    write_json("depthwise");
     return status;
 }

@@ -113,5 +113,6 @@ main(int argc, char **argv)
     print_csv("model", "framework");
     if (!quick_mode())
         print_analysis();
+    write_json("fig2_models");
     return status;
 }

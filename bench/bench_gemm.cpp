@@ -117,5 +117,6 @@ main(int argc, char **argv)
                         shape.label, naive / packed, blocked / packed);
     }
     print_csv("shape", "variant");
+    write_json("gemm");
     return status;
 }

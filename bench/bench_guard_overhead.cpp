@@ -113,5 +113,6 @@ main(int argc, char **argv)
     std::printf("\nthe scan level is the always-on production setting; "
                 "shadow sampling buys silent-corruption detection at a "
                 "duty-cycle-proportional cost.\n");
+    write_json("guard_overhead");
     return status;
 }

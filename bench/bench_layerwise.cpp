@@ -27,16 +27,19 @@ layer_results()
 }
 
 void
-layerwise_cell(::benchmark::State &state, const FrameworkPersonality &p)
+layerwise_cell(::benchmark::State &state, const FrameworkPersonality &p,
+               bool prepared)
 {
     set_global_num_threads(1);
     EngineOptions options = p.options;
     options.enable_profiling = true;
+    options.prepare_kernels = prepared;
     const float width = quick_mode() ? 0.25f : 1.0f;
     Engine engine(models::mobilenet_v1(1000, width), options);
 
-    run_inference_cell(state, engine, "mobilenet-v1", p.name);
-    layer_results()[p.name] = profile_layers(engine, 1);
+    const std::string column = prepared ? p.name : p.name + "-noprep";
+    run_inference_cell(state, engine, "mobilenet-v1", column);
+    layer_results()[column] = profile_layers(engine, 1);
 }
 
 } // namespace
@@ -44,15 +47,24 @@ layerwise_cell(::benchmark::State &state, const FrameworkPersonality &p)
 int
 main(int argc, char **argv)
 {
+    // Each personality runs twice: with the plan-time kernel-preparation
+    // stage (the default) and without it (per-call packing, self-managed
+    // scratch) — the ablation that prices what prepare() removes from
+    // steady-state inference.
     for (const FrameworkPersonality &p :
          {orpheus_personality(), pytorch_like_personality()}) {
-        const std::string name = "layerwise/mobilenet-v1/" + p.name;
-        ::benchmark::RegisterBenchmark(
-            name.c_str(),
-            [p](::benchmark::State &state) { layerwise_cell(state, p); })
-            ->Iterations(timed_runs())
-            ->UseManualTime()
-            ->Unit(::benchmark::kMillisecond);
+        for (const bool prepared : {true, false}) {
+            const std::string name = "layerwise/mobilenet-v1/" + p.name +
+                                     (prepared ? "" : "/noprep");
+            ::benchmark::RegisterBenchmark(
+                name.c_str(),
+                [p, prepared](::benchmark::State &state) {
+                    layerwise_cell(state, p, prepared);
+                })
+                ->Iterations(timed_runs())
+                ->UseManualTime()
+                ->Unit(::benchmark::kMillisecond);
+        }
     }
 
     const int status = orpheus::bench::run_benchmarks(argc, argv);
@@ -81,6 +93,9 @@ main(int argc, char **argv)
     std::printf("\nthe PyTorch-like profile concentrates its extra time "
                 "in the grouped im2col_gemm rows that replace "
                 "depthwise_direct — the per-layer form of the paper's "
-                "MobileNetV1 explanation.\n");
+                "MobileNetV1 explanation. The -noprep columns price the "
+                "per-call weight packing and scratch allocation the "
+                "prepare stage removes.\n");
+    write_json("layerwise");
     return status;
 }

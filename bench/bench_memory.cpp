@@ -106,5 +106,6 @@ main(int argc, char **argv)
                         : 0.0);
     }
     print_csv("model", "metric");
+    write_json("memory");
     return status;
 }

@@ -90,5 +90,6 @@ main(int argc, char **argv)
                     simplified);
     }
     print_csv("model", "pipeline");
+    write_json("passes");
     return status;
 }

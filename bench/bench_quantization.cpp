@@ -143,5 +143,6 @@ main(int argc, char **argv)
                 "the fp32 GEMM uses the host's full SIMD width; on edge "
                 "targets the ~4x weight-footprint saving is the win.)\n");
     print_csv("model", "precision");
+    write_json("quantization");
     return status;
 }

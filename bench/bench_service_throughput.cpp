@@ -210,5 +210,6 @@ main(int argc, char **argv)
                 "requests for bounded tail latency; nothing queues "
                 "without bound.\n");
     print_csv("config", "metric");
+    write_json("service_throughput");
     return status;
 }

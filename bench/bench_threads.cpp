@@ -93,5 +93,6 @@ main(int argc, char **argv)
     std::printf("\nthe TFLite-like row shows why the paper could not put "
                 "TF-Lite in Figure 2: a 1-thread request is ignored.\n");
     print_csv("model", "threads");
+    write_json("threads");
     return status;
 }

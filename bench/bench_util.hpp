@@ -10,6 +10,9 @@
  * Environment knobs:
  *   ORPHEUS_BENCH_RUNS   timed runs per cell (default 3)
  *   ORPHEUS_BENCH_QUICK  =1: smallest configuration everywhere
+ *   ORPHEUS_BENCH_JSON   directory: each binary additionally writes its
+ *                        cells to <dir>/BENCH_<slug>.json for the
+ *                        perf-trajectory file set
  */
 #pragma once
 
@@ -156,6 +159,66 @@ print_csv(const std::string &row_header, const std::string &column_header)
     for (const Cell &cell : cells())
         std::printf("%s,%s,%.4f\n", cell.row.c_str(), cell.column.c_str(),
                     cell.mean_ms);
+}
+
+/** Escapes a string for embedding in a JSON string literal. */
+inline std::string
+json_escape(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Writes the collected cells to <ORPHEUS_BENCH_JSON>/BENCH_<slug>.json.
+ * No-op when the knob is unset, so console-only runs are unaffected.
+ */
+inline void
+write_json(const std::string &slug)
+{
+    const std::string dir = env_string("ORPHEUS_BENCH_JSON", "");
+    if (dir.empty())
+        return;
+    const std::string path = dir + "/BENCH_" + slug + ".json";
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(file,
+                 "{\n  \"bench\": \"%s\",\n  \"runs\": %d,\n"
+                 "  \"quick\": %s,\n  \"cells\": [\n",
+                 json_escape(slug).c_str(), timed_runs(),
+                 quick_mode() ? "true" : "false");
+    for (std::size_t i = 0; i < cells().size(); ++i) {
+        const Cell &cell = cells()[i];
+        std::fprintf(file,
+                     "    {\"row\": \"%s\", \"column\": \"%s\", "
+                     "\"mean_ms\": %.6f}%s\n",
+                     json_escape(cell.row).c_str(),
+                     json_escape(cell.column).c_str(), cell.mean_ms,
+                     i + 1 < cells().size() ? "," : "");
+    }
+    std::fprintf(file, "  ]\n}\n");
+    std::fclose(file);
+    std::printf("\nwrote %s\n", path.c_str());
 }
 
 /** Standard main body: parse args, run benchmarks, return success. */

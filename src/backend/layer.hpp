@@ -5,14 +5,29 @@
  * "In Orpheus, layers are treated as first class citizens, and have
  *  multiple implementations which are selected at runtime."
  *
- * A Layer is one executable implementation of one graph node. It is
- * constructed at plan time from a LayerInit (static shapes, attributes,
- * resolved constant inputs) so it can decode hyper-parameters and
- * pre-pack weights once, then its forward() is called per inference with
- * the resolved runtime tensors.
+ * A Layer is one executable implementation of one graph node. Its
+ * lifecycle has three stages, all driven by the engine:
+ *
+ *   1. construct  — from a LayerInit (static shapes, attributes,
+ *                   resolved constant inputs): decode hyper-parameters.
+ *   2. prepare    — once at plan time: build prepacked constant caches
+ *                   (packed weights, Winograd U, quantized row sums) and
+ *                   report the per-invocation workspace requirement via
+ *                   the PlanContext. The engine sizes one workspace
+ *                   segment to the maximum across the plan (steps run
+ *                   sequentially, so they share it) and hands it back
+ *                   through bind_workspace().
+ *   3. forward    — per inference with the resolved runtime tensors;
+ *                   steady-state execution carves all scratch from the
+ *                   bound workspace and performs no heap allocation.
+ *
+ * A layer that is never prepared (the ablation baseline, or a layer
+ * instantiated outside an engine) must still work: kernels fall back to
+ * self-managed scratch when no workspace is bound.
  */
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,10 +81,90 @@ struct LayerInit {
     }
 };
 
+/**
+ * Plan-time accumulator for a layer's per-invocation scratch needs.
+ *
+ * prepare() calls reserve() once per scratch buffer; every reservation
+ * is aligned to kWorkspaceAlignment so vectorised kernels keep their
+ * aligned base addresses. The returned offset is stable for the life of
+ * the layer — forward() resolves it against the Workspace bound later.
+ */
+class PlanContext
+{
+  public:
+    /** Alignment of every reservation (matches Buffer::kAlignment). */
+    static constexpr std::size_t kWorkspaceAlignment = 64;
+
+    /** Reserves @p bytes of workspace; returns the aligned offset. */
+    std::size_t
+    reserve(std::size_t bytes)
+    {
+        const std::size_t offset = total_;
+        total_ += (bytes + kWorkspaceAlignment - 1) / kWorkspaceAlignment *
+                  kWorkspaceAlignment;
+        return offset;
+    }
+
+    /** Total bytes reserved so far. */
+    std::size_t workspace_bytes() const { return total_; }
+
+  private:
+    std::size_t total_ = 0;
+};
+
+/**
+ * Run-time view of the engine-owned workspace segment. Non-owning and
+ * trivially copyable; an unbound (default) workspace resolves every
+ * offset to nullptr, which kernels treat as "allocate your own scratch".
+ */
+class Workspace
+{
+  public:
+    Workspace() = default;
+    Workspace(void *base, std::size_t size)
+        : base_(static_cast<char *>(base)), size_(size)
+    {
+    }
+
+    bool bound() const { return base_ != nullptr; }
+    std::size_t size() const { return size_; }
+
+    /** Pointer to the reservation at @p offset, or nullptr if unbound. */
+    template <typename T>
+    T *
+    at(std::size_t offset) const
+    {
+        return base_ != nullptr ? reinterpret_cast<T *>(base_ + offset)
+                                : nullptr;
+    }
+
+  private:
+    char *base_ = nullptr;
+    std::size_t size_ = 0;
+};
+
 class Layer
 {
   public:
     virtual ~Layer() = default;
+
+    /**
+     * Plan-time preparation: build prepacked constant caches and reserve
+     * per-invocation workspace via @p ctx. Called exactly once by the
+     * engine, after construction and before the first forward(). The
+     * default prepares nothing.
+     */
+    virtual void prepare(PlanContext &ctx) { (void)ctx; }
+
+    /**
+     * Hands the layer the engine's workspace segment. May be called
+     * again (with a larger segment) when a later-prepared layer grows
+     * the requirement; implementations must just store the view.
+     */
+    virtual void bind_workspace(const Workspace &workspace)
+    {
+        (void)workspace;
+    }
 
     /**
      * Executes the layer. @p inputs / @p outputs are index-aligned with

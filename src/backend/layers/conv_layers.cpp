@@ -6,6 +6,12 @@
  * machinery (heuristic priorities, forced impls, or the auto-tuner)
  * picks among them per node. This file is the concrete form of the
  * paper's "multiple implementations selected at runtime".
+ *
+ * Each implementation participates in the prepare stage (layer.hpp):
+ * constant caches (spatial-pack weight packs, Winograd U) are built
+ * once at plan time, and per-invocation scratch (im2col columns,
+ * padded inputs, GEMM panels, Winograd staging) is reserved in the
+ * engine workspace so steady-state forward() never heap-allocates.
  */
 #include "backend/kernel_registry.hpp"
 
@@ -25,8 +31,30 @@ class ConvLayerBase : public Layer
                                            init.input(1).shape)),
           activation_(ActivationSpec::from_fused_attrs(init.node->attrs())),
           gemm_variant_(init.config->gemm_variant),
-          has_bias_(init.node->has_input(2))
+          has_bias_(init.node->has_input(2)),
+          const_weight_(init.constant(1))
     {
+        // Shape-only argument bundle (pointers stay null): gives the
+        // prepare stage the exact scratch geometry forward() will use.
+        const Shape &in = init.input(0).shape;
+        const Shape &out = init.output(0).shape;
+        shape_args_.batch = in.dim(0);
+        shape_args_.in_c = in.dim(1);
+        shape_args_.in_h = in.dim(2);
+        shape_args_.in_w = in.dim(3);
+        shape_args_.out_c = out.dim(1);
+        shape_args_.out_h = out.dim(2);
+        shape_args_.out_w = out.dim(3);
+        shape_args_.params = params_;
+        shape_args_.activation = activation_;
+        shape_args_.gemm_variant = gemm_variant_;
+    }
+
+    void
+    bind_workspace(const Workspace &workspace) override
+    {
+        workspace_ = workspace;
+        rebind();
     }
 
     void
@@ -35,16 +63,30 @@ class ConvLayerBase : public Layer
     {
         const Tensor *bias = has_bias_ ? inputs[2] : nullptr;
         conv2d(algo(), *inputs[0], *inputs[1], bias, params_, activation_,
-               *outputs[0], gemm_variant_);
+               *outputs[0], gemm_variant_, active_scratch());
     }
 
   protected:
     virtual ConvAlgo algo() const = 0;
 
+    /** Re-resolves scratch_ pointers against workspace_. */
+    virtual void rebind() {}
+
+    const Conv2dScratch *
+    active_scratch() const
+    {
+        return prepared_ ? &scratch_ : nullptr;
+    }
+
     Conv2dParams params_;
     ActivationSpec activation_;
     GemmVariant gemm_variant_;
     bool has_bias_;
+    const Tensor *const_weight_;
+    Conv2dArgs shape_args_;
+    Workspace workspace_;
+    Conv2dScratch scratch_;
+    bool prepared_ = false;
 };
 
 class ConvDirectLayer : public ConvLayerBase
@@ -55,33 +97,116 @@ class ConvDirectLayer : public ConvLayerBase
 
 class ConvIm2colGemmLayer : public ConvLayerBase
 {
+  public:
     using ConvLayerBase::ConvLayerBase;
+
+    void
+    prepare(PlanContext &ctx) override
+    {
+        col_floats_ = conv2d_im2col_col_floats(shape_args_);
+        if (col_floats_ > 0)
+            col_offset_ = ctx.reserve(col_floats_ * sizeof(float));
+        if (gemm_variant_ == GemmVariant::kPacked)
+            b_pack_offset_ =
+                ctx.reserve(gemm_packed_b_pack_floats() * sizeof(float));
+        prepared_ = true;
+        rebind();
+    }
+
+  private:
     ConvAlgo algo() const override { return ConvAlgo::kIm2colGemm; }
+
+    void
+    rebind() override
+    {
+        if (col_floats_ > 0)
+            scratch_.col = workspace_.at<float>(col_offset_);
+        if (gemm_variant_ == GemmVariant::kPacked)
+            scratch_.gemm.b_pack = workspace_.at<float>(b_pack_offset_);
+    }
+
+    std::size_t col_floats_ = 0;
+    std::size_t col_offset_ = 0;
+    std::size_t b_pack_offset_ = 0;
 };
 
+/**
+ * Spatial-pack conv: with constant weights (the usual case) the packed
+ * weight cache is built once at plan time and the kernel's packing
+ * stage disappears from every inference; runtime weights fall back to
+ * per-call packing into workspace.
+ */
 class ConvSpatialPackLayer : public ConvLayerBase
 {
+  public:
     using ConvLayerBase::ConvLayerBase;
+
+    void
+    prepare(PlanContext &ctx) override
+    {
+        const std::size_t pack_floats =
+            conv2d_spatial_pack_weights_floats(shape_args_);
+        if (const_weight_ != nullptr) {
+            packed_weights_.resize(pack_floats);
+            Conv2dArgs args = shape_args_;
+            args.weight = const_weight_->data<float>();
+            conv2d_spatial_pack_pack_weights(args, packed_weights_.data());
+        } else {
+            weight_pack_offset_ =
+                ctx.reserve(pack_floats * sizeof(float));
+        }
+        padded_offset_ = ctx.reserve(
+            conv2d_spatial_pack_padded_floats(shape_args_) * sizeof(float));
+        prepared_ = true;
+        rebind();
+    }
+
+  private:
     ConvAlgo algo() const override { return ConvAlgo::kSpatialPack; }
+
+    void
+    rebind() override
+    {
+        if (!packed_weights_.empty())
+            scratch_.packed_weights = packed_weights_.data();
+        else
+            scratch_.weight_pack = workspace_.at<float>(weight_pack_offset_);
+        scratch_.padded_input = workspace_.at<float>(padded_offset_);
+    }
+
+    std::vector<float> packed_weights_;
+    std::size_t weight_pack_offset_ = 0;
+    std::size_t padded_offset_ = 0;
 };
 
 /**
  * Winograd conv with plan-time weight pre-transformation: when the
  * weights are constant (the usual case), U = G g G^T is computed once
- * here instead of on every inference — the canonical example of work a
- * Layer moves from forward() into its constructor.
+ * in prepare() instead of on every inference — the canonical example of
+ * work the prepare stage moves out of forward().
  */
 class ConvWinogradLayer : public ConvLayerBase
 {
   public:
-    explicit ConvWinogradLayer(const LayerInit &init)
-        : ConvLayerBase(init)
+    using ConvLayerBase::ConvLayerBase;
+
+    void
+    prepare(PlanContext &ctx) override
     {
-        if (const Tensor *weight = init.constant(1)) {
+        if (const_weight_ != nullptr) {
             cached_u_ = winograd_transform_weights(
-                weight->data<float>(), weight->shape().dim(0),
-                weight->shape().dim(1));
+                const_weight_->data<float>(), const_weight_->shape().dim(0),
+                const_weight_->shape().dim(1));
         }
+        v_offset_ = ctx.reserve(conv2d_winograd_v_floats(shape_args_) *
+                                sizeof(float));
+        m_offset_ = ctx.reserve(conv2d_winograd_m_floats(shape_args_) *
+                                sizeof(float));
+        if (gemm_variant_ == GemmVariant::kPacked)
+            b_pack_offset_ =
+                ctx.reserve(gemm_packed_b_pack_floats() * sizeof(float));
+        prepared_ = true;
+        rebind();
     }
 
     void
@@ -89,6 +214,8 @@ class ConvWinogradLayer : public ConvLayerBase
             const std::vector<Tensor *> &outputs) override
     {
         if (cached_u_.empty()) {
+            // Runtime weights (or an unprepared layer): the per-call
+            // transform path through the conv2d dispatcher.
             ConvLayerBase::forward(inputs, outputs);
             return;
         }
@@ -109,13 +236,26 @@ class ConvWinogradLayer : public ConvLayerBase
         args.params = params_;
         args.activation = activation_;
         args.gemm_variant = gemm_variant_;
-        conv2d_winograd_pretransformed(args, cached_u_.data());
+        conv2d_winograd_pretransformed(args, cached_u_.data(),
+                                       active_scratch());
     }
 
   private:
     ConvAlgo algo() const override { return ConvAlgo::kWinograd; }
 
+    void
+    rebind() override
+    {
+        scratch_.v = workspace_.at<float>(v_offset_);
+        scratch_.m = workspace_.at<float>(m_offset_);
+        if (gemm_variant_ == GemmVariant::kPacked)
+            scratch_.gemm.b_pack = workspace_.at<float>(b_pack_offset_);
+    }
+
     std::vector<float> cached_u_;
+    std::size_t v_offset_ = 0;
+    std::size_t m_offset_ = 0;
+    std::size_t b_pack_offset_ = 0;
 };
 
 class ConvDepthwiseLayer : public ConvLayerBase

@@ -117,24 +117,33 @@ class QLinearConvLayer : public Layer
 {
   public:
     explicit QLinearConvLayer(const LayerInit &init)
-        : conv_params_(Conv2dParams::from_attrs(init.node->attrs(),
-                                                init.input(3).shape)),
-          input_params_(read_params(init, 1, 2)),
-          weight_params_{1.0f, read_zero_point(init, 5)},
-          weight_channel_scales_(read_channel_scales(init, 4)),
-          output_params_(read_params(init, 6, 7)),
-          activation_(ActivationSpec::from_fused_attrs(init.node->attrs())),
-          has_bias_(init.node->has_input(8))
+        : has_bias_(init.node->has_input(8)),
+          const_weight_(init.constant(3)),
+          in_c_(init.input(0).shape.dim(1)),
+          out_c_(init.output(0).shape.dim(1)),
+          out_h_(init.output(0).shape.dim(2)),
+          out_w_(init.output(0).shape.dim(3))
     {
-        ORPHEUS_CHECK(weight_params_.zero_point == 0,
+        // The argument bundle (including the per-channel scale vector)
+        // is assembled once here; forward() only patches the tensor
+        // pointers, so the steady-state path never copies the scales.
+        args_.params = Conv2dParams::from_attrs(init.node->attrs(),
+                                                init.input(3).shape);
+        args_.input_params = read_params(init, 1, 2);
+        args_.weight_params = QuantParams{1.0f, read_zero_point(init, 5)};
+        args_.weight_channel_scales = read_channel_scales(init, 4);
+        args_.output_params = read_params(init, 6, 7);
+        args_.activation =
+            ActivationSpec::from_fused_attrs(init.node->attrs());
+        ORPHEUS_CHECK(args_.weight_params.zero_point == 0,
                       "QLinearConv " << init.node->name()
                                      << ": only symmetric int8 weights are "
                                         "supported");
-        if (weight_channel_scales_.empty())
-            weight_params_.scale = read_scale(init, 4);
+        if (args_.weight_channel_scales.empty())
+            args_.weight_params.scale = read_scale(init, 4);
         else
             ORPHEUS_CHECK(static_cast<std::int64_t>(
-                              weight_channel_scales_.size()) ==
+                              args_.weight_channel_scales.size()) ==
                               init.input(3).shape.dim(0),
                           "QLinearConv " << init.node->name()
                                          << ": per-channel scale count "
@@ -142,31 +151,64 @@ class QLinearConvLayer : public Layer
     }
 
     void
+    prepare(PlanContext &ctx) override
+    {
+        col_offset_ = ctx.reserve(
+            qconv2d_col_count(in_c_, args_.params, out_h_, out_w_) *
+            sizeof(std::uint8_t));
+        acc_offset_ = ctx.reserve(
+            qconv2d_acc_count(out_c_, args_.params, out_h_, out_w_) *
+            sizeof(std::int32_t));
+        if (const_weight_ != nullptr) {
+            weight_row_sums_.resize(static_cast<std::size_t>(out_c_));
+            qconv2d_weight_row_sums(*const_weight_,
+                                    weight_row_sums_.data());
+        }
+        prepared_ = true;
+        rebind();
+    }
+
+    void
+    bind_workspace(const Workspace &workspace) override
+    {
+        workspace_ = workspace;
+        rebind();
+    }
+
+    void
     forward(const std::vector<const Tensor *> &inputs,
             const std::vector<Tensor *> &outputs) override
     {
-        QConv2dArgs args;
-        args.input = inputs[0];
-        args.input_params = input_params_;
-        args.weight = inputs[3];
-        args.weight_params = weight_params_;
-        args.weight_channel_scales = weight_channel_scales_;
-        args.bias = has_bias_ ? inputs[8] : nullptr;
-        args.output = outputs[0];
-        args.output_params = output_params_;
-        args.params = conv_params_;
-        args.activation = activation_;
-        qconv2d(args);
+        args_.input = inputs[0];
+        args_.weight = inputs[3];
+        args_.bias = has_bias_ ? inputs[8] : nullptr;
+        args_.output = outputs[0];
+        qconv2d(args_, prepared_ ? &scratch_ : nullptr);
     }
 
   private:
-    Conv2dParams conv_params_;
-    QuantParams input_params_;
-    QuantParams weight_params_;
-    std::vector<float> weight_channel_scales_;
-    QuantParams output_params_;
-    ActivationSpec activation_;
+    void
+    rebind()
+    {
+        scratch_.col = workspace_.at<std::uint8_t>(col_offset_);
+        scratch_.acc = workspace_.at<std::int32_t>(acc_offset_);
+        if (!weight_row_sums_.empty())
+            scratch_.weight_row_sums = weight_row_sums_.data();
+    }
+
+    QConv2dArgs args_;
     bool has_bias_;
+    const Tensor *const_weight_;
+    std::int64_t in_c_;
+    std::int64_t out_c_;
+    std::int64_t out_h_;
+    std::int64_t out_w_;
+    std::vector<std::int32_t> weight_row_sums_;
+    Workspace workspace_;
+    QConv2dScratch scratch_;
+    std::size_t col_offset_ = 0;
+    std::size_t acc_offset_ = 0;
+    bool prepared_ = false;
 };
 
 } // namespace

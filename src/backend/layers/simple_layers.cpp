@@ -235,6 +235,39 @@ class DenseLayer : public Layer
           has_c_(init.node->has_input(2)),
           variant_(init.config->gemm_variant)
     {
+        const Shape &a = init.input(0).shape;
+        const Shape &b = init.input(1).shape;
+        m_ = trans_a_ ? a.dim(1) : a.dim(0);
+        k_ = trans_a_ ? a.dim(0) : a.dim(1);
+        n_ = trans_b_ ? b.dim(0) : b.dim(1);
+    }
+
+    void
+    prepare(PlanContext &ctx) override
+    {
+        if (trans_a_)
+            a_trans_offset_ = ctx.reserve(
+                static_cast<std::size_t>(m_ * k_) * sizeof(float));
+        if (trans_b_)
+            b_trans_offset_ = ctx.reserve(
+                static_cast<std::size_t>(k_ * n_) * sizeof(float));
+        // dense() always calls gemm_general with beta = 0 (it broadcasts
+        // C itself), so staging is only needed for a non-unit alpha.
+        if (alpha_ != 1.0f)
+            product_offset_ = ctx.reserve(
+                static_cast<std::size_t>(m_ * n_) * sizeof(float));
+        if (variant_ == GemmVariant::kPacked)
+            b_pack_offset_ =
+                ctx.reserve(gemm_packed_b_pack_floats() * sizeof(float));
+        prepared_ = true;
+        rebind();
+    }
+
+    void
+    bind_workspace(const Workspace &workspace) override
+    {
+        workspace_ = workspace;
+        rebind();
     }
 
     void
@@ -243,16 +276,39 @@ class DenseLayer : public Layer
     {
         const Tensor *c = has_c_ ? inputs[2] : nullptr;
         dense(*inputs[0], *inputs[1], c, trans_a_, trans_b_, alpha_, beta_,
-              *outputs[0], variant_);
+              *outputs[0], variant_, prepared_ ? &scratch_ : nullptr);
     }
 
   private:
+    void
+    rebind()
+    {
+        if (trans_a_)
+            scratch_.a_trans = workspace_.at<float>(a_trans_offset_);
+        if (trans_b_)
+            scratch_.b_trans = workspace_.at<float>(b_trans_offset_);
+        if (alpha_ != 1.0f)
+            scratch_.product = workspace_.at<float>(product_offset_);
+        if (variant_ == GemmVariant::kPacked)
+            scratch_.b_pack = workspace_.at<float>(b_pack_offset_);
+    }
+
     bool trans_a_;
     bool trans_b_;
     float alpha_;
     float beta_;
     bool has_c_;
     GemmVariant variant_;
+    std::int64_t m_ = 0;
+    std::int64_t k_ = 0;
+    std::int64_t n_ = 0;
+    Workspace workspace_;
+    GemmScratch scratch_;
+    std::size_t a_trans_offset_ = 0;
+    std::size_t b_trans_offset_ = 0;
+    std::size_t product_offset_ = 0;
+    std::size_t b_pack_offset_ = 0;
+    bool prepared_ = false;
 };
 
 class MatMulLayer : public Layer
@@ -264,15 +320,43 @@ class MatMulLayer : public Layer
     }
 
     void
+    prepare(PlanContext &ctx) override
+    {
+        if (variant_ == GemmVariant::kPacked)
+            b_pack_offset_ =
+                ctx.reserve(gemm_packed_b_pack_floats() * sizeof(float));
+        prepared_ = true;
+        rebind();
+    }
+
+    void
+    bind_workspace(const Workspace &workspace) override
+    {
+        workspace_ = workspace;
+        rebind();
+    }
+
+    void
     forward(const std::vector<const Tensor *> &inputs,
             const std::vector<Tensor *> &outputs) override
     {
         dense(*inputs[0], *inputs[1], nullptr, false, false, 1.0f, 0.0f,
-              *outputs[0], variant_);
+              *outputs[0], variant_, prepared_ ? &scratch_ : nullptr);
     }
 
   private:
+    void
+    rebind()
+    {
+        if (variant_ == GemmVariant::kPacked)
+            scratch_.b_pack = workspace_.at<float>(b_pack_offset_);
+    }
+
     GemmVariant variant_;
+    Workspace workspace_;
+    GemmScratch scratch_;
+    std::size_t b_pack_offset_ = 0;
+    bool prepared_ = false;
 };
 
 /** Flatten / Reshape / Identity / inference Dropout: a raw byte copy —

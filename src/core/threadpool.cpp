@@ -25,8 +25,7 @@ constexpr std::int64_t kCancellationTiles = 8;
  * @p cancel is non-empty; plain single call otherwise.
  */
 void
-run_chunk(std::int64_t begin, std::int64_t end,
-          const std::function<void(std::int64_t, std::int64_t)> &body,
+run_chunk(std::int64_t begin, std::int64_t end, const LoopBody &body,
           const std::function<bool()> &cancel)
 {
     if (!cancel) {
@@ -91,9 +90,7 @@ ThreadPool::record_error(std::exception_ptr error)
 }
 
 void
-ThreadPool::parallel_for(std::int64_t count,
-                         const std::function<void(std::int64_t,
-                                                  std::int64_t)> &body)
+ThreadPool::parallel_for(std::int64_t count, LoopBody body)
 {
     if (count <= 0)
         return;
@@ -123,7 +120,7 @@ ThreadPool::parallel_for(std::int64_t count,
             tasks_[static_cast<std::size_t>(i)].end =
                 std::min<std::int64_t>((i + 1) * chunk, count);
         }
-        body_ = &body;
+        body_ = body;
         cancel_check_ = cancel;
         first_error_ = nullptr;
         pending_ = num_threads_ - 1;
@@ -145,7 +142,7 @@ ThreadPool::parallel_for(std::int64_t count,
     {
         std::unique_lock<std::mutex> lock(mutex_);
         work_done_.wait(lock, [this] { return pending_ == 0; });
-        body_ = nullptr;
+        body_ = LoopBody();
         cancel_check_ = nullptr;
         std::swap(error, first_error_);
     }
@@ -159,7 +156,7 @@ ThreadPool::worker_loop(int worker_index)
     std::uint64_t seen_generation = 0;
     while (true) {
         Task task;
-        const std::function<void(std::int64_t, std::int64_t)> *body = nullptr;
+        LoopBody body;
         std::function<bool()> cancel;
         {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -175,7 +172,7 @@ ThreadPool::worker_loop(int worker_index)
         }
         if (task.begin < task.end) {
             try {
-                run_chunk(task.begin, task.end, *body, cancel);
+                run_chunk(task.begin, task.end, body, cancel);
             } catch (...) {
                 // Never let an exception escape the worker thread (that
                 // would std::terminate the process); hand it to the
@@ -239,8 +236,7 @@ set_global_num_threads(int num_threads)
 }
 
 void
-parallel_for(std::int64_t count,
-             const std::function<void(std::int64_t, std::int64_t)> &body)
+parallel_for(std::int64_t count, LoopBody body)
 {
     global_thread_pool().parallel_for(count, body);
 }

@@ -17,9 +17,48 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace orpheus {
+
+/**
+ * Non-owning reference to a loop body callable — the parallel_for
+ * argument type. Unlike std::function, constructing one never heap
+ * allocates, which keeps steady-state kernel dispatch allocation-free
+ * even for capturing lambdas. The referenced callable must outlive the
+ * parallel_for call; that always holds because parallel_for blocks
+ * until every chunk has finished.
+ */
+class LoopBody
+{
+  public:
+    LoopBody() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, LoopBody>>>
+    LoopBody(const F &f) // NOLINT(google-explicit-constructor)
+        : object_(&f),
+          invoke_([](const void *object, std::int64_t begin,
+                     std::int64_t end) {
+              (*static_cast<const F *>(object))(begin, end);
+          })
+    {
+    }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    void
+    operator()(std::int64_t begin, std::int64_t end) const
+    {
+        invoke_(object_, begin, end);
+    }
+
+  private:
+    const void *object_ = nullptr;
+    void (*invoke_)(const void *, std::int64_t, std::int64_t) = nullptr;
+};
 
 /**
  * Installs a cooperative-cancellation check for the current thread.
@@ -89,9 +128,7 @@ class ThreadPool
      *    shared by concurrent inference sessions. Nested parallel_for
      *    from inside a body is not supported.
      */
-    void parallel_for(std::int64_t count,
-                      const std::function<void(std::int64_t, std::int64_t)>
-                          &body);
+    void parallel_for(std::int64_t count, LoopBody body);
 
   private:
     struct Task {
@@ -113,7 +150,7 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable work_ready_;
     std::condition_variable work_done_;
-    const std::function<void(std::int64_t, std::int64_t)> *body_ = nullptr;
+    LoopBody body_;
     /** Cancellation check of the dispatching caller (may be empty). */
     std::function<bool()> cancel_check_;
     std::exception_ptr first_error_;
@@ -140,7 +177,6 @@ int global_num_threads();
 void set_global_num_threads(int num_threads);
 
 /** Static-partitioned parallel loop on the global pool. */
-void parallel_for(std::int64_t count,
-                  const std::function<void(std::int64_t, std::int64_t)> &body);
+void parallel_for(std::int64_t count, LoopBody body);
 
 } // namespace orpheus

@@ -30,7 +30,7 @@ void
 conv2d(ConvAlgo algo, const Tensor &input, const Tensor &weight,
        const Tensor *bias, const Conv2dParams &params,
        const ActivationSpec &activation, Tensor &output,
-       GemmVariant gemm_variant)
+       GemmVariant gemm_variant, const Conv2dScratch *scratch)
 {
     ORPHEUS_CHECK(input.shape().rank() == 4,
                   "conv2d input must be NCHW, got " << input.shape());
@@ -63,23 +63,31 @@ conv2d(ConvAlgo algo, const Tensor &input, const Tensor &weight,
                                    << " inconsistent with input "
                                    << input.shape() << " and group "
                                    << params.group);
-    const Shape expected({args.batch, args.out_c, args.out_h, args.out_w});
-    ORPHEUS_CHECK(output.shape() == expected,
-                  "conv2d output must be " << expected << ", got "
-                                           << output.shape());
+    // Dimension-wise comparison: building a Shape temporary here would
+    // heap-allocate on every call of the steady-state path.
+    ORPHEUS_CHECK(output.shape().rank() == 4 &&
+                      output.shape().dim(0) == args.batch &&
+                      output.shape().dim(1) == args.out_c &&
+                      output.shape().dim(2) == args.out_h &&
+                      output.shape().dim(3) == args.out_w,
+                  "conv2d output must be [" << args.batch << ", "
+                                            << args.out_c << ", "
+                                            << args.out_h << ", "
+                                            << args.out_w << "], got "
+                                            << output.shape());
 
     switch (algo) {
       case ConvAlgo::kDirect:
         conv2d_direct(args);
         return;
       case ConvAlgo::kIm2colGemm:
-        conv2d_im2col_gemm(args);
+        conv2d_im2col_gemm(args, scratch);
         return;
       case ConvAlgo::kSpatialPack:
-        conv2d_spatial_pack(args);
+        conv2d_spatial_pack(args, scratch);
         return;
       case ConvAlgo::kWinograd:
-        conv2d_winograd(args);
+        conv2d_winograd(args, scratch);
         return;
       case ConvAlgo::kDepthwiseDirect:
         conv2d_depthwise_direct(args);

@@ -73,21 +73,71 @@ struct Conv2dArgs {
     GemmVariant gemm_variant = GemmVariant::kPacked;
 };
 
+/**
+ * Caller-provided scratch for the conv kernels. Mirrors GemmScratch:
+ * every field is optional and a null field makes the kernel fall back
+ * to a self-managed buffer. Prepared layers fill the constant caches
+ * once at plan time and carve the per-invocation buffers from the
+ * engine's workspace segment.
+ */
+struct Conv2dScratch {
+    /** im2col column matrix; conv2d_im2col_col_floats(). */
+    float *col = nullptr;
+    /** Prebuilt spatial-pack weight cache (plan-time constant); when
+     *  set, the kernel skips its weight-packing stage entirely. */
+    const float *packed_weights = nullptr;
+    /** Per-call weight-packing target used when packed_weights is null
+     *  (runtime weights); conv2d_spatial_pack_weights_floats(). */
+    float *weight_pack = nullptr;
+    /** Padded-input staging for spatial-pack;
+     *  conv2d_spatial_pack_padded_floats(). */
+    float *padded_input = nullptr;
+    /** Winograd input-transform staging; conv2d_winograd_v_floats(). */
+    float *v = nullptr;
+    /** Winograd product staging; conv2d_winograd_m_floats(). */
+    float *m = nullptr;
+    /** Forwarded to the GEMM underneath im2col/Winograd lowering. */
+    GemmScratch gemm;
+};
+
+/** Floats the im2col column buffer needs (0 for pointwise convs, which
+ *  skip the lowering). Only the shape fields of @p args are read. */
+std::size_t conv2d_im2col_col_floats(const Conv2dArgs &args);
+
+/** Floats of the spatial-pack packed-weight cache. */
+std::size_t conv2d_spatial_pack_weights_floats(const Conv2dArgs &args);
+
+/** Packs args.weight into spatial-pack order ([ic][kh][kw][ocb]); @p out
+ *  must hold conv2d_spatial_pack_weights_floats() floats. */
+void conv2d_spatial_pack_pack_weights(const Conv2dArgs &args, float *out);
+
+/** Floats of the spatial-pack padded-input staging buffer. */
+std::size_t conv2d_spatial_pack_padded_floats(const Conv2dArgs &args);
+
+/** Floats of the Winograd input-transform (V) staging buffer. */
+std::size_t conv2d_winograd_v_floats(const Conv2dArgs &args);
+
+/** Floats of the Winograd product (M) staging buffer. */
+std::size_t conv2d_winograd_m_floats(const Conv2dArgs &args);
+
 /** Direct seven-loop convolution (reference). */
 void conv2d_direct(const Conv2dArgs &args);
 
 /** im2col + GEMM convolution. */
-void conv2d_im2col_gemm(const Conv2dArgs &args);
+void conv2d_im2col_gemm(const Conv2dArgs &args,
+                        const Conv2dScratch *scratch = nullptr);
 
 /** Spatial-pack (register-tiled direct) convolution. */
-void conv2d_spatial_pack(const Conv2dArgs &args);
+void conv2d_spatial_pack(const Conv2dArgs &args,
+                         const Conv2dScratch *scratch = nullptr);
 
 /** True if args qualify for the Winograd kernel (3x3, stride 1,
  *  dilation 1, ungrouped). */
 bool conv2d_winograd_supported(const Conv2dArgs &args);
 
 /** Winograd F(2x2, 3x3) convolution; requires winograd_supported. */
-void conv2d_winograd(const Conv2dArgs &args);
+void conv2d_winograd(const Conv2dArgs &args,
+                     const Conv2dScratch *scratch = nullptr);
 
 /**
  * Pre-computes the Winograd weight transform U = G g G^T for a
@@ -101,7 +151,8 @@ std::vector<float> winograd_transform_weights(const float *weights,
 
 /** Winograd conv using a cached weight transform (args.weight unused). */
 void conv2d_winograd_pretransformed(const Conv2dArgs &args,
-                                    const float *u_data);
+                                    const float *u_data,
+                                    const Conv2dScratch *scratch = nullptr);
 
 /** True if args describe a depthwise convolution (group == in_c). */
 bool conv2d_is_depthwise(const Conv2dArgs &args);
@@ -117,6 +168,7 @@ void conv2d_depthwise_direct(const Conv2dArgs &args);
 void conv2d(ConvAlgo algo, const Tensor &input, const Tensor &weight,
             const Tensor *bias, const Conv2dParams &params,
             const ActivationSpec &activation, Tensor &output,
-            GemmVariant gemm_variant = GemmVariant::kPacked);
+            GemmVariant gemm_variant = GemmVariant::kPacked,
+            const Conv2dScratch *scratch = nullptr);
 
 } // namespace orpheus

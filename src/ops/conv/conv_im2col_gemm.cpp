@@ -17,23 +17,49 @@
 
 namespace orpheus {
 
+namespace {
+
+bool
+is_pointwise_conv(const Conv2dParams &p)
+{
+    return p.kernel_h == 1 && p.kernel_w == 1 && p.stride_h == 1 &&
+           p.stride_w == 1 && p.pad_top == 0 && p.pad_left == 0 &&
+           p.pad_bottom == 0 && p.pad_right == 0;
+}
+
+} // namespace
+
+std::size_t
+conv2d_im2col_col_floats(const Conv2dArgs &args)
+{
+    const Conv2dParams &p = args.params;
+    if (is_pointwise_conv(p))
+        return 0;
+    return static_cast<std::size_t>(args.in_c / p.group * p.kernel_h *
+                                    p.kernel_w * args.out_h * args.out_w);
+}
+
 void
-conv2d_im2col_gemm(const Conv2dArgs &args)
+conv2d_im2col_gemm(const Conv2dArgs &args, const Conv2dScratch *scratch)
 {
     const Conv2dParams &p = args.params;
     const std::int64_t group_in_c = args.in_c / p.group;
     const std::int64_t group_out_c = args.out_c / p.group;
     const std::int64_t gemm_k = group_in_c * p.kernel_h * p.kernel_w;
     const std::int64_t gemm_n = args.out_h * args.out_w;
+    const bool is_pointwise = is_pointwise_conv(p);
 
-    // The column matrix is reused across images and groups.
-    thread_local std::vector<float> col;
-    col.resize(static_cast<std::size_t>(gemm_k * gemm_n));
-
-    const bool is_pointwise = p.kernel_h == 1 && p.kernel_w == 1 &&
-                              p.stride_h == 1 && p.stride_w == 1 &&
-                              p.pad_top == 0 && p.pad_left == 0 &&
-                              p.pad_bottom == 0 && p.pad_right == 0;
+    // The column matrix is reused across images and groups; prepared
+    // layers supply it from the engine workspace, standalone calls fall
+    // back to a call-local allocation.
+    float *col = scratch != nullptr ? scratch->col : nullptr;
+    std::vector<float> col_fallback;
+    if (col == nullptr && !is_pointwise) {
+        col_fallback.resize(static_cast<std::size_t>(gemm_k * gemm_n));
+        col = col_fallback.data();
+    }
+    const GemmScratch *gemm_scratch =
+        scratch != nullptr ? &scratch->gemm : nullptr;
 
     for (std::int64_t n = 0; n < args.batch; ++n) {
         for (std::int64_t g = 0; g < p.group; ++g) {
@@ -52,13 +78,13 @@ conv2d_im2col_gemm(const Conv2dArgs &args)
                 b_matrix = group_input;
             } else {
                 im2col(group_input, group_in_c, args.in_h, args.in_w, p,
-                       args.out_h, args.out_w, col.data());
-                b_matrix = col.data();
+                       args.out_h, args.out_w, col);
+                b_matrix = col;
             }
 
             gemm(args.gemm_variant, group_out_c, gemm_n, gemm_k,
                  group_weight, gemm_k, b_matrix, gemm_n, group_output,
-                 gemm_n);
+                 gemm_n, gemm_scratch);
 
             // Bias + fused activation in one pass over the hot output.
             for (std::int64_t oc = 0; oc < group_out_c; ++oc) {

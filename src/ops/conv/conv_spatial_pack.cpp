@@ -85,10 +85,33 @@ accumulate_tile(const float *__restrict in_base,
     }
 }
 
+/** Width of the padded input copy: the declared padding, widened to
+ *  cover the overrun of the last, partial output tile. */
+std::int64_t
+padded_width(const Conv2dArgs &args)
+{
+    const Conv2dParams &p = args.params;
+    const std::int64_t tiles_w = (args.out_w + kOwTile - 1) / kOwTile;
+    const std::int64_t needed_w = (tiles_w * kOwTile - 1) * p.stride_w +
+                                  (p.kernel_w - 1) * p.dilation_w + 1;
+    return std::max(args.in_w + p.pad_left + p.pad_right, needed_w);
+}
+
 } // namespace
 
+std::size_t
+conv2d_spatial_pack_weights_floats(const Conv2dArgs &args)
+{
+    const Conv2dParams &p = args.params;
+    const std::int64_t group_in_c = args.in_c / p.group;
+    const std::int64_t group_out_c = args.out_c / p.group;
+    const std::int64_t oc_blocks = (group_out_c + kOcTile - 1) / kOcTile;
+    return static_cast<std::size_t>(p.group * oc_blocks * group_in_c *
+                                    p.kernel_h * p.kernel_w * kOcTile);
+}
+
 void
-conv2d_spatial_pack(const Conv2dArgs &args)
+conv2d_spatial_pack_pack_weights(const Conv2dArgs &args, float *out)
 {
     const Conv2dParams &p = args.params;
     const std::int64_t group_in_c = args.in_c / p.group;
@@ -96,17 +119,10 @@ conv2d_spatial_pack(const Conv2dArgs &args)
     const std::int64_t kernel_area = p.kernel_h * p.kernel_w;
     const std::int64_t oc_blocks = (group_out_c + kOcTile - 1) / kOcTile;
 
-    // --- Stage 1: weight packing ([ic][kh][kw][kOcTile], zero-padded in
-    // the oc direction). ------------------------------------------------
-    thread_local std::vector<float> packed_weights;
-    packed_weights.resize(
-        static_cast<std::size_t>(p.group * oc_blocks * group_in_c *
-                                 kernel_area * kOcTile));
     for (std::int64_t g = 0; g < p.group; ++g) {
         for (std::int64_t block = 0; block < oc_blocks; ++block) {
-            float *dst = packed_weights.data() +
-                         (g * oc_blocks + block) * group_in_c * kernel_area *
-                             kOcTile;
+            float *dst = out + (g * oc_blocks + block) * group_in_c *
+                                   kernel_area * kOcTile;
             for (std::int64_t ic = 0; ic < group_in_c; ++ic) {
                 for (std::int64_t k = 0; k < kernel_area; ++k) {
                     for (std::int64_t r = 0; r < kOcTile; ++r) {
@@ -123,30 +139,85 @@ conv2d_spatial_pack(const Conv2dArgs &args)
             }
         }
     }
+}
 
-    // --- Stage 2: input padding (TVM's data_pad). The padded width also
-    // covers the overrun of the last, partial output tile so that every
-    // tile is interior. ---------------------------------------------------
-    const std::int64_t tiles_w = (args.out_w + kOwTile - 1) / kOwTile;
+std::size_t
+conv2d_spatial_pack_padded_floats(const Conv2dArgs &args)
+{
+    const Conv2dParams &p = args.params;
+    const std::int64_t padded_h = args.in_h + p.pad_top + p.pad_bottom;
+    return static_cast<std::size_t>(args.batch * args.in_c * padded_h *
+                                    padded_width(args));
+}
+
+void
+conv2d_spatial_pack(const Conv2dArgs &args, const Conv2dScratch *scratch)
+{
+    const Conv2dParams &p = args.params;
+    const std::int64_t group_in_c = args.in_c / p.group;
+    const std::int64_t group_out_c = args.out_c / p.group;
+    const std::int64_t kernel_area = p.kernel_h * p.kernel_w;
+    const std::int64_t oc_blocks = (group_out_c + kOcTile - 1) / kOcTile;
+
+    // --- Stage 1: weight packing ([ic][kh][kw][kOcTile], zero-padded in
+    // the oc direction). A prepared layer passes the cache built at plan
+    // time and the stage disappears from the steady-state path; runtime
+    // weights are packed into the caller's buffer (or a call-local one)
+    // every invocation. ----------------------------------------------------
+    const float *packed_weights =
+        scratch != nullptr ? scratch->packed_weights : nullptr;
+    std::vector<float> weights_fallback;
+    if (packed_weights == nullptr) {
+        float *dst = scratch != nullptr ? scratch->weight_pack : nullptr;
+        if (dst == nullptr) {
+            weights_fallback.resize(conv2d_spatial_pack_weights_floats(args));
+            dst = weights_fallback.data();
+        }
+        conv2d_spatial_pack_pack_weights(args, dst);
+        packed_weights = dst;
+    }
+
+    // --- Stage 2: input padding (TVM's data_pad). ------------------------
     const std::int64_t padded_h =
         args.in_h + p.pad_top + p.pad_bottom;
-    const std::int64_t needed_w = (tiles_w * kOwTile - 1) * p.stride_w +
-                                  (p.kernel_w - 1) * p.dilation_w + 1;
-    const std::int64_t padded_w =
-        std::max(args.in_w + p.pad_left + p.pad_right, needed_w);
+    const std::int64_t padded_w = padded_width(args);
     const std::int64_t padded_plane = padded_h * padded_w;
 
-    thread_local std::vector<float> padded_input;
-    padded_input.assign(
-        static_cast<std::size_t>(args.batch * args.in_c * padded_plane),
-        0.0f);
+    float *padded_input =
+        scratch != nullptr ? scratch->padded_input : nullptr;
+    std::vector<float> padded_fallback;
+    if (padded_input == nullptr) {
+        padded_fallback.resize(
+            static_cast<std::size_t>(args.batch * args.in_c * padded_plane));
+        padded_input = padded_fallback.data();
+    }
+    // Zero only the halo (top/bottom bands plus the left/right column
+    // pads of every interior row) — the interior is overwritten by the
+    // copy below, and the workspace buffer may hold another layer's
+    // leftovers, so each region is cleared explicitly every call.
+    const std::int64_t bottom_rows = padded_h - p.pad_top - args.in_h;
     for (std::int64_t nc = 0; nc < args.batch * args.in_c; ++nc) {
         const float *src = args.input + nc * args.in_h * args.in_w;
-        float *dst = padded_input.data() + nc * padded_plane +
-                     p.pad_top * padded_w + p.pad_left;
-        for (std::int64_t h = 0; h < args.in_h; ++h)
-            std::memcpy(dst + h * padded_w, src + h * args.in_w,
-                        static_cast<std::size_t>(args.in_w) * 4);
+        float *plane = padded_input + nc * padded_plane;
+        std::memset(plane, 0,
+                    static_cast<std::size_t>(p.pad_top * padded_w) *
+                        sizeof(float));
+        std::memset(plane + (p.pad_top + args.in_h) * padded_w, 0,
+                    static_cast<std::size_t>(bottom_rows * padded_w) *
+                        sizeof(float));
+        for (std::int64_t h = 0; h < args.in_h; ++h) {
+            float *row = plane + (p.pad_top + h) * padded_w;
+            std::memset(row, 0,
+                        static_cast<std::size_t>(p.pad_left) *
+                            sizeof(float));
+            std::memcpy(row + p.pad_left, src + h * args.in_w,
+                        static_cast<std::size_t>(args.in_w) *
+                            sizeof(float));
+            std::memset(row + p.pad_left + args.in_w, 0,
+                        static_cast<std::size_t>(padded_w - p.pad_left -
+                                                 args.in_w) *
+                            sizeof(float));
+        }
     }
 
     // --- Stage 3: tiled computation. -------------------------------------
@@ -160,11 +231,10 @@ conv2d_spatial_pack(const Conv2dArgs &args)
             const std::int64_t oc_count =
                 std::min(kOcTile, group_out_c - oc0);
             const float *w_block =
-                packed_weights.data() + (g * oc_blocks + block) *
-                                            group_in_c * kernel_area *
-                                            kOcTile;
+                packed_weights + (g * oc_blocks + block) * group_in_c *
+                                     kernel_area * kOcTile;
             const float *in_group =
-                padded_input.data() +
+                padded_input +
                 (n * args.in_c + g * group_in_c) * padded_plane;
 
             for (std::int64_t oh = 0; oh < args.out_h; ++oh) {

@@ -118,16 +118,36 @@ winograd_transform_weights(const float *weights, std::int64_t out_c,
     return u_data;
 }
 
-void
-conv2d_winograd(const Conv2dArgs &args)
+std::size_t
+conv2d_winograd_v_floats(const Conv2dArgs &args)
 {
-    const std::vector<float> u_data =
-        winograd_transform_weights(args.weight, args.out_c, args.in_c);
-    conv2d_winograd_pretransformed(args, u_data.data());
+    const std::int64_t tiles =
+        ((args.out_h + 1) / 2) * ((args.out_w + 1) / 2);
+    return static_cast<std::size_t>(16 * args.in_c * tiles);
+}
+
+std::size_t
+conv2d_winograd_m_floats(const Conv2dArgs &args)
+{
+    const std::int64_t tiles =
+        ((args.out_h + 1) / 2) * ((args.out_w + 1) / 2);
+    return static_cast<std::size_t>(16 * args.out_c * tiles);
 }
 
 void
-conv2d_winograd_pretransformed(const Conv2dArgs &args, const float *u_data)
+conv2d_winograd(const Conv2dArgs &args, const Conv2dScratch *scratch)
+{
+    // Unprepared entry: the weight transform is recomputed on every
+    // call. Prepared layers cache U at plan time and call
+    // conv2d_winograd_pretransformed directly.
+    const std::vector<float> u_data =
+        winograd_transform_weights(args.weight, args.out_c, args.in_c);
+    conv2d_winograd_pretransformed(args, u_data.data(), scratch);
+}
+
+void
+conv2d_winograd_pretransformed(const Conv2dArgs &args, const float *u_data,
+                               const Conv2dScratch *scratch)
 {
     ORPHEUS_CHECK(conv2d_winograd_supported(args),
                   "conv2d_winograd called on an unsupported configuration");
@@ -138,11 +158,21 @@ conv2d_winograd_pretransformed(const Conv2dArgs &args, const float *u_data)
     const std::int64_t tiles = tiles_h * tiles_w;
 
     // V: [16][in_c][tiles], M: [16][out_c][tiles]; U is supplied by
-    // the caller ([16][out_c][in_c]).
-    std::vector<float> v_data(
-        static_cast<std::size_t>(16 * args.in_c * tiles));
-    std::vector<float> m_data(
-        static_cast<std::size_t>(16 * args.out_c * tiles));
+    // the caller ([16][out_c][in_c]). Both staging buffers are fully
+    // written before being read, so workspace reuse needs no clearing.
+    float *v_data = scratch != nullptr ? scratch->v : nullptr;
+    float *m_data = scratch != nullptr ? scratch->m : nullptr;
+    std::vector<float> v_fallback, m_fallback;
+    if (v_data == nullptr) {
+        v_fallback.resize(conv2d_winograd_v_floats(args));
+        v_data = v_fallback.data();
+    }
+    if (m_data == nullptr) {
+        m_fallback.resize(conv2d_winograd_m_floats(args));
+        m_data = m_fallback.data();
+    }
+    const GemmScratch *gemm_scratch =
+        scratch != nullptr ? &scratch->gemm : nullptr;
 
     for (std::int64_t n = 0; n < args.batch; ++n) {
         // Input transform for every (channel, tile).
@@ -182,13 +212,13 @@ conv2d_winograd_pretransformed(const Conv2dArgs &args, const float *u_data)
                      static_cast<std::size_t>(component) * args.out_c *
                          args.in_c,
                  args.in_c,
-                 v_data.data() +
+                 v_data +
                      static_cast<std::size_t>(component) * args.in_c * tiles,
                  tiles,
-                 m_data.data() +
+                 m_data +
                      static_cast<std::size_t>(component) * args.out_c *
                          tiles,
-                 tiles);
+                 tiles, gemm_scratch);
         }
 
         // Inverse transform, bias, activation, and scatter to NCHW.

@@ -5,7 +5,7 @@ namespace orpheus {
 void
 dense(const Tensor &a, const Tensor &b, const Tensor *c, bool trans_a,
       bool trans_b, float alpha, float beta, Tensor &output,
-      GemmVariant variant)
+      GemmVariant variant, const GemmScratch *scratch)
 {
     ORPHEUS_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
                   "dense operands must be rank 2, got " << a.shape() << " x "
@@ -16,7 +16,11 @@ dense(const Tensor &a, const Tensor &b, const Tensor *c, bool trans_a,
     const std::int64_t n = trans_b ? b.shape().dim(0) : b.shape().dim(1);
     ORPHEUS_CHECK(k == kb, "dense inner dimensions disagree: " << k << " vs "
                                                                << kb);
-    ORPHEUS_CHECK(output.shape() == Shape({m, n}),
+    // Dimension-wise comparison: a Shape temporary would heap-allocate
+    // on every call of the steady-state path.
+    ORPHEUS_CHECK(output.shape().rank() == 2 &&
+                      output.shape().dim(0) == m &&
+                      output.shape().dim(1) == n,
                   "dense output must be [" << m << ", " << n << "], got "
                                            << output.shape());
 
@@ -24,7 +28,7 @@ dense(const Tensor &a, const Tensor &b, const Tensor *c, bool trans_a,
 
     gemm_general(variant, trans_a, trans_b, m, n, k, alpha,
                  a.data<float>(), a.shape().dim(1), b.data<float>(),
-                 b.shape().dim(1), 0.0f, out, n);
+                 b.shape().dim(1), 0.0f, out, n, scratch);
 
     if (c == nullptr || beta == 0.0f)
         return;

@@ -16,6 +16,7 @@ namespace orpheus {
  */
 void dense(const Tensor &a, const Tensor &b, const Tensor *c, bool trans_a,
            bool trans_b, float alpha, float beta, Tensor &output,
-           GemmVariant variant = GemmVariant::kPacked);
+           GemmVariant variant = GemmVariant::kPacked,
+           const GemmScratch *scratch = nullptr);
 
 } // namespace orpheus

@@ -29,7 +29,7 @@ parse_gemm_variant(const std::string &name)
 void
 gemm(GemmVariant variant, std::int64_t m, std::int64_t n, std::int64_t k,
      const float *a, std::int64_t lda, const float *b, std::int64_t ldb,
-     float *c, std::int64_t ldc)
+     float *c, std::int64_t ldc, const GemmScratch *scratch)
 {
     switch (variant) {
       case GemmVariant::kNaive:
@@ -39,7 +39,7 @@ gemm(GemmVariant variant, std::int64_t m, std::int64_t n, std::int64_t k,
         gemm_blocked(m, n, k, a, lda, b, ldb, c, ldc);
         return;
       case GemmVariant::kPacked:
-        gemm_packed(m, n, k, a, lda, b, ldb, c, ldc);
+        gemm_packed(m, n, k, a, lda, b, ldb, c, ldc, scratch);
         return;
     }
     ORPHEUS_ASSERT(false, "invalid GemmVariant");
@@ -49,45 +49,55 @@ void
 gemm_general(GemmVariant variant, bool trans_a, bool trans_b, std::int64_t m,
              std::int64_t n, std::int64_t k, float alpha, const float *a,
              std::int64_t lda, const float *b, std::int64_t ldb, float beta,
-             float *c, std::int64_t ldc)
+             float *c, std::int64_t ldc, const GemmScratch *scratch)
 {
     // Materialise transposed operands so every core kernel only has to
-    // handle the plain row-major case.
-    std::vector<float> a_scratch, b_scratch;
+    // handle the plain row-major case. Prepared layers pass staging
+    // buffers in @p scratch; the vectors are the unprepared fallback.
+    std::vector<float> a_fallback, b_fallback;
     if (trans_a) {
-        a_scratch.resize(static_cast<std::size_t>(m * k));
+        float *a_trans = scratch != nullptr ? scratch->a_trans : nullptr;
+        if (a_trans == nullptr) {
+            a_fallback.resize(static_cast<std::size_t>(m * k));
+            a_trans = a_fallback.data();
+        }
         for (std::int64_t p = 0; p < k; ++p) {
             for (std::int64_t i = 0; i < m; ++i)
-                a_scratch[static_cast<std::size_t>(i * k + p)] =
-                    a[p * lda + i];
+                a_trans[i * k + p] = a[p * lda + i];
         }
-        a = a_scratch.data();
+        a = a_trans;
         lda = k;
     }
     if (trans_b) {
-        b_scratch.resize(static_cast<std::size_t>(k * n));
+        float *b_trans = scratch != nullptr ? scratch->b_trans : nullptr;
+        if (b_trans == nullptr) {
+            b_fallback.resize(static_cast<std::size_t>(k * n));
+            b_trans = b_fallback.data();
+        }
         for (std::int64_t j = 0; j < n; ++j) {
             for (std::int64_t p = 0; p < k; ++p)
-                b_scratch[static_cast<std::size_t>(p * n + j)] =
-                    b[j * ldb + p];
+                b_trans[p * n + j] = b[j * ldb + p];
         }
-        b = b_scratch.data();
+        b = b_trans;
         ldb = n;
     }
 
     if (alpha == 1.0f && beta == 0.0f) {
-        gemm(variant, m, n, k, a, lda, b, ldb, c, ldc);
+        gemm(variant, m, n, k, a, lda, b, ldb, c, ldc, scratch);
         return;
     }
 
-    std::vector<float> product(static_cast<std::size_t>(m * n));
-    gemm(variant, m, n, k, a, lda, b, ldb, product.data(), n);
+    float *product = scratch != nullptr ? scratch->product : nullptr;
+    std::vector<float> product_fallback;
+    if (product == nullptr) {
+        product_fallback.resize(static_cast<std::size_t>(m * n));
+        product = product_fallback.data();
+    }
+    gemm(variant, m, n, k, a, lda, b, ldb, product, n, scratch);
     for (std::int64_t i = 0; i < m; ++i) {
         for (std::int64_t j = 0; j < n; ++j) {
             const float previous = beta == 0.0f ? 0.0f : c[i * ldc + j];
-            c[i * ldc + j] =
-                alpha * product[static_cast<std::size_t>(i * n + j)] +
-                beta * previous;
+            c[i * ldc + j] = alpha * product[i * n + j] + beta * previous;
         }
     }
 }

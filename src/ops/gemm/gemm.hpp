@@ -17,10 +17,33 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace orpheus {
+
+/**
+ * Caller-provided scratch for the GEMM kernels. Every pointer is
+ * optional: a null field makes the kernel fall back to a self-managed
+ * heap buffer (the pre-preparation behaviour), a non-null field must
+ * point at least at the advertised number of floats. Prepared layers
+ * carve these from the engine's planned workspace segment so
+ * steady-state inference performs no heap allocation.
+ */
+struct GemmScratch {
+    /** Packed-B block for gemm_packed; gemm_packed_b_pack_floats(). */
+    float *b_pack = nullptr;
+    /** Materialised transpose of A for gemm_general (m*k floats). */
+    float *a_trans = nullptr;
+    /** Materialised transpose of B for gemm_general (k*n floats). */
+    float *b_trans = nullptr;
+    /** alpha/beta staging product for gemm_general (m*n floats). */
+    float *product = nullptr;
+};
+
+/** Floats a GemmScratch::b_pack buffer must hold for gemm_packed. */
+std::size_t gemm_packed_b_pack_floats();
 
 /** C[M x N] = A[M x K] * B[K x N]; C is overwritten. */
 void gemm_naive(std::int64_t m, std::int64_t n, std::int64_t k,
@@ -34,11 +57,13 @@ void gemm_blocked(std::int64_t m, std::int64_t n, std::int64_t k,
 
 /**
  * Packed panel GEMM with a 4x16 register-tiled micro-kernel; rows of C
- * are distributed over the global thread pool.
+ * are distributed over the global thread pool. @p scratch (optional)
+ * supplies the packed-B block buffer.
  */
 void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
                  const float *a, std::int64_t lda, const float *b,
-                 std::int64_t ldb, float *c, std::int64_t ldc);
+                 std::int64_t ldb, float *c, std::int64_t ldc,
+                 const GemmScratch *scratch = nullptr);
 
 enum class GemmVariant {
     kNaive = 0,
@@ -54,7 +79,8 @@ GemmVariant parse_gemm_variant(const std::string &name);
 /** Dispatches to the selected algorithm. */
 void gemm(GemmVariant variant, std::int64_t m, std::int64_t n,
           std::int64_t k, const float *a, std::int64_t lda, const float *b,
-          std::int64_t ldb, float *c, std::int64_t ldc);
+          std::int64_t ldb, float *c, std::int64_t ldc,
+          const GemmScratch *scratch = nullptr);
 
 /**
  * General BLAS-like entry used by the Gemm (dense) operator:
@@ -62,11 +88,12 @@ void gemm(GemmVariant variant, std::int64_t m, std::int64_t n,
  * corresponding flag is set. Transposed operands are materialised into a
  * contiguous scratch copy, then the selected kernel runs; dense-layer
  * weights are small relative to the multiply so the copy is noise.
+ * @p scratch (optional) supplies the transpose/product staging buffers.
  */
 void gemm_general(GemmVariant variant, bool trans_a, bool trans_b,
                   std::int64_t m, std::int64_t n, std::int64_t k,
                   float alpha, const float *a, std::int64_t lda,
                   const float *b, std::int64_t ldb, float beta, float *c,
-                  std::int64_t ldc);
+                  std::int64_t ldc, const GemmScratch *scratch = nullptr);
 
 } // namespace orpheus

@@ -120,17 +120,31 @@ micro_kernel(std::int64_t depth, const float *__restrict ap,
 
 } // namespace
 
+std::size_t
+gemm_packed_b_pack_floats()
+{
+    return static_cast<std::size_t>(kBlockK) *
+           static_cast<std::size_t>((kBlockN + kNr - 1) / kNr * kNr);
+}
+
 void
 gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, const float *a,
             std::int64_t lda, const float *b, std::int64_t ldb, float *c,
-            std::int64_t ldc)
+            std::int64_t ldc, const GemmScratch *scratch)
 {
     for (std::int64_t i = 0; i < m; ++i)
-        std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) * 4);
+        std::memset(c + i * ldc, 0,
+                    static_cast<std::size_t>(n) * sizeof(float));
 
-    std::vector<float> b_pack(
-        static_cast<std::size_t>(kBlockK) *
-        static_cast<std::size_t>((kBlockN + kNr - 1) / kNr * kNr));
+    // Prepared callers pass the packed-B block through scratch (carved
+    // from the engine workspace); standalone calls fall back to a local
+    // allocation.
+    float *b_pack = scratch != nullptr ? scratch->b_pack : nullptr;
+    std::vector<float> b_pack_fallback;
+    if (b_pack == nullptr) {
+        b_pack_fallback.resize(gemm_packed_b_pack_floats());
+        b_pack = b_pack_fallback.data();
+    }
 
     const std::int64_t row_panels = (m + kMr - 1) / kMr;
 
@@ -139,26 +153,27 @@ gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, const float *a,
         const std::int64_t col_panels = (nc + kNr - 1) / kNr;
         for (std::int64_t pc = 0; pc < k; pc += kBlockK) {
             const std::int64_t kc = std::min(kBlockK, k - pc);
-            pack_b_block(b, ldb, pc, kc, jc, nc, b_pack.data());
+            pack_b_block(b, ldb, pc, kc, jc, nc, b_pack);
 
             parallel_for(row_panels, [&](std::int64_t begin,
                                          std::int64_t end) {
-                // Each worker packs its own A panels into a reusable
-                // thread-local scratch buffer.
-                thread_local std::vector<float> a_pack;
-                a_pack.resize(static_cast<std::size_t>(kMr * kBlockK));
+                // One A panel is kMr x kBlockK floats (4 KiB) — small
+                // enough to live on the worker's stack, which keeps the
+                // hot loop allocation-free with no per-thread buffer
+                // bookkeeping.
+                float a_pack[kMr * kBlockK];
 
                 for (std::int64_t panel = begin; panel < end; ++panel) {
                     const std::int64_t i0 = panel * kMr;
                     const std::int64_t rows = std::min(kMr, m - i0);
-                    pack_a_panel(a, lda, i0, rows, pc, kc, a_pack.data());
+                    pack_a_panel(a, lda, i0, rows, pc, kc, a_pack);
 
                     for (std::int64_t jp = 0; jp < col_panels; ++jp) {
                         const std::int64_t j_base = jc + jp * kNr;
                         const std::int64_t width =
                             std::min(kNr, jc + nc - j_base);
-                        micro_kernel(kc, a_pack.data(),
-                                     b_pack.data() + jp * kc * kNr,
+                        micro_kernel(kc, a_pack,
+                                     b_pack + jp * kc * kNr,
                                      c + i0 * ldc + j_base, ldc, rows,
                                      width);
                     }

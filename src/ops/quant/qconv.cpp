@@ -50,8 +50,39 @@ qim2col(const std::uint8_t *data, std::int64_t channels, std::int64_t height,
 
 } // namespace
 
+std::size_t
+qconv2d_col_count(std::int64_t in_c, const Conv2dParams &params,
+                  std::int64_t out_h, std::int64_t out_w)
+{
+    return static_cast<std::size_t>(in_c / params.group * params.kernel_h *
+                                    params.kernel_w * out_h * out_w);
+}
+
+std::size_t
+qconv2d_acc_count(std::int64_t out_c, const Conv2dParams &params,
+                  std::int64_t out_h, std::int64_t out_w)
+{
+    return static_cast<std::size_t>(out_c / params.group * out_h * out_w);
+}
+
 void
-qconv2d(const QConv2dArgs &args)
+qconv2d_weight_row_sums(const Tensor &weight, std::int32_t *out)
+{
+    const std::int64_t out_c = weight.shape().dim(0);
+    const std::int64_t row =
+        weight.shape().numel() / (out_c == 0 ? 1 : out_c);
+    const std::int8_t *data = weight.data<std::int8_t>();
+    for (std::int64_t oc = 0; oc < out_c; ++oc) {
+        std::int32_t sum = 0;
+        const std::int8_t *w_row = data + oc * row;
+        for (std::int64_t kk = 0; kk < row; ++kk)
+            sum += w_row[kk];
+        out[oc] = sum;
+    }
+}
+
+void
+qconv2d(const QConv2dArgs &args, const QConv2dScratch *scratch)
 {
     ORPHEUS_CHECK(args.input != nullptr && args.weight != nullptr &&
                       args.output != nullptr,
@@ -115,10 +146,22 @@ qconv2d(const QConv2dArgs &args)
                                              std::int32_t{0},
                                              std::int32_t{255}));
 
-    thread_local std::vector<std::uint8_t> col;
-    col.resize(static_cast<std::size_t>(gemm_k * gemm_n));
-    thread_local std::vector<std::int32_t> acc;
-    acc.resize(static_cast<std::size_t>(group_out_c * gemm_n));
+    // Prepared layers supply both blocks from the engine workspace;
+    // standalone calls fall back to call-local allocations.
+    std::uint8_t *col = scratch != nullptr ? scratch->col : nullptr;
+    std::int32_t *acc = scratch != nullptr ? scratch->acc : nullptr;
+    std::vector<std::uint8_t> col_fallback;
+    std::vector<std::int32_t> acc_fallback;
+    if (col == nullptr) {
+        col_fallback.resize(static_cast<std::size_t>(gemm_k * gemm_n));
+        col = col_fallback.data();
+    }
+    if (acc == nullptr) {
+        acc_fallback.resize(static_cast<std::size_t>(group_out_c * gemm_n));
+        acc = acc_fallback.data();
+    }
+    const std::int32_t *cached_w_sums =
+        scratch != nullptr ? scratch->weight_row_sums : nullptr;
 
     const std::uint8_t *input = args.input->data<std::uint8_t>();
     const std::int8_t *weight = args.weight->data<std::int8_t>();
@@ -134,7 +177,7 @@ qconv2d(const QConv2dArgs &args)
                 output + (n * out_c + g * group_out_c) * gemm_n;
 
             qim2col(group_input, group_in_c, in_h, in_w, p, out_h, out_w,
-                    pad_value, col.data());
+                    pad_value, col);
 
             // acc[oc][pixel] = sum_k W[oc][k] * (col[k][pixel] - x_zp),
             // with the zero-point correction hoisted to one subtraction
@@ -143,19 +186,24 @@ qconv2d(const QConv2dArgs &args)
             for (std::int64_t oc = 0; oc < group_out_c; ++oc) {
                 const std::int8_t *w_row =
                     weight + (g * group_out_c + oc) * gemm_k;
-                std::int32_t w_sum = 0;
-                for (std::int64_t kk = 0; kk < gemm_k; ++kk)
-                    w_sum += w_row[kk];
+                std::int32_t w_sum;
+                if (cached_w_sums != nullptr) {
+                    w_sum = cached_w_sums[g * group_out_c + oc];
+                } else {
+                    w_sum = 0;
+                    for (std::int64_t kk = 0; kk < gemm_k; ++kk)
+                        w_sum += w_row[kk];
+                }
 
-                std::int32_t *acc_row = acc.data() + oc * gemm_n;
+                std::int32_t *acc_row = acc + oc * gemm_n;
                 std::memset(acc_row, 0,
-                            static_cast<std::size_t>(gemm_n) * 4);
+                            static_cast<std::size_t>(gemm_n) *
+                                sizeof(std::int32_t));
                 for (std::int64_t kk = 0; kk < gemm_k; ++kk) {
                     const std::int32_t w_val = w_row[kk];
                     if (w_val == 0)
                         continue;
-                    const std::uint8_t *col_row =
-                        col.data() + kk * gemm_n;
+                    const std::uint8_t *col_row = col + kk * gemm_n;
                     for (std::int64_t i = 0; i < gemm_n; ++i)
                         acc_row[i] +=
                             w_val * static_cast<std::int32_t>(col_row[i]);

@@ -39,7 +39,39 @@ struct QConv2dArgs {
     ActivationSpec activation;
 };
 
+/**
+ * Caller-provided scratch for qconv2d. Null fields fall back to
+ * self-managed buffers; prepared layers carve the per-invocation
+ * buffers from the engine workspace and precompute the weight row sums
+ * once at plan time.
+ */
+struct QConv2dScratch {
+    /** Quantized column matrix; qconv2d_col_count() uint8 entries. */
+    std::uint8_t *col = nullptr;
+    /** int32 accumulator block; qconv2d_acc_count() entries. */
+    std::int32_t *acc = nullptr;
+    /** Precomputed per-output-channel weight row sums (length out_c);
+     *  constant for constant weights, used for the zero-point
+     *  correction. Null recomputes them per call. */
+    const std::int32_t *weight_row_sums = nullptr;
+};
+
+/** uint8 entries of the qconv2d column buffer:
+ *  (in_c/group) * kernel_area * out_h * out_w. */
+std::size_t qconv2d_col_count(std::int64_t in_c, const Conv2dParams &params,
+                              std::int64_t out_h, std::int64_t out_w);
+
+/** int32 entries of the qconv2d accumulator block:
+ *  (out_c/group) * out_h * out_w. */
+std::size_t qconv2d_acc_count(std::int64_t out_c, const Conv2dParams &params,
+                              std::int64_t out_h, std::int64_t out_w);
+
+/** Per-output-channel sums of an int8 OIHW weight tensor; @p out must
+ *  hold weight.shape().dim(0) entries. */
+void qconv2d_weight_row_sums(const Tensor &weight, std::int32_t *out);
+
 /** Runs the quantized convolution. Throws on dtype/shape mismatches. */
-void qconv2d(const QConv2dArgs &args);
+void qconv2d(const QConv2dArgs &args,
+             const QConv2dScratch *scratch = nullptr);
 
 } // namespace orpheus

@@ -104,6 +104,7 @@ Engine::compile()
         step.node_name = node.name();
         step.op_type = node.op_type();
         step.layer = registry.instantiate(*selection.kernel, init);
+        prepare_layer(*step.layer);
         for (const std::string &in : node.inputs()) {
             if (in.empty()) {
                 step.inputs.push_back(nullptr);
@@ -131,6 +132,47 @@ Engine::compile()
                                    << step.layer->impl_name());
         step.init = std::move(init);
         steps_.push_back(std::move(step));
+    }
+
+    // Layers prepared early may hold a view of a workspace that a later
+    // layer outgrew; hand everyone the final segment.
+    bind_workspace_all();
+}
+
+void
+Engine::prepare_layer(Layer &layer)
+{
+    if (!options_.prepare_kernels)
+        return;
+    PlanContext ctx;
+    layer.prepare(ctx);
+    const std::size_t required = ctx.workspace_bytes();
+    if (required > memory_plan_.workspace_bytes) {
+        request_footprint_bytes_ +=
+            required - memory_plan_.workspace_bytes;
+        memory_plan_.workspace_bytes = required;
+        workspace_ = Buffer::allocate(required);
+        // The old segment is gone; refresh every live layer's view.
+        bind_workspace_all();
+    }
+    layer.bind_workspace(
+        workspace_ != nullptr
+            ? Workspace(workspace_->data(), memory_plan_.workspace_bytes)
+            : Workspace());
+}
+
+void
+Engine::bind_workspace_all()
+{
+    const Workspace view =
+        workspace_ != nullptr
+            ? Workspace(workspace_->data(), memory_plan_.workspace_bytes)
+            : Workspace();
+    for (PlanStep &step : steps_) {
+        if (step.layer != nullptr)
+            step.layer->bind_workspace(view);
+        if (step.reference_layer != nullptr)
+            step.reference_layer->bind_workspace(view);
     }
 }
 
@@ -370,6 +412,7 @@ Engine::reference_layer(PlanStep &step)
                                           << step.reference_impl
                                           << " is no longer registered");
         step.reference_layer = registry.instantiate(*def, step.init);
+        prepare_layer(*step.reference_layer);
     }
     return *step.reference_layer;
 }
@@ -523,6 +566,7 @@ Engine::degrade_step(std::size_t index, const std::string &reason)
                            << step.op_type << "." << fallback->impl_name);
     registry.health().record_fault(kernel_health_id(step.op_type, failed));
     step.layer = registry.instantiate(*fallback, step.init);
+    prepare_layer(*step.layer);
     step.degraded = true;
     profiler_.set_impl_name(index, step.layer->impl_name());
 }
@@ -655,6 +699,7 @@ Engine::restore_step(std::size_t index)
                       "kernel " << step.op_type << "." << step.selected_impl
                                 << " is no longer registered");
         step.layer = registry.instantiate(*def, step.init);
+        prepare_layer(*step.layer);
     }
     if (step.health.state != BreakerState::kClosed) {
         ++step.health.recoveries_total;

@@ -54,6 +54,17 @@ struct EngineOptions {
     bool use_memory_planner = true;
 
     /**
+     * Run the kernel-preparation stage at plan time: each layer builds
+     * its prepacked constant caches (packed weights, Winograd U,
+     * quantized row sums) once and reserves per-invocation scratch in
+     * the engine-owned workspace segment, making steady-state run()
+     * allocation-free inside kernels. Disabling reverts to per-call
+     * packing and self-managed scratch (the ablation baseline the
+     * prepared-vs-unprepared benchmarks measure against).
+     */
+    bool prepare_kernels = true;
+
+    /**
      * When a kernel throws at run time, retry the step on the
      * lowest-priority (reference) implementation instead of propagating
      * the failure. The degradation is logged via ORPHEUS_WARN and the
@@ -218,12 +229,20 @@ class Engine
 
     /**
      * Peak activation bytes one request needs (arena or per-value
-     * intermediates, plus dedicated input/output storage). Admission
-     * control compares this against a request's memory budget.
+     * intermediates, plus dedicated input/output storage and the kernel
+     * workspace segment). Admission control compares this against a
+     * request's memory budget.
      */
     std::size_t request_footprint_bytes() const
     {
         return request_footprint_bytes_;
+    }
+
+    /** Bytes of the shared kernel workspace segment (0 when kernel
+     *  preparation is disabled or no layer needs scratch). */
+    std::size_t workspace_bytes() const
+    {
+        return memory_plan_.workspace_bytes;
     }
 
     /** Auto-tune measurements per node (empty unless kAutoTune). */
@@ -246,6 +265,19 @@ class Engine
   private:
     void compile();
     Tensor *value_tensor(const std::string &name);
+
+    /**
+     * Runs @p layer's preparation stage (when prepare_kernels is on),
+     * growing the shared workspace segment and rebinding every live
+     * layer if the new requirement exceeds the current capacity. Called
+     * at plan time for every step, and again whenever a layer is
+     * (re-)instantiated on the fallback/restore/reference paths.
+     */
+    void prepare_layer(Layer &layer);
+
+    /** Hands the current workspace view to every instantiated layer
+     *  (plan layers, fallback replacements, cached reference layers). */
+    void bind_workspace_all();
 
     /** Executes step @p index with deadline checks, fault/delay
      *  injection and the fallback policy. */
@@ -299,6 +331,9 @@ class Engine
     PassManagerReport simplification_report_;
 
     std::shared_ptr<Buffer> arena_;
+    /** Kernel workspace segment shared by all plan steps (steps run
+     *  sequentially). Sized to the maximum per-step reservation. */
+    std::shared_ptr<Buffer> workspace_;
     /** Storage for every non-initializer value, keyed by name. */
     std::map<std::string, Tensor> values_;
     std::vector<PlanStep> steps_;

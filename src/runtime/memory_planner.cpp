@@ -140,7 +140,7 @@ std::size_t
 request_footprint_bytes(const MemoryPlan &plan, bool arena_reuse)
 {
     return (arena_reuse ? plan.arena_size : plan.naive_size) +
-           plan.io_bytes;
+           plan.io_bytes + plan.workspace_bytes;
 }
 
 } // namespace orpheus

@@ -37,6 +37,12 @@ struct MemoryPlan {
      *  outputs. Together with the arena this bounds the activation
      *  footprint of one request. */
     std::size_t io_bytes = 0;
+    /** Kernel workspace segment: the maximum per-invocation scratch any
+     *  plan step reserved during layer preparation (im2col columns,
+     *  padded inputs, packed panels, quantized accumulators). Steps run
+     *  sequentially, so one segment serves the whole plan. Filled in by
+     *  the engine after kernel preparation; 0 when preparation is off. */
+    std::size_t workspace_bytes = 0;
     /** Per-value placements, keyed by value name. */
     std::unordered_map<std::string, ArenaSlot> slots;
 };
@@ -44,8 +50,9 @@ struct MemoryPlan {
 /**
  * Peak activation bytes one request needs under this plan: the arena
  * (or the naive per-value total when @p arena_reuse is false) plus the
- * dedicated input/output storage. The admission controller compares
- * this against a request's memory budget before dispatch.
+ * dedicated input/output storage plus the kernel workspace segment.
+ * The admission controller compares this against a request's memory
+ * budget before dispatch.
  */
 std::size_t request_footprint_bytes(const MemoryPlan &plan,
                                     bool arena_reuse = true);

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Tests for the plan-time kernel-preparation stage (backend/layer.hpp):
+ * prepared engines must match unprepared ones bit for bit, grouped and
+ * depthwise convolutions must stay correct on every backend after
+ * preparation, prepared state must be engine-private (the old
+ * thread_local caches made cross-engine contamination untestable), the
+ * workspace segment must be counted in the request footprint, and the
+ * steady-state kernel path must not touch the heap.
+ */
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "models/builder.hpp"
+#include "models/model_zoo.hpp"
+#include "quant/quantizer.hpp"
+#include "test_util.hpp"
+
+// --- Allocation counting ----------------------------------------------------
+// Replaces the global allocation functions for this test binary: when
+// counting is armed, every operator new is tallied. The steady-state
+// zero-allocation guarantee is verified by arming the counter around
+// run_step() on kernel-bearing steps.
+
+namespace {
+std::atomic<std::int64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void *
+counted_alloc(std::size_t size)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *ptr = std::malloc(size == 0 ? 1 : size);
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+} // namespace
+
+// The full replacement family: omitting the nothrow/aligned variants
+// would pair the default operator new with our free()-based delete (an
+// alloc-dealloc mismatch under sanitizers).
+void *
+operator new(std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return operator new(size, std::nothrow);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t alignment = static_cast<std::size_t>(align);
+    void *ptr = std::aligned_alloc(
+        alignment, (size + alignment - 1) / alignment * alignment);
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return operator new(size, align);
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, const std::nothrow_t &) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, const std::nothrow_t &) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+namespace orpheus {
+namespace {
+
+using testing::expect_close;
+using testing::make_random;
+
+/** A small conv network: two 3x3 convs, pooling head, dense classifier.
+ *  @p group applies to the second conv (1 = dense conv, in_c = depthwise,
+ *  other divisors = grouped). */
+Graph
+conv_net(std::int64_t channels, std::int64_t hw, std::int64_t group,
+         std::uint64_t seed)
+{
+    GraphBuilder b("prep-net", seed);
+    std::string x = b.input("input", Shape({1, 3, hw, hw}));
+    x = b.cbr(x, channels, 3, 1, 1);
+    x = b.conv_k(x, channels, 3, 1, 1, group, /*bias=*/true);
+    x = b.relu(x);
+    x = b.global_average_pool(x);
+    x = b.flatten(x);
+    x = b.dense(x, 10);
+    b.output(b.softmax(x));
+    return b.take();
+}
+
+EngineOptions
+pinned(const std::string &conv_impl, bool prepare = true)
+{
+    EngineOptions options;
+    options.prepare_kernels = prepare;
+    if (!conv_impl.empty())
+        options.backend.forced_impl[op_names::kConv] = conv_impl;
+    return options;
+}
+
+// --- Correctness across backends after preparation --------------------------
+
+TEST(Prepare, GroupedConvBackendsMatchReferenceWhenPrepared)
+{
+    set_global_num_threads(1);
+    // channels = 8, group = 4: a grouped conv none of the fast paths may
+    // silently mishandle once their weight caches are prepacked.
+    Graph graph = conv_net(8, 12, /*group=*/4, /*seed=*/0x91);
+    const Tensor input = make_random(Shape({1, 3, 12, 12}), 0xa1);
+
+    Engine reference(Graph(graph), pinned("direct"));
+    const Tensor expected = reference.run(input);
+
+    for (const char *impl : {"im2col_gemm", "spatial_pack"}) {
+        Engine engine(Graph(graph), pinned(impl));
+        expect_close(engine.run(input), expected, 1e-3f, 1e-3f);
+    }
+}
+
+TEST(Prepare, DepthwiseConvBackendsMatchReferenceWhenPrepared)
+{
+    set_global_num_threads(1);
+    // A purely depthwise graph (group == in_c == out_c) so every conv
+    // node supports the pinned depthwise kernel.
+    GraphBuilder b("depthwise-net", 0x92);
+    std::string x = b.input("input", Shape({1, 8, 12, 12}));
+    x = b.conv_k(x, 8, 3, 1, 1, /*group=*/8, /*bias=*/true);
+    x = b.relu(x);
+    x = b.conv_k(x, 8, 3, 1, 1, /*group=*/8, /*bias=*/true);
+    b.output(x);
+    Graph graph = b.take();
+    const Tensor input = make_random(Shape({1, 8, 12, 12}), 0xa2);
+
+    Engine reference(Graph(graph), pinned("direct"));
+    const Tensor expected = reference.run(input);
+
+    for (const char *impl :
+         {"im2col_gemm", "spatial_pack", "depthwise_direct"}) {
+        Engine engine(Graph(graph), pinned(impl));
+        expect_close(engine.run(input), expected, 1e-3f, 1e-3f);
+    }
+}
+
+TEST(Prepare, WinogradMatchesReferenceWhenPrepared)
+{
+    set_global_num_threads(1);
+    Graph graph = conv_net(8, 12, /*group=*/1, /*seed=*/0x93);
+    const Tensor input = make_random(Shape({1, 3, 12, 12}), 0xa3);
+
+    Engine reference(Graph(graph), pinned("direct"));
+    const Tensor expected = reference.run(input);
+
+    EngineOptions options = pinned("winograd");
+    options.backend.allow_winograd = true;
+    Engine engine(Graph(graph), options);
+    expect_close(engine.run(input), expected, 1e-3f, 1e-3f);
+}
+
+// --- Prepared == unprepared, bit for bit ------------------------------------
+
+TEST(Prepare, PreparedMatchesUnpreparedBitwise)
+{
+    set_global_num_threads(1);
+    // Preparation hoists work to plan time but must not change the
+    // arithmetic: identical kernels on identical data -> identical bits.
+    for (const char *impl : {"im2col_gemm", "spatial_pack", "direct"}) {
+        Graph graph = conv_net(8, 12, /*group=*/2, /*seed=*/0x94);
+        const Tensor input = make_random(Shape({1, 3, 12, 12}), 0xa4);
+
+        Engine prepared(Graph(graph), pinned(impl, true));
+        Engine unprepared(Graph(graph), pinned(impl, false));
+        EXPECT_EQ(max_abs_diff(prepared.run(input), unprepared.run(input)),
+                  0.0f)
+            << "impl " << impl;
+    }
+}
+
+TEST(Prepare, WinogradPreparedMatchesUnpreparedBitwise)
+{
+    set_global_num_threads(1);
+    Graph graph = conv_net(8, 12, /*group=*/1, /*seed=*/0x95);
+    const Tensor input = make_random(Shape({1, 3, 12, 12}), 0xa5);
+
+    EngineOptions prepared_options = pinned("winograd", true);
+    prepared_options.backend.allow_winograd = true;
+    EngineOptions unprepared_options = pinned("winograd", false);
+    unprepared_options.backend.allow_winograd = true;
+
+    // The prepared engine caches U = G g G^T at plan time; the
+    // unprepared one recomputes it per run. Same formula, same bits.
+    Engine prepared(Graph(graph), prepared_options);
+    Engine unprepared(Graph(graph), unprepared_options);
+    EXPECT_EQ(max_abs_diff(prepared.run(input), unprepared.run(input)),
+              0.0f);
+}
+
+TEST(Prepare, QuantizedPreparedMatchesUnpreparedBitwise)
+{
+    set_global_num_threads(1);
+    Graph quantized = quantize_model(models::tiny_cnn());
+    const Tensor input =
+        make_random(Shape({1, 3, 8, 8}), 0xa6);
+
+    EngineOptions prepared_options;
+    EngineOptions unprepared_options;
+    unprepared_options.prepare_kernels = false;
+    Engine prepared(Graph(quantized), prepared_options);
+    Engine unprepared(Graph(quantized), unprepared_options);
+    EXPECT_EQ(max_abs_diff(prepared.run(input), unprepared.run(input)),
+              0.0f);
+}
+
+// --- Engine-private prepared state ------------------------------------------
+
+TEST(Prepare, TwoEnginesOnOnePoolDoNotCrossContaminate)
+{
+    set_global_num_threads(1);
+    // Different channel counts, spatial sizes and weights: if prepared
+    // caches or workspace segments were shared (as the old thread_local
+    // scratch was), interleaved runs would read each other's state.
+    Graph graph_a = conv_net(8, 16, /*group=*/1, /*seed=*/0x21);
+    Graph graph_b = conv_net(12, 12, /*group=*/1, /*seed=*/0x22);
+    const Tensor input_a = make_random(Shape({1, 3, 16, 16}), 0xb1);
+    const Tensor input_b = make_random(Shape({1, 3, 12, 12}), 0xb2);
+
+    // Ground truth from engines that never interleave.
+    const Tensor expected_a =
+        Engine(Graph(graph_a), pinned("spatial_pack")).run(input_a);
+    const Tensor expected_b =
+        Engine(Graph(graph_b), pinned("spatial_pack")).run(input_b);
+
+    Engine engine_a(Graph(graph_a), pinned("spatial_pack"));
+    Engine engine_b(Graph(graph_b), pinned("spatial_pack"));
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_EQ(max_abs_diff(engine_a.run(input_a), expected_a), 0.0f)
+            << "round " << round;
+        EXPECT_EQ(max_abs_diff(engine_b.run(input_b), expected_b), 0.0f)
+            << "round " << round;
+    }
+}
+
+// --- Workspace accounting ---------------------------------------------------
+
+TEST(Prepare, WorkspaceIsCountedInRequestFootprint)
+{
+    set_global_num_threads(1);
+    Graph graph = models::tiny_cnn();
+
+    EngineOptions unprepared_options;
+    unprepared_options.prepare_kernels = false;
+    Engine unprepared(Graph(graph), unprepared_options);
+    Engine prepared(Graph(graph), EngineOptions{});
+
+    EXPECT_EQ(unprepared.workspace_bytes(), 0u);
+    EXPECT_GT(prepared.workspace_bytes(), 0u);
+    // The only footprint difference preparation makes is the workspace
+    // segment itself.
+    EXPECT_EQ(prepared.request_footprint_bytes(),
+              unprepared.request_footprint_bytes() +
+                  prepared.workspace_bytes());
+}
+
+// --- Demotion / restore with prepared state ---------------------------------
+
+TEST(Prepare, DemoteAndRestoreKeepPreparedStepsCorrect)
+{
+    set_global_num_threads(1);
+    Graph graph = conv_net(8, 12, /*group=*/1, /*seed=*/0x96);
+    const Tensor input = make_random(Shape({1, 3, 12, 12}), 0xa7);
+
+    Engine engine(Graph(graph), pinned("spatial_pack"));
+    const Tensor baseline = engine.run(input);
+
+    std::size_t conv_step = engine.steps().size();
+    for (std::size_t i = 0; i < engine.steps().size(); ++i) {
+        if (engine.steps()[i].op_type == op_names::kConv) {
+            conv_step = i;
+            break;
+        }
+    }
+    ASSERT_LT(conv_step, engine.steps().size());
+
+    // The fallback layer is instantiated and prepared on demotion; its
+    // result only needs numerical agreement (different algorithm).
+    engine.demote_step(conv_step, "test demotion");
+    expect_close(engine.run(input), baseline, 1e-3f, 1e-3f);
+
+    // Restoring re-instantiates and re-prepares the plan-time kernel:
+    // bitwise identical to the original prepared run.
+    engine.restore_step(conv_step);
+    EXPECT_EQ(max_abs_diff(engine.run(input), baseline), 0.0f);
+}
+
+// --- Zero allocations in the steady state -----------------------------------
+
+TEST(Prepare, SteadyStateKernelStepsDoNotAllocate)
+{
+    set_global_num_threads(1);
+    Engine engine(models::tiny_cnn());
+    const Tensor input = make_random(Shape({1, 3, 8, 8}), 0xa8);
+    (void)engine.run(input); // Warm-up: populates every step's tensors.
+
+    for (std::size_t i = 0; i < engine.steps().size(); ++i) {
+        const PlanStep &step = engine.steps()[i];
+        if (step.op_type != op_names::kConv &&
+            step.op_type != op_names::kGemm &&
+            step.op_type != op_names::kMatMul)
+            continue;
+        g_alloc_count.store(0);
+        g_counting.store(true);
+        engine.run_step(i);
+        g_counting.store(false);
+        EXPECT_EQ(g_alloc_count.load(), 0)
+            << "step " << i << " (" << step.op_type << " via "
+            << step.node_name << ") allocated in the steady state";
+    }
+}
+
+TEST(Prepare, SteadyStateQuantizedConvDoesNotAllocate)
+{
+    set_global_num_threads(1);
+    Engine engine(quantize_model(models::tiny_cnn()));
+    const Tensor input = make_random(Shape({1, 3, 8, 8}), 0xa9);
+    (void)engine.run(input);
+
+    bool saw_qconv = false;
+    for (std::size_t i = 0; i < engine.steps().size(); ++i) {
+        const PlanStep &step = engine.steps()[i];
+        if (step.op_type != op_names::kQLinearConv)
+            continue;
+        saw_qconv = true;
+        g_alloc_count.store(0);
+        g_counting.store(true);
+        engine.run_step(i);
+        g_counting.store(false);
+        EXPECT_EQ(g_alloc_count.load(), 0)
+            << "QLinearConv step " << i << " allocated in the steady state";
+    }
+    EXPECT_TRUE(saw_qconv) << "quantized model contains no QLinearConv";
+}
+
+} // namespace
+} // namespace orpheus
