@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Chaos benchmark: goodput of a replicated engine pool under injected
+ * per-replica faults versus a single-engine baseline.
+ *
+ * Scenario: a 4-replica InferenceService on tiny-cnn where replica 0
+ * hangs (an any-kernel 400 ms injected delay against a 100 ms watchdog
+ * threshold) and replica 1 corrupts every output (NaN poke caught by
+ * the guard). Health-aware dispatch quarantines both sick replicas
+ * after a few requests, failover retries re-run their victims on the
+ * healthy replicas, and the readmission probe keeps the sick replicas
+ * out because their fault schedules never clear — so goodput stays
+ * >= 90 % with zero corrupted responses. The single-engine baseline
+ * under the same hang schedule has nowhere to fail over to and drops
+ * below 50 % goodput.
+ *
+ * Every OK response is compared bitwise against a reference engine; a
+ * corrupted-but-OK response is the one unacceptable outcome.
+ *
+ * With ORPHEUS_CHAOS=1 the binary turns into a soak gate: it exits
+ * non-zero unless pool goodput >= 90 %, baseline goodput < 50 %, and
+ * zero corrupted responses were observed (the nightly chaos-soak job
+ * runs this under TSan).
+ */
+#include "bench_util.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "runtime/service.hpp"
+
+namespace {
+
+using namespace orpheus;
+using namespace orpheus::bench;
+
+struct ChaosResult {
+    std::int64_t requests = 0;
+    std::int64_t good = 0;      ///< OK and bitwise-correct.
+    std::int64_t corrupted = 0; ///< OK but wrong bits: never acceptable.
+    std::int64_t failed = 0;    ///< Non-OK responses.
+    std::int64_t retries = 0;
+    std::int64_t quarantines = 0;
+};
+
+double
+goodput_pct(const ChaosResult &result)
+{
+    return result.requests == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(result.good) /
+                     static_cast<double>(result.requests);
+}
+
+/** Distinct request inputs with their trusted reference outputs. */
+struct ReferenceSet {
+    std::vector<std::map<std::string, Tensor>> inputs;
+    std::vector<std::map<std::string, Tensor>> outputs;
+};
+
+ReferenceSet
+make_references(int count)
+{
+    ReferenceSet set;
+    Engine reference(models::tiny_cnn(), {});
+    const Shape shape = reference.graph().inputs().front().shape;
+    for (int i = 0; i < count; ++i) {
+        Rng rng(0xc4a0 + static_cast<std::uint64_t>(i));
+        std::map<std::string, Tensor> inputs{
+            {"input", random_tensor(shape, rng)}};
+        set.outputs.push_back(reference.run(inputs));
+        set.inputs.push_back(std::move(inputs));
+    }
+    return set;
+}
+
+bool
+bitwise_equal(const std::map<std::string, Tensor> &actual,
+              const std::map<std::string, Tensor> &expected)
+{
+    if (actual.size() != expected.size())
+        return false;
+    for (const auto &[name, tensor] : expected) {
+        const auto it = actual.find(name);
+        if (it == actual.end() ||
+            it->second.byte_size() != tensor.byte_size() ||
+            std::memcmp(it->second.raw_data(), tensor.raw_data(),
+                        tensor.byte_size()) != 0)
+            return false;
+    }
+    return true;
+}
+
+/** An injector that stalls every kernel 400 ms (a hang against a
+ *  100 ms watchdog threshold); demotion cannot escape it because it
+ *  matches every implementation. */
+std::shared_ptr<FaultInjector>
+hang_injector()
+{
+    auto injector = std::make_shared<FaultInjector>();
+    injector->arm_delay("", "", /*delay_ms=*/400.0);
+    return injector;
+}
+
+/** An injector that NaN-pokes every kernel output (caught by the
+ *  guard's non-finite scan on every attempt). */
+std::shared_ptr<FaultInjector>
+corruption_injector()
+{
+    auto injector = std::make_shared<FaultInjector>();
+    injector->arm_corruption("", "", CorruptionKind::kNaNPoke);
+    return injector;
+}
+
+ChaosResult
+drive(InferenceService &service, const ReferenceSet &references,
+      int requests, double deadline_ms, int burst)
+{
+    ChaosResult result;
+    int submitted = 0;
+    while (submitted < requests) {
+        const int batch = std::min(burst, requests - submitted);
+        std::vector<std::future<InferenceResponse>> inflight;
+        std::vector<int> reference_index;
+        inflight.reserve(static_cast<std::size_t>(batch));
+        for (int i = 0; i < batch; ++i) {
+            const int index =
+                submitted % static_cast<int>(references.inputs.size());
+            reference_index.push_back(index);
+            inflight.push_back(
+                service.submit(references.inputs[index],
+                               DeadlineToken::after_ms(deadline_ms)));
+            ++submitted;
+        }
+        for (std::size_t i = 0; i < inflight.size(); ++i) {
+            InferenceResponse response = inflight[i].get();
+            ++result.requests;
+            result.retries += response.retries;
+            if (!response.status.is_ok()) {
+                ++result.failed;
+            } else if (bitwise_equal(
+                           response.outputs,
+                           references.outputs[static_cast<std::size_t>(
+                               reference_index[i])])) {
+                ++result.good;
+            } else {
+                ++result.corrupted;
+            }
+        }
+    }
+    result.quarantines = service.stats().quarantines;
+    return result;
+}
+
+ChaosResult
+run_pool_scenario(const ReferenceSet &references, int requests)
+{
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+
+    ServiceOptions options;
+    options.workers = 4;
+    options.replicas = 4;
+    options.max_queue_depth = 64;
+    options.hang_threshold_ms = 100;
+    options.max_retries = 3;
+    options.retry_budget = 0.2;
+    // Replica 0 hangs, replica 1 corrupts, replicas 2-3 are healthy.
+    options.per_replica_injectors = {hang_injector(),
+                                     corruption_injector(), nullptr,
+                                     nullptr};
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+    return drive(service, references, requests, /*deadline_ms=*/600.0,
+                 /*burst=*/16);
+}
+
+ChaosResult
+run_baseline_scenario(const ReferenceSet &references, int requests)
+{
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+    engine_options.fault_injector = hang_injector();
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 1;
+    options.max_queue_depth = 64;
+    options.hang_threshold_ms = 100;
+    options.max_retries = 3;
+    options.retry_budget = 0.2;
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+    return drive(service, references, requests, /*deadline_ms=*/600.0,
+                 /*burst=*/4);
+}
+
+ChaosResult &
+pool_total()
+{
+    static ChaosResult result;
+    return result;
+}
+
+ChaosResult &
+baseline_total()
+{
+    static ChaosResult result;
+    return result;
+}
+
+void
+accumulate(ChaosResult &total, const ChaosResult &run)
+{
+    total.requests += run.requests;
+    total.good += run.good;
+    total.corrupted += run.corrupted;
+    total.failed += run.failed;
+    total.retries += run.retries;
+    total.quarantines += run.quarantines;
+}
+
+void
+chaos_cell(::benchmark::State &state, bool pool)
+{
+    const int requests = quick_mode() ? (pool ? 32 : 8) : (pool ? 160 : 24);
+    const ReferenceSet references = make_references(8);
+    for (auto _ : state) {
+        Timer timer;
+        const ChaosResult result =
+            pool ? run_pool_scenario(references, requests)
+                 : run_baseline_scenario(references, requests);
+        state.SetIterationTime(timer.elapsed_ms() / 1000.0);
+        accumulate(pool ? pool_total() : baseline_total(), result);
+    }
+}
+
+void
+report(const std::string &row, const ChaosResult &total)
+{
+    record_cell(row, "goodput_pct", goodput_pct(total));
+    record_cell(row, "corrupted", static_cast<double>(total.corrupted));
+    record_cell(row, "failed", static_cast<double>(total.failed));
+    record_cell(row, "retries", static_cast<double>(total.retries));
+    record_cell(row, "quarantines",
+                static_cast<double>(total.quarantines));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    set_global_num_threads(1);
+
+    ::benchmark::RegisterBenchmark(
+        "chaos/pool_4x",
+        [](::benchmark::State &state) { chaos_cell(state, true); })
+        ->Iterations(timed_runs())
+        ->UseManualTime()
+        ->Unit(::benchmark::kMillisecond);
+    ::benchmark::RegisterBenchmark(
+        "chaos/baseline_1x",
+        [](::benchmark::State &state) { chaos_cell(state, false); })
+        ->Iterations(timed_runs())
+        ->UseManualTime()
+        ->Unit(::benchmark::kMillisecond);
+
+    const int status = orpheus::bench::run_benchmarks(argc, argv);
+
+    report("pool_4x", pool_total());
+    report("baseline_1x", baseline_total());
+    print_table("Goodput under per-replica chaos (tiny-cnn)",
+                "scenario");
+
+    const double pool_goodput = goodput_pct(pool_total());
+    const double baseline_goodput = goodput_pct(baseline_total());
+    std::printf("\npool goodput %.1f %% (corrupted %lld, retries %lld, "
+                "quarantines %lld) vs single-engine baseline %.1f %%\n",
+                pool_goodput,
+                static_cast<long long>(pool_total().corrupted),
+                static_cast<long long>(pool_total().retries),
+                static_cast<long long>(pool_total().quarantines),
+                baseline_goodput);
+    print_csv("scenario", "metric");
+    write_json("chaos_pool");
+
+    if (env_flag("ORPHEUS_CHAOS", false)) {
+        bool ok = true;
+        if (pool_goodput < 90.0) {
+            std::printf("CHAOS GATE: pool goodput %.1f %% < 90 %%\n",
+                        pool_goodput);
+            ok = false;
+        }
+        if (pool_total().corrupted != 0 ||
+            baseline_total().corrupted != 0) {
+            std::printf("CHAOS GATE: corrupted responses observed\n");
+            ok = false;
+        }
+        if (baseline_goodput >= 50.0) {
+            std::printf("CHAOS GATE: baseline goodput %.1f %% >= 50 %% "
+                        "(the failover win is gone)\n",
+                        baseline_goodput);
+            ok = false;
+        }
+        if (!ok)
+            return 1;
+        std::printf("CHAOS GATE: pass\n");
+    }
+    return status;
+}

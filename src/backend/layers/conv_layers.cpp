@@ -32,7 +32,8 @@ class ConvLayerBase : public Layer
           activation_(ActivationSpec::from_fused_attrs(init.node->attrs())),
           gemm_variant_(init.config->gemm_variant),
           has_bias_(init.node->has_input(2)),
-          const_weight_(init.constant(1))
+          const_weight_(init.constant(1)),
+          node_name_(init.node->name())
     {
         // Shape-only argument bundle (pointers stay null): gives the
         // prepare stage the exact scratch geometry forward() will use.
@@ -83,6 +84,7 @@ class ConvLayerBase : public Layer
     GemmVariant gemm_variant_;
     bool has_bias_;
     const Tensor *const_weight_;
+    std::string node_name_;
     Conv2dArgs shape_args_;
     Workspace workspace_;
     Conv2dScratch scratch_;
@@ -147,10 +149,16 @@ class ConvSpatialPackLayer : public ConvLayerBase
         const std::size_t pack_floats =
             conv2d_spatial_pack_weights_floats(shape_args_);
         if (const_weight_ != nullptr) {
-            packed_weights_.resize(pack_floats);
-            Conv2dArgs args = shape_args_;
-            args.weight = const_weight_->data<float>();
-            conv2d_spatial_pack_pack_weights(args, packed_weights_.data());
+            // Constant weights: the pack is immutable, so it lives in
+            // the (possibly replica-shared) constant pack cache.
+            packed_weights_ = ctx.pack_f32(
+                node_name_ + "/spatial_pack/weights", [&] {
+                    std::vector<float> pack(pack_floats);
+                    Conv2dArgs args = shape_args_;
+                    args.weight = const_weight_->data<float>();
+                    conv2d_spatial_pack_pack_weights(args, pack.data());
+                    return pack;
+                });
         } else {
             weight_pack_offset_ =
                 ctx.reserve(pack_floats * sizeof(float));
@@ -167,14 +175,14 @@ class ConvSpatialPackLayer : public ConvLayerBase
     void
     rebind() override
     {
-        if (!packed_weights_.empty())
-            scratch_.packed_weights = packed_weights_.data();
+        if (packed_weights_ != nullptr)
+            scratch_.packed_weights = packed_weights_->data();
         else
             scratch_.weight_pack = workspace_.at<float>(weight_pack_offset_);
         scratch_.padded_input = workspace_.at<float>(padded_offset_);
     }
 
-    std::vector<float> packed_weights_;
+    ConstantPackCache::FloatPack packed_weights_;
     std::size_t weight_pack_offset_ = 0;
     std::size_t padded_offset_ = 0;
 };
@@ -194,9 +202,12 @@ class ConvWinogradLayer : public ConvLayerBase
     prepare(PlanContext &ctx) override
     {
         if (const_weight_ != nullptr) {
-            cached_u_ = winograd_transform_weights(
-                const_weight_->data<float>(), const_weight_->shape().dim(0),
-                const_weight_->shape().dim(1));
+            cached_u_ = ctx.pack_f32(node_name_ + "/winograd/u", [&] {
+                return winograd_transform_weights(
+                    const_weight_->data<float>(),
+                    const_weight_->shape().dim(0),
+                    const_weight_->shape().dim(1));
+            });
         }
         v_offset_ = ctx.reserve(conv2d_winograd_v_floats(shape_args_) *
                                 sizeof(float));
@@ -213,7 +224,7 @@ class ConvWinogradLayer : public ConvLayerBase
     forward(const std::vector<const Tensor *> &inputs,
             const std::vector<Tensor *> &outputs) override
     {
-        if (cached_u_.empty()) {
+        if (cached_u_ == nullptr) {
             // Runtime weights (or an unprepared layer): the per-call
             // transform path through the conv2d dispatcher.
             ConvLayerBase::forward(inputs, outputs);
@@ -236,7 +247,7 @@ class ConvWinogradLayer : public ConvLayerBase
         args.params = params_;
         args.activation = activation_;
         args.gemm_variant = gemm_variant_;
-        conv2d_winograd_pretransformed(args, cached_u_.data(),
+        conv2d_winograd_pretransformed(args, cached_u_->data(),
                                        active_scratch());
     }
 
@@ -252,7 +263,7 @@ class ConvWinogradLayer : public ConvLayerBase
             scratch_.gemm.b_pack = workspace_.at<float>(b_pack_offset_);
     }
 
-    std::vector<float> cached_u_;
+    ConstantPackCache::FloatPack cached_u_;
     std::size_t v_offset_ = 0;
     std::size_t m_offset_ = 0;
     std::size_t b_pack_offset_ = 0;

@@ -119,6 +119,7 @@ class QLinearConvLayer : public Layer
     explicit QLinearConvLayer(const LayerInit &init)
         : has_bias_(init.node->has_input(8)),
           const_weight_(init.constant(3)),
+          node_name_(init.node->name()),
           in_c_(init.input(0).shape.dim(1)),
           out_c_(init.output(0).shape.dim(1)),
           out_h_(init.output(0).shape.dim(2)),
@@ -160,9 +161,13 @@ class QLinearConvLayer : public Layer
             qconv2d_acc_count(out_c_, args_.params, out_h_, out_w_) *
             sizeof(std::int32_t));
         if (const_weight_ != nullptr) {
-            weight_row_sums_.resize(static_cast<std::size_t>(out_c_));
-            qconv2d_weight_row_sums(*const_weight_,
-                                    weight_row_sums_.data());
+            weight_row_sums_ =
+                ctx.pack_i32(node_name_ + "/im2col_qgemm/row_sums", [&] {
+                    std::vector<std::int32_t> sums(
+                        static_cast<std::size_t>(out_c_));
+                    qconv2d_weight_row_sums(*const_weight_, sums.data());
+                    return sums;
+                });
         }
         prepared_ = true;
         rebind();
@@ -192,18 +197,19 @@ class QLinearConvLayer : public Layer
     {
         scratch_.col = workspace_.at<std::uint8_t>(col_offset_);
         scratch_.acc = workspace_.at<std::int32_t>(acc_offset_);
-        if (!weight_row_sums_.empty())
-            scratch_.weight_row_sums = weight_row_sums_.data();
+        if (weight_row_sums_ != nullptr)
+            scratch_.weight_row_sums = weight_row_sums_->data();
     }
 
     QConv2dArgs args_;
     bool has_bias_;
     const Tensor *const_weight_;
+    std::string node_name_;
     std::int64_t in_c_;
     std::int64_t out_c_;
     std::int64_t out_h_;
     std::int64_t out_w_;
-    std::vector<std::int32_t> weight_row_sums_;
+    ConstantPackCache::Int32Pack weight_row_sums_;
     Workspace workspace_;
     QConv2dScratch scratch_;
     std::size_t col_offset_ = 0;

@@ -9,6 +9,7 @@
 #include "models/model_zoo.hpp"
 #include "onnx/importer.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/service.hpp"
 
 /** Concrete type behind the opaque handle. */
 struct orpheus_engine {
@@ -19,6 +20,19 @@ struct orpheus_engine {
     }
 
     orpheus::Engine impl;
+};
+
+/** Concrete type behind the opaque service handle. */
+struct orpheus_service {
+    orpheus_service(orpheus::Graph graph,
+                    orpheus::EngineOptions engine_options,
+                    orpheus::ServiceOptions service_options)
+        : impl(std::move(graph), std::move(engine_options),
+               std::move(service_options))
+    {
+    }
+
+    orpheus::InferenceService impl;
 };
 
 namespace {
@@ -270,6 +284,149 @@ orpheus_engine_step_count(const orpheus_engine *engine)
     if (engine == nullptr)
         return ORPHEUS_ERR_INVALID_ARGUMENT;
     return static_cast<int>(engine->impl.steps().size());
+}
+
+orpheus_service *
+orpheus_service_create_zoo(const char *model_name, const char *personality,
+                           const orpheus_service_config *config)
+{
+    if (model_name == nullptr) {
+        set_error("model_name is null");
+        return nullptr;
+    }
+    try {
+        orpheus::EngineOptions engine_options = options_for(personality);
+        orpheus::ServiceOptions service_options;
+        service_options.workers = 2;
+        if (config != nullptr) {
+            if (config->workers > 0)
+                service_options.workers = config->workers;
+            service_options.replicas = config->replicas;
+            service_options.warm_spares = config->warm_spares;
+            if (config->max_queue_depth > 0)
+                service_options.max_queue_depth =
+                    static_cast<std::size_t>(config->max_queue_depth);
+            service_options.max_retries = config->max_retries;
+            if (config->retry_budget > 0)
+                service_options.retry_budget = config->retry_budget;
+            service_options.default_deadline_ms =
+                config->default_deadline_ms;
+            if (config->hang_threshold_ms > 0)
+                service_options.hang_threshold_ms =
+                    config->hang_threshold_ms;
+            engine_options.guard.enabled = config->enable_guard != 0;
+            service_options.enable_brownout =
+                config->enable_brownout != 0;
+        }
+        return new orpheus_service(orpheus::models::by_name(model_name),
+                                   engine_options, service_options);
+    } catch (const std::exception &error) {
+        set_error(error.what());
+        return nullptr;
+    }
+}
+
+void
+orpheus_service_destroy(orpheus_service *service)
+{
+    delete service;
+}
+
+int
+orpheus_service_run(orpheus_service *service, const float *input,
+                    size_t input_len, float *output, size_t output_len,
+                    double deadline_ms, int *retries)
+{
+    if (retries != nullptr)
+        *retries = 0;
+    if (service == nullptr || input == nullptr || output == nullptr) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    try {
+        const orpheus::Graph &graph = service->impl.engine().graph();
+        if (graph.inputs().size() != 1 || graph.outputs().size() != 1) {
+            set_error("orpheus_service_run requires a single-input, "
+                      "single-output model");
+            return ORPHEUS_ERR_INVALID_ARGUMENT;
+        }
+        const orpheus::ValueInfo &in_info = graph.inputs().front();
+        if (static_cast<size_t>(in_info.shape.numel()) != input_len) {
+            set_error("input has " + std::to_string(input_len) +
+                      " elements, model expects " +
+                      std::to_string(in_info.shape.numel()));
+            return ORPHEUS_ERR_INVALID_ARGUMENT;
+        }
+
+        orpheus::Tensor in_tensor(in_info.shape,
+                                  orpheus::DataType::kFloat32);
+        std::memcpy(in_tensor.raw_data(), input,
+                    input_len * sizeof(float));
+
+        orpheus::DeadlineToken token =
+            deadline_ms > 0 ? orpheus::DeadlineToken::after_ms(deadline_ms)
+                            : orpheus::DeadlineToken();
+        const orpheus::InferenceResponse response = service->impl.run(
+            {{in_info.name, std::move(in_tensor)}}, std::move(token));
+        if (retries != nullptr)
+            *retries = response.retries;
+        if (!response.status.is_ok()) {
+            set_error(response.status.to_string());
+            return orpheus::capi::to_c_code(response.status.code());
+        }
+
+        const orpheus::Tensor &result = response.outputs.begin()->second;
+        if (static_cast<size_t>(result.numel()) != output_len) {
+            set_error("output buffer has " + std::to_string(output_len) +
+                      " elements, model produces " +
+                      std::to_string(result.numel()));
+            return ORPHEUS_ERR_BUFFER_TOO_SMALL;
+        }
+        std::memcpy(output, result.raw_data(),
+                    output_len * sizeof(float));
+        return ORPHEUS_OK;
+    } catch (const std::exception &error) {
+        set_error(error.what());
+        return ORPHEUS_ERR_RUNTIME;
+    }
+}
+
+int
+orpheus_service_query_stats(const orpheus_service *service,
+                            orpheus_service_stats *stats)
+{
+    if (service == nullptr || stats == nullptr) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    const orpheus::ServiceStats snapshot = service->impl.stats();
+    *stats = orpheus_service_stats{};
+    stats->submitted = snapshot.submitted;
+    stats->completed_ok = snapshot.completed_ok;
+    stats->deadline_exceeded = snapshot.deadline_exceeded;
+    stats->data_corruption = snapshot.data_corruption;
+    stats->failed = snapshot.failed;
+    stats->watchdog_hangs = snapshot.watchdog_hangs;
+    stats->demotions = snapshot.demotions;
+    stats->retries = snapshot.retries;
+    stats->retry_budget_denied = snapshot.retry_budget_denied;
+    stats->quarantines = snapshot.quarantines;
+    stats->readmissions = snapshot.readmissions;
+    stats->brownout_shed = snapshot.brownout_shed;
+    stats->latency_p50_ms = snapshot.latency_p50_ms;
+    stats->latency_p99_ms = snapshot.latency_p99_ms;
+    stats->latency_p999_ms = snapshot.latency_p999_ms;
+    return ORPHEUS_OK;
+}
+
+int
+orpheus_service_replica_count(const orpheus_service *service)
+{
+    if (service == nullptr) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    return static_cast<int>(service->impl.pool().replica_count());
 }
 
 int

@@ -125,6 +125,87 @@ int orpheus_engine_step_count(const orpheus_engine *engine);
 int orpheus_engine_profile_csv(const orpheus_engine *engine, char *buffer,
                                size_t size);
 
+/* --- Resilient serving ---------------------------------------------------
+ *
+ * The service wraps a pool of engine replicas (sharing one prepacked
+ * constant cache) behind admission control, a hang watchdog,
+ * health-aware failover with bounded retries, and optional overload
+ * brownout. This is the surface long-running embedders should use
+ * instead of orpheus_engine_run.
+ */
+
+/** Opaque replicated-service handle. */
+typedef struct orpheus_service orpheus_service;
+
+/** Service configuration; zero-initialise then override. Zero fields
+ *  mean "default": 2 workers, one replica per worker, queue depth 16,
+ *  no retries, retry budget 0.2, unlimited deadline, 1000 ms hang
+ *  threshold. */
+typedef struct orpheus_service_config {
+    int workers;
+    int replicas;
+    int warm_spares;
+    int max_queue_depth;
+    int max_retries;
+    double retry_budget;
+    double default_deadline_ms;
+    double hang_threshold_ms;
+    int enable_guard;
+    int enable_brownout;
+} orpheus_service_config;
+
+/** Monotonic service counters (a consistent snapshot). */
+typedef struct orpheus_service_stats {
+    int64_t submitted;
+    int64_t completed_ok;
+    int64_t deadline_exceeded;
+    int64_t data_corruption;
+    int64_t failed;
+    int64_t watchdog_hangs;
+    int64_t demotions;
+    int64_t retries;
+    int64_t retry_budget_denied;
+    int64_t quarantines;
+    int64_t readmissions;
+    int64_t brownout_shed;
+    double latency_p50_ms;
+    double latency_p99_ms;
+    double latency_p999_ms;
+} orpheus_service_stats;
+
+/**
+ * Builds a replicated service over a model-zoo network. @p config may
+ * be NULL for all defaults. Returns NULL on error (see
+ * orpheus_last_error).
+ */
+orpheus_service *
+orpheus_service_create_zoo(const char *model_name, const char *personality,
+                           const orpheus_service_config *config);
+
+void orpheus_service_destroy(orpheus_service *service);
+
+/**
+ * Runs one inference through the pool (single-input, single-output
+ * models; same buffer contract as orpheus_engine_run).
+ * @p deadline_ms > 0 bounds this request (0 uses the service default);
+ * @p retries, when non-NULL, receives the failover attempts the
+ * request needed. Retryable failures (corruption, kernel faults,
+ * watchdog-cancelled hangs) are transparently re-run on a different
+ * healthy replica within the deadline and retry budget.
+ */
+int orpheus_service_run(orpheus_service *service, const float *input,
+                        size_t input_len, float *output,
+                        size_t output_len, double deadline_ms,
+                        int *retries);
+
+/** Fills @p stats with a snapshot of the service counters. */
+int orpheus_service_query_stats(const orpheus_service *service,
+                                orpheus_service_stats *stats);
+
+/** Replicas compiled into the pool (active + spares), or an error
+ *  code. */
+int orpheus_service_replica_count(const orpheus_service *service);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

@@ -69,6 +69,22 @@ class DeadlineToken
      */
     double remaining_ms() const;
 
+    /**
+     * The wall-clock deadline, or nullopt when the token carries none.
+     * Unlike remaining_ms() this is unaffected by cancel(), so a
+     * dispatcher that cancelled a token to abandon one replica (the
+     * watchdog path) can mint a fresh token for the retry with
+     * DeadlineToken::at(*deadline_point()) and keep the request's
+     * original time budget.
+     */
+    std::optional<std::chrono::steady_clock::time_point>
+    deadline_point() const
+    {
+        if (state_ == nullptr || !state_->has_deadline)
+            return std::nullopt;
+        return state_->deadline;
+    }
+
   private:
     struct State {
         std::atomic<bool> cancelled{false};

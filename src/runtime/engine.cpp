@@ -144,8 +144,9 @@ Engine::prepare_layer(Layer &layer)
 {
     if (!options_.prepare_kernels)
         return;
-    PlanContext ctx;
+    PlanContext ctx(options_.pack_cache.get());
     layer.prepare(ctx);
+    memory_plan_.constant_pack_bytes += ctx.pack_bytes();
     const std::size_t required = ctx.workspace_bytes();
     if (required > memory_plan_.workspace_bytes) {
         request_footprint_bytes_ +=
@@ -251,22 +252,23 @@ Engine::execute_step_unguarded(std::size_t index,
     PlanStep &step = steps_[index];
     try {
         FaultInjector *injector = options_.fault_injector.get();
+        // One decide() call per invocation: the whole injection schedule
+        // for this step is resolved atomically, so a concurrent re-arm
+        // (pool chaos harnesses) cannot hand us a torn verdict.
+        InjectionDecision injection;
         if (injector != nullptr) {
-            const double stall =
-                injector->delay_ms(step.node_name, step.layer->impl_name());
-            if (stall > 0)
-                cooperative_delay_ms(stall, deadline);
-            if (injector->should_fail(step.node_name,
-                                      step.layer->impl_name()))
+            injection =
+                injector->decide(step.node_name, step.layer->impl_name());
+            if (injection.delay_ms > 0)
+                cooperative_delay_ms(injection.delay_ms, deadline);
+            if (injection.fail)
                 throw KernelFault("injected fault in node " +
                                   step.node_name + " (" +
                                   step.layer->impl_name() + ")");
         }
         step.layer->forward(step.inputs, step.outputs);
         if (injector != nullptr)
-            apply_corruption(injector->corruption(step.node_name,
-                                                  step.layer->impl_name()),
-                             *step.outputs.front());
+            apply_corruption(injection.corruption, *step.outputs.front());
     } catch (const DeadlineExceededError &) {
         // A cancelled step is not a kernel fault: never degrade, let
         // the request surface kDeadlineExceeded.
@@ -311,21 +313,19 @@ Engine::execute_step_guarded(std::size_t index, const DeadlineToken &deadline)
 
     try {
         FaultInjector *injector = options_.fault_injector.get();
+        InjectionDecision injection;
         if (injector != nullptr) {
-            const double stall =
-                injector->delay_ms(step.node_name, active.impl_name());
-            if (stall > 0)
-                cooperative_delay_ms(stall, deadline);
-            if (injector->should_fail(step.node_name, active.impl_name()))
+            injection = injector->decide(step.node_name, active.impl_name());
+            if (injection.delay_ms > 0)
+                cooperative_delay_ms(injection.delay_ms, deadline);
+            if (injection.fail)
                 throw KernelFault("injected fault in node " +
                                   step.node_name + " (" +
                                   active.impl_name() + ")");
         }
         active.forward(step.inputs, step.outputs);
         if (injector != nullptr)
-            apply_corruption(injector->corruption(step.node_name,
-                                                  active.impl_name()),
-                             *step.outputs.front());
+            apply_corruption(injection.corruption, *step.outputs.front());
     } catch (const DeadlineExceededError &) {
         throw; // Never a trip: cancelled, not wrong.
     } catch (const std::exception &fault) {

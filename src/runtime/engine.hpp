@@ -65,6 +65,16 @@ struct EngineOptions {
     bool prepare_kernels = true;
 
     /**
+     * Optional shared cache for the immutable prepacked constant
+     * tensors the prepare stage builds. An engine pool passes the same
+     * cache to every replica so packed weights, Winograd U and
+     * quantized row sums are allocated exactly once per model, not per
+     * replica; a standalone engine leaves this null and layers build
+     * private packs.
+     */
+    std::shared_ptr<ConstantPackCache> pack_cache;
+
+    /**
      * When a kernel throws at run time, retry the step on the
      * lowest-priority (reference) implementation instead of propagating
      * the failure. The degradation is logged via ORPHEUS_WARN and the
@@ -243,6 +253,18 @@ class Engine
     std::size_t workspace_bytes() const
     {
         return memory_plan_.workspace_bytes;
+    }
+
+    /**
+     * Bytes of prepacked constant caches this engine's layers
+     * reference. With a shared pack cache attached the storage itself
+     * is counted once in ConstantPackCache::bytes() however many
+     * replicas reference it; this accessor reports this engine's view
+     * for footprint introspection.
+     */
+    std::size_t constant_pack_bytes() const
+    {
+        return memory_plan_.constant_pack_bytes;
     }
 
     /** Auto-tune measurements per node (empty unless kAutoTune). */

@@ -1,0 +1,439 @@
+#include "runtime/engine_pool.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/logging.hpp"
+
+namespace orpheus {
+
+const char *
+to_string(ReplicaState state)
+{
+    switch (state) {
+      case ReplicaState::kActive: return "active";
+      case ReplicaState::kSpare: return "spare";
+      case ReplicaState::kQuarantined: return "quarantined";
+    }
+    return "invalid";
+}
+
+EnginePool::Lease::~Lease()
+{
+    if (pool_ != nullptr) {
+        // Unreleased lease: neutral outcome, but pending hang
+        // demotions must still be applied before the next holder.
+        EnginePool *pool = pool_;
+        const std::size_t id = id_;
+        pool_ = nullptr;
+        std::lock_guard<std::mutex> lock(pool->mutex_);
+        pool->apply_pending_demotions_locked(id);
+        pool->replicas_[id].leased = false;
+        pool->replica_free_.notify_all();
+    }
+}
+
+EnginePool::EnginePool(Graph graph, EngineOptions engine_options,
+                       EnginePoolOptions options)
+    : options_(std::move(options)),
+      full_policy_(engine_options.guard),
+      pack_cache_(engine_options.pack_cache != nullptr
+                      ? engine_options.pack_cache
+                      : std::make_shared<ConstantPackCache>())
+{
+    ORPHEUS_CHECK(options_.replicas >= 1,
+                  "engine pool needs >= 1 replica, got "
+                      << options_.replicas);
+    ORPHEUS_CHECK(options_.warm_spares >= 0,
+                  "engine pool needs >= 0 warm spares, got "
+                      << options_.warm_spares);
+
+    // Brownout fidelity: same guard, no shadow sampling.
+    brownout_policy_ = full_policy_;
+    brownout_policy_.shadow_every_n = 0;
+
+    replica_storage_count_ = static_cast<std::size_t>(options_.replicas) +
+                             static_cast<std::size_t>(options_.warm_spares);
+    monitors_.reserve(replica_storage_count_);
+    replicas_.reserve(replica_storage_count_);
+    for (std::size_t i = 0; i < replica_storage_count_; ++i) {
+        monitors_.push_back(std::make_shared<ExecutionMonitor>());
+        EngineOptions per_replica = engine_options;
+        per_replica.execution_monitor = monitors_.back();
+        per_replica.pack_cache = pack_cache_;
+        if (i < options_.per_replica_injectors.size() &&
+            options_.per_replica_injectors[i] != nullptr)
+            per_replica.fault_injector = options_.per_replica_injectors[i];
+        Replica replica;
+        // The last replica may consume the caller's graph; the rest
+        // compile from copies. Every replica after the first hits the
+        // shared pack cache instead of rebuilding constant packs.
+        replica.engine = std::make_unique<Engine>(
+            i + 1 == replica_storage_count_ ? std::move(graph)
+                                            : Graph(graph),
+            std::move(per_replica));
+        replica.state = i < static_cast<std::size_t>(options_.replicas)
+                            ? ReplicaState::kActive
+                            : ReplicaState::kSpare;
+        replicas_.push_back(std::move(replica));
+    }
+
+    for (const ValueInfo &input : replicas_.front().engine->graph().inputs())
+        probe_inputs_.emplace(input.name,
+                              Tensor(input.shape, input.dtype));
+}
+
+std::size_t
+EnginePool::pick_free_active_locked(std::size_t exclude) const
+{
+    std::size_t best = kNoReplica;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        const Replica &replica = replicas_[i];
+        if (replica.state != ReplicaState::kActive || replica.leased ||
+            i == exclude)
+            continue;
+        if (best == kNoReplica ||
+            replica.health_penalty < replicas_[best].health_penalty ||
+            (replica.health_penalty == replicas_[best].health_penalty &&
+             replica.served < replicas_[best].served))
+            best = i;
+    }
+    return best;
+}
+
+std::size_t
+EnginePool::promote_spare_locked()
+{
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        if (replicas_[i].state == ReplicaState::kSpare) {
+            replicas_[i].state = ReplicaState::kActive;
+            ++stats_.spare_promotions;
+            ORPHEUS_WARN("engine pool: promoted warm spare replica "
+                         << i << " into rotation");
+            return i;
+        }
+    }
+    return kNoReplica;
+}
+
+std::size_t
+EnginePool::count_in_rotation_locked() const
+{
+    std::size_t count = 0;
+    for (const Replica &replica : replicas_)
+        if (replica.state != ReplicaState::kQuarantined)
+            ++count;
+    return count;
+}
+
+void
+EnginePool::sync_degraded_mode_locked(std::size_t id)
+{
+    Replica &replica = replicas_[id];
+    if (replica.degraded_applied == degraded_mode_ ||
+        !full_policy_.enabled)
+        return;
+    replica.engine->set_guard_policy(degraded_mode_ ? brownout_policy_
+                                                    : full_policy_);
+    replica.degraded_applied = degraded_mode_;
+}
+
+EnginePool::Lease
+EnginePool::acquire(const DeadlineToken &deadline,
+                    std::size_t exclude_replica, Status *why)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (deadline.expired()) {
+            if (why != nullptr)
+                *why = deadline_exceeded_error(
+                    "deadline expired while waiting for a pool replica");
+            return Lease();
+        }
+
+        std::size_t id = pick_free_active_locked(exclude_replica);
+        if (id == kNoReplica) {
+            id = promote_spare_locked();
+            if (id != kNoReplica && id == exclude_replica)
+                id = kNoReplica; // A spare that is the excluded replica
+                                 // stays promoted; look again below.
+        }
+        if (id == kNoReplica && exclude_replica != kNoReplica)
+            // Failing over beats failing: reuse the excluded replica
+            // when it is the only healthy one.
+            id = pick_free_active_locked(kNoReplica);
+
+        if (id != kNoReplica) {
+            Replica &replica = replicas_[id];
+            replica.leased = true;
+            sync_degraded_mode_locked(id);
+            ++stats_.acquires;
+            return Lease(this, id, replica.engine.get());
+        }
+
+        if (count_in_rotation_locked() > 0) {
+            // Healthy replicas exist but all are leased: wait for one.
+            if (deadline.has_deadline()) {
+                const double remaining = deadline.remaining_ms();
+                replica_free_.wait_for(
+                    lock, std::chrono::duration<double, std::milli>(
+                              std::max(remaining, 0.0)));
+            } else {
+                replica_free_.wait(lock);
+            }
+            continue;
+        }
+
+        // Every replica is quarantined. Try to revive the least-bad
+        // unleased one; if that is impossible, fail fast — the caller
+        // must see kResourceExhausted, not a hang.
+        std::size_t candidate = kNoReplica;
+        for (std::size_t i = 0; i < replicas_.size(); ++i) {
+            const Replica &replica = replicas_[i];
+            if (replica.state != ReplicaState::kQuarantined ||
+                replica.leased)
+                continue;
+            if (candidate == kNoReplica ||
+                replica.health_penalty <
+                    replicas_[candidate].health_penalty)
+                candidate = i;
+        }
+        if (candidate == kNoReplica) {
+            // Quarantined replicas exist but are all mid-probe on other
+            // threads; wait for a verdict.
+            replica_free_.wait(lock);
+            continue;
+        }
+
+        Replica &replica = replicas_[candidate];
+        replica.leased = true; // Exclusive for the probe.
+        ++stats_.probes;
+        lock.unlock();
+        std::string failure;
+        const bool clean = revive(candidate, &failure);
+        lock.lock();
+        if (clean) {
+            replica.state = ReplicaState::kActive;
+            replica.health_penalty = 0;
+            replica.last_fault.clear();
+            ++stats_.readmissions;
+            sync_degraded_mode_locked(candidate);
+            ++stats_.acquires;
+            ORPHEUS_WARN("engine pool: replica " << candidate
+                                                 << " probed clean; "
+                                                    "readmitted");
+            return Lease(this, candidate, replica.engine.get());
+        }
+        ++stats_.probe_failures;
+        replica.leased = false;
+        replica.last_fault = "probe failed: " + failure;
+        replica_free_.notify_all();
+        ORPHEUS_WARN("engine pool: replica " << candidate
+                                             << " failed its readmission "
+                                                "probe: "
+                                             << failure);
+
+        bool any_hope = false;
+        for (const Replica &other : replicas_)
+            if (other.state != ReplicaState::kQuarantined || other.leased)
+                any_hope = true;
+        if (!any_hope) {
+            if (why != nullptr)
+                *why = resource_exhausted_error(
+                    "all replicas quarantined and the readmission probe "
+                    "failed: " +
+                    failure);
+            return Lease();
+        }
+    }
+}
+
+bool
+EnginePool::revive(std::size_t id, std::string *failure)
+{
+    Engine &engine = *replicas_[id].engine;
+    try {
+        for (std::size_t step = 0; step < engine.steps().size(); ++step)
+            if (engine.steps()[step].degraded)
+                engine.restore_step(step);
+    } catch (const std::exception &error) {
+        *failure = error.what();
+        return false;
+    }
+    if (!options_.probe_on_readmission)
+        return true;
+    std::map<std::string, Tensor> outputs;
+    const Status verdict = engine.try_run(
+        probe_inputs_, outputs,
+        DeadlineToken::after_ms(options_.probe_deadline_ms));
+    if (!verdict.is_ok())
+        *failure = verdict.to_string();
+    return verdict.is_ok();
+}
+
+void
+EnginePool::apply_pending_demotions_locked(std::size_t id)
+{
+    Replica &replica = replicas_[id];
+    replica.health_penalty += replica.pending_hang_penalty;
+    if (replica.pending_hang_penalty > 0)
+        ++replica.failures;
+    replica.pending_hang_penalty = 0;
+    std::vector<PendingDemotion> todo;
+    todo.swap(replica.pending_demotions);
+    for (const PendingDemotion &demotion : todo) {
+        Engine &engine = *replica.engine;
+        if (demotion.step_index >= engine.steps().size() ||
+            engine.steps()[demotion.step_index].degraded)
+            continue;
+        try {
+            engine.demote_step(demotion.step_index, demotion.reason);
+            ++stats_.demotions;
+        } catch (const Error &error) {
+            // No alternative implementation; keep serving on the
+            // original kernel rather than losing the replica.
+            ORPHEUS_WARN("engine pool: could not demote step "
+                         << demotion.step_index << " of replica " << id
+                         << ": " << error.what());
+        }
+    }
+}
+
+void
+EnginePool::release(Lease lease, const Status &outcome)
+{
+    if (!lease.valid())
+        return;
+    const std::size_t id = lease.id_;
+    lease.pool_ = nullptr; // The destructor must not double-release.
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    Replica &replica = replicas_[id];
+    ++replica.served;
+    apply_pending_demotions_locked(id);
+
+    if (outcome.is_ok()) {
+        replica.health_penalty = std::max(
+            0.0, replica.health_penalty - options_.success_reward);
+    } else if (outcome.code() == StatusCode::kDataCorruption) {
+        replica.health_penalty += options_.corruption_penalty;
+        ++replica.failures;
+        replica.last_fault = outcome.to_string();
+    } else if (outcome.code() == StatusCode::kInternal) {
+        replica.health_penalty += options_.fault_penalty;
+        ++replica.failures;
+        replica.last_fault = outcome.to_string();
+    }
+    // Deadline expiry stays neutral: the client's budget ran out, which
+    // says nothing about the replica (watchdog hangs arrive separately
+    // through report_hang).
+
+    if (replica.state == ReplicaState::kActive &&
+        replica.health_penalty >= options_.quarantine_threshold) {
+        replica.state = ReplicaState::kQuarantined;
+        ++stats_.quarantines;
+        ORPHEUS_WARN("engine pool: replica "
+                     << id << " quarantined (health penalty "
+                     << replica.health_penalty << " >= "
+                     << options_.quarantine_threshold << ", last fault: "
+                     << replica.last_fault << ")");
+        promote_spare_locked();
+    }
+
+    replica.leased = false;
+    replica_free_.notify_all();
+}
+
+void
+EnginePool::report_hang(std::size_t replica, std::size_t step_index,
+                        const std::string &reason)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (replica >= replicas_.size())
+        return;
+    replicas_[replica].pending_demotions.push_back(
+        PendingDemotion{step_index, reason});
+    replicas_[replica].pending_hang_penalty += options_.hang_penalty;
+    replicas_[replica].last_fault = reason;
+}
+
+void
+EnginePool::set_degraded_mode(bool degraded)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    degraded_mode_ = degraded;
+    // Replicas pick the new policy up lazily at their next acquire,
+    // when they are exclusively held.
+}
+
+bool
+EnginePool::degraded_mode() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return degraded_mode_;
+}
+
+const Engine &
+EnginePool::engine(std::size_t index) const
+{
+    ORPHEUS_CHECK(index < replicas_.size(),
+                  "replica index " << index << " out of range (pool has "
+                                   << replicas_.size() << " replicas)");
+    return *replicas_[index].engine;
+}
+
+std::int64_t
+EnginePool::breaker_opens(const Engine &engine) const
+{
+    std::int64_t opens = 0;
+    for (const PlanStep &step : engine.steps())
+        opens += step.health.opens_total;
+    return opens;
+}
+
+EnginePoolStats
+EnginePool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnginePoolStats stats = stats_;
+    for (const Replica &replica : replicas_) {
+        switch (replica.state) {
+          case ReplicaState::kActive: ++stats.active_replicas; break;
+          case ReplicaState::kSpare: ++stats.spare_replicas; break;
+          case ReplicaState::kQuarantined:
+            ++stats.quarantined_replicas;
+            break;
+        }
+    }
+    for (const auto &[id, record] :
+         KernelRegistry::instance().health().snapshot())
+        stats.ledger_incidents += record.guard_trips + record.faults +
+                                  record.breaker_opens;
+    return stats;
+}
+
+std::vector<ReplicaSnapshot>
+EnginePool::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ReplicaSnapshot> snapshots;
+    snapshots.reserve(replicas_.size());
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        const Replica &replica = replicas_[i];
+        ReplicaSnapshot view;
+        view.id = i;
+        view.state = replica.state;
+        view.leased = replica.leased;
+        view.degraded_mode = replica.degraded_applied;
+        view.health_penalty = replica.health_penalty;
+        view.served = replica.served;
+        view.failures = replica.failures;
+        view.breaker_opens = breaker_opens(*replica.engine);
+        view.last_fault = replica.last_fault;
+        snapshots.push_back(std::move(view));
+    }
+    return snapshots;
+}
+
+} // namespace orpheus

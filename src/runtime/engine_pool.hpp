@@ -1,0 +1,319 @@
+/**
+ * @file
+ * EnginePool — N engine replicas of one model with health-aware
+ * dispatch, quarantine and readmission.
+ *
+ * A single Engine is a single point of failure: one wedged or
+ * breaker-opened step degrades every request in flight. The pool
+ * compiles N replicas from one graph (sharing one ConstantPackCache, so
+ * prepacked weights, Winograd U and quantized row sums are allocated
+ * once per model rather than once per replica) and routes each request
+ * to the healthiest free replica.
+ *
+ * Per-replica health is a decaying penalty score fed by outcomes:
+ * guard-confirmed corruption, kernel faults and watchdog hangs add
+ * penalty; clean completions subtract it. A replica whose penalty
+ * crosses the quarantine threshold is taken out of rotation (a warm
+ * spare, if configured, is promoted in its place). Quarantine is
+ * applied at lease release, so a replica is always drained before it
+ * is touched. Readmission is probe-gated: when the pool runs out of
+ * healthy replicas it restores the quarantined replica's demoted steps
+ * via Engine::restore_step, runs a zero-input probe inference under a
+ * probe deadline, and only readmits on a clean result — a persistently
+ * faulty replica stays out and acquire() fails fast with
+ * kResourceExhausted instead of hanging.
+ *
+ *   ACTIVE ──(penalty ≥ threshold at release)──▶ QUARANTINED
+ *     ▲                                              │
+ *     │  probe clean: restore_step + readmit         │ acquire() finds
+ *     └──────────────── PROBING ◀────────────────────┘ no healthy replica
+ *
+ * The pool also carries the service's brownout lever: in degraded mode
+ * every replica is switched to a cheaper guard policy (no shadow
+ * sampling) the next time it is leased, and restored when pressure
+ * subsides.
+ *
+ * Thread-safe: any number of dispatcher threads may acquire/release
+ * concurrently; a leased replica is exclusively owned by its holder.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "runtime/watchdog.hpp"
+
+namespace orpheus {
+
+struct EnginePoolOptions {
+    /** Engine replicas serving traffic. */
+    int replicas = 1;
+
+    /** Additional compiled replicas held in reserve; one is promoted
+     *  whenever an active replica is quarantined. */
+    int warm_spares = 0;
+
+    /** Health penalty at which a replica is quarantined at release. */
+    double quarantine_threshold = 3.0;
+
+    /** Penalty added per watchdog hang attributed to the replica. */
+    double hang_penalty = 1.6;
+
+    /** Penalty added per guard-confirmed kDataCorruption outcome. */
+    double corruption_penalty = 1.2;
+
+    /** Penalty added per kInternal (kernel fault) outcome. */
+    double fault_penalty = 1.0;
+
+    /** Penalty subtracted per clean completion (floored at 0). */
+    double success_reward = 0.5;
+
+    /** Gate readmission on a clean probe inference; disabling readmits
+     *  on restore_step alone (tests). */
+    bool probe_on_readmission = true;
+
+    /** Deadline of the readmission probe inference. */
+    double probe_deadline_ms = 1000.0;
+
+    /**
+     * Per-replica fault injectors (chaos harnesses): entry i, when
+     * non-null, replaces EngineOptions::fault_injector for replica i so
+     * each replica can be given an independent fault schedule.
+     */
+    std::vector<std::shared_ptr<FaultInjector>> per_replica_injectors;
+};
+
+enum class ReplicaState {
+    kActive = 0,  ///< In rotation.
+    kSpare,       ///< Compiled, idle, awaiting promotion.
+    kQuarantined, ///< Out of rotation pending a clean probe.
+};
+
+const char *to_string(ReplicaState state);
+
+/** Introspection view of one replica (CLI tables, tests). */
+struct ReplicaSnapshot {
+    std::size_t id = 0;
+    ReplicaState state = ReplicaState::kActive;
+    bool leased = false;
+    bool degraded_mode = false;
+    double health_penalty = 0;
+    std::int64_t served = 0;
+    std::int64_t failures = 0;
+    /** Breaker-open transitions across this replica's plan steps. */
+    std::int64_t breaker_opens = 0;
+    std::string last_fault;
+};
+
+/** Monotonic pool counters (merged into ServiceStats). */
+struct EnginePoolStats {
+    std::int64_t acquires = 0;
+    std::int64_t demotions = 0;
+    std::int64_t quarantines = 0;
+    std::int64_t spare_promotions = 0;
+    std::int64_t probes = 0;
+    std::int64_t probe_failures = 0;
+    std::int64_t readmissions = 0;
+    /** Guard-ledger incidents (trips + faults + breaker opens) across
+     *  all kernels, process-wide: the cross-replica view operators
+     *  correlate replica failures against. */
+    std::int64_t ledger_incidents = 0;
+    std::size_t active_replicas = 0;
+    std::size_t spare_replicas = 0;
+    std::size_t quarantined_replicas = 0;
+};
+
+class EnginePool
+{
+  public:
+    static constexpr std::size_t kNoReplica = static_cast<std::size_t>(-1);
+
+    /**
+     * Compiles replicas + warm_spares engines from @p graph. All
+     * replicas share one ConstantPackCache (attached through
+     * EngineOptions::pack_cache) and get a private ExecutionMonitor
+     * whose index in monitors() equals the replica id. Throws on
+     * compile errors, exactly like Engine's constructor.
+     */
+    EnginePool(Graph graph, EngineOptions engine_options,
+               EnginePoolOptions options);
+
+    EnginePool(const EnginePool &) = delete;
+    EnginePool &operator=(const EnginePool &) = delete;
+
+    /**
+     * Exclusive hold on one replica. Move-only; destroying an
+     * unreleased lease returns the replica with a neutral outcome
+     * (pending hang demotions still apply). Dispatchers normally call
+     * EnginePool::release with the request's Status instead.
+     */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        Lease(Lease &&other) noexcept { swap(other); }
+        Lease &operator=(Lease &&other) noexcept
+        {
+            swap(other);
+            return *this;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        ~Lease();
+
+        bool valid() const { return pool_ != nullptr; }
+        std::size_t replica_id() const { return id_; }
+        Engine &engine() const { return *engine_; }
+
+      private:
+        friend class EnginePool;
+        Lease(EnginePool *pool, std::size_t id, Engine *engine)
+            : pool_(pool), id_(id), engine_(engine)
+        {
+        }
+        void
+        swap(Lease &other)
+        {
+            std::swap(pool_, other.pool_);
+            std::swap(id_, other.id_);
+            std::swap(engine_, other.engine_);
+        }
+
+        EnginePool *pool_ = nullptr;
+        std::size_t id_ = kNoReplica;
+        Engine *engine_ = nullptr;
+    };
+
+    /**
+     * Acquires the healthiest free replica, preferring one other than
+     * @p exclude_replica (pass kNoReplica for no preference) so a retry
+     * lands on a different replica; the excluded replica is still used
+     * when it is the only healthy one. Promotes a warm spare when every
+     * active replica is quarantined or busy. Blocks while healthy
+     * replicas are merely leased; when every replica is quarantined it
+     * attempts probe-gated readmission of the least-unhealthy one and,
+     * if that fails, returns an invalid lease with @p why set to
+     * kResourceExhausted ("all replicas quarantined") — never a hang.
+     * An expired @p deadline surfaces as kDeadlineExceeded.
+     */
+    Lease acquire(const DeadlineToken &deadline,
+                  std::size_t exclude_replica, Status *why);
+
+    /**
+     * Returns @p lease's replica to the pool, folding @p outcome into
+     * its health: corruption/fault outcomes add penalty, OK subtracts,
+     * deadline expiry is neutral (the client's budget, not the
+     * replica's fault). Pending watchdog demotions are applied here —
+     * the replica is drained by construction — and the replica is
+     * quarantined when its penalty crosses the threshold.
+     */
+    void release(Lease lease, const Status &outcome);
+
+    /**
+     * Records a watchdog hang against @p replica: queues the demotion
+     * of @p step_index (applied at release, when the replica is
+     * drained) and the hang penalty. Called from the watchdog thread
+     * while the hung request is still in flight.
+     */
+    void report_hang(std::size_t replica, std::size_t step_index,
+                     const std::string &reason);
+
+    /**
+     * Brownout lever: in degraded mode replicas are switched to a
+     * no-shadow guard policy at their next acquire (and switched back
+     * when the mode clears). A no-op for engines compiled without
+     * guarding.
+     */
+    void set_degraded_mode(bool degraded);
+    bool degraded_mode() const;
+
+    // --- Introspection ----------------------------------------------------
+
+    /** All monitors, replica id == index (Watchdog input). */
+    const std::vector<std::shared_ptr<ExecutionMonitor>> &monitors() const
+    {
+        return monitors_;
+    }
+
+    ExecutionMonitor &monitor(std::size_t replica)
+    {
+        return *monitors_.at(replica);
+    }
+
+    /** Replicas + warm spares. */
+    std::size_t replica_count() const { return replica_storage_count_; }
+
+    const Engine &engine(std::size_t index) const;
+
+    /** The shared prepacked-constant cache (entries/bytes/hits). */
+    const ConstantPackCache &pack_cache() const { return *pack_cache_; }
+
+    EnginePoolStats stats() const;
+    std::vector<ReplicaSnapshot> snapshot() const;
+
+  private:
+    struct PendingDemotion {
+        std::size_t step_index = 0;
+        std::string reason;
+    };
+
+    struct Replica {
+        std::unique_ptr<Engine> engine;
+        ReplicaState state = ReplicaState::kActive;
+        bool leased = false;
+        bool degraded_applied = false;
+        double health_penalty = 0;
+        std::int64_t served = 0;
+        std::int64_t failures = 0;
+        std::string last_fault;
+        std::vector<PendingDemotion> pending_demotions;
+        double pending_hang_penalty = 0;
+    };
+
+    /** Best free active replica by health (kNoReplica when none);
+     *  @p exclude is skipped. Caller holds mutex_. */
+    std::size_t pick_free_active_locked(std::size_t exclude) const;
+
+    /** Promotes one spare to active; kNoReplica when none. Caller
+     *  holds mutex_. */
+    std::size_t promote_spare_locked();
+
+    /** Applies queued hang demotions to the (drained) replica. Caller
+     *  holds mutex_ and the replica is leased (exclusive). */
+    void apply_pending_demotions_locked(std::size_t id);
+
+    /** Syncs the replica's guard policy with degraded_mode_. Caller
+     *  holds mutex_ and the replica is leased (exclusive). */
+    void sync_degraded_mode_locked(std::size_t id);
+
+    /** Restore + probe of a quarantined replica. Called WITHOUT mutex_
+     *  (the probe is a full inference); the replica must already be
+     *  marked leased. Returns true when the replica is clean. */
+    bool revive(std::size_t id, std::string *failure);
+
+    std::size_t count_in_rotation_locked() const;
+    std::int64_t breaker_opens(const Engine &engine) const;
+
+    EnginePoolOptions options_;
+    GuardPolicy full_policy_;
+    GuardPolicy brownout_policy_;
+    std::shared_ptr<ConstantPackCache> pack_cache_;
+    std::vector<std::shared_ptr<ExecutionMonitor>> monitors_;
+    std::size_t replica_storage_count_ = 0;
+    /** Zero-valued inputs matching the graph signature (probe runs). */
+    std::map<std::string, Tensor> probe_inputs_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable replica_free_;
+    std::vector<Replica> replicas_;
+    bool degraded_mode_ = false;
+    EnginePoolStats stats_;
+};
+
+} // namespace orpheus

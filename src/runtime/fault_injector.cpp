@@ -120,11 +120,30 @@ FaultInjector::reset()
     corruptions_injected_ = 0;
 }
 
+InjectionDecision
+FaultInjector::decide(const std::string &node_name,
+                      const std::string &impl_name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    InjectionDecision decision;
+    decision.delay_ms = delay_ms_locked(node_name, impl_name);
+    decision.fail = should_fail_locked(node_name, impl_name);
+    decision.corruption = corruption_locked(node_name, impl_name);
+    return decision;
+}
+
 bool
 FaultInjector::should_fail(const std::string &node_name,
                            const std::string &impl_name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    return should_fail_locked(node_name, impl_name);
+}
+
+bool
+FaultInjector::should_fail_locked(const std::string &node_name,
+                                  const std::string &impl_name)
+{
     if (!armed_)
         return false;
     if (!node_name_.empty() && node_name_ != node_name)
@@ -145,6 +164,13 @@ FaultInjector::delay_ms(const std::string &node_name,
                         const std::string &impl_name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    return delay_ms_locked(node_name, impl_name);
+}
+
+double
+FaultInjector::delay_ms_locked(const std::string &node_name,
+                               const std::string &impl_name)
+{
     if (!delay_armed_)
         return 0;
     if (!delay_node_name_.empty() && delay_node_name_ != node_name)
@@ -165,6 +191,13 @@ FaultInjector::corruption(const std::string &node_name,
                           const std::string &impl_name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    return corruption_locked(node_name, impl_name);
+}
+
+CorruptionKind
+FaultInjector::corruption_locked(const std::string &node_name,
+                                 const std::string &impl_name)
+{
     if (!corruption_armed_)
         return CorruptionKind::kNone;
     if (!corruption_node_name_.empty() &&

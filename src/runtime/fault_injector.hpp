@@ -57,6 +57,23 @@ const char *to_string(CorruptionKind kind);
  *  or when the tensor is empty). Deterministic. */
 void apply_corruption(CorruptionKind kind, Tensor &output);
 
+/**
+ * The injector's complete verdict for one kernel invocation, computed
+ * atomically under a single lock acquisition. Engines in a replica pool
+ * consult a shared injector concurrently; evaluating the three matchers
+ * as separate locked calls would let a concurrent re-arm (chaos
+ * harnesses re-arm between phases) interleave between them and hand a
+ * step half of the old schedule and half of the new one.
+ */
+struct InjectionDecision {
+    /** The invocation must throw KernelFault before running. */
+    bool fail = false;
+    /** Milliseconds to stall before running (0 = none). */
+    double delay_ms = 0;
+    /** Corruption to apply to the first output after running. */
+    CorruptionKind corruption = CorruptionKind::kNone;
+};
+
 class FaultInjector
 {
   public:
@@ -94,6 +111,16 @@ class FaultInjector
 
     /** Disarms all matchers and resets all counters. */
     void reset();
+
+    /**
+     * Evaluates all three matchers for one kernel invocation under one
+     * lock acquisition and advances their counters together. This is
+     * what engines call: it keeps the per-invocation schedule coherent
+     * when multiple pool replicas share one injector and a chaos
+     * harness re-arms it concurrently.
+     */
+    InjectionDecision decide(const std::string &node_name,
+                             const std::string &impl_name);
 
     /**
      * Called by the engine before each kernel invocation; returns true
@@ -141,6 +168,14 @@ class FaultInjector
     std::int64_t corruption_calls_seen() const;
 
   private:
+    // Matcher evaluation with mutex_ already held.
+    bool should_fail_locked(const std::string &node_name,
+                            const std::string &impl_name);
+    double delay_ms_locked(const std::string &node_name,
+                           const std::string &impl_name);
+    CorruptionKind corruption_locked(const std::string &node_name,
+                                     const std::string &impl_name);
+
     mutable std::mutex mutex_;
     bool armed_ = false;
     std::string node_name_;

@@ -1,6 +1,7 @@
 #include "runtime/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <utility>
 
@@ -27,6 +28,15 @@ rejected(Status status)
     return response;
 }
 
+/** A failure the pool can paper over by failing over to another
+ *  replica: guard-confirmed corruption or a kernel fault. */
+bool
+is_retryable(const Status &status)
+{
+    return status.code() == StatusCode::kDataCorruption ||
+           status.code() == StatusCode::kInternal;
+}
+
 } // namespace
 
 InferenceService::InferenceService(Graph graph,
@@ -39,31 +49,36 @@ InferenceService::InferenceService(Graph graph,
     ORPHEUS_CHECK(options_.max_queue_depth >= 1,
                   "service needs a queue depth >= 1, got "
                       << options_.max_queue_depth);
+    ORPHEUS_CHECK(options_.max_retries >= 0,
+                  "service needs >= 0 retries, got "
+                      << options_.max_retries);
 
-    const auto worker_count = static_cast<std::size_t>(options_.workers);
-    monitors_.reserve(worker_count);
-    engines_.reserve(worker_count);
-    for (std::size_t i = 0; i < worker_count; ++i) {
-        monitors_.push_back(std::make_shared<ExecutionMonitor>());
-        EngineOptions per_worker = engine_options_;
-        per_worker.execution_monitor = monitors_.back();
-        // The last replica may consume the caller's graph; the rest
-        // compile from copies.
-        engines_.push_back(std::make_unique<Engine>(
-            i + 1 == worker_count ? std::move(graph) : Graph(graph),
-            std::move(per_worker)));
-    }
-    footprint_ = engines_.front()->request_footprint_bytes();
+    EnginePoolOptions pool_options;
+    pool_options.replicas = options_.replicas > 0 ? options_.replicas
+                                                  : options_.workers;
+    pool_options.warm_spares = options_.warm_spares;
+    pool_options.quarantine_threshold = options_.quarantine_threshold;
+    pool_options.per_replica_injectors = options_.per_replica_injectors;
+    pool_ = std::make_unique<EnginePool>(std::move(graph), engine_options_,
+                                         std::move(pool_options));
+    footprint_ = pool_->engine(0).request_footprint_bytes();
+
+    // Retry budget: a token bucket refilled by traffic. The small
+    // initial burst lets the very first failures retry before any
+    // traffic has accrued credit.
+    retry_token_cap_ = std::max(1.0, options_.retry_budget * 15.0);
+    retry_tokens_ = retry_token_cap_;
 
     if (options_.enable_watchdog) {
         WatchdogConfig config;
         config.poll_interval_ms = options_.watchdog_poll_ms;
         config.hang_threshold_ms = options_.hang_threshold_ms;
         watchdog_ = std::make_unique<Watchdog>(
-            config, monitors_,
+            config, pool_->monitors(),
             [this](const HangReport &report) { on_hang(report); });
     }
 
+    const auto worker_count = static_cast<std::size_t>(options_.workers);
     workers_.reserve(worker_count);
     for (std::size_t i = 0; i < worker_count; ++i)
         workers_.emplace_back([this, i] { worker_loop(i); });
@@ -77,7 +92,8 @@ InferenceService::~InferenceService()
 std::future<InferenceResponse>
 InferenceService::submit(std::map<std::string, Tensor> inputs,
                          DeadlineToken deadline,
-                         std::size_t memory_budget_bytes)
+                         std::size_t memory_budget_bytes,
+                         RequestPriority priority)
 {
     std::promise<InferenceResponse> promise;
     std::future<InferenceResponse> future = promise.get_future();
@@ -133,8 +149,10 @@ InferenceService::submit(std::map<std::string, Tensor> inputs,
     request.promise = std::move(promise);
     request.inputs = std::move(inputs);
     request.token = std::move(token);
+    request.priority = priority;
     request.enqueued = std::chrono::steady_clock::now();
     queue_.push_back(std::move(request));
+    update_brownout_locked();
     lock.unlock();
     work_ready_.notify_one();
     return future;
@@ -150,9 +168,12 @@ InferenceService::run(std::map<std::string, Tensor> inputs,
 void
 InferenceService::worker_loop(std::size_t worker)
 {
-    Engine &engine = *engines_[worker];
+    // Per-worker backoff jitter; deterministic seeds keep test runs
+    // reproducible.
+    std::minstd_rand rng(static_cast<unsigned>(0x9e3779b9u + worker));
     while (true) {
         Request request;
+        bool shed_batch = false;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_ready_.wait(lock, [this] {
@@ -164,24 +185,25 @@ InferenceService::worker_loop(std::size_t worker)
             }
             request = std::move(queue_.front());
             queue_.pop_front();
+            update_brownout_locked();
+            if (brownout_ &&
+                request.priority == RequestPriority::kBatch) {
+                shed_batch = true;
+                ++stats_.brownout_shed;
+            }
         }
-
-        // Hang responses from previous requests take effect here, so a
-        // demoted backend never serves another request on this worker.
-        apply_pending_demotions(worker);
 
         InferenceResponse response;
         response.queue_ms = elapsed_ms_since(request.enqueued);
 
-        if (request.token.expired()) {
+        if (shed_batch) {
+            response.status = resource_exhausted_error(
+                "brownout: shedding batch-priority work under overload");
+        } else if (request.token.expired()) {
             response.status = deadline_exceeded_error(
                 "deadline expired while the request was queued");
         } else {
-            const auto started = std::chrono::steady_clock::now();
-            response.status = engine.try_run(request.inputs,
-                                             response.outputs,
-                                             request.token);
-            response.run_ms = elapsed_ms_since(started);
+            dispatch_with_retries(request, response, rng);
         }
 
         {
@@ -193,45 +215,163 @@ InferenceService::worker_loop(std::size_t worker)
                 ++stats_.deadline_exceeded;
             else if (response.status.code() == StatusCode::kDataCorruption)
                 ++stats_.data_corruption;
+            else if (shed_batch)
+                ; // Counted as brownout_shed, not a failure.
             else
                 ++stats_.failed;
+            if (!shed_batch && response.run_ms > 0) {
+                const double total = response.queue_ms + response.run_ms;
+                latency_.record(total);
+                recent_latency_[recent_next_] = total;
+                recent_next_ =
+                    (recent_next_ + 1) % recent_latency_.size();
+                recent_count_ = std::min(recent_count_ + 1,
+                                         recent_latency_.size());
+            }
+            // Each dispatched request earns retry credit.
+            if (!shed_batch)
+                retry_tokens_ = std::min(
+                    retry_token_cap_,
+                    retry_tokens_ + options_.retry_budget);
         }
         request.promise.set_value(std::move(response));
     }
 }
 
 void
-InferenceService::apply_pending_demotions(std::size_t worker)
+InferenceService::dispatch_with_retries(Request &request,
+                                        InferenceResponse &response,
+                                        std::minstd_rand &rng)
 {
-    std::vector<PendingDemotion> todo;
-    {
-        std::lock_guard<std::mutex> lock(demote_mutex_);
-        auto it = pending_demotions_.begin();
-        while (it != pending_demotions_.end()) {
-            if (it->worker == worker) {
-                todo.push_back(std::move(*it));
-                it = pending_demotions_.erase(it);
-            } else {
-                ++it;
+    DeadlineToken token = request.token;
+    const auto wall_deadline = token.deadline_point();
+    std::size_t last_replica = EnginePool::kNoReplica;
+    int attempt = 0;
+
+    for (;;) {
+        Status why = internal_error("pool acquire failed");
+        EnginePool::Lease lease =
+            pool_->acquire(token, last_replica, &why);
+        if (!lease.valid()) {
+            response.status = std::move(why);
+            return;
+        }
+        const std::size_t replica = lease.replica_id();
+        const auto started = std::chrono::steady_clock::now();
+        response.status =
+            lease.engine().try_run(request.inputs, response.outputs, token);
+        response.run_ms += elapsed_ms_since(started);
+        pool_->release(std::move(lease), response.status);
+
+        if (response.status.is_ok())
+            return;
+
+        bool retryable = is_retryable(response.status);
+        if (response.status.code() == StatusCode::kDeadlineExceeded &&
+            token.cancelled()) {
+            // The watchdog abandoned this replica, not the clock: if
+            // wall budget remains, the request may fail over on a
+            // fresh token carrying the original deadline.
+            if (!wall_deadline.has_value()) {
+                retryable = true;
+                token = DeadlineToken::unlimited();
+            } else if (std::chrono::steady_clock::now() < *wall_deadline) {
+                retryable = true;
+                token = DeadlineToken::at(*wall_deadline);
             }
         }
-    }
-    for (const PendingDemotion &demotion : todo) {
-        Engine &engine = *engines_[worker];
-        if (demotion.step_index >= engine.steps().size() ||
-            engine.steps()[demotion.step_index].degraded)
-            continue;
+        if (!retryable || attempt >= options_.max_retries)
+            return;
+        if (!try_consume_retry_token())
+            return;
+
+        const double exp_backoff =
+            options_.retry_backoff_ms *
+            static_cast<double>(std::int64_t{1} << std::min(attempt, 20));
+        const double jitter =
+            0.5 + std::generate_canonical<double, 16>(rng);
+        const double backoff =
+            std::min(exp_backoff, options_.retry_backoff_max_ms) * jitter;
         try {
-            engine.demote_step(demotion.step_index, demotion.reason);
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.demotions;
-        } catch (const Error &error) {
-            // No alternative implementation; keep serving on the
-            // original kernel rather than taking the worker down.
-            ORPHEUS_WARN("service: could not demote step "
-                         << demotion.step_index << ": " << error.what());
+            cooperative_delay_ms(backoff, token);
+        } catch (const DeadlineExceededError &) {
+            response.status = deadline_exceeded_error(
+                "deadline expired during retry backoff");
+            return;
         }
+        ++attempt;
+        ++response.retries;
+        last_replica = replica;
     }
+}
+
+bool
+InferenceService::try_consume_retry_token()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (retry_tokens_ < 1.0) {
+        ++stats_.retry_budget_denied;
+        return false;
+    }
+    retry_tokens_ -= 1.0;
+    ++stats_.retries;
+    return true;
+}
+
+void
+InferenceService::update_brownout_locked()
+{
+    if (!options_.enable_brownout)
+        return;
+    const std::size_t high =
+        options_.brownout_high_watermark > 0
+            ? options_.brownout_high_watermark
+            : std::max<std::size_t>(1, options_.max_queue_depth * 3 / 4);
+    const std::size_t low = options_.brownout_low_watermark > 0
+                                ? options_.brownout_low_watermark
+                                : options_.max_queue_depth / 4;
+    const bool latency_trigger =
+        options_.brownout_p99_ms > 0 &&
+        recent_p99_locked() > options_.brownout_p99_ms;
+    const bool latency_calm =
+        options_.brownout_p99_ms <= 0 ||
+        recent_p99_locked() <= options_.brownout_p99_ms;
+
+    if (!brownout_ && (queue_.size() >= high || latency_trigger)) {
+        brownout_ = true;
+        ++stats_.brownout_entered;
+        pool_->set_degraded_mode(true);
+        ORPHEUS_WARN("service: brownout ENTER (queue "
+                     << queue_.size() << "/" << options_.max_queue_depth
+                     << ", high watermark " << high
+                     << "): shedding batch work, degrading replicas");
+    } else if (brownout_ && queue_.size() <= low && latency_calm) {
+        brownout_ = false;
+        ++stats_.brownout_exited;
+        pool_->set_degraded_mode(false);
+        ORPHEUS_WARN("service: brownout EXIT (queue " << queue_.size()
+                                                      << " <= " << low
+                                                      << "): restoring "
+                                                         "full fidelity");
+    }
+}
+
+double
+InferenceService::recent_p99_locked() const
+{
+    if (recent_count_ == 0)
+        return 0;
+    std::array<double, 128> window{};
+    std::copy_n(recent_latency_.begin(), recent_count_, window.begin());
+    const std::size_t rank =
+        std::min(recent_count_ - 1,
+                 static_cast<std::size_t>(
+                     static_cast<double>(recent_count_) * 0.99));
+    std::nth_element(window.begin(),
+                     window.begin() + static_cast<std::ptrdiff_t>(rank),
+                     window.begin() +
+                         static_cast<std::ptrdiff_t>(recent_count_));
+    return window[rank];
 }
 
 void
@@ -246,20 +386,32 @@ InferenceService::on_hang(const HangReport &report)
         reason << "watchdog: step ran for " << report.elapsed_ms
                << " ms (threshold " << options_.hang_threshold_ms
                << " ms)";
-        std::lock_guard<std::mutex> lock(demote_mutex_);
-        pending_demotions_.push_back(PendingDemotion{
-            report.monitor_index, report.step_index, reason.str()});
+        pool_->report_hang(report.monitor_index, report.step_index,
+                           reason.str());
     }
-    // Cancel last: once the wedged request unblocks, the worker applies
-    // the demotion queued above before touching the next request.
-    monitors_[report.monitor_index]->cancel_active_request();
+    // Cancel last: once the wedged request unblocks, its lease release
+    // applies the demotion queued above before the replica serves
+    // another request.
+    pool_->monitor(report.monitor_index).cancel_active_request();
 }
 
 ServiceStats
 InferenceService::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    ServiceStats merged;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        merged = stats_;
+        merged.latency_p50_ms = latency_.percentile(0.50);
+        merged.latency_p99_ms = latency_.percentile(0.99);
+        merged.latency_p999_ms = latency_.percentile(0.999);
+    }
+    const EnginePoolStats pool_stats = pool_->stats();
+    merged.demotions += pool_stats.demotions;
+    merged.quarantines += pool_stats.quarantines;
+    merged.probes += pool_stats.probes;
+    merged.readmissions += pool_stats.readmissions;
+    return merged;
 }
 
 std::size_t
@@ -267,6 +419,13 @@ InferenceService::queue_depth() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
+}
+
+bool
+InferenceService::browned_out() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return brownout_;
 }
 
 void
@@ -295,10 +454,7 @@ InferenceService::stop()
 const Engine &
 InferenceService::engine(std::size_t index) const
 {
-    ORPHEUS_CHECK(index < engines_.size(),
-                  "worker index " << index << " out of range (service has "
-                                  << engines_.size() << " workers)");
-    return *engines_[index];
+    return pool_->engine(index);
 }
 
 } // namespace orpheus

@@ -1,7 +1,7 @@
 /**
  * @file
  * InferenceService — resource-governed concurrent inference on top of
- * Engine.
+ * an EnginePool.
  *
  * Engine::run is a single-caller, run-to-completion API; the service
  * turns it into something deployable under load:
@@ -17,17 +17,28 @@
  *  - Hang watchdog: a monitor thread flags plan steps that exceed the
  *    hang threshold, cancels the wedged request's token, and demotes
  *    the offending kernel to the reference implementation for
- *    subsequent requests (the PR-1 fallback machinery, driven from the
- *    outside).
+ *    subsequent requests on that replica.
+ *  - Failover + bounded retry: requests are dispatched to the
+ *    healthiest replica of an EnginePool (engine_pool.hpp). A
+ *    corrupted, faulted or watchdog-abandoned request is retried on a
+ *    *different* healthy replica with exponential backoff + jitter,
+ *    inside the request's original deadline and a retry budget
+ *    (a bounded fraction of recent traffic) that stops retry storms.
+ *  - Overload brownout: when queue depth or the recent latency tail
+ *    crosses thresholds the service sheds batch-priority work first
+ *    and degrades replicas to a cheaper no-shadow guard mode instead
+ *    of hard-rejecting everything, restoring full fidelity when
+ *    pressure subsides.
  *
- * Concurrency model: each of the N worker threads owns a private
- * Engine compiled from the same graph, so requests on different
- * workers never share mutable state; kernels of all workers share the
- * global thread pool, whose dispatch is serialized internally. Results
- * are therefore bitwise-identical to a serial Engine::run.
+ * Concurrency model: each of the N worker threads leases a private
+ * replica per request, so requests on different workers never share
+ * mutable engine state; replicas share the immutable prepacked
+ * constant caches and the global kernel thread pool. Results are
+ * therefore bitwise-identical to a serial Engine::run.
  */
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -36,23 +47,38 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "runtime/deadline.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/engine_pool.hpp"
 #include "runtime/watchdog.hpp"
 
 namespace orpheus {
+
+/** Dispatch class of a request: brownout sheds batch work first. */
+enum class RequestPriority {
+    kInteractive = 0,
+    kBatch,
+};
 
 struct ServiceOptions {
     /** Requests admitted but not yet dispatched; submissions beyond
      *  this are rejected with kResourceExhausted. */
     std::size_t max_queue_depth = 16;
 
-    /** Worker threads, each owning a private engine replica. */
+    /** Worker threads leasing replicas from the pool. */
     int workers = 1;
+
+    /** Engine replicas in the pool; 0 means one per worker. */
+    int replicas = 0;
+
+    /** Compiled spare replicas promoted when an active one is
+     *  quarantined. */
+    int warm_spares = 0;
 
     /** Deadline applied to requests submitted without one; 0 means
      *  unlimited. */
@@ -76,6 +102,43 @@ struct ServiceOptions {
      *  kernel for subsequent requests (in addition to cancelling the
      *  hung request). */
     bool demote_on_hang = true;
+
+    // --- Retry / failover -------------------------------------------------
+
+    /** Maximum retry attempts after a retryable failure (corruption,
+     *  kernel fault, watchdog abandonment). 0 disables retries. */
+    int max_retries = 0;
+
+    /** First backoff; doubles per attempt up to retry_backoff_max_ms,
+     *  multiplied by a uniform jitter in [0.5, 1.5). */
+    double retry_backoff_ms = 1.0;
+    double retry_backoff_max_ms = 50.0;
+
+    /** Retry-storm bound: retries earn at most this fraction of recent
+     *  traffic (token bucket; each dispatched request earns this many
+     *  retry tokens, a retry spends one). */
+    double retry_budget = 0.2;
+
+    /** Replica health penalty that triggers quarantine. */
+    double quarantine_threshold = 3.0;
+
+    // --- Brownout ---------------------------------------------------------
+
+    /** Master switch for overload brownout. */
+    bool enable_brownout = false;
+
+    /** Queue depth entering/leaving brownout (0 = derived from
+     *  max_queue_depth: 3/4 high, 1/4 low; hysteresis). */
+    std::size_t brownout_high_watermark = 0;
+    std::size_t brownout_low_watermark = 0;
+
+    /** Recent-window P99 latency (queue + run) that also triggers
+     *  brownout; 0 disables the latency trigger. */
+    double brownout_p99_ms = 0;
+
+    /** Per-replica fault injectors for chaos harnesses (forwarded to
+     *  the pool; entry i overrides the engine options for replica i). */
+    std::vector<std::shared_ptr<FaultInjector>> per_replica_injectors;
 };
 
 /** Outcome of one request. */
@@ -86,8 +149,76 @@ struct InferenceResponse {
     /** Milliseconds spent queued before a worker picked the request
      *  up (0 when rejected at submission). */
     double queue_ms = 0;
-    /** Milliseconds spent executing (0 when shed before dispatch). */
+    /** Milliseconds spent executing, summed across retry attempts
+     *  (0 when shed before dispatch). */
     double run_ms = 0;
+    /** Dispatch attempts beyond the first. */
+    int retries = 0;
+};
+
+/**
+ * Fixed-size geometric latency histogram: 64 buckets from 50 µs with
+ * ratio 1.3 cover ~50 µs to ~13 min at ≤30 % resolution. record() is
+ * O(log buckets); the service calls it under its stats mutex.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    void
+    record(double ms)
+    {
+        ++counts_[bucket_for(ms)];
+        ++total_;
+    }
+
+    std::int64_t count() const { return total_; }
+
+    /** Upper bound of the bucket holding the @p quantile-th sample
+     *  (quantile in [0,1]); 0 when empty. */
+    double
+    percentile(double quantile) const
+    {
+        if (total_ == 0)
+            return 0;
+        const double rank = quantile * static_cast<double>(total_);
+        std::int64_t seen = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            seen += counts_[i];
+            if (static_cast<double>(seen) >= rank)
+                return upper_bound(i);
+        }
+        return upper_bound(kBuckets - 1);
+    }
+
+    static double
+    upper_bound(int bucket)
+    {
+        double bound = kFirstBoundMs;
+        for (int i = 0; i < bucket; ++i)
+            bound *= kRatio;
+        return bound;
+    }
+
+  private:
+    static constexpr double kFirstBoundMs = 0.05;
+    static constexpr double kRatio = 1.3;
+
+    static int
+    bucket_for(double ms)
+    {
+        double bound = kFirstBoundMs;
+        for (int i = 0; i < kBuckets - 1; ++i) {
+            if (ms <= bound)
+                return i;
+            bound *= kRatio;
+        }
+        return kBuckets - 1;
+    }
+
+    std::array<std::int64_t, kBuckets> counts_{};
+    std::int64_t total_ = 0;
 };
 
 /** Monotonic counters; a consistent snapshot is returned by stats(). */
@@ -112,15 +243,38 @@ struct ServiceStats {
     std::int64_t watchdog_hangs = 0;
     /** Steps demoted to their reference kernel after a hang. */
     std::int64_t demotions = 0;
+
+    // --- Retry / failover (pool-backed) -----------------------------------
+    /** Retry attempts dispatched. */
+    std::int64_t retries = 0;
+    /** Retries suppressed by the retry budget. */
+    std::int64_t retry_budget_denied = 0;
+    /** Replicas quarantined by health. */
+    std::int64_t quarantines = 0;
+    /** Readmission probes run / replicas readmitted after a clean
+     *  probe. */
+    std::int64_t probes = 0;
+    std::int64_t readmissions = 0;
+
+    // --- Brownout ---------------------------------------------------------
+    std::int64_t brownout_entered = 0;
+    std::int64_t brownout_exited = 0;
+    /** Batch-priority requests shed while browned out. */
+    std::int64_t brownout_shed = 0;
+
+    // --- Latency (histogram-backed, executed requests) --------------------
+    double latency_p50_ms = 0;
+    double latency_p99_ms = 0;
+    double latency_p999_ms = 0;
 };
 
 class InferenceService
 {
   public:
     /**
-     * Compiles one engine per worker from @p graph and starts the
-     * worker (and, if enabled, watchdog) threads. Throws on compile
-     * errors, exactly like Engine's constructor.
+     * Compiles the replica pool from @p graph and starts the worker
+     * (and, if enabled, watchdog) threads. Throws on compile errors,
+     * exactly like Engine's constructor.
      */
     explicit InferenceService(Graph graph,
                               EngineOptions engine_options = {},
@@ -138,12 +292,14 @@ class InferenceService
      * complete the returned future immediately with a typed error
      * status. @p deadline defaults to the service's default deadline;
      * @p memory_budget_bytes overrides the service budget when
-     * non-zero.
+     * non-zero. @p priority selects the brownout shedding class —
+     * batch work is shed first under overload.
      */
     std::future<InferenceResponse>
     submit(std::map<std::string, Tensor> inputs,
            DeadlineToken deadline = {},
-           std::size_t memory_budget_bytes = 0);
+           std::size_t memory_budget_bytes = 0,
+           RequestPriority priority = RequestPriority::kInteractive);
 
     /** Synchronous convenience wrapper: submit and wait. */
     InferenceResponse run(std::map<std::string, Tensor> inputs,
@@ -154,6 +310,10 @@ class InferenceService
     /** Requests currently queued (excludes in-flight ones). */
     std::size_t queue_depth() const;
 
+    /** True while the service is shedding batch work / running
+     *  replicas in degraded mode. */
+    bool browned_out() const;
+
     /**
      * Stops the service: pending queued requests complete with
      * kFailedPrecondition, workers finish their in-flight request and
@@ -161,8 +321,11 @@ class InferenceService
      */
     void stop();
 
-    /** Worker @p index's engine, for introspection in tests/tools. */
+    /** Replica @p index's engine, for introspection in tests/tools. */
     const Engine &engine(std::size_t index = 0) const;
+
+    /** The replica pool (health snapshots, pack-cache stats). */
+    const EnginePool &pool() const { return *pool_; }
 
     /** Activation footprint of one request on this model. */
     std::size_t request_footprint_bytes() const { return footprint_; }
@@ -172,33 +335,43 @@ class InferenceService
         std::promise<InferenceResponse> promise;
         std::map<std::string, Tensor> inputs;
         DeadlineToken token;
+        RequestPriority priority = RequestPriority::kInteractive;
         std::chrono::steady_clock::time_point enqueued{};
     };
 
-    struct PendingDemotion {
-        std::size_t worker = 0;
-        std::size_t step_index = 0;
-        std::string reason;
-    };
-
     void worker_loop(std::size_t worker);
-    void apply_pending_demotions(std::size_t worker);
+    /** Runs @p request with failover + bounded backoff retries. */
+    void dispatch_with_retries(Request &request,
+                               InferenceResponse &response,
+                               std::minstd_rand &rng);
+    /** Consumes one retry token; false (and a denied count) when the
+     *  budget is exhausted. */
+    bool try_consume_retry_token();
+    /** Re-evaluates brownout state from queue depth and the recent
+     *  latency window. Caller holds mutex_. */
+    void update_brownout_locked();
+    double recent_p99_locked() const;
     void on_hang(const HangReport &report);
 
     EngineOptions engine_options_;
     ServiceOptions options_;
-    std::vector<std::shared_ptr<ExecutionMonitor>> monitors_;
-    std::vector<std::unique_ptr<Engine>> engines_;
+    std::unique_ptr<EnginePool> pool_;
     std::size_t footprint_ = 0;
 
-    mutable std::mutex mutex_; ///< Guards queue_, stats_, stopping_.
+    mutable std::mutex mutex_; ///< Guards queue_, stats_, brownout and
+                               ///< retry-budget state, stopping_.
     std::condition_variable work_ready_;
     std::deque<Request> queue_;
     ServiceStats stats_;
+    LatencyHistogram latency_;
+    /** Recent total latencies (ms) for the brownout P99 trigger. */
+    std::array<double, 128> recent_latency_{};
+    std::size_t recent_count_ = 0;
+    std::size_t recent_next_ = 0;
+    double retry_tokens_ = 0;
+    double retry_token_cap_ = 0;
+    bool brownout_ = false;
     bool stopping_ = false;
-
-    std::mutex demote_mutex_;
-    std::vector<PendingDemotion> pending_demotions_;
 
     std::vector<std::thread> workers_;
     std::unique_ptr<Watchdog> watchdog_;

@@ -256,4 +256,54 @@ TEST(CApi, CreateFromOnnxFile)
     std::remove(path.c_str());
 }
 
+TEST(CApi, ServiceLifecycleRunAndStats)
+{
+    orpheus_service_config config{};
+    config.workers = 1;
+    config.replicas = 2;
+    config.max_retries = 1;
+    orpheus_service *service =
+        orpheus_service_create_zoo("tiny-cnn", nullptr, &config);
+    ASSERT_NE(service, nullptr) << orpheus_last_error();
+    EXPECT_EQ(orpheus_service_replica_count(service), 2);
+
+    std::vector<float> input(3 * 8 * 8);
+    orpheus::Rng rng(0x5eca);
+    for (float &value : input)
+        value = rng.uniform(-1.0f, 1.0f);
+    std::vector<float> output(10, -1.0f);
+    int retries = -1;
+    ASSERT_EQ(orpheus_service_run(service, input.data(), input.size(),
+                                  output.data(), output.size(),
+                                  /*deadline_ms=*/0, &retries),
+              ORPHEUS_OK)
+        << orpheus_last_error();
+    EXPECT_EQ(retries, 0);
+    double sum = 0.0;
+    for (float value : output)
+        sum += value;
+    EXPECT_NEAR(sum, 1.0, 1e-3); // Softmax head.
+
+    orpheus_service_stats stats{};
+    ASSERT_EQ(orpheus_service_query_stats(service, &stats), ORPHEUS_OK);
+    EXPECT_EQ(stats.submitted, 1);
+    EXPECT_EQ(stats.completed_ok, 1);
+    EXPECT_GT(stats.latency_p50_ms, 0.0);
+
+    // Buffer and argument validation mirror orpheus_engine_run.
+    EXPECT_EQ(orpheus_service_run(service, input.data(), 5,
+                                  output.data(), output.size(), 0,
+                                  nullptr),
+              ORPHEUS_ERR_INVALID_ARGUMENT);
+    EXPECT_EQ(orpheus_service_run(nullptr, input.data(), input.size(),
+                                  output.data(), output.size(), 0,
+                                  nullptr),
+              ORPHEUS_ERR_INVALID_ARGUMENT);
+
+    orpheus_service_destroy(service);
+    orpheus_service_destroy(nullptr); // Must be a safe no-op.
+    EXPECT_EQ(orpheus_service_create_zoo(nullptr, nullptr, &config),
+              nullptr);
+}
+
 } // namespace

@@ -1,0 +1,613 @@
+/**
+ * @file
+ * Tests for the resilient engine pool (runtime/engine_pool.hpp) and
+ * the retry/brownout machinery the InferenceService builds on it:
+ * shared prepacked-constant caches (one allocation per model, not per
+ * replica), bitwise-identical replica outputs, health-driven
+ * quarantine with probe-gated readmission, warm-spare promotion,
+ * fail-fast when every replica is quarantined, failover retries on a
+ * different replica, the retry-storm budget, deadline expiry during
+ * retry backoff, and brownout shedding of batch-priority work.
+ */
+#include "runtime/engine_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "core/threadpool.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/service.hpp"
+#include "test_util.hpp"
+
+// --- Allocation byte counting -----------------------------------------------
+// Replaces the global allocation functions for this test binary: when
+// counting is armed, every operator new tallies its byte size. Used to
+// prove the shared ConstantPackCache really removes the per-replica
+// pack allocations instead of merely deduplicating pointers.
+
+namespace {
+std::atomic<std::int64_t> g_alloc_bytes{0};
+std::atomic<bool> g_counting{false};
+
+void *
+counted_alloc(std::size_t size)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_bytes.fetch_add(static_cast<std::int64_t>(size),
+                                std::memory_order_relaxed);
+    void *ptr = std::malloc(size == 0 ? 1 : size);
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+} // namespace
+
+// The full replacement family: omitting the nothrow/aligned variants
+// would pair the default operator new with our free()-based delete (an
+// alloc-dealloc mismatch under sanitizers).
+void *
+operator new(std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return counted_alloc(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_bytes.fetch_add(static_cast<std::int64_t>(size),
+                                std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return operator new(size, std::nothrow);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_alloc_bytes.fetch_add(static_cast<std::int64_t>(size),
+                                std::memory_order_relaxed);
+    const std::size_t alignment = static_cast<std::size_t>(align);
+    void *ptr = std::aligned_alloc(
+        alignment, (size + alignment - 1) / alignment * alignment);
+    if (ptr == nullptr)
+        throw std::bad_alloc();
+    return ptr;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return operator new(size, align);
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, const std::nothrow_t &) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, const std::nothrow_t &) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::align_val_t, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::align_val_t, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+namespace orpheus {
+namespace {
+
+using testing::make_random;
+
+std::map<std::string, Tensor>
+cnn_inputs(std::uint64_t seed)
+{
+    return {{"input", make_random(Shape({1, 3, 8, 8}), seed)}};
+}
+
+/** Spin until the worker has dequeued everything (requests may still
+ *  be executing). */
+void
+wait_for_empty_queue(const InferenceService &service)
+{
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (service.queue_depth() > 0 &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(service.queue_depth(), 0u);
+}
+
+/** Engine options pinning convolutions to a pack-bearing backend so
+ *  the ConstantPackCache is exercised deterministically. */
+EngineOptions
+pinned_spatial_pack()
+{
+    EngineOptions options;
+    options.backend.forced_impl["Conv"] = "spatial_pack";
+    return options;
+}
+
+// --- Shared prepacked-constant caches ---------------------------------------
+
+TEST(EnginePool, SharedPackCacheBuildsOncePerModel)
+{
+    set_global_num_threads(1);
+    EnginePoolOptions pool_options;
+    pool_options.replicas = 4;
+    EnginePool pool(models::tiny_cnn(), pinned_spatial_pack(),
+                    pool_options);
+
+    const ConstantPackCache &cache = pool.pack_cache();
+    ASSERT_GT(cache.entries(), 0u)
+        << "tiny_cnn pinned to spatial_pack must produce prepacked "
+           "weights; the cache sharing test is vacuous otherwise";
+    // Replica 0 misses (builds) every pack; replicas 1-3 must hit.
+    EXPECT_EQ(cache.misses(), static_cast<std::int64_t>(cache.entries()));
+    EXPECT_EQ(cache.hits(), 3 * cache.misses());
+    // Every replica reports the same shared pack footprint.
+    for (std::size_t i = 0; i < pool.replica_count(); ++i)
+        EXPECT_EQ(pool.engine(i).constant_pack_bytes(), cache.bytes())
+            << "replica " << i;
+}
+
+TEST(EnginePool, SharedPackCacheAvoidsPerReplicaAllocations)
+{
+    set_global_num_threads(1);
+    Graph graph = models::tiny_cnn();
+
+    // Warm a cache with one engine so the pack keys all exist.
+    EngineOptions warm_options = pinned_spatial_pack();
+    warm_options.pack_cache = std::make_shared<ConstantPackCache>();
+    Engine warm_builder(Graph(graph), warm_options);
+    const std::size_t pack_bytes = warm_options.pack_cache->bytes();
+    ASSERT_GT(pack_bytes, 0u);
+
+    // Cold: a fresh cache forces every pack to be rebuilt.
+    EngineOptions cold_options = pinned_spatial_pack();
+    cold_options.pack_cache = std::make_shared<ConstantPackCache>();
+    g_alloc_bytes.store(0);
+    g_counting.store(true);
+    {
+        Engine cold(Graph(graph), cold_options);
+    }
+    g_counting.store(false);
+    const std::int64_t cold_bytes = g_alloc_bytes.load();
+
+    // Warm: the shared cache serves every pack by reference.
+    g_alloc_bytes.store(0);
+    g_counting.store(true);
+    {
+        Engine shared(Graph(graph), warm_options);
+    }
+    g_counting.store(false);
+    const std::int64_t shared_bytes = g_alloc_bytes.load();
+
+    // The warm build must skip at least the pack storage itself (the
+    // two engine builds are otherwise identical code paths).
+    EXPECT_LE(shared_bytes + static_cast<std::int64_t>(pack_bytes) / 2,
+              cold_bytes)
+        << "shared-cache engine allocated " << shared_bytes
+        << " bytes vs " << cold_bytes << " cold; packs are "
+        << pack_bytes << " bytes and must not be rebuilt per replica";
+}
+
+TEST(EnginePool, ReplicasProduceBitwiseIdenticalOutputs)
+{
+    set_global_num_threads(1);
+    Engine reference(models::tiny_cnn(), pinned_spatial_pack());
+    const auto expected = reference.run(cnn_inputs(0xb17));
+
+    EnginePoolOptions pool_options;
+    pool_options.replicas = 4;
+    EnginePool pool(models::tiny_cnn(), pinned_spatial_pack(),
+                    pool_options);
+
+    // Hold all four leases at once so each acquire lands on a distinct
+    // replica, then run the same input everywhere.
+    std::vector<EnginePool::Lease> leases;
+    for (int i = 0; i < 4; ++i) {
+        Status why;
+        leases.push_back(pool.acquire(DeadlineToken::after_ms(5000),
+                                      EnginePool::kNoReplica, &why));
+        ASSERT_TRUE(leases.back().valid()) << why.to_string();
+    }
+    for (auto &lease : leases) {
+        std::map<std::string, Tensor> outputs;
+        const Status status =
+            lease.engine().try_run(cnn_inputs(0xb17), outputs);
+        ASSERT_TRUE(status.is_ok()) << status.to_string();
+        ASSERT_EQ(outputs.size(), expected.size());
+        for (const auto &[name, tensor] : expected)
+            EXPECT_EQ(max_abs_diff(outputs.at(name), tensor), 0.0f)
+                << "replica " << lease.replica_id() << " output " << name;
+    }
+    for (auto &lease : leases)
+        pool.release(std::move(lease), Status::ok());
+    EXPECT_EQ(pool.stats().acquires, 4);
+}
+
+// --- Quarantine, probing, readmission ---------------------------------------
+
+TEST(EnginePool, QuarantineProbeReadmitsRecoveredReplica)
+{
+    set_global_num_threads(1);
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Two kernel faults: the first request's fast kernel AND its
+    // reference fallback both fail (exhausting the fallback chain into
+    // kInternal); the readmission probe then runs clean.
+    engine_options.fault_injector->arm("", "", /*fail_from_call=*/0,
+                                       /*max_faults=*/2);
+
+    EnginePoolOptions pool_options;
+    pool_options.replicas = 1;
+    pool_options.quarantine_threshold = 1.0;
+    EnginePool pool(models::tiny_cnn(), engine_options, pool_options);
+
+    Status why;
+    EnginePool::Lease lease = pool.acquire(DeadlineToken::after_ms(5000),
+                                           EnginePool::kNoReplica, &why);
+    ASSERT_TRUE(lease.valid()) << why.to_string();
+    std::map<std::string, Tensor> outputs;
+    const Status failed =
+        lease.engine().try_run(cnn_inputs(0x9a1), outputs);
+    EXPECT_EQ(failed.code(), StatusCode::kInternal);
+    pool.release(std::move(lease), failed);
+    EXPECT_EQ(pool.stats().quarantines, 1);
+    EXPECT_EQ(pool.stats().quarantined_replicas, 1u);
+
+    // The only replica is quarantined: the next acquire must probe it
+    // and, since the fault budget is exhausted, readmit it.
+    lease = pool.acquire(DeadlineToken::after_ms(5000),
+                         EnginePool::kNoReplica, &why);
+    ASSERT_TRUE(lease.valid()) << why.to_string();
+    const Status healed =
+        lease.engine().try_run(cnn_inputs(0x9a1), outputs);
+    EXPECT_TRUE(healed.is_ok()) << healed.to_string();
+    pool.release(std::move(lease), healed);
+
+    const EnginePoolStats stats = pool.stats();
+    EXPECT_EQ(stats.probes, 1);
+    EXPECT_EQ(stats.readmissions, 1);
+    EXPECT_EQ(stats.quarantined_replicas, 0u);
+    EXPECT_EQ(stats.active_replicas, 1u);
+}
+
+TEST(EnginePool, AllReplicasQuarantinedFailsFastNotHang)
+{
+    set_global_num_threads(1);
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Every invocation faults, forever: probes can never pass.
+    engine_options.fault_injector->arm("", "");
+
+    EnginePoolOptions pool_options;
+    pool_options.replicas = 2;
+    pool_options.quarantine_threshold = 1.0;
+    EnginePool pool(models::tiny_cnn(), engine_options, pool_options);
+
+    for (int i = 0; i < 2; ++i) {
+        Status why;
+        EnginePool::Lease lease =
+            pool.acquire(DeadlineToken::after_ms(5000),
+                         EnginePool::kNoReplica, &why);
+        ASSERT_TRUE(lease.valid()) << why.to_string();
+        std::map<std::string, Tensor> outputs;
+        const Status failed =
+            lease.engine().try_run(cnn_inputs(0x9a2), outputs);
+        EXPECT_EQ(failed.code(), StatusCode::kInternal);
+        pool.release(std::move(lease), failed);
+    }
+    EXPECT_EQ(pool.stats().quarantined_replicas, 2u);
+
+    // Both replicas are out and the probe keeps failing: acquire must
+    // return kResourceExhausted promptly instead of blocking.
+    const auto started = std::chrono::steady_clock::now();
+    Status why;
+    EnginePool::Lease lease = pool.acquire(DeadlineToken::after_ms(30000),
+                                           EnginePool::kNoReplica, &why);
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    EXPECT_FALSE(lease.valid());
+    EXPECT_EQ(why.code(), StatusCode::kResourceExhausted);
+    EXPECT_LT(waited_ms, 10000.0) << "acquire must fail fast, not hang";
+    EXPECT_GE(pool.stats().probe_failures, 1);
+}
+
+TEST(EnginePool, WarmSparePromotedWhenReplicaQuarantined)
+{
+    set_global_num_threads(1);
+    EnginePoolOptions pool_options;
+    pool_options.replicas = 1;
+    pool_options.warm_spares = 1;
+    pool_options.quarantine_threshold = 1.0;
+    EnginePool pool(models::tiny_cnn(), {}, pool_options);
+    EXPECT_EQ(pool.stats().spare_replicas, 1u);
+
+    Status why;
+    EnginePool::Lease lease = pool.acquire(DeadlineToken::after_ms(5000),
+                                           EnginePool::kNoReplica, &why);
+    ASSERT_TRUE(lease.valid()) << why.to_string();
+    EXPECT_EQ(lease.replica_id(), 0u);
+    pool.release(std::move(lease),
+                 internal_error("synthetic kernel fault"));
+
+    const EnginePoolStats stats = pool.stats();
+    EXPECT_EQ(stats.quarantines, 1);
+    EXPECT_EQ(stats.spare_promotions, 1);
+    EXPECT_EQ(stats.active_replicas, 1u);
+    EXPECT_EQ(stats.spare_replicas, 0u);
+
+    // The next lease lands on the promoted spare, not the sick replica.
+    lease = pool.acquire(DeadlineToken::after_ms(5000),
+                         EnginePool::kNoReplica, &why);
+    ASSERT_TRUE(lease.valid()) << why.to_string();
+    EXPECT_EQ(lease.replica_id(), 1u);
+    pool.release(std::move(lease), Status::ok());
+}
+
+// --- Service-level failover, retry budget, backoff --------------------------
+
+TEST(ServiceRetry, FailsOverToDifferentReplicaOnCorruption)
+{
+    set_global_num_threads(1);
+    // Replica 0 corrupts every output; replica 1 is clean. The guard
+    // turns the corruption into kDataCorruption, and the retry must
+    // land on replica 1 and succeed.
+    auto sick = std::make_shared<FaultInjector>();
+    sick->arm_corruption("", "", CorruptionKind::kNaNPoke);
+
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 2;
+    options.enable_watchdog = false;
+    options.max_retries = 2;
+    options.per_replica_injectors = {sick, nullptr};
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+    const InferenceResponse response = service.run(cnn_inputs(0xfa11));
+
+    ASSERT_TRUE(response.status.is_ok()) << response.status.to_string();
+    EXPECT_EQ(response.retries, 1);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed_ok, 1);
+    EXPECT_EQ(stats.retries, 1);
+    EXPECT_EQ(stats.data_corruption, 0)
+        << "the corrupted attempt must not surface to the caller";
+}
+
+TEST(ServiceRetry, RetryStormCappedByBudget)
+{
+    set_global_num_threads(1);
+    // Every attempt on the only replica corrupts: each request wants
+    // max_retries retries, and the token bucket must refuse most of
+    // them (initial burst 3 tokens + 0.2 earned per request).
+    auto sick = std::make_shared<FaultInjector>();
+    sick->arm_corruption("", "", CorruptionKind::kNaNPoke);
+
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+    // Keep the breaker closed: once it opens, execution routes to the
+    // reference kernel and the injected corruption no longer applies,
+    // which would end the retry storm this test is about.
+    engine_options.guard.open_after_trips = 1 << 30;
+    engine_options.fault_injector = sick;
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 1;
+    options.enable_watchdog = false;
+    options.max_retries = 2;
+    options.retry_budget = 0.2;
+    options.quarantine_threshold = 1e9; // Isolate the budget behaviour.
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+    const int kRequests = 10;
+    for (int i = 0; i < kRequests; ++i) {
+        const InferenceResponse response = service.run(cnn_inputs(0x1000 + i));
+        EXPECT_EQ(response.status.code(), StatusCode::kDataCorruption);
+    }
+
+    const ServiceStats stats = service.stats();
+    // Supply: 3 initial tokens + 0.2 earned per dispatched request —
+    // far below the 20 retries the requests would otherwise attempt.
+    EXPECT_LE(stats.retries, 6);
+    EXPECT_GE(stats.retry_budget_denied, 5);
+    EXPECT_EQ(stats.data_corruption, kRequests);
+}
+
+TEST(ServiceRetry, DeadlineExpiresDuringBackoff)
+{
+    set_global_num_threads(1);
+    auto sick = std::make_shared<FaultInjector>();
+    sick->arm_corruption("", "", CorruptionKind::kNaNPoke);
+
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+    engine_options.fault_injector = sick;
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 1;
+    options.enable_watchdog = false;
+    options.max_retries = 3;
+    // Backoff floor (500 ms * 0.5 jitter = 250 ms) far beyond the
+    // remaining deadline, so the backoff sleep must be what expires.
+    options.retry_backoff_ms = 500;
+    options.retry_backoff_max_ms = 500;
+    options.quarantine_threshold = 1e9;
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+    const InferenceResponse response =
+        service.run(cnn_inputs(0xdead), DeadlineToken::after_ms(150));
+
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_NE(response.status.message().find("backoff"),
+              std::string::npos)
+        << response.status.to_string();
+    EXPECT_EQ(service.stats().deadline_exceeded, 1);
+}
+
+// --- Brownout ---------------------------------------------------------------
+
+TEST(ServiceBrownout, ShedsBatchPriorityWorkUnderOverload)
+{
+    set_global_num_threads(1);
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Stall the first dispatched request so the queue fills behind it.
+    engine_options.fault_injector->arm_delay("", "", /*delay_ms=*/400,
+                                             /*delay_from_call=*/0,
+                                             /*max_delays=*/1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 1;
+    options.max_queue_depth = 4;
+    options.enable_watchdog = false;
+    options.enable_brownout = true;
+    // Enter at 3 queued requests, exit at 1.
+    options.brownout_high_watermark = 3;
+    options.brownout_low_watermark = 1;
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    auto in_flight = service.submit(cnn_inputs(0xb0));
+    wait_for_empty_queue(service); // The worker is now inside the delay.
+    std::vector<std::future<InferenceResponse>> batch;
+    for (int i = 0; i < 4; ++i)
+        batch.push_back(service.submit(cnn_inputs(0xb1 + i), {}, 0,
+                                       RequestPriority::kBatch));
+    EXPECT_TRUE(service.browned_out());
+
+    EXPECT_TRUE(in_flight.get().status.is_ok());
+    int shed = 0;
+    for (auto &future : batch) {
+        const InferenceResponse response = future.get();
+        if (response.status.code() == StatusCode::kResourceExhausted) {
+            ++shed;
+            EXPECT_NE(response.status.message().find("brownout"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_GE(shed, 2);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_GE(stats.brownout_entered, 1);
+    EXPECT_EQ(stats.brownout_shed, shed);
+    EXPECT_GE(stats.brownout_exited, 1)
+        << "draining the queue below the low watermark must restore "
+           "full fidelity";
+    EXPECT_FALSE(service.browned_out());
+}
+
+// --- Latency histogram ------------------------------------------------------
+
+TEST(LatencyHistogram, PercentilesTrackRecordedSamples)
+{
+    LatencyHistogram histogram;
+    for (int i = 0; i < 99; ++i)
+        histogram.record(1.0);
+    histogram.record(1000.0);
+
+    EXPECT_EQ(histogram.count(), 100);
+    const double p50 = histogram.percentile(0.50);
+    const double p999 = histogram.percentile(0.999);
+    // Geometric buckets: bounds are within one 1.3x ratio of the truth.
+    EXPECT_GE(p50, 1.0 / 1.3);
+    EXPECT_LE(p50, 1.0 * 1.3);
+    EXPECT_GE(p999, 1000.0 / 1.3);
+    EXPECT_LE(p999, 1000.0 * 1.3);
+    EXPECT_LE(histogram.percentile(0.50), histogram.percentile(0.99));
+}
+
+TEST(ServiceStatsLatency, PercentilesPopulatedAfterTraffic)
+{
+    set_global_num_threads(1);
+    ServiceOptions options;
+    options.workers = 1;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), {}, options);
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(service.run(cnn_inputs(0xce + i)).status.is_ok());
+
+    const ServiceStats stats = service.stats();
+    EXPECT_GT(stats.latency_p50_ms, 0.0);
+    EXPECT_GE(stats.latency_p99_ms, stats.latency_p50_ms);
+    EXPECT_GE(stats.latency_p999_ms, stats.latency_p99_ms);
+}
+
+} // namespace
+} // namespace orpheus

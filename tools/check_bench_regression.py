@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against committed baselines.
+
+Compares BENCH_<slug>.json files produced by the bench harness
+(ORPHEUS_BENCH_JSON) against the baselines committed under
+bench/baselines/, and exits non-zero when any gated cell regressed by
+more than the threshold (default 10 %).
+
+Robustness against machine and scheduler noise:
+
+ - Multiple result (and baseline) directories are merged by per-cell
+   MINIMUM: the fastest observation of a cell is the least disturbed
+   one, so CI runs each gated bench a few times and passes every
+   output directory.
+ - Raw milliseconds are not comparable across machines, so each cell
+   is scored as its share of the file's total cell time
+   (cell / sum(cells)). A regression shifts the suite's time toward
+   the offending cell, which survives the constant machine-speed
+   factor between the baseline host and CI.
+ - Cells below an absolute floor (default 0.25 ms) are reported but
+   not gated: micro-cells swing tens of percent from timer and
+   scheduler jitter alone.
+ - A results file missing a baseline cell fails the gate outright —
+   coverage loss hides regressions.
+
+Usage:
+  check_bench_regression.py --baseline bench/baselines \\
+      --results run1 [--results run2 ...] \\
+      [--threshold 0.10] [--floor-ms 0.25] <slug> [<slug> ...]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_cells(path):
+    """Returns {(row, column): mean_ms} for one BENCH_*.json file."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return {
+        (cell["row"], cell["column"]): float(cell["mean_ms"])
+        for cell in data.get("cells", [])
+    }
+
+
+def min_merge(paths):
+    """Per-cell minimum across several runs of the same bench."""
+    merged = {}
+    for path in paths:
+        for key, value in load_cells(path).items():
+            merged[key] = min(merged.get(key, float("inf")), value)
+    return merged
+
+
+def scores(cells):
+    """Each cell's share of the file's total time."""
+    total = sum(value for value in cells.values() if value > 0)
+    if total <= 0:
+        return {}
+    return {key: value / total for key, value in cells.items()
+            if value > 0}
+
+
+def check_bench(slug, baseline_dirs, results_dirs, threshold, floor_ms):
+    """Returns a list of human-readable failure strings for one bench."""
+    name = f"BENCH_{slug}.json"
+    baseline_paths = [os.path.join(d, name) for d in baseline_dirs
+                      if os.path.exists(os.path.join(d, name))]
+    results_paths = [os.path.join(d, name) for d in results_dirs
+                     if os.path.exists(os.path.join(d, name))]
+    if not baseline_paths:
+        return [f"{slug}: no baseline {name} under "
+                f"{', '.join(baseline_dirs)}"]
+    if not results_paths:
+        return [f"{slug}: no results {name} under "
+                f"{', '.join(results_dirs)} (bench not run?)"]
+
+    baseline_cells = min_merge(baseline_paths)
+    result_cells = min_merge(results_paths)
+    baseline_scores = scores(baseline_cells)
+    result_scores = scores(result_cells)
+
+    failures = []
+    gated = skipped = 0
+    for key, base_score in sorted(baseline_scores.items()):
+        row, column = key
+        if key not in result_cells:
+            failures.append(f"{slug}: cell ({row}, {column}) disappeared "
+                            "from the results")
+            continue
+        if baseline_cells[key] < floor_ms:
+            skipped += 1
+            continue
+        new_score = result_scores.get(key)
+        if new_score is None or base_score <= 0:
+            continue
+        gated += 1
+        change = (new_score - base_score) / base_score
+        if change > threshold:
+            failures.append(
+                f"{slug}: ({row}, {column}) regressed "
+                f"{100 * change:.1f}% normalised "
+                f"(baseline {baseline_cells[key]:.4f} ms -> "
+                f"{result_cells[key]:.4f} ms, time share "
+                f"{base_score:.3f} -> {new_score:.3f})")
+    print(f"{slug}: {gated} cells gated, {skipped} below the "
+          f"{floor_ms} ms floor, {len(failures)} failure(s)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold normalised bench regressions")
+    parser.add_argument("--baseline", action="append", required=True,
+                        help="directory with committed BENCH_*.json "
+                             "(repeatable; merged by per-cell min)")
+    parser.add_argument("--results", action="append", required=True,
+                        help="directory with fresh BENCH_*.json "
+                             "(repeatable; merged by per-cell min)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative normalised regression allowed")
+    parser.add_argument("--floor-ms", type=float, default=0.25,
+                        help="do not gate cells faster than this")
+    parser.add_argument("slugs", nargs="+",
+                        help="bench slugs to gate, e.g. gemm prepare")
+    args = parser.parse_args()
+
+    all_failures = []
+    for slug in args.slugs:
+        all_failures.extend(
+            check_bench(slug, args.baseline, args.results,
+                        args.threshold, args.floor_ms))
+
+    if all_failures:
+        print("\nbench regression gate FAILED:")
+        for failure in all_failures:
+            print(f"  {failure}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,11 @@
  *   --queue-depth <n>   admission-control queue bound (default 16)
  *   --deadline-ms <ms>  per-request deadline, 0 = unlimited (default 0)
  *   --workers <n>       service worker threads (default 2)
+ *   --replicas <n>      engine replicas in the pool (default: workers)
+ *   --warm-spares <n>   compiled spare replicas (default 0)
+ *   --max-retries <n>   failover retries per request (default 0)
+ *   --retry-budget <f>  retry tokens earned per request (default 0.2)
+ *   --brownout          shed batch work / degrade replicas on overload
  */
 #include <algorithm>
 #include <cmath>
@@ -64,6 +69,11 @@ struct CliOptions {
     int queue_depth = 16;
     double deadline_ms = 0;
     int workers = 2;
+    int replicas = 0;
+    int warm_spares = 0;
+    int max_retries = 0;
+    double retry_budget = 0.2;
+    bool brownout = false;
     bool guard = false;
     int shadow_every = 0;
     double guard_cooldown_ms = 250;
@@ -85,6 +95,8 @@ usage()
         "--profile --autotune\n"
         "  serve:   --clients <n> --requests <n> --queue-depth <n> "
         "--deadline-ms <ms> --workers <n>\n"
+        "           --replicas <n> --warm-spares <n> --max-retries <n> "
+        "--retry-budget <f> --brownout\n"
         "  guard (run/serve): --guard --shadow-every <n> "
         "--guard-cooldown-ms <ms>\n"
         "  chaos (run/serve): --corrupt <nan|bitflip|spike> "
@@ -123,6 +135,16 @@ parse_options(int argc, char **argv, int first)
             options.deadline_ms = std::stod(next_value("--deadline-ms"));
         else if (arg == "--workers")
             options.workers = std::stoi(next_value("--workers"));
+        else if (arg == "--replicas")
+            options.replicas = std::stoi(next_value("--replicas"));
+        else if (arg == "--warm-spares")
+            options.warm_spares = std::stoi(next_value("--warm-spares"));
+        else if (arg == "--max-retries")
+            options.max_retries = std::stoi(next_value("--max-retries"));
+        else if (arg == "--retry-budget")
+            options.retry_budget = std::stod(next_value("--retry-budget"));
+        else if (arg == "--brownout")
+            options.brownout = true;
         else if (arg == "--guard")
             options.guard = true;
         else if (arg == "--shadow-every")
@@ -403,6 +425,11 @@ cmd_serve(const CliOptions &cli)
         static_cast<std::size_t>(std::max(1, cli.queue_depth));
     service_options.workers = std::max(1, cli.workers);
     service_options.default_deadline_ms = cli.deadline_ms;
+    service_options.replicas = std::max(0, cli.replicas);
+    service_options.warm_spares = std::max(0, cli.warm_spares);
+    service_options.max_retries = std::max(0, cli.max_retries);
+    service_options.retry_budget = cli.retry_budget;
+    service_options.enable_brownout = cli.brownout;
     EngineOptions eng_options = engine_options(cli, false);
     apply_guard_and_chaos(cli, eng_options);
     InferenceService service(load_model(cli.positional[0]), eng_options,
@@ -417,6 +444,18 @@ cmd_serve(const CliOptions &cli)
                 service.engine().graph().name().c_str(), cli.clients,
                 cli.requests, service_options.max_queue_depth,
                 service_options.workers, deadline_text);
+    const ConstantPackCache &packs = service.pool().pack_cache();
+    std::printf("pool: %zu replicas (+%d warm spares), max %d retries "
+                "(budget %.2f/request), brownout %s; shared packs: "
+                "%zu entries, %.1f KiB, %lld hits\n",
+                service.pool().replica_count() -
+                    static_cast<std::size_t>(service_options.warm_spares),
+                service_options.warm_spares, service_options.max_retries,
+                service_options.retry_budget,
+                service_options.enable_brownout ? "on" : "off",
+                packs.entries(),
+                static_cast<double>(packs.bytes()) / 1024.0,
+                static_cast<long long>(packs.hits()));
     std::printf("per-request activation footprint: %.1f KiB\n",
                 static_cast<double>(service.request_footprint_bytes()) /
                     1024.0);
@@ -490,6 +529,10 @@ cmd_serve(const CliOptions &cli)
     std::printf("latency (client-observed, completed requests): "
                 "p50 %.2f ms   p99 %.2f ms\n",
                 percentile(50.0), percentile(99.0));
+    std::printf("latency (service histogram, queue + run): "
+                "p50 %.2f ms   p99 %.2f ms   p99.9 %.2f ms\n",
+                stats.latency_p50_ms, stats.latency_p99_ms,
+                stats.latency_p999_ms);
     std::printf("shed: %lld queue-full, %lld over-deadline; failed: "
                 "%lld\n",
                 static_cast<long long>(stats.rejected_queue_full),
@@ -498,6 +541,31 @@ cmd_serve(const CliOptions &cli)
     std::printf("watchdog: %lld hangs, %lld demotions\n",
                 static_cast<long long>(stats.watchdog_hangs),
                 static_cast<long long>(stats.demotions));
+    std::printf("failover: %lld retries (%lld denied by budget), "
+                "%lld quarantines, %lld probes, %lld readmissions\n",
+                static_cast<long long>(stats.retries),
+                static_cast<long long>(stats.retry_budget_denied),
+                static_cast<long long>(stats.quarantines),
+                static_cast<long long>(stats.probes),
+                static_cast<long long>(stats.readmissions));
+    if (service_options.enable_brownout)
+        std::printf("brownout: entered %lld, exited %lld, shed %lld "
+                    "batch requests\n",
+                    static_cast<long long>(stats.brownout_entered),
+                    static_cast<long long>(stats.brownout_exited),
+                    static_cast<long long>(stats.brownout_shed));
+    std::printf("\nreplica pool:\n");
+    std::printf("  %-3s %-12s %7s %8s %8s %6s  %s\n", "id", "state",
+                "penalty", "served", "failures", "opens", "last fault");
+    for (const ReplicaSnapshot &replica : service.pool().snapshot())
+        std::printf("  %-3zu %-12s %7.2f %8lld %8lld %6lld  %s\n",
+                    replica.id, to_string(replica.state),
+                    replica.health_penalty,
+                    static_cast<long long>(replica.served),
+                    static_cast<long long>(replica.failures),
+                    static_cast<long long>(replica.breaker_opens),
+                    replica.last_fault.empty() ? "-"
+                                               : replica.last_fault.c_str());
     if (cli.guard) {
         std::printf("guard: %lld requests stopped on confirmed "
                     "corruption (never served wrong data)\n",
