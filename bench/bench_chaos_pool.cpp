@@ -17,14 +17,26 @@
  * Every OK response is compared bitwise against a reference engine; a
  * corrupted-but-OK response is the one unacceptable outcome.
  *
+ * A third scenario soaks the model lifecycle under the same chaos: a
+ * good generation is hot-swapped in, a NaN-poked bad generation is
+ * staged next (its canary warm-up probes catch the corruption and it
+ * is rolled back with kModelRejected), then another good generation is
+ * promoted — all while a hang replica and a corrupting replica keep
+ * the failover path busy and a driver thread keeps live load flowing.
+ * Every request submitted during the swaps must get an answer and no
+ * OK answer may be bitwise-wrong.
+ *
  * With ORPHEUS_CHAOS=1 the binary turns into a soak gate: it exits
- * non-zero unless pool goodput >= 90 %, baseline goodput < 50 %, and
- * zero corrupted responses were observed (the nightly chaos-soak job
- * runs this under TSan).
+ * non-zero unless pool goodput >= 90 %, baseline goodput < 50 %, zero
+ * corrupted responses were observed, and every hot-swap run promoted
+ * both good generations, rolled back the bad one, and dropped nothing
+ * (the nightly chaos-soak job runs this under TSan).
  */
 #include "bench_util.hpp"
 
+#include <atomic>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "runtime/service.hpp"
@@ -195,6 +207,121 @@ run_baseline_scenario(const ReferenceSet &references, int requests)
                  /*burst=*/4);
 }
 
+/** Outcome of one hot-swap-under-chaos run. */
+struct HotSwapOutcome {
+    ChaosResult chaos;
+    std::int64_t dropped = 0;    ///< Submitted but never answered.
+    std::int64_t rollbacks = 0;  ///< Bad generations rolled back.
+    std::int64_t promotions = 0; ///< Good generations fully promoted.
+    std::int64_t runs = 0;
+};
+
+Graph
+renamed_tiny_cnn(const std::string &name)
+{
+    Graph graph = models::tiny_cnn();
+    graph.set_name(name);
+    return graph;
+}
+
+/**
+ * Swap good -> bad -> good while the hang and corruption injectors
+ * run: a 4-replica service where replica 2 NaN-pokes every output and
+ * replica 3 hangs, and replicas 0-1 share an injector armed against
+ * the "tiny-cnn-bad" generation only. A driver thread keeps live load
+ * flowing through all three rollouts; the bad generation must be
+ * caught at the canary and rolled back while the good ones promote.
+ */
+HotSwapOutcome
+run_hotswap_scenario(const ReferenceSet &references)
+{
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+
+    auto model_injector = std::make_shared<FaultInjector>();
+    model_injector->arm_model_corruption("tiny-cnn-bad",
+                                         CorruptionKind::kNaNPoke);
+
+    ServiceOptions options;
+    options.workers = 4;
+    options.replicas = 4;
+    options.max_queue_depth = 64;
+    options.hang_threshold_ms = 100;
+    options.max_retries = 3;
+    options.retry_budget = 0.2;
+    options.per_replica_injectors = {model_injector, model_injector,
+                                     corruption_injector(),
+                                     hang_injector()};
+
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    HotSwapOutcome outcome;
+    outcome.runs = 1;
+    std::atomic<bool> stop{false};
+    std::atomic<std::int64_t> submitted{0};
+    std::atomic<std::int64_t> answered{0};
+    ChaosResult driven; // Driver-thread private until the join below.
+    std::thread driver([&] {
+        int index = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            const int batch = 8;
+            std::vector<std::future<InferenceResponse>> inflight;
+            std::vector<int> reference_index;
+            for (int i = 0; i < batch; ++i) {
+                const int r = index++ %
+                              static_cast<int>(references.inputs.size());
+                reference_index.push_back(r);
+                inflight.push_back(
+                    service.submit(references.inputs[static_cast<
+                                       std::size_t>(r)],
+                                   DeadlineToken::after_ms(600.0)));
+                ++submitted;
+            }
+            for (std::size_t i = 0; i < inflight.size(); ++i) {
+                InferenceResponse response = inflight[i].get();
+                ++answered;
+                ++driven.requests;
+                driven.retries += response.retries;
+                if (!response.status.is_ok())
+                    ++driven.failed;
+                else if (bitwise_equal(
+                             response.outputs,
+                             references.outputs[static_cast<std::size_t>(
+                                 reference_index[i])]))
+                    ++driven.good;
+                else
+                    ++driven.corrupted;
+            }
+        }
+    });
+
+    RolloutOptions rollout;
+    rollout.canary_fraction = 0.25;
+    rollout.min_canary_samples = 8;
+    rollout.observe_timeout_ms = 1500;
+
+    const RolloutReport good_first =
+        service.reload(renamed_tiny_cnn("tiny-cnn-good-2"), rollout);
+    const RolloutReport bad =
+        service.reload(renamed_tiny_cnn("tiny-cnn-bad"), rollout);
+    const RolloutReport good_second =
+        service.reload(renamed_tiny_cnn("tiny-cnn-good-3"), rollout);
+
+    // Let the promoted generation serve a little before winding down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true);
+    driver.join();
+
+    outcome.chaos = driven;
+    outcome.chaos.quarantines = service.stats().quarantines;
+    outcome.dropped = submitted.load() - answered.load();
+    outcome.promotions += good_first.status.is_ok() ? 1 : 0;
+    outcome.promotions += good_second.status.is_ok() ? 1 : 0;
+    if (bad.status.code() == StatusCode::kModelRejected)
+        ++outcome.rollbacks;
+    return outcome;
+}
+
 ChaosResult &
 pool_total()
 {
@@ -207,6 +334,28 @@ baseline_total()
 {
     static ChaosResult result;
     return result;
+}
+
+HotSwapOutcome &
+hotswap_total()
+{
+    static HotSwapOutcome outcome;
+    return outcome;
+}
+
+void
+accumulate(HotSwapOutcome &total, const HotSwapOutcome &run)
+{
+    total.chaos.requests += run.chaos.requests;
+    total.chaos.good += run.chaos.good;
+    total.chaos.corrupted += run.chaos.corrupted;
+    total.chaos.failed += run.chaos.failed;
+    total.chaos.retries += run.chaos.retries;
+    total.chaos.quarantines += run.chaos.quarantines;
+    total.dropped += run.dropped;
+    total.rollbacks += run.rollbacks;
+    total.promotions += run.promotions;
+    total.runs += run.runs;
 }
 
 void
@@ -265,16 +414,40 @@ main(int argc, char **argv)
         ->Iterations(timed_runs())
         ->UseManualTime()
         ->Unit(::benchmark::kMillisecond);
+    ::benchmark::RegisterBenchmark(
+        "chaos/hotswap_4x",
+        [](::benchmark::State &state) {
+            const ReferenceSet references = make_references(8);
+            for (auto _ : state) {
+                Timer timer;
+                const HotSwapOutcome outcome =
+                    run_hotswap_scenario(references);
+                state.SetIterationTime(timer.elapsed_ms() / 1000.0);
+                accumulate(hotswap_total(), outcome);
+            }
+        })
+        ->Iterations(timed_runs())
+        ->UseManualTime()
+        ->Unit(::benchmark::kMillisecond);
 
     const int status = orpheus::bench::run_benchmarks(argc, argv);
 
     report("pool_4x", pool_total());
     report("baseline_1x", baseline_total());
+    const HotSwapOutcome &hotswap = hotswap_total();
+    report("hotswap_4x", hotswap.chaos);
+    record_cell("hotswap_4x", "dropped",
+                static_cast<double>(hotswap.dropped));
+    record_cell("hotswap_4x", "rollbacks",
+                static_cast<double>(hotswap.rollbacks));
+    record_cell("hotswap_4x", "promotions",
+                static_cast<double>(hotswap.promotions));
     print_table("Goodput under per-replica chaos (tiny-cnn)",
                 "scenario");
 
     const double pool_goodput = goodput_pct(pool_total());
     const double baseline_goodput = goodput_pct(baseline_total());
+    const double hotswap_goodput = goodput_pct(hotswap.chaos);
     std::printf("\npool goodput %.1f %% (corrupted %lld, retries %lld, "
                 "quarantines %lld) vs single-engine baseline %.1f %%\n",
                 pool_goodput,
@@ -282,6 +455,14 @@ main(int argc, char **argv)
                 static_cast<long long>(pool_total().retries),
                 static_cast<long long>(pool_total().quarantines),
                 baseline_goodput);
+    std::printf("hot swap under chaos: goodput %.1f %%, %lld dropped, "
+                "%lld/%lld bad generations rolled back, %lld/%lld good "
+                "generations promoted\n",
+                hotswap_goodput, static_cast<long long>(hotswap.dropped),
+                static_cast<long long>(hotswap.rollbacks),
+                static_cast<long long>(hotswap.runs),
+                static_cast<long long>(hotswap.promotions),
+                static_cast<long long>(2 * hotswap.runs));
     print_csv("scenario", "metric");
     write_json("chaos_pool");
 
@@ -293,7 +474,8 @@ main(int argc, char **argv)
             ok = false;
         }
         if (pool_total().corrupted != 0 ||
-            baseline_total().corrupted != 0) {
+            baseline_total().corrupted != 0 ||
+            hotswap.chaos.corrupted != 0) {
             std::printf("CHAOS GATE: corrupted responses observed\n");
             ok = false;
         }
@@ -301,6 +483,31 @@ main(int argc, char **argv)
             std::printf("CHAOS GATE: baseline goodput %.1f %% >= 50 %% "
                         "(the failover win is gone)\n",
                         baseline_goodput);
+            ok = false;
+        }
+        if (hotswap_goodput < 90.0) {
+            std::printf("CHAOS GATE: hot-swap goodput %.1f %% < 90 %%\n",
+                        hotswap_goodput);
+            ok = false;
+        }
+        if (hotswap.dropped != 0) {
+            std::printf("CHAOS GATE: %lld request(s) dropped during "
+                        "hot swaps\n",
+                        static_cast<long long>(hotswap.dropped));
+            ok = false;
+        }
+        if (hotswap.rollbacks != hotswap.runs) {
+            std::printf("CHAOS GATE: bad generation rolled back in "
+                        "%lld/%lld runs\n",
+                        static_cast<long long>(hotswap.rollbacks),
+                        static_cast<long long>(hotswap.runs));
+            ok = false;
+        }
+        if (hotswap.promotions != 2 * hotswap.runs) {
+            std::printf("CHAOS GATE: %lld/%lld good generations "
+                        "promoted\n",
+                        static_cast<long long>(hotswap.promotions),
+                        static_cast<long long>(2 * hotswap.runs));
             ok = false;
         }
         if (!ok)

@@ -416,6 +416,10 @@ orpheus_service_query_stats(const orpheus_service *service,
     stats->latency_p50_ms = snapshot.latency_p50_ms;
     stats->latency_p99_ms = snapshot.latency_p99_ms;
     stats->latency_p999_ms = snapshot.latency_p999_ms;
+    stats->active_generation = snapshot.active_generation;
+    stats->model_rollbacks = snapshot.model_rollbacks;
+    stats->model_swaps = snapshot.model_swaps;
+    stats->canary_routed = snapshot.canary_routed;
     return ORPHEUS_OK;
 }
 
@@ -427,6 +431,95 @@ orpheus_service_replica_count(const orpheus_service *service)
         return ORPHEUS_ERR_INVALID_ARGUMENT;
     }
     return static_cast<int>(service->impl.pool().replica_count());
+}
+
+namespace {
+
+orpheus::RolloutOptions
+rollout_options_for(double canary_fraction, int64_t min_canary_samples)
+{
+    orpheus::RolloutOptions options;
+    if (canary_fraction > 0)
+        options.canary_fraction = canary_fraction;
+    options.min_canary_samples = min_canary_samples > 0
+                                     ? min_canary_samples
+                                     : 0;
+    return options;
+}
+
+int
+finish_reload(const orpheus::RolloutReport &report)
+{
+    if (!report.status.is_ok()) {
+        set_error(report.status.to_string());
+        return orpheus::capi::to_c_code(report.status.code());
+    }
+    return ORPHEUS_OK;
+}
+
+} // namespace
+
+int
+orpheus_service_reload_zoo(orpheus_service *service, const char *model_name,
+                           const char *personality, double canary_fraction,
+                           int64_t min_canary_samples)
+{
+    (void)personality; // The pool's compiled personality is kept; a
+                       // rollout swaps the model, not the runtime.
+    if (service == nullptr || model_name == nullptr) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    try {
+        const orpheus::RolloutReport report = service->impl.reload(
+            orpheus::models::by_name(model_name),
+            rollout_options_for(canary_fraction, min_canary_samples));
+        return finish_reload(report);
+    } catch (const std::exception &error) {
+        set_error(error.what());
+        return ORPHEUS_ERR_RUNTIME;
+    }
+}
+
+int
+orpheus_service_reload_file(orpheus_service *service, const char *onnx_path,
+                            double canary_fraction,
+                            int64_t min_canary_samples)
+{
+    if (service == nullptr || onnx_path == nullptr) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    try {
+        const orpheus::RolloutReport report = service->impl.reload_file(
+            onnx_path,
+            rollout_options_for(canary_fraction, min_canary_samples));
+        return finish_reload(report);
+    } catch (const std::exception &error) {
+        set_error(error.what());
+        return ORPHEUS_ERR_RUNTIME;
+    }
+}
+
+int
+orpheus_service_shutdown(orpheus_service *service, double deadline_ms)
+{
+    if (service == nullptr) {
+        set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    try {
+        const orpheus::ShutdownReport report =
+            service->impl.shutdown(deadline_ms);
+        if (!report.status.is_ok()) {
+            set_error(report.status.to_string());
+            return orpheus::capi::to_c_code(report.status.code());
+        }
+        return ORPHEUS_OK;
+    } catch (const std::exception &error) {
+        set_error(error.what());
+        return ORPHEUS_ERR_RUNTIME;
+    }
 }
 
 int

@@ -43,6 +43,10 @@ extern "C" {
 #define ORPHEUS_ERR_OUT_OF_RANGE (-9)
 #define ORPHEUS_ERR_FAILED_PRECONDITION (-10)
 #define ORPHEUS_ERR_PARSE (-11)
+/** A staged model generation failed canary validation and was rolled
+ *  back/quarantined (see orpheus_service_reload_zoo); the incumbent
+ *  model kept serving. */
+#define ORPHEUS_ERR_MODEL_REJECTED (-12)
 
 /** Opaque compiled-model handle. */
 typedef struct orpheus_engine orpheus_engine;
@@ -154,7 +158,9 @@ typedef struct orpheus_service_config {
     int enable_brownout;
 } orpheus_service_config;
 
-/** Monotonic service counters (a consistent snapshot). */
+/** Monotonic service counters (a consistent snapshot). New fields are
+ *  only ever appended, so the struct stays ABI-compatible for callers
+ *  compiled against older headers. */
 typedef struct orpheus_service_stats {
     int64_t submitted;
     int64_t completed_ok;
@@ -171,6 +177,11 @@ typedef struct orpheus_service_stats {
     double latency_p50_ms;
     double latency_p99_ms;
     double latency_p999_ms;
+    /* Model lifecycle (appended; see orpheus_service_reload_zoo). */
+    uint64_t active_generation;
+    int64_t model_rollbacks;
+    int64_t model_swaps;
+    int64_t canary_routed;
 } orpheus_service_stats;
 
 /**
@@ -205,6 +216,40 @@ int orpheus_service_query_stats(const orpheus_service *service,
 /** Replicas compiled into the pool (active + spares), or an error
  *  code. */
 int orpheus_service_replica_count(const orpheus_service *service);
+
+/**
+ * Hot-swaps the service's model to another model-zoo network through
+ * the canary lifecycle: the new version is compiled off the hot path,
+ * swapped onto one drained replica, validated (warm-up probes plus an
+ * optional live-traffic slice), and then rolled to every replica — or
+ * rolled back, returning ORPHEUS_ERR_MODEL_REJECTED while the
+ * incumbent keeps serving. @p canary_fraction in (0, 1] sets the live
+ * traffic slice (pass 0 for the default); @p min_canary_samples live
+ * requests are observed before the verdict (0 judges on warm-up
+ * probes alone). The new model's input/output signature must match
+ * the incumbent's.
+ */
+int orpheus_service_reload_zoo(orpheus_service *service,
+                               const char *model_name,
+                               const char *personality,
+                               double canary_fraction,
+                               int64_t min_canary_samples);
+
+/** Same lifecycle, loading the replacement model from an ONNX file. */
+int orpheus_service_reload_file(orpheus_service *service,
+                                const char *onnx_path,
+                                double canary_fraction,
+                                int64_t min_canary_samples);
+
+/**
+ * Graceful shutdown: stops admission, flushes queued work while
+ * @p deadline_ms allows (0 = unlimited), sheds batch-priority work
+ * when the deadline is tight, and cancels in-flight requests when it
+ * expires. Returns ORPHEUS_OK when everything drained or
+ * ORPHEUS_ERR_DEADLINE_EXCEEDED when work had to be cut short. The
+ * service rejects all requests afterwards; destroy it next.
+ */
+int orpheus_service_shutdown(orpheus_service *service, double deadline_ms);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -35,6 +35,7 @@ to_c_code(StatusCode code)
       case StatusCode::kFailedPrecondition:
           return ORPHEUS_ERR_FAILED_PRECONDITION;
       case StatusCode::kParseError: return ORPHEUS_ERR_PARSE;
+      case StatusCode::kModelRejected: return ORPHEUS_ERR_MODEL_REJECTED;
     }
     return ORPHEUS_ERR_RUNTIME;
 }
@@ -57,6 +58,7 @@ from_c_code(int code)
       case ORPHEUS_ERR_FAILED_PRECONDITION:
           return StatusCode::kFailedPrecondition;
       case ORPHEUS_ERR_PARSE: return StatusCode::kParseError;
+      case ORPHEUS_ERR_MODEL_REJECTED: return StatusCode::kModelRejected;
       /* ORPHEUS_ERR_BUFFER_TOO_SMALL is a C-surface-only condition
        * (caller-provided buffer capacity), not a StatusCode. */
       case ORPHEUS_ERR_BUFFER_TOO_SMALL: return StatusCode::kOutOfRange;

@@ -19,6 +19,7 @@ to_string(StatusCode code)
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kDataCorruption: return "DataCorruption";
+      case StatusCode::kModelRejected: return "ModelRejected";
     }
     return "Unknown";
 }
@@ -103,6 +104,12 @@ Status
 data_corruption_error(std::string message)
 {
     return Status(StatusCode::kDataCorruption, std::move(message));
+}
+
+Status
+model_rejected_error(std::string message)
+{
+    return Status(StatusCode::kModelRejected, std::move(message));
 }
 
 namespace detail {

@@ -95,6 +95,10 @@ enum class StatusCode {
     kDeadlineExceeded,
     kResourceExhausted,
     kDataCorruption,
+    /** A staged model generation failed validation (compile error,
+     *  signature mismatch, or a canary verdict against the incumbent)
+     *  and was rolled back / quarantined by the model lifecycle. */
+    kModelRejected,
 };
 
 /** Human-readable name of a status code (e.g. "InvalidArgument"). */
@@ -147,6 +151,7 @@ Status parse_error(std::string message);
 Status deadline_exceeded_error(std::string message);
 Status resource_exhausted_error(std::string message);
 Status data_corruption_error(std::string message);
+Status model_rejected_error(std::string message);
 
 namespace detail {
 

@@ -257,8 +257,8 @@ Engine::execute_step_unguarded(std::size_t index,
         // (pool chaos harnesses) cannot hand us a torn verdict.
         InjectionDecision injection;
         if (injector != nullptr) {
-            injection =
-                injector->decide(step.node_name, step.layer->impl_name());
+            injection = injector->decide(
+                step.node_name, step.layer->impl_name(), graph_.name());
             if (injection.delay_ms > 0)
                 cooperative_delay_ms(injection.delay_ms, deadline);
             if (injection.fail)
@@ -315,7 +315,8 @@ Engine::execute_step_guarded(std::size_t index, const DeadlineToken &deadline)
         FaultInjector *injector = options_.fault_injector.get();
         InjectionDecision injection;
         if (injector != nullptr) {
-            injection = injector->decide(step.node_name, active.impl_name());
+            injection = injector->decide(step.node_name, active.impl_name(),
+                                         graph_.name());
             if (injection.delay_ms > 0)
                 cooperative_delay_ms(injection.delay_ms, deadline);
             if (injection.fail)

@@ -85,13 +85,14 @@ EnginePool::EnginePool(Graph graph, EngineOptions engine_options,
 }
 
 std::size_t
-EnginePool::pick_free_active_locked(std::size_t exclude) const
+EnginePool::pick_free_active_locked(std::size_t exclude,
+                                    std::size_t exclude2) const
 {
     std::size_t best = kNoReplica;
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
         const Replica &replica = replicas_[i];
         if (replica.state != ReplicaState::kActive || replica.leased ||
-            i == exclude)
+            replica.draining || i == exclude || i == exclude2)
             continue;
         if (best == kNoReplica ||
             replica.health_penalty < replicas_[best].health_penalty ||
@@ -152,7 +153,28 @@ EnginePool::acquire(const DeadlineToken &deadline,
             return Lease();
         }
 
-        std::size_t id = pick_free_active_locked(exclude_replica);
+        // Canary slicing: when a slice is armed and the canary is free,
+        // a credit accumulator routes `fraction` of acquires to it; the
+        // rest of the traffic skips it so the slice stays honest.
+        std::size_t id = kNoReplica;
+        const bool canary_eligible =
+            canary_replica_ != kNoReplica &&
+            canary_replica_ != exclude_replica &&
+            canary_replica_ < replicas_.size() &&
+            replicas_[canary_replica_].state == ReplicaState::kActive &&
+            !replicas_[canary_replica_].leased &&
+            !replicas_[canary_replica_].draining;
+        if (canary_eligible) {
+            canary_credit_ += canary_fraction_;
+            if (canary_credit_ >= 1.0) {
+                canary_credit_ -= 1.0;
+                id = canary_replica_;
+                ++stats_.canary_routed;
+            }
+        }
+
+        if (id == kNoReplica)
+            id = pick_free_active_locked(exclude_replica, canary_replica_);
         if (id == kNoReplica) {
             id = promote_spare_locked();
             if (id != kNoReplica && id == exclude_replica)
@@ -162,7 +184,11 @@ EnginePool::acquire(const DeadlineToken &deadline,
         if (id == kNoReplica && exclude_replica != kNoReplica)
             // Failing over beats failing: reuse the excluded replica
             // when it is the only healthy one.
-            id = pick_free_active_locked(kNoReplica);
+            id = pick_free_active_locked(kNoReplica, canary_replica_);
+        if (id == kNoReplica && canary_eligible)
+            // Availability beats slicing: the canary is the only free
+            // replica, so use it rather than queueing behind the rest.
+            id = canary_replica_;
 
         if (id != kNoReplica) {
             Replica &replica = replicas_[id];
@@ -249,6 +275,155 @@ EnginePool::acquire(const DeadlineToken &deadline,
     }
 }
 
+EnginePool::Lease
+EnginePool::acquire_specific(std::size_t replica,
+                             const DeadlineToken &deadline, Status *why)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    ORPHEUS_CHECK(replica < replicas_.size(),
+                  "replica index " << replica
+                                   << " out of range (pool has "
+                                   << replicas_.size() << " replicas)");
+    for (;;) {
+        Replica &target = replicas_[replica];
+        if (target.state == ReplicaState::kQuarantined ||
+            target.draining) {
+            if (why != nullptr)
+                *why = failed_precondition_error(
+                    "replica " + std::to_string(replica) + " is " +
+                    (target.draining ? "draining"
+                                     : to_string(target.state)) +
+                    "; cannot be acquired specifically");
+            return Lease();
+        }
+        if (deadline.expired()) {
+            if (why != nullptr)
+                *why = deadline_exceeded_error(
+                    "deadline expired while waiting for replica " +
+                    std::to_string(replica));
+            return Lease();
+        }
+        if (!target.leased) {
+            target.leased = true;
+            sync_degraded_mode_locked(replica);
+            ++stats_.acquires;
+            return Lease(this, replica, target.engine.get());
+        }
+        if (deadline.has_deadline())
+            replica_free_.wait_for(
+                lock, std::chrono::duration<double, std::milli>(
+                          std::max(deadline.remaining_ms(), 0.0)));
+        else
+            replica_free_.wait(lock);
+    }
+}
+
+std::unique_ptr<Engine>
+EnginePool::swap_replica(std::size_t id, std::unique_ptr<Engine> engine,
+                         std::uint64_t generation,
+                         const DeadlineToken &drain_deadline, Status *why)
+{
+    ORPHEUS_CHECK(engine != nullptr, "swap_replica needs an engine");
+    std::unique_lock<std::mutex> lock(mutex_);
+    ORPHEUS_CHECK(id < replicas_.size(),
+                  "replica index " << id << " out of range (pool has "
+                                   << replicas_.size() << " replicas)");
+    Replica &replica = replicas_[id];
+    if (replica.draining) {
+        if (why != nullptr)
+            *why = failed_precondition_error(
+                "replica " + std::to_string(id) +
+                " is already draining for another swap");
+        return nullptr;
+    }
+    // Fence off new leases; existing holders finish undisturbed. Only
+    // this one replica leaves rotation, so capacity stays >= N-1.
+    replica.draining = true;
+    while (replica.leased) {
+        if (drain_deadline.expired()) {
+            replica.draining = false;
+            replica_free_.notify_all();
+            if (why != nullptr)
+                *why = deadline_exceeded_error(
+                    "drain deadline expired while replica " +
+                    std::to_string(id) + " was still leased");
+            return nullptr;
+        }
+        if (drain_deadline.has_deadline())
+            replica_free_.wait_for(
+                lock, std::chrono::duration<double, std::milli>(
+                          std::max(drain_deadline.remaining_ms(), 0.0)));
+        else
+            replica_free_.wait(lock);
+    }
+
+    std::unique_ptr<Engine> displaced = std::move(replica.engine);
+    replica.engine = std::move(engine);
+    replica.generation = generation;
+    replica.health_penalty = 0;
+    replica.pending_demotions.clear();
+    replica.pending_hang_penalty = 0;
+    replica.last_fault.clear();
+    replica.degraded_applied = false;
+    replica.window = ReplicaWindow{};
+    if (replica.state == ReplicaState::kQuarantined)
+        // The replacement engine is fresh; readmit the slot.
+        replica.state = ReplicaState::kActive;
+    replica.draining = false;
+    ++stats_.swaps;
+    replica_free_.notify_all();
+    return displaced;
+}
+
+void
+EnginePool::set_canary(std::size_t replica, double fraction)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (replica != kNoReplica)
+        ORPHEUS_CHECK(replica < replicas_.size(),
+                      "canary replica " << replica
+                                        << " out of range (pool has "
+                                        << replicas_.size()
+                                        << " replicas)");
+    canary_replica_ = replica;
+    canary_fraction_ = std::min(std::max(fraction, 0.0), 1.0);
+    canary_credit_ = 0;
+}
+
+std::size_t
+EnginePool::canary_replica() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return canary_replica_;
+}
+
+void
+EnginePool::tag_generation(std::uint64_t generation)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Replica &replica : replicas_)
+        replica.generation = generation;
+}
+
+std::vector<ReplicaWindow>
+EnginePool::windows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ReplicaWindow> windows;
+    windows.reserve(replicas_.size());
+    for (const Replica &replica : replicas_)
+        windows.push_back(replica.window);
+    return windows;
+}
+
+void
+EnginePool::reset_windows()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Replica &replica : replicas_)
+        replica.window = ReplicaWindow{};
+}
+
 bool
 EnginePool::revive(std::size_t id, std::string *failure)
 {
@@ -301,7 +476,7 @@ EnginePool::apply_pending_demotions_locked(std::size_t id)
 }
 
 void
-EnginePool::release(Lease lease, const Status &outcome)
+EnginePool::release(Lease lease, const Status &outcome, double run_ms)
 {
     if (!lease.valid())
         return;
@@ -311,18 +486,24 @@ EnginePool::release(Lease lease, const Status &outcome)
     std::lock_guard<std::mutex> lock(mutex_);
     Replica &replica = replicas_[id];
     ++replica.served;
+    ++replica.window.served;
+    if (run_ms >= 0)
+        replica.window.latency.record(run_ms);
     apply_pending_demotions_locked(id);
 
     if (outcome.is_ok()) {
         replica.health_penalty = std::max(
             0.0, replica.health_penalty - options_.success_reward);
+        ++replica.window.ok;
     } else if (outcome.code() == StatusCode::kDataCorruption) {
         replica.health_penalty += options_.corruption_penalty;
         ++replica.failures;
+        ++replica.window.corruption;
         replica.last_fault = outcome.to_string();
     } else if (outcome.code() == StatusCode::kInternal) {
         replica.health_penalty += options_.fault_penalty;
         ++replica.failures;
+        ++replica.window.fault;
         replica.last_fault = outcome.to_string();
     }
     // Deadline expiry stays neutral: the client's budget ran out, which
@@ -355,6 +536,7 @@ EnginePool::report_hang(std::size_t replica, std::size_t step_index,
     replicas_[replica].pending_demotions.push_back(
         PendingDemotion{step_index, reason});
     replicas_[replica].pending_hang_penalty += options_.hang_penalty;
+    ++replicas_[replica].window.hang;
     replicas_[replica].last_fault = reason;
 }
 
@@ -425,8 +607,10 @@ EnginePool::snapshot() const
         view.id = i;
         view.state = replica.state;
         view.leased = replica.leased;
+        view.draining = replica.draining;
         view.degraded_mode = replica.degraded_applied;
         view.health_penalty = replica.health_penalty;
+        view.generation = replica.generation;
         view.served = replica.served;
         view.failures = replica.failures;
         view.breaker_opens = breaker_opens(*replica.engine);

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "runtime/engine.hpp"
+#include "runtime/latency_histogram.hpp"
 #include "runtime/watchdog.hpp"
 
 namespace orpheus {
@@ -102,13 +103,54 @@ struct ReplicaSnapshot {
     std::size_t id = 0;
     ReplicaState state = ReplicaState::kActive;
     bool leased = false;
+    /** Fenced off from new leases while swap_replica drains it. */
+    bool draining = false;
     bool degraded_mode = false;
     double health_penalty = 0;
+    /** Model generation currently compiled into this replica. */
+    std::uint64_t generation = 0;
     std::int64_t served = 0;
     std::int64_t failures = 0;
     /** Breaker-open transitions across this replica's plan steps. */
     std::int64_t breaker_opens = 0;
     std::string last_fault;
+};
+
+/**
+ * Per-replica outcome + latency window since the last reset_windows().
+ * The model registry resets the windows when a canary starts taking
+ * traffic and later compares the canary replica's window against the
+ * incumbents' merged window to reach a promote/rollback verdict.
+ */
+struct ReplicaWindow {
+    std::int64_t served = 0;
+    std::int64_t ok = 0;
+    std::int64_t corruption = 0;
+    std::int64_t fault = 0;
+    std::int64_t hang = 0;
+    LatencyHistogram latency;
+
+    std::int64_t bad() const { return corruption + fault + hang; }
+
+    double
+    error_rate() const
+    {
+        return served == 0
+                   ? 0.0
+                   : static_cast<double>(bad()) /
+                         static_cast<double>(served);
+    }
+
+    void
+    merge(const ReplicaWindow &other)
+    {
+        served += other.served;
+        ok += other.ok;
+        corruption += other.corruption;
+        fault += other.fault;
+        hang += other.hang;
+        latency.merge(other.latency);
+    }
 };
 
 /** Monotonic pool counters (merged into ServiceStats). */
@@ -120,6 +162,10 @@ struct EnginePoolStats {
     std::int64_t probes = 0;
     std::int64_t probe_failures = 0;
     std::int64_t readmissions = 0;
+    /** Drained-and-swapped replica engines (model hot-swap). */
+    std::int64_t swaps = 0;
+    /** Acquires routed to the canary replica by its traffic slice. */
+    std::int64_t canary_routed = 0;
     /** Guard-ledger incidents (trips + faults + breaker opens) across
      *  all kernels, process-wide: the cross-replica view operators
      *  correlate replica failures against. */
@@ -206,14 +252,75 @@ class EnginePool
                   std::size_t exclude_replica, Status *why);
 
     /**
+     * Acquires replica @p replica specifically, blocking while it is
+     * leased (within @p deadline). Used by the model registry's canary
+     * warm-up probes and by tests; fails with kFailedPrecondition when
+     * the replica is quarantined or draining instead of waiting for a
+     * state change that may never come.
+     */
+    Lease acquire_specific(std::size_t replica,
+                           const DeadlineToken &deadline, Status *why);
+
+    /**
      * Returns @p lease's replica to the pool, folding @p outcome into
      * its health: corruption/fault outcomes add penalty, OK subtracts,
      * deadline expiry is neutral (the client's budget, not the
      * replica's fault). Pending watchdog demotions are applied here —
      * the replica is drained by construction — and the replica is
-     * quarantined when its penalty crosses the threshold.
+     * quarantined when its penalty crosses the threshold. A
+     * non-negative @p run_ms additionally records the request's
+     * execution latency in the replica's canary window.
      */
-    void release(Lease lease, const Status &outcome);
+    void release(Lease lease, const Status &outcome, double run_ms = -1);
+
+    // --- Model lifecycle (generations) ------------------------------------
+
+    /**
+     * Drain-and-swap: fences replica @p id off from new leases, waits
+     * (within @p drain_deadline) for its current lease to be released,
+     * then exchanges its engine for @p engine tagged with
+     * @p generation, resetting health, windows and pending demotions.
+     * Capacity never dips below N−1: only this one replica is fenced
+     * and the exchange itself is a pointer swap under the lock.
+     *
+     * Returns the displaced engine (the registry keeps it for
+     * rollback); returns nullptr with @p why set when the drain
+     * deadline expires or the replica is already draining — @p engine
+     * is destroyed in that case. A quarantined replica is readmitted
+     * as active by the swap (its replacement engine is fresh).
+     *
+     * The new engine must observe the pool's per-replica contracts:
+     * compile it against monitors()[id] so watchdog attribution keeps
+     * working across the swap.
+     */
+    std::unique_ptr<Engine> swap_replica(std::size_t id,
+                                         std::unique_ptr<Engine> engine,
+                                         std::uint64_t generation,
+                                         const DeadlineToken &drain_deadline,
+                                         Status *why);
+
+    /**
+     * Routes a fraction of acquires to replica @p replica (the canary)
+     * via a credit accumulator: each acquire with the canary free adds
+     * @p fraction credit and the canary is picked whenever the credit
+     * reaches 1. Other replicas skip the canary while a slice is
+     * armed, except when it is the only free replica (availability
+     * beats slicing). Pass kNoReplica to clear.
+     */
+    void set_canary(std::size_t replica, double fraction);
+
+    /** The canary replica id, or kNoReplica when no slice is armed. */
+    std::size_t canary_replica() const;
+
+    /** Tags every replica as running model generation @p generation
+     *  (registry bootstrap: the compiled-in model is generation 1). */
+    void tag_generation(std::uint64_t generation);
+
+    /** Copies of every replica's outcome/latency window. */
+    std::vector<ReplicaWindow> windows() const;
+
+    /** Zeroes every replica's window (canary observation start). */
+    void reset_windows();
 
     /**
      * Records a watchdog hang against @p replica: queues the demotion
@@ -254,6 +361,10 @@ class EnginePool
     /** The shared prepacked-constant cache (entries/bytes/hits). */
     const ConstantPackCache &pack_cache() const { return *pack_cache_; }
 
+    /** The pool's construction options (immutable; model registry
+     *  reads the per-replica injectors when recompiling replicas). */
+    const EnginePoolOptions &options() const { return options_; }
+
     EnginePoolStats stats() const;
     std::vector<ReplicaSnapshot> snapshot() const;
 
@@ -267,18 +378,24 @@ class EnginePool
         std::unique_ptr<Engine> engine;
         ReplicaState state = ReplicaState::kActive;
         bool leased = false;
+        bool draining = false;
         bool degraded_applied = false;
         double health_penalty = 0;
+        std::uint64_t generation = 0;
         std::int64_t served = 0;
         std::int64_t failures = 0;
         std::string last_fault;
         std::vector<PendingDemotion> pending_demotions;
         double pending_hang_penalty = 0;
+        ReplicaWindow window;
     };
 
     /** Best free active replica by health (kNoReplica when none);
-     *  @p exclude is skipped. Caller holds mutex_. */
-    std::size_t pick_free_active_locked(std::size_t exclude) const;
+     *  @p exclude and @p exclude2 are skipped, as are draining
+     *  replicas. Caller holds mutex_. */
+    std::size_t pick_free_active_locked(std::size_t exclude,
+                                        std::size_t exclude2 =
+                                            kNoReplica) const;
 
     /** Promotes one spare to active; kNoReplica when none. Caller
      *  holds mutex_. */
@@ -313,6 +430,9 @@ class EnginePool
     std::condition_variable replica_free_;
     std::vector<Replica> replicas_;
     bool degraded_mode_ = false;
+    std::size_t canary_replica_ = kNoReplica;
+    double canary_fraction_ = 0;
+    double canary_credit_ = 0;
     EnginePoolStats stats_;
 };
 

@@ -92,6 +92,22 @@ FaultInjector::arm_corruption(std::string node_name, std::string impl_name,
 }
 
 void
+FaultInjector::arm_model_corruption(std::string model_name,
+                                    CorruptionKind kind,
+                                    std::int64_t corrupt_from_call,
+                                    std::int64_t max_corruptions)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_corruption_armed_ = true;
+    model_corruption_name_ = std::move(model_name);
+    model_corruption_kind_ = kind;
+    model_corrupt_from_call_ = corrupt_from_call;
+    model_max_corruptions_ = max_corruptions;
+    model_corruption_calls_seen_ = 0;
+    model_corruptions_injected_ = 0;
+}
+
+void
 FaultInjector::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -118,17 +134,27 @@ FaultInjector::reset()
     max_corruptions_ = -1;
     corruption_calls_seen_ = 0;
     corruptions_injected_ = 0;
+    model_corruption_armed_ = false;
+    model_corruption_name_.clear();
+    model_corruption_kind_ = CorruptionKind::kNone;
+    model_corrupt_from_call_ = 0;
+    model_max_corruptions_ = -1;
+    model_corruption_calls_seen_ = 0;
+    model_corruptions_injected_ = 0;
 }
 
 InjectionDecision
 FaultInjector::decide(const std::string &node_name,
-                      const std::string &impl_name)
+                      const std::string &impl_name,
+                      const std::string &model_name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     InjectionDecision decision;
     decision.delay_ms = delay_ms_locked(node_name, impl_name);
     decision.fail = should_fail_locked(node_name, impl_name);
     decision.corruption = corruption_locked(node_name, impl_name);
+    if (decision.corruption == CorruptionKind::kNone)
+        decision.corruption = model_corruption_locked(model_name);
     return decision;
 }
 
@@ -215,6 +241,22 @@ FaultInjector::corruption_locked(const std::string &node_name,
     return corruption_kind_;
 }
 
+CorruptionKind
+FaultInjector::model_corruption_locked(const std::string &model_name)
+{
+    if (!model_corruption_armed_ || model_name.empty() ||
+        model_corruption_name_ != model_name)
+        return CorruptionKind::kNone;
+    const std::int64_t ordinal = model_corruption_calls_seen_++;
+    if (ordinal < model_corrupt_from_call_)
+        return CorruptionKind::kNone;
+    if (model_max_corruptions_ >= 0 &&
+        model_corruptions_injected_ >= model_max_corruptions_)
+        return CorruptionKind::kNone;
+    ++model_corruptions_injected_;
+    return model_corruption_kind_;
+}
+
 std::int64_t
 FaultInjector::faults_injected() const
 {
@@ -255,6 +297,13 @@ FaultInjector::corruption_calls_seen() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return corruption_calls_seen_;
+}
+
+std::int64_t
+FaultInjector::model_corruptions_injected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return model_corruptions_injected_;
 }
 
 } // namespace orpheus

@@ -109,18 +109,36 @@ class FaultInjector
                         std::int64_t corrupt_from_call = 0,
                         std::int64_t max_corruptions = -1);
 
+    /**
+     * Arms corruption injection scoped to a *model*: kernel invocations
+     * belonging to an engine whose graph name equals @p model_name are
+     * corrupted per @p kind, regardless of node or implementation.
+     * This is how chaos harnesses forge a bad canary on an injector
+     * shared across generations: the incumbent keeps running clean
+     * while every step of the named model misbehaves. Matching
+     * invocations with ordinal >= @p corrupt_from_call are damaged;
+     * @p max_corruptions < 0 means "no cap". Independent of the
+     * (node, impl) corruption matcher.
+     */
+    void arm_model_corruption(std::string model_name, CorruptionKind kind,
+                              std::int64_t corrupt_from_call = 0,
+                              std::int64_t max_corruptions = -1);
+
     /** Disarms all matchers and resets all counters. */
     void reset();
 
     /**
-     * Evaluates all three matchers for one kernel invocation under one
-     * lock acquisition and advances their counters together. This is
-     * what engines call: it keeps the per-invocation schedule coherent
-     * when multiple pool replicas share one injector and a chaos
-     * harness re-arms it concurrently.
+     * Evaluates all matchers for one kernel invocation under one lock
+     * acquisition and advances their counters together. This is what
+     * engines call: it keeps the per-invocation schedule coherent when
+     * multiple pool replicas share one injector and a chaos harness
+     * re-arms it concurrently. @p model_name is the executing engine's
+     * graph name (consulted by the model-corruption matcher; engines
+     * compiled before model matching existed pass "").
      */
     InjectionDecision decide(const std::string &node_name,
-                             const std::string &impl_name);
+                             const std::string &impl_name,
+                             const std::string &model_name = std::string());
 
     /**
      * Called by the engine before each kernel invocation; returns true
@@ -167,6 +185,10 @@ class FaultInjector
      *  arm_corruption(). */
     std::int64_t corruption_calls_seen() const;
 
+    /** Total corruptions injected by the model matcher since the last
+     *  arm_model_corruption()/reset(). */
+    std::int64_t model_corruptions_injected() const;
+
   private:
     // Matcher evaluation with mutex_ already held.
     bool should_fail_locked(const std::string &node_name,
@@ -175,6 +197,7 @@ class FaultInjector
                            const std::string &impl_name);
     CorruptionKind corruption_locked(const std::string &node_name,
                                      const std::string &impl_name);
+    CorruptionKind model_corruption_locked(const std::string &model_name);
 
     mutable std::mutex mutex_;
     bool armed_ = false;
@@ -202,6 +225,14 @@ class FaultInjector
     std::int64_t max_corruptions_ = -1;
     std::int64_t corruption_calls_seen_ = 0;
     std::int64_t corruptions_injected_ = 0;
+
+    bool model_corruption_armed_ = false;
+    std::string model_corruption_name_;
+    CorruptionKind model_corruption_kind_ = CorruptionKind::kNone;
+    std::int64_t model_corrupt_from_call_ = 0;
+    std::int64_t model_max_corruptions_ = -1;
+    std::int64_t model_corruption_calls_seen_ = 0;
+    std::int64_t model_corruptions_injected_ = 0;
 };
 
 } // namespace orpheus

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-size geometric latency histogram shared by the service-level
+ * stats and the per-replica canary windows in EnginePool.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace orpheus {
+
+/**
+ * Fixed-size geometric latency histogram: 64 buckets from 50 µs with
+ * ratio 1.3 cover ~50 µs to ~13 min at ≤30 % resolution. record() is
+ * O(log buckets); callers serialise access under their own mutex.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    void
+    record(double ms)
+    {
+        ++counts_[bucket_for(ms)];
+        ++total_;
+    }
+
+    std::int64_t count() const { return total_; }
+
+    /** Upper bound of the bucket holding the @p quantile-th sample
+     *  (quantile in [0,1]); 0 when empty. */
+    double
+    percentile(double quantile) const
+    {
+        if (total_ == 0)
+            return 0;
+        const double rank = quantile * static_cast<double>(total_);
+        std::int64_t seen = 0;
+        for (int i = 0; i < kBuckets; ++i) {
+            seen += counts_[i];
+            if (static_cast<double>(seen) >= rank)
+                return upper_bound(i);
+        }
+        return upper_bound(kBuckets - 1);
+    }
+
+    void
+    reset()
+    {
+        counts_.fill(0);
+        total_ = 0;
+    }
+
+    /** Accumulates @p other's samples into this histogram. */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        for (int i = 0; i < kBuckets; ++i)
+            counts_[i] += other.counts_[i];
+        total_ += other.total_;
+    }
+
+    static double
+    upper_bound(int bucket)
+    {
+        double bound = kFirstBoundMs;
+        for (int i = 0; i < bucket; ++i)
+            bound *= kRatio;
+        return bound;
+    }
+
+  private:
+    static constexpr double kFirstBoundMs = 0.05;
+    static constexpr double kRatio = 1.3;
+
+    static int
+    bucket_for(double ms)
+    {
+        double bound = kFirstBoundMs;
+        for (int i = 0; i < kBuckets - 1; ++i) {
+            if (ms <= bound)
+                return i;
+            bound *= kRatio;
+        }
+        return kBuckets - 1;
+    }
+
+    std::array<std::int64_t, kBuckets> counts_{};
+    std::int64_t total_ = 0;
+};
+
+} // namespace orpheus

@@ -1,0 +1,420 @@
+#include "runtime/model_registry.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/logging.hpp"
+#include "onnx/importer.hpp"
+
+namespace orpheus {
+
+namespace {
+
+double
+elapsed_ms_since(std::chrono::steady_clock::time_point start)
+{
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+bool
+same_value_infos(const std::vector<ValueInfo> &a,
+                 const std::vector<ValueInfo> &b, std::string *mismatch)
+{
+    if (a.size() != b.size()) {
+        std::ostringstream out;
+        out << "count " << b.size() << " vs incumbent " << a.size();
+        *mismatch = out.str();
+        return false;
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].name != b[i].name || a[i].dtype != b[i].dtype ||
+            !(a[i].shape == b[i].shape)) {
+            std::ostringstream out;
+            out << "'" << b[i].name << "' " << b[i].shape
+                << " vs incumbent '" << a[i].name << "' " << a[i].shape;
+            *mismatch = out.str();
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+to_string(GenerationState state)
+{
+    switch (state) {
+      case GenerationState::kLoading: return "loading";
+      case GenerationState::kCanary: return "canary";
+      case GenerationState::kRolling: return "rolling";
+      case GenerationState::kActive: return "active";
+      case GenerationState::kRolledBack: return "rolled-back";
+      case GenerationState::kQuarantined: return "quarantined";
+      case GenerationState::kRetired: return "retired";
+    }
+    return "invalid";
+}
+
+ModelRegistry::ModelRegistry(EnginePool &pool, EngineOptions engine_options)
+    : pool_(pool), engine_options_(std::move(engine_options))
+{
+    const Graph &graph = pool_.engine(0).graph();
+    signature_.inputs = graph.inputs();
+    signature_.outputs = graph.outputs();
+    last_generation_ = 1;
+    active_generation_ = 1;
+    active_model_ = graph.name();
+    pool_.tag_generation(1);
+
+    GenerationInfo info;
+    info.id = 1;
+    info.model_name = active_model_;
+    info.state = GenerationState::kActive;
+    info.detail = "compiled-in seed model";
+    generations_.push_back(std::move(info));
+}
+
+std::unique_ptr<Engine>
+ModelRegistry::compile_for_replica(
+    const Graph &graph, std::size_t replica,
+    const std::shared_ptr<ConstantPackCache> &cache)
+{
+    EngineOptions options = engine_options_;
+    options.pack_cache = cache;
+    options.execution_monitor = pool_.monitors().at(replica);
+    const auto &injectors = pool_.options().per_replica_injectors;
+    if (replica < injectors.size() && injectors[replica] != nullptr)
+        options.fault_injector = injectors[replica];
+    return std::make_unique<Engine>(Graph(graph), std::move(options));
+}
+
+Status
+ModelRegistry::check_signature(const Graph &graph) const
+{
+    std::string mismatch;
+    if (!same_value_infos(signature_.inputs, graph.inputs(), &mismatch))
+        return model_rejected_error("input signature mismatch: " + mismatch);
+    if (!same_value_infos(signature_.outputs, graph.outputs(), &mismatch))
+        return model_rejected_error("output signature mismatch: " +
+                                    mismatch);
+    return Status::ok();
+}
+
+Status
+ModelRegistry::probe_canary(std::size_t replica, double deadline_ms)
+{
+    Status why = internal_error("canary probe acquire failed");
+    EnginePool::Lease lease = pool_.acquire_specific(
+        replica, DeadlineToken::after_ms(deadline_ms), &why);
+    if (!lease.valid())
+        return why;
+
+    std::map<std::string, Tensor> inputs;
+    for (const ValueInfo &input : signature_.inputs)
+        inputs.emplace(input.name, Tensor(input.shape, input.dtype));
+    std::map<std::string, Tensor> outputs;
+    const auto started = std::chrono::steady_clock::now();
+    const Status verdict = lease.engine().try_run(
+        inputs, outputs, DeadlineToken::after_ms(deadline_ms));
+    pool_.release(std::move(lease), verdict, elapsed_ms_since(started));
+    if (!verdict.is_ok())
+        return verdict;
+
+    // A guard-less engine returns OK on a silently corrupted model;
+    // scan the probe outputs so a NaN-producing generation is rejected
+    // regardless of guard configuration.
+    for (const auto &[name, tensor] : outputs) {
+        if (tensor.dtype() != DataType::kFloat32 || !tensor.has_storage())
+            continue;
+        const float *data = tensor.data<float>();
+        for (std::int64_t i = 0; i < tensor.numel(); ++i)
+            if (!std::isfinite(data[i]))
+                return data_corruption_error(
+                    "canary probe output '" + name +
+                    "' contains non-finite values");
+    }
+    return Status::ok();
+}
+
+void
+ModelRegistry::set_state(std::uint64_t generation, GenerationState state,
+                         std::string detail)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (GenerationInfo &info : generations_) {
+        if (info.id != generation)
+            continue;
+        info.state = state;
+        if (!detail.empty())
+            info.detail = std::move(detail);
+        return;
+    }
+}
+
+RolloutReport
+ModelRegistry::roll_out(Graph graph, const RolloutOptions &options)
+{
+    RolloutReport report;
+    const std::uint64_t incumbent_generation = active_generation();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (rollout_in_progress_) {
+            report.status = failed_precondition_error(
+                "a model rollout is already in progress");
+            report.detail = report.status.message();
+            return report;
+        }
+        rollout_in_progress_ = true;
+        report.generation = ++last_generation_;
+        GenerationInfo info;
+        info.id = report.generation;
+        info.model_name = graph.name();
+        info.state = GenerationState::kLoading;
+        generations_.push_back(std::move(info));
+    }
+
+    // Finishes the rollout as a rejection. `state` distinguishes a
+    // generation that never took traffic (kQuarantined) from one
+    // rolled back after its canary phase (kRolledBack).
+    const auto reject = [&](Status status,
+                            GenerationState state) -> RolloutReport {
+        ORPHEUS_WARN("model registry: generation "
+                     << report.generation << " (" << graph.name() << ") "
+                     << to_string(state) << ": " << status.to_string());
+        set_state(report.generation, state, status.message());
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++rollbacks_;
+            rollout_in_progress_ = false;
+        }
+        report.rolled_back = state == GenerationState::kRolledBack;
+        report.detail = status.message();
+        report.status = std::move(status);
+        return report;
+    };
+
+    // --- LOADING: everything here is off the hot path -------------------
+    Status signature_check = check_signature(graph);
+    if (!signature_check.is_ok())
+        return reject(std::move(signature_check),
+                      GenerationState::kQuarantined);
+
+    std::size_t canary = EnginePool::kNoReplica;
+    for (const ReplicaSnapshot &snap : pool_.snapshot()) {
+        if (snap.state == ReplicaState::kActive && !snap.draining) {
+            canary = snap.id;
+            break;
+        }
+    }
+    if (canary == EnginePool::kNoReplica)
+        return reject(failed_precondition_error(
+                          "no active replica available to canary on"),
+                      GenerationState::kQuarantined);
+
+    // One ConstantPackCache per generation: the first compile pays the
+    // prepack cost here, off the hot path; every subsequent replica of
+    // this generation hits the cache.
+    auto cache = std::make_shared<ConstantPackCache>();
+    std::unique_ptr<Engine> canary_engine;
+    try {
+        canary_engine = compile_for_replica(graph, canary, cache);
+    } catch (const std::exception &error) {
+        return reject(model_rejected_error(
+                          std::string("generation failed to compile: ") +
+                          error.what()),
+                      GenerationState::kQuarantined);
+    }
+
+    // --- CANARY: drain-and-swap one replica ------------------------------
+    set_state(report.generation, GenerationState::kCanary);
+    Status swap_why = internal_error("swap failed");
+    std::unique_ptr<Engine> displaced = pool_.swap_replica(
+        canary, std::move(canary_engine), report.generation,
+        DeadlineToken::after_ms(options.drain_deadline_ms), &swap_why);
+    if (displaced == nullptr)
+        return reject(std::move(swap_why), GenerationState::kQuarantined);
+
+    // Restores the displaced incumbent engine onto the canary replica.
+    const auto roll_back = [&]() {
+        Status restore_why;
+        std::unique_ptr<Engine> bad = pool_.swap_replica(
+            canary, std::move(displaced), incumbent_generation,
+            DeadlineToken::after_ms(options.drain_deadline_ms),
+            &restore_why);
+        if (bad == nullptr)
+            // The drain deadline expired mid-rollback; the replica
+            // keeps the rejected engine but stays health-governed (the
+            // pool will quarantine it if it keeps misbehaving).
+            ORPHEUS_WARN("model registry: rollback swap of replica "
+                         << canary << " failed: "
+                         << restore_why.to_string());
+    };
+
+    for (int probe = 0; probe < options.warmup_probes; ++probe) {
+        Status verdict =
+            probe_canary(canary, options.drain_deadline_ms);
+        if (!verdict.is_ok()) {
+            roll_back();
+            return reject(model_rejected_error(
+                              "canary warm-up probe failed: " +
+                              verdict.to_string()),
+                          GenerationState::kQuarantined);
+        }
+    }
+
+    // Observe a slice of live traffic on the canary.
+    if (options.min_canary_samples > 0) {
+        pool_.reset_windows();
+        pool_.set_canary(canary, options.canary_fraction);
+        const auto observe_start = std::chrono::steady_clock::now();
+        for (;;) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            const std::vector<ReplicaWindow> windows = pool_.windows();
+            if (windows[canary].served >= options.min_canary_samples ||
+                elapsed_ms_since(observe_start) >
+                    options.observe_timeout_ms)
+                break;
+        }
+        const std::vector<ReplicaWindow> windows = pool_.windows();
+        pool_.set_canary(EnginePool::kNoReplica, 0);
+        report.canary_samples = windows[canary].served;
+
+        ReplicaWindow incumbent;
+        for (std::size_t i = 0; i < windows.size(); ++i)
+            if (i != canary)
+                incumbent.merge(windows[i]);
+
+        std::ostringstream verdict;
+        bool failed = false;
+        const ReplicaWindow &can = windows[canary];
+        if (can.bad() > 0 &&
+            can.error_rate() >
+                incumbent.error_rate() + options.max_error_rate_excess) {
+            failed = true;
+            verdict << "canary error rate " << can.error_rate()
+                    << " exceeds incumbent " << incumbent.error_rate()
+                    << " by more than " << options.max_error_rate_excess;
+        } else if (can.latency.count() > 0 &&
+                   incumbent.latency.count() > 0) {
+            const double incumbent_p99 =
+                incumbent.latency.percentile(0.99);
+            const double canary_p99 = can.latency.percentile(0.99);
+            if (incumbent_p99 > 0 &&
+                canary_p99 > incumbent_p99 * options.max_p99_ratio) {
+                failed = true;
+                verdict << "canary P99 " << canary_p99
+                        << " ms exceeds incumbent P99 " << incumbent_p99
+                        << " ms by more than x" << options.max_p99_ratio;
+            }
+        }
+        if (failed) {
+            roll_back();
+            return reject(model_rejected_error(verdict.str()),
+                          GenerationState::kRolledBack);
+        }
+    }
+
+    // --- ROLLING: drain-and-swap the rest, one at a time ------------------
+    set_state(report.generation, GenerationState::kRolling);
+    report.replicas_swapped = 1; // the canary
+    std::ostringstream rolling_detail;
+    for (const ReplicaSnapshot &snap : pool_.snapshot()) {
+        if (snap.id == canary || snap.generation == report.generation)
+            continue;
+        std::unique_ptr<Engine> replacement;
+        try {
+            replacement = compile_for_replica(graph, snap.id, cache);
+        } catch (const std::exception &error) {
+            rolling_detail << "; replica " << snap.id
+                           << " recompile failed: " << error.what();
+            continue;
+        }
+        Status why = internal_error("swap failed");
+        std::unique_ptr<Engine> old = pool_.swap_replica(
+            snap.id, std::move(replacement), report.generation,
+            DeadlineToken::after_ms(options.drain_deadline_ms), &why);
+        if (old != nullptr)
+            ++report.replicas_swapped;
+        else
+            rolling_detail << "; replica " << snap.id
+                           << " swap failed: " << why.to_string();
+    }
+
+    // --- ACTIVE ----------------------------------------------------------
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (GenerationInfo &info : generations_)
+            if (info.id == incumbent_generation &&
+                info.state == GenerationState::kActive)
+                info.state = GenerationState::kRetired;
+        active_generation_ = report.generation;
+        active_model_ = graph.name();
+        // Pin the new generation's pack cache (the swapped engines
+        // reference it too); the retired generation's cache — if it
+        // was registry-owned — is released here.
+        active_cache_ = cache;
+        rollout_in_progress_ = false;
+    }
+    std::string detail = "promoted to " +
+                         std::to_string(report.replicas_swapped) +
+                         " replica(s)" + rolling_detail.str();
+    set_state(report.generation, GenerationState::kActive, detail);
+    report.detail = std::move(detail);
+    ORPHEUS_WARN("model registry: generation "
+                 << report.generation << " (" << graph.name()
+                 << ") is now active on " << report.replicas_swapped
+                 << " replica(s)");
+    return report;
+}
+
+RolloutReport
+ModelRegistry::roll_out_file(const std::string &path,
+                             const RolloutOptions &options)
+{
+    Graph graph;
+    const Status imported = import_onnx_file(path, graph);
+    if (!imported.is_ok()) {
+        RolloutReport report;
+        report.status = model_rejected_error("failed to import '" + path +
+                                             "': " + imported.to_string());
+        report.detail = report.status.message();
+        return report;
+    }
+    return roll_out(std::move(graph), options);
+}
+
+std::vector<GenerationInfo>
+ModelRegistry::generations() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return generations_;
+}
+
+std::uint64_t
+ModelRegistry::active_generation() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_generation_;
+}
+
+std::string
+ModelRegistry::active_model() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_model_;
+}
+
+std::int64_t
+ModelRegistry::rollbacks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rollbacks_;
+}
+
+} // namespace orpheus

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * ModelRegistry — versioned model lifecycle on top of EnginePool:
+ * off-hot-path preparation, canary rollout, automatic rollback.
+ *
+ * Updating a deployed model must not drop requests. The registry turns
+ * "replace the model" into a staged state machine per *generation* (one
+ * loaded model version):
+ *
+ *   LOADING ──compile + signature check──▶ CANARY ──verdict──▶ ROLLING
+ *      │                                     │                    │
+ *      │ compile error /                     │ worse than         │ every
+ *      │ signature mismatch                  │ incumbent          │ replica
+ *      ▼                                     ▼                    ▼ swapped
+ *   QUARANTINED                         ROLLED_BACK            ACTIVE
+ *                                    (incumbent untouched)  (old gen RETIRED)
+ *
+ *  - LOADING: the new generation's engine is compiled entirely off the
+ *    hot path, with its *own* ConstantPackCache (plan-time preparation
+ *    from PR 4 runs here, so prepacking cost is paid before any live
+ *    request sees the generation). The graph signature must match the
+ *    incumbent's — clients keep sending the same tensors.
+ *  - CANARY: one replica is drained (EnginePool::swap_replica — new
+ *    leases skip it, in-flight ones finish, so capacity never dips
+ *    below N−1) and swapped to the new generation. Zero-input warm-up
+ *    probes catch hard-broken models even with no traffic; then a
+ *    configurable slice of live acquires is routed to the canary while
+ *    per-replica outcome/latency windows accumulate.
+ *  - Verdict: the canary's corruption/fault/hang rate and P99 are
+ *    compared against the merged incumbent windows. Fail → the
+ *    displaced incumbent engine (kept aside) is swapped straight back,
+ *    the generation is quarantined, and roll_out returns the typed
+ *    kModelRejected status. The incumbent never stopped serving.
+ *  - ROLLING: on pass, the remaining replicas and warm spares are
+ *    drained-and-swapped one at a time (the generation's pack cache
+ *    makes each compile a cache hit). The old generation is RETIRED and
+ *    its pack cache released.
+ *
+ * Thread-safe: roll_out serialises against itself (a second concurrent
+ * rollout is rejected with kFailedPrecondition, not queued), and all
+ * introspection is safe against a rollout in progress.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/engine_pool.hpp"
+
+namespace orpheus {
+
+/** Lifecycle state of one model generation. */
+enum class GenerationState {
+    kLoading = 0,  ///< Compiling + preparing off the hot path.
+    kCanary,       ///< One replica swapped; observing live traffic.
+    kRolling,      ///< Verdict passed; swapping remaining replicas.
+    kActive,       ///< Serving on every replica.
+    kRolledBack,   ///< Canary verdict failed; incumbent restored.
+    kQuarantined,  ///< Rejected before taking traffic (compile error,
+                   ///< signature mismatch, failed warm-up probe).
+    kRetired,      ///< Displaced by a newer active generation.
+};
+
+const char *to_string(GenerationState state);
+
+/** Tuning knobs for one rollout. Defaults suit tests and small pools;
+ *  production deployments raise the sample count and timeout. */
+struct RolloutOptions {
+    /** Slice of live acquires routed to the canary replica. */
+    double canary_fraction = 0.25;
+
+    /** Zero-input probe inferences run on the canary before it takes
+     *  live traffic; any non-OK or non-finite result rejects the
+     *  generation outright. */
+    int warmup_probes = 2;
+
+    /** Live canary samples required before the verdict; 0 skips the
+     *  observation phase (probes only). */
+    std::int64_t min_canary_samples = 0;
+
+    /** Give up waiting for min_canary_samples after this long and
+     *  judge on whatever the windows hold. */
+    double observe_timeout_ms = 2000;
+
+    /** The canary's error rate may exceed the incumbent's by at most
+     *  this much. */
+    double max_error_rate_excess = 0.05;
+
+    /** The canary's P99 may be at most this multiple of the
+     *  incumbent's (histogram buckets are ~30 % wide; keep >= 2). */
+    double max_p99_ratio = 4.0;
+
+    /** Per-replica drain deadline during swaps. */
+    double drain_deadline_ms = 5000;
+};
+
+/** Introspection view of one generation (CLI tables, stats). */
+struct GenerationInfo {
+    std::uint64_t id = 0;
+    std::string model_name;
+    GenerationState state = GenerationState::kLoading;
+    /** Rejection reason / rollout detail. */
+    std::string detail;
+};
+
+/** Outcome of one roll_out call. */
+struct RolloutReport {
+    /** OK on full promotion; kModelRejected on rollback/quarantine. */
+    Status status;
+    std::uint64_t generation = 0;
+    /** Replicas (including spares) now running the new generation. */
+    std::size_t replicas_swapped = 0;
+    /** Live requests the canary served during observation. */
+    std::int64_t canary_samples = 0;
+    bool rolled_back = false;
+    std::string detail;
+};
+
+class ModelRegistry
+{
+  public:
+    /**
+     * Wraps @p pool. @p engine_options is the template for compiling
+     * new generations (fault injector, guard policy, ...); the
+     * registry overrides the pack cache (one per generation) and the
+     * execution monitor (the target replica's, so watchdog attribution
+     * survives swaps). The incumbent model becomes generation 1.
+     */
+    ModelRegistry(EnginePool &pool, EngineOptions engine_options);
+
+    ModelRegistry(const ModelRegistry &) = delete;
+    ModelRegistry &operator=(const ModelRegistry &) = delete;
+
+    /**
+     * Stages @p graph as a new generation and runs the full lifecycle:
+     * compile off the hot path, canary one replica, judge against the
+     * incumbent, then roll forward (all replicas) or roll back (none).
+     * Blocks the calling thread for the duration — live traffic keeps
+     * flowing through the pool throughout. A concurrent rollout is
+     * rejected with kFailedPrecondition.
+     */
+    RolloutReport roll_out(Graph graph, const RolloutOptions &options = {});
+
+    /** Imports @p path as ONNX and rolls it out. */
+    RolloutReport roll_out_file(const std::string &path,
+                                const RolloutOptions &options = {});
+
+    /** All generations, oldest first. */
+    std::vector<GenerationInfo> generations() const;
+
+    /** Id of the generation currently serving (0 before the first). */
+    std::uint64_t active_generation() const;
+
+    /** Model name of the active generation. */
+    std::string active_model() const;
+
+    /** Generations rejected (rolled back or quarantined) so far. */
+    std::int64_t rollbacks() const;
+
+  private:
+    struct Signature {
+        std::vector<ValueInfo> inputs;
+        std::vector<ValueInfo> outputs;
+    };
+
+    /** Compiles @p graph for replica @p replica of generation @p id.
+     *  Throws on compile errors (caller maps to kModelRejected). */
+    std::unique_ptr<Engine>
+    compile_for_replica(const Graph &graph, std::size_t replica,
+                        const std::shared_ptr<ConstantPackCache> &cache);
+
+    /** Signature compatibility of @p graph vs the incumbent. */
+    Status check_signature(const Graph &graph) const;
+
+    /** Runs one zero-input inference on the canary replica; non-OK or
+     *  non-finite outputs reject the generation. */
+    Status probe_canary(std::size_t replica, double deadline_ms);
+
+    void set_state(std::uint64_t generation, GenerationState state,
+                   std::string detail = std::string());
+
+    EnginePool &pool_;
+    EngineOptions engine_options_;
+
+    mutable std::mutex mutex_;
+    std::vector<GenerationInfo> generations_;
+    std::uint64_t last_generation_ = 0;
+    std::uint64_t active_generation_ = 0;
+    std::string active_model_;
+    std::int64_t rollbacks_ = 0;
+    bool rollout_in_progress_ = false;
+    Signature signature_;
+    /** Active generation's pack cache, pinned so rollback targets stay
+     *  warm; the pool itself pins generation 1's. */
+    std::shared_ptr<ConstantPackCache> active_cache_;
+};
+
+} // namespace orpheus

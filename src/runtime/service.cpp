@@ -61,6 +61,7 @@ InferenceService::InferenceService(Graph graph,
     pool_options.per_replica_injectors = options_.per_replica_injectors;
     pool_ = std::make_unique<EnginePool>(std::move(graph), engine_options_,
                                          std::move(pool_options));
+    registry_ = std::make_unique<ModelRegistry>(*pool_, engine_options_);
     footprint_ = pool_->engine(0).request_footprint_bytes();
 
     // Retry budget: a token bucket refilled by traffic. The small
@@ -111,10 +112,15 @@ InferenceService::submit(std::map<std::string, Tensor> inputs,
     std::unique_lock<std::mutex> lock(mutex_);
     ++stats_.submitted;
 
-    if (stopping_) {
+    if (stopping_ || draining_) {
+        if (draining_ && !stopping_)
+            ++stats_.rejected_shutdown;
+        const bool draining = draining_ && !stopping_;
         lock.unlock();
-        promise.set_value(rejected(
-            failed_precondition_error("inference service is stopped")));
+        promise.set_value(rejected(failed_precondition_error(
+            draining ? "inference service is shutting down; "
+                       "not accepting new work"
+                     : "inference service is stopped")));
         return future;
     }
     if (budget != 0 && footprint_ > budget) {
@@ -185,6 +191,7 @@ InferenceService::worker_loop(std::size_t worker)
             }
             request = std::move(queue_.front());
             queue_.pop_front();
+            ++in_flight_;
             update_brownout_locked();
             if (brownout_ &&
                 request.priority == RequestPriority::kBatch) {
@@ -233,6 +240,7 @@ InferenceService::worker_loop(std::size_t worker)
                 retry_tokens_ = std::min(
                     retry_token_cap_,
                     retry_tokens_ + options_.retry_budget);
+            --in_flight_;
         }
         request.promise.set_value(std::move(response));
     }
@@ -260,8 +268,9 @@ InferenceService::dispatch_with_retries(Request &request,
         const auto started = std::chrono::steady_clock::now();
         response.status =
             lease.engine().try_run(request.inputs, response.outputs, token);
-        response.run_ms += elapsed_ms_since(started);
-        pool_->release(std::move(lease), response.status);
+        const double attempt_ms = elapsed_ms_since(started);
+        response.run_ms += attempt_ms;
+        pool_->release(std::move(lease), response.status, attempt_ms);
 
         if (response.status.is_ok())
             return;
@@ -282,8 +291,10 @@ InferenceService::dispatch_with_retries(Request &request,
         }
         if (!retryable || attempt >= options_.max_retries)
             return;
-        if (!try_consume_retry_token())
+        if (!try_consume_retry_token()) {
+            response.retry_denied_by_budget = true;
             return;
+        }
 
         const double exp_backoff =
             options_.retry_backoff_ms *
@@ -411,6 +422,10 @@ InferenceService::stats() const
     merged.quarantines += pool_stats.quarantines;
     merged.probes += pool_stats.probes;
     merged.readmissions += pool_stats.readmissions;
+    merged.model_swaps = pool_stats.swaps;
+    merged.canary_routed = pool_stats.canary_routed;
+    merged.active_generation = registry_->active_generation();
+    merged.model_rollbacks = registry_->rollbacks();
     return merged;
 }
 
@@ -449,6 +464,107 @@ InferenceService::stop()
     workers_.clear();
     if (watchdog_)
         watchdog_->stop();
+}
+
+ShutdownReport
+InferenceService::shutdown(double deadline_ms)
+{
+    const auto started = std::chrono::steady_clock::now();
+    const DeadlineToken deadline =
+        deadline_ms > 0 ? DeadlineToken::after_ms(deadline_ms)
+                        : DeadlineToken::unlimited();
+    ShutdownReport report;
+
+    std::size_t queued_at_entry = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true; // submit() now rejects; workers keep going.
+        queued_at_entry = queue_.size();
+    }
+
+    bool forced = false;
+    for (;;) {
+        std::deque<Request> shed;
+        std::string shed_reason;
+        bool drained = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (queue_.empty() && in_flight_ == 0) {
+                drained = true;
+            } else if (deadline.expired()) {
+                // Out of time: everything still queued is shed and
+                // in-flight work is cancelled below.
+                std::swap(shed, queue_);
+                shed_reason = "shutdown deadline expired; "
+                              "shedding queued work";
+                forced = true;
+            } else if (deadline.has_deadline()) {
+                // Tight deadline: estimate the backlog cost from the
+                // recent latency P50 and shed batch-priority work
+                // first, keeping interactive requests flowing.
+                const double per_request_ms =
+                    latency_.count() > 0 ? latency_.percentile(0.50)
+                                         : 1.0;
+                const double backlog_ms =
+                    per_request_ms * static_cast<double>(
+                                         queue_.size() + in_flight_);
+                if (backlog_ms > deadline.remaining_ms()) {
+                    for (auto it = queue_.begin(); it != queue_.end();) {
+                        if (it->priority == RequestPriority::kBatch) {
+                            shed.push_back(std::move(*it));
+                            it = queue_.erase(it);
+                        } else {
+                            ++it;
+                        }
+                    }
+                    shed_reason =
+                        "shutdown deadline is tight; shedding "
+                        "batch-priority work";
+                }
+            }
+            stats_.shutdown_shed +=
+                static_cast<std::int64_t>(shed.size());
+        }
+        report.shed += static_cast<std::int64_t>(shed.size());
+        for (Request &request : shed)
+            request.promise.set_value(
+                rejected(resource_exhausted_error(shed_reason)));
+        if (drained)
+            break;
+        if (forced) {
+            // Unblock wedged or long-running in-flight requests; their
+            // workers surface kDeadlineExceeded and release the lease.
+            for (std::size_t i = 0; i < pool_->replica_count(); ++i)
+                pool_->monitor(i).cancel_active_request();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    stop();
+    report.flushed =
+        static_cast<std::int64_t>(queued_at_entry) - report.shed;
+    if (report.flushed < 0)
+        report.flushed = 0;
+    report.duration_ms = elapsed_ms_since(started);
+    report.status =
+        forced ? deadline_exceeded_error(
+                     "shutdown deadline expired; in-flight work was "
+                     "cancelled and queued work shed")
+               : Status::ok();
+    return report;
+}
+
+RolloutReport
+InferenceService::reload(Graph graph, const RolloutOptions &options)
+{
+    return registry_->roll_out(std::move(graph), options);
+}
+
+RolloutReport
+InferenceService::reload_file(const std::string &path,
+                              const RolloutOptions &options)
+{
+    return registry_->roll_out_file(path, options);
 }
 
 const Engine &

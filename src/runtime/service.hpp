@@ -55,6 +55,8 @@
 #include "runtime/deadline.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/engine_pool.hpp"
+#include "runtime/latency_histogram.hpp"
+#include "runtime/model_registry.hpp"
 #include "runtime/watchdog.hpp"
 
 namespace orpheus {
@@ -154,71 +156,23 @@ struct InferenceResponse {
     double run_ms = 0;
     /** Dispatch attempts beyond the first. */
     int retries = 0;
+    /** True when a failover retry would have run but the retry token
+     *  bucket was empty — the status is the last attempt's error. */
+    bool retry_denied_by_budget = false;
 };
 
-/**
- * Fixed-size geometric latency histogram: 64 buckets from 50 µs with
- * ratio 1.3 cover ~50 µs to ~13 min at ≤30 % resolution. record() is
- * O(log buckets); the service calls it under its stats mutex.
- */
-class LatencyHistogram
-{
-  public:
-    static constexpr int kBuckets = 64;
-
-    void
-    record(double ms)
-    {
-        ++counts_[bucket_for(ms)];
-        ++total_;
-    }
-
-    std::int64_t count() const { return total_; }
-
-    /** Upper bound of the bucket holding the @p quantile-th sample
-     *  (quantile in [0,1]); 0 when empty. */
-    double
-    percentile(double quantile) const
-    {
-        if (total_ == 0)
-            return 0;
-        const double rank = quantile * static_cast<double>(total_);
-        std::int64_t seen = 0;
-        for (int i = 0; i < kBuckets; ++i) {
-            seen += counts_[i];
-            if (static_cast<double>(seen) >= rank)
-                return upper_bound(i);
-        }
-        return upper_bound(kBuckets - 1);
-    }
-
-    static double
-    upper_bound(int bucket)
-    {
-        double bound = kFirstBoundMs;
-        for (int i = 0; i < bucket; ++i)
-            bound *= kRatio;
-        return bound;
-    }
-
-  private:
-    static constexpr double kFirstBoundMs = 0.05;
-    static constexpr double kRatio = 1.3;
-
-    static int
-    bucket_for(double ms)
-    {
-        double bound = kFirstBoundMs;
-        for (int i = 0; i < kBuckets - 1; ++i) {
-            if (ms <= bound)
-                return i;
-            bound *= kRatio;
-        }
-        return kBuckets - 1;
-    }
-
-    std::array<std::int64_t, kBuckets> counts_{};
-    std::int64_t total_ = 0;
+/** Outcome of one graceful shutdown. */
+struct ShutdownReport {
+    /** OK when everything drained inside the deadline; otherwise
+     *  kDeadlineExceeded (in-flight work was cancelled). */
+    Status status;
+    /** Queued requests completed during the drain. */
+    std::int64_t flushed = 0;
+    /** Queued requests failed without dispatch (batch-priority work
+     *  shed to protect the deadline, plus everything remaining when
+     *  it expired). */
+    std::int64_t shed = 0;
+    double duration_ms = 0;
 };
 
 /** Monotonic counters; a consistent snapshot is returned by stats(). */
@@ -261,6 +215,22 @@ struct ServiceStats {
     std::int64_t brownout_exited = 0;
     /** Batch-priority requests shed while browned out. */
     std::int64_t brownout_shed = 0;
+
+    // --- Model lifecycle (registry/pool-backed) ---------------------------
+    /** Generation currently serving (1 = the compiled-in seed). */
+    std::uint64_t active_generation = 1;
+    /** Generations rejected (rolled back or quarantined). */
+    std::int64_t model_rollbacks = 0;
+    /** Replica engines drained-and-swapped across all rollouts. */
+    std::int64_t model_swaps = 0;
+    /** Acquires routed to a canary replica by its traffic slice. */
+    std::int64_t canary_routed = 0;
+
+    // --- Shutdown ---------------------------------------------------------
+    /** Submissions rejected because a shutdown had started. */
+    std::int64_t rejected_shutdown = 0;
+    /** Queued requests shed by shutdown(deadline). */
+    std::int64_t shutdown_shed = 0;
 
     // --- Latency (histogram-backed, executed requests) --------------------
     double latency_p50_ms = 0;
@@ -321,6 +291,36 @@ class InferenceService
      */
     void stop();
 
+    /**
+     * Graceful shutdown: stops admission immediately (new submissions
+     * are rejected with kFailedPrecondition), then drains. While the
+     * deadline allows, queued work is flushed through the workers;
+     * when the remaining budget cannot cover the backlog (estimated
+     * from the recent latency P50), batch-priority work is shed first
+     * with kResourceExhausted, keeping interactive requests. When the
+     * deadline expires outright, everything still queued is shed and
+     * in-flight requests are cancelled through their replica monitors.
+     * Returns once no lease is held and all threads are joined.
+     * @p deadline_ms <= 0 means unlimited (flush everything).
+     */
+    ShutdownReport shutdown(double deadline_ms = 0);
+
+    /**
+     * Hot-swaps the model to @p graph through the registry's canary
+     * lifecycle (see model_registry.hpp): off-hot-path compile, canary
+     * one replica, judge against the incumbent, roll forward or roll
+     * back. Callable while serving; live traffic keeps flowing. The
+     * new graph's signature must match the incumbent's.
+     */
+    RolloutReport reload(Graph graph, const RolloutOptions &options = {});
+
+    /** Imports @p path as ONNX and reloads onto it. */
+    RolloutReport reload_file(const std::string &path,
+                              const RolloutOptions &options = {});
+
+    /** The model registry (generation table, active model). */
+    const ModelRegistry &registry() const { return *registry_; }
+
     /** Replica @p index's engine, for introspection in tests/tools. */
     const Engine &engine(std::size_t index = 0) const;
 
@@ -356,10 +356,12 @@ class InferenceService
     EngineOptions engine_options_;
     ServiceOptions options_;
     std::unique_ptr<EnginePool> pool_;
+    std::unique_ptr<ModelRegistry> registry_;
     std::size_t footprint_ = 0;
 
     mutable std::mutex mutex_; ///< Guards queue_, stats_, brownout and
-                               ///< retry-budget state, stopping_.
+                               ///< retry-budget state, stopping_,
+                               ///< draining_, in_flight_.
     std::condition_variable work_ready_;
     std::deque<Request> queue_;
     ServiceStats stats_;
@@ -372,6 +374,10 @@ class InferenceService
     double retry_token_cap_ = 0;
     bool brownout_ = false;
     bool stopping_ = false;
+    /** Admission closed by shutdown(); workers keep draining. */
+    bool draining_ = false;
+    /** Requests popped by a worker but not yet completed. */
+    std::size_t in_flight_ = 0;
 
     std::vector<std::thread> workers_;
     std::unique_ptr<Watchdog> watchdog_;

@@ -168,6 +168,7 @@ TEST(CApi, ErrorCodesAreStableAbiValues)
     EXPECT_EQ(ORPHEUS_ERR_OUT_OF_RANGE, -9);
     EXPECT_EQ(ORPHEUS_ERR_FAILED_PRECONDITION, -10);
     EXPECT_EQ(ORPHEUS_ERR_PARSE, -11);
+    EXPECT_EQ(ORPHEUS_ERR_MODEL_REJECTED, -12);
 }
 
 TEST(CApi, StatusCodesRoundTripThroughCCodes)
@@ -185,6 +186,7 @@ TEST(CApi, StatusCodesRoundTripThroughCCodes)
         StatusCode::kDeadlineExceeded,
         StatusCode::kResourceExhausted,
         StatusCode::kDataCorruption,
+        StatusCode::kModelRejected,
     };
     for (const StatusCode code : all) {
         const int c_code = orpheus::capi::to_c_code(code);
@@ -304,6 +306,56 @@ TEST(CApi, ServiceLifecycleRunAndStats)
     orpheus_service_destroy(nullptr); // Must be a safe no-op.
     EXPECT_EQ(orpheus_service_create_zoo(nullptr, nullptr, &config),
               nullptr);
+}
+
+TEST(CApi, ServiceReloadAndShutdown)
+{
+    orpheus_service_config config{};
+    config.workers = 1;
+    config.replicas = 2;
+    orpheus_service *service =
+        orpheus_service_create_zoo("tiny-cnn", nullptr, &config);
+    ASSERT_NE(service, nullptr) << orpheus_last_error();
+
+    // A model with a different signature is rejected through the
+    // canary lifecycle; the incumbent keeps serving.
+    EXPECT_EQ(orpheus_service_reload_zoo(service, "tiny-mlp", nullptr,
+                                         /*canary_fraction=*/0,
+                                         /*min_canary_samples=*/0),
+              ORPHEUS_ERR_MODEL_REJECTED);
+    orpheus_service_stats stats{};
+    ASSERT_EQ(orpheus_service_query_stats(service, &stats), ORPHEUS_OK);
+    EXPECT_EQ(stats.active_generation, 1u);
+    EXPECT_EQ(stats.model_rollbacks, 1);
+
+    std::vector<float> input(3 * 8 * 8, 0.25f);
+    std::vector<float> output(10, -1.0f);
+    ASSERT_EQ(orpheus_service_run(service, input.data(), input.size(),
+                                  output.data(), output.size(), 0,
+                                  nullptr),
+              ORPHEUS_OK)
+        << orpheus_last_error();
+
+    // Reloading onto a signature-compatible model promotes it.
+    ASSERT_EQ(orpheus_service_reload_zoo(service, "tiny-cnn", nullptr, 0,
+                                         0),
+              ORPHEUS_OK)
+        << orpheus_last_error();
+    ASSERT_EQ(orpheus_service_query_stats(service, &stats), ORPHEUS_OK);
+    // The rejected generation consumed id 2; the promoted one is 3.
+    EXPECT_EQ(stats.active_generation, 3u);
+    EXPECT_GE(stats.model_swaps, 2);
+
+    EXPECT_EQ(orpheus_service_shutdown(service, /*deadline_ms=*/0),
+              ORPHEUS_OK);
+    // After shutdown the service rejects work but stays queryable.
+    EXPECT_NE(orpheus_service_run(service, input.data(), input.size(),
+                                  output.data(), output.size(), 0,
+                                  nullptr),
+              ORPHEUS_OK);
+    EXPECT_EQ(orpheus_service_shutdown(nullptr, 0),
+              ORPHEUS_ERR_INVALID_ARGUMENT);
+    orpheus_service_destroy(service);
 }
 
 } // namespace

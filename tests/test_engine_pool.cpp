@@ -339,6 +339,71 @@ TEST(EnginePool, QuarantineProbeReadmitsRecoveredReplica)
     EXPECT_EQ(stats.active_replicas, 1u);
 }
 
+/**
+ * Probe readmission racing concurrent acquire(): replicas fault in
+ * bursts (quarantined at threshold 1.0, then the fault budget runs
+ * dry, the readmission probe passes, and the replica is revived) while
+ * several threads hammer acquire/run/release the whole time. The
+ * nightly chaos soak loops this suite under TSan, so the test's job is
+ * to put revive() and the acquire wait path on a collision course; the
+ * assertions check the ledger still balances afterwards.
+ */
+TEST(EnginePool, ProbeReadmissionRacesConcurrentAcquires)
+{
+    set_global_num_threads(1);
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // A finite fault budget shared by both replicas: enough failures
+    // to quarantine them repeatedly, then probes run clean and readmit.
+    engine_options.fault_injector->arm("", "", /*fail_from_call=*/0,
+                                       /*max_faults=*/12);
+
+    EnginePoolOptions pool_options;
+    pool_options.replicas = 2;
+    pool_options.quarantine_threshold = 1.0;
+    EnginePool pool(models::tiny_cnn(), engine_options, pool_options);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 24;
+    std::atomic<std::int64_t> leased{0};
+    std::atomic<std::int64_t> denied{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                Status why;
+                EnginePool::Lease lease =
+                    pool.acquire(DeadlineToken::after_ms(30000),
+                                 EnginePool::kNoReplica, &why);
+                if (!lease.valid()) {
+                    // Both replicas down mid-burst: a typed rejection,
+                    // never a hang or a torn lease.
+                    EXPECT_FALSE(why.is_ok());
+                    ++denied;
+                    continue;
+                }
+                std::map<std::string, Tensor> outputs;
+                const Status verdict = lease.engine().try_run(
+                    cnn_inputs(0xace0 +
+                               static_cast<std::uint64_t>(t * 100 + i)),
+                    outputs);
+                pool.release(std::move(lease), verdict);
+                ++leased;
+            }
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const EnginePoolStats stats = pool.stats();
+    EXPECT_EQ(leased.load() + denied.load(), kThreads * kPerThread);
+    EXPECT_EQ(stats.acquires, leased.load());
+    EXPECT_LE(stats.readmissions, stats.probes);
+    for (const ReplicaSnapshot &replica : pool.snapshot()) {
+        EXPECT_FALSE(replica.leased);
+        EXPECT_FALSE(replica.draining);
+    }
+}
+
 TEST(EnginePool, AllReplicasQuarantinedFailsFastNotHang)
 {
     set_global_num_threads(1);

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests for the versioned model lifecycle (runtime/model_registry.hpp)
+ * and the graceful-shutdown drain that shares its machinery:
+ *
+ *  - a hot swap under sustained live load completes with zero failed
+ *    requests while capacity never dips below N-1 replicas;
+ *  - a bad generation is rejected at the canary — by the warm-up probe
+ *    when it is broken outright, or by the live error-rate verdict when
+ *    it corrupts under traffic — with the typed kModelRejected status
+ *    while the incumbent keeps serving;
+ *  - signature-incompatible models never touch the pool;
+ *  - shutdown(deadline) sheds only batch-priority work when the
+ *    deadline is tight and returns with no leases held.
+ *
+ * Timing-dependent cases use injected delays an order of magnitude
+ * larger than the thresholds they cross, so they hold on slow CI.
+ */
+#include "runtime/model_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/threadpool.hpp"
+#include "models/model_zoo.hpp"
+#include "runtime/service.hpp"
+#include "test_util.hpp"
+
+namespace orpheus {
+namespace {
+
+using testing::make_random;
+
+std::map<std::string, Tensor>
+cnn_inputs(std::uint64_t seed)
+{
+    return {{"input", make_random(Shape({1, 3, 8, 8}), seed)}};
+}
+
+/** tiny-cnn re-seeded as a "new version": identical weights and
+ *  signature, different graph name, so rollout tests can tell the
+ *  generations apart while outputs stay bitwise comparable. */
+Graph
+tiny_cnn_version(const std::string &name)
+{
+    Graph graph = models::tiny_cnn();
+    graph.set_name(name);
+    return graph;
+}
+
+// --- Acceptance (a): hot swap under sustained load --------------------------
+
+TEST(ModelRegistry, HotSwapUnderLoadDropsNothingAndKeepsCapacity)
+{
+    set_global_num_threads(1);
+    ServiceOptions options;
+    options.workers = 3;
+    options.replicas = 3;
+    options.max_queue_depth = 64;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), {}, options);
+
+    Engine reference(models::tiny_cnn(), {});
+    const auto expected = reference.run(cnn_inputs(0x40a));
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::int64_t> completed{0};
+    std::atomic<std::int64_t> failed{0};
+    std::atomic<std::int64_t> wrong_bits{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 3; ++c)
+        clients.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const InferenceResponse response =
+                    service.submit(cnn_inputs(0x40a)).get();
+                ++completed;
+                if (!response.status.is_ok()) {
+                    ++failed;
+                    continue;
+                }
+                for (const auto &[name, tensor] : expected)
+                    if (max_abs_diff(response.outputs.at(name), tensor) !=
+                        0.0f)
+                        ++wrong_bits;
+            }
+        });
+
+    // Capacity sampler: the drain-and-swap fences one replica at a
+    // time, so at least N-1 replicas must stay available throughout.
+    std::atomic<std::int64_t> capacity_low{0};
+    std::thread sampler([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            std::size_t available = 0;
+            for (const ReplicaSnapshot &replica : service.pool().snapshot())
+                if (replica.state == ReplicaState::kActive &&
+                    !replica.draining)
+                    ++available;
+            if (available < 2)
+                ++capacity_low;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+
+    // Let the incumbent serve a little, then roll out the new version
+    // with a live canary slice.
+    while (completed.load() < 30)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    RolloutOptions rollout;
+    rollout.canary_fraction = 0.5;
+    rollout.min_canary_samples = 6;
+    rollout.observe_timeout_ms = 10'000;
+    const RolloutReport report =
+        service.reload(tiny_cnn_version("tiny-cnn-v2"), rollout);
+
+    stop.store(true);
+    for (std::thread &client : clients)
+        client.join();
+    sampler.join();
+
+    ASSERT_TRUE(report.status.is_ok()) << report.status.to_string();
+    EXPECT_FALSE(report.rolled_back);
+    EXPECT_EQ(report.replicas_swapped, 3u);
+    EXPECT_GE(report.canary_samples, 1);
+
+    EXPECT_EQ(failed.load(), 0);
+    EXPECT_EQ(wrong_bits.load(), 0);
+    EXPECT_GT(completed.load(), 30);
+    EXPECT_EQ(capacity_low.load(), 0) << "capacity dipped below N-1";
+
+    EXPECT_EQ(service.registry().active_generation(), 2u);
+    EXPECT_EQ(service.registry().active_model(), "tiny-cnn-v2");
+    for (const ReplicaSnapshot &replica : service.pool().snapshot()) {
+        EXPECT_EQ(replica.generation, 2u);
+        EXPECT_FALSE(replica.draining);
+    }
+    const auto generations = service.registry().generations();
+    ASSERT_EQ(generations.size(), 2u);
+    EXPECT_EQ(generations[0].state, GenerationState::kRetired);
+    EXPECT_EQ(generations[1].state, GenerationState::kActive);
+    EXPECT_GE(service.stats().model_swaps, 3);
+    EXPECT_GE(service.stats().canary_routed, 1);
+}
+
+// --- Acceptance (b): bad generations are rolled back automatically ----------
+
+TEST(ModelRegistry, WarmupProbeQuarantinesBrokenGeneration)
+{
+    set_global_num_threads(1);
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Only the staged generation corrupts; the incumbent "tiny-cnn"
+    // shares the injector but never matches.
+    engine_options.fault_injector->arm_model_corruption(
+        "tiny-cnn-bad", CorruptionKind::kNaNPoke);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 2;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    EXPECT_TRUE(service.run(cnn_inputs(0x40b)).status.is_ok());
+
+    const RolloutReport report =
+        service.reload(tiny_cnn_version("tiny-cnn-bad"));
+    EXPECT_EQ(report.status.code(), StatusCode::kModelRejected);
+    EXPECT_EQ(report.replicas_swapped, 0u);
+
+    // The incumbent never stopped serving and the pool is untouched.
+    EXPECT_TRUE(service.run(cnn_inputs(0x40c)).status.is_ok());
+    EXPECT_EQ(service.registry().active_generation(), 1u);
+    EXPECT_EQ(service.registry().rollbacks(), 1);
+    EXPECT_EQ(service.stats().model_rollbacks, 1);
+    for (const ReplicaSnapshot &replica : service.pool().snapshot()) {
+        EXPECT_EQ(replica.generation, 1u);
+        EXPECT_EQ(replica.state, ReplicaState::kActive);
+        EXPECT_FALSE(replica.draining);
+    }
+    const auto generations = service.registry().generations();
+    ASSERT_EQ(generations.size(), 2u);
+    EXPECT_EQ(generations[1].state, GenerationState::kQuarantined);
+    EXPECT_NE(generations[1].detail.find("probe"), std::string::npos)
+        << generations[1].detail;
+}
+
+TEST(ModelRegistry, LiveCanaryRolledBackWhileIncumbentServes)
+{
+    set_global_num_threads(1);
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    engine_options.fault_injector->arm_model_corruption(
+        "tiny-cnn-bad", CorruptionKind::kNaNPoke);
+
+    ServiceOptions options;
+    options.workers = 2;
+    options.replicas = 2;
+    options.max_queue_depth = 64;
+    options.enable_watchdog = false;
+    // Failover keeps clients whole while the canary misbehaves.
+    options.max_retries = 2;
+    options.retry_budget = 1.0;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::int64_t> failed{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 2; ++c)
+        clients.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed))
+                if (!service.submit(cnn_inputs(0x40d)).get().status.is_ok())
+                    ++failed;
+        });
+
+    // Skip the warm-up probes so the NaN generation reaches the live
+    // canary phase; the guard catches every corrupted canary response
+    // and the error-rate verdict must roll the generation back.
+    // Three corrupted responses (1.2 penalty each) quarantine the
+    // canary, so three samples is all the window can ever hold; the
+    // timeout is only a backstop for that race.
+    RolloutOptions rollout;
+    rollout.warmup_probes = 0;
+    rollout.canary_fraction = 0.5;
+    rollout.min_canary_samples = 3;
+    rollout.observe_timeout_ms = 1500;
+    const RolloutReport report =
+        service.reload(tiny_cnn_version("tiny-cnn-bad"), rollout);
+
+    stop.store(true);
+    for (std::thread &client : clients)
+        client.join();
+
+    EXPECT_EQ(report.status.code(), StatusCode::kModelRejected);
+    EXPECT_TRUE(report.rolled_back);
+    EXPECT_GE(report.canary_samples, 1);
+    EXPECT_EQ(failed.load(), 0)
+        << "failover must shield clients from the bad canary";
+
+    EXPECT_EQ(service.registry().active_generation(), 1u);
+    const auto generations = service.registry().generations();
+    ASSERT_EQ(generations.size(), 2u);
+    EXPECT_EQ(generations[1].state, GenerationState::kRolledBack);
+    // The displaced incumbent engine was restored on the canary
+    // replica; the whole pool serves generation 1 again.
+    for (const ReplicaSnapshot &replica : service.pool().snapshot()) {
+        EXPECT_EQ(replica.generation, 1u);
+        EXPECT_FALSE(replica.draining);
+    }
+    EXPECT_TRUE(service.run(cnn_inputs(0x40e)).status.is_ok());
+}
+
+TEST(ModelRegistry, SignatureMismatchRejectedWithoutTouchingPool)
+{
+    set_global_num_threads(1);
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 2;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), {}, options);
+
+    const RolloutReport report = service.reload(models::tiny_mlp());
+    EXPECT_EQ(report.status.code(), StatusCode::kModelRejected);
+    EXPECT_NE(report.status.message().find("signature"),
+              std::string::npos)
+        << report.status.message();
+    EXPECT_EQ(service.stats().model_swaps, 0);
+    EXPECT_EQ(service.registry().active_generation(), 1u);
+    EXPECT_TRUE(service.run(cnn_inputs(0x40f)).status.is_ok());
+}
+
+// --- Acceptance (c): tight shutdown deadline sheds batch work only ----------
+
+TEST(ModelRegistry, TightShutdownDeadlineShedsOnlyBatchWork)
+{
+    set_global_num_threads(1);
+    Graph graph = models::tiny_cnn();
+    const std::string first_node = graph.nodes().front().name();
+
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // The seed request (training the latency estimate) and the request
+    // in flight at shutdown each take ~300 ms; everything queued
+    // behind them is fast.
+    engine_options.fault_injector->arm_delay(first_node, "",
+                                             /*delay_ms=*/300,
+                                             /*delay_from_call=*/0,
+                                             /*max_delays=*/2);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.max_queue_depth = 16;
+    options.enable_watchdog = false;
+    InferenceService service(std::move(graph), engine_options, options);
+
+    // Seed the P50 estimate with one slow completed request.
+    ASSERT_TRUE(service.run(cnn_inputs(0x410)).status.is_ok());
+
+    // Occupy the worker, then queue batch and interactive work.
+    auto in_flight = service.submit(cnn_inputs(0x411));
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (service.queue_depth() > 0 &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    auto batch_a = service.submit(cnn_inputs(0x412), DeadlineToken(), 0,
+                                  RequestPriority::kBatch);
+    auto batch_b = service.submit(cnn_inputs(0x413), DeadlineToken(), 0,
+                                  RequestPriority::kBatch);
+    auto interactive = service.submit(cnn_inputs(0x414));
+
+    // ~300 ms in flight + a ~375 ms-per-request estimate over four
+    // requests cannot fit in 1 s, so batch work must be shed up front;
+    // the interactive requests still fit comfortably.
+    const ShutdownReport report = service.shutdown(/*deadline_ms=*/1000);
+    EXPECT_TRUE(report.status.is_ok()) << report.status.to_string();
+    EXPECT_EQ(report.shed, 2);
+    EXPECT_EQ(report.flushed, 1);
+    EXPECT_LE(report.duration_ms, 1500.0);
+
+    EXPECT_TRUE(in_flight.get().status.is_ok());
+    EXPECT_TRUE(interactive.get().status.is_ok());
+    const InferenceResponse shed_a = batch_a.get();
+    const InferenceResponse shed_b = batch_b.get();
+    EXPECT_EQ(shed_a.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(shed_b.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(shed_a.status.message().find("batch"), std::string::npos)
+        << shed_a.status.message();
+
+    // No lease survives shutdown, and admission is closed for good.
+    for (const ReplicaSnapshot &replica : service.pool().snapshot())
+        EXPECT_FALSE(replica.leased);
+    EXPECT_FALSE(
+        service.submit(cnn_inputs(0x415)).get().status.is_ok());
+    EXPECT_EQ(service.stats().shutdown_shed, 2);
+}
+
+TEST(ModelRegistry, UnlimitedShutdownFlushesEverything)
+{
+    set_global_num_threads(1);
+    ServiceOptions options;
+    options.workers = 1;
+    options.max_queue_depth = 16;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), {}, options);
+
+    std::vector<std::future<InferenceResponse>> pending;
+    for (int i = 0; i < 6; ++i)
+        pending.push_back(service.submit(
+            cnn_inputs(0x420 + static_cast<std::uint64_t>(i)),
+            DeadlineToken(), 0,
+            i % 2 == 0 ? RequestPriority::kBatch
+                       : RequestPriority::kInteractive));
+
+    const ShutdownReport report = service.shutdown(/*deadline_ms=*/0);
+    EXPECT_TRUE(report.status.is_ok()) << report.status.to_string();
+    EXPECT_EQ(report.shed, 0);
+    for (auto &future : pending)
+        EXPECT_TRUE(future.get().status.is_ok());
+}
+
+} // namespace
+} // namespace orpheus

@@ -22,6 +22,13 @@ Robustness against machine and scheduler noise:
    scheduler jitter alone.
  - A results file missing a baseline cell fails the gate outright —
    coverage loss hides regressions.
+ - Columns ending in "_pct" are quality scores (e.g. chaos goodput),
+   not times: they are excluded from the time-share normalisation and
+   gated absolutely instead — the gate fails when a result drops below
+   baseline * (1 - threshold). Machine speed cancels out of a
+   percentage, so no normalisation is needed (or wanted). Baselines
+   for quality-only benches should commit just the _pct cells; count
+   cells (retries, quarantines, ...) vary legitimately run to run.
 
 Usage:
   check_bench_regression.py --baseline bench/baselines \\
@@ -54,13 +61,20 @@ def min_merge(paths):
     return merged
 
 
+def is_quality(key):
+    """Quality-score cells ("*_pct" columns): higher is better, gated
+    absolutely rather than as a share of suite time."""
+    return key[1].endswith("_pct")
+
+
 def scores(cells):
-    """Each cell's share of the file's total time."""
-    total = sum(value for value in cells.values() if value > 0)
+    """Each time cell's share of the file's total time."""
+    total = sum(value for key, value in cells.items()
+                if value > 0 and not is_quality(key))
     if total <= 0:
         return {}
     return {key: value / total for key, value in cells.items()
-            if value > 0}
+            if value > 0 and not is_quality(key)}
 
 
 def check_bench(slug, baseline_dirs, results_dirs, threshold, floor_ms):
@@ -84,6 +98,20 @@ def check_bench(slug, baseline_dirs, results_dirs, threshold, floor_ms):
 
     failures = []
     gated = skipped = 0
+    for key in sorted(k for k in baseline_cells if is_quality(k)):
+        row, column = key
+        base = baseline_cells[key]
+        if key not in result_cells:
+            failures.append(f"{slug}: cell ({row}, {column}) disappeared "
+                            "from the results")
+            continue
+        gated += 1
+        new = result_cells[key]
+        if new < base * (1 - threshold):
+            failures.append(
+                f"{slug}: ({row}, {column}) quality dropped "
+                f"{base:.2f} -> {new:.2f} "
+                f"(gate {base * (1 - threshold):.2f})")
     for key, base_score in sorted(baseline_scores.items()):
         row, column = key
         if key not in result_cells:

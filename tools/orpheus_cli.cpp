@@ -29,9 +29,20 @@
  *   --max-retries <n>   failover retries per request (default 0)
  *   --retry-budget <f>  retry tokens earned per request (default 0.2)
  *   --brownout          shed batch work / degrade replicas on overload
+ * lifecycle (serve):
+ *   --swap-to <model>   hot-swap to this model mid-run (canary rollout)
+ *   --canary-fraction <f>       live-traffic slice for the canary (0.25)
+ *   --canary-samples <n>        live samples observed before the verdict
+ *   --shutdown-deadline-ms <ms> graceful-drain budget on SIGINT/SIGTERM
+ * While serving, SIGINT/SIGTERM trigger a graceful drain (then the
+ * final stats dump) and SIGHUP triggers a hot reload of --swap-to (or
+ * the serving model spec).
  */
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -81,8 +92,29 @@ struct CliOptions {
     std::string corrupt_node;
     std::string corrupt_impl;
     int corrupt_max = -1;
+    std::string swap_to;
+    double canary_fraction = 0.25;
+    long long canary_samples = 0;
+    double shutdown_deadline_ms = 0;
     std::vector<std::string> positional;
 };
+
+/* Signal flags for serve: handlers only set these; the serve control
+ * loop routes them through the graceful-shutdown / reload paths. */
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void
+on_shutdown_signal(int)
+{
+    g_shutdown_requested = 1;
+}
+
+void
+on_reload_signal(int)
+{
+    g_reload_requested = 1;
+}
 
 int
 usage()
@@ -97,6 +129,8 @@ usage()
         "--deadline-ms <ms> --workers <n>\n"
         "           --replicas <n> --warm-spares <n> --max-retries <n> "
         "--retry-budget <f> --brownout\n"
+        "  lifecycle (serve): --swap-to <model> --canary-fraction <f> "
+        "--canary-samples <n> --shutdown-deadline-ms <ms>\n"
         "  guard (run/serve): --guard --shadow-every <n> "
         "--guard-cooldown-ms <ms>\n"
         "  chaos (run/serve): --corrupt <nan|bitflip|spike> "
@@ -160,6 +194,17 @@ parse_options(int argc, char **argv, int first)
             options.corrupt_impl = next_value("--corrupt-impl");
         else if (arg == "--corrupt-max")
             options.corrupt_max = std::stoi(next_value("--corrupt-max"));
+        else if (arg == "--swap-to")
+            options.swap_to = next_value("--swap-to");
+        else if (arg == "--canary-fraction")
+            options.canary_fraction =
+                std::stod(next_value("--canary-fraction"));
+        else if (arg == "--canary-samples")
+            options.canary_samples =
+                std::stoll(next_value("--canary-samples"));
+        else if (arg == "--shutdown-deadline-ms")
+            options.shutdown_deadline_ms =
+                std::stod(next_value("--shutdown-deadline-ms"));
         else
             options.positional.push_back(arg);
     }
@@ -404,6 +449,21 @@ cmd_quantize(const CliOptions &cli)
     return 0;
 }
 
+void
+print_rollout(const RolloutReport &report)
+{
+    std::printf("rollout: generation %llu %s — %s "
+                "(%zu replica(s) swapped, %lld canary samples)\n",
+                static_cast<unsigned long long>(report.generation),
+                report.status.is_ok()
+                    ? "promoted"
+                    : (report.rolled_back ? "rolled back" : "rejected"),
+                report.status.is_ok() ? report.detail.c_str()
+                                      : report.status.message().c_str(),
+                report.replicas_swapped,
+                static_cast<long long>(report.canary_samples));
+}
+
 /**
  * Synthetic serving load: --clients threads each push --requests
  * requests through an InferenceService in bursts, so admission control
@@ -466,9 +526,20 @@ cmd_serve(const CliOptions &cli)
                         ? ""
                         : "  [corruption injection armed]");
 
+    /* SIGINT/SIGTERM drain gracefully and still print the final stats
+     * dump; SIGHUP hot-reloads the model through the canary lifecycle. */
+    g_shutdown_requested = 0;
+    g_reload_requested = 0;
+    std::signal(SIGINT, on_shutdown_signal);
+    std::signal(SIGTERM, on_shutdown_signal);
+#ifdef SIGHUP
+    std::signal(SIGHUP, on_reload_signal);
+#endif
+
     std::mutex merge_mutex;
     std::vector<double> latencies;
     std::vector<std::thread> threads;
+    std::atomic<int> clients_done{0};
     const int burst = 4;
     Timer wall;
     for (int client = 0; client < cli.clients; ++client) {
@@ -498,10 +569,60 @@ cmd_serve(const CliOptions &cli)
                                 .elapsed_ms());
                 }
             }
-            std::lock_guard<std::mutex> lock(merge_mutex);
-            latencies.insert(latencies.end(), local.begin(),
-                             local.end());
+            {
+                std::lock_guard<std::mutex> lock(merge_mutex);
+                latencies.insert(latencies.end(), local.begin(),
+                                 local.end());
+            }
+            ++clients_done;
         });
+    }
+
+    /* Control loop: watch for signals and the --swap-to trigger while
+     * the clients run. --swap-to fires once, a quarter of the way into
+     * the load, so the canary observes genuinely live traffic. */
+    const long long total_requests =
+        static_cast<long long>(cli.clients) * cli.requests;
+    bool swapped = cli.swap_to.empty();
+    bool drained = false;
+    ShutdownReport drain_report;
+    const auto reload_to = [&](const std::string &target) {
+        RolloutOptions rollout;
+        rollout.canary_fraction = cli.canary_fraction;
+        rollout.min_canary_samples = cli.canary_samples;
+        std::printf("\nhot swap: staging %s (canary slice %.0f%%, "
+                    "%lld live samples)\n",
+                    target.c_str(), 100.0 * cli.canary_fraction,
+                    static_cast<long long>(cli.canary_samples));
+        try {
+            print_rollout(service.reload(load_model(target), rollout));
+        } catch (const std::exception &error) {
+            /* A bad --swap-to spec must not take down the serving
+             * incumbent; report and keep draining traffic. */
+            std::printf("hot swap: failed to load %s: %s\n",
+                        target.c_str(), error.what());
+        }
+    };
+    while (clients_done.load() < cli.clients) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        if (g_reload_requested) {
+            g_reload_requested = 0;
+            swapped = true;
+            reload_to(cli.swap_to.empty() ? cli.positional[0]
+                                          : cli.swap_to);
+        } else if (!swapped &&
+                   service.stats().completed_ok >= total_requests / 4) {
+            swapped = true;
+            reload_to(cli.swap_to);
+        }
+        if (g_shutdown_requested) {
+            std::printf("\nsignal: graceful shutdown (deadline %s)\n",
+                        cli.shutdown_deadline_ms > 0 ? "armed"
+                                                     : "unlimited");
+            drain_report = service.shutdown(cli.shutdown_deadline_ms);
+            drained = true;
+            break; /* submits now fail fast; clients wind down */
+        }
     }
     for (std::thread &thread : threads)
         thread.join();
@@ -554,12 +675,45 @@ cmd_serve(const CliOptions &cli)
                     static_cast<long long>(stats.brownout_entered),
                     static_cast<long long>(stats.brownout_exited),
                     static_cast<long long>(stats.brownout_shed));
+    std::printf("lifecycle: generation %llu active (%s), %lld swaps, "
+                "%lld rollbacks, %lld canary-routed\n",
+                static_cast<unsigned long long>(stats.active_generation),
+                service.registry().active_model().c_str(),
+                static_cast<long long>(stats.model_swaps),
+                static_cast<long long>(stats.model_rollbacks),
+                static_cast<long long>(stats.canary_routed));
+    if (drained) {
+        std::printf("shutdown: %s in %.1f ms — flushed %lld, shed %lld "
+                    "(+%lld rejected at admission)\n",
+                    drain_report.status.is_ok() ? "drained clean"
+                                                : "deadline cut drain "
+                                                  "short",
+                    drain_report.duration_ms,
+                    static_cast<long long>(drain_report.flushed),
+                    static_cast<long long>(drain_report.shed),
+                    static_cast<long long>(stats.rejected_shutdown));
+    }
+    const auto generations = service.registry().generations();
+    if (generations.size() > 1) {
+        std::printf("\nmodel generations:\n");
+        std::printf("  %-4s %-14s %-12s %s\n", "gen", "model", "state",
+                    "detail");
+        for (const GenerationInfo &generation : generations)
+            std::printf("  %-4llu %-14s %-12s %s\n",
+                        static_cast<unsigned long long>(generation.id),
+                        generation.model_name.c_str(),
+                        to_string(generation.state),
+                        generation.detail.c_str());
+    }
     std::printf("\nreplica pool:\n");
-    std::printf("  %-3s %-12s %7s %8s %8s %6s  %s\n", "id", "state",
-                "penalty", "served", "failures", "opens", "last fault");
+    std::printf("  %-3s %-4s %-12s %7s %8s %8s %6s  %s\n", "id", "gen",
+                "state", "penalty", "served", "failures", "opens",
+                "last fault");
     for (const ReplicaSnapshot &replica : service.pool().snapshot())
-        std::printf("  %-3zu %-12s %7.2f %8lld %8lld %6lld  %s\n",
-                    replica.id, to_string(replica.state),
+        std::printf("  %-3zu %-4llu %-12s %7.2f %8lld %8lld %6lld  %s\n",
+                    replica.id,
+                    static_cast<unsigned long long>(replica.generation),
+                    to_string(replica.state),
                     replica.health_penalty,
                     static_cast<long long>(replica.served),
                     static_cast<long long>(replica.failures),
