@@ -2,13 +2,18 @@
  * @file
  * Serving-layer benchmark: multi-client latency under admission control.
  *
- * Two sweeps over InferenceService on tiny-cnn:
+ * Three sweeps over InferenceService on tiny-cnn:
  *   1. Queue depth {2, 8, 32} with unlimited deadlines — burst-mode
  *      clients overflow shallow queues, so p50/p99 stay bounded while
  *      the shed (kResourceExhausted) count absorbs the overload.
  *   2. Deadline {1 ms, 100 ms, unlimited} at a fixed depth — tight
  *      deadlines shed queued work (kDeadlineExceeded) instead of
  *      letting tail latency grow.
+ *   3. Mixed latency classes under overload — one real-time client
+ *      bursts alongside three batch clients into an oversubscribed
+ *      queue with brownout on; the real-time rows stay near the
+ *      uncontended service time while batch absorbs queueing and
+ *      shedding (see bench_overload for the paced open-loop gate).
  *
  * Each cell reports client-observed p50/p99 of *completed* requests;
  * the summary block reports how much work each configuration shed.
@@ -16,6 +21,7 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <mutex>
 #include <thread>
@@ -29,6 +35,8 @@ using namespace orpheus::bench;
 
 struct LoadResult {
     std::vector<double> latencies_ms; ///< Completed (OK) requests only.
+    /** Same latencies, split by latency class (mixed-class sweep). */
+    std::array<std::vector<double>, kPriorityClasses> class_latencies_ms;
     std::int64_t shed_queue = 0;
     std::int64_t shed_deadline = 0;
     std::int64_t completed = 0;
@@ -55,16 +63,22 @@ percentile(std::vector<double> sorted, double p)
  */
 LoadResult
 drive_load(InferenceService &service, int clients, int rounds, int burst,
-           double deadline_ms)
+           double deadline_ms,
+           const std::vector<RequestPriority> &client_classes = {})
 {
     const ServiceStats before = service.stats();
     std::mutex merge_mutex;
-    std::vector<double> latencies;
+    LoadResult result;
 
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(clients));
     for (int client = 0; client < clients; ++client) {
-        threads.emplace_back([&, client] {
+        const RequestPriority priority =
+            client_classes.empty()
+                ? RequestPriority::kInteractive
+                : client_classes[static_cast<std::size_t>(client) %
+                                 client_classes.size()];
+        threads.emplace_back([&, client, priority] {
             Rng rng(0x5e44 + static_cast<std::uint64_t>(client));
             Tensor input = random_tensor(
                 service.engine().graph().inputs().front().shape, rng);
@@ -80,8 +94,8 @@ drive_load(InferenceService &service, int clients, int rounds, int burst,
                             ? DeadlineToken::after_ms(deadline_ms)
                             : DeadlineToken::unlimited();
                     timers[static_cast<std::size_t>(i)] = Timer();
-                    inflight.push_back(
-                        service.submit({{"input", input}}, token));
+                    inflight.push_back(service.submit(
+                        {{"input", input}}, token, 0, priority));
                 }
                 for (int i = 0; i < burst; ++i) {
                     const InferenceResponse response =
@@ -93,16 +107,17 @@ drive_load(InferenceService &service, int clients, int rounds, int burst,
                 }
             }
             std::lock_guard<std::mutex> lock(merge_mutex);
-            latencies.insert(latencies.end(), local.begin(),
-                             local.end());
+            result.latencies_ms.insert(result.latencies_ms.end(),
+                                       local.begin(), local.end());
+            std::vector<double> &by_class =
+                result.class_latencies_ms[priority_index(priority)];
+            by_class.insert(by_class.end(), local.begin(), local.end());
         });
     }
     for (std::thread &thread : threads)
         thread.join();
 
     const ServiceStats after = service.stats();
-    LoadResult result;
-    result.latencies_ms = std::move(latencies);
     result.shed_queue =
         after.rejected_queue_full - before.rejected_queue_full;
     result.shed_deadline =
@@ -163,6 +178,62 @@ service_cell(::benchmark::State &state, const std::string &row,
                                   total.shed_deadline});
 }
 
+/**
+ * Sweep 3 body: 1-in-4 clients submits real-time bursts, the rest
+ * batch, into a depth-8 queue with brownout enabled — sustained
+ * oversubscription. Rows split the client-observed percentiles by
+ * class: real-time should sit near the uncontended service time while
+ * batch soaks up the queueing and the shedding.
+ */
+void
+mixed_cell(::benchmark::State &state)
+{
+    const int clients = quick_mode() ? 4 : 8;
+    const int rounds = quick_mode() ? 2 : 6;
+    const int burst = 4;
+
+    ServiceOptions options;
+    options.max_queue_depth = 8;
+    options.workers = 2;
+    options.enable_brownout = true;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), EngineOptions{},
+                             options);
+
+    const std::vector<RequestPriority> classes = {
+        RequestPriority::kRealtime, RequestPriority::kBatch,
+        RequestPriority::kBatch, RequestPriority::kBatch};
+
+    LoadResult total;
+    for (auto _ : state) {
+        Timer timer;
+        LoadResult result =
+            drive_load(service, clients, rounds, burst,
+                       /*deadline_ms=*/0.0, classes);
+        state.SetIterationTime(timer.elapsed_ms() / 1000.0);
+        for (std::size_t lane = 0; lane < kPriorityClasses; ++lane)
+            total.class_latencies_ms[lane].insert(
+                total.class_latencies_ms[lane].end(),
+                result.class_latencies_ms[lane].begin(),
+                result.class_latencies_ms[lane].end());
+        total.shed_queue += result.shed_queue;
+        total.shed_deadline += result.shed_deadline;
+        total.completed += result.completed;
+    }
+
+    const std::vector<double> &rt = total.class_latencies_ms
+        [priority_index(RequestPriority::kRealtime)];
+    const std::vector<double> &batch =
+        total.class_latencies_ms[priority_index(RequestPriority::kBatch)];
+    record_cell("mixed_rt", "p50", percentile(rt, 50.0));
+    record_cell("mixed_rt", "p99", percentile(rt, 99.0));
+    record_cell("mixed_batch", "p50", percentile(batch, 50.0));
+    record_cell("mixed_batch", "p99", percentile(batch, 99.0));
+    shed_rows().push_back(ShedRow{"mixed_overload", total.completed,
+                                  total.shed_queue,
+                                  total.shed_deadline});
+}
+
 void
 register_cell(const std::string &row, std::size_t queue_depth,
               double deadline_ms)
@@ -193,6 +264,11 @@ main(int argc, char **argv)
     // Sweep 2: deadline at fixed depth 8.
     register_cell("deadline_1ms", 8, 1.0);
     register_cell("deadline_100ms", 8, 100.0);
+    // Sweep 3: mixed latency classes under sustained oversubscription.
+    ::benchmark::RegisterBenchmark("service/mixed_overload", mixed_cell)
+        ->Iterations(timed_runs())
+        ->UseManualTime()
+        ->Unit(::benchmark::kMillisecond);
 
     const int status = orpheus::bench::run_benchmarks(argc, argv);
     print_table("Serving latency under admission control (tiny-cnn)",

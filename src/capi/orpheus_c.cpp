@@ -317,6 +317,13 @@ orpheus_service_create_zoo(const char *model_name, const char *personality,
             engine_options.guard.enabled = config->enable_guard != 0;
             service_options.enable_brownout =
                 config->enable_brownout != 0;
+            if (config->rt_queue_depth > 0)
+                service_options.rt_queue_depth =
+                    static_cast<std::size_t>(config->rt_queue_depth);
+            for (std::size_t c = 0; c < orpheus::kPriorityClasses; ++c)
+                if (config->class_deadline_ms[c] > 0)
+                    service_options.class_deadline_ms[c] =
+                        config->class_deadline_ms[c];
         }
         return new orpheus_service(orpheus::models::by_name(model_name),
                                    engine_options, service_options);
@@ -335,12 +342,18 @@ orpheus_service_destroy(orpheus_service *service)
 int
 orpheus_service_run(orpheus_service *service, const float *input,
                     size_t input_len, float *output, size_t output_len,
-                    double deadline_ms, int *retries)
+                    int priority, double deadline_ms, int *retries)
 {
     if (retries != nullptr)
         *retries = 0;
     if (service == nullptr || input == nullptr || output == nullptr) {
         set_error("null argument");
+        return ORPHEUS_ERR_INVALID_ARGUMENT;
+    }
+    if (priority < ORPHEUS_PRIORITY_REALTIME ||
+        priority > ORPHEUS_PRIORITY_BATCH) {
+        set_error("priority must be one of ORPHEUS_PRIORITY_REALTIME/"
+                  "INTERACTIVE/BATCH");
         return ORPHEUS_ERR_INVALID_ARGUMENT;
     }
     try {
@@ -367,7 +380,8 @@ orpheus_service_run(orpheus_service *service, const float *input,
             deadline_ms > 0 ? orpheus::DeadlineToken::after_ms(deadline_ms)
                             : orpheus::DeadlineToken();
         const orpheus::InferenceResponse response = service->impl.run(
-            {{in_info.name, std::move(in_tensor)}}, std::move(token));
+            {{in_info.name, std::move(in_tensor)}}, std::move(token),
+            static_cast<orpheus::RequestPriority>(priority));
         if (retries != nullptr)
             *retries = response.retries;
         if (!response.status.is_ok()) {
@@ -420,6 +434,16 @@ orpheus_service_query_stats(const orpheus_service *service,
     stats->model_rollbacks = snapshot.model_rollbacks;
     stats->model_swaps = snapshot.model_swaps;
     stats->canary_routed = snapshot.canary_routed;
+    stats->rejected_infeasible = snapshot.rejected_infeasible;
+    for (std::size_t c = 0; c < orpheus::kPriorityClasses; ++c) {
+        stats->class_count[c] = snapshot.class_count[c];
+        stats->class_p50_ms[c] = snapshot.class_p50_ms[c];
+        stats->class_p99_ms[c] = snapshot.class_p99_ms[c];
+        stats->class_p999_ms[c] = snapshot.class_p999_ms[c];
+        stats->class_shed[c] = snapshot.class_shed[c];
+        stats->class_infeasible[c] = snapshot.class_infeasible[c];
+        stats->class_deadline_miss[c] = snapshot.class_deadline_miss[c];
+    }
     return ORPHEUS_OK;
 }
 

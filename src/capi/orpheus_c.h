@@ -48,6 +48,16 @@ extern "C" {
  *  model kept serving. */
 #define ORPHEUS_ERR_MODEL_REJECTED (-12)
 
+/*
+ * Latency classes for orpheus_service_run. Values mirror
+ * orpheus::RequestPriority and are ABI: real-time work dispatches
+ * first and is never shed; batch work is deferred and shed first
+ * under overload.
+ */
+#define ORPHEUS_PRIORITY_REALTIME 0
+#define ORPHEUS_PRIORITY_INTERACTIVE 1
+#define ORPHEUS_PRIORITY_BATCH 2
+
 /** Opaque compiled-model handle. */
 typedef struct orpheus_engine orpheus_engine;
 
@@ -156,6 +166,13 @@ typedef struct orpheus_service_config {
     double hang_threshold_ms;
     int enable_guard;
     int enable_brownout;
+    /* Latency classes (appended; zero keeps the defaults). */
+    /** Real-time lane depth limit (0 = max_queue_depth / 4). */
+    int rt_queue_depth;
+    /** Per-class default deadlines, indexed by ORPHEUS_PRIORITY_*;
+     *  applied when orpheus_service_run passes deadline_ms == 0
+     *  (0 falls back to default_deadline_ms). */
+    double class_deadline_ms[3];
 } orpheus_service_config;
 
 /** Monotonic service counters (a consistent snapshot). New fields are
@@ -182,6 +199,23 @@ typedef struct orpheus_service_stats {
     int64_t model_rollbacks;
     int64_t model_swaps;
     int64_t canary_routed;
+    /* Latency classes (appended), indexed by ORPHEUS_PRIORITY_*. */
+    /** Submissions rejected at admission because the deadline could
+     *  not cover the estimated queue wait (already expired included);
+     *  each also counts in deadline_exceeded. */
+    int64_t rejected_infeasible;
+    /** Per-class worker-finished requests (histogram sample count). */
+    int64_t class_count[3];
+    /** Per-class queue+run latency percentiles. */
+    double class_p50_ms[3];
+    double class_p99_ms[3];
+    double class_p999_ms[3];
+    /** Per-class requests shed without dispatch (brownout/shutdown). */
+    int64_t class_shed[3];
+    /** Per-class share of rejected_infeasible. */
+    int64_t class_infeasible[3];
+    /** Per-class kDeadlineExceeded completions after admission. */
+    int64_t class_deadline_miss[3];
 } orpheus_service_stats;
 
 /**
@@ -198,16 +232,21 @@ void orpheus_service_destroy(orpheus_service *service);
 /**
  * Runs one inference through the pool (single-input, single-output
  * models; same buffer contract as orpheus_engine_run).
- * @p deadline_ms > 0 bounds this request (0 uses the service default);
- * @p retries, when non-NULL, receives the failover attempts the
- * request needed. Retryable failures (corruption, kernel faults,
- * watchdog-cancelled hangs) are transparently re-run on a different
- * healthy replica within the deadline and retry budget.
+ * @p priority is the request's latency class (ORPHEUS_PRIORITY_*):
+ * its queue lane, default SLO budget and degradation order.
+ * @p deadline_ms > 0 bounds this request (0 uses the class budget,
+ * then the service default); a request whose budget cannot cover the
+ * estimated queue wait is rejected at submit with
+ * ORPHEUS_ERR_DEADLINE_EXCEEDED. @p retries, when non-NULL, receives
+ * the failover attempts the request needed. Retryable failures
+ * (corruption, kernel faults, watchdog-cancelled hangs) are
+ * transparently re-run on a different healthy replica within the
+ * deadline and retry budget (real-time requests bypass the budget).
  */
 int orpheus_service_run(orpheus_service *service, const float *input,
                         size_t input_len, float *output,
-                        size_t output_len, double deadline_ms,
-                        int *retries);
+                        size_t output_len, int priority,
+                        double deadline_ms, int *retries);
 
 /** Fills @p stats with a snapshot of the service counters. */
 int orpheus_service_query_stats(const orpheus_service *service,

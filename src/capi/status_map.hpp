@@ -6,10 +6,18 @@
  * orpheus_error_name().
  *
  * The C values are ABI: once published they never change meaning.
- * to_c_code/from_c_code must stay exact inverses for every StatusCode
- * (covered by the round-trip test in tests/test_capi.cpp).
+ * The mapping is a single constexpr table, checked at compile time:
+ * a static_assert pins the table size to the StatusCode enumerator
+ * count (enumerators are sequential, kModelRejected is last), and
+ * every entry is asserted to round-trip through both directions. A
+ * StatusCode added without a table entry — or a table entry whose C
+ * code collides with another — fails the build here instead of
+ * surfacing as "Unknown" at runtime. tests/test_capi.cpp additionally
+ * proves every code round-trips through orpheus_error_name().
  */
 #pragma once
+
+#include <cstddef>
 
 #include "capi/orpheus_c.h"
 #include "core/status.hpp"
@@ -17,54 +25,111 @@
 namespace orpheus {
 namespace capi {
 
-inline int
-to_c_code(StatusCode code)
+struct StatusCodeMapping {
+    StatusCode status;
+    int c_code;
+};
+
+/** One row per StatusCode, in enumerator order. */
+inline constexpr StatusCodeMapping kStatusCodeTable[] = {
+    {StatusCode::kOk, ORPHEUS_OK},
+    {StatusCode::kInvalidArgument, ORPHEUS_ERR_INVALID_ARGUMENT},
+    {StatusCode::kNotFound, ORPHEUS_ERR_NOT_FOUND},
+    {StatusCode::kUnimplemented, ORPHEUS_ERR_UNIMPLEMENTED},
+    {StatusCode::kOutOfRange, ORPHEUS_ERR_OUT_OF_RANGE},
+    {StatusCode::kFailedPrecondition, ORPHEUS_ERR_FAILED_PRECONDITION},
+    {StatusCode::kInternal, ORPHEUS_ERR_RUNTIME},
+    {StatusCode::kParseError, ORPHEUS_ERR_PARSE},
+    {StatusCode::kDeadlineExceeded, ORPHEUS_ERR_DEADLINE_EXCEEDED},
+    {StatusCode::kResourceExhausted, ORPHEUS_ERR_RESOURCE_EXHAUSTED},
+    {StatusCode::kDataCorruption, ORPHEUS_ERR_DATA_CORRUPTION},
+    {StatusCode::kModelRejected, ORPHEUS_ERR_MODEL_REJECTED},
+};
+
+inline constexpr std::size_t kStatusCodeCount =
+    sizeof(kStatusCodeTable) / sizeof(kStatusCodeTable[0]);
+
+// StatusCode enumerators are sequential from kOk and kModelRejected is
+// the last one, so the table is exhaustive iff it has exactly
+// kModelRejected + 1 rows in enumerator order.
+static_assert(static_cast<std::size_t>(StatusCode::kModelRejected) + 1 ==
+                  kStatusCodeCount,
+              "kStatusCodeTable is missing a StatusCode (append the new "
+              "enumerator's row and a matching ORPHEUS_ERR_* code)");
+
+namespace detail {
+
+constexpr bool
+table_rows_in_enum_order()
 {
-    switch (code) {
-      case StatusCode::kOk: return ORPHEUS_OK;
-      case StatusCode::kInvalidArgument: return ORPHEUS_ERR_INVALID_ARGUMENT;
-      case StatusCode::kNotFound: return ORPHEUS_ERR_NOT_FOUND;
-      case StatusCode::kInternal: return ORPHEUS_ERR_RUNTIME;
-      case StatusCode::kDeadlineExceeded:
-          return ORPHEUS_ERR_DEADLINE_EXCEEDED;
-      case StatusCode::kResourceExhausted:
-          return ORPHEUS_ERR_RESOURCE_EXHAUSTED;
-      case StatusCode::kDataCorruption: return ORPHEUS_ERR_DATA_CORRUPTION;
-      case StatusCode::kUnimplemented: return ORPHEUS_ERR_UNIMPLEMENTED;
-      case StatusCode::kOutOfRange: return ORPHEUS_ERR_OUT_OF_RANGE;
-      case StatusCode::kFailedPrecondition:
-          return ORPHEUS_ERR_FAILED_PRECONDITION;
-      case StatusCode::kParseError: return ORPHEUS_ERR_PARSE;
-      case StatusCode::kModelRejected: return ORPHEUS_ERR_MODEL_REJECTED;
-    }
-    return ORPHEUS_ERR_RUNTIME;
+    for (std::size_t i = 0; i < kStatusCodeCount; ++i)
+        if (static_cast<std::size_t>(kStatusCodeTable[i].status) != i)
+            return false;
+    return true;
 }
 
-inline StatusCode
+constexpr bool
+c_codes_unique()
+{
+    for (std::size_t i = 0; i < kStatusCodeCount; ++i)
+        for (std::size_t j = i + 1; j < kStatusCodeCount; ++j)
+            if (kStatusCodeTable[i].c_code == kStatusCodeTable[j].c_code)
+                return false;
+    return true;
+}
+
+} // namespace detail
+
+static_assert(detail::table_rows_in_enum_order(),
+              "kStatusCodeTable rows must follow StatusCode enumerator "
+              "order — to_c_code indexes the table by enumerator value");
+static_assert(detail::c_codes_unique(),
+              "two StatusCodes map to the same C error code; the "
+              "mapping must be invertible");
+
+inline constexpr int
+to_c_code(StatusCode code)
+{
+    const std::size_t index = static_cast<std::size_t>(code);
+    return index < kStatusCodeCount ? kStatusCodeTable[index].c_code
+                                    : ORPHEUS_ERR_RUNTIME;
+}
+
+inline constexpr StatusCode
 from_c_code(int code)
 {
-    switch (code) {
-      case ORPHEUS_OK: return StatusCode::kOk;
-      case ORPHEUS_ERR_INVALID_ARGUMENT: return StatusCode::kInvalidArgument;
-      case ORPHEUS_ERR_NOT_FOUND: return StatusCode::kNotFound;
-      case ORPHEUS_ERR_RUNTIME: return StatusCode::kInternal;
-      case ORPHEUS_ERR_DEADLINE_EXCEEDED:
-          return StatusCode::kDeadlineExceeded;
-      case ORPHEUS_ERR_RESOURCE_EXHAUSTED:
-          return StatusCode::kResourceExhausted;
-      case ORPHEUS_ERR_DATA_CORRUPTION: return StatusCode::kDataCorruption;
-      case ORPHEUS_ERR_UNIMPLEMENTED: return StatusCode::kUnimplemented;
-      case ORPHEUS_ERR_OUT_OF_RANGE: return StatusCode::kOutOfRange;
-      case ORPHEUS_ERR_FAILED_PRECONDITION:
-          return StatusCode::kFailedPrecondition;
-      case ORPHEUS_ERR_PARSE: return StatusCode::kParseError;
-      case ORPHEUS_ERR_MODEL_REJECTED: return StatusCode::kModelRejected;
-      /* ORPHEUS_ERR_BUFFER_TOO_SMALL is a C-surface-only condition
-       * (caller-provided buffer capacity), not a StatusCode. */
-      case ORPHEUS_ERR_BUFFER_TOO_SMALL: return StatusCode::kOutOfRange;
-      default: return StatusCode::kInternal;
-    }
+    for (std::size_t i = 0; i < kStatusCodeCount; ++i)
+        if (kStatusCodeTable[i].c_code == code)
+            return kStatusCodeTable[i].status;
+    /* ORPHEUS_ERR_BUFFER_TOO_SMALL is a C-surface-only condition
+     * (caller-provided buffer capacity), not a StatusCode. */
+    if (code == ORPHEUS_ERR_BUFFER_TOO_SMALL)
+        return StatusCode::kOutOfRange;
+    return StatusCode::kInternal;
 }
+
+// Every row round-trips through both directions.
+namespace detail {
+
+constexpr bool
+round_trips()
+{
+    for (std::size_t i = 0; i < kStatusCodeCount; ++i) {
+        if (to_c_code(kStatusCodeTable[i].status) !=
+            kStatusCodeTable[i].c_code)
+            return false;
+        if (from_c_code(kStatusCodeTable[i].c_code) !=
+            kStatusCodeTable[i].status)
+            return false;
+    }
+    return true;
+}
+
+} // namespace detail
+
+static_assert(detail::round_trips(),
+              "to_c_code/from_c_code are not exact inverses over the "
+              "status table");
 
 } // namespace capi
 } // namespace orpheus

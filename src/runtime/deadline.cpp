@@ -76,6 +76,18 @@ DeadlineToken::remaining_ms() const
     return std::max(0.0, left.count());
 }
 
+bool
+DeadlineToken::can_cover_ms(double ms) const
+{
+    if (state_ == nullptr)
+        return true;
+    if (expired())
+        return false;
+    if (!state_->has_deadline)
+        return true;
+    return remaining_ms() >= ms;
+}
+
 ScopedDeadline::ScopedDeadline(const DeadlineToken &token)
 {
     if (token.valid())

@@ -70,6 +70,14 @@ class DeadlineToken
     double remaining_ms() const;
 
     /**
+     * True when the remaining budget covers @p ms more milliseconds of
+     * work — always true without a deadline, never true once expired.
+     * The feasibility admission check and the retry scheduler use this
+     * to refuse work that is already a guaranteed deadline miss.
+     */
+    bool can_cover_ms(double ms) const;
+
+    /**
      * The wall-clock deadline, or nullopt when the token carries none.
      * Unlike remaining_ms() this is unaffected by cancel(), so a
      * dispatcher that cancelled a token to abandon one replica (the

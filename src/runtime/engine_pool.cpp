@@ -142,7 +142,8 @@ EnginePool::sync_degraded_mode_locked(std::size_t id)
 
 EnginePool::Lease
 EnginePool::acquire(const DeadlineToken &deadline,
-                    std::size_t exclude_replica, Status *why)
+                    std::size_t exclude_replica, Status *why,
+                    LeasePriority priority)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
@@ -151,6 +152,19 @@ EnginePool::acquire(const DeadlineToken &deadline,
                 *why = deadline_exceeded_error(
                     "deadline expired while waiting for a pool replica");
             return Lease();
+        }
+
+        // A real-time acquirer is waiting for a lease: normal traffic
+        // stands aside so the next freed replica goes to it first.
+        if (priority == LeasePriority::kNormal && rt_waiters_ > 0 &&
+            count_in_rotation_locked() > 0) {
+            if (deadline.has_deadline())
+                replica_free_.wait_for(
+                    lock, std::chrono::duration<double, std::milli>(
+                              std::max(deadline.remaining_ms(), 0.0)));
+            else
+                replica_free_.wait(lock);
+            continue;
         }
 
         // Canary slicing: when a slice is armed and the canary is free,
@@ -200,6 +214,10 @@ EnginePool::acquire(const DeadlineToken &deadline,
 
         if (count_in_rotation_locked() > 0) {
             // Healthy replicas exist but all are leased: wait for one.
+            // Real-time waiters register so normal acquirers defer to
+            // them until the line clears.
+            if (priority == LeasePriority::kRealtime)
+                ++rt_waiters_;
             if (deadline.has_deadline()) {
                 const double remaining = deadline.remaining_ms();
                 replica_free_.wait_for(
@@ -208,6 +226,9 @@ EnginePool::acquire(const DeadlineToken &deadline,
             } else {
                 replica_free_.wait(lock);
             }
+            if (priority == LeasePriority::kRealtime &&
+                --rt_waiters_ == 0)
+                replica_free_.notify_all();
             continue;
         }
 

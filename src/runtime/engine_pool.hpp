@@ -90,6 +90,18 @@ struct EnginePoolOptions {
     std::vector<std::shared_ptr<FaultInjector>> per_replica_injectors;
 };
 
+/**
+ * Dispatch hint for EnginePool::acquire. When every replica is busy,
+ * real-time leaseholders wait at the front of the line: a freed
+ * replica goes to a waiting real-time acquirer before any normal one,
+ * so batch/interactive congestion in the pool cannot add head-of-line
+ * latency to real-time traffic. No effect while replicas are free.
+ */
+enum class LeasePriority {
+    kNormal = 0,
+    kRealtime,
+};
+
 enum class ReplicaState {
     kActive = 0,  ///< In rotation.
     kSpare,       ///< Compiled, idle, awaiting promotion.
@@ -247,9 +259,12 @@ class EnginePool
      * if that fails, returns an invalid lease with @p why set to
      * kResourceExhausted ("all replicas quarantined") — never a hang.
      * An expired @p deadline surfaces as kDeadlineExceeded.
+     * @p priority is the wait-line hint: while a real-time acquirer is
+     * waiting, normal acquirers defer to it (see LeasePriority).
      */
     Lease acquire(const DeadlineToken &deadline,
-                  std::size_t exclude_replica, Status *why);
+                  std::size_t exclude_replica, Status *why,
+                  LeasePriority priority = LeasePriority::kNormal);
 
     /**
      * Acquires replica @p replica specifically, blocking while it is
@@ -429,6 +444,9 @@ class EnginePool
     mutable std::mutex mutex_;
     std::condition_variable replica_free_;
     std::vector<Replica> replicas_;
+    /** Real-time acquirers currently blocked waiting for a lease;
+     *  while nonzero, normal-priority acquirers stand aside. */
+    std::size_t rt_waiters_ = 0;
     bool degraded_mode_ = false;
     std::size_t canary_replica_ = kNoReplica;
     double canary_fraction_ = 0;

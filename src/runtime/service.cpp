@@ -39,6 +39,17 @@ is_retryable(const Status &status)
 
 } // namespace
 
+const char *
+to_string(RequestPriority priority)
+{
+    switch (priority) {
+      case RequestPriority::kRealtime: return "realtime";
+      case RequestPriority::kInteractive: return "interactive";
+      case RequestPriority::kBatch: return "batch";
+    }
+    return "unknown";
+}
+
 InferenceService::InferenceService(Graph graph,
                                    EngineOptions engine_options,
                                    ServiceOptions options)
@@ -52,6 +63,9 @@ InferenceService::InferenceService(Graph graph,
     ORPHEUS_CHECK(options_.max_retries >= 0,
                   "service needs >= 0 retries, got "
                       << options_.max_retries);
+    ORPHEUS_CHECK(options_.aging_credit_limit >= 0,
+                  "service needs an aging credit limit >= 0, got "
+                      << options_.aging_credit_limit);
 
     EnginePoolOptions pool_options;
     pool_options.replicas = options_.replicas > 0 ? options_.replicas
@@ -98,12 +112,17 @@ InferenceService::submit(std::map<std::string, Tensor> inputs,
 {
     std::promise<InferenceResponse> promise;
     std::future<InferenceResponse> future = promise.get_future();
+    const std::size_t lane = priority_index(priority);
 
     DeadlineToken token = deadline;
-    if (!token.valid())
-        token = options_.default_deadline_ms > 0
-                    ? DeadlineToken::after_ms(options_.default_deadline_ms)
-                    : DeadlineToken::unlimited();
+    if (!token.valid()) {
+        // Class SLO budget first, service default second.
+        const double budget_ms = options_.class_deadline_ms[lane] > 0
+                                     ? options_.class_deadline_ms[lane]
+                                     : options_.default_deadline_ms;
+        token = budget_ms > 0 ? DeadlineToken::after_ms(budget_ms)
+                              : DeadlineToken::unlimited();
+    }
 
     const std::size_t budget = memory_budget_bytes != 0
                                    ? memory_budget_bytes
@@ -133,19 +152,40 @@ InferenceService::submit(std::map<std::string, Tensor> inputs,
         promise.set_value(rejected(resource_exhausted_error(message.str())));
         return future;
     }
-    if (token.expired()) {
+    // Deadline feasibility: an already-expired budget, or one the
+    // estimated queue wait ahead of this request would exhaust, is a
+    // guaranteed miss — refuse it now, in microseconds, instead of
+    // after queue time and a replica lease.
+    const bool expired = token.expired();
+    if (expired || (options_.enable_feasibility_admission &&
+                    !token.can_cover_ms(estimated_wait_ms_locked(lane)))) {
         ++stats_.deadline_exceeded;
+        ++stats_.rejected_infeasible;
+        ++stats_.class_infeasible[lane];
         lock.unlock();
         promise.set_value(rejected(deadline_exceeded_error(
-            "deadline expired before the request was admitted")));
+            expired ? "deadline expired before the request was admitted"
+                    : "deadline infeasible: the estimated queue wait "
+                      "already exceeds the remaining budget")));
         return future;
     }
-    if (queue_.size() >= options_.max_queue_depth) {
+    // The global cap bounds total backlog, but a batch flood filling
+    // the shared queue must not starve real-time admission: the
+    // real-time lane answers only to its own (small) depth limit, so
+    // total backlog exceeds max_queue_depth by at most that much.
+    const bool lane_full = lanes_[lane].size() >= lane_limit(lane);
+    const bool global_full = priority != RequestPriority::kRealtime &&
+                             queued_locked() >= options_.max_queue_depth;
+    if (lane_full || global_full) {
         ++stats_.rejected_queue_full;
         lock.unlock();
         std::ostringstream message;
-        message << "request queue is full (depth "
-                << options_.max_queue_depth << "); shedding load";
+        if (lane_full)
+            message << to_string(priority) << " lane is full (depth "
+                    << lane_limit(lane) << "); shedding load";
+        else
+            message << "request queue is full (depth "
+                    << options_.max_queue_depth << "); shedding load";
         promise.set_value(rejected(resource_exhausted_error(message.str())));
         return future;
     }
@@ -157,7 +197,7 @@ InferenceService::submit(std::map<std::string, Tensor> inputs,
     request.token = std::move(token);
     request.priority = priority;
     request.enqueued = std::chrono::steady_clock::now();
-    queue_.push_back(std::move(request));
+    lanes_[lane].push_back(std::move(request));
     update_brownout_locked();
     lock.unlock();
     work_ready_.notify_one();
@@ -166,9 +206,76 @@ InferenceService::submit(std::map<std::string, Tensor> inputs,
 
 InferenceResponse
 InferenceService::run(std::map<std::string, Tensor> inputs,
-                      DeadlineToken deadline)
+                      DeadlineToken deadline, RequestPriority priority)
 {
-    return submit(std::move(inputs), std::move(deadline)).get();
+    return submit(std::move(inputs), std::move(deadline), 0, priority)
+        .get();
+}
+
+std::size_t
+InferenceService::lane_limit(std::size_t lane) const
+{
+    if (lane == priority_index(RequestPriority::kRealtime))
+        return options_.rt_queue_depth > 0
+                   ? options_.rt_queue_depth
+                   : std::max<std::size_t>(1,
+                                           options_.max_queue_depth / 4);
+    return options_.max_queue_depth;
+}
+
+std::size_t
+InferenceService::queued_locked() const
+{
+    std::size_t total = 0;
+    for (const std::deque<Request> &queue : lanes_)
+        total += queue.size();
+    return total;
+}
+
+double
+InferenceService::estimated_wait_ms_locked(std::size_t lane) const
+{
+    double wait_ms = 0;
+    for (std::size_t c = 0; c <= lane; ++c) {
+        if (lanes_[c].empty() || class_service_[c].count() == 0)
+            continue;
+        wait_ms += static_cast<double>(lanes_[c].size()) *
+                   class_service_[c].percentile(0.50);
+    }
+    return wait_ms / static_cast<double>(std::max(1, options_.workers));
+}
+
+std::size_t
+InferenceService::next_lane_locked()
+{
+    std::size_t top = kPriorityClasses;
+    for (std::size_t lane = 0; lane < kPriorityClasses; ++lane) {
+        if (!lanes_[lane].empty()) {
+            top = lane;
+            break;
+        }
+    }
+    if (top == kPriorityClasses)
+        return top;
+
+    // Aging: the most-starved lower lane that reached the credit limit
+    // wins the pop. Suspended while browned out — under overload the
+    // scheduler is strictly class-ordered so real-time always goes
+    // first.
+    if (!brownout_ && options_.aging_credit_limit > 0) {
+        for (std::size_t lane = kPriorityClasses; lane-- > top + 1;) {
+            if (!lanes_[lane].empty() &&
+                aging_credit_[lane] >= options_.aging_credit_limit) {
+                aging_credit_[lane] = 0;
+                return lane;
+            }
+        }
+    }
+    for (std::size_t lane = top + 1; lane < kPriorityClasses; ++lane)
+        if (!lanes_[lane].empty())
+            ++aging_credit_[lane];
+    aging_credit_[top] = 0;
+    return top;
 }
 
 void
@@ -180,23 +287,40 @@ InferenceService::worker_loop(std::size_t worker)
     while (true) {
         Request request;
         bool shed_batch = false;
+        bool infeasible_interactive = false;
+        std::size_t lane = 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_ready_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
+                return stopping_ || queued_locked() > 0;
             });
-            if (queue_.empty()) {
-                // stopping_ with an empty queue: time to exit.
+            lane = next_lane_locked();
+            if (lane == kPriorityClasses) {
+                // stopping_ with empty lanes: time to exit.
                 return;
             }
-            request = std::move(queue_.front());
-            queue_.pop_front();
+            request = std::move(lanes_[lane].front());
+            lanes_[lane].pop_front();
             ++in_flight_;
             update_brownout_locked();
             if (brownout_ &&
                 request.priority == RequestPriority::kBatch) {
                 shed_batch = true;
                 ++stats_.brownout_shed;
+                ++stats_.class_shed[lane];
+            } else if (brownout_ && request.priority ==
+                                        RequestPriority::kInteractive) {
+                // Bottom-up degradation, step two: under brownout an
+                // interactive request past its feasibility margin (one
+                // typical service time) fails fast instead of burning
+                // a replica lease on a guaranteed miss. Real-time work
+                // is never vetted here — it always dispatches.
+                const double margin =
+                    class_service_[lane].count() > 0
+                        ? class_service_[lane].percentile(0.50)
+                        : 0.0;
+                infeasible_interactive =
+                    !request.token.can_cover_ms(margin);
             }
         }
 
@@ -206,6 +330,10 @@ InferenceService::worker_loop(std::size_t worker)
         if (shed_batch) {
             response.status = resource_exhausted_error(
                 "brownout: shedding batch-priority work under overload");
+        } else if (infeasible_interactive) {
+            response.status = deadline_exceeded_error(
+                "brownout: interactive request deferred past its "
+                "feasibility margin");
         } else if (request.token.expired()) {
             response.status = deadline_exceeded_error(
                 "deadline expired while the request was queued");
@@ -218,14 +346,26 @@ InferenceService::worker_loop(std::size_t worker)
             if (response.status.is_ok())
                 ++stats_.completed_ok;
             else if (response.status.code() ==
-                     StatusCode::kDeadlineExceeded)
+                     StatusCode::kDeadlineExceeded) {
                 ++stats_.deadline_exceeded;
-            else if (response.status.code() == StatusCode::kDataCorruption)
+                ++stats_.class_deadline_miss[lane];
+            } else if (response.status.code() ==
+                       StatusCode::kDataCorruption)
                 ++stats_.data_corruption;
             else if (shed_batch)
                 ; // Counted as brownout_shed, not a failure.
             else
                 ++stats_.failed;
+            if (!shed_batch) {
+                // Per-class accounting covers every worker-finished
+                // request (deadline misses land at their queue time)
+                // so histogram counts + sheds partition `submitted`.
+                const double total = response.queue_ms + response.run_ms;
+                class_latency_[lane].record(total);
+                ++stats_.class_count[lane];
+                if (response.status.is_ok() && response.run_ms > 0)
+                    class_service_[lane].record(response.run_ms);
+            }
             if (!shed_batch && response.run_ms > 0) {
                 const double total = response.queue_ms + response.run_ms;
                 latency_.record(total);
@@ -254,12 +394,17 @@ InferenceService::dispatch_with_retries(Request &request,
     DeadlineToken token = request.token;
     const auto wall_deadline = token.deadline_point();
     std::size_t last_replica = EnginePool::kNoReplica;
+    const bool realtime =
+        request.priority == RequestPriority::kRealtime;
+    const LeasePriority lease_priority = realtime
+                                             ? LeasePriority::kRealtime
+                                             : LeasePriority::kNormal;
     int attempt = 0;
 
     for (;;) {
         Status why = internal_error("pool acquire failed");
         EnginePool::Lease lease =
-            pool_->acquire(token, last_replica, &why);
+            pool_->acquire(token, last_replica, &why, lease_priority);
         if (!lease.valid()) {
             response.status = std::move(why);
             return;
@@ -291,10 +436,6 @@ InferenceService::dispatch_with_retries(Request &request,
         }
         if (!retryable || attempt >= options_.max_retries)
             return;
-        if (!try_consume_retry_token()) {
-            response.retry_denied_by_budget = true;
-            return;
-        }
 
         const double exp_backoff =
             options_.retry_backoff_ms *
@@ -303,6 +444,26 @@ InferenceService::dispatch_with_retries(Request &request,
             0.5 + std::generate_canonical<double, 16>(rng);
         const double backoff =
             std::min(exp_backoff, options_.retry_backoff_max_ms) * jitter;
+
+        // A retry whose backoff alone outlasts the remaining deadline
+        // is a guaranteed miss: surface the deadline now instead of
+        // spending a retry token and a replica lease to fail anyway.
+        if (!token.can_cover_ms(backoff)) {
+            response.status = deadline_exceeded_error(
+                "remaining deadline cannot cover the retry backoff; "
+                "failing without retry");
+            return;
+        }
+        // Real-time traffic skips the token bucket (its retries are
+        // bounded by its tight deadlines, not by batch-era credit) but
+        // still shows up in the retry counter.
+        if (realtime) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.retries;
+        } else if (!try_consume_retry_token()) {
+            response.retry_denied_by_budget = true;
+            return;
+        }
         try {
             cooperative_delay_ms(backoff, token);
         } catch (const DeadlineExceededError &) {
@@ -348,19 +509,20 @@ InferenceService::update_brownout_locked()
         options_.brownout_p99_ms <= 0 ||
         recent_p99_locked() <= options_.brownout_p99_ms;
 
-    if (!brownout_ && (queue_.size() >= high || latency_trigger)) {
+    const std::size_t queued = queued_locked();
+    if (!brownout_ && (queued >= high || latency_trigger)) {
         brownout_ = true;
         ++stats_.brownout_entered;
         pool_->set_degraded_mode(true);
         ORPHEUS_WARN("service: brownout ENTER (queue "
-                     << queue_.size() << "/" << options_.max_queue_depth
+                     << queued << "/" << options_.max_queue_depth
                      << ", high watermark " << high
                      << "): shedding batch work, degrading replicas");
-    } else if (brownout_ && queue_.size() <= low && latency_calm) {
+    } else if (brownout_ && queued <= low && latency_calm) {
         brownout_ = false;
         ++stats_.brownout_exited;
         pool_->set_degraded_mode(false);
-        ORPHEUS_WARN("service: brownout EXIT (queue " << queue_.size()
+        ORPHEUS_WARN("service: brownout EXIT (queue " << queued
                                                       << " <= " << low
                                                       << "): restoring "
                                                          "full fidelity");
@@ -416,6 +578,13 @@ InferenceService::stats() const
         merged.latency_p50_ms = latency_.percentile(0.50);
         merged.latency_p99_ms = latency_.percentile(0.99);
         merged.latency_p999_ms = latency_.percentile(0.999);
+        for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+            const LatencyHistogram::Percentiles p =
+                class_latency_[c].percentiles();
+            merged.class_p50_ms[c] = p.p50_ms;
+            merged.class_p99_ms[c] = p.p99_ms;
+            merged.class_p999_ms[c] = p.p999_ms;
+        }
     }
     const EnginePoolStats pool_stats = pool_->stats();
     merged.demotions += pool_stats.demotions;
@@ -433,7 +602,14 @@ std::size_t
 InferenceService::queue_depth() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return queued_locked();
+}
+
+std::size_t
+InferenceService::queue_depth(RequestPriority priority) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lanes_[priority_index(priority)].size();
 }
 
 bool
@@ -449,10 +625,14 @@ InferenceService::stop()
     std::deque<Request> drained;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (stopping_ && queue_.empty() && workers_.empty())
+        if (stopping_ && queued_locked() == 0 && workers_.empty())
             return;
         stopping_ = true;
-        std::swap(drained, queue_);
+        for (std::deque<Request> &queue : lanes_)
+            for (Request &request : queue)
+                drained.push_back(std::move(request));
+        for (std::deque<Request> &queue : lanes_)
+            queue.clear();
     }
     for (Request &request : drained)
         request.promise.set_value(rejected(failed_precondition_error(
@@ -479,7 +659,7 @@ InferenceService::shutdown(double deadline_ms)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         draining_ = true; // submit() now rejects; workers keep going.
-        queued_at_entry = queue_.size();
+        queued_at_entry = queued_locked();
     }
 
     bool forced = false;
@@ -489,34 +669,35 @@ InferenceService::shutdown(double deadline_ms)
         bool drained = false;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (queue_.empty() && in_flight_ == 0) {
+            if (queued_locked() == 0 && in_flight_ == 0) {
                 drained = true;
             } else if (deadline.expired()) {
                 // Out of time: everything still queued is shed and
                 // in-flight work is cancelled below.
-                std::swap(shed, queue_);
+                for (std::deque<Request> &queue : lanes_) {
+                    for (Request &request : queue)
+                        shed.push_back(std::move(request));
+                    queue.clear();
+                }
                 shed_reason = "shutdown deadline expired; "
                               "shedding queued work";
                 forced = true;
             } else if (deadline.has_deadline()) {
                 // Tight deadline: estimate the backlog cost from the
-                // recent latency P50 and shed batch-priority work
-                // first, keeping interactive requests flowing.
+                // recent latency P50 and shed the batch lane first,
+                // keeping real-time and interactive requests flowing.
                 const double per_request_ms =
                     latency_.count() > 0 ? latency_.percentile(0.50)
                                          : 1.0;
                 const double backlog_ms =
                     per_request_ms * static_cast<double>(
-                                         queue_.size() + in_flight_);
+                                         queued_locked() + in_flight_);
                 if (backlog_ms > deadline.remaining_ms()) {
-                    for (auto it = queue_.begin(); it != queue_.end();) {
-                        if (it->priority == RequestPriority::kBatch) {
-                            shed.push_back(std::move(*it));
-                            it = queue_.erase(it);
-                        } else {
-                            ++it;
-                        }
-                    }
+                    std::deque<Request> &batch =
+                        lanes_[priority_index(RequestPriority::kBatch)];
+                    for (Request &request : batch)
+                        shed.push_back(std::move(request));
+                    batch.clear();
                     shed_reason =
                         "shutdown deadline is tight; shedding "
                         "batch-priority work";
@@ -524,6 +705,8 @@ InferenceService::shutdown(double deadline_ms)
             }
             stats_.shutdown_shed +=
                 static_cast<std::int64_t>(shed.size());
+            for (const Request &request : shed)
+                ++stats_.class_shed[priority_index(request.priority)];
         }
         report.shed += static_cast<std::int64_t>(shed.size());
         for (Request &request : shed)

@@ -6,14 +6,29 @@
  * Engine::run is a single-caller, run-to-completion API; the service
  * turns it into something deployable under load:
  *
- *  - Admission control: a bounded request queue. A full queue rejects
- *    with kResourceExhausted immediately (backpressure) instead of
- *    growing without bound; a request whose activation footprint
- *    exceeds its memory budget is rejected up front the same way.
- *  - Deadlines: every request carries a DeadlineToken. Expiry is
- *    honoured while queued (shed before dispatch) and mid-kernel
- *    (cooperative cancellation at parallel_for tile boundaries),
- *    surfacing as kDeadlineExceeded.
+ *  - Admission control: a bounded request queue split into three
+ *    latency-class lanes (real-time / interactive / batch), each with
+ *    its own depth limit under a shared global cap. A full lane
+ *    rejects with kResourceExhausted immediately (backpressure)
+ *    instead of growing without bound; a request whose activation
+ *    footprint exceeds its memory budget is rejected up front the
+ *    same way.
+ *  - Deadline-feasibility admission: a request whose remaining budget
+ *    cannot cover the estimated queue wait ahead of it (lane depth ×
+ *    the lane's recent service-time P50 / workers) is rejected at
+ *    submit with kDeadlineExceeded (rejected_infeasible) in
+ *    microseconds instead of burning a replica lease on a guaranteed
+ *    miss.
+ *  - Latency-class scheduling: workers pop strictly by class
+ *    (real-time > interactive > batch) with an aging credit — every
+ *    time a lower lane is bypassed while nonempty it earns credit,
+ *    and at the limit it gets the next pop — so batch work is
+ *    deferred under pressure but can never starve forever.
+ *  - Deadlines: every request carries a DeadlineToken (defaulted from
+ *    its class SLO budget when none is supplied). Expiry is honoured
+ *    while queued (shed before dispatch) and mid-kernel (cooperative
+ *    cancellation at parallel_for tile boundaries), surfacing as
+ *    kDeadlineExceeded.
  *  - Hang watchdog: a monitor thread flags plan steps that exceed the
  *    hang threshold, cancels the wedged request's token, and demotes
  *    the offending kernel to the reference implementation for
@@ -25,10 +40,13 @@
  *    inside the request's original deadline and a retry budget
  *    (a bounded fraction of recent traffic) that stops retry storms.
  *  - Overload brownout: when queue depth or the recent latency tail
- *    crosses thresholds the service sheds batch-priority work first
- *    and degrades replicas to a cheaper no-shadow guard mode instead
- *    of hard-rejecting everything, restoring full fidelity when
- *    pressure subsides.
+ *    crosses thresholds the service degrades bottom-up — batch work
+ *    is shed at dispatch, interactive work past its feasibility
+ *    margin fails fast instead of burning a lease, real-time work
+ *    always dispatches first (aging is suspended) and skips the retry
+ *    token bucket — and replicas drop to a cheaper no-shadow guard
+ *    mode instead of hard-rejecting everything, restoring full
+ *    fidelity when pressure subsides.
  *
  * Concurrency model: each of the N worker threads leases a private
  * replica per request, so requests on different workers never share
@@ -61,16 +79,66 @@
 
 namespace orpheus {
 
-/** Dispatch class of a request: brownout sheds batch work first. */
+/**
+ * Latency class of a request. Each class has its own queue lane,
+ * depth limit, default SLO budget and latency histogram; degradation
+ * escalates bottom-up (batch sheds first, real-time last — never).
+ */
 enum class RequestPriority {
-    kInteractive = 0,
-    kBatch,
+    kRealtime = 0, ///< Hard-deadline work: shallow lane, always
+                   ///< dispatched first, never shed by brownout,
+                   ///< retries bypass the token bucket.
+    kInteractive,  ///< Default: latency-sensitive request/response.
+    kBatch,        ///< Throughput work: first to defer and shed.
 };
 
+/** Number of latency classes (size of per-class option/stat arrays). */
+inline constexpr std::size_t kPriorityClasses = 3;
+
+/** Class index for per-class arrays. */
+inline constexpr std::size_t
+priority_index(RequestPriority priority)
+{
+    return static_cast<std::size_t>(priority);
+}
+
+/** "realtime" / "interactive" / "batch". */
+const char *to_string(RequestPriority priority);
+
 struct ServiceOptions {
-    /** Requests admitted but not yet dispatched; submissions beyond
-     *  this are rejected with kResourceExhausted. */
+    /** Requests admitted but not yet dispatched, summed across all
+     *  lanes; submissions beyond this are rejected with
+     *  kResourceExhausted. Real-time requests are exempt from this
+     *  global cap (a batch flood must not starve their admission) and
+     *  answer only to the rt_queue_depth lane limit, so total backlog
+     *  can exceed this by at most that much. */
     std::size_t max_queue_depth = 16;
+
+    // --- Latency classes --------------------------------------------------
+
+    /** Depth limit of the real-time lane (0 = max_queue_depth / 4,
+     *  at least 1). Kept shallow on purpose: a deep real-time queue
+     *  is already a deadline violation in the making, so excess
+     *  real-time load is rejected instantly rather than queued. */
+    std::size_t rt_queue_depth = 0;
+
+    /** Per-class SLO budgets, indexed by RequestPriority, applied as
+     *  the default deadline for requests of that class submitted
+     *  without one. 0 falls back to default_deadline_ms. */
+    std::array<double, kPriorityClasses> class_deadline_ms{};
+
+    /** Aging credit limit: a nonempty lower lane bypassed this many
+     *  times by higher-class pops gets the next pop regardless of
+     *  class, so batch work cannot starve forever. Suspended while
+     *  browned out (real-time strictly wins under overload). */
+    int aging_credit_limit = 8;
+
+    /** Deadline-feasibility admission: reject at submit (with
+     *  kDeadlineExceeded, counted in rejected_infeasible) any request
+     *  whose remaining budget cannot cover the estimated queue wait
+     *  ahead of it. Estimation needs recorded service times, so a
+     *  cold service admits everything. */
+    bool enable_feasibility_admission = true;
 
     /** Worker threads leasing replicas from the pool. */
     int workers = 1;
@@ -185,8 +253,8 @@ struct ServiceStats {
     std::int64_t rejected_memory = 0;
     /** Completed with OK status. */
     std::int64_t completed_ok = 0;
-    /** kDeadlineExceeded results: expired while queued, mid-kernel
-     *  cancellation, or watchdog cancellation. */
+    /** kDeadlineExceeded results: infeasible at submit, expired while
+     *  queued, mid-kernel cancellation, or watchdog cancellation. */
     std::int64_t deadline_exceeded = 0;
     /** kDataCorruption results: a guard verdict confirmed the fast
      *  kernel's output wrong (fail_on_corruption policy). */
@@ -215,6 +283,32 @@ struct ServiceStats {
     std::int64_t brownout_exited = 0;
     /** Batch-priority requests shed while browned out. */
     std::int64_t brownout_shed = 0;
+
+    // --- Latency classes --------------------------------------------------
+    /** Rejected at submission: the remaining deadline budget could
+     *  not cover the estimated queue wait (already-expired deadlines
+     *  included). Every one also counts in deadline_exceeded — the
+     *  caller sees a kDeadlineExceeded status either way; this
+     *  counter isolates the ones refused in microseconds at admission
+     *  instead of after burning queue time or a replica lease. */
+    std::int64_t rejected_infeasible = 0;
+    /** Per-class (indexed by RequestPriority): requests finished by a
+     *  worker — shed ones excluded — equal to the class latency
+     *  histogram's sample count, so per-class counts + sheds +
+     *  admission rejections partition `submitted` exactly. */
+    std::array<std::int64_t, kPriorityClasses> class_count{};
+    /** Per-class queue+run latency percentiles. */
+    std::array<double, kPriorityClasses> class_p50_ms{};
+    std::array<double, kPriorityClasses> class_p99_ms{};
+    std::array<double, kPriorityClasses> class_p999_ms{};
+    /** Per-class requests shed without dispatch (brownout batch
+     *  shedding plus shutdown shedding). */
+    std::array<std::int64_t, kPriorityClasses> class_shed{};
+    /** Per-class share of rejected_infeasible. */
+    std::array<std::int64_t, kPriorityClasses> class_infeasible{};
+    /** Per-class kDeadlineExceeded completions after admission (the
+     *  true SLO misses; admission-time rejections are not misses). */
+    std::array<std::int64_t, kPriorityClasses> class_deadline_miss{};
 
     // --- Model lifecycle (registry/pool-backed) ---------------------------
     /** Generation currently serving (1 = the compiled-in seed). */
@@ -258,12 +352,15 @@ class InferenceService
 
     /**
      * Submits one request. Never blocks: admission-control rejections
-     * (queue full, memory budget, expired deadline, stopped service)
-     * complete the returned future immediately with a typed error
-     * status. @p deadline defaults to the service's default deadline;
-     * @p memory_budget_bytes overrides the service budget when
-     * non-zero. @p priority selects the brownout shedding class —
-     * batch work is shed first under overload.
+     * (lane or queue full, memory budget, infeasible or expired
+     * deadline, stopped service) complete the returned future
+     * immediately with a typed error status. @p deadline defaults to
+     * the class SLO budget (ServiceOptions::class_deadline_ms), then
+     * the service default; @p memory_budget_bytes overrides the
+     * service budget when non-zero. @p priority selects the latency
+     * class: its lane, depth limit, histogram and degradation order —
+     * batch work is deferred and shed first under overload, real-time
+     * work dispatches first and is never shed.
      */
     std::future<InferenceResponse>
     submit(std::map<std::string, Tensor> inputs,
@@ -272,13 +369,19 @@ class InferenceService
            RequestPriority priority = RequestPriority::kInteractive);
 
     /** Synchronous convenience wrapper: submit and wait. */
-    InferenceResponse run(std::map<std::string, Tensor> inputs,
-                          DeadlineToken deadline = {});
+    InferenceResponse
+    run(std::map<std::string, Tensor> inputs,
+        DeadlineToken deadline = {},
+        RequestPriority priority = RequestPriority::kInteractive);
 
     ServiceStats stats() const;
 
-    /** Requests currently queued (excludes in-flight ones). */
+    /** Requests currently queued across all lanes (excludes in-flight
+     *  ones). */
     std::size_t queue_depth() const;
+
+    /** Requests currently queued in @p priority's lane. */
+    std::size_t queue_depth(RequestPriority priority) const;
 
     /** True while the service is shedding batch work / running
      *  replicas in degraded mode. */
@@ -347,6 +450,22 @@ class InferenceService
     /** Consumes one retry token; false (and a denied count) when the
      *  budget is exhausted. */
     bool try_consume_retry_token();
+    /** Depth limit of @p lane. */
+    std::size_t lane_limit(std::size_t lane) const;
+    /** Total requests queued across lanes. Caller holds mutex_. */
+    std::size_t queued_locked() const;
+    /** Estimated queue wait (ms) ahead of a new request in @p lane:
+     *  Σ over lanes at the same or higher class of depth × that
+     *  lane's recent service-time P50, divided by the worker count.
+     *  Lanes with no recorded service times contribute 0 (a cold
+     *  service never rejects on feasibility). Caller holds mutex_. */
+    double estimated_wait_ms_locked(std::size_t lane) const;
+    /** Picks the next lane to pop (strict class priority + aging
+     *  credit) and updates the credits. The caller pops the returned
+     *  lane's front; every lane is nonempty-checked. Returns
+     *  kPriorityClasses when all lanes are empty. Caller holds
+     *  mutex_. */
+    std::size_t next_lane_locked();
     /** Re-evaluates brownout state from queue depth and the recent
      *  latency window. Caller holds mutex_. */
     void update_brownout_locked();
@@ -359,13 +478,25 @@ class InferenceService
     std::unique_ptr<ModelRegistry> registry_;
     std::size_t footprint_ = 0;
 
-    mutable std::mutex mutex_; ///< Guards queue_, stats_, brownout and
-                               ///< retry-budget state, stopping_,
-                               ///< draining_, in_flight_.
+    mutable std::mutex mutex_; ///< Guards lanes_, stats_, histograms,
+                               ///< brownout and retry-budget state,
+                               ///< stopping_, draining_, in_flight_.
     std::condition_variable work_ready_;
-    std::deque<Request> queue_;
+    /** Per-class lanes, indexed by RequestPriority. */
+    std::array<std::deque<Request>, kPriorityClasses> lanes_;
+    /** Aging credit per lane: bumped when a nonempty lane is bypassed
+     *  by a higher-class pop; at aging_credit_limit the lane wins the
+     *  next pop. */
+    std::array<int, kPriorityClasses> aging_credit_{};
     ServiceStats stats_;
     LatencyHistogram latency_;
+    /** Per-class queue+run latency; records every worker-finished,
+     *  non-shed request (deadline misses included, at queue_ms) so
+     *  counts partition `submitted` exactly. */
+    std::array<LatencyHistogram, kPriorityClasses> class_latency_;
+    /** Per-class execution time only (successful runs); feeds the
+     *  feasibility-admission wait estimate. */
+    std::array<LatencyHistogram, kPriorityClasses> class_service_;
     /** Recent total latencies (ms) for the brownout P99 trigger. */
     std::array<double, 128> recent_latency_{};
     std::size_t recent_count_ = 0;

@@ -174,32 +174,41 @@ TEST(CApi, ErrorCodesAreStableAbiValues)
 TEST(CApi, StatusCodesRoundTripThroughCCodes)
 {
     using orpheus::StatusCode;
-    const StatusCode all[] = {
-        StatusCode::kOk,
-        StatusCode::kInvalidArgument,
-        StatusCode::kNotFound,
-        StatusCode::kUnimplemented,
-        StatusCode::kOutOfRange,
-        StatusCode::kFailedPrecondition,
-        StatusCode::kInternal,
-        StatusCode::kParseError,
-        StatusCode::kDeadlineExceeded,
-        StatusCode::kResourceExhausted,
-        StatusCode::kDataCorruption,
-        StatusCode::kModelRejected,
-    };
-    for (const StatusCode code : all) {
-        const int c_code = orpheus::capi::to_c_code(code);
-        EXPECT_EQ(orpheus::capi::from_c_code(c_code), code)
+    // The mapping table itself is the exhaustiveness witness: its size
+    // is pinned to the enumerator count by a static_assert in
+    // status_map.hpp, so iterating it covers every StatusCode.
+    for (const orpheus::capi::StatusCodeMapping &entry :
+         orpheus::capi::kStatusCodeTable) {
+        const int c_code = orpheus::capi::to_c_code(entry.status);
+        EXPECT_EQ(c_code, entry.c_code);
+        EXPECT_EQ(orpheus::capi::from_c_code(c_code), entry.status)
             << "C code " << c_code;
-        if (code != StatusCode::kOk)
+        if (entry.status != StatusCode::kOk)
             EXPECT_LT(c_code, 0);
     }
     EXPECT_EQ(orpheus::capi::to_c_code(StatusCode::kDataCorruption),
               ORPHEUS_ERR_DATA_CORRUPTION);
+    EXPECT_EQ(orpheus::capi::to_c_code(StatusCode::kModelRejected),
+              ORPHEUS_ERR_MODEL_REJECTED);
     // Unknown C codes degrade to kInternal rather than UB.
     EXPECT_EQ(orpheus::capi::from_c_code(-999),
               orpheus::StatusCode::kInternal);
+}
+
+TEST(CApi, EveryStatusCodeHasAnErrorName)
+{
+    // Every StatusCode — kModelRejected (−12) included — must
+    // round-trip through orpheus_error_name with a real name: a
+    // newly-added code that falls back to "Unknown" means the C ABI
+    // table fell out of sync with the StatusCode enum.
+    for (const orpheus::capi::StatusCodeMapping &entry :
+         orpheus::capi::kStatusCodeTable) {
+        const char *name = orpheus_error_name(entry.c_code);
+        EXPECT_STRNE(name, "Unknown")
+            << "C code " << entry.c_code << " has no name";
+        EXPECT_STREQ(name, orpheus::to_string(entry.status))
+            << "C code " << entry.c_code;
+    }
 }
 
 TEST(CApi, ErrorNamesMatchStatusCodes)
@@ -211,6 +220,8 @@ TEST(CApi, ErrorNamesMatchStatusCodes)
                  "DeadlineExceeded");
     EXPECT_STREQ(orpheus_error_name(ORPHEUS_ERR_RESOURCE_EXHAUSTED),
                  "ResourceExhausted");
+    EXPECT_STREQ(orpheus_error_name(ORPHEUS_ERR_MODEL_REJECTED),
+                 "ModelRejected");
     EXPECT_STREQ(orpheus_error_name(ORPHEUS_ERR_BUFFER_TOO_SMALL),
                  "BufferTooSmall");
     EXPECT_STREQ(orpheus_error_name(-999), "Unknown");
@@ -277,6 +288,7 @@ TEST(CApi, ServiceLifecycleRunAndStats)
     int retries = -1;
     ASSERT_EQ(orpheus_service_run(service, input.data(), input.size(),
                                   output.data(), output.size(),
+                                  ORPHEUS_PRIORITY_INTERACTIVE,
                                   /*deadline_ms=*/0, &retries),
               ORPHEUS_OK)
         << orpheus_last_error();
@@ -286,20 +298,39 @@ TEST(CApi, ServiceLifecycleRunAndStats)
         sum += value;
     EXPECT_NEAR(sum, 1.0, 1e-3); // Softmax head.
 
+    // A real-time request routes through its own lane and histogram.
+    ASSERT_EQ(orpheus_service_run(service, input.data(), input.size(),
+                                  output.data(), output.size(),
+                                  ORPHEUS_PRIORITY_REALTIME,
+                                  /*deadline_ms=*/0, &retries),
+              ORPHEUS_OK)
+        << orpheus_last_error();
+
     orpheus_service_stats stats{};
     ASSERT_EQ(orpheus_service_query_stats(service, &stats), ORPHEUS_OK);
-    EXPECT_EQ(stats.submitted, 1);
-    EXPECT_EQ(stats.completed_ok, 1);
+    EXPECT_EQ(stats.submitted, 2);
+    EXPECT_EQ(stats.completed_ok, 2);
     EXPECT_GT(stats.latency_p50_ms, 0.0);
+    EXPECT_EQ(stats.class_count[ORPHEUS_PRIORITY_REALTIME], 1);
+    EXPECT_EQ(stats.class_count[ORPHEUS_PRIORITY_INTERACTIVE], 1);
+    EXPECT_EQ(stats.class_count[ORPHEUS_PRIORITY_BATCH], 0);
+    EXPECT_GT(stats.class_p50_ms[ORPHEUS_PRIORITY_REALTIME], 0.0);
+    EXPECT_EQ(stats.rejected_infeasible, 0);
 
     // Buffer and argument validation mirror orpheus_engine_run.
     EXPECT_EQ(orpheus_service_run(service, input.data(), 5,
-                                  output.data(), output.size(), 0,
+                                  output.data(), output.size(),
+                                  ORPHEUS_PRIORITY_INTERACTIVE, 0,
                                   nullptr),
               ORPHEUS_ERR_INVALID_ARGUMENT);
     EXPECT_EQ(orpheus_service_run(nullptr, input.data(), input.size(),
-                                  output.data(), output.size(), 0,
+                                  output.data(), output.size(),
+                                  ORPHEUS_PRIORITY_INTERACTIVE, 0,
                                   nullptr),
+              ORPHEUS_ERR_INVALID_ARGUMENT);
+    EXPECT_EQ(orpheus_service_run(service, input.data(), input.size(),
+                                  output.data(), output.size(),
+                                  /*priority=*/99, 0, nullptr),
               ORPHEUS_ERR_INVALID_ARGUMENT);
 
     orpheus_service_destroy(service);
@@ -331,7 +362,8 @@ TEST(CApi, ServiceReloadAndShutdown)
     std::vector<float> input(3 * 8 * 8, 0.25f);
     std::vector<float> output(10, -1.0f);
     ASSERT_EQ(orpheus_service_run(service, input.data(), input.size(),
-                                  output.data(), output.size(), 0,
+                                  output.data(), output.size(),
+                                  ORPHEUS_PRIORITY_INTERACTIVE, 0,
                                   nullptr),
               ORPHEUS_OK)
         << orpheus_last_error();
@@ -350,7 +382,8 @@ TEST(CApi, ServiceReloadAndShutdown)
               ORPHEUS_OK);
     // After shutdown the service rejects work but stays queryable.
     EXPECT_NE(orpheus_service_run(service, input.data(), input.size(),
-                                  output.data(), output.size(), 0,
+                                  output.data(), output.size(),
+                                  ORPHEUS_PRIORITY_INTERACTIVE, 0,
                                   nullptr),
               ORPHEUS_OK);
     EXPECT_EQ(orpheus_service_shutdown(nullptr, 0),

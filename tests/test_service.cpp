@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <thread>
@@ -356,6 +357,398 @@ TEST(InferenceService, ConcurrentCallersMatchSerialEngineBitwise)
     EXPECT_EQ(service.stats().completed_ok, kRequests);
 
     set_global_num_threads(1);
+}
+
+// --- Latency classes ------------------------------------------------------
+
+TEST(InferenceService, RealtimeDispatchesBeforeInteractiveAndBatch)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Every request stalls 200 ms at its first conv, spacing
+    // completions far apart relative to scheduling jitter.
+    engine_options.fault_injector->arm_delay("Conv_0", "", 200, 0, -1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    auto stall = service.submit(cnn_inputs(0x7a00));
+    wait_for_empty_queue(service); // The worker is inside the stall.
+
+    // Submission order is batch, interactive, real-time; pop order
+    // must be class order. Each dispatch runs 200 ms, so "the others
+    // are still pending when this one resolves" has a wide margin.
+    auto batch = service.submit(cnn_inputs(0x7a01), DeadlineToken(), 0,
+                                RequestPriority::kBatch);
+    auto interactive = service.submit(cnn_inputs(0x7a02));
+    auto realtime = service.submit(cnn_inputs(0x7a03), DeadlineToken(), 0,
+                                   RequestPriority::kRealtime);
+
+    EXPECT_TRUE(realtime.get().status.is_ok());
+    EXPECT_EQ(interactive.wait_for(std::chrono::seconds(0)),
+              std::future_status::timeout);
+    EXPECT_EQ(batch.wait_for(std::chrono::seconds(0)),
+              std::future_status::timeout);
+    EXPECT_TRUE(interactive.get().status.is_ok());
+    EXPECT_EQ(batch.wait_for(std::chrono::seconds(0)),
+              std::future_status::timeout);
+    EXPECT_TRUE(batch.get().status.is_ok());
+    EXPECT_TRUE(stall.get().status.is_ok());
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.class_count[priority_index(RequestPriority::kRealtime)],
+              1);
+    EXPECT_EQ(
+        stats.class_count[priority_index(RequestPriority::kInteractive)],
+        2);
+    EXPECT_EQ(stats.class_count[priority_index(RequestPriority::kBatch)],
+              1);
+    EXPECT_GT(stats.class_p50_ms[priority_index(RequestPriority::kRealtime)],
+              0.0);
+}
+
+TEST(InferenceService, AgingCreditPreventsBatchStarvation)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    engine_options.fault_injector->arm_delay("Conv_0", "", 150, 0, -1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.enable_watchdog = false;
+    options.aging_credit_limit = 2;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    auto stall = service.submit(cnn_inputs(0x7b00));
+    wait_for_empty_queue(service);
+
+    auto batch = service.submit(cnn_inputs(0x7b01), DeadlineToken(), 0,
+                                RequestPriority::kBatch);
+    auto i1 = service.submit(cnn_inputs(0x7b02));
+    auto i2 = service.submit(cnn_inputs(0x7b03));
+    auto i3 = service.submit(cnn_inputs(0x7b04));
+
+    // Strict priority pops i1 and i2 first, each bypass earning the
+    // batch lane one credit; at the limit of 2 the batch request gets
+    // the next pop, overtaking i3.
+    EXPECT_TRUE(batch.get().status.is_ok());
+    EXPECT_EQ(i3.wait_for(std::chrono::seconds(0)),
+              std::future_status::timeout)
+        << "the aged batch request must overtake the last interactive one";
+    EXPECT_TRUE(i1.get().status.is_ok());
+    EXPECT_TRUE(i2.get().status.is_ok());
+    EXPECT_TRUE(i3.get().status.is_ok());
+    EXPECT_TRUE(stall.get().status.is_ok());
+    EXPECT_EQ(
+        service.stats().class_count[priority_index(RequestPriority::kBatch)],
+        1);
+}
+
+TEST(InferenceService, ExpiredDeadlineRejectedAtSubmitWithoutQueueing)
+{
+    InferenceService service(models::tiny_cnn());
+
+    const auto started = std::chrono::steady_clock::now();
+    auto doomed =
+        service.submit(cnn_inputs(0x7c00), DeadlineToken::after_ms(0));
+    const std::chrono::duration<double, std::milli> submit_ms =
+        std::chrono::steady_clock::now() - started;
+
+    // Admission-time rejection: the future is already resolved when
+    // submit() returns — no queueing, no dispatch, no worker involved.
+    ASSERT_EQ(doomed.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const InferenceResponse response = doomed.get();
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(response.queue_ms, 0.0);
+    EXPECT_EQ(response.run_ms, 0.0);
+    EXPECT_LT(submit_ms.count(), 50.0); // Sub-ms in practice; CI slack.
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.accepted, 0);
+    EXPECT_EQ(stats.deadline_exceeded, 1);
+    EXPECT_EQ(stats.rejected_infeasible, 1);
+    EXPECT_EQ(
+        stats.class_infeasible[priority_index(RequestPriority::kInteractive)],
+        1);
+}
+
+TEST(InferenceService, InfeasibleQueueWaitRejectedAtSubmit)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Every request stalls ~100 ms at its first conv, so the
+    // interactive service-time P50 dwarfs the doomed request's 10 ms
+    // budget.
+    engine_options.fault_injector->arm_delay("Conv_0", "", 100, 0, -1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    // Warm the interactive service-time estimate.
+    ASSERT_TRUE(service.run(cnn_inputs(0x7d00)).status.is_ok());
+
+    auto in_flight = service.submit(cnn_inputs(0x7d01));
+    wait_for_empty_queue(service);
+    auto queued = service.submit(cnn_inputs(0x7d02));
+
+    // One queued interactive request ahead (~100 ms estimated wait)
+    // against a 10 ms budget: refused at submit, before any dispatch.
+    auto doomed =
+        service.submit(cnn_inputs(0x7d03), DeadlineToken::after_ms(10));
+    ASSERT_EQ(doomed.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(doomed.get().status.code(), StatusCode::kDeadlineExceeded);
+
+    // The real-time lane is empty, so the same budget is feasible
+    // there: admitted at submit; the miss (the in-flight stall
+    // outlasts it) is charged to the class at dispatch instead.
+    auto realtime =
+        service.submit(cnn_inputs(0x7d04), DeadlineToken::after_ms(10), 0,
+                       RequestPriority::kRealtime);
+    const InferenceResponse rt = realtime.get();
+    EXPECT_EQ(rt.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(rt.run_ms, 0.0);
+
+    EXPECT_TRUE(in_flight.get().status.is_ok());
+    EXPECT_TRUE(queued.get().status.is_ok());
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.rejected_infeasible, 1);
+    EXPECT_EQ(
+        stats.class_infeasible[priority_index(RequestPriority::kInteractive)],
+        1);
+    EXPECT_EQ(stats.class_deadline_miss[priority_index(
+                  RequestPriority::kRealtime)],
+              1);
+    EXPECT_EQ(stats.completed_ok, 3);
+}
+
+TEST(InferenceService, RetrySkippedWhenBackoffOutlastsDeadline)
+{
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Corrupt every kernel invocation: the first attempt fails fast
+    // with kDataCorruption, which is retryable.
+    engine_options.fault_injector->arm_corruption(
+        "", "", CorruptionKind::kNaNPoke, 0, -1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 2;
+    options.max_retries = 3;
+    options.retry_budget = 1.0;
+    // Backoff >= 200 ms even at minimum jitter, far above the budget.
+    options.retry_backoff_ms = 400;
+    options.retry_backoff_max_ms = 600;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    const InferenceResponse response =
+        service.run(cnn_inputs(0x7e00), DeadlineToken::after_ms(100));
+
+    // The first attempt failed with most of the 100 ms still on the
+    // clock, but the smallest possible backoff already outlasts it:
+    // the request fails as a deadline miss without burning a retry
+    // token or a second replica lease.
+    EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(response.retries, 0);
+    EXPECT_FALSE(response.retry_denied_by_budget);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.retries, 0);
+    EXPECT_EQ(stats.retry_budget_denied, 0);
+    EXPECT_EQ(stats.deadline_exceeded, 1);
+    EXPECT_EQ(engine_options.fault_injector->corruptions_injected(), 1);
+}
+
+TEST(InferenceService, RealtimeRetriesBypassTheTokenBucket)
+{
+    auto injector = std::make_shared<FaultInjector>();
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+    engine_options.fault_injector = injector;
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 2;
+    options.max_retries = 2;
+    // The bucket cap clamps to a single token; each dispatched
+    // request earns back only 0.001 of one.
+    options.retry_budget = 0.001;
+    options.retry_backoff_ms = 1;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    // Drain the single token: the first interactive request corrupts
+    // once, retries on the other replica, and succeeds.
+    injector->arm_corruption("", "", CorruptionKind::kNaNPoke, 0, 1);
+    const InferenceResponse drain = service.run(cnn_inputs(0x7f00));
+    ASSERT_TRUE(drain.status.is_ok()) << drain.status.to_string();
+    EXPECT_EQ(drain.retries, 1);
+
+    // An interactive request now finds the bucket empty: the retry is
+    // denied and the corruption surfaces.
+    injector->arm_corruption("", "", CorruptionKind::kNaNPoke, 0, 1);
+    const InferenceResponse denied = service.run(cnn_inputs(0x7f01));
+    EXPECT_EQ(denied.status.code(), StatusCode::kDataCorruption);
+    EXPECT_TRUE(denied.retry_denied_by_budget);
+
+    // The same failure on a real-time request retries anyway.
+    injector->arm_corruption("", "", CorruptionKind::kNaNPoke, 0, 1);
+    const InferenceResponse rt = service.run(
+        cnn_inputs(0x7f02), DeadlineToken(), RequestPriority::kRealtime);
+    ASSERT_TRUE(rt.status.is_ok()) << rt.status.to_string();
+    EXPECT_EQ(rt.retries, 1);
+    EXPECT_FALSE(rt.retry_denied_by_budget);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.retries, 2);
+    EXPECT_EQ(stats.retry_budget_denied, 1);
+}
+
+TEST(InferenceService, BrownoutShedsBatchButServesRealtime)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    engine_options.fault_injector->arm_delay("Conv_0", "", 200, 0, -1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.enable_watchdog = false;
+    options.enable_brownout = true;
+    options.brownout_high_watermark = 2;
+    options.brownout_low_watermark = 1;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    auto stall = service.submit(cnn_inputs(0x8000));
+    wait_for_empty_queue(service);
+
+    auto b1 = service.submit(cnn_inputs(0x8001), DeadlineToken(), 0,
+                             RequestPriority::kBatch);
+    auto b2 = service.submit(cnn_inputs(0x8002), DeadlineToken(), 0,
+                             RequestPriority::kBatch);
+    auto b3 = service.submit(cnn_inputs(0x8003), DeadlineToken(), 0,
+                             RequestPriority::kBatch);
+    EXPECT_TRUE(service.browned_out()); // Depth 3 >= high watermark 2.
+    auto rt = service.submit(cnn_inputs(0x8004), DeadlineToken(), 0,
+                             RequestPriority::kRealtime);
+
+    // Pop order under brownout: the real-time request dispatches
+    // (never shed), b1 pops at depth 2 > low and is shed, popping b2
+    // drops the queue to the low watermark so brownout exits and b2
+    // and b3 run normally.
+    EXPECT_TRUE(rt.get().status.is_ok());
+    const InferenceResponse shed = b1.get();
+    EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(shed.run_ms, 0.0);
+    EXPECT_TRUE(b2.get().status.is_ok());
+    EXPECT_TRUE(b3.get().status.is_ok());
+    EXPECT_TRUE(stall.get().status.is_ok());
+    EXPECT_FALSE(service.browned_out());
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.brownout_entered, 1);
+    EXPECT_EQ(stats.brownout_exited, 1);
+    EXPECT_EQ(stats.brownout_shed, 1);
+    EXPECT_EQ(stats.class_shed[priority_index(RequestPriority::kBatch)], 1);
+    EXPECT_EQ(stats.class_shed[priority_index(RequestPriority::kRealtime)],
+              0);
+    EXPECT_EQ(stats.completed_ok, 4);
+}
+
+TEST(InferenceService, ConcurrentClassAccountingStaysConsistent)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // A small uniform stall keeps a backlog, so queue-full rejection,
+    // feasibility admission and brownout all engage while the stats
+    // surfaces are read hot from another thread.
+    engine_options.fault_injector->arm_delay("", "", 2, 0, -1);
+
+    ServiceOptions options;
+    options.workers = 2;
+    options.replicas = 2;
+    options.max_queue_depth = 8;
+    options.enable_brownout = true;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    constexpr int kPerClass = 40;
+    const RequestPriority classes[kPriorityClasses] = {
+        RequestPriority::kRealtime, RequestPriority::kInteractive,
+        RequestPriority::kBatch};
+    std::vector<std::future<InferenceResponse>> futures[kPriorityClasses];
+    std::atomic<bool> done{false};
+
+    std::thread reader([&] {
+        while (!done.load()) {
+            const ServiceStats snapshot = service.stats();
+            EXPECT_LE(snapshot.completed_ok, snapshot.accepted);
+            (void)service.queue_depth();
+            (void)service.queue_depth(RequestPriority::kRealtime);
+            (void)service.browned_out();
+            std::this_thread::yield();
+        }
+    });
+
+    std::thread submitters[kPriorityClasses];
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+        futures[c].reserve(kPerClass);
+        submitters[c] = std::thread([&service, &futures, &classes, c] {
+            for (int i = 0; i < kPerClass; ++i) {
+                // Every fourth request carries a budget that cannot
+                // survive a backlog, exercising the infeasible and
+                // deadline-miss paths alongside the happy one.
+                DeadlineToken token = (i % 4 == 3)
+                                          ? DeadlineToken::after_ms(1)
+                                          : DeadlineToken();
+                futures[c].push_back(service.submit(
+                    cnn_inputs(0x8100 + static_cast<unsigned>(i)),
+                    std::move(token), 0, classes[c]));
+            }
+        });
+    }
+    for (std::thread &submitter : submitters)
+        submitter.join();
+    for (auto &lane : futures)
+        for (auto &future : lane)
+            (void)future.get(); // Every promise resolved => counters final.
+    done.store(true);
+    reader.join();
+
+    const ServiceStats stats = service.stats();
+    const std::int64_t total = 3 * kPerClass;
+    EXPECT_EQ(stats.submitted, total);
+    // Admission partitions submissions exactly.
+    EXPECT_EQ(stats.accepted + stats.rejected_queue_full +
+                  stats.rejected_infeasible,
+              total);
+    // Workers account for every accepted request exactly once: it is
+    // either finished (per-class histogram) or shed.
+    std::int64_t finished = 0, shed = 0, missed = 0, infeasible = 0;
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+        finished += stats.class_count[c];
+        shed += stats.class_shed[c];
+        missed += stats.class_deadline_miss[c];
+        infeasible += stats.class_infeasible[c];
+    }
+    EXPECT_EQ(finished + shed, stats.accepted);
+    EXPECT_EQ(shed, stats.brownout_shed);
+    EXPECT_EQ(infeasible, stats.rejected_infeasible);
+    // Finished requests split into successes and SLO misses.
+    EXPECT_EQ(stats.failed, 0);
+    EXPECT_EQ(stats.data_corruption, 0);
+    EXPECT_EQ(finished, stats.completed_ok + missed);
+    EXPECT_EQ(stats.deadline_exceeded, stats.rejected_infeasible + missed);
+    // Real-time work is never shed.
+    EXPECT_EQ(stats.class_shed[priority_index(RequestPriority::kRealtime)],
+              0);
 }
 
 TEST(InferenceService, StopFailsQueuedRequests)

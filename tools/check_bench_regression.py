@@ -29,6 +29,13 @@ Robustness against machine and scheduler noise:
    percentage, so no normalisation is needed (or wanted). Baselines
    for quality-only benches should commit just the _pct cells; count
    cells (retries, quarantines, ...) vary legitimately run to run.
+ - Columns ending in "_ms" are absolute latency bounds (e.g. the
+   overload bench's per-class tail cells, whose service time is pinned
+   by fault injection so raw milliseconds ARE comparable): they are
+   likewise excluded from the normalisation and gated as upper bounds —
+   the gate fails when a result exceeds baseline * (1 + threshold).
+   Tail percentiles are noisier than means, so CI gates these slugs
+   with a wider threshold in a separate invocation.
 
 Usage:
   check_bench_regression.py --baseline bench/baselines \\
@@ -67,14 +74,20 @@ def is_quality(key):
     return key[1].endswith("_pct")
 
 
+def is_bound(key):
+    """Absolute-bound cells ("*_ms" columns): lower is better, gated
+    absolutely as an upper bound rather than as a share of suite time."""
+    return key[1].endswith("_ms")
+
+
 def scores(cells):
     """Each time cell's share of the file's total time."""
     total = sum(value for key, value in cells.items()
-                if value > 0 and not is_quality(key))
+                if value > 0 and not is_quality(key) and not is_bound(key))
     if total <= 0:
         return {}
     return {key: value / total for key, value in cells.items()
-            if value > 0 and not is_quality(key)}
+            if value > 0 and not is_quality(key) and not is_bound(key)}
 
 
 def check_bench(slug, baseline_dirs, results_dirs, threshold, floor_ms):
@@ -112,6 +125,20 @@ def check_bench(slug, baseline_dirs, results_dirs, threshold, floor_ms):
                 f"{slug}: ({row}, {column}) quality dropped "
                 f"{base:.2f} -> {new:.2f} "
                 f"(gate {base * (1 - threshold):.2f})")
+    for key in sorted(k for k in baseline_cells if is_bound(k)):
+        row, column = key
+        base = baseline_cells[key]
+        if key not in result_cells:
+            failures.append(f"{slug}: cell ({row}, {column}) disappeared "
+                            "from the results")
+            continue
+        gated += 1
+        new = result_cells[key]
+        if new > base * (1 + threshold):
+            failures.append(
+                f"{slug}: ({row}, {column}) latency bound exceeded "
+                f"{base:.3f} ms -> {new:.3f} ms "
+                f"(gate {base * (1 + threshold):.3f} ms)")
     for key, base_score in sorted(baseline_scores.items()):
         row, column = key
         if key not in result_cells:

@@ -29,6 +29,15 @@
  *   --max-retries <n>   failover retries per request (default 0)
  *   --retry-budget <f>  retry tokens earned per request (default 0.2)
  *   --brownout          shed batch work / degrade replicas on overload
+ * latency classes (run/serve):
+ *   --class <list>      comma-separated latency classes assigned to
+ *                       clients round-robin: realtime | interactive |
+ *                       batch (serve; default interactive). For run, a
+ *                       single class routed through the service path.
+ *   --priority <class>  alias for --class (run)
+ *   --rt-queue-depth <n>        real-time lane depth (0 = depth/4)
+ *   --class-deadline-ms <c>=<ms> per-class SLO budget, repeatable
+ *                       (e.g. --class-deadline-ms realtime=50)
  * lifecycle (serve):
  *   --swap-to <model>   hot-swap to this model mid-run (canary rollout)
  *   --canary-fraction <f>       live-traffic slice for the canary (0.25)
@@ -39,6 +48,7 @@
  * the serving model spec).
  */
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -85,6 +95,11 @@ struct CliOptions {
     int max_retries = 0;
     double retry_budget = 0.2;
     bool brownout = false;
+    /** --class/--priority: latency classes assigned to serve clients
+     *  round-robin; empty keeps run on the bare-engine path. */
+    std::string traffic_class;
+    int rt_queue_depth = 0;
+    std::array<double, kPriorityClasses> class_deadline_ms{};
     bool guard = false;
     int shadow_every = 0;
     double guard_cooldown_ms = 250;
@@ -116,6 +131,22 @@ on_reload_signal(int)
     g_reload_requested = 1;
 }
 
+/** "realtime" (or "rt") / "interactive" / "batch" → RequestPriority. */
+RequestPriority
+priority_by_name(const std::string &name)
+{
+    if (name == "realtime" || name == "rt")
+        return RequestPriority::kRealtime;
+    if (name == "interactive")
+        return RequestPriority::kInteractive;
+    if (name == "batch")
+        return RequestPriority::kBatch;
+    ORPHEUS_CHECK(false, "latency class must be realtime, interactive or "
+                         "batch, got "
+                             << name);
+    return RequestPriority::kInteractive;
+}
+
 int
 usage()
 {
@@ -129,6 +160,9 @@ usage()
         "--deadline-ms <ms> --workers <n>\n"
         "           --replicas <n> --warm-spares <n> --max-retries <n> "
         "--retry-budget <f> --brownout\n"
+        "  classes (run/serve): --class <realtime|interactive|batch>[,"
+        "...] --priority <class> --rt-queue-depth <n> "
+        "--class-deadline-ms <class>=<ms>\n"
         "  lifecycle (serve): --swap-to <model> --canary-fraction <f> "
         "--canary-samples <n> --shutdown-deadline-ms <ms>\n"
         "  guard (run/serve): --guard --shadow-every <n> "
@@ -179,6 +213,21 @@ parse_options(int argc, char **argv, int first)
             options.retry_budget = std::stod(next_value("--retry-budget"));
         else if (arg == "--brownout")
             options.brownout = true;
+        else if (arg == "--class" || arg == "--priority")
+            options.traffic_class = next_value(arg.c_str());
+        else if (arg == "--rt-queue-depth")
+            options.rt_queue_depth =
+                std::stoi(next_value("--rt-queue-depth"));
+        else if (arg == "--class-deadline-ms") {
+            const std::string spec = next_value("--class-deadline-ms");
+            const std::size_t eq = spec.find('=');
+            ORPHEUS_CHECK(eq != std::string::npos,
+                          "--class-deadline-ms wants <class>=<ms>, got "
+                              << spec);
+            options.class_deadline_ms[priority_index(
+                priority_by_name(spec.substr(0, eq)))] =
+                std::stod(spec.substr(eq + 1));
+        }
         else if (arg == "--guard")
             options.guard = true;
         else if (arg == "--shadow-every")
@@ -366,6 +415,57 @@ cmd_info(const CliOptions &cli)
     return 0;
 }
 
+/**
+ * run --priority/--class: timed repetitions routed through an
+ * InferenceService in the requested latency class, so class SLO
+ * budgets and feasibility admission engage exactly as they would in
+ * serving (an un-meetable budget is rejected at submit, not timed).
+ */
+int
+run_through_service(const CliOptions &cli, EngineOptions options)
+{
+    const RequestPriority priority = priority_by_name(cli.traffic_class);
+    ServiceOptions service_options;
+    service_options.workers = 1;
+    service_options.max_queue_depth =
+        static_cast<std::size_t>(std::max(1, cli.queue_depth));
+    service_options.rt_queue_depth =
+        static_cast<std::size_t>(std::max(0, cli.rt_queue_depth));
+    service_options.default_deadline_ms = cli.deadline_ms;
+    service_options.class_deadline_ms = cli.class_deadline_ms;
+    InferenceService service(load_model(cli.positional[0]), options,
+                             service_options);
+
+    Rng rng(0x0e11);
+    std::map<std::string, Tensor> inputs;
+    for (const auto &input : service.engine().graph().inputs())
+        inputs[input.name] = random_tensor(input.shape, rng);
+
+    int ok = 0;
+    for (int i = 0; i < cli.runs; ++i) {
+        const InferenceResponse response =
+            service.run(inputs, DeadlineToken(), priority);
+        if (response.status.is_ok())
+            ++ok;
+        else
+            std::printf("run %d: %s\n", i,
+                        response.status.to_string().c_str());
+    }
+    const ServiceStats stats = service.stats();
+    const std::size_t lane = priority_index(priority);
+    std::printf("%s as %s traffic: %d/%d ok, p50 %.2f ms  p99 %.2f ms  "
+                "p99.9 %.2f ms  (%lld infeasible-rejected, %lld deadline "
+                "misses)\n",
+                service.engine().graph().name().c_str(),
+                to_string(priority), ok, cli.runs,
+                stats.class_p50_ms[lane], stats.class_p99_ms[lane],
+                stats.class_p999_ms[lane],
+                static_cast<long long>(stats.class_infeasible[lane]),
+                static_cast<long long>(stats.class_deadline_miss[lane]));
+    service.stop();
+    return ok == cli.runs ? 0 : 1;
+}
+
 int
 cmd_run(const CliOptions &cli)
 {
@@ -376,6 +476,8 @@ cmd_run(const CliOptions &cli)
 
     EngineOptions options = engine_options(cli, cli.profile);
     apply_guard_and_chaos(cli, options);
+    if (!cli.traffic_class.empty())
+        return run_through_service(cli, std::move(options));
     Engine engine(load_model(cli.positional[0]), options);
     ExperimentConfig config;
     config.timed_runs = cli.runs;
@@ -490,6 +592,25 @@ cmd_serve(const CliOptions &cli)
     service_options.max_retries = std::max(0, cli.max_retries);
     service_options.retry_budget = cli.retry_budget;
     service_options.enable_brownout = cli.brownout;
+    service_options.rt_queue_depth =
+        static_cast<std::size_t>(std::max(0, cli.rt_queue_depth));
+    service_options.class_deadline_ms = cli.class_deadline_ms;
+
+    /* --class realtime,batch,... assigns latency classes to client
+     * threads round-robin, so one invocation can mix (say) a couple
+     * of real-time clients into a batch flood. */
+    std::vector<RequestPriority> client_classes;
+    std::string class_list =
+        cli.traffic_class.empty() ? "interactive" : cli.traffic_class;
+    for (std::size_t start = 0; start <= class_list.size();) {
+        std::size_t comma = class_list.find(',', start);
+        if (comma == std::string::npos)
+            comma = class_list.size();
+        client_classes.push_back(
+            priority_by_name(class_list.substr(start, comma - start)));
+        start = comma + 1;
+    }
+
     EngineOptions eng_options = engine_options(cli, false);
     apply_guard_and_chaos(cli, eng_options);
     InferenceService service(load_model(cli.positional[0]), eng_options,
@@ -543,7 +664,10 @@ cmd_serve(const CliOptions &cli)
     const int burst = 4;
     Timer wall;
     for (int client = 0; client < cli.clients; ++client) {
-        threads.emplace_back([&, client] {
+        const RequestPriority client_class =
+            client_classes[static_cast<std::size_t>(client) %
+                           client_classes.size()];
+        threads.emplace_back([&, client, client_class] {
             Rng rng(0x5e47 + static_cast<std::uint64_t>(client));
             std::map<std::string, Tensor> inputs;
             for (const auto &input : service.engine().graph().inputs())
@@ -558,7 +682,8 @@ cmd_serve(const CliOptions &cli)
                     static_cast<std::size_t>(batch));
                 for (int i = 0; i < batch; ++i) {
                     timers[static_cast<std::size_t>(i)] = Timer();
-                    inflight.push_back(service.submit(inputs));
+                    inflight.push_back(service.submit(
+                        inputs, DeadlineToken(), 0, client_class));
                 }
                 for (int i = 0; i < batch; ++i) {
                     const InferenceResponse response =
@@ -654,11 +779,27 @@ cmd_serve(const CliOptions &cli)
                 "p50 %.2f ms   p99 %.2f ms   p99.9 %.2f ms\n",
                 stats.latency_p50_ms, stats.latency_p99_ms,
                 stats.latency_p999_ms);
-    std::printf("shed: %lld queue-full, %lld over-deadline; failed: "
-                "%lld\n",
+    std::printf("shed: %lld queue-full, %lld over-deadline (%lld "
+                "infeasible at submit); failed: %lld\n",
                 static_cast<long long>(stats.rejected_queue_full),
                 static_cast<long long>(stats.deadline_exceeded),
+                static_cast<long long>(stats.rejected_infeasible),
                 static_cast<long long>(stats.failed));
+    std::printf("\nper-class (queue + run):\n");
+    std::printf("  %-12s %7s %9s %9s %9s %6s %11s %7s\n", "class",
+                "count", "p50 ms", "p99 ms", "p99.9 ms", "shed",
+                "infeasible", "misses");
+    for (std::size_t lane = 0; lane < kPriorityClasses; ++lane)
+        std::printf("  %-12s %7lld %9.2f %9.2f %9.2f %6lld %11lld "
+                    "%7lld\n",
+                    to_string(static_cast<RequestPriority>(lane)),
+                    static_cast<long long>(stats.class_count[lane]),
+                    stats.class_p50_ms[lane], stats.class_p99_ms[lane],
+                    stats.class_p999_ms[lane],
+                    static_cast<long long>(stats.class_shed[lane]),
+                    static_cast<long long>(stats.class_infeasible[lane]),
+                    static_cast<long long>(
+                        stats.class_deadline_miss[lane]));
     std::printf("watchdog: %lld hangs, %lld demotions\n",
                 static_cast<long long>(stats.watchdog_hangs),
                 static_cast<long long>(stats.demotions));
