@@ -124,6 +124,26 @@ Tensor::copy_from(const Tensor &src)
         std::memcpy(raw_data(), src.raw_data(), byte_size());
 }
 
+void
+Tensor::set_leading_dim(std::int64_t extent)
+{
+    ORPHEUS_CHECK(shape_.rank() >= 1,
+                  "set_leading_dim on rank-0 tensor " << to_string());
+    ORPHEUS_CHECK(extent >= 0, "set_leading_dim: negative extent");
+    Shape resized = shape_;
+    resized.set_dim(0, extent);
+    std::uint64_t bytes = 0;
+    ORPHEUS_CHECK(resized.checked_byte_size(dtype_size(dtype_), bytes),
+                  "set_leading_dim: byte size of " << dtype_ << resized
+                                                   << " overflows int64");
+    ORPHEUS_CHECK(!buffer_ || bytes <= buffer_->size(),
+                  "set_leading_dim: " << dtype_ << resized << " ("
+                                      << bytes
+                                      << " bytes) exceeds storage of "
+                                      << to_string());
+    shape_ = resized;
+}
+
 std::string
 Tensor::to_string() const
 {

@@ -99,6 +99,15 @@ class Tensor
     /** Copies @p src's bytes into this tensor (shapes/dtypes must match). */
     void copy_from(const Tensor &src);
 
+    /**
+     * Replaces the leading extent in place, keeping the same storage.
+     * The resized shape's byte size must fit the existing buffer. Lets
+     * the engine shrink batch-carrying tensors planned at max_batch to
+     * the active batch (row-major contiguity keeps the first extent's
+     * sample blocks dense), so kernels see the true run shape.
+     */
+    void set_leading_dim(std::int64_t extent);
+
     /** Summarises as e.g. "float32[1, 3, 224, 224]". */
     std::string to_string() const;
 

@@ -60,6 +60,7 @@ class Graph
                    std::string name = "");
 
     const std::vector<ValueInfo> &inputs() const { return inputs_; }
+    std::vector<ValueInfo> &inputs() { return inputs_; }
     const std::vector<ValueInfo> &outputs() const { return outputs_; }
     std::vector<ValueInfo> &outputs() { return outputs_; }
 

@@ -20,7 +20,14 @@ Engine::compile()
     if (options_.apply_simplifications)
         simplification_report_ = simplify_graph(graph_);
 
+    // The per-request signature is what one request provides/receives
+    // regardless of any batch rewrite below.
+    request_inputs_ = graph_.inputs();
+    request_outputs_ = graph_.outputs();
+
     infos_ = infer_shapes(graph_);
+    if (options_.max_batch > 1)
+        attempt_batch_rewrite();
     const std::vector<std::size_t> order = graph_.topological_order();
 
     // --- Storage ----------------------------------------------------------
@@ -67,6 +74,42 @@ Engine::compile()
             !graph_.has_initializer(output.name)) {
             const ValueInfo &info = infos_.at(output.name);
             values_.emplace(output.name, Tensor(info.shape, info.dtype));
+        }
+    }
+
+    // --- Batch gather/scatter plans ---------------------------------------
+    if (batch_capacity_ > 1) {
+        for (const auto &[name, base_dim0] : carrying_base_dim0_) {
+            auto it = values_.find(name);
+            if (it != values_.end())
+                batch_bindings_.push_back({&it->second, base_dim0});
+        }
+        for (const ValueInfo &input : request_inputs_) {
+            std::uint64_t bytes = 0;
+            ORPHEUS_CHECK(input.shape.checked_byte_size(
+                              dtype_size(input.dtype), bytes),
+                          "input " << input.name << " byte size overflows");
+            batch_inputs_.push_back(
+                {input.name, static_cast<std::size_t>(bytes)});
+        }
+        for (const ValueInfo &output : request_outputs_) {
+            BatchOutput out;
+            out.name = output.name;
+            out.carrying = carrying_base_dim0_.count(output.name) > 0;
+            if (out.carrying) {
+                const ValueInfo &info = infos_.at(output.name);
+                out.dtype = info.dtype;
+                out.base_shape = info.shape;
+                out.base_shape.set_dim(
+                    0, carrying_base_dim0_.at(output.name));
+                std::uint64_t bytes = 0;
+                ORPHEUS_CHECK(out.base_shape.checked_byte_size(
+                                  dtype_size(out.dtype), bytes),
+                              "output " << output.name
+                                        << " byte size overflows");
+                out.sample_bytes = static_cast<std::size_t>(bytes);
+            }
+            batch_outputs_.push_back(std::move(out));
         }
     }
 
@@ -140,6 +183,160 @@ Engine::compile()
 }
 
 void
+Engine::attempt_batch_rewrite()
+{
+    const std::int64_t factor = options_.max_batch;
+    const ValueInfoMap base = infos_;
+    std::string reason;
+
+    for (const ValueInfo &input : graph_.inputs()) {
+        if (input.shape.rank() < 1) {
+            reason = "input '" + input.name + "' is rank-0";
+            break;
+        }
+    }
+
+    ValueInfoMap batched;
+    if (reason.empty()) {
+        for (ValueInfo &input : graph_.inputs())
+            input.shape.set_dim(0, input.shape.dim(0) * factor);
+        try {
+            batched = infer_shapes(graph_);
+        } catch (const std::exception &error) {
+            reason = std::string("shape inference at batch ") +
+                     std::to_string(factor) + " failed: " + error.what();
+        }
+    }
+
+    // Classify every value: batch-invariant (shape unchanged) or
+    // batch-carrying (leading extent scaled by the factor, trailing
+    // extents equal). Anything else means the graph folds the batch
+    // extent into other dimensions and cannot be shrunk in place.
+    if (reason.empty()) {
+        for (const auto &[name, info] : batched) {
+            if (graph_.has_initializer(name))
+                continue;
+            const ValueInfo &b = base.at(name);
+            if (info.dtype == b.dtype && info.shape == b.shape)
+                continue;
+            bool carrying = info.dtype == b.dtype &&
+                            info.shape.rank() == b.shape.rank() &&
+                            info.shape.rank() >= 1 &&
+                            info.shape.dim(0) == b.shape.dim(0) * factor;
+            for (int d = 1; carrying &&
+                            d < static_cast<int>(info.shape.rank());
+                 ++d)
+                carrying = info.shape.dim(d) == b.shape.dim(d);
+            if (!carrying) {
+                std::ostringstream out;
+                out << "value '" << name << "' is neither batch-invariant"
+                    << " nor batch-carrying (" << b.shape << " -> "
+                    << info.shape << " at batch " << factor << ")";
+                reason = out.str();
+                break;
+            }
+            carrying_base_dim0_[name] = b.shape.dim(0);
+        }
+    }
+
+    // Every request input and output must carry the batch, or requests
+    // could not be gathered/scattered per sample block.
+    if (reason.empty()) {
+        for (const ValueInfo &input : request_inputs_)
+            if (carrying_base_dim0_.count(input.name) == 0) {
+                reason = "input '" + input.name + "' does not carry the "
+                                                  "batch extent";
+                break;
+            }
+    }
+    if (reason.empty()) {
+        for (const ValueInfo &output : request_outputs_)
+            if (!graph_.has_initializer(output.name) &&
+                carrying_base_dim0_.count(output.name) == 0) {
+                reason = "output '" + output.name + "' does not carry "
+                                                    "the batch extent";
+                break;
+            }
+    }
+
+    // Shape-preserving ops that nonetheless mix samples when applied
+    // across axis 0 — shape classification alone cannot see these.
+    if (reason.empty()) {
+        for (const Node &node : graph_.nodes()) {
+            const std::string &op = node.op_type();
+            std::int64_t default_axis = 0;
+            if (op == op_names::kSoftmax)
+                default_axis = -1;
+            else if (op == op_names::kConcat)
+                default_axis = 1;
+            else if (op != op_names::kArgMax &&
+                     op != op_names::kReduceMean)
+                continue;
+            bool carrying_input = false;
+            for (const std::string &in : node.inputs())
+                carrying_input |= carrying_base_dim0_.count(in) > 0;
+            if (!carrying_input)
+                continue;
+            const Shape &in_shape =
+                batched.at(node.inputs().front()).shape;
+            bool mixes = false;
+            if (op == op_names::kReduceMean) {
+                for (std::int64_t axis :
+                     node.attrs().get_ints("axes", {}))
+                    mixes |= in_shape.normalize_axis(
+                                 static_cast<int>(axis)) == 0;
+            } else {
+                mixes = in_shape.normalize_axis(static_cast<int>(
+                            node.attrs().get_int("axis",
+                                                 default_axis))) == 0;
+            }
+            if (mixes) {
+                reason = op + " node '" + node.name() +
+                         "' operates on the batch axis";
+                break;
+            }
+        }
+    }
+
+    if (!reason.empty()) {
+        graph_.inputs() = request_inputs_;
+        carrying_base_dim0_.clear();
+        batch_fallback_reason_ = reason;
+        ORPHEUS_WARN("engine " << graph_.name() << ": max_batch=" << factor
+                               << " requested but the graph is not"
+                               << " batchable (" << reason
+                               << "); compiling at batch 1");
+        return;
+    }
+
+    // Declared output shapes (when present) must match the compiled
+    // plan, so scale their carrying extents too; the per-request
+    // signature kept the originals.
+    for (ValueInfo &output : graph_.outputs())
+        if (output.shape.rank() >= 1 &&
+            carrying_base_dim0_.count(output.name) > 0)
+            output.shape.set_dim(0, output.shape.dim(0) * factor);
+
+    infos_ = std::move(batched);
+    batch_capacity_ = factor;
+    // Value tensors are allocated at the rewritten (full-capacity)
+    // shapes, so that is the active batch until the first shrink; a
+    // stale `1` here would make set_active_batch(1) no-op and leave
+    // every n=1 run computing the whole capacity batch.
+    active_batch_ = factor;
+}
+
+void
+Engine::set_active_batch(std::int64_t n)
+{
+    if (n == active_batch_)
+        return;
+    for (const BatchBinding &binding : batch_bindings_)
+        binding.tensor->set_leading_dim(binding.base_dim0 * n);
+    active_batch_ = n;
+}
+
+void
 Engine::prepare_layer(Layer &layer)
 {
     if (!options_.prepare_kernels)
@@ -188,7 +385,7 @@ Engine::value_tensor(const std::string &name)
 Status
 Engine::validate_inputs(const std::map<std::string, Tensor> &inputs) const
 {
-    for (const ValueInfo &declared : graph_.inputs()) {
+    for (const ValueInfo &declared : request_inputs_) {
         auto provided = inputs.find(declared.name);
         if (provided == inputs.end())
             return invalid_argument_error("missing graph input '" +
@@ -572,14 +769,9 @@ Engine::degrade_step(std::size_t index, const std::string &reason)
     profiler_.set_impl_name(index, step.layer->impl_name());
 }
 
-std::map<std::string, Tensor>
-Engine::run(const std::map<std::string, Tensor> &inputs,
-            const DeadlineToken &deadline)
+void
+Engine::execute_plan(const DeadlineToken &deadline)
 {
-    validate_inputs(inputs).throw_if_error();
-    for (const ValueInfo &declared : graph_.inputs())
-        value_tensor(declared.name)->copy_from(inputs.at(declared.name));
-
     ExecutionMonitor *monitor = options_.execution_monitor.get();
     if (monitor != nullptr)
         monitor->begin_request(deadline);
@@ -603,6 +795,24 @@ Engine::run(const std::map<std::string, Tensor> &inputs,
         for (std::size_t i = 0; i < steps_.size(); ++i)
             execute_step(i, deadline);
     }
+}
+
+std::map<std::string, Tensor>
+Engine::run(const std::map<std::string, Tensor> &inputs,
+            const DeadlineToken &deadline)
+{
+    if (batch_capacity_ > 1) {
+        // A batched plan stages requests through the gather/scatter
+        // path even for one request, so the carrying tensors shrink to
+        // the true run shape.
+        auto results = run_batch({&inputs}, deadline);
+        return std::move(results.front());
+    }
+    validate_inputs(inputs).throw_if_error();
+    for (const ValueInfo &declared : graph_.inputs())
+        value_tensor(declared.name)->copy_from(inputs.at(declared.name));
+
+    execute_plan(deadline);
 
     std::map<std::string, Tensor> outputs;
     for (const ValueInfo &output : graph_.outputs()) {
@@ -612,6 +822,86 @@ Engine::run(const std::map<std::string, Tensor> &inputs,
         outputs.emplace(output.name, source.clone());
     }
     return outputs;
+}
+
+std::vector<std::map<std::string, Tensor>>
+Engine::run_batch(
+    const std::vector<const std::map<std::string, Tensor> *> &requests,
+    const DeadlineToken &deadline)
+{
+    const auto n = static_cast<std::int64_t>(requests.size());
+    ORPHEUS_CHECK(n >= 1, "run_batch needs at least one request");
+    ORPHEUS_CHECK(n <= batch_capacity_,
+                  "run_batch of " << n << " requests exceeds capacity "
+                                  << batch_capacity_ << " of graph "
+                                  << graph_.name());
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+        ORPHEUS_CHECK(requests[r] != nullptr,
+                      "run_batch request " << r << " is null");
+        validate_inputs(*requests[r]).throw_if_error();
+    }
+    if (batch_capacity_ == 1) {
+        std::vector<std::map<std::string, Tensor>> results;
+        results.push_back(run(*requests.front(), deadline));
+        return results;
+    }
+
+    set_active_batch(n);
+    for (const BatchInput &input : batch_inputs_) {
+        char *dest =
+            static_cast<char *>(value_tensor(input.name)->raw_data());
+        for (std::size_t r = 0; r < requests.size(); ++r)
+            std::memcpy(dest + r * input.sample_bytes,
+                        requests[r]->at(input.name).raw_data(),
+                        input.sample_bytes);
+    }
+
+    execute_plan(deadline);
+
+    std::vector<std::map<std::string, Tensor>> results(requests.size());
+    for (const BatchOutput &output : batch_outputs_) {
+        if (!output.carrying) {
+            const Tensor &source = graph_.initializer(output.name);
+            for (std::size_t r = 0; r < requests.size(); ++r)
+                results[r].emplace(output.name, source.clone());
+            continue;
+        }
+        const char *source = static_cast<const char *>(
+            value_tensor(output.name)->raw_data());
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+            Tensor slice(output.base_shape, output.dtype);
+            std::memcpy(slice.raw_data(),
+                        source + r * output.sample_bytes,
+                        output.sample_bytes);
+            results[r].emplace(output.name, std::move(slice));
+        }
+    }
+    return results;
+}
+
+Status
+Engine::try_run_batch(
+    const std::vector<const std::map<std::string, Tensor> *> &requests,
+    std::vector<std::map<std::string, Tensor>> &outputs,
+    const DeadlineToken &deadline)
+{
+    for (const auto *request : requests)
+        if (request != nullptr)
+            ORPHEUS_RETURN_IF_ERROR(validate_inputs(*request));
+    try {
+        outputs = run_batch(requests, deadline);
+        return Status::ok();
+    } catch (const DeadlineExceededError &error) {
+        return deadline_exceeded_error(error.what());
+    } catch (const DataCorruptionError &error) {
+        return data_corruption_error(error.what());
+    } catch (const Error &error) {
+        return internal_error(std::string("inference failed: ") +
+                              error.what());
+    } catch (const std::exception &error) {
+        return internal_error(
+            std::string("inference failed unexpectedly: ") + error.what());
+    }
 }
 
 Status

@@ -105,6 +105,21 @@ struct EngineOptions {
      * breaker, so they become recoverable via half-open probes.
      */
     GuardPolicy guard;
+
+    /**
+     * Largest number of requests one run may coalesce along the leading
+     * (batch) dimension. With max_batch > 1 the engine compiles the
+     * graph once at the bucket size — every batch-carrying value's
+     * leading extent scaled by max_batch, arena and workspace planned
+     * at that size — and run_batch() then serves any n ≤ max_batch by
+     * shrinking the carrying tensors' leading extent in place (row-major
+     * contiguity keeps the first n sample blocks dense). Graphs whose
+     * values cannot all be classified as batch-invariant or
+     * batch-carrying (or that mix samples across the batch axis, e.g.
+     * Softmax/Concat on axis 0) fall back to capacity 1 with a logged
+     * reason. 1 disables batching.
+     */
+    int max_batch = 1;
 };
 
 /** One executable step of the compiled plan. */
@@ -181,9 +196,34 @@ class Engine
                    const DeadlineToken &deadline = {});
 
     /**
-     * Validates @p inputs against the graph's declared signatures
-     * without running: every declared input must be present with the
-     * declared shape and dtype. Unknown extra entries are ignored.
+     * Runs @p requests (1 ≤ n ≤ batch_capacity()) fused into a single
+     * pass over the plan: request r's inputs are gathered into sample
+     * block r of each batch-carrying input tensor, the plan executes
+     * once at active batch n, and each request's outputs are scattered
+     * back as private per-request copies in its declared (per-request)
+     * shapes. Per-sample kernels make the fused result bitwise
+     * identical to n sequential run() calls. Requests are validated
+     * against the per-request signature up front. Throws like run();
+     * a failure is reported for the batch as a whole (callers split
+     * and re-dispatch to attribute it).
+     */
+    std::vector<std::map<std::string, Tensor>>
+    run_batch(const std::vector<const std::map<std::string, Tensor> *>
+                  &requests,
+              const DeadlineToken &deadline = {});
+
+    /** Non-throwing run_batch with the same status mapping as
+     *  try_run(). @p outputs is assigned only on success. */
+    Status
+    try_run_batch(const std::vector<const std::map<std::string, Tensor> *>
+                      &requests,
+                  std::vector<std::map<std::string, Tensor>> &outputs,
+                  const DeadlineToken &deadline = {});
+
+    /**
+     * Validates @p inputs against the per-request signature without
+     * running: every declared input must be present with the declared
+     * shape and dtype. Unknown extra entries are ignored.
      */
     Status validate_inputs(const std::map<std::string, Tensor> &inputs) const;
 
@@ -227,6 +267,35 @@ class Engine
     const EngineOptions &options() const { return options_; }
     const std::vector<PlanStep> &steps() const { return steps_; }
     const ValueInfoMap &value_infos() const { return infos_; }
+
+    /**
+     * Requests one run_batch() call can fuse. Equal to
+     * EngineOptions::max_batch when the graph proved batchable, 1
+     * otherwise (see batch_fallback_reason()).
+     */
+    std::int64_t batch_capacity() const { return batch_capacity_; }
+
+    /** Why batch_capacity() fell back to 1 ("" when it did not). */
+    const std::string &batch_fallback_reason() const
+    {
+        return batch_fallback_reason_;
+    }
+
+    /**
+     * The per-request signature: the graph's declared inputs/outputs
+     * as loaded, before any batch rewrite scaled the compiled graph's
+     * leading extents. This is what one request of a (possibly fused)
+     * run provides and receives — pools and registries that probe or
+     * gate single requests must use these, not graph().inputs().
+     */
+    const std::vector<ValueInfo> &request_inputs() const
+    {
+        return request_inputs_;
+    }
+    const std::vector<ValueInfo> &request_outputs() const
+    {
+        return request_outputs_;
+    }
 
     Profiler &profiler() { return profiler_; }
     const Profiler &profiler() const { return profiler_; }
@@ -287,6 +356,26 @@ class Engine
   private:
     void compile();
     Tensor *value_tensor(const std::string &name);
+
+    /**
+     * Attempts the max_batch graph rewrite: scales every graph input's
+     * leading extent by max_batch, re-infers shapes, and classifies
+     * every value as batch-invariant (shape unchanged) or
+     * batch-carrying (leading extent scaled, trailing extents equal).
+     * Rejects graphs with unclassifiable values, non-carrying
+     * inputs/outputs, or ops that mix samples across axis 0; rejection
+     * restores the per-request shapes and leaves batch_capacity_ at 1.
+     */
+    void attempt_batch_rewrite();
+
+    /** Shrinks/expands every batch-carrying tensor's leading extent to
+     *  @p n times its per-request extent (storage is planned at
+     *  batch_capacity_, so any n ≤ capacity fits in place). */
+    void set_active_batch(std::int64_t n);
+
+    /** The monitor-wrapped step loop shared by run() and run_batch()
+     *  (inputs already staged in values_). */
+    void execute_plan(const DeadlineToken &deadline);
 
     /**
      * Runs @p layer's preparation stage (when prepare_kernels is on),
@@ -351,6 +440,39 @@ class Engine
     MemoryPlan memory_plan_;
     std::size_t request_footprint_bytes_ = 0;
     PassManagerReport simplification_report_;
+
+    // --- Dynamic batching -------------------------------------------------
+    /** Declared per-request signature, captured before the batch
+     *  rewrite (== graph_.inputs()/outputs() when capacity is 1). */
+    std::vector<ValueInfo> request_inputs_;
+    std::vector<ValueInfo> request_outputs_;
+    std::int64_t batch_capacity_ = 1;
+    std::int64_t active_batch_ = 1;
+    std::string batch_fallback_reason_;
+    /** Per-request leading extent of every batch-carrying value. */
+    std::map<std::string, std::int64_t> carrying_base_dim0_;
+    /** Carrying tensors resized by set_active_batch (storage-stable
+     *  pointers into values_). */
+    struct BatchBinding {
+        Tensor *tensor;
+        std::int64_t base_dim0;
+    };
+    std::vector<BatchBinding> batch_bindings_;
+    /** Gather plan: one entry per declared input (all carrying). */
+    struct BatchInput {
+        std::string name;
+        std::size_t sample_bytes;
+    };
+    std::vector<BatchInput> batch_inputs_;
+    /** Scatter plan: one entry per declared output. */
+    struct BatchOutput {
+        std::string name;
+        bool carrying;
+        Shape base_shape;
+        DataType dtype = DataType::kFloat32;
+        std::size_t sample_bytes = 0;
+    };
+    std::vector<BatchOutput> batch_outputs_;
 
     std::shared_ptr<Buffer> arena_;
     /** Kernel workspace segment shared by all plan steps (steps run

@@ -79,7 +79,9 @@ EnginePool::EnginePool(Graph graph, EngineOptions engine_options,
         replicas_.push_back(std::move(replica));
     }
 
-    for (const ValueInfo &input : replicas_.front().engine->graph().inputs())
+    batch_capacity_ = replicas_.front().engine->batch_capacity();
+    for (const ValueInfo &input :
+         replicas_.front().engine->request_inputs())
         probe_inputs_.emplace(input.name,
                               Tensor(input.shape, input.dtype));
 }
@@ -497,34 +499,39 @@ EnginePool::apply_pending_demotions_locked(std::size_t id)
 }
 
 void
-EnginePool::release(Lease lease, const Status &outcome, double run_ms)
+EnginePool::release(Lease lease, const Status &outcome, double run_ms,
+                    std::int64_t requests)
 {
     if (!lease.valid())
         return;
     const std::size_t id = lease.id_;
     lease.pool_ = nullptr; // The destructor must not double-release.
+    requests = std::max<std::int64_t>(1, requests);
 
     std::lock_guard<std::mutex> lock(mutex_);
     Replica &replica = replicas_[id];
-    ++replica.served;
-    ++replica.window.served;
+    // The window counts requests, not leases: a fused run served
+    // `requests` of them, each experiencing the fused run's latency.
+    replica.served += requests;
+    replica.window.served += requests;
     if (run_ms >= 0)
-        replica.window.latency.record(run_ms);
+        for (std::int64_t r = 0; r < requests; ++r)
+            replica.window.latency.record(run_ms);
     apply_pending_demotions_locked(id);
 
     if (outcome.is_ok()) {
         replica.health_penalty = std::max(
             0.0, replica.health_penalty - options_.success_reward);
-        ++replica.window.ok;
+        replica.window.ok += requests;
     } else if (outcome.code() == StatusCode::kDataCorruption) {
         replica.health_penalty += options_.corruption_penalty;
         ++replica.failures;
-        ++replica.window.corruption;
+        replica.window.corruption += requests;
         replica.last_fault = outcome.to_string();
     } else if (outcome.code() == StatusCode::kInternal) {
         replica.health_penalty += options_.fault_penalty;
         ++replica.failures;
-        ++replica.window.fault;
+        replica.window.fault += requests;
         replica.last_fault = outcome.to_string();
     }
     // Deadline expiry stays neutral: the client's budget ran out, which

@@ -284,9 +284,15 @@ class EnginePool
      * the replica is drained by construction — and the replica is
      * quarantined when its penalty crosses the threshold. A
      * non-negative @p run_ms additionally records the request's
-     * execution latency in the replica's canary window.
+     * execution latency in the replica's canary window. @p requests is
+     * the number of co-batched requests the lease served in one fused
+     * run (the batch assembler passes the occupancy): the replica's
+     * window counts every request it served, each at the fused run's
+     * latency, while health penalty/reward stays per-lease so batching
+     * does not skew quarantine dynamics.
      */
-    void release(Lease lease, const Status &outcome, double run_ms = -1);
+    void release(Lease lease, const Status &outcome, double run_ms = -1,
+                 std::int64_t requests = 1);
 
     // --- Model lifecycle (generations) ------------------------------------
 
@@ -371,6 +377,15 @@ class EnginePool
     /** Replicas + warm spares. */
     std::size_t replica_count() const { return replica_storage_count_; }
 
+    /**
+     * Requests one fused run may coalesce on any replica: the compiled
+     * engines' Engine::batch_capacity(). 1 when batching is disabled
+     * or the model proved unbatchable (the batch assembler sizes
+     * itself from this, so an unbatchable model degrades to
+     * single-request dispatch, not an error).
+     */
+    std::int64_t batch_capacity() const { return batch_capacity_; }
+
     const Engine &engine(std::size_t index) const;
 
     /** The shared prepacked-constant cache (entries/bytes/hits). */
@@ -438,7 +453,9 @@ class EnginePool
     std::shared_ptr<ConstantPackCache> pack_cache_;
     std::vector<std::shared_ptr<ExecutionMonitor>> monitors_;
     std::size_t replica_storage_count_ = 0;
-    /** Zero-valued inputs matching the graph signature (probe runs). */
+    std::int64_t batch_capacity_ = 1;
+    /** Zero-valued inputs matching the per-request signature (probe
+     *  runs; a probe is a single request even on a batched engine). */
     std::map<std::string, Tensor> probe_inputs_;
 
     mutable std::mutex mutex_;

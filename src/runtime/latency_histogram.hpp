@@ -25,6 +25,8 @@ class LatencyHistogram
     {
         ++counts_[bucket_for(ms)];
         ++total_;
+        if (ms > max_ms_)
+            max_ms_ = ms;
     }
 
     std::int64_t count() const { return total_; }
@@ -54,14 +56,14 @@ class LatencyHistogram
             while (need < 3 && frac >= kQuantiles[need] * total) {
                 (need == 0   ? result.p50_ms
                  : need == 1 ? result.p99_ms
-                             : result.p999_ms) = upper_bound(i);
+                             : result.p999_ms) = reported_bound(i);
                 ++need;
             }
         }
         for (; need < 3; ++need)
             (need == 0   ? result.p50_ms
              : need == 1 ? result.p99_ms
-                         : result.p999_ms) = upper_bound(kBuckets - 1);
+                         : result.p999_ms) = reported_bound(kBuckets - 1);
         return result;
     }
 
@@ -77,16 +79,21 @@ class LatencyHistogram
         for (int i = 0; i < kBuckets; ++i) {
             seen += counts_[i];
             if (static_cast<double>(seen) >= rank)
-                return upper_bound(i);
+                return reported_bound(i);
         }
-        return upper_bound(kBuckets - 1);
+        return reported_bound(kBuckets - 1);
     }
+
+    /** Largest sample ever recorded (0 when empty). Survives merges;
+     *  exact, unlike the ≤30 % bucket resolution. */
+    double max_ms() const { return max_ms_; }
 
     void
     reset()
     {
         counts_.fill(0);
         total_ = 0;
+        max_ms_ = 0;
     }
 
     /** Accumulates @p other's samples into this histogram. */
@@ -96,6 +103,8 @@ class LatencyHistogram
         for (int i = 0; i < kBuckets; ++i)
             counts_[i] += other.counts_[i];
         total_ += other.total_;
+        if (other.max_ms_ > max_ms_)
+            max_ms_ = other.max_ms_;
     }
 
     static double
@@ -112,6 +121,21 @@ class LatencyHistogram
     static constexpr double kRatio = 1.3;
     static constexpr double kQuantiles[3] = {0.50, 0.99, 0.999};
 
+    /** Value reported for a quantile resolving to @p bucket. The top
+     *  bucket is unbounded, so its geometric lower edge used to be
+     *  returned as-is and P99.9 under-reported any sample past the
+     *  ~13 min range; the recorded max is the tightest true bound
+     *  there, and also caps the ≤30 % over-report of every other
+     *  bucket's upper edge. */
+    double
+    reported_bound(int bucket) const
+    {
+        if (bucket == kBuckets - 1)
+            return max_ms_;
+        return upper_bound(bucket) < max_ms_ ? upper_bound(bucket)
+                                             : max_ms_;
+    }
+
     static int
     bucket_for(double ms)
     {
@@ -126,6 +150,7 @@ class LatencyHistogram
 
     std::array<std::int64_t, kBuckets> counts_{};
     std::int64_t total_ = 0;
+    double max_ms_ = 0;
 };
 
 } // namespace orpheus

@@ -64,12 +64,14 @@ to_string(GenerationState state)
 ModelRegistry::ModelRegistry(EnginePool &pool, EngineOptions engine_options)
     : pool_(pool), engine_options_(std::move(engine_options))
 {
-    const Graph &graph = pool_.engine(0).graph();
-    signature_.inputs = graph.inputs();
-    signature_.outputs = graph.outputs();
+    // The signature gate compares incoming (per-request) graphs, so it
+    // must use the per-request signature — with batching on, the
+    // compiled graph's extents are scaled by max_batch.
+    signature_.inputs = pool_.engine(0).request_inputs();
+    signature_.outputs = pool_.engine(0).request_outputs();
     last_generation_ = 1;
     active_generation_ = 1;
-    active_model_ = graph.name();
+    active_model_ = pool_.engine(0).graph().name();
     pool_.tag_generation(1);
 
     GenerationInfo info;

@@ -50,6 +50,17 @@ to_string(RequestPriority priority)
     return "unknown";
 }
 
+double
+retry_backoff_for_attempt_ms(const ServiceOptions &options, int attempt,
+                             double jitter)
+{
+    const double exp_backoff =
+        options.retry_backoff_ms *
+        static_cast<double>(std::int64_t{1} << std::min(attempt, 20));
+    // Clamp AFTER jitter: retry_backoff_max_ms is a hard ceiling.
+    return std::min(exp_backoff * jitter, options.retry_backoff_max_ms);
+}
+
 InferenceService::InferenceService(Graph graph,
                                    EngineOptions engine_options,
                                    ServiceOptions options)
@@ -66,6 +77,15 @@ InferenceService::InferenceService(Graph graph,
     ORPHEUS_CHECK(options_.aging_credit_limit >= 0,
                   "service needs an aging credit limit >= 0, got "
                       << options_.aging_credit_limit);
+    ORPHEUS_CHECK(options_.max_batch >= 1,
+                  "service needs max_batch >= 1, got "
+                      << options_.max_batch);
+
+    // Dynamic batching is compiled into the replica engines: each one
+    // plans its arena/workspace once at the max_batch bucket and then
+    // serves any occupancy up to it.
+    if (options_.max_batch > 1)
+        engine_options_.max_batch = options_.max_batch;
 
     EnginePoolOptions pool_options;
     pool_options.replicas = options_.replicas > 0 ? options_.replicas
@@ -77,6 +97,9 @@ InferenceService::InferenceService(Graph graph,
                                          std::move(pool_options));
     registry_ = std::make_unique<ModelRegistry>(*pool_, engine_options_);
     footprint_ = pool_->engine(0).request_footprint_bytes();
+    // The model may refuse batching (see Engine::batch_fallback_reason);
+    // the assembler honours what the engines actually compiled.
+    batch_capacity_ = pool_->batch_capacity();
 
     // Retry budget: a token bucket refilled by traffic. The small
     // initial burst lets the very first failures retry before any
@@ -157,8 +180,24 @@ InferenceService::submit(std::map<std::string, Tensor> inputs,
     // guaranteed miss — refuse it now, in microseconds, instead of
     // after queue time and a replica lease.
     const bool expired = token.expired();
-    if (expired || (options_.enable_feasibility_admission &&
-                    !token.can_cover_ms(estimated_wait_ms_locked(lane)))) {
+    bool infeasible = false;
+    if (!expired && options_.enable_feasibility_admission) {
+        double wait_ms = estimated_wait_ms_locked(lane);
+        // Expected batch-window wait: the assembler only holds a
+        // request whose budget covers the window (deadline-aware
+        // splitting dispatches immediately otherwise), so the window
+        // folds into the estimate exactly when it will actually be
+        // paid. It lengthens the estimate for patient requests
+        // without rejecting tight ones the assembler protects; the
+        // workers' windows overlap, so it is not divided by the
+        // worker count.
+        if (batch_capacity_ > 1 && options_.batch_window_ms > 0 &&
+            lane != priority_index(RequestPriority::kRealtime) &&
+            token.can_cover_ms(wait_ms + options_.batch_window_ms))
+            wait_ms += options_.batch_window_ms;
+        infeasible = !token.can_cover_ms(wait_ms);
+    }
+    if (expired || infeasible) {
         ++stats_.deadline_exceeded;
         ++stats_.rejected_infeasible;
         ++stats_.class_infeasible[lane];
@@ -235,12 +274,25 @@ InferenceService::queued_locked() const
 double
 InferenceService::estimated_wait_ms_locked(std::size_t lane) const
 {
+    // A lane with queued work but no service history yet must still
+    // weigh on the estimate — skipping it made a full (but cold)
+    // higher-priority lane invisible here, so admission under-counted
+    // the wait and accepted guaranteed misses. Such a lane borrows
+    // the slowest recorded P50 from any other lane; a fully cold
+    // service (no history anywhere) still estimates 0.
+    double borrowed_ms = 0;
+    for (std::size_t c = 0; c < kPriorityClasses; ++c)
+        if (class_service_[c].count() > 0)
+            borrowed_ms = std::max(borrowed_ms,
+                                   class_service_[c].percentile(0.50));
     double wait_ms = 0;
     for (std::size_t c = 0; c <= lane; ++c) {
-        if (lanes_[c].empty() || class_service_[c].count() == 0)
+        if (lanes_[c].empty())
             continue;
-        wait_ms += static_cast<double>(lanes_[c].size()) *
-                   class_service_[c].percentile(0.50);
+        const double service_ms = class_service_[c].count() > 0
+                                      ? class_service_[c].percentile(0.50)
+                                      : borrowed_ms;
+        wait_ms += static_cast<double>(lanes_[c].size()) * service_ms;
     }
     return wait_ms / static_cast<double>(std::max(1, options_.workers));
 }
@@ -285,7 +337,7 @@ InferenceService::worker_loop(std::size_t worker)
     // reproducible.
     std::minstd_rand rng(static_cast<unsigned>(0x9e3779b9u + worker));
     while (true) {
-        Request request;
+        std::vector<Request> batch;
         bool shed_batch = false;
         bool infeasible_interactive = false;
         std::size_t lane = 0;
@@ -299,16 +351,17 @@ InferenceService::worker_loop(std::size_t worker)
                 // stopping_ with empty lanes: time to exit.
                 return;
             }
-            request = std::move(lanes_[lane].front());
+            batch.push_back(std::move(lanes_[lane].front()));
             lanes_[lane].pop_front();
             ++in_flight_;
             update_brownout_locked();
+            Request &leader = batch.front();
             if (brownout_ &&
-                request.priority == RequestPriority::kBatch) {
+                leader.priority == RequestPriority::kBatch) {
                 shed_batch = true;
                 ++stats_.brownout_shed;
                 ++stats_.class_shed[lane];
-            } else if (brownout_ && request.priority ==
+            } else if (brownout_ && leader.priority ==
                                         RequestPriority::kInteractive) {
                 // Bottom-up degradation, step two: under brownout an
                 // interactive request past its feasibility margin (one
@@ -320,80 +373,282 @@ InferenceService::worker_loop(std::size_t worker)
                         ? class_service_[lane].percentile(0.50)
                         : 0.0;
                 infeasible_interactive =
-                    !request.token.can_cover_ms(margin);
+                    !leader.token.can_cover_ms(margin);
+            } else if (!leader.token.expired()) {
+                // Dynamic batching: coalesce more same-lane work
+                // behind this leader before dispatching.
+                assemble_batch_locked(lock, lane, batch);
             }
         }
 
-        InferenceResponse response;
-        response.queue_ms = elapsed_ms_since(request.enqueued);
+        std::vector<InferenceResponse> responses(batch.size());
 
         if (shed_batch) {
-            response.status = resource_exhausted_error(
+            responses.front().queue_ms =
+                elapsed_ms_since(batch.front().enqueued);
+            responses.front().status = resource_exhausted_error(
                 "brownout: shedding batch-priority work under overload");
         } else if (infeasible_interactive) {
-            response.status = deadline_exceeded_error(
+            responses.front().queue_ms =
+                elapsed_ms_since(batch.front().enqueued);
+            responses.front().status = deadline_exceeded_error(
                 "brownout: interactive request deferred past its "
                 "feasibility margin");
-        } else if (request.token.expired()) {
-            response.status = deadline_exceeded_error(
-                "deadline expired while the request was queued");
         } else {
-            dispatch_with_retries(request, response, rng);
+            dispatch_batch(lane, batch, responses, rng);
         }
 
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            if (response.status.is_ok())
-                ++stats_.completed_ok;
-            else if (response.status.code() ==
-                     StatusCode::kDeadlineExceeded) {
-                ++stats_.deadline_exceeded;
-                ++stats_.class_deadline_miss[lane];
-            } else if (response.status.code() ==
-                       StatusCode::kDataCorruption)
-                ++stats_.data_corruption;
-            else if (shed_batch)
-                ; // Counted as brownout_shed, not a failure.
-            else
-                ++stats_.failed;
-            if (!shed_batch) {
-                // Per-class accounting covers every worker-finished
-                // request (deadline misses land at their queue time)
-                // so histogram counts + sheds partition `submitted`.
-                const double total = response.queue_ms + response.run_ms;
-                class_latency_[lane].record(total);
-                ++stats_.class_count[lane];
-                if (response.status.is_ok() && response.run_ms > 0)
-                    class_service_[lane].record(response.run_ms);
-            }
-            if (!shed_batch && response.run_ms > 0) {
-                const double total = response.queue_ms + response.run_ms;
-                latency_.record(total);
-                recent_latency_[recent_next_] = total;
-                recent_next_ =
-                    (recent_next_ + 1) % recent_latency_.size();
-                recent_count_ = std::min(recent_count_ + 1,
-                                         recent_latency_.size());
-            }
-            // Each dispatched request earns retry credit.
-            if (!shed_batch)
-                retry_tokens_ = std::min(
-                    retry_token_cap_,
-                    retry_tokens_ + options_.retry_budget);
-            --in_flight_;
+            for (const InferenceResponse &response : responses)
+                finish_request_locked(lane, shed_batch, response);
         }
-        request.promise.set_value(std::move(response));
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            batch[i].promise.set_value(std::move(responses[i]));
     }
+}
+
+void
+InferenceService::assemble_batch_locked(std::unique_lock<std::mutex> &lock,
+                                        std::size_t lane,
+                                        std::vector<Request> &batch)
+{
+    const auto capacity = static_cast<std::size_t>(batch_capacity_);
+    if (capacity <= 1)
+        return;
+    // The window is the latency price of coalescing: the real-time
+    // lane never pays it, and a leader whose remaining budget cannot
+    // cover the window plus one typical service time dispatches
+    // immediately (deadline-aware splitting). Both still coalesce
+    // whatever is already queued.
+    const double service_ms = class_service_[lane].count() > 0
+                                  ? class_service_[lane].percentile(0.50)
+                                  : 0.0;
+    const bool realtime =
+        lane == priority_index(RequestPriority::kRealtime);
+    double window_ms =
+        realtime ? 0.0 : std::max(0.0, options_.batch_window_ms);
+    bool deadline_flush = false;
+    if (window_ms > 0 &&
+        !batch.front().token.can_cover_ms(window_ms + service_ms)) {
+        window_ms = 0;
+        deadline_flush = true;
+    }
+    const auto flush_at =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(window_ms));
+
+    bool window_flush = false;
+    for (;;) {
+        while (batch.size() < capacity && !lanes_[lane].empty() &&
+               !deadline_flush) {
+            Request &front = lanes_[lane].front();
+            // A joiner that cannot wait out the rest of the window
+            // forces the batch out now, with it on board.
+            if (window_ms > 0 && !front.token.expired()) {
+                const std::chrono::duration<double, std::milli> left =
+                    flush_at - std::chrono::steady_clock::now();
+                if (!front.token.can_cover_ms(
+                        std::max(0.0, left.count()) + service_ms))
+                    deadline_flush = true;
+            }
+            batch.push_back(std::move(front));
+            lanes_[lane].pop_front();
+            ++in_flight_;
+        }
+        if (batch.size() >= capacity || deadline_flush || window_ms <= 0)
+            break;
+        if (stopping_ || draining_ ||
+            std::chrono::steady_clock::now() >= flush_at) {
+            window_flush = true;
+            break;
+        }
+        // Higher-priority arrivals flush the batch rather than wait
+        // behind its window.
+        bool higher_waiting = false;
+        for (std::size_t c = 0; c < lane; ++c)
+            higher_waiting = higher_waiting || !lanes_[c].empty();
+        if (higher_waiting) {
+            window_flush = true;
+            break;
+        }
+        work_ready_.wait_until(lock, flush_at);
+    }
+
+    if (batch.size() >= 2) {
+        ++stats_.batches_formed;
+        stats_.batched_requests +=
+            static_cast<std::int64_t>(batch.size());
+        stats_.batch_max_occupancy =
+            std::max(stats_.batch_max_occupancy,
+                     static_cast<std::int64_t>(batch.size()));
+        if (batch.size() >= capacity)
+            ++stats_.batch_flush_full;
+        else if (deadline_flush)
+            ++stats_.batch_flush_deadline;
+        else if (window_flush)
+            ++stats_.batch_flush_window;
+    }
+}
+
+void
+InferenceService::dispatch_batch(std::size_t lane,
+                                 std::vector<Request> &batch,
+                                 std::vector<InferenceResponse> &responses,
+                                 std::minstd_rand &rng)
+{
+    // Queue time is stamped at dispatch so it includes any batching
+    // window wait — the per-class histograms must show the true
+    // per-request price of coalescing.
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        responses[i].queue_ms = elapsed_ms_since(batch[i].enqueued);
+
+    // Members whose deadline lapsed while the batch assembled fail
+    // individually; the rest run fused.
+    std::vector<std::size_t> live;
+    live.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].token.expired())
+            responses[i].status = deadline_exceeded_error(
+                "deadline expired while the request was queued");
+        else
+            live.push_back(i);
+    }
+    if (live.empty())
+        return;
+    if (live.size() == 1) {
+        dispatch_with_retries(batch[live.front()],
+                              responses[live.front()], rng);
+        return;
+    }
+
+    for (std::size_t i : live)
+        responses[i].batch_size = static_cast<int>(live.size());
+
+    // The fused run may take as long as its most patient member
+    // allows; each member is still judged against its own token once
+    // the run returns.
+    DeadlineToken fused = DeadlineToken::unlimited();
+    bool bounded = true;
+    std::chrono::steady_clock::time_point latest{};
+    for (std::size_t i : live) {
+        const auto point = batch[i].token.deadline_point();
+        if (!point.has_value()) {
+            bounded = false;
+            break;
+        }
+        latest = std::max(latest, *point);
+    }
+    if (bounded)
+        fused = DeadlineToken::at(latest);
+
+    const LeasePriority lease_priority =
+        lane == priority_index(RequestPriority::kRealtime)
+            ? LeasePriority::kRealtime
+            : LeasePriority::kNormal;
+    Status why = internal_error("pool acquire failed");
+    EnginePool::Lease lease = pool_->acquire(fused, EnginePool::kNoReplica,
+                                             &why, lease_priority);
+    if (!lease.valid()) {
+        for (std::size_t i : live)
+            responses[i].status = why;
+        return;
+    }
+    const std::size_t replica = lease.replica_id();
+    std::vector<const std::map<std::string, Tensor> *> request_inputs;
+    request_inputs.reserve(live.size());
+    for (std::size_t i : live)
+        request_inputs.push_back(&batch[i].inputs);
+    std::vector<std::map<std::string, Tensor>> outputs;
+    const auto started = std::chrono::steady_clock::now();
+    const Status status =
+        lease.engine().try_run_batch(request_inputs, outputs, fused);
+    const double attempt_ms = elapsed_ms_since(started);
+    for (std::size_t i : live)
+        responses[i].run_ms += attempt_ms;
+    pool_->release(std::move(lease), status, attempt_ms,
+                   static_cast<std::int64_t>(live.size()));
+
+    if (status.is_ok()) {
+        for (std::size_t k = 0; k < live.size(); ++k) {
+            responses[live[k]].status = Status::ok();
+            responses[live[k]].outputs = std::move(outputs[k]);
+        }
+        return;
+    }
+
+    // Mid-batch failure (guard/breaker fault, watchdog cancellation,
+    // deadline): a fused run has a single verdict, so attribution
+    // falls back to splitting — every live member re-dispatches
+    // individually on its own token, skipping the replica that
+    // failed. Only this batch pays; co-queued requests in other
+    // batches are untouched. The re-dispatch is a fresh solo
+    // dispatch, not a retry: it is not charged to the retry bucket.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.batch_splits;
+    }
+    for (std::size_t i : live) {
+        responses[i].batch_split = true;
+        if (batch[i].token.expired()) {
+            responses[i].status = deadline_exceeded_error(
+                "deadline expired in a failed fused run");
+            continue;
+        }
+        dispatch_with_retries(batch[i], responses[i], rng, replica);
+    }
+}
+
+void
+InferenceService::finish_request_locked(std::size_t lane, bool shed,
+                                        const InferenceResponse &response)
+{
+    if (response.status.is_ok())
+        ++stats_.completed_ok;
+    else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadline_exceeded;
+        ++stats_.class_deadline_miss[lane];
+    } else if (response.status.code() == StatusCode::kDataCorruption)
+        ++stats_.data_corruption;
+    else if (shed)
+        ; // Counted as brownout_shed, not a failure.
+    else
+        ++stats_.failed;
+    if (!shed) {
+        // Per-class accounting covers every worker-finished request
+        // (deadline misses land at their queue time) so histogram
+        // counts + sheds partition `submitted`.
+        const double total = response.queue_ms + response.run_ms;
+        class_latency_[lane].record(total);
+        ++stats_.class_count[lane];
+        if (response.status.is_ok() && response.run_ms > 0)
+            class_service_[lane].record(response.run_ms);
+    }
+    if (!shed && response.run_ms > 0) {
+        const double total = response.queue_ms + response.run_ms;
+        latency_.record(total);
+        recent_latency_[recent_next_] = total;
+        recent_next_ = (recent_next_ + 1) % recent_latency_.size();
+        recent_count_ =
+            std::min(recent_count_ + 1, recent_latency_.size());
+    }
+    // Each dispatched request earns retry credit.
+    if (!shed)
+        retry_tokens_ = std::min(retry_token_cap_,
+                                 retry_tokens_ + options_.retry_budget);
+    --in_flight_;
 }
 
 void
 InferenceService::dispatch_with_retries(Request &request,
                                         InferenceResponse &response,
-                                        std::minstd_rand &rng)
+                                        std::minstd_rand &rng,
+                                        std::size_t exclude_replica)
 {
     DeadlineToken token = request.token;
     const auto wall_deadline = token.deadline_point();
-    std::size_t last_replica = EnginePool::kNoReplica;
+    std::size_t last_replica = exclude_replica;
     const bool realtime =
         request.priority == RequestPriority::kRealtime;
     const LeasePriority lease_priority = realtime
@@ -437,13 +692,10 @@ InferenceService::dispatch_with_retries(Request &request,
         if (!retryable || attempt >= options_.max_retries)
             return;
 
-        const double exp_backoff =
-            options_.retry_backoff_ms *
-            static_cast<double>(std::int64_t{1} << std::min(attempt, 20));
         const double jitter =
             0.5 + std::generate_canonical<double, 16>(rng);
         const double backoff =
-            std::min(exp_backoff, options_.retry_backoff_max_ms) * jitter;
+            retry_backoff_for_attempt_ms(options_, attempt, jitter);
 
         // A retry whose backoff alone outlasts the remaining deadline
         // is a guaranteed miss: surface the deadline now instead of
@@ -585,6 +837,11 @@ InferenceService::stats() const
             merged.class_p99_ms[c] = p.p99_ms;
             merged.class_p999_ms[c] = p.p999_ms;
         }
+        merged.batch_mean_occupancy =
+            merged.batches_formed > 0
+                ? static_cast<double>(merged.batched_requests) /
+                      static_cast<double>(merged.batches_formed)
+                : 0.0;
     }
     const EnginePoolStats pool_stats = pool_->stats();
     merged.demotions += pool_stats.demotions;

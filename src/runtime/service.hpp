@@ -140,6 +140,26 @@ struct ServiceOptions {
      *  cold service admits everything. */
     bool enable_feasibility_admission = true;
 
+    // --- Dynamic batching -------------------------------------------------
+
+    /** Largest number of same-lane queued requests one worker may
+     *  coalesce into a single fused engine run. Compiled into the
+     *  replica engines as EngineOptions::max_batch: each engine plans
+     *  its arena/workspace once at this bucket size and then serves
+     *  any occupancy up to it. A model the engine cannot batch (see
+     *  Engine::batch_fallback_reason()) silently degrades to
+     *  single-request dispatch. 1 disables batching. */
+    int max_batch = 1;
+
+    /** Max-latency batching window: after popping a batch leader, a
+     *  worker waits up to this long for more same-lane requests
+     *  before dispatching a partial batch. Deadline-aware: a leader
+     *  or joiner whose remaining budget cannot cover the window plus
+     *  one typical service time flushes the batch immediately, and
+     *  the real-time lane never waits — it only coalesces requests
+     *  already queued. 0 disables waiting (coalesce-only). */
+    double batch_window_ms = 0;
+
     /** Worker threads leasing replicas from the pool. */
     int workers = 1;
 
@@ -211,6 +231,17 @@ struct ServiceOptions {
     std::vector<std::shared_ptr<FaultInjector>> per_replica_injectors;
 };
 
+/**
+ * Backoff before retry @p attempt (0-based): retry_backoff_ms doubled
+ * per attempt, scaled by @p jitter (drawn uniformly from [0.5, 1.5)),
+ * then clamped to retry_backoff_max_ms. Clamping happens AFTER jitter
+ * so the configured ceiling is a hard bound — clamping first let a
+ * +50 % jitter draw exceed it, overshooting the deadline budget check
+ * and skipping retries that would have fit.
+ */
+double retry_backoff_for_attempt_ms(const ServiceOptions &options,
+                                    int attempt, double jitter);
+
 /** Outcome of one request. */
 struct InferenceResponse {
     Status status;
@@ -227,6 +258,13 @@ struct InferenceResponse {
     /** True when a failover retry would have run but the retry token
      *  bucket was empty — the status is the last attempt's error. */
     bool retry_denied_by_budget = false;
+    /** Requests fused into the engine run that served this one
+     *  (1 = ran alone). */
+    int batch_size = 1;
+    /** True when this request's fused run failed mid-batch and the
+     *  request was re-dispatched individually (see
+     *  ServiceStats::batch_splits). */
+    bool batch_split = false;
 };
 
 /** Outcome of one graceful shutdown. */
@@ -309,6 +347,27 @@ struct ServiceStats {
     /** Per-class kDeadlineExceeded completions after admission (the
      *  true SLO misses; admission-time rejections are not misses). */
     std::array<std::int64_t, kPriorityClasses> class_deadline_miss{};
+
+    // --- Dynamic batching -------------------------------------------------
+    /** Fused runs assembled (occupancy >= 2). */
+    std::int64_t batches_formed = 0;
+    /** Requests that entered a fused run. */
+    std::int64_t batched_requests = 0;
+    /** Largest occupancy assembled so far. */
+    std::int64_t batch_max_occupancy = 0;
+    /** Mean occupancy of fused runs (derived in stats()). */
+    double batch_mean_occupancy = 0;
+    /** Flush causes for fused runs: assembly hit max_batch / the
+     *  batching window expired (or was preempted by higher-priority
+     *  work or shutdown) / a member's remaining budget could not
+     *  cover the rest of the window. */
+    std::int64_t batch_flush_full = 0;
+    std::int64_t batch_flush_window = 0;
+    std::int64_t batch_flush_deadline = 0;
+    /** Fused runs that failed mid-batch and were split into
+     *  individual re-dispatches (fault isolation: only the failed
+     *  run's members pay, co-queued requests are untouched). */
+    std::int64_t batch_splits = 0;
 
     // --- Model lifecycle (registry/pool-backed) ---------------------------
     /** Generation currently serving (1 = the compiled-in seed). */
@@ -443,10 +502,39 @@ class InferenceService
     };
 
     void worker_loop(std::size_t worker);
-    /** Runs @p request with failover + bounded backoff retries. */
+    /** Coalesces more same-lane requests into @p batch (whose leader
+     *  is already popped) under the batching window: drains joinable
+     *  queued work up to the batch capacity, waits out the remaining
+     *  window when the lane runs dry, and flushes early on capacity,
+     *  a deadline-constrained member, higher-priority arrivals, or
+     *  shutdown. Updates the batch flush-cause stats. Caller holds
+     *  @p lock. */
+    void assemble_batch_locked(std::unique_lock<std::mutex> &lock,
+                               std::size_t lane,
+                               std::vector<Request> &batch);
+    /** Dispatches an assembled batch: stamps queue_ms (including any
+     *  window wait), fails already-expired members individually, runs
+     *  a single live member through the normal retry path, and runs
+     *  two or more fused — on a mid-batch failure the batch splits
+     *  and every live member re-dispatches individually, skipping the
+     *  replica that failed. */
+    void dispatch_batch(std::size_t lane, std::vector<Request> &batch,
+                        std::vector<InferenceResponse> &responses,
+                        std::minstd_rand &rng);
+    /** Runs @p request with failover + bounded backoff retries.
+     *  @p exclude_replica is avoided on the first acquire (used when
+     *  re-dispatching members of a failed batch away from the replica
+     *  that failed). */
     void dispatch_with_retries(Request &request,
                                InferenceResponse &response,
-                               std::minstd_rand &rng);
+                               std::minstd_rand &rng,
+                               std::size_t exclude_replica =
+                                   EnginePool::kNoReplica);
+    /** Completion accounting for one finished request (status
+     *  counters, per-class histograms, retry-token earn, in_flight_).
+     *  Caller holds mutex_. */
+    void finish_request_locked(std::size_t lane, bool shed,
+                               const InferenceResponse &response);
     /** Consumes one retry token; false (and a denied count) when the
      *  budget is exhausted. */
     bool try_consume_retry_token();
@@ -457,8 +545,13 @@ class InferenceService
     /** Estimated queue wait (ms) ahead of a new request in @p lane:
      *  Σ over lanes at the same or higher class of depth × that
      *  lane's recent service-time P50, divided by the worker count.
-     *  Lanes with no recorded service times contribute 0 (a cold
-     *  service never rejects on feasibility). Caller holds mutex_. */
+     *  A lane with queued work but no service history borrows the
+     *  slowest recorded P50 from any other lane so a full cold lane
+     *  is not invisible to admission; a fully cold service (no
+     *  history anywhere) still estimates 0 and never rejects on
+     *  feasibility. submit() adds the expected batch-window wait on
+     *  top when the request's budget would actually pay it. Caller
+     *  holds mutex_. */
     double estimated_wait_ms_locked(std::size_t lane) const;
     /** Picks the next lane to pop (strict class priority + aging
      *  credit) and updates the credits. The caller pops the returned
@@ -477,6 +570,9 @@ class InferenceService
     std::unique_ptr<EnginePool> pool_;
     std::unique_ptr<ModelRegistry> registry_;
     std::size_t footprint_ = 0;
+    /** Effective fused-run capacity: the pool engines' compiled batch
+     *  capacity (1 when batching is off or the model is unbatchable). */
+    std::int64_t batch_capacity_ = 1;
 
     mutable std::mutex mutex_; ///< Guards lanes_, stats_, histograms,
                                ///< brownout and retry-budget state,

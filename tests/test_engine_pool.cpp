@@ -658,6 +658,33 @@ TEST(LatencyHistogram, PercentilesTrackRecordedSamples)
     EXPECT_LE(histogram.percentile(0.50), histogram.percentile(0.99));
 }
 
+TEST(LatencyHistogram, OutlierPercentileClampsToRecordedMax)
+{
+    // One 10 s hang among fast requests: the tail percentile must
+    // report the recorded maximum, not the outlier bucket's geometric
+    // upper bound (which over-reports by up to the bucket ratio).
+    LatencyHistogram histogram;
+    for (int i = 0; i < 99; ++i)
+        histogram.record(1.0);
+    histogram.record(10000.0);
+    EXPECT_DOUBLE_EQ(histogram.percentile(0.999), 10000.0);
+    EXPECT_DOUBLE_EQ(histogram.max_ms(), 10000.0);
+
+    // A sample beyond the geometric range lands in the unbounded top
+    // bucket, which used to report that bucket's lower bound and
+    // silently cap the tail; it must report the recorded max.
+    LatencyHistogram extreme;
+    extreme.record(1.0e7);
+    EXPECT_DOUBLE_EQ(extreme.percentile(0.999), 1.0e7);
+
+    // merge() carries the max across histograms; reset() clears it.
+    histogram.merge(extreme);
+    EXPECT_DOUBLE_EQ(histogram.max_ms(), 1.0e7);
+    histogram.reset();
+    EXPECT_DOUBLE_EQ(histogram.max_ms(), 0.0);
+    EXPECT_EQ(histogram.count(), 0);
+}
+
 TEST(ServiceStatsLatency, PercentilesPopulatedAfterTraffic)
 {
     set_global_num_threads(1);

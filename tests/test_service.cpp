@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "core/threadpool.hpp"
+#include "graph/node.hpp"
 #include "models/model_zoo.hpp"
+#include "quant/quantizer.hpp"
 #include "test_util.hpp"
 
 namespace orpheus {
@@ -772,6 +774,370 @@ TEST(InferenceService, StopFailsQueuedRequests)
     EXPECT_TRUE(in_flight.get().status.is_ok());
     EXPECT_EQ(queued.get().status.code(),
               StatusCode::kFailedPrecondition);
+}
+
+// --- Dynamic batching -------------------------------------------------------
+
+std::map<std::string, Tensor>
+random_request(const Engine &engine, std::uint64_t seed)
+{
+    std::map<std::string, Tensor> inputs;
+    for (const auto &info : engine.request_inputs())
+        inputs[info.name] = make_random(info.shape, seed++);
+    return inputs;
+}
+
+TEST(EngineBatching, BatchedRunsBitwiseEqualSequentialAcrossBackends)
+{
+    set_global_num_threads(1);
+    // conv-, gemm- and quantized-conv-dominated models: the fused run
+    // must reuse the same kernels over the same per-sample layouts, so
+    // outputs are bitwise identical to sequential execution.
+    std::vector<std::pair<std::string, Graph>> cases;
+    cases.emplace_back("conv", models::tiny_cnn());
+    cases.emplace_back("gemm", models::tiny_mlp());
+    QuantizationOptions quant_options;
+    quant_options.calibration_runs = 2;
+    cases.emplace_back(
+        "qconv", quantize_model(Graph(models::tiny_cnn()), quant_options));
+
+    for (auto &[label, graph] : cases) {
+        Engine reference(Graph(graph), {});
+        EngineOptions batched_options;
+        batched_options.max_batch = 4;
+        Engine batched(Graph(graph), batched_options);
+        ASSERT_EQ(batched.batch_capacity(), 4)
+            << label << ": " << batched.batch_fallback_reason();
+
+        for (const std::size_t n : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{4}}) {
+            std::vector<std::map<std::string, Tensor>> requests;
+            std::vector<const std::map<std::string, Tensor> *> pointers;
+            for (std::size_t r = 0; r < n; ++r)
+                requests.push_back(random_request(
+                    reference, 0xba7c0 + 16 * n + 4 * r));
+            for (const auto &request : requests)
+                pointers.push_back(&request);
+
+            const auto results = batched.run_batch(pointers);
+            ASSERT_EQ(results.size(), n) << label << " n=" << n;
+            for (std::size_t r = 0; r < n; ++r) {
+                const auto expected = reference.run(requests[r]);
+                ASSERT_EQ(results[r].size(), expected.size());
+                for (const auto &[name, tensor] : expected)
+                    EXPECT_EQ(max_abs_diff(results[r].at(name), tensor),
+                              0.0f)
+                        << label << " n=" << n << " request " << r
+                        << " output " << name;
+            }
+        }
+    }
+}
+
+TEST(EngineBatching, SampleMixingOpFallsBackToSingleRequest)
+{
+    // Softmax over axis 0 mixes samples once requests are stacked
+    // along the batch dimension: the engine must refuse to batch and
+    // keep serving single requests.
+    Graph graph("softmax_axis0");
+    graph.add_input("x", Shape({4, 8}));
+    AttributeMap attrs;
+    attrs.set("axis", std::int64_t{0});
+    graph.add_node(op_names::kSoftmax, {"x"}, {"y"}, attrs);
+    graph.add_output("y");
+
+    EngineOptions options;
+    options.max_batch = 4;
+    Engine engine(std::move(graph), options);
+    EXPECT_EQ(engine.batch_capacity(), 1);
+    EXPECT_FALSE(engine.batch_fallback_reason().empty());
+
+    const auto outputs =
+        engine.run({{"x", make_random(Shape({4, 8}), 0xa51)}});
+    EXPECT_EQ(outputs.count("y"), 1u);
+}
+
+TEST(InferenceService, BatchedServingMatchesEngineAndFormsBatches)
+{
+    set_global_num_threads(1);
+    Engine reference(models::tiny_cnn(), {});
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.max_batch = 4;
+    options.batch_window_ms = 200;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), {}, options);
+
+    std::vector<std::future<InferenceResponse>> futures;
+    for (unsigned i = 0; i < 4; ++i)
+        futures.push_back(service.submit(cnn_inputs(0xb100 + i)));
+    for (unsigned i = 0; i < 4; ++i) {
+        const InferenceResponse response = futures[i].get();
+        ASSERT_TRUE(response.status.is_ok())
+            << response.status.to_string();
+        const auto expected = reference.run(cnn_inputs(0xb100 + i));
+        for (const auto &[name, tensor] : expected)
+            EXPECT_EQ(max_abs_diff(response.outputs.at(name), tensor),
+                      0.0f)
+                << "request " << i << " output " << name;
+    }
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed_ok, 4);
+    EXPECT_GE(stats.batches_formed, 1);
+    EXPECT_GE(stats.batched_requests, 2);
+    EXPECT_LE(stats.batch_max_occupancy, 4);
+    EXPECT_GE(stats.batch_mean_occupancy, 2.0);
+    EXPECT_EQ(stats.batch_splits, 0);
+}
+
+TEST(InferenceService, RealtimeNeverWaitsOnBatchWindow)
+{
+    ServiceOptions options;
+    options.workers = 1;
+    options.max_batch = 4;
+    options.batch_window_ms = 5000;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), {}, options);
+
+    const auto started = std::chrono::steady_clock::now();
+    const InferenceResponse response =
+        service.run(cnn_inputs(0xb200), DeadlineToken(),
+                    RequestPriority::kRealtime);
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - started;
+
+    ASSERT_TRUE(response.status.is_ok()) << response.status.to_string();
+    EXPECT_LT(elapsed.count(), 2500.0)
+        << "a lone real-time request must not wait out the batch window";
+}
+
+TEST(InferenceService, TightDeadlineLeaderSkipsBatchWindow)
+{
+    ServiceOptions options;
+    options.workers = 1;
+    options.max_batch = 4;
+    options.batch_window_ms = 5000;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), {}, options);
+
+    // The leader's 500 ms budget cannot cover the 5 s window: the
+    // assembler must dispatch immediately instead of holding the
+    // request into a guaranteed deadline miss.
+    const auto started = std::chrono::steady_clock::now();
+    const InferenceResponse response =
+        service.run(cnn_inputs(0xb300), DeadlineToken::after_ms(500));
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - started;
+
+    ASSERT_TRUE(response.status.is_ok()) << response.status.to_string();
+    EXPECT_LT(elapsed.count(), 2500.0);
+}
+
+TEST(InferenceService, MidBatchFaultSplitsAndSparesOtherBatches)
+{
+    set_global_num_threads(1);
+    auto sick = std::make_shared<FaultInjector>();
+
+    EngineOptions engine_options;
+    engine_options.guard.enabled = true;
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.replicas = 2;
+    options.max_batch = 3;
+    options.batch_window_ms = 500;
+    options.enable_watchdog = false;
+    options.per_replica_injectors = {sick, nullptr};
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    // One corrupted kernel invocation on replica 0: the first fused
+    // run fails as a whole, splits, and every member re-dispatches on
+    // the clean replica — no corruption surfaces to any caller.
+    sick->arm_corruption("", "", CorruptionKind::kNaNPoke, 0, 1);
+
+    std::vector<std::future<InferenceResponse>> first_wave;
+    for (unsigned i = 0; i < 3; ++i)
+        first_wave.push_back(service.submit(cnn_inputs(0xb400 + i)));
+    for (auto &future : first_wave) {
+        const InferenceResponse response = future.get();
+        ASSERT_TRUE(response.status.is_ok())
+            << response.status.to_string();
+        EXPECT_TRUE(response.batch_split);
+    }
+
+    // A second, clean wave is untouched by the earlier fault.
+    std::vector<std::future<InferenceResponse>> second_wave;
+    for (unsigned i = 0; i < 3; ++i)
+        second_wave.push_back(service.submit(cnn_inputs(0xb410 + i)));
+    for (auto &future : second_wave) {
+        const InferenceResponse response = future.get();
+        ASSERT_TRUE(response.status.is_ok())
+            << response.status.to_string();
+        EXPECT_FALSE(response.batch_split);
+    }
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed_ok, 6);
+    EXPECT_EQ(stats.batch_splits, 1);
+    EXPECT_EQ(stats.data_corruption, 0)
+        << "the mid-batch corruption must not surface to callers";
+    EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(InferenceService, ConcurrentBatchAssemblyStaysConsistent)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // A small uniform stall keeps a backlog so batches actually form
+    // while two workers race over the same lanes. Run under TSan to
+    // check the assembler's locking.
+    engine_options.fault_injector->arm_delay("", "", 2, 0, -1);
+
+    ServiceOptions options;
+    options.workers = 2;
+    options.replicas = 2;
+    options.max_queue_depth = 8;
+    options.max_batch = 4;
+    options.batch_window_ms = 2;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    constexpr int kPerClass = 40;
+    const RequestPriority classes[kPriorityClasses] = {
+        RequestPriority::kRealtime, RequestPriority::kInteractive,
+        RequestPriority::kBatch};
+    std::vector<std::future<InferenceResponse>> futures[kPriorityClasses];
+    std::atomic<bool> done{false};
+
+    std::thread reader([&] {
+        while (!done.load()) {
+            const ServiceStats snapshot = service.stats();
+            EXPECT_LE(snapshot.completed_ok, snapshot.accepted);
+            EXPECT_LE(snapshot.batch_max_occupancy, 4);
+            std::this_thread::yield();
+        }
+    });
+
+    std::thread submitters[kPriorityClasses];
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+        futures[c].reserve(kPerClass);
+        submitters[c] = std::thread([&service, &futures, &classes, c] {
+            for (int i = 0; i < kPerClass; ++i) {
+                DeadlineToken token = (i % 4 == 3)
+                                          ? DeadlineToken::after_ms(1)
+                                          : DeadlineToken();
+                futures[c].push_back(service.submit(
+                    cnn_inputs(0xb500 + static_cast<unsigned>(i)),
+                    std::move(token), 0, classes[c]));
+            }
+        });
+    }
+    for (std::thread &submitter : submitters)
+        submitter.join();
+    for (auto &lane : futures)
+        for (auto &future : lane)
+            (void)future.get();
+    done.store(true);
+    reader.join();
+
+    const ServiceStats stats = service.stats();
+    const std::int64_t total = 3 * kPerClass;
+    EXPECT_EQ(stats.submitted, total);
+    EXPECT_EQ(stats.accepted + stats.rejected_queue_full +
+                  stats.rejected_infeasible,
+              total);
+    // Accepted requests are accounted exactly once even when they ride
+    // through fused runs.
+    std::int64_t finished = 0, shed = 0;
+    for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+        finished += stats.class_count[c];
+        shed += stats.class_shed[c];
+    }
+    EXPECT_EQ(finished + shed, stats.accepted);
+    EXPECT_EQ(stats.failed, 0);
+    EXPECT_EQ(stats.data_corruption, 0);
+    // Batching bookkeeping: occupancy is bounded by the capacity, and
+    // every counted flush cause corresponds to a formed batch
+    // (coalesce-only flushes carry no cause).
+    EXPECT_GE(stats.batched_requests, 2 * stats.batches_formed);
+    EXPECT_LE(stats.batched_requests, 4 * stats.batches_formed);
+    EXPECT_LE(stats.batch_flush_full + stats.batch_flush_window +
+                  stats.batch_flush_deadline,
+              stats.batches_formed);
+}
+
+// --- Bugfix regressions -----------------------------------------------------
+
+TEST(InferenceService, ColdBacklogStillCountsTowardFeasibility)
+{
+    EngineOptions engine_options;
+    engine_options.fault_injector = std::make_shared<FaultInjector>();
+    // Every run stalls ~50 ms so queued work represents real wait.
+    engine_options.fault_injector->arm_delay("", "", 50, 0, -1);
+
+    ServiceOptions options;
+    options.workers = 1;
+    options.rt_queue_depth = 8;
+    options.enable_watchdog = false;
+    InferenceService service(models::tiny_cnn(), engine_options, options);
+
+    // Give the interactive lane service history (~50 ms P50); the
+    // real-time lane stays cold.
+    ASSERT_TRUE(service.run(cnn_inputs(0xb600)).status.is_ok());
+
+    // Occupy the worker, then fill the real-time lane. That lane has
+    // no recorded service times — the admission estimate must borrow
+    // another lane's P50 instead of pricing the backlog at zero.
+    auto stall = service.submit(cnn_inputs(0xb601));
+    wait_for_empty_queue(service);
+    std::vector<std::future<InferenceResponse>> backlog;
+    for (unsigned i = 0; i < 4; ++i)
+        backlog.push_back(service.submit(cnn_inputs(0xb610 + i),
+                                         DeadlineToken(), 0,
+                                         RequestPriority::kRealtime));
+
+    // ~4 x 50 ms of real-time work is ahead of this 60 ms budget: a
+    // guaranteed miss, rejected at admission without queue time or a
+    // replica lease.
+    const InferenceResponse infeasible =
+        service.run(cnn_inputs(0xb620), DeadlineToken::after_ms(60),
+                    RequestPriority::kBatch);
+    EXPECT_EQ(infeasible.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(infeasible.run_ms, 0.0);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.rejected_infeasible, 1);
+    EXPECT_EQ(
+        stats.class_infeasible[priority_index(RequestPriority::kBatch)],
+        1);
+
+    EXPECT_TRUE(stall.get().status.is_ok());
+    for (auto &future : backlog)
+        EXPECT_TRUE(future.get().status.is_ok());
+}
+
+TEST(ServiceRetry, BackoffClampAppliesAfterJitter)
+{
+    ServiceOptions options;
+    options.retry_backoff_ms = 400;
+    options.retry_backoff_max_ms = 600;
+
+    // Below the cap the jitter passes through untouched.
+    EXPECT_DOUBLE_EQ(retry_backoff_for_attempt_ms(options, 0, 0.5),
+                     200.0);
+    // Boundary: 400 x 1.5 lands exactly on the cap.
+    EXPECT_DOUBLE_EQ(retry_backoff_for_attempt_ms(options, 0, 1.5),
+                     600.0);
+    // Attempt 1 doubles to 800; clamp-before-jitter used to return
+    // 600 x 1.5 = 900, overshooting the configured ceiling.
+    EXPECT_DOUBLE_EQ(retry_backoff_for_attempt_ms(options, 1, 1.5),
+                     600.0);
+    // Deep saturation stays pinned at the cap for any jitter draw.
+    for (const double jitter : {0.5, 1.0, 1.4999})
+        EXPECT_DOUBLE_EQ(retry_backoff_for_attempt_ms(options, 30, jitter),
+                         600.0);
 }
 
 } // namespace

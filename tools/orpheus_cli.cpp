@@ -29,6 +29,9 @@
  *   --max-retries <n>   failover retries per request (default 0)
  *   --retry-budget <f>  retry tokens earned per request (default 0.2)
  *   --brownout          shed batch work / degrade replicas on overload
+ *   --max-batch <n>     fuse up to n queued requests per engine run
+ *   --batch-window-ms <ms>  max wait for co-batched requests (default 0:
+ *                       coalesce only what is already queued)
  * latency classes (run/serve):
  *   --class <list>      comma-separated latency classes assigned to
  *                       clients round-robin: realtime | interactive |
@@ -111,6 +114,8 @@ struct CliOptions {
     double canary_fraction = 0.25;
     long long canary_samples = 0;
     double shutdown_deadline_ms = 0;
+    int max_batch = 1;
+    double batch_window_ms = 0;
     std::vector<std::string> positional;
 };
 
@@ -160,6 +165,7 @@ usage()
         "--deadline-ms <ms> --workers <n>\n"
         "           --replicas <n> --warm-spares <n> --max-retries <n> "
         "--retry-budget <f> --brownout\n"
+        "           --max-batch <n> --batch-window-ms <ms>\n"
         "  classes (run/serve): --class <realtime|interactive|batch>[,"
         "...] --priority <class> --rt-queue-depth <n> "
         "--class-deadline-ms <class>=<ms>\n"
@@ -254,6 +260,11 @@ parse_options(int argc, char **argv, int first)
         else if (arg == "--shutdown-deadline-ms")
             options.shutdown_deadline_ms =
                 std::stod(next_value("--shutdown-deadline-ms"));
+        else if (arg == "--max-batch")
+            options.max_batch = std::stoi(next_value("--max-batch"));
+        else if (arg == "--batch-window-ms")
+            options.batch_window_ms =
+                std::stod(next_value("--batch-window-ms"));
         else
             options.positional.push_back(arg);
     }
@@ -438,7 +449,7 @@ run_through_service(const CliOptions &cli, EngineOptions options)
 
     Rng rng(0x0e11);
     std::map<std::string, Tensor> inputs;
-    for (const auto &input : service.engine().graph().inputs())
+    for (const auto &input : service.engine().request_inputs())
         inputs[input.name] = random_tensor(input.shape, rng);
 
     int ok = 0;
@@ -595,6 +606,8 @@ cmd_serve(const CliOptions &cli)
     service_options.rt_queue_depth =
         static_cast<std::size_t>(std::max(0, cli.rt_queue_depth));
     service_options.class_deadline_ms = cli.class_deadline_ms;
+    service_options.max_batch = std::max(1, cli.max_batch);
+    service_options.batch_window_ms = std::max(0.0, cli.batch_window_ms);
 
     /* --class realtime,batch,... assigns latency classes to client
      * threads round-robin, so one invocation can mix (say) a couple
@@ -640,6 +653,17 @@ cmd_serve(const CliOptions &cli)
     std::printf("per-request activation footprint: %.1f KiB\n",
                 static_cast<double>(service.request_footprint_bytes()) /
                     1024.0);
+    if (service_options.max_batch > 1) {
+        const std::string &fallback =
+            service.engine().batch_fallback_reason();
+        if (fallback.empty())
+            std::printf("batching: up to %lld per run, window %g ms\n",
+                        static_cast<long long>(
+                            service.engine().batch_capacity()),
+                        service_options.batch_window_ms);
+        else
+            std::printf("batching: OFF (%s)\n", fallback.c_str());
+    }
     if (cli.guard)
         std::printf("guard: on (shadow every %d, cool-down %g ms)%s\n",
                     cli.shadow_every, cli.guard_cooldown_ms,
@@ -670,7 +694,7 @@ cmd_serve(const CliOptions &cli)
         threads.emplace_back([&, client, client_class] {
             Rng rng(0x5e47 + static_cast<std::uint64_t>(client));
             std::map<std::string, Tensor> inputs;
-            for (const auto &input : service.engine().graph().inputs())
+            for (const auto &input : service.engine().request_inputs())
                 inputs[input.name] = random_tensor(input.shape, rng);
             std::vector<double> local;
             int remaining = cli.requests;
@@ -800,6 +824,18 @@ cmd_serve(const CliOptions &cli)
                     static_cast<long long>(stats.class_infeasible[lane]),
                     static_cast<long long>(
                         stats.class_deadline_miss[lane]));
+    if (service_options.max_batch > 1)
+        std::printf("batching: %lld batches (%lld requests, mean "
+                    "occupancy %.2f, max %lld), flushes %lld full / "
+                    "%lld window / %lld deadline, %lld splits\n",
+                    static_cast<long long>(stats.batches_formed),
+                    static_cast<long long>(stats.batched_requests),
+                    stats.batch_mean_occupancy,
+                    static_cast<long long>(stats.batch_max_occupancy),
+                    static_cast<long long>(stats.batch_flush_full),
+                    static_cast<long long>(stats.batch_flush_window),
+                    static_cast<long long>(stats.batch_flush_deadline),
+                    static_cast<long long>(stats.batch_splits));
     std::printf("watchdog: %lld hangs, %lld demotions\n",
                 static_cast<long long>(stats.watchdog_hangs),
                 static_cast<long long>(stats.demotions));
