@@ -10,7 +10,9 @@
  */
 #include "bench_util.hpp"
 
+#include "core/cpu_features.hpp"
 #include "ops/gemm/gemm.hpp"
+#include "ops/quant/qgemm.hpp"
 
 namespace {
 
@@ -68,6 +70,68 @@ gemm_cell(::benchmark::State &state, GemmVariant variant,
     state.counters["GFLOP/s"] = flops / (mean_ms * 1e6);
 }
 
+/** int8 qgemm cell (scalar reference or the SIMD tier). */
+void
+qgemm_cell(::benchmark::State &state, bool simd, const GemmShape &shape)
+{
+    Rng rng(0x6e);
+    std::vector<std::uint8_t> a(
+        static_cast<std::size_t>(shape.m * shape.k));
+    std::vector<std::int8_t> b(static_cast<std::size_t>(shape.k * shape.n));
+    std::vector<std::int32_t> c(
+        static_cast<std::size_t>(shape.m * shape.n));
+    for (auto &value : a)
+        value = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    for (auto &value : b)
+        value = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+
+    const auto run = [&] {
+        if (simd)
+            qgemm_u8i8_simd(shape.m, shape.n, shape.k, a.data(), shape.k,
+                            128, b.data(), shape.n, c.data(), shape.n);
+        else
+            qgemm_u8i8(shape.m, shape.n, shape.k, a.data(), shape.k, 128,
+                       b.data(), shape.n, c.data(), shape.n);
+    };
+    run();
+
+    double total_ms = 0.0;
+    std::int64_t runs = 0;
+    for (auto _ : state) {
+        Timer timer;
+        run();
+        const double ms = timer.elapsed_ms();
+        state.SetIterationTime(ms / 1000.0);
+        total_ms += ms;
+        ++runs;
+    }
+    benchmark::DoNotOptimize(c.data());
+    record_cell(std::string("qgemm_") + shape.label,
+                simd ? "simd" : "scalar",
+                total_ms / static_cast<double>(runs));
+}
+
+/** Ratio cell: 100 * scalar_ms / simd_ms for @p row, recorded under the
+ *  "_pct" suffix so the regression gate scores it as an absolute
+ *  quality floor instead of a time share. */
+void
+record_speedup(const std::string &row, const std::string &scalar_column,
+               const std::string &simd_column)
+{
+    double scalar_ms = 0, simd_ms = 0;
+    for (const Cell &cell : cells()) {
+        if (cell.row != row)
+            continue;
+        if (cell.column == scalar_column)
+            scalar_ms = cell.mean_ms;
+        else if (cell.column == simd_column)
+            simd_ms = cell.mean_ms;
+    }
+    if (scalar_ms > 0 && simd_ms > 0)
+        record_cell(row, "simd_speedup_pct",
+                    100.0 * scalar_ms / simd_ms);
+}
+
 } // namespace
 
 int
@@ -76,17 +140,35 @@ main(int argc, char **argv)
     set_global_num_threads(1);
     const int shape_count = quick_mode() ? 2 : 6;
 
+    const bool simd = gemm_packed_simd_available();
     for (int i = 0; i < shape_count; ++i) {
         const GemmShape &shape = kShapes[i];
-        for (GemmVariant variant :
-             {GemmVariant::kNaive, GemmVariant::kBlocked,
-              GemmVariant::kPacked}) {
+        std::vector<GemmVariant> variants = {GemmVariant::kNaive,
+                                             GemmVariant::kBlocked,
+                                             GemmVariant::kPacked};
+        if (simd)
+            variants.push_back(GemmVariant::kPackedSimd);
+        for (GemmVariant variant : variants) {
             const std::string name = std::string("gemm/") + shape.label +
                                      "/" + to_string(variant);
             ::benchmark::RegisterBenchmark(
                 name.c_str(),
                 [variant, shape](::benchmark::State &state) {
                     gemm_cell(state, variant, shape);
+                })
+                ->Iterations(timed_runs())
+                ->UseManualTime()
+                ->Unit(::benchmark::kMillisecond);
+        }
+        for (bool use_simd : {false, true}) {
+            if (use_simd && !qgemm_simd_available())
+                continue;
+            const std::string name = std::string("qgemm/") + shape.label +
+                                     (use_simd ? "/simd" : "/scalar");
+            ::benchmark::RegisterBenchmark(
+                name.c_str(),
+                [use_simd, shape](::benchmark::State &state) {
+                    qgemm_cell(state, use_simd, shape);
                 })
                 ->Iterations(timed_runs())
                 ->UseManualTime()
@@ -115,6 +197,30 @@ main(int argc, char **argv)
         if (packed > 0)
             std::printf("  %-14s vs naive %6.2fx, vs blocked %6.2fx\n",
                         shape.label, naive / packed, blocked / packed);
+    }
+
+    // Speedup quality cells: the regression gate holds these as
+    // absolute floors, so a change that quietly loses the SIMD win
+    // (broken dispatch, clobbered per-file ISA flags) fails CI even on
+    // a faster machine.
+    if (simd) {
+        std::printf("\nSIMD tier (%s) speedup over scalar:\n",
+                    simd_isa_compiled());
+        for (int i = 0; i < shape_count; ++i) {
+            const GemmShape &shape = kShapes[i];
+            record_speedup(shape.label, "packed", "packed_simd");
+            record_speedup(std::string("qgemm_") + shape.label, "scalar",
+                           "simd");
+            for (const Cell &cell : cells()) {
+                if (cell.column != "simd_speedup_pct")
+                    continue;
+                if (cell.row != shape.label &&
+                    cell.row != std::string("qgemm_") + shape.label)
+                    continue;
+                std::printf("  %-14s %6.2fx\n", cell.row.c_str(),
+                            cell.mean_ms / 100.0);
+            }
+        }
     }
     print_csv("shape", "variant");
     write_json("gemm");

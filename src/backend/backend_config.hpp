@@ -36,6 +36,14 @@ struct BackendConfig {
     bool allow_third_party = true;
 
     /**
+     * Allow the SIMD microkernel tier (AVX2/FMA, NEON). The tier is
+     * additionally gated at runtime by the cpu-feature probe and the
+     * ORPHEUS_DISABLE_SIMD override (core/cpu_features.hpp); this flag
+     * removes the SIMD impls from selection entirely, per engine.
+     */
+    bool allow_simd = true;
+
+    /**
      * Pin an implementation per op type, e.g. {"Conv", "spatial_pack"}.
      * Selection fails loudly if the pinned kernel does not support the
      * node, so configuration errors surface at plan time, not run time.

@@ -15,6 +15,7 @@
  */
 #include "backend/kernel_registry.hpp"
 
+#include "core/cpu_features.hpp"
 #include "graph/op_params.hpp"
 #include "ops/conv/conv.hpp"
 
@@ -70,6 +71,15 @@ class ConvLayerBase : public Layer
   protected:
     virtual ConvAlgo algo() const = 0;
 
+    /** Overrides the engine-level GEMM variant for this layer (the SIMD
+     *  impls force kPackedSimd; call before prepare()). */
+    void
+    force_gemm_variant(GemmVariant variant)
+    {
+        gemm_variant_ = variant;
+        shape_args_.gemm_variant = variant;
+    }
+
     /** Re-resolves scratch_ pointers against workspace_. */
     virtual void rebind() {}
 
@@ -108,14 +118,14 @@ class ConvIm2colGemmLayer : public ConvLayerBase
         col_floats_ = conv2d_im2col_col_floats(shape_args_);
         if (col_floats_ > 0)
             col_offset_ = ctx.reserve(col_floats_ * sizeof(float));
-        if (gemm_variant_ == GemmVariant::kPacked)
+        if (gemm_variant_uses_packing(gemm_variant_))
             b_pack_offset_ =
                 ctx.reserve(gemm_packed_b_pack_floats() * sizeof(float));
         prepared_ = true;
         rebind();
     }
 
-  private:
+  protected:
     ConvAlgo algo() const override { return ConvAlgo::kIm2colGemm; }
 
     void
@@ -123,9 +133,11 @@ class ConvIm2colGemmLayer : public ConvLayerBase
     {
         if (col_floats_ > 0)
             scratch_.col = workspace_.at<float>(col_offset_);
-        if (gemm_variant_ == GemmVariant::kPacked)
+        if (gemm_variant_uses_packing(gemm_variant_))
             scratch_.gemm.b_pack = workspace_.at<float>(b_pack_offset_);
     }
+
+  private:
 
     std::size_t col_floats_ = 0;
     std::size_t col_offset_ = 0;
@@ -213,7 +225,7 @@ class ConvWinogradLayer : public ConvLayerBase
                                 sizeof(float));
         m_offset_ = ctx.reserve(conv2d_winograd_m_floats(shape_args_) *
                                 sizeof(float));
-        if (gemm_variant_ == GemmVariant::kPacked)
+        if (gemm_variant_uses_packing(gemm_variant_))
             b_pack_offset_ =
                 ctx.reserve(gemm_packed_b_pack_floats() * sizeof(float));
         prepared_ = true;
@@ -259,7 +271,7 @@ class ConvWinogradLayer : public ConvLayerBase
     {
         scratch_.v = workspace_.at<float>(v_offset_);
         scratch_.m = workspace_.at<float>(m_offset_);
-        if (gemm_variant_ == GemmVariant::kPacked)
+        if (gemm_variant_uses_packing(gemm_variant_))
             scratch_.gemm.b_pack = workspace_.at<float>(b_pack_offset_);
     }
 
@@ -273,6 +285,28 @@ class ConvDepthwiseLayer : public ConvLayerBase
 {
     using ConvLayerBase::ConvLayerBase;
     ConvAlgo algo() const override { return ConvAlgo::kDepthwiseDirect; }
+};
+
+/**
+ * im2col+GEMM routed through the SIMD packed-GEMM tier: identical
+ * lowering and workspace layout to ConvIm2colGemmLayer (the shared
+ * B-panel format makes gemm_packed_b_pack_floats() variant-agnostic);
+ * only the micro-kernel differs.
+ */
+class ConvIm2colGemmSimdLayer : public ConvIm2colGemmLayer
+{
+  public:
+    explicit ConvIm2colGemmSimdLayer(const LayerInit &init)
+        : ConvIm2colGemmLayer(init)
+    {
+        force_gemm_variant(GemmVariant::kPackedSimd);
+    }
+};
+
+class ConvDepthwiseSimdLayer : public ConvLayerBase
+{
+    using ConvLayerBase::ConvLayerBase;
+    ConvAlgo algo() const override { return ConvAlgo::kDepthwiseSimd; }
 };
 
 bool
@@ -325,6 +359,33 @@ register_conv_kernels(KernelRegistry &registry)
                   make<ConvSpatialPackLayer>});
     registry.add({op_names::kConv, "direct", 10, nullptr,
                   make<ConvDirectLayer>});
+
+    // SIMD tier: registered only when this binary was built with a
+    // vector TU for the target arch; the support predicates re-check the
+    // runtime cpu probe (and the ORPHEUS_DISABLE_SIMD override) per
+    // plan, so a binary with AVX2 kernels still selects scalar impls on
+    // a host without AVX2. Health-ledger demotion and breaker fallback
+    // see these as ordinary impls.
+    const std::string isa = simd_isa_compiled();
+    if (!isa.empty()) {
+        registry.add({op_names::kConv, "depthwise_" + isa, 105,
+                      [](const LayerInit &init) {
+                          return init.config->allow_simd &&
+                                 init.config
+                                     ->allow_depthwise_specialization &&
+                                 is_depthwise_node(init) &&
+                                 conv2d_depthwise_simd_available();
+                      },
+                      make<ConvDepthwiseSimdLayer>});
+        registry.add({op_names::kConv, "im2col_gemm_" + isa, 85,
+                      [](const LayerInit &init) {
+                          return init.config->allow_simd &&
+                                 init.config->gemm_variant ==
+                                     GemmVariant::kPacked &&
+                                 gemm_packed_simd_available();
+                      },
+                      make<ConvIm2colGemmSimdLayer>});
+    }
 }
 
 } // namespace orpheus

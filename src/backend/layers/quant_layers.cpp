@@ -7,8 +7,10 @@
  */
 #include "backend/kernel_registry.hpp"
 
+#include "core/cpu_features.hpp"
 #include "graph/op_params.hpp"
 #include "ops/quant/qconv.hpp"
+#include "ops/quant/qgemm.hpp"
 #include "ops/quant/quantize.hpp"
 
 namespace orpheus {
@@ -116,7 +118,7 @@ class DequantizeLinearLayer : public Layer
 class QLinearConvLayer : public Layer
 {
   public:
-    explicit QLinearConvLayer(const LayerInit &init)
+    explicit QLinearConvLayer(const LayerInit &init, bool simd = false)
         : has_bias_(init.node->has_input(8)),
           const_weight_(init.constant(3)),
           node_name_(init.node->name()),
@@ -136,6 +138,7 @@ class QLinearConvLayer : public Layer
         args_.output_params = read_params(init, 6, 7);
         args_.activation =
             ActivationSpec::from_fused_attrs(init.node->attrs());
+        args_.simd = simd;
         ORPHEUS_CHECK(args_.weight_params.zero_point == 0,
                       "QLinearConv " << init.node->name()
                                      << ": only symmetric int8 weights are "
@@ -160,6 +163,10 @@ class QLinearConvLayer : public Layer
         acc_offset_ = ctx.reserve(
             qconv2d_acc_count(out_c_, args_.params, out_h_, out_w_) *
             sizeof(std::int32_t));
+        if (args_.simd)
+            pack_offset_ = ctx.reserve(
+                qconv2d_pack_i16_count(in_c_, args_.params) *
+                sizeof(std::int16_t));
         if (const_weight_ != nullptr) {
             weight_row_sums_ =
                 ctx.pack_i32(node_name_ + "/im2col_qgemm/row_sums", [&] {
@@ -197,6 +204,8 @@ class QLinearConvLayer : public Layer
     {
         scratch_.col = workspace_.at<std::uint8_t>(col_offset_);
         scratch_.acc = workspace_.at<std::int32_t>(acc_offset_);
+        if (args_.simd)
+            scratch_.pack = workspace_.at<std::int16_t>(pack_offset_);
         if (weight_row_sums_ != nullptr)
             scratch_.weight_row_sums = weight_row_sums_->data();
     }
@@ -214,6 +223,7 @@ class QLinearConvLayer : public Layer
     QConv2dScratch scratch_;
     std::size_t col_offset_ = 0;
     std::size_t acc_offset_ = 0;
+    std::size_t pack_offset_ = 0;
     bool prepared_ = false;
 };
 
@@ -234,6 +244,21 @@ register_quant_kernels(KernelRegistry &registry)
                   [](const LayerInit &init) {
                       return std::make_unique<QLinearConvLayer>(init);
                   }});
+
+    // SIMD qconv: identical lowering with the accumulation routed
+    // through the vector qgemm tier (bitwise-equal int32 accumulators).
+    const std::string isa = simd_isa_compiled();
+    if (!isa.empty()) {
+        registry.add({op_names::kQLinearConv, "im2col_qgemm_" + isa, 30,
+                      [](const LayerInit &init) {
+                          return init.config->allow_simd &&
+                                 qgemm_simd_available();
+                      },
+                      [](const LayerInit &init) {
+                          return std::make_unique<QLinearConvLayer>(init,
+                                                                    true);
+                      }});
+    }
 }
 
 } // namespace orpheus

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "backend/kernel_registry.hpp"
+#include "core/cpu_features.hpp"
 #include "graph/op_params.hpp"
 #include "ops/activation.hpp"
 #include "ops/batchnorm.hpp"
@@ -228,12 +229,17 @@ class DenseLayer : public Layer
 {
   public:
     explicit DenseLayer(const LayerInit &init)
+        : DenseLayer(init, init.config->gemm_variant)
+    {
+    }
+
+    DenseLayer(const LayerInit &init, GemmVariant variant)
         : trans_a_(init.node->attrs().get_int("transA", 0) != 0),
           trans_b_(init.node->attrs().get_int("transB", 0) != 0),
           alpha_(init.node->attrs().get_float("alpha", 1.0f)),
           beta_(init.node->attrs().get_float("beta", 1.0f)),
           has_c_(init.node->has_input(2)),
-          variant_(init.config->gemm_variant)
+          variant_(variant)
     {
         const Shape &a = init.input(0).shape;
         const Shape &b = init.input(1).shape;
@@ -256,7 +262,7 @@ class DenseLayer : public Layer
         if (alpha_ != 1.0f)
             product_offset_ = ctx.reserve(
                 static_cast<std::size_t>(m_ * n_) * sizeof(float));
-        if (variant_ == GemmVariant::kPacked)
+        if (gemm_variant_uses_packing(variant_))
             b_pack_offset_ =
                 ctx.reserve(gemm_packed_b_pack_floats() * sizeof(float));
         prepared_ = true;
@@ -289,7 +295,7 @@ class DenseLayer : public Layer
             scratch_.b_trans = workspace_.at<float>(b_trans_offset_);
         if (alpha_ != 1.0f)
             scratch_.product = workspace_.at<float>(product_offset_);
-        if (variant_ == GemmVariant::kPacked)
+        if (gemm_variant_uses_packing(variant_))
             scratch_.b_pack = workspace_.at<float>(b_pack_offset_);
     }
 
@@ -315,14 +321,20 @@ class MatMulLayer : public Layer
 {
   public:
     explicit MatMulLayer(const LayerInit &init)
-        : variant_(init.config->gemm_variant)
+        : MatMulLayer(init, init.config->gemm_variant)
     {
+    }
+
+    MatMulLayer(const LayerInit &init, GemmVariant variant)
+        : variant_(variant)
+    {
+        (void)init;
     }
 
     void
     prepare(PlanContext &ctx) override
     {
-        if (variant_ == GemmVariant::kPacked)
+        if (gemm_variant_uses_packing(variant_))
             b_pack_offset_ =
                 ctx.reserve(gemm_packed_b_pack_floats() * sizeof(float));
         prepared_ = true;
@@ -348,7 +360,7 @@ class MatMulLayer : public Layer
     void
     rebind()
     {
-        if (variant_ == GemmVariant::kPacked)
+        if (gemm_variant_uses_packing(variant_))
             scratch_.b_pack = workspace_.at<float>(b_pack_offset_);
     }
 
@@ -553,6 +565,29 @@ register_simple_kernels(KernelRegistry &registry)
     for (const char *op : {op_names::kFlatten, op_names::kReshape,
                            op_names::kIdentity, op_names::kDropout}) {
         registry.add({op, "reference", 10, nullptr, copy_factory});
+    }
+
+    // SIMD GEMM tier for Gemm/MatMul: same packed lowering, vector
+    // micro-kernel. Claims nodes only when the engine runs the packed
+    // variant (pinned naive/blocked configs stay untouched) and the
+    // runtime probe admits the ISA.
+    const std::string isa = simd_isa_compiled();
+    if (!isa.empty()) {
+        const auto simd_gemm_supported = [](const LayerInit &init) {
+            return init.config->allow_simd &&
+                   init.config->gemm_variant == GemmVariant::kPacked &&
+                   gemm_packed_simd_available();
+        };
+        registry.add({op_names::kGemm, "packed_" + isa, 30,
+                      simd_gemm_supported, [](const LayerInit &init) {
+                          return std::make_unique<DenseLayer>(
+                              init, GemmVariant::kPackedSimd);
+                      }});
+        registry.add({op_names::kMatMul, "packed_" + isa, 30,
+                      simd_gemm_supported, [](const LayerInit &init) {
+                          return std::make_unique<MatMulLayer>(
+                              init, GemmVariant::kPackedSimd);
+                      }});
     }
 }
 

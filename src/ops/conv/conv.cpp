@@ -11,6 +11,7 @@ to_string(ConvAlgo algo)
       case ConvAlgo::kSpatialPack: return "spatial_pack";
       case ConvAlgo::kWinograd: return "winograd";
       case ConvAlgo::kDepthwiseDirect: return "depthwise_direct";
+      case ConvAlgo::kDepthwiseSimd: return "depthwise_simd";
     }
     return "invalid";
 }
@@ -23,6 +24,7 @@ parse_conv_algo(const std::string &name)
     if (name == "spatial_pack") return ConvAlgo::kSpatialPack;
     if (name == "winograd") return ConvAlgo::kWinograd;
     if (name == "depthwise_direct") return ConvAlgo::kDepthwiseDirect;
+    if (name == "depthwise_simd") return ConvAlgo::kDepthwiseSimd;
     throw Error("unknown conv algorithm: " + name);
 }
 
@@ -91,6 +93,9 @@ conv2d(ConvAlgo algo, const Tensor &input, const Tensor &weight,
         return;
       case ConvAlgo::kDepthwiseDirect:
         conv2d_depthwise_direct(args);
+        return;
+      case ConvAlgo::kDepthwiseSimd:
+        conv2d_depthwise_simd(args);
         return;
     }
     ORPHEUS_ASSERT(false, "invalid ConvAlgo");

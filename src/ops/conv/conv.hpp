@@ -41,12 +41,13 @@ enum class ConvAlgo {
     kSpatialPack,
     kWinograd,
     kDepthwiseDirect,
+    kDepthwiseSimd,
 };
 
 const char *to_string(ConvAlgo algo);
 
 /** Parses "direct" / "im2col_gemm" / "spatial_pack" / "winograd" /
- *  "depthwise_direct"; throws on anything else. */
+ *  "depthwise_direct" / "depthwise_simd"; throws on anything else. */
 ConvAlgo parse_conv_algo(const std::string &name);
 
 /** Fully-resolved argument bundle shared by every conv kernel. */
@@ -159,6 +160,28 @@ bool conv2d_is_depthwise(const Conv2dArgs &args);
 
 /** Specialised direct depthwise convolution; requires is_depthwise. */
 void conv2d_depthwise_direct(const Conv2dArgs &args);
+
+/** True when conv2d_depthwise_simd will take a vectorised inner loop
+ *  (SIMD tier compiled in, CPU support, not disabled). */
+bool conv2d_depthwise_simd_available();
+
+/**
+ * Depthwise convolution through the runtime-dispatched SIMD tier: the
+ * same per-tap loop structure as conv2d_depthwise_direct with the
+ * unit-stride output span vectorised (results within a few ULP, from
+ * FMA contraction only). Falls back to the scalar kernel when the tier
+ * is unavailable or disabled.
+ */
+void conv2d_depthwise_simd(const Conv2dArgs &args);
+
+// Per-ISA entry points (own translation units with matching ISA flags;
+// referenced only when the ORPHEUS_SIMD_* definition is set).
+#if defined(ORPHEUS_SIMD_X86)
+void conv2d_depthwise_avx2(const Conv2dArgs &args);
+#endif
+#if defined(ORPHEUS_SIMD_NEON)
+void conv2d_depthwise_neon(const Conv2dArgs &args);
+#endif
 
 /**
  * Tensor-level convenience wrapper: validates shapes, builds Conv2dArgs

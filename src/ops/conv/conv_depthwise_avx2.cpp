@@ -1,36 +1,32 @@
 /**
  * @file
- * Specialised depthwise convolution (group == in_c).
+ * AVX2+FMA depthwise convolution inner loop (per-file -mavx2 -mfma).
  *
- * MobileNet-class networks spend most of their non-pointwise time here.
- * Lowering a depthwise conv through im2col+GEMM degenerates into
- * thousands of tiny (1 x kh*kw x ohw) matrix multiplies whose packing
- * overhead dwarfs the arithmetic — the paper attributes PyTorch's poor
- * MobileNetV1 showing to exactly this. This kernel instead walks each
- * channel once, register-tiling the output row; it supports a channel
- * multiplier (out_c = m * in_c) for generality.
+ * Keeps the scalar kernel's exact structure — one (batch, channel) job
+ * per pool task, bias fill, then per-tap accumulation over the
+ * in-bounds output span — and vectorises the unit-stride span with
+ * 8-wide FMAs. Because each output element still accumulates its taps
+ * in the identical (kh, kw) order, results differ from the scalar
+ * kernel only by FMA contraction (a few ULP). Strided-width taps stay
+ * scalar: they are a minority of depthwise shapes and gathers don't
+ * pay on AVX2.
  */
-#include "ops/conv/conv.hpp"
+#if defined(ORPHEUS_SIMD_X86)
+
+#include <immintrin.h>
 
 #include <algorithm>
 
-#include "core/cpu_features.hpp"
 #include "core/threadpool.hpp"
+#include "ops/conv/conv.hpp"
 
 namespace orpheus {
 
-bool
-conv2d_is_depthwise(const Conv2dArgs &args)
-{
-    return args.params.group == args.in_c && args.in_c > 1 &&
-           args.out_c % args.in_c == 0;
-}
-
 void
-conv2d_depthwise_direct(const Conv2dArgs &args)
+conv2d_depthwise_avx2(const Conv2dArgs &args)
 {
     ORPHEUS_CHECK(conv2d_is_depthwise(args),
-                  "conv2d_depthwise_direct requires group == in_c");
+                  "conv2d_depthwise_avx2 requires group == in_c");
     const Conv2dParams &p = args.params;
     const std::int64_t multiplier = args.out_c / args.in_c;
     const std::int64_t kernel_area = p.kernel_h * p.kernel_w;
@@ -50,8 +46,12 @@ conv2d_depthwise_direct(const Conv2dArgs &args)
 
             for (std::int64_t oh = 0; oh < args.out_h; ++oh) {
                 float *out_row = out_plane + oh * args.out_w;
-                for (std::int64_t ow = 0; ow < args.out_w; ++ow)
-                    out_row[ow] = bias;
+                const __m256 bias_v = _mm256_set1_ps(bias);
+                std::int64_t i = 0;
+                for (; i + 8 <= args.out_w; i += 8)
+                    _mm256_storeu_ps(out_row + i, bias_v);
+                for (; i < args.out_w; ++i)
+                    out_row[i] = bias;
 
                 for (std::int64_t kh = 0; kh < p.kernel_h; ++kh) {
                     const std::int64_t ih =
@@ -72,12 +72,21 @@ conv2d_depthwise_direct(const Conv2dArgs &args)
                             --hi;
                         if (p.stride_w == 1) {
                             const float *src = in_row + base + lo;
-                            for (std::int64_t i = lo; i < hi; ++i)
-                                out_row[i] += w_val * src[i - lo];
+                            const __m256 w_v = _mm256_set1_ps(w_val);
+                            std::int64_t j = lo;
+                            for (; j + 8 <= hi; j += 8)
+                                _mm256_storeu_ps(
+                                    out_row + j,
+                                    _mm256_fmadd_ps(
+                                        w_v,
+                                        _mm256_loadu_ps(src + (j - lo)),
+                                        _mm256_loadu_ps(out_row + j)));
+                            for (; j < hi; ++j)
+                                out_row[j] += w_val * src[j - lo];
                         } else {
-                            for (std::int64_t i = lo; i < hi; ++i)
-                                out_row[i] +=
-                                    w_val * in_row[base + i * p.stride_w];
+                            for (std::int64_t j = lo; j < hi; ++j)
+                                out_row[j] +=
+                                    w_val * in_row[base + j * p.stride_w];
                         }
                     }
                 }
@@ -88,27 +97,6 @@ conv2d_depthwise_direct(const Conv2dArgs &args)
     });
 }
 
-bool
-conv2d_depthwise_simd_available()
-{
-    return simd_enabled();
-}
-
-void
-conv2d_depthwise_simd(const Conv2dArgs &args)
-{
-#if defined(ORPHEUS_SIMD_X86)
-    if (simd_enabled()) {
-        conv2d_depthwise_avx2(args);
-        return;
-    }
-#elif defined(ORPHEUS_SIMD_NEON)
-    if (simd_enabled()) {
-        conv2d_depthwise_neon(args);
-        return;
-    }
-#endif
-    conv2d_depthwise_direct(args);
-}
-
 } // namespace orpheus
+
+#endif // ORPHEUS_SIMD_X86

@@ -13,6 +13,7 @@ to_string(GemmVariant variant)
       case GemmVariant::kNaive: return "naive";
       case GemmVariant::kBlocked: return "blocked";
       case GemmVariant::kPacked: return "packed";
+      case GemmVariant::kPackedSimd: return "packed_simd";
     }
     return "invalid";
 }
@@ -23,6 +24,7 @@ parse_gemm_variant(const std::string &name)
     if (name == "naive") return GemmVariant::kNaive;
     if (name == "blocked") return GemmVariant::kBlocked;
     if (name == "packed") return GemmVariant::kPacked;
+    if (name == "packed_simd") return GemmVariant::kPackedSimd;
     throw Error("unknown GEMM variant: " + name);
 }
 
@@ -40,6 +42,9 @@ gemm(GemmVariant variant, std::int64_t m, std::int64_t n, std::int64_t k,
         return;
       case GemmVariant::kPacked:
         gemm_packed(m, n, k, a, lda, b, ldb, c, ldc, scratch);
+        return;
+      case GemmVariant::kPackedSimd:
+        gemm_packed_simd(m, n, k, a, lda, b, ldb, c, ldc, scratch);
         return;
     }
     ORPHEUS_ASSERT(false, "invalid GemmVariant");

@@ -65,11 +65,38 @@ void gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k,
                  std::int64_t ldb, float *c, std::int64_t ldc,
                  const GemmScratch *scratch = nullptr);
 
+/** True when gemm_packed_simd will take a vectorised micro-kernel:
+ *  the SIMD tier is compiled in, the CPU supports it, and neither
+ *  ORPHEUS_DISABLE_SIMD nor --no-simd forced scalar dispatch. */
+bool gemm_packed_simd_available();
+
+/**
+ * Packed panel GEMM through the runtime-dispatched SIMD micro-kernel
+ * (AVX2+FMA or NEON); identical blocking, packing layout and workspace
+ * contract as gemm_packed, and results within a few ULP (the SIMD tile
+ * accumulates each element in the same order, fused). Falls back to
+ * gemm_packed when the SIMD tier is unavailable or disabled.
+ */
+void gemm_packed_simd(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const float *a, std::int64_t lda, const float *b,
+                      std::int64_t ldb, float *c, std::int64_t ldc,
+                      const GemmScratch *scratch = nullptr);
+
 enum class GemmVariant {
     kNaive = 0,
     kBlocked,
     kPacked,
+    kPackedSimd,
 };
+
+/** True for the variants that stream B through the packed-panel buffer
+ *  (and therefore need a GemmScratch::b_pack reservation). */
+inline bool
+gemm_variant_uses_packing(GemmVariant variant)
+{
+    return variant == GemmVariant::kPacked ||
+           variant == GemmVariant::kPackedSimd;
+}
 
 const char *to_string(GemmVariant variant);
 

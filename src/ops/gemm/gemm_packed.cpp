@@ -1,90 +1,45 @@
 /**
  * @file
- * Packed-panel GEMM (the production kernel).
+ * Packed-panel GEMM (the production kernel) — scalar micro-kernel and
+ * the runtime SIMD dispatcher.
  *
- * Classic three-level BLIS-style decomposition:
+ * Classic three-level BLIS-style decomposition (the loop nest and the
+ * packing routines live in gemm_packed_detail.hpp, shared with the
+ * per-ISA variants):
  *
  *   for jc in N by kBlockN:           B column block
  *     for pc in K by kBlockK:         pack B(kBlockK x kBlockN) -> Bp
- *       parallel for ir in M by kMr:  pack A(kMr x kBlockK)     -> Ap
- *         micro-kernel: C[ir:ir+kMr, jc:jc+kBlockN] += Ap * Bp
+ *       parallel for ir in M by MR:   pack A(MR x kBlockK)      -> Ap
+ *         micro-kernel: C[ir:ir+MR, jc:jc+kBlockN] += Ap * Bp
  *
  * Packing rewrites both operands into the exact order the micro-kernel
  * streams them, so the inner loop touches memory strictly sequentially.
- * The micro-kernel computes a kMr x kNr register tile; with fp32 and
- * kMr=4 / kNr=16 the accumulator fits comfortably in the vector register
- * file and the compiler auto-vectorises the j loop.
+ * The scalar micro-kernel computes a 4 x 16 register tile the compiler
+ * auto-vectorises; gemm_packed_simd() routes to the hand-vectorised
+ * AVX2/NEON micro-kernels when the build, the CPU and the disable
+ * switches all allow it, and degrades to this scalar kernel otherwise.
  */
 #include "ops/gemm/gemm.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <vector>
-
-#include "core/threadpool.hpp"
+#include "core/cpu_features.hpp"
+#include "ops/gemm/gemm_packed_detail.hpp"
 
 namespace orpheus {
 
 namespace {
 
 constexpr std::int64_t kMr = 4;
-constexpr std::int64_t kNr = 16;
-constexpr std::int64_t kBlockK = 256;
-constexpr std::int64_t kBlockN = 1024;
-
-/**
- * Packs rows [i0, i0+rows) x columns [p0, p0+depth) of A into panel
- * order: depth-major groups of kMr interleaved row elements, zero-padded
- * to kMr rows.
- */
-void
-pack_a_panel(const float *a, std::int64_t lda, std::int64_t i0,
-             std::int64_t rows, std::int64_t p0, std::int64_t depth,
-             float *out)
-{
-    for (std::int64_t p = 0; p < depth; ++p) {
-        for (std::int64_t r = 0; r < kMr; ++r) {
-            out[p * kMr + r] =
-                r < rows ? a[(i0 + r) * lda + (p0 + p)] : 0.0f;
-        }
-    }
-}
-
-/**
- * Packs rows [p0, p0+depth) x columns [j0, j0+cols) of B into panels of
- * kNr columns: panel-major, then depth, then the kNr interleaved column
- * elements, zero-padded to kNr columns.
- */
-void
-pack_b_block(const float *b, std::int64_t ldb, std::int64_t p0,
-             std::int64_t depth, std::int64_t j0, std::int64_t cols,
-             float *out)
-{
-    const std::int64_t panels = (cols + kNr - 1) / kNr;
-    for (std::int64_t panel = 0; panel < panels; ++panel) {
-        const std::int64_t j_base = j0 + panel * kNr;
-        const std::int64_t width = std::min(kNr, j0 + cols - j_base);
-        float *dst = out + panel * depth * kNr;
-        for (std::int64_t p = 0; p < depth; ++p) {
-            const float *src = b + (p0 + p) * ldb + j_base;
-            for (std::int64_t j = 0; j < width; ++j)
-                dst[p * kNr + j] = src[j];
-            for (std::int64_t j = width; j < kNr; ++j)
-                dst[p * kNr + j] = 0.0f;
-        }
-    }
-}
+constexpr std::int64_t kNr = gemm_detail::kPackNr;
 
 /**
  * kMr x kNr register-tile micro-kernel: C[0..rows, 0..width] += Ap * Bp
  * over depth. The accumulator tile is function-local so the compiler
- * promotes it to vector registers (kNr = 16 floats is one AVX-512
- * register or two AVX2 registers per row).
+ * promotes it to vector registers.
  */
 inline void
-micro_kernel(std::int64_t depth, const float *__restrict ap,
-             const float *__restrict bp, float *__restrict c,
-             std::int64_t ldc, std::int64_t rows, std::int64_t width)
+scalar_micro_kernel(std::int64_t depth, const float *__restrict ap,
+                    const float *__restrict bp, float *__restrict c,
+                    std::int64_t ldc, std::int64_t rows, std::int64_t width)
 {
     // One named accumulator row per kMr row: with the row dimension
     // fully unrolled by hand the compiler keeps all four rows in vector
@@ -123,8 +78,10 @@ micro_kernel(std::int64_t depth, const float *__restrict ap,
 std::size_t
 gemm_packed_b_pack_floats()
 {
-    return static_cast<std::size_t>(kBlockK) *
-           static_cast<std::size_t>((kBlockN + kNr - 1) / kNr * kNr);
+    using namespace gemm_detail;
+    return static_cast<std::size_t>(kPackBlockK) *
+           static_cast<std::size_t>((kPackBlockN + kPackNr - 1) / kPackNr *
+                                    kPackNr);
 }
 
 void
@@ -132,55 +89,34 @@ gemm_packed(std::int64_t m, std::int64_t n, std::int64_t k, const float *a,
             std::int64_t lda, const float *b, std::int64_t ldb, float *c,
             std::int64_t ldc, const GemmScratch *scratch)
 {
-    for (std::int64_t i = 0; i < m; ++i)
-        std::memset(c + i * ldc, 0,
-                    static_cast<std::size_t>(n) * sizeof(float));
+    gemm_detail::packed_gemm_driver<kMr>(m, n, k, a, lda, b, ldb, c, ldc,
+                                         scratch, scalar_micro_kernel);
+}
 
-    // Prepared callers pass the packed-B block through scratch (carved
-    // from the engine workspace); standalone calls fall back to a local
-    // allocation.
-    float *b_pack = scratch != nullptr ? scratch->b_pack : nullptr;
-    std::vector<float> b_pack_fallback;
-    if (b_pack == nullptr) {
-        b_pack_fallback.resize(gemm_packed_b_pack_floats());
-        b_pack = b_pack_fallback.data();
+bool
+gemm_packed_simd_available()
+{
+    return simd_enabled();
+}
+
+void
+gemm_packed_simd(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const float *a, std::int64_t lda, const float *b,
+                 std::int64_t ldb, float *c, std::int64_t ldc,
+                 const GemmScratch *scratch)
+{
+#if defined(ORPHEUS_SIMD_X86)
+    if (simd_enabled()) {
+        gemm_packed_avx2(m, n, k, a, lda, b, ldb, c, ldc, scratch);
+        return;
     }
-
-    const std::int64_t row_panels = (m + kMr - 1) / kMr;
-
-    for (std::int64_t jc = 0; jc < n; jc += kBlockN) {
-        const std::int64_t nc = std::min(kBlockN, n - jc);
-        const std::int64_t col_panels = (nc + kNr - 1) / kNr;
-        for (std::int64_t pc = 0; pc < k; pc += kBlockK) {
-            const std::int64_t kc = std::min(kBlockK, k - pc);
-            pack_b_block(b, ldb, pc, kc, jc, nc, b_pack);
-
-            parallel_for(row_panels, [&](std::int64_t begin,
-                                         std::int64_t end) {
-                // One A panel is kMr x kBlockK floats (4 KiB) — small
-                // enough to live on the worker's stack, which keeps the
-                // hot loop allocation-free with no per-thread buffer
-                // bookkeeping.
-                float a_pack[kMr * kBlockK];
-
-                for (std::int64_t panel = begin; panel < end; ++panel) {
-                    const std::int64_t i0 = panel * kMr;
-                    const std::int64_t rows = std::min(kMr, m - i0);
-                    pack_a_panel(a, lda, i0, rows, pc, kc, a_pack);
-
-                    for (std::int64_t jp = 0; jp < col_panels; ++jp) {
-                        const std::int64_t j_base = jc + jp * kNr;
-                        const std::int64_t width =
-                            std::min(kNr, jc + nc - j_base);
-                        micro_kernel(kc, a_pack,
-                                     b_pack + jp * kc * kNr,
-                                     c + i0 * ldc + j_base, ldc, rows,
-                                     width);
-                    }
-                }
-            });
-        }
+#elif defined(ORPHEUS_SIMD_NEON)
+    if (simd_enabled()) {
+        gemm_packed_neon(m, n, k, a, lda, b, ldb, c, ldc, scratch);
+        return;
     }
+#endif
+    gemm_packed(m, n, k, a, lda, b, ldb, c, ldc, scratch);
 }
 
 } // namespace orpheus

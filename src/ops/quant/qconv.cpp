@@ -65,6 +65,13 @@ qconv2d_acc_count(std::int64_t out_c, const Conv2dParams &params,
     return static_cast<std::size_t>(out_c / params.group * out_h * out_w);
 }
 
+std::size_t
+qconv2d_pack_i16_count(std::int64_t in_c, const Conv2dParams &params)
+{
+    return qgemm_pack_i16s(in_c / params.group * params.kernel_h *
+                           params.kernel_w);
+}
+
 void
 qconv2d_weight_row_sums(const Tensor &weight, std::int32_t *out)
 {
@@ -169,6 +176,12 @@ qconv2d(const QConv2dArgs &args, const QConv2dScratch *scratch)
         args.bias != nullptr ? args.bias->data<std::int32_t>() : nullptr;
     std::uint8_t *output = args.output->data<std::uint8_t>();
 
+    // The SIMD path accumulates the whole group block in one
+    // qgemm_w8a8_simd call (amortising the tile packing over all output
+    // channels); the scalar path keeps the per-row loop below. Both are
+    // exact integer arithmetic, so outputs are bitwise identical.
+    const bool use_simd = args.simd && qgemm_simd_available();
+
     for (std::int64_t n = 0; n < batch; ++n) {
         for (std::int64_t g = 0; g < p.group; ++g) {
             const std::uint8_t *group_input =
@@ -178,6 +191,13 @@ qconv2d(const QConv2dArgs &args, const QConv2dScratch *scratch)
 
             qim2col(group_input, group_in_c, in_h, in_w, p, out_h, out_w,
                     pad_value, col);
+
+            if (use_simd)
+                qgemm_w8a8_simd(group_out_c, gemm_n, gemm_k,
+                                weight + g * group_out_c * gemm_k, gemm_k,
+                                col, gemm_n, acc, gemm_n,
+                                scratch != nullptr ? scratch->pack
+                                                   : nullptr);
 
             // acc[oc][pixel] = sum_k W[oc][k] * (col[k][pixel] - x_zp),
             // with the zero-point correction hoisted to one subtraction
@@ -196,17 +216,20 @@ qconv2d(const QConv2dArgs &args, const QConv2dScratch *scratch)
                 }
 
                 std::int32_t *acc_row = acc + oc * gemm_n;
-                std::memset(acc_row, 0,
-                            static_cast<std::size_t>(gemm_n) *
-                                sizeof(std::int32_t));
-                for (std::int64_t kk = 0; kk < gemm_k; ++kk) {
-                    const std::int32_t w_val = w_row[kk];
-                    if (w_val == 0)
-                        continue;
-                    const std::uint8_t *col_row = col + kk * gemm_n;
-                    for (std::int64_t i = 0; i < gemm_n; ++i)
-                        acc_row[i] +=
-                            w_val * static_cast<std::int32_t>(col_row[i]);
+                if (!use_simd) {
+                    std::memset(acc_row, 0,
+                                static_cast<std::size_t>(gemm_n) *
+                                    sizeof(std::int32_t));
+                    for (std::int64_t kk = 0; kk < gemm_k; ++kk) {
+                        const std::int32_t w_val = w_row[kk];
+                        if (w_val == 0)
+                            continue;
+                        const std::uint8_t *col_row = col + kk * gemm_n;
+                        for (std::int64_t i = 0; i < gemm_n; ++i)
+                            acc_row[i] +=
+                                w_val *
+                                static_cast<std::int32_t>(col_row[i]);
+                    }
                 }
                 const std::int32_t correction =
                     args.input_params.zero_point * w_sum;

@@ -37,6 +37,13 @@ struct QConv2dArgs {
     /** Fused activation, applied in the quantized domain (relu/clip
      *  become clamps; other kinds are not supported here). */
     ActivationSpec activation;
+    /**
+     * Route the accumulation through the SIMD qgemm tier
+     * (qgemm_w8a8_simd) when it is available; results are bitwise
+     * identical to the scalar path either way. Set by the SIMD registry
+     * impl, left false by the reference impl.
+     */
+    bool simd = false;
 };
 
 /**
@@ -54,6 +61,10 @@ struct QConv2dScratch {
      *  constant for constant weights, used for the zero-point
      *  correction. Null recomputes them per call. */
     const std::int32_t *weight_row_sums = nullptr;
+    /** int16 tile-packing buffer for the SIMD qgemm path;
+     *  qconv2d_pack_i16_count() entries. Null falls back to a
+     *  call-local allocation. */
+    std::int16_t *pack = nullptr;
 };
 
 /** uint8 entries of the qconv2d column buffer:
@@ -69,6 +80,11 @@ std::size_t qconv2d_acc_count(std::int64_t out_c, const Conv2dParams &params,
 /** Per-output-channel sums of an int8 OIHW weight tensor; @p out must
  *  hold weight.shape().dim(0) entries. */
 void qconv2d_weight_row_sums(const Tensor &weight, std::int32_t *out);
+
+/** int16 entries of the SIMD qgemm packing buffer for this conv's
+ *  reduction depth ((in_c/group) * kernel_area). */
+std::size_t qconv2d_pack_i16_count(std::int64_t in_c,
+                                   const Conv2dParams &params);
 
 /** Runs the quantized convolution. Throws on dtype/shape mismatches. */
 void qconv2d(const QConv2dArgs &args,

@@ -302,12 +302,14 @@ TEST(EngineFaultTolerance, FallbackDisabledPropagatesKernelFault)
     EXPECT_THROW(engine.run(input), KernelFault);
 }
 
-/** Gemm has only the reference implementation registered, so a fault
- *  there has nowhere to fall back to and must surface as an Error. */
+/** With the SIMD tier disabled, Gemm has only the reference
+ *  implementation registered, so a fault there has nowhere to fall
+ *  back to and must surface as an Error. */
 TEST(EngineFaultTolerance, NoFallbackAvailableRaisesError)
 {
     auto injector = std::make_shared<FaultInjector>();
     EngineOptions options;
+    options.backend.allow_simd = false;
     options.fault_injector = injector;
     Engine engine(models::tiny_mlp(), options);
 

@@ -529,6 +529,9 @@ TEST(GuardedEngine, ReferenceOnlyKernelFollowsFlagPolicy)
 {
     const auto build = [](bool flag_reference_outputs) {
         EngineOptions options;
+        // Keep the SIMD packed-GEMM tier out so Gemm really has a single
+        // implementation — the premise this test is about.
+        options.backend.allow_simd = false;
         options.guard = enabled_policy();
         options.guard.flag_reference_outputs = flag_reference_outputs;
         options.fault_injector = std::make_shared<FaultInjector>();

@@ -3,6 +3,7 @@
  *  personalities and inference. */
 #include <gtest/gtest.h>
 
+#include "core/cpu_features.hpp"
 #include "eval/experiment.hpp"
 #include "eval/personalities.hpp"
 #include "models/model_zoo.hpp"
@@ -69,10 +70,15 @@ TEST(Integration, PersonalitiesSelectTheirConvKernels)
         return impls;
     };
 
+    // The Orpheus personality rides the default heuristic, so on a
+    // SIMD-capable host it picks the vector variants of its kernels.
+    const std::string suffix =
+        simd_enabled() ? std::string("_") + simd_isa_compiled() : "";
     Engine orpheus_engine(Graph(graph), orpheus_personality().options);
     const auto orpheus_impls = conv_impl_set(orpheus_engine);
-    EXPECT_TRUE(orpheus_impls.count("im2col_gemm"));
-    EXPECT_TRUE(orpheus_impls.count("depthwise_direct"));
+    EXPECT_TRUE(orpheus_impls.count("im2col_gemm" + suffix));
+    EXPECT_TRUE(orpheus_impls.count(
+        suffix.empty() ? "depthwise_direct" : "depthwise" + suffix));
 
     Engine tvm_engine(Graph(graph), tvm_like_personality().options);
     EXPECT_EQ(conv_impl_set(tvm_engine),

@@ -69,7 +69,11 @@ TEST(Registry, DepthwisePredicateRespectsConfig)
     attrs.set("group", std::int64_t{8});
     Node node(op_names::kConv, "dw", {"x", "w"}, {"y"}, attrs);
 
+    // Pin the scalar tier so the winning candidate is deterministic on
+    // hosts where the SIMD depthwise variant would outrank it; the SIMD
+    // predicate itself is covered by test_simd.
     BackendConfig allow;
+    allow.allow_simd = false;
     LayerInit init = conv_init(node, allow, Shape({1, 8, 8, 8}),
                                Shape({8, 1, 3, 3}), Shape({1, 8, 8, 8}));
     auto candidates = registry.candidates(init);
@@ -77,6 +81,7 @@ TEST(Registry, DepthwisePredicateRespectsConfig)
     EXPECT_EQ(candidates.front()->impl_name, "depthwise_direct");
 
     BackendConfig deny;
+    deny.allow_simd = false;
     deny.allow_depthwise_specialization = false;
     init.config = &deny;
     candidates = registry.candidates(init);

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/cpu_features.hpp"
 #include "models/builder.hpp"
 #include "runtime/engine.hpp"
 #include "test_util.hpp"
@@ -40,11 +41,15 @@ conv_impls(const Engine &engine)
 
 TEST(Selection, HeuristicPicksSpecialisedKernels)
 {
+    // On a host with the SIMD tier the heuristic prefers the vector
+    // variants of the same specialised kernels.
+    const std::string suffix =
+        simd_enabled() ? std::string("_") + simd_isa_compiled() : "";
     Engine engine(two_conv_graph());
     const auto impls = conv_impls(engine);
     ASSERT_EQ(impls.size(), 2u);
-    EXPECT_EQ(impls[0], "depthwise_direct");
-    EXPECT_EQ(impls[1], "im2col_gemm");
+    EXPECT_EQ(impls[0], "depthwise" + (suffix.empty() ? "_direct" : suffix));
+    EXPECT_EQ(impls[1], "im2col_gemm" + suffix);
 }
 
 TEST(Selection, ForcedImplAppliesToAllNodesOfOp)
@@ -87,12 +92,15 @@ TEST(Selection, DepthwiseDisabledFallsBackToGenericPath)
 {
     EngineOptions options;
     options.backend.allow_depthwise_specialization = false;
+    const std::string expected =
+        simd_enabled() ? std::string("im2col_gemm_") + simd_isa_compiled()
+                       : std::string("im2col_gemm");
     Engine engine(two_conv_graph(), options);
     const auto impls = conv_impls(engine);
     ASSERT_EQ(impls.size(), 2u);
-    EXPECT_EQ(impls[0], "im2col_gemm") << "depthwise must take the grouped "
-                                          "GEMM path when specialisation "
-                                          "is disabled";
+    EXPECT_EQ(impls[0], expected) << "depthwise must take the grouped "
+                                     "GEMM path when specialisation "
+                                     "is disabled";
 }
 
 TEST(Selection, AutoTuneSelectsAndLogsMeasurements)

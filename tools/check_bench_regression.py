@@ -90,7 +90,8 @@ def scores(cells):
             if value > 0 and not is_quality(key) and not is_bound(key)}
 
 
-def check_bench(slug, baseline_dirs, results_dirs, threshold, floor_ms):
+def check_bench(slug, baseline_dirs, results_dirs, threshold, floor_ms,
+                quality_threshold=None):
     """Returns a list of human-readable failure strings for one bench."""
     name = f"BENCH_{slug}.json"
     baseline_paths = [os.path.join(d, name) for d in baseline_dirs
@@ -109,6 +110,8 @@ def check_bench(slug, baseline_dirs, results_dirs, threshold, floor_ms):
     baseline_scores = scores(baseline_cells)
     result_scores = scores(result_cells)
 
+    if quality_threshold is None:
+        quality_threshold = threshold
     failures = []
     gated = skipped = 0
     for key in sorted(k for k in baseline_cells if is_quality(k)):
@@ -120,11 +123,11 @@ def check_bench(slug, baseline_dirs, results_dirs, threshold, floor_ms):
             continue
         gated += 1
         new = result_cells[key]
-        if new < base * (1 - threshold):
+        if new < base * (1 - quality_threshold):
             failures.append(
                 f"{slug}: ({row}, {column}) quality dropped "
                 f"{base:.2f} -> {new:.2f} "
-                f"(gate {base * (1 - threshold):.2f})")
+                f"(gate {base * (1 - quality_threshold):.2f})")
     for key in sorted(k for k in baseline_cells if is_bound(k)):
         row, column = key
         base = baseline_cells[key]
@@ -176,6 +179,12 @@ def main():
                              "(repeatable; merged by per-cell min)")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative normalised regression allowed")
+    parser.add_argument("--quality-threshold", type=float, default=None,
+                        help="relative drop allowed on *_pct quality "
+                             "cells (default: --threshold). Speedup "
+                             "cells (e.g. gemm's simd_speedup_pct) are "
+                             "ratios of two timings, so they tolerate a "
+                             "different noise band than time shares")
     parser.add_argument("--floor-ms", type=float, default=0.25,
                         help="do not gate cells faster than this")
     parser.add_argument("slugs", nargs="+",
@@ -186,7 +195,8 @@ def main():
     for slug in args.slugs:
         all_failures.extend(
             check_bench(slug, args.baseline, args.results,
-                        args.threshold, args.floor_ms))
+                        args.threshold, args.floor_ms,
+                        args.quality_threshold))
 
     if all_failures:
         print("\nbench regression gate FAILED:")

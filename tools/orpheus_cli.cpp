@@ -18,6 +18,8 @@
  *   --runs <n>          timed repetitions (default 5)
  *   --profile           print the per-layer profile after running
  *   --autotune          measure every kernel candidate per node
+ *   --no-simd           force scalar kernels (disable the SIMD tier;
+ *                       equivalent to ORPHEUS_DISABLE_SIMD=1)
  * serve options:
  *   --clients <n>       concurrent client threads (default 4)
  *   --requests <n>      requests per client (default 32)
@@ -64,6 +66,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cpu_features.hpp"
 #include "core/rng.hpp"
 #include "core/threadpool.hpp"
 #include "eval/experiment.hpp"
@@ -88,6 +91,7 @@ struct CliOptions {
     int runs = 5;
     bool profile = false;
     bool autotune = false;
+    bool no_simd = false;
     int clients = 4;
     int requests = 32;
     int queue_depth = 16;
@@ -160,7 +164,7 @@ usage()
         "usage: orpheus <list|info|run|compare|convert|quantize|serve> "
         "[<model>] [args]\n"
         "  options: --personality <p> --threads <n> --runs <n> "
-        "--profile --autotune\n"
+        "--profile --autotune --no-simd\n"
         "  serve:   --clients <n> --requests <n> --queue-depth <n> "
         "--deadline-ms <ms> --workers <n>\n"
         "           --replicas <n> --warm-spares <n> --max-retries <n> "
@@ -199,6 +203,8 @@ parse_options(int argc, char **argv, int first)
             options.profile = true;
         else if (arg == "--autotune")
             options.autotune = true;
+        else if (arg == "--no-simd")
+            options.no_simd = true;
         else if (arg == "--clients")
             options.clients = std::stoi(next_value("--clients"));
         else if (arg == "--requests")
@@ -269,6 +275,26 @@ parse_options(int argc, char **argv, int first)
             options.positional.push_back(arg);
     }
     return options;
+}
+
+/** One-line cpu-feature / SIMD-tier report for run & serve banners. */
+void
+print_cpu_features()
+{
+    const std::string features = cpu_features().to_string();
+    const char *isa = simd_isa_compiled();
+    std::string tier;
+    if (isa[0] == '\0')
+        tier = "none compiled in";
+    else if (!simd_isa_supported())
+        tier = std::string(isa) + " (unsupported on this host)";
+    else if (simd_disabled())
+        tier = std::string(isa) + " (disabled by override)";
+    else
+        tier = std::string(isa) + " (active)";
+    std::printf("cpu-features: %s; simd tier: %s\n",
+                features.empty() ? "none" : features.c_str(),
+                tier.c_str());
 }
 
 bool
@@ -487,6 +513,7 @@ cmd_run(const CliOptions &cli)
 
     EngineOptions options = engine_options(cli, cli.profile);
     apply_guard_and_chaos(cli, options);
+    print_cpu_features();
     if (!cli.traffic_class.empty())
         return run_through_service(cli, std::move(options));
     Engine engine(load_model(cli.positional[0]), options);
@@ -633,6 +660,7 @@ cmd_serve(const CliOptions &cli)
     if (cli.deadline_ms > 0)
         std::snprintf(deadline_text, sizeof(deadline_text), "%g ms",
                       cli.deadline_ms);
+    print_cpu_features();
     std::printf("serving %s: %d clients x %d requests, queue depth %zu, "
                 "%d workers, deadline %s\n",
                 service.engine().graph().name().c_str(), cli.clients,
@@ -917,6 +945,8 @@ main(int argc, char **argv)
     const std::string command = argv[1];
     try {
         const CliOptions cli = parse_options(argc, argv, 2);
+        if (cli.no_simd)
+            force_disable_simd(true);
         if (command == "list")
             return cmd_list();
         if (command == "info")
